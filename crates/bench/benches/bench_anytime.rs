@@ -1,0 +1,46 @@
+//! E7 — the anytime engine (Section 5.1): cost of one sampled iteration as a
+//! function of the sample size, versus the exact full-data run.
+
+use atlas_bench::census;
+use atlas_core::{Atlas, AtlasConfig};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_anytime_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_anytime_sample_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    let table = census(500_000);
+    let query = ConjunctiveQuery::all("census");
+    let atlas = Atlas::new(Arc::clone(&table), AtlasConfig::default()).expect("valid config");
+    let full = table.full_selection();
+    let all_rows: Vec<usize> = full.to_indices();
+    for sample in [2_000usize, 20_000, 200_000, 500_000] {
+        // Deterministic "sample": a stride over the working set, so the bench
+        // measures the pipeline cost, not the RNG.
+        let stride = (all_rows.len() / sample).max(1);
+        let selection = atlas_columnar::Bitmap::from_indices(
+            table.num_rows(),
+            all_rows.iter().step_by(stride).copied().take(sample),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sample),
+            &selection,
+            |b, selection| {
+                b.iter(|| {
+                    atlas
+                        .explore_selection(&query, selection.clone())
+                        .expect("exploration succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_anytime_iterations);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 — Atlas versus the baselines: end-to-end latency of each system on the
+//! same census working set (the quality/readability side is covered by the
+//! `experiments` harness).
+
+use atlas_bench::census;
+use atlas_core::baselines::{
+    FullProductBaseline, GridCliqueBaseline, RandomMapBaseline, SingleAttributeBaseline,
+};
+use atlas_core::{Atlas, AtlasConfig};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_systems");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    let table = census(50_000);
+    let working = table.full_selection();
+    let query = ConjunctiveQuery::all("census");
+
+    let atlas = Atlas::new(Arc::clone(&table), AtlasConfig::default()).expect("valid config");
+    group.bench_function("atlas_default", |b| {
+        b.iter(|| atlas.explore(&query).expect("exploration succeeds"))
+    });
+
+    let single = SingleAttributeBaseline::default();
+    group.bench_function("single_attribute", |b| {
+        b.iter(|| {
+            single
+                .generate(&table, &working, &query)
+                .expect("baseline succeeds")
+        })
+    });
+
+    let product = FullProductBaseline::default();
+    group.bench_function("full_product", |b| {
+        b.iter(|| {
+            product
+                .generate(&table, &working, &query)
+                .expect("baseline succeeds")
+        })
+    });
+
+    let random = RandomMapBaseline::default();
+    group.bench_function("random_maps", |b| {
+        b.iter(|| {
+            random
+                .generate(&table, &working, &query)
+                .expect("baseline succeeds")
+        })
+    });
+
+    let clique = GridCliqueBaseline::default();
+    group.bench_function("grid_clique", |b| {
+        b.iter(|| {
+            clique
+                .generate(&table, &working, &query)
+                .expect("baseline succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

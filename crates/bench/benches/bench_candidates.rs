@@ -1,0 +1,36 @@
+//! E9 — candidate generation cost as the number of partitions per attribute
+//! grows (the paper's "we restrict the number of partitions to two" ablation).
+
+use atlas_bench::census;
+use atlas_core::cut::CutConfig;
+use atlas_core::generate_candidates;
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_candidates_vs_splits");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let table = census(30_000);
+    let working = table.full_selection();
+    let query = ConjunctiveQuery::all("census");
+    for splits in [2usize, 3, 4, 8] {
+        let config = CutConfig {
+            num_splits: splits,
+            ..CutConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(splits), &config, |b, config| {
+            b.iter(|| {
+                generate_candidates(&table, &working, &query, None, config)
+                    .expect("candidate generation succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidate_generation);
+criterion_main!(benches);

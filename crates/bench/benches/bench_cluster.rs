@@ -1,0 +1,70 @@
+//! E3 — cost of the map-clustering step: distance matrix plus agglomerative
+//! clustering (single / complete / average linkage, SLINK).
+
+use atlas_bench::wide_numeric;
+use atlas_core::cut::CutConfig;
+use atlas_core::{
+    cluster_maps, distance_matrix, generate_candidates, slink, ClusteringConfig, Linkage,
+    MapDistanceMetric,
+};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_distance_matrix");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for columns in [4usize, 8, 16, 32] {
+        let table = wide_numeric(20_000, columns);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("wide");
+        let candidates =
+            generate_candidates(&table, &working, &query, None, &CutConfig::default())
+                .expect("candidates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(columns),
+            &candidates.maps,
+            |b, maps| {
+                b.iter(|| distance_matrix(maps, table.num_rows(), MapDistanceMetric::NormalizedVI))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_agglomerative_linkage");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    let table = wide_numeric(10_000, 24);
+    let working = table.full_selection();
+    let query = ConjunctiveQuery::all("wide");
+    let candidates = generate_candidates(&table, &working, &query, None, &CutConfig::default())
+        .expect("candidates");
+    let matrix = distance_matrix(
+        &candidates.maps,
+        table.num_rows(),
+        MapDistanceMetric::NormalizedVI,
+    );
+    for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+        let config = ClusteringConfig {
+            linkage,
+            ..ClusteringConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{linkage:?}")),
+            &config,
+            |b, config| b.iter(|| cluster_maps(&matrix, config).expect("clustering succeeds")),
+        );
+    }
+    group.bench_function("slink", |b| b.iter(|| slink(&matrix)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_matrix, bench_linkages);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E2 / E10 — cost of the `CUT` primitive per cutting strategy and column
+//! size (Figure 3 and Section 5.1 of the paper).
+
+use atlas_bench::census;
+use atlas_core::cut::{cut_attribute, CutConfig, NumericCutStrategy};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_cut_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_cut_strategy");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    let table = census(50_000);
+    let working = table.full_selection();
+    let query = ConjunctiveQuery::all("census");
+    let strategies: [(&str, NumericCutStrategy); 5] = [
+        ("equi_width", NumericCutStrategy::EquiWidth),
+        ("median", NumericCutStrategy::Median),
+        ("kmeans", NumericCutStrategy::KMeans { max_iterations: 30 }),
+        ("natural_breaks", NumericCutStrategy::NaturalBreaks),
+        ("gk_sketch", NumericCutStrategy::SketchMedian { epsilon: 0.01 }),
+    ];
+    for (name, strategy) in strategies {
+        // Natural breaks is O(n²); bench it on a smaller working set so the
+        // suite stays fast, which is also how the engine would use it.
+        let (bench_table, bench_working) = if name == "natural_breaks" {
+            let t = census(3_000);
+            let w = t.full_selection();
+            (t, w)
+        } else {
+            (table.clone(), working.clone())
+        };
+        let config = CutConfig {
+            numeric: strategy,
+            ..CutConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("age", name), &config, |b, config| {
+            b.iter(|| {
+                cut_attribute(&bench_table, &bench_working, &query, "age", config)
+                    .expect("cut succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cut_column_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_cut_vs_rows");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for rows in [10_000usize, 50_000, 200_000] {
+        let table = census(rows);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("census");
+        for (name, strategy) in [
+            ("exact_median", NumericCutStrategy::Median),
+            ("gk_sketch", NumericCutStrategy::SketchMedian { epsilon: 0.01 }),
+        ] {
+            let config = CutConfig {
+                numeric: strategy,
+                ..CutConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, rows),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        cut_attribute(&table, &working, &query, "height_cm", config)
+                            .expect("cut succeeds")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_strategies, bench_cut_column_size);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 / E6 — end-to-end map generation latency on the census workload
+//! (the paper's headline "quasi-real time" requirement), for the default,
+//! fast and quality configurations.
+
+use atlas_bench::census;
+use atlas_core::{Atlas, AtlasConfig};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_end_to_end_census");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    let table = census(100_000);
+    let query = ConjunctiveQuery::all("census");
+    let configs: [(&str, AtlasConfig); 3] = [
+        ("default", AtlasConfig::default()),
+        ("fast", AtlasConfig::fast()),
+        ("quality", AtlasConfig::quality()),
+    ];
+    for (name, config) in configs {
+        let atlas = Atlas::new(Arc::clone(&table), config).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &atlas, |b, atlas| {
+            b.iter(|| atlas.explore(&query).expect("exploration succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

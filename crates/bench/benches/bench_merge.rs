@@ -1,0 +1,45 @@
+//! E4 — cost of the merge operators (product vs composition, Figure 5).
+
+use atlas_bench::mixture;
+use atlas_core::cut::CutConfig;
+use atlas_core::{compose_maps, generate_candidates, product_maps};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_merge_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_merge_operator");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for rows in [10_000usize, 50_000] {
+        let (table, _) = mixture(rows, 4);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("mixture");
+        let config = CutConfig::default();
+        let candidates = generate_candidates(&table, &working, &query, None, &config)
+            .expect("candidates");
+        // Merge the two signal-attribute maps (the realistic cluster size).
+        let pair: Vec<_> = candidates
+            .maps
+            .iter()
+            .filter(|m| m.source_attributes[0].starts_with("sig_"))
+            .cloned()
+            .collect();
+        group.bench_with_input(BenchmarkId::new("product", rows), &pair, |b, pair| {
+            b.iter(|| product_maps(pair, true).expect("product exists"))
+        });
+        group.bench_with_input(BenchmarkId::new("composition", rows), &pair, |b, pair| {
+            b.iter(|| {
+                compose_maps(pair, &table, &config, true)
+                    .expect("composition succeeds")
+                    .expect("composition exists")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_operators);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E5 — cost of the entropy ranking step (it must be negligible).
+
+use atlas_bench::census;
+use atlas_core::cut::CutConfig;
+use atlas_core::{generate_candidates, rank_maps};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ranking");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for rows in [10_000usize, 100_000] {
+        let table = census(rows);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("census");
+        let candidates =
+            generate_candidates(&table, &working, &query, None, &CutConfig::default())
+                .expect("candidates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rows),
+            &candidates.maps,
+            |b, maps| b.iter(|| rank_maps(maps.to_vec())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E6 — scalability: end-to-end latency as a function of the number of rows
+//! and of the number of attributes ("latency close to zero even with large
+//! sets", Section 1 of the paper).
+
+use atlas_bench::{census, wide_numeric};
+use atlas_core::{Atlas, AtlasConfig};
+use atlas_query::ConjunctiveQuery;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_scale_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_scale_rows");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2500));
+    let query = ConjunctiveQuery::all("census");
+    for rows in [10_000usize, 100_000, 1_000_000] {
+        let table = census(rows);
+        let atlas = Atlas::new(Arc::clone(&table), AtlasConfig::default()).expect("valid config");
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &atlas, |b, atlas| {
+            b.iter(|| atlas.explore(&query).expect("exploration succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_scale_attributes");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2500));
+    let query = ConjunctiveQuery::all("wide");
+    for columns in [4usize, 8, 16, 32] {
+        let table = wide_numeric(50_000, columns);
+        let atlas = Atlas::new(Arc::clone(&table), AtlasConfig::default()).expect("valid config");
+        group.bench_with_input(BenchmarkId::from_parameter(columns), &atlas, |b, atlas| {
+            b.iter(|| atlas.explore(&query).expect("exploration succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_rows, bench_scale_attributes);
+criterion_main!(benches);

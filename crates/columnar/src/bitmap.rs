@@ -1,0 +1,354 @@
+//! Packed selection bitmaps.
+//!
+//! A [`Bitmap`] represents a subset of the rows of a table: the result of a
+//! conjunctive query, the extent of a map region, or an intermediate selection.
+//! Atlas manipulates these constantly (every `CUT` produces one bitmap per
+//! region, covers are bitmap cardinalities, region intersection for the product
+//! operator is a bitmap AND), so the representation is a packed `u64` word
+//! vector with the usual bit-twiddling kernels.
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length bitmap over the rows `0..len` of a table.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Create an empty (all-zero) bitmap over `len` rows.
+    pub fn new_empty(len: usize) -> Self {
+        Bitmap {
+            words: vec![0u64; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// Create a full (all-one) bitmap over `len` rows.
+    pub fn new_full(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Build a bitmap over `len` rows from an iterator of set row indices.
+    ///
+    /// Indices `>= len` are ignored.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, indices: I) -> Self {
+        let mut bm = Bitmap::new_empty(len);
+        for idx in indices {
+            if idx < len {
+                bm.set(idx);
+            }
+        }
+        bm
+    }
+
+    /// Build a bitmap from a boolean slice (`true` = selected).
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bm = Bitmap::new_empty(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// The number of rows this bitmap ranges over (not the number of set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap ranges over zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn set(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] |= 1u64 << (idx % WORD_BITS);
+    }
+
+    /// Clear bit `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= len`.
+    pub fn clear(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / WORD_BITS] &= !(1u64 << (idx % WORD_BITS));
+    }
+
+    /// Get bit `idx`. Out-of-range indices return `false`.
+    pub fn get(&self, idx: usize) -> bool {
+        if idx >= self.len {
+            return false;
+        }
+        (self.words[idx / WORD_BITS] >> (idx % WORD_BITS)) & 1 == 1
+    }
+
+    /// The number of set bits (the *cover count* in Atlas terms).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The cover of this selection: fraction of rows selected, in `[0, 1]`.
+    ///
+    /// This is the `C(Q)` of the paper when the bitmap is the extent of query
+    /// `Q` over the whole table. Returns 0 for an empty table.
+    pub fn cover(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count() as f64 / self.len as f64
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the two bitmaps range over different numbers of rows.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= *o;
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the two bitmaps range over different numbers of rows.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= *o;
+        }
+    }
+
+    /// In-place difference (`self AND NOT other`).
+    ///
+    /// # Panics
+    /// Panics if the two bitmaps range over different numbers of rows.
+    pub fn difference_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= !*o;
+        }
+    }
+
+    /// Returns the intersection of two bitmaps as a new bitmap.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Returns the union of two bitmaps as a new bitmap.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Returns `self AND NOT other` as a new bitmap.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        let mut out = self.clone();
+        out.difference_with(other);
+        out
+    }
+
+    /// Returns the complement of this bitmap (over the same row range).
+    pub fn not(&self) -> Bitmap {
+        let mut out = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// True if no bits are set.
+    pub fn is_all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if the two bitmaps have no set bit in common.
+    pub fn is_disjoint(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// The number of set bits in the intersection, without materialising it.
+    pub fn intersection_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterate over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collect the indices of set bits into a vector.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Zero out any bits beyond `len` in the last word so `count` stays exact.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap(len={}, ones={})", self.len, self.count())
+    }
+}
+
+/// Iterator over set-bit indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    bitmap: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bitmap.words.len() {
+                return None;
+            }
+            self.current = self.bitmap.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = Bitmap::new_empty(130);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.len(), 130);
+        assert!(e.is_all_clear());
+        let f = Bitmap::new_full(130);
+        assert_eq!(f.count(), 130);
+        assert!(f.get(0));
+        assert!(f.get(129));
+        assert!(!f.get(130));
+        assert!((f.cover() - 1.0).abs() < 1e-12);
+        assert_eq!(Bitmap::new_empty(0).cover(), 0.0);
+    }
+
+    #[test]
+    fn set_clear_get() {
+        let mut bm = Bitmap::new_empty(100);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert_eq!(bm.count(), 4);
+        assert!(bm.get(63));
+        assert!(bm.get(64));
+        bm.clear(63);
+        assert!(!bm.get(63));
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut bm = Bitmap::new_empty(10);
+        bm.set(10);
+    }
+
+    #[test]
+    fn from_indices_and_bools() {
+        let bm = Bitmap::from_indices(10, [1, 3, 5, 99]);
+        assert_eq!(bm.to_indices(), vec![1, 3, 5]);
+        let bm2 = Bitmap::from_bools(&[false, true, false, true]);
+        assert_eq!(bm2.to_indices(), vec![1, 3]);
+        assert_eq!(bm2.len(), 4);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Bitmap::from_indices(200, [1, 2, 3, 100, 150]);
+        let b = Bitmap::from_indices(200, [2, 3, 4, 150, 199]);
+        assert_eq!(a.and(&b).to_indices(), vec![2, 3, 150]);
+        assert_eq!(a.or(&b).to_indices(), vec![1, 2, 3, 4, 100, 150, 199]);
+        assert_eq!(a.and_not(&b).to_indices(), vec![1, 100]);
+        assert_eq!(a.intersection_count(&b), 3);
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&Bitmap::new_empty(200)));
+    }
+
+    #[test]
+    fn complement_respects_tail() {
+        let a = Bitmap::from_indices(70, [0, 69]);
+        let not_a = a.not();
+        assert_eq!(not_a.count(), 68);
+        assert!(!not_a.get(0));
+        assert!(!not_a.get(69));
+        assert!(not_a.get(1));
+        // Complementing twice round-trips.
+        assert_eq!(not_a.not(), a);
+    }
+
+    #[test]
+    fn iter_ones_matches_indices() {
+        let idx = vec![0, 7, 63, 64, 65, 127, 128, 199];
+        let bm = Bitmap::from_indices(200, idx.clone());
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn cover_fraction() {
+        let bm = Bitmap::from_indices(8, [0, 1]);
+        assert!((bm.cover() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let bm = Bitmap::from_indices(10, [1, 2]);
+        assert_eq!(format!("{bm:?}"), "Bitmap(len=10, ones=2)");
+    }
+}

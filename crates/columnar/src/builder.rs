@@ -1,0 +1,139 @@
+//! Row-oriented table construction.
+
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Incrementally builds a [`Table`] row by row.
+///
+/// The data generators and the CSV reader both funnel through this builder so
+/// type checking happens in exactly one place.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new_empty(f.dtype))
+            .collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            columns,
+            num_rows: 0,
+        }
+    }
+
+    /// The schema being built against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Append one row. The slice must have exactly one value per column, in
+    /// schema order.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: self.columns.len(),
+                found: values.len(),
+            });
+        }
+        // Validate all values first so a failed push cannot leave ragged columns.
+        for (column, value) in self.columns.iter().zip(values.iter()) {
+            if !value.is_null() {
+                let vt = value.data_type().expect("non-null value has a type");
+                let ct = column.data_type();
+                let compatible = vt == ct
+                    || (ct == crate::value::DataType::Float && vt == crate::value::DataType::Int);
+                if !compatible {
+                    return Err(ColumnarError::TypeMismatch {
+                        expected: ct.name().to_string(),
+                        found: vt.name().to_string(),
+                    });
+                }
+            }
+        }
+        for (column, value) in self.columns.iter_mut().zip(values.iter()) {
+            column.push(value)?;
+        }
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Finish building and produce the immutable table.
+    pub fn build(self) -> Result<Table> {
+        Table::new(self.name, self.schema, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("score", DataType::Float),
+            Field::nullable("group", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn build_simple_table() {
+        let mut b = TableBuilder::new("t", schema());
+        b.push_row(&[Value::Int(20), Value::Float(0.5), Value::Str("a".into())])
+            .unwrap();
+        b.push_row(&[Value::Int(30), Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.value(1, "score").unwrap(), Value::Float(1.0));
+        assert_eq!(t.value(1, "group").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn push_row_wrong_arity() {
+        let mut b = TableBuilder::new("t", schema());
+        let err = b.push_row(&[Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, ColumnarError::LengthMismatch { .. }));
+        assert_eq!(b.num_rows(), 0);
+    }
+
+    #[test]
+    fn push_row_type_mismatch_keeps_columns_aligned() {
+        let mut b = TableBuilder::new("t", schema());
+        let err = b
+            .push_row(&[Value::Str("oops".into()), Value::Float(0.0), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, ColumnarError::TypeMismatch { .. }));
+        // The failed row must not have been partially applied.
+        assert_eq!(b.num_rows(), 0);
+        let t = b.build().unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn empty_build_is_valid() {
+        let t = TableBuilder::new("empty", schema()).build().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_columns(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! A named collection of tables.
+
+use crate::error::{ColumnarError, Result};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The catalog maps table names to shared tables.
+///
+/// In the original Atlas the catalog lives inside MonetDB; here it is a small
+/// map so examples and the explorer can register several datasets and switch
+/// between them.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name. Fails if the name is taken.
+    pub fn register(&mut self, table: Table) -> Result<Arc<Table>> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(ColumnarError::DuplicateTable(name));
+        }
+        let shared = Arc::new(table);
+        self.tables.insert(name, Arc::clone(&shared));
+        Ok(shared)
+    }
+
+    /// Register or replace a table under its own name.
+    pub fn register_or_replace(&mut self, table: Table) -> Arc<Table> {
+        let name = table.name().to_string();
+        let shared = Arc::new(table);
+        self.tables.insert(name, Arc::clone(&shared));
+        shared
+    }
+
+    /// Fetch a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ColumnarError::UnknownTable(name.to_string()))
+    }
+
+    /// Remove a table by name, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Arc<Table>> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TableBuilder;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn tiny_table(name: &str) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new(name, schema);
+        b.push_row(&[Value::Int(1)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(tiny_table("a")).unwrap();
+        cat.register(tiny_table("b")).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cat.get("a").unwrap().num_rows(), 1);
+        assert!(matches!(
+            cat.get("zzz"),
+            Err(ColumnarError::UnknownTable(_))
+        ));
+        assert!(cat.drop_table("a").is_some());
+        assert!(cat.drop_table("a").is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration() {
+        let mut cat = Catalog::new();
+        cat.register(tiny_table("a")).unwrap();
+        assert!(matches!(
+            cat.register(tiny_table("a")),
+            Err(ColumnarError::DuplicateTable(_))
+        ));
+        // register_or_replace always succeeds
+        cat.register_or_replace(tiny_table("a"));
+        assert_eq!(cat.len(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-column summary statistics.
+//!
+//! Atlas consults these statistics to decide how to cut an attribute (numeric
+//! range, categorical cardinality), to detect high-cardinality "code-like"
+//! columns that should be skipped (Section 5.2 of the paper), and to report
+//! region descriptions.
+
+use crate::bitmap::Bitmap;
+use crate::column::{Column, NULL_CODE};
+use crate::value::DataType;
+use std::collections::HashSet;
+
+/// Summary statistics of one column restricted to a selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Data type of the column.
+    pub dtype: DataType,
+    /// Number of selected rows with a non-NULL value.
+    pub non_null_count: usize,
+    /// Number of selected rows with a NULL value.
+    pub null_count: usize,
+    /// Number of distinct non-NULL values among the selected rows.
+    pub distinct_count: usize,
+    /// Minimum numeric value (numeric columns only).
+    pub min: Option<f64>,
+    /// Maximum numeric value (numeric columns only).
+    pub max: Option<f64>,
+    /// Mean of the numeric values (numeric columns only).
+    pub mean: Option<f64>,
+    /// Population variance of the numeric values (numeric columns only).
+    pub variance: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Compute statistics for `column` over the rows selected by `sel`.
+    pub fn compute(column: &Column, sel: &Bitmap) -> ColumnStats {
+        let dtype = column.data_type();
+        let mut non_null = 0usize;
+        let mut nulls = 0usize;
+        match column {
+            Column::Int(values) => {
+                let mut distinct: HashSet<i64> = HashSet::new();
+                let mut welford = Welford::new();
+                for idx in sel.iter_ones() {
+                    match values.get(idx) {
+                        Some(Some(x)) => {
+                            non_null += 1;
+                            distinct.insert(*x);
+                            welford.push(*x as f64);
+                        }
+                        Some(None) => nulls += 1,
+                        None => {}
+                    }
+                }
+                ColumnStats {
+                    dtype,
+                    non_null_count: non_null,
+                    null_count: nulls,
+                    distinct_count: distinct.len(),
+                    min: welford.min,
+                    max: welford.max,
+                    mean: welford.mean(),
+                    variance: welford.variance(),
+                }
+            }
+            Column::Float(values) => {
+                let mut distinct: HashSet<u64> = HashSet::new();
+                let mut welford = Welford::new();
+                for idx in sel.iter_ones() {
+                    match values.get(idx) {
+                        Some(Some(x)) => {
+                            non_null += 1;
+                            distinct.insert(x.to_bits());
+                            welford.push(*x);
+                        }
+                        Some(None) => nulls += 1,
+                        None => {}
+                    }
+                }
+                ColumnStats {
+                    dtype,
+                    non_null_count: non_null,
+                    null_count: nulls,
+                    distinct_count: distinct.len(),
+                    min: welford.min,
+                    max: welford.max,
+                    mean: welford.mean(),
+                    variance: welford.variance(),
+                }
+            }
+            Column::Str(d) => {
+                let mut distinct: HashSet<u32> = HashSet::new();
+                for idx in sel.iter_ones() {
+                    if idx >= d.len() {
+                        continue;
+                    }
+                    let code = d.code(idx);
+                    if code == NULL_CODE {
+                        nulls += 1;
+                    } else {
+                        non_null += 1;
+                        distinct.insert(code);
+                    }
+                }
+                ColumnStats {
+                    dtype,
+                    non_null_count: non_null,
+                    null_count: nulls,
+                    distinct_count: distinct.len(),
+                    min: None,
+                    max: None,
+                    mean: None,
+                    variance: None,
+                }
+            }
+            Column::Bool(values) => {
+                let mut seen_true = false;
+                let mut seen_false = false;
+                for idx in sel.iter_ones() {
+                    match values.get(idx) {
+                        Some(Some(true)) => {
+                            non_null += 1;
+                            seen_true = true;
+                        }
+                        Some(Some(false)) => {
+                            non_null += 1;
+                            seen_false = true;
+                        }
+                        Some(None) => nulls += 1,
+                        None => {}
+                    }
+                }
+                ColumnStats {
+                    dtype,
+                    non_null_count: non_null,
+                    null_count: nulls,
+                    distinct_count: usize::from(seen_true) + usize::from(seen_false),
+                    min: None,
+                    max: None,
+                    mean: None,
+                    variance: None,
+                }
+            }
+        }
+    }
+
+    /// Fraction of selected rows that are NULL, in `[0, 1]`.
+    pub fn null_fraction(&self) -> f64 {
+        let total = self.non_null_count + self.null_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / total as f64
+        }
+    }
+
+    /// Ratio of distinct values to non-NULL rows, in `[0, 1]`.
+    ///
+    /// A ratio close to 1 on a categorical column means the column behaves
+    /// like a key / identifier (names, codes); the paper recommends skipping
+    /// such columns when generating candidate maps.
+    pub fn distinct_ratio(&self) -> f64 {
+        if self.non_null_count == 0 {
+            0.0
+        } else {
+            self.distinct_count as f64 / self.non_null_count as f64
+        }
+    }
+
+    /// True if the column looks like an identifier: a string or integer
+    /// column where almost every value is distinct (names, codes, keys).
+    ///
+    /// Float columns are never flagged — continuous measurements legitimately
+    /// have near-unique values and are prime cutting material.
+    pub fn looks_like_identifier(&self) -> bool {
+        self.dtype != DataType::Float && self.non_null_count >= 16 && self.distinct_ratio() > 0.95
+    }
+}
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+struct Welford {
+    count: usize,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Welford {
+    fn new() -> Self {
+        Welford::default()
+    }
+
+    fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.mean)
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.m2 / self.count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DictColumn;
+
+    #[test]
+    fn int_stats() {
+        let col = Column::Int(vec![Some(1), Some(2), Some(3), Some(4), None]);
+        let stats = ColumnStats::compute(&col, &Bitmap::new_full(5));
+        assert_eq!(stats.non_null_count, 4);
+        assert_eq!(stats.null_count, 1);
+        assert_eq!(stats.distinct_count, 4);
+        assert_eq!(stats.min, Some(1.0));
+        assert_eq!(stats.max, Some(4.0));
+        assert!((stats.mean.unwrap() - 2.5).abs() < 1e-12);
+        assert!((stats.variance.unwrap() - 1.25).abs() < 1e-12);
+        assert!((stats.null_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_stats_respect_selection() {
+        let col = Column::Float(vec![Some(10.0), Some(20.0), Some(30.0), Some(40.0)]);
+        let sel = Bitmap::from_indices(4, [0, 3]);
+        let stats = ColumnStats::compute(&col, &sel);
+        assert_eq!(stats.non_null_count, 2);
+        assert_eq!(stats.min, Some(10.0));
+        assert_eq!(stats.max, Some(40.0));
+        assert!((stats.mean.unwrap() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_stats_and_identifier_detection() {
+        let mut d = DictColumn::new();
+        for i in 0..100 {
+            d.push(Some(&format!("user-{i}")));
+        }
+        let col = Column::Str(d);
+        let stats = ColumnStats::compute(&col, &Bitmap::new_full(100));
+        assert_eq!(stats.distinct_count, 100);
+        assert!(stats.looks_like_identifier());
+
+        let mut d2 = DictColumn::new();
+        for i in 0..100 {
+            d2.push(Some(if i % 2 == 0 { "m" } else { "f" }));
+        }
+        let col2 = Column::Str(d2);
+        let stats2 = ColumnStats::compute(&col2, &Bitmap::new_full(100));
+        assert_eq!(stats2.distinct_count, 2);
+        assert!(!stats2.looks_like_identifier());
+    }
+
+    #[test]
+    fn bool_stats() {
+        let col = Column::Bool(vec![Some(true), Some(false), Some(true), None]);
+        let stats = ColumnStats::compute(&col, &Bitmap::new_full(4));
+        assert_eq!(stats.non_null_count, 3);
+        assert_eq!(stats.null_count, 1);
+        assert_eq!(stats.distinct_count, 2);
+        assert_eq!(stats.min, None);
+    }
+
+    #[test]
+    fn empty_selection_yields_zeroes() {
+        let col = Column::Int(vec![Some(1), Some(2)]);
+        let stats = ColumnStats::compute(&col, &Bitmap::new_empty(2));
+        assert_eq!(stats.non_null_count, 0);
+        assert_eq!(stats.distinct_count, 0);
+        assert_eq!(stats.mean, None);
+        assert_eq!(stats.null_fraction(), 0.0);
+        assert_eq!(stats.distinct_ratio(), 0.0);
+    }
+}

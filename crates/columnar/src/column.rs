@@ -1,0 +1,569 @@
+//! Typed columns with null masks and dictionary encoding for strings.
+
+use crate::bitmap::Bitmap;
+use crate::error::{ColumnarError, Result};
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// Sentinel code used for NULL entries in dictionary-encoded columns.
+pub const NULL_CODE: u32 = u32::MAX;
+
+/// A dictionary-encoded categorical column.
+///
+/// Values are stored as `u32` codes into `dict`; NULLs are stored as
+/// [`NULL_CODE`]. The dictionary preserves first-appearance order, which the
+/// query layer uses for the "order in which the user gives them" cutting
+/// heuristic of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictColumn {
+    dict: Vec<String>,
+    codes: Vec<u32>,
+    index: HashMap<String, u32>,
+}
+
+impl DictColumn {
+    /// Create an empty dictionary column.
+    pub fn new() -> Self {
+        DictColumn {
+            dict: Vec::new(),
+            codes: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Append a value, interning it in the dictionary.
+    pub fn push(&mut self, value: Option<&str>) {
+        match value {
+            None => self.codes.push(NULL_CODE),
+            Some(s) => {
+                let code = self.intern(s);
+                self.codes.push(code);
+            }
+        }
+    }
+
+    /// Intern a string, returning its code (without appending a row).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&code) = self.index.get(s) {
+            return code;
+        }
+        let code = self.dict.len() as u32;
+        self.dict.push(s.to_string());
+        self.index.insert(s.to_string(), code);
+        code
+    }
+
+    /// The code stored at `row` ([`NULL_CODE`] for NULL).
+    pub fn code(&self, row: usize) -> u32 {
+        self.codes[row]
+    }
+
+    /// The string at `row`, or `None` for NULL.
+    pub fn get(&self, row: usize) -> Option<&str> {
+        let c = self.codes[row];
+        if c == NULL_CODE {
+            None
+        } else {
+            Some(self.dict[c as usize].as_str())
+        }
+    }
+
+    /// Look up the code of a string, if it is present in the dictionary.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The distinct values in first-appearance order.
+    pub fn dictionary(&self) -> &[String] {
+        &self.dict
+    }
+
+    /// The raw code vector.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The number of distinct non-NULL values.
+    pub fn cardinality(&self) -> usize {
+        self.dict.len()
+    }
+}
+
+impl Default for DictColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A typed column of values with NULL support.
+///
+/// Numeric and boolean columns store `Option<T>` directly; string columns are
+/// dictionary encoded (see [`DictColumn`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integer column.
+    Int(Vec<Option<i64>>),
+    /// 64-bit float column.
+    Float(Vec<Option<f64>>),
+    /// Dictionary-encoded string column.
+    Str(DictColumn),
+    /// Boolean column.
+    Bool(Vec<Option<bool>>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn new_empty(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => Column::Int(Vec::new()),
+            DataType::Float => Column::Float(Vec::new()),
+            DataType::Str => Column::Str(DictColumn::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+        }
+    }
+
+    /// The data type of the column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int(_) => DataType::Int,
+            Column::Float(_) => DataType::Float,
+            Column::Str(_) => DataType::Str,
+            Column::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Str(d) => d.len(),
+            Column::Bool(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a dynamically-typed value.
+    ///
+    /// Returns a type-mismatch error if the value does not match the column
+    /// type (NULL is accepted by every column).
+    pub fn push(&mut self, value: &Value) -> Result<()> {
+        match (self, value) {
+            (Column::Int(v), Value::Int(x)) => v.push(Some(*x)),
+            (Column::Int(v), Value::Null) => v.push(None),
+            (Column::Float(v), Value::Float(x)) => v.push(Some(*x)),
+            (Column::Float(v), Value::Int(x)) => v.push(Some(*x as f64)),
+            (Column::Float(v), Value::Null) => v.push(None),
+            (Column::Str(d), Value::Str(s)) => d.push(Some(s)),
+            (Column::Str(d), Value::Null) => d.push(None),
+            (Column::Bool(v), Value::Bool(b)) => v.push(Some(*b)),
+            (Column::Bool(v), Value::Null) => v.push(None),
+            (col, value) => {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: col.data_type().name().to_string(),
+                    found: value
+                        .data_type()
+                        .map(|t| t.name().to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// The value at `row` as a dynamically-typed [`Value`].
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            Column::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            Column::Str(d) => d
+                .get(row)
+                .map(|s| Value::Str(s.to_string()))
+                .unwrap_or(Value::Null),
+            Column::Bool(v) => v[row].map(Value::Bool).unwrap_or(Value::Null),
+        }
+    }
+
+    /// Checked version of [`Column::value`].
+    pub fn try_value(&self, row: usize) -> Result<Value> {
+        if row >= self.len() {
+            return Err(ColumnarError::RowOutOfBounds {
+                row,
+                len: self.len(),
+            });
+        }
+        Ok(self.value(row))
+    }
+
+    /// True if the value at `row` is NULL.
+    pub fn is_null(&self, row: usize) -> bool {
+        match self {
+            Column::Int(v) => v[row].is_none(),
+            Column::Float(v) => v[row].is_none(),
+            Column::Str(d) => d.get(row).is_none(),
+            Column::Bool(v) => v[row].is_none(),
+        }
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Str(d) => d.codes().iter().filter(|&&c| c == NULL_CODE).count(),
+            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Numeric view of the value at `row` (`None` for NULL or non-numeric).
+    pub fn numeric(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int(v) => v[row].map(|x| x as f64),
+            Column::Float(v) => v[row],
+            _ => None,
+        }
+    }
+
+    /// Access the dictionary column if this is a string column.
+    pub fn as_dict(&self) -> Option<&DictColumn> {
+        match self {
+            Column::Str(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Collect the non-NULL numeric values for the rows selected by `sel`.
+    ///
+    /// Non-numeric columns return an empty vector. This is the main scan kernel
+    /// the `CUT` primitive relies on.
+    pub fn numeric_values_where(&self, sel: &Bitmap) -> Vec<f64> {
+        let mut out = Vec::with_capacity(sel.count().min(self.len()));
+        match self {
+            Column::Int(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        out.push(*x as f64);
+                    }
+                }
+            }
+            Column::Float(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        out.push(*x);
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Select the rows whose numeric value lies in `[lo, hi]` (inclusive),
+    /// restricted to `sel`. NULLs never match. Non-numeric columns return an
+    /// empty selection.
+    pub fn select_range(&self, sel: &Bitmap, lo: f64, hi: f64) -> Bitmap {
+        let mut out = Bitmap::new_empty(sel.len());
+        match self {
+            Column::Int(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        let x = *x as f64;
+                        if x >= lo && x <= hi {
+                            out.set(idx);
+                        }
+                    }
+                }
+            }
+            Column::Float(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        if *x >= lo && *x <= hi {
+                            out.set(idx);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Select the rows whose categorical value is in `values`, restricted to
+    /// `sel`. For boolean columns the values `"true"` / `"false"` are honoured.
+    /// NULLs never match. Numeric columns match on the decimal rendering of the
+    /// value, so set predicates degrade gracefully on integers.
+    pub fn select_in(&self, sel: &Bitmap, values: &[String]) -> Bitmap {
+        let mut out = Bitmap::new_empty(sel.len());
+        match self {
+            Column::Str(d) => {
+                let codes: Vec<u32> = values.iter().filter_map(|v| d.code_of(v)).collect();
+                if codes.is_empty() {
+                    return out;
+                }
+                for idx in sel.iter_ones() {
+                    let c = d.code(idx);
+                    if c != NULL_CODE && codes.contains(&c) {
+                        out.set(idx);
+                    }
+                }
+            }
+            Column::Bool(v) => {
+                let want_true = values.iter().any(|s| s.eq_ignore_ascii_case("true"));
+                let want_false = values.iter().any(|s| s.eq_ignore_ascii_case("false"));
+                for idx in sel.iter_ones() {
+                    match v.get(idx) {
+                        Some(Some(true)) if want_true => out.set(idx),
+                        Some(Some(false)) if want_false => out.set(idx),
+                        _ => {}
+                    }
+                }
+            }
+            Column::Int(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        if values.iter().any(|s| s == &x.to_string()) {
+                            out.set(idx);
+                        }
+                    }
+                }
+            }
+            Column::Float(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        if values.iter().any(|s| s == &x.to_string()) {
+                            out.set(idx);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The distinct categorical values of the rows selected by `sel`, ordered
+    /// by decreasing frequency (ties broken by first appearance).
+    ///
+    /// Numeric columns return an empty vector.
+    pub fn categories_by_frequency(&self, sel: &Bitmap) -> Vec<(String, usize)> {
+        match self {
+            Column::Str(d) => {
+                let mut counts: Vec<usize> = vec![0; d.cardinality()];
+                for idx in sel.iter_ones() {
+                    let c = d.code(idx);
+                    if c != NULL_CODE {
+                        counts[c as usize] += 1;
+                    }
+                }
+                let mut pairs: Vec<(String, usize)> = counts
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, n)| n > 0)
+                    .map(|(code, n)| (d.dictionary()[code].clone(), n))
+                    .collect();
+                pairs.sort_by(|a, b| b.1.cmp(&a.1));
+                pairs
+            }
+            Column::Bool(v) => {
+                let mut t = 0usize;
+                let mut f = 0usize;
+                for idx in sel.iter_ones() {
+                    match v.get(idx) {
+                        Some(Some(true)) => t += 1,
+                        Some(Some(false)) => f += 1,
+                        _ => {}
+                    }
+                }
+                let mut pairs = Vec::new();
+                if t > 0 {
+                    pairs.push(("true".to_string(), t));
+                }
+                if f > 0 {
+                    pairs.push(("false".to_string(), f));
+                }
+                pairs.sort_by(|a, b| b.1.cmp(&a.1));
+                pairs
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Minimum and maximum of the non-NULL numeric values selected by `sel`.
+    pub fn numeric_min_max(&self, sel: &Bitmap) -> Option<(f64, f64)> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut seen = false;
+        match self {
+            Column::Int(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        let x = *x as f64;
+                        min = min.min(x);
+                        max = max.max(x);
+                        seen = true;
+                    }
+                }
+            }
+            Column::Float(v) => {
+                for idx in sel.iter_ones() {
+                    if let Some(Some(x)) = v.get(idx) {
+                        min = min.min(*x);
+                        max = max.max(*x);
+                        seen = true;
+                    }
+                }
+            }
+            _ => return None,
+        }
+        if seen {
+            Some((min, max))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(values: &[Option<i64>]) -> Column {
+        Column::Int(values.to_vec())
+    }
+
+    #[test]
+    fn dict_column_interning() {
+        let mut d = DictColumn::new();
+        d.push(Some("a"));
+        d.push(Some("b"));
+        d.push(Some("a"));
+        d.push(None);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.cardinality(), 2);
+        assert_eq!(d.get(0), Some("a"));
+        assert_eq!(d.get(2), Some("a"));
+        assert_eq!(d.get(3), None);
+        assert_eq!(d.code(0), d.code(2));
+        assert_eq!(d.code_of("b"), Some(1));
+        assert_eq!(d.code_of("zzz"), None);
+        assert_eq!(d.dictionary(), &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn push_and_value_round_trip() {
+        let mut col = Column::new_empty(DataType::Int);
+        col.push(&Value::Int(1)).unwrap();
+        col.push(&Value::Null).unwrap();
+        assert_eq!(col.value(0), Value::Int(1));
+        assert_eq!(col.value(1), Value::Null);
+        assert!(col.is_null(1));
+        assert_eq!(col.null_count(), 1);
+        assert_eq!(col.len(), 2);
+
+        let mut s = Column::new_empty(DataType::Str);
+        s.push(&Value::Str("x".into())).unwrap();
+        assert_eq!(s.value(0), Value::Str("x".into()));
+        assert!(s.as_dict().is_some());
+
+        // Int into Float column is widened.
+        let mut f = Column::new_empty(DataType::Float);
+        f.push(&Value::Int(2)).unwrap();
+        assert_eq!(f.value(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn push_type_mismatch_errors() {
+        let mut col = Column::new_empty(DataType::Int);
+        let err = col.push(&Value::Str("x".into())).unwrap_err();
+        assert!(matches!(err, ColumnarError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn try_value_bounds() {
+        let col = int_col(&[Some(1)]);
+        assert!(col.try_value(0).is_ok());
+        assert!(matches!(
+            col.try_value(5),
+            Err(ColumnarError::RowOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn numeric_scan_kernels() {
+        let col = int_col(&[Some(10), Some(20), None, Some(30), Some(40)]);
+        let all = Bitmap::new_full(5);
+        assert_eq!(col.numeric_values_where(&all), vec![10.0, 20.0, 30.0, 40.0]);
+        let sel = Bitmap::from_indices(5, [0, 2, 3]);
+        assert_eq!(col.numeric_values_where(&sel), vec![10.0, 30.0]);
+        let hit = col.select_range(&all, 15.0, 35.0);
+        assert_eq!(hit.to_indices(), vec![1, 3]);
+        assert_eq!(col.numeric_min_max(&all), Some((10.0, 40.0)));
+        assert_eq!(col.numeric_min_max(&Bitmap::new_empty(5)), None);
+    }
+
+    #[test]
+    fn select_in_on_strings_bools_and_ints() {
+        let mut d = DictColumn::new();
+        for s in ["bsc", "msc", "bsc", "phd"] {
+            d.push(Some(s));
+        }
+        let col = Column::Str(d);
+        let all = Bitmap::new_full(4);
+        let hit = col.select_in(&all, &["bsc".to_string(), "phd".to_string()]);
+        assert_eq!(hit.to_indices(), vec![0, 2, 3]);
+        let none = col.select_in(&all, &["unknown".to_string()]);
+        assert!(none.is_all_clear());
+
+        let b = Column::Bool(vec![Some(true), Some(false), None, Some(true)]);
+        let allb = Bitmap::new_full(4);
+        let hit = b.select_in(&allb, &["true".to_string()]);
+        assert_eq!(hit.to_indices(), vec![0, 3]);
+
+        let i = int_col(&[Some(1), Some(2), Some(3)]);
+        let alli = Bitmap::new_full(3);
+        let hit = i.select_in(&alli, &["2".to_string()]);
+        assert_eq!(hit.to_indices(), vec![1]);
+    }
+
+    #[test]
+    fn categories_by_frequency_orders_desc() {
+        let mut d = DictColumn::new();
+        for s in ["a", "b", "b", "c", "b", "a"] {
+            d.push(Some(s));
+        }
+        let col = Column::Str(d);
+        let all = Bitmap::new_full(col.len());
+        let freq = col.categories_by_frequency(&all);
+        assert_eq!(freq[0], ("b".to_string(), 3));
+        assert_eq!(freq[1], ("a".to_string(), 2));
+        assert_eq!(freq[2], ("c".to_string(), 1));
+        // numeric columns: empty
+        assert!(int_col(&[Some(1)])
+            .categories_by_frequency(&Bitmap::new_full(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn select_range_on_restricted_selection() {
+        let col = Column::Float(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        let sel = Bitmap::from_indices(4, [1, 2]);
+        let hit = col.select_range(&sel, 0.0, 10.0);
+        assert_eq!(hit.to_indices(), vec![1, 2]);
+    }
+}

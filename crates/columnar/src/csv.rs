@@ -1,0 +1,382 @@
+//! Minimal CSV ingestion and export.
+//!
+//! The reader supports a header line, quoted fields (RFC-4180 style double
+//! quotes with `""` escapes), type inference over a configurable prefix of the
+//! file, and explicit schemas. It exists so the examples can load real files;
+//! the generators in `atlas-datagen` construct tables directly.
+
+use crate::builder::TableBuilder;
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first line is a header (default `true`).
+    pub has_header: bool,
+    /// How many data lines to examine for type inference (default 256).
+    pub inference_rows: usize,
+    /// Strings treated as NULL (default: empty string, `NULL`, `null`, `NA`).
+    pub null_markers: Vec<String>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+            inference_rows: 256,
+            null_markers: vec![
+                String::new(),
+                "NULL".to_string(),
+                "null".to_string(),
+                "NA".to_string(),
+            ],
+        }
+    }
+}
+
+/// Split one CSV line into fields, honouring double quotes.
+fn split_line(line: &str, delimiter: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    current.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current.push(c);
+            }
+        } else if c == '"' {
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut current));
+        } else {
+            current.push(c);
+        }
+    }
+    fields.push(current);
+    fields
+}
+
+fn parse_field(raw: &str, dtype: DataType, opts: &CsvOptions) -> Option<Value> {
+    let trimmed = raw.trim();
+    if opts.null_markers.iter().any(|m| m == trimmed) {
+        return Some(Value::Null);
+    }
+    match dtype {
+        DataType::Int => trimmed.parse::<i64>().ok().map(Value::Int),
+        DataType::Float => trimmed.parse::<f64>().ok().map(Value::Float),
+        DataType::Bool => match trimmed.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" | "yes" => Some(Value::Bool(true)),
+            "false" | "f" | "0" | "no" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        DataType::Str => Some(Value::Str(trimmed.to_string())),
+    }
+}
+
+fn infer_type(samples: &[&str], opts: &CsvOptions) -> DataType {
+    let mut all_int = true;
+    let mut all_float = true;
+    let mut all_bool = true;
+    let mut any_value = false;
+    for raw in samples {
+        let trimmed = raw.trim();
+        if opts.null_markers.iter().any(|m| m == trimmed) {
+            continue;
+        }
+        any_value = true;
+        if trimmed.parse::<i64>().is_err() {
+            all_int = false;
+        }
+        if trimmed.parse::<f64>().is_err() {
+            all_float = false;
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        if !matches!(lower.as_str(), "true" | "false" | "t" | "f" | "yes" | "no") {
+            all_bool = false;
+        }
+    }
+    if !any_value {
+        return DataType::Str;
+    }
+    if all_int {
+        DataType::Int
+    } else if all_float {
+        DataType::Float
+    } else if all_bool {
+        DataType::Bool
+    } else {
+        DataType::Str
+    }
+}
+
+/// Read a table from any reader producing CSV text.
+pub fn read_csv<R: Read>(
+    name: &str,
+    reader: R,
+    schema: Option<Schema>,
+    opts: &CsvOptions,
+) -> Result<Table> {
+    let buf = BufReader::new(reader);
+    let mut lines = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            lines.push(line);
+        }
+    }
+    read_csv_lines(name, &lines, schema, opts)
+}
+
+/// Read a table from a CSV file on disk.
+pub fn read_csv_path<P: AsRef<Path>>(
+    name: &str,
+    path: P,
+    schema: Option<Schema>,
+    opts: &CsvOptions,
+) -> Result<Table> {
+    let file = std::fs::File::open(path)?;
+    read_csv(name, file, schema, opts)
+}
+
+/// Parse a CSV given as a string (used heavily in tests and examples).
+pub fn read_csv_str(name: &str, text: &str, schema: Option<Schema>, opts: &CsvOptions) -> Result<Table> {
+    let lines: Vec<String> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.to_string())
+        .collect();
+    read_csv_lines(name, &lines, schema, opts)
+}
+
+fn read_csv_lines(
+    name: &str,
+    lines: &[String],
+    schema: Option<Schema>,
+    opts: &CsvOptions,
+) -> Result<Table> {
+    if lines.is_empty() {
+        return Err(ColumnarError::Csv {
+            line: 0,
+            message: "empty input".to_string(),
+        });
+    }
+    let (header, data_lines): (Vec<String>, &[String]) = if opts.has_header {
+        (
+            split_line(&lines[0], opts.delimiter)
+                .into_iter()
+                .map(|h| h.trim().to_string())
+                .collect(),
+            &lines[1..],
+        )
+    } else {
+        let ncols = split_line(&lines[0], opts.delimiter).len();
+        ((0..ncols).map(|i| format!("col{i}")).collect(), lines)
+    };
+
+    let schema = match schema {
+        Some(s) => {
+            if s.len() != header.len() {
+                return Err(ColumnarError::LengthMismatch {
+                    expected: s.len(),
+                    found: header.len(),
+                });
+            }
+            s
+        }
+        None => {
+            // Infer types from a prefix of the data.
+            let sample_count = data_lines.len().min(opts.inference_rows);
+            let mut columns_samples: Vec<Vec<String>> = vec![Vec::new(); header.len()];
+            for line in &data_lines[..sample_count] {
+                let fields = split_line(line, opts.delimiter);
+                for (i, f) in fields.iter().enumerate().take(header.len()) {
+                    columns_samples[i].push(f.clone());
+                }
+            }
+            let fields: Vec<Field> = header
+                .iter()
+                .zip(columns_samples.iter())
+                .map(|(name, samples)| {
+                    let refs: Vec<&str> = samples.iter().map(|s| s.as_str()).collect();
+                    Field::nullable(name.clone(), infer_type(&refs, opts))
+                })
+                .collect();
+            Schema::new(fields)?
+        }
+    };
+
+    let mut builder = TableBuilder::new(name, schema.clone());
+    for (line_no, line) in data_lines.iter().enumerate() {
+        let fields = split_line(line, opts.delimiter);
+        if fields.len() != schema.len() {
+            return Err(ColumnarError::Csv {
+                line: line_no + if opts.has_header { 2 } else { 1 },
+                message: format!(
+                    "expected {} fields, found {}",
+                    schema.len(),
+                    fields.len()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (raw, field) in fields.iter().zip(schema.fields().iter()) {
+            match parse_field(raw, field.dtype, opts) {
+                Some(v) => row.push(v),
+                None => {
+                    return Err(ColumnarError::Csv {
+                        line: line_no + if opts.has_header { 2 } else { 1 },
+                        message: format!(
+                            "cannot parse '{raw}' as {} for column {}",
+                            field.dtype, field.name
+                        ),
+                    })
+                }
+            }
+        }
+        builder.push_row(&row)?;
+    }
+    builder.build()
+}
+
+/// Write a table as CSV (header + rows) to any writer.
+pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
+    let names = table.schema().names();
+    writeln!(writer, "{}", names.join(","))?;
+    for row in 0..table.num_rows() {
+        let mut fields = Vec::with_capacity(names.len());
+        for col in table.columns() {
+            let v = col.value(row);
+            let s = match v {
+                Value::Null => String::new(),
+                Value::Str(s) => {
+                    if s.contains(',') || s.contains('"') {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    } else {
+                        s
+                    }
+                }
+                Value::Int(i) => i.to_string(),
+                Value::Float(f) => f.to_string(),
+                Value::Bool(b) => b.to_string(),
+            };
+            fields.push(s);
+        }
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "age,sex,salary,score\n25,M,>50k,1.5\n40,F,<50k,2.5\n33,F,,3.0\n";
+
+    #[test]
+    fn split_line_handles_quotes() {
+        assert_eq!(split_line("a,b,c", ','), vec!["a", "b", "c"]);
+        assert_eq!(
+            split_line("a,\"b,c\",d", ','),
+            vec!["a", "b,c", "d"]
+        );
+        assert_eq!(split_line("\"say \"\"hi\"\"\",x", ','), vec!["say \"hi\"", "x"]);
+        assert_eq!(split_line("a,,c", ','), vec!["a", "", "c"]);
+    }
+
+    #[test]
+    fn inference_and_parsing() {
+        let t = read_csv_str("survey", SAMPLE, None, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.schema().field("age").unwrap().dtype, DataType::Int);
+        assert_eq!(t.schema().field("sex").unwrap().dtype, DataType::Str);
+        assert_eq!(t.schema().field("score").unwrap().dtype, DataType::Float);
+        assert_eq!(t.value(0, "age").unwrap(), Value::Int(25));
+        assert_eq!(t.value(2, "salary").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn explicit_schema_overrides_inference() {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Float),
+            Field::new("sex", DataType::Str),
+            Field::nullable("salary", DataType::Str),
+            Field::new("score", DataType::Float),
+        ])
+        .unwrap();
+        let t = read_csv_str("survey", SAMPLE, Some(schema), &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field("age").unwrap().dtype, DataType::Float);
+        assert_eq!(t.value(0, "age").unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let bad = "a,b\n1,2\n3\n";
+        let err = read_csv_str("t", bad, None, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, ColumnarError::Csv { line: 3, .. }));
+    }
+
+    #[test]
+    fn unparseable_field_is_rejected_with_line_number() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let bad = "x\n1\nnot-a-number\n";
+        let err = read_csv_str("t", bad, Some(schema), &CsvOptions::default()).unwrap_err();
+        match err {
+            ColumnarError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("not-a-number"));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn headerless_input_gets_generated_names() {
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", "1,a\n2,b\n", None, &opts).unwrap();
+        assert_eq!(t.schema().names(), vec!["col0", "col1"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn bool_inference() {
+        let t = read_csv_str("t", "flag\ntrue\nfalse\nyes\n", None, &CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().field("flag").unwrap().dtype, DataType::Bool);
+        assert_eq!(t.value(2, "flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn round_trip_write_read() {
+        let t = read_csv_str("survey", SAMPLE, None, &CsvOptions::default()).unwrap();
+        let mut out = Vec::new();
+        write_csv(&t, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let t2 = read_csv_str("survey2", &text, None, &CsvOptions::default()).unwrap();
+        assert_eq!(t2.num_rows(), t.num_rows());
+        assert_eq!(t2.value(1, "sex").unwrap(), Value::Str("F".into()));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let err = read_csv_str("t", "", None, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, ColumnarError::Csv { .. }));
+    }
+}

@@ -1,0 +1,272 @@
+//! Equi-join materialisation.
+//!
+//! Section 5.2 of the paper ("Real life databases"): "the logical layout of
+//! the data is more complex than one large table: we have to consider multiple
+//! tables with foreign key relationships. The naive way to deal with this
+//! would be to materialize the join into one large temporary table."
+//!
+//! Atlas explores a single working set, so that is exactly the integration
+//! point this module provides: a hash-based inner equi-join that materialises
+//! the denormalised table Atlas then maps. Column name clashes are resolved by
+//! prefixing the right-hand columns with the right table's name.
+
+use crate::builder::TableBuilder;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A join key value, normalised so that `Int(3)` in one table matches
+/// `Int(3)` in the other. Only integer and string keys are supported — these
+/// are what foreign keys look like; joining on floats is refused.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+fn join_key(value: &Value) -> Option<JoinKey> {
+    match value {
+        Value::Int(v) => Some(JoinKey::Int(*v)),
+        Value::Str(s) => Some(JoinKey::Str(s.clone())),
+        Value::Bool(b) => Some(JoinKey::Bool(*b)),
+        Value::Null | Value::Float(_) => None,
+    }
+}
+
+/// Materialise the inner equi-join `left ⋈ right ON left.left_key = right.right_key`.
+///
+/// * NULL keys never match (standard SQL semantics).
+/// * Float keys are rejected with a type-mismatch error.
+/// * The result contains every column of `left` followed by every column of
+///   `right` except the join key; columns of `right` whose name clashes with a
+///   column of `left` are renamed to `<right_table>_<column>`.
+pub fn hash_join(
+    name: impl Into<String>,
+    left: &Table,
+    left_key: &str,
+    right: &Table,
+    right_key: &str,
+) -> Result<Table> {
+    let left_key_column = left.column(left_key)?;
+    let right_key_column = right.column(right_key)?;
+    for (key_name, column) in [(left_key, left_key_column), (right_key, right_key_column)] {
+        if matches!(column, Column::Float(_)) {
+            return Err(ColumnarError::TypeMismatch {
+                expected: "int, str or bool join key".to_string(),
+                found: format!("float key column '{key_name}'"),
+            });
+        }
+    }
+
+    // Output schema: all left fields, then right fields minus the key,
+    // renamed on clash.
+    let mut fields: Vec<Field> = left.schema().fields().to_vec();
+    let mut right_output: Vec<(usize, String)> = Vec::new();
+    for (idx, field) in right.schema().fields().iter().enumerate() {
+        if field.name == right_key {
+            continue;
+        }
+        let output_name = if left.schema().contains(&field.name) {
+            format!("{}_{}", right.name(), field.name)
+        } else {
+            field.name.clone()
+        };
+        fields.push(Field {
+            name: output_name.clone(),
+            dtype: field.dtype,
+            nullable: field.nullable,
+        });
+        right_output.push((idx, output_name));
+    }
+    let schema = Schema::new(fields)?;
+    let mut builder = TableBuilder::new(name, schema);
+
+    // Build phase: hash the smaller side? For clarity hash the right side
+    // (dimension tables are the natural right side of a star join).
+    let mut index: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+    for row in 0..right.num_rows() {
+        if let Some(key) = join_key(&right_key_column.value(row)) {
+            index.entry(key).or_default().push(row);
+        }
+    }
+
+    // Probe phase.
+    for left_row in 0..left.num_rows() {
+        let Some(key) = join_key(&left_key_column.value(left_row)) else {
+            continue;
+        };
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
+        for &right_row in matches {
+            let mut row: Vec<Value> = Vec::with_capacity(builder.schema().len());
+            for column in left.columns() {
+                row.push(column.value(left_row));
+            }
+            for (right_idx, _) in &right_output {
+                row.push(
+                    right
+                        .column_at(*right_idx)
+                        .expect("index from the right schema")
+                        .value(right_row),
+                );
+            }
+            builder.push_row(&row)?;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn orders() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("order_id", DataType::Int),
+            Field::new("customer_id", DataType::Int),
+            Field::new("amount", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("orders", schema);
+        let rows = [
+            (1i64, 10i64, 100.0),
+            (2, 10, 250.0),
+            (3, 20, 50.0),
+            (4, 30, 75.0),
+            (5, 99, 10.0), // dangling foreign key
+        ];
+        for (o, c, a) in rows {
+            b.push_row(&[Value::Int(o), Value::Int(c), Value::Float(a)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn customers() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("customer_id", DataType::Int),
+            Field::new("segment", DataType::Str),
+            Field::new("amount", DataType::Int), // clashes with orders.amount
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("customers", schema);
+        for (c, s, a) in [(10i64, "retail", 1i64), (20, "corporate", 2), (30, "retail", 3)] {
+            b.push_row(&[Value::Int(c), Value::Str(s.into()), Value::Int(a)])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_foreign_keys() {
+        let joined = hash_join("orders_c", &orders(), "customer_id", &customers(), "customer_id")
+            .unwrap();
+        // Order 5 references a missing customer, so 4 rows survive.
+        assert_eq!(joined.num_rows(), 4);
+        // Columns: order_id, customer_id, amount, segment, customers_amount.
+        assert_eq!(joined.num_columns(), 5);
+        assert!(joined.schema().contains("segment"));
+        assert!(joined.schema().contains("customers_amount"));
+        assert_eq!(
+            joined.value(0, "segment").unwrap(),
+            Value::Str("retail".into())
+        );
+        // The join key from the right side is not duplicated.
+        assert_eq!(
+            joined
+                .schema()
+                .names()
+                .iter()
+                .filter(|n| **n == "customer_id")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn one_to_many_join_duplicates_dimension_rows() {
+        // Join the other way around: each customer matches all their orders.
+        let joined =
+            hash_join("c_orders", &customers(), "customer_id", &orders(), "customer_id").unwrap();
+        assert_eq!(joined.num_rows(), 4);
+        // customer 10 appears twice (two orders).
+        let all = joined.full_selection();
+        let c10 = joined
+            .column("customer_id")
+            .unwrap()
+            .select_in(&all, &["10".to_string()]);
+        assert_eq!(c10.count(), 2);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let schema = Schema::new(vec![
+            Field::nullable("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("left", schema.clone());
+        b.push_row(&[Value::Null, Value::Int(1)]).unwrap();
+        b.push_row(&[Value::Int(7), Value::Int(2)]).unwrap();
+        let left = b.build().unwrap();
+        let mut b = TableBuilder::new("right", schema);
+        b.push_row(&[Value::Null, Value::Int(3)]).unwrap();
+        b.push_row(&[Value::Int(7), Value::Int(4)]).unwrap();
+        let right = b.build().unwrap();
+        let joined = hash_join("j", &left, "k", &right, "k").unwrap();
+        assert_eq!(joined.num_rows(), 1);
+        assert_eq!(joined.value(0, "v").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let schema = Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("x", DataType::Int),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("l", schema.clone());
+        b.push_row(&[Value::Str("a".into()), Value::Int(1)]).unwrap();
+        b.push_row(&[Value::Str("b".into()), Value::Int(2)]).unwrap();
+        let left = b.build().unwrap();
+        let schema_r = Schema::new(vec![
+            Field::new("code", DataType::Str),
+            Field::new("label", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("r", schema_r);
+        b.push_row(&[Value::Str("b".into()), Value::Str("beta".into())])
+            .unwrap();
+        let right = b.build().unwrap();
+        let joined = hash_join("j", &left, "code", &right, "code").unwrap();
+        assert_eq!(joined.num_rows(), 1);
+        assert_eq!(joined.value(0, "label").unwrap(), Value::Str("beta".into()));
+    }
+
+    #[test]
+    fn float_keys_and_unknown_columns_are_rejected() {
+        let o = orders();
+        let c = customers();
+        assert!(matches!(
+            hash_join("j", &o, "amount", &c, "customer_id"),
+            Err(ColumnarError::TypeMismatch { .. })
+        ));
+        assert!(hash_join("j", &o, "nope", &c, "customer_id").is_err());
+        assert!(hash_join("j", &o, "customer_id", &c, "nope").is_err());
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_output() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]).unwrap();
+        let left = TableBuilder::new("l", schema.clone()).build().unwrap();
+        let right = TableBuilder::new("r", schema).build().unwrap();
+        let joined = hash_join("j", &left, "k", &right, "k").unwrap();
+        assert_eq!(joined.num_rows(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # atlas-columnar
+//!
+//! A small, self-contained, in-memory columnar storage engine. It plays the role
+//! that MonetDB plays in the original Atlas prototype ("Fast Cartography for Data
+//! Explorers", Sellam & Kersten, VLDB 2013): it stores relations column-wise,
+//! answers per-attribute scans restricted by a selection, counts covers, and
+//! exposes per-column statistics.
+//!
+//! The engine is deliberately single-node and single-threaded: Atlas targets a
+//! single interactive exploration session, and everything it asks of the DBMS is
+//! a sequence of column scans over the (already filtered) working set.
+//!
+//! ## Key types
+//!
+//! * [`Value`] / [`DataType`] — the scalar type system (64-bit integers, 64-bit
+//!   floats, dictionary-encoded strings, booleans).
+//! * [`Column`] — a typed column with a null mask; string columns are
+//!   dictionary-encoded ([`column::DictColumn`]).
+//! * [`Bitmap`] — a packed selection vector used to represent query results and
+//!   region extents.
+//! * [`Schema`] / [`Field`] — relation schemas.
+//! * [`Table`] — an immutable relation (schema + columns), built through a
+//!   [`TableBuilder`] or loaded from CSV.
+//! * [`Catalog`] — a named collection of tables.
+//! * [`ColumnStats`] — per-column summary statistics (min/max, nulls, distinct
+//!   count estimate, mean/variance for numeric columns).
+
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod builder;
+pub mod catalog;
+pub mod colstats;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod join;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use bitmap::Bitmap;
+pub use builder::TableBuilder;
+pub use catalog::Catalog;
+pub use colstats::ColumnStats;
+pub use column::Column;
+pub use error::{ColumnarError, Result};
+pub use join::hash_join;
+pub use schema::{Field, Schema};
+pub use table::Table;
+pub use value::{DataType, Value};

@@ -1,0 +1,260 @@
+//! Immutable in-memory relations.
+
+use crate::bitmap::Bitmap;
+use crate::colstats::ColumnStats;
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable relation: a schema plus one [`Column`] per field.
+///
+/// Tables are cheap to share (`Arc<Table>`); Atlas keeps the working set of an
+/// exploration session as a single table plus selection bitmaps, never copying
+/// rows.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Assemble a table from a schema and matching columns.
+    ///
+    /// All columns must have the same length and their types must match the
+    /// schema.
+    pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Self> {
+        if schema.len() != columns.len() {
+            return Err(ColumnarError::LengthMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (field, column) in schema.fields().iter().zip(columns.iter()) {
+            if column.len() != num_rows {
+                return Err(ColumnarError::LengthMismatch {
+                    expected: num_rows,
+                    found: column.len(),
+                });
+            }
+            if column.data_type() != field.dtype {
+                return Err(ColumnarError::TypeMismatch {
+                    expected: field.dtype.name().to_string(),
+                    found: column.data_type().name().to_string(),
+                });
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            num_rows,
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// The column with the given name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// The column at the given index, if any.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// All columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The value at (`row`, `column_name`).
+    pub fn value(&self, row: usize, column_name: &str) -> Result<Value> {
+        if row >= self.num_rows {
+            return Err(ColumnarError::RowOutOfBounds {
+                row,
+                len: self.num_rows,
+            });
+        }
+        Ok(self.column(column_name)?.value(row))
+    }
+
+    /// A full selection over this table (all rows).
+    pub fn full_selection(&self) -> Bitmap {
+        Bitmap::new_full(self.num_rows)
+    }
+
+    /// An empty selection over this table (no rows).
+    pub fn empty_selection(&self) -> Bitmap {
+        Bitmap::new_empty(self.num_rows)
+    }
+
+    /// Compute summary statistics for the named column over the selected rows.
+    pub fn column_stats(&self, name: &str, sel: &Bitmap) -> Result<ColumnStats> {
+        let column = self.column(name)?;
+        Ok(ColumnStats::compute(column, sel))
+    }
+
+    /// Materialise a row as a vector of values (mostly for display / tests).
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.num_rows {
+            return Err(ColumnarError::RowOutOfBounds {
+                row,
+                len: self.num_rows,
+            });
+        }
+        Ok(self.columns.iter().map(|c| c.value(row)).collect())
+    }
+
+    /// Build a new, smaller table containing only the selected rows.
+    ///
+    /// Atlas itself never needs this (it works with selections), but the
+    /// explorer uses it to export a region, and the anytime engine uses it to
+    /// materialise samples.
+    pub fn materialize(&self, name: impl Into<String>, sel: &Bitmap) -> Result<Table> {
+        let mut new_columns: Vec<Column> = self
+            .columns
+            .iter()
+            .map(|c| Column::new_empty(c.data_type()))
+            .collect();
+        for idx in sel.iter_ones() {
+            if idx >= self.num_rows {
+                break;
+            }
+            for (src, dst) in self.columns.iter().zip(new_columns.iter_mut()) {
+                dst.push(&src.value(idx))?;
+            }
+        }
+        Table::new(name, self.schema.clone(), new_columns)
+    }
+
+    /// Wrap the table in an `Arc` for sharing.
+    pub fn into_shared(self) -> Arc<Table> {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{} [{} rows]",
+            self.name,
+            self.schema,
+            self.num_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DictColumn;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("name", DataType::Str),
+        ])
+        .unwrap();
+        let ages = Column::Int(vec![Some(20), Some(35), None, Some(50)]);
+        let mut d = DictColumn::new();
+        for n in ["ann", "bob", "cid", "dee"] {
+            d.push(Some(n));
+        }
+        Table::new("people", schema, vec![ages, Column::Str(d)]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let t = sample_table();
+        assert_eq!(t.name(), "people");
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.value(0, "age").unwrap(), Value::Int(20));
+        assert_eq!(t.value(2, "age").unwrap(), Value::Null);
+        assert_eq!(t.value(1, "name").unwrap(), Value::Str("bob".into()));
+        assert!(t.value(9, "age").is_err());
+        assert!(t.column("salary").is_err());
+        assert_eq!(t.row(0).unwrap().len(), 2);
+        assert!(t.row(10).is_err());
+        assert!(t.column_at(0).is_some());
+        assert!(t.column_at(5).is_none());
+        assert_eq!(t.to_string(), "people(age int, name str) [4 rows]");
+    }
+
+    #[test]
+    fn construction_rejects_mismatches() {
+        let schema = Schema::new(vec![Field::new("age", DataType::Int)]).unwrap();
+        // wrong number of columns
+        assert!(Table::new("t", schema.clone(), vec![]).is_err());
+        // wrong type
+        let wrong = Column::Float(vec![Some(1.0)]);
+        assert!(Table::new("t", schema.clone(), vec![wrong]).is_err());
+        // mismatched lengths
+        let schema2 = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let c1 = Column::Int(vec![Some(1), Some(2)]);
+        let c2 = Column::Int(vec![Some(1)]);
+        assert!(matches!(
+            Table::new("t", schema2, vec![c1, c2]),
+            Err(ColumnarError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn selections_and_materialize() {
+        let t = sample_table();
+        assert_eq!(t.full_selection().count(), 4);
+        assert_eq!(t.empty_selection().count(), 0);
+        let sel = Bitmap::from_indices(4, [1, 3]);
+        let sub = t.materialize("subset", &sel).unwrap();
+        assert_eq!(sub.num_rows(), 2);
+        assert_eq!(sub.value(0, "age").unwrap(), Value::Int(35));
+        assert_eq!(sub.value(1, "name").unwrap(), Value::Str("dee".into()));
+    }
+
+    #[test]
+    fn column_stats_smoke() {
+        let t = sample_table();
+        let stats = t.column_stats("age", &t.full_selection()).unwrap();
+        assert_eq!(stats.non_null_count, 3);
+        assert_eq!(stats.null_count, 1);
+    }
+}

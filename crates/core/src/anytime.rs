@@ -1,0 +1,314 @@
+//! The anytime / sampling variant of the engine (Section 5.1 of the paper).
+//!
+//! "The ideal algorithm would be an anytime variation of our framework: the
+//! quality of the results would improve as computation time increases. It
+//! would continually take small samples of the data and update a set of
+//! approximate results. This way, the user would have instant results and the
+//! system could interrupt the exploration after a timeout."
+//!
+//! [`AnytimeAtlas::run`] implements exactly that loop: starting from a small
+//! uniform sample of the working set, it repeatedly doubles the sample,
+//! re-runs the pipeline, and records each intermediate result, until either
+//! the time budget is exhausted or the sample covers the whole working set.
+
+use crate::config::AtlasConfig;
+use crate::engine::{Atlas, MapResult};
+use crate::error::Result;
+use atlas_columnar::{Bitmap, Table};
+use atlas_query::ConjunctiveQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the anytime loop.
+#[derive(Debug, Clone)]
+pub struct AnytimeConfig {
+    /// The pipeline configuration used on every sample.
+    pub atlas: AtlasConfig,
+    /// Size of the first sample (rows).
+    pub initial_sample: usize,
+    /// Multiplicative growth factor between iterations (must be > 1).
+    pub growth_factor: f64,
+    /// Wall-clock budget; the loop stops before starting an iteration once
+    /// the budget is exceeded.
+    pub budget: Duration,
+    /// RNG seed for the sampling.
+    pub seed: u64,
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> Self {
+        AnytimeConfig {
+            atlas: AtlasConfig::default(),
+            initial_sample: 512,
+            growth_factor: 2.0,
+            budget: Duration::from_millis(500),
+            seed: 42,
+        }
+    }
+}
+
+/// One iteration of the anytime loop.
+#[derive(Debug, Clone)]
+pub struct AnytimeIteration {
+    /// Number of sampled rows this iteration ran on.
+    pub sample_size: usize,
+    /// Wall-clock time elapsed since the start of the loop when this
+    /// iteration finished.
+    pub elapsed: Duration,
+    /// The (approximate) result computed from the sample.
+    pub result: MapResult,
+}
+
+/// The outcome of an anytime run.
+#[derive(Debug, Clone)]
+pub struct AnytimeResult {
+    /// All iterations, in order of increasing sample size.
+    pub iterations: Vec<AnytimeIteration>,
+    /// True if the final iteration ran on the full working set (the result is
+    /// then exact, not approximate).
+    pub reached_full_data: bool,
+    /// Size of the full working set.
+    pub working_set_size: usize,
+}
+
+impl AnytimeResult {
+    /// The most refined result available.
+    pub fn best(&self) -> Option<&AnytimeIteration> {
+        self.iterations.last()
+    }
+}
+
+/// The anytime engine.
+#[derive(Debug, Clone)]
+pub struct AnytimeAtlas {
+    table: Arc<Table>,
+    config: AnytimeConfig,
+}
+
+impl AnytimeAtlas {
+    /// Create an anytime engine over a shared table.
+    pub fn new(table: Arc<Table>, config: AnytimeConfig) -> Result<Self> {
+        config.atlas.validate()?;
+        if config.growth_factor <= 1.0 {
+            return Err(crate::error::AtlasError::InvalidConfig(
+                "growth_factor must be greater than 1".to_string(),
+            ));
+        }
+        if config.initial_sample == 0 {
+            return Err(crate::error::AtlasError::InvalidConfig(
+                "initial_sample must be at least 1".to_string(),
+            ));
+        }
+        Ok(AnytimeAtlas { table, config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnytimeConfig {
+        &self.config
+    }
+
+    /// Run the anytime loop for a user query.
+    pub fn run(&self, user_query: &ConjunctiveQuery) -> Result<AnytimeResult> {
+        let start = Instant::now();
+        let working = atlas_query::evaluate(user_query, &self.table)?;
+        let working_size = working.count();
+        if working_size == 0 {
+            return Err(crate::error::AtlasError::EmptyWorkingSet);
+        }
+        let working_rows: Vec<usize> = working.to_indices();
+        let atlas = Atlas::new(Arc::clone(&self.table), self.config.atlas.clone())?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut iterations = Vec::new();
+        let mut sample_size = self.config.initial_sample.min(working_size);
+        let mut reached_full = false;
+        loop {
+            let is_full = sample_size >= working_size;
+            let sample = if is_full {
+                working.clone()
+            } else {
+                sample_rows(&working_rows, sample_size, self.table.num_rows(), &mut rng)
+            };
+            let result = atlas.explore_selection(user_query, sample)?;
+            iterations.push(AnytimeIteration {
+                sample_size: sample_size.min(working_size),
+                elapsed: start.elapsed(),
+                result,
+            });
+            if is_full {
+                reached_full = true;
+                break;
+            }
+            if start.elapsed() >= self.config.budget {
+                break;
+            }
+            let next = (sample_size as f64 * self.config.growth_factor).ceil() as usize;
+            sample_size = next.min(working_size);
+        }
+        Ok(AnytimeResult {
+            iterations,
+            reached_full_data: reached_full,
+            working_set_size: working_size,
+        })
+    }
+}
+
+/// Draw a uniform sample (without replacement) of `k` of the given row ids,
+/// returned as a bitmap over `table_rows`.
+fn sample_rows(rows: &[usize], k: usize, table_rows: usize, rng: &mut StdRng) -> Bitmap {
+    let k = k.min(rows.len());
+    // Partial Fisher–Yates over a copy of the indices.
+    let mut pool: Vec<usize> = rows.to_vec();
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    Bitmap::from_indices(table_rows, pool[..k].iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table(rows: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("group", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            let group = if i % 2 == 0 { "a" } else { "b" };
+            let x = if group == "a" {
+                (i % 10) as f64
+            } else {
+                100.0 + (i % 10) as f64
+            };
+            b.push_row(&[Value::Float(x), Value::Str(group.into())]).unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn iterations_grow_until_full_data_or_budget() {
+        let t = table(4000);
+        let config = AnytimeConfig {
+            initial_sample: 100,
+            growth_factor: 4.0,
+            budget: Duration::from_secs(30),
+            ..AnytimeConfig::default()
+        };
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), config).unwrap();
+        let result = anytime.run(&ConjunctiveQuery::all("t")).unwrap();
+        assert!(result.reached_full_data);
+        assert_eq!(result.working_set_size, 4000);
+        assert!(result.iterations.len() >= 3);
+        // Sample sizes strictly increase up to the working-set size.
+        for pair in result.iterations.windows(2) {
+            assert!(pair[1].sample_size > pair[0].sample_size);
+        }
+        assert_eq!(result.best().unwrap().sample_size, 4000);
+        // Each intermediate result is a usable map set.
+        for iteration in &result.iterations {
+            assert!(iteration.result.num_maps() >= 1);
+            assert_eq!(iteration.result.working_set_size, iteration.sample_size);
+        }
+    }
+
+    #[test]
+    fn zero_budget_still_produces_one_iteration() {
+        let t = table(2000);
+        let config = AnytimeConfig {
+            initial_sample: 64,
+            budget: Duration::from_millis(0),
+            ..AnytimeConfig::default()
+        };
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), config).unwrap();
+        let result = anytime.run(&ConjunctiveQuery::all("t")).unwrap();
+        assert_eq!(result.iterations.len(), 1);
+        assert!(!result.reached_full_data);
+        assert_eq!(result.iterations[0].sample_size, 64);
+    }
+
+    #[test]
+    fn small_working_set_is_used_in_full_immediately() {
+        let t = table(50);
+        let config = AnytimeConfig {
+            initial_sample: 512,
+            ..AnytimeConfig::default()
+        };
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), config).unwrap();
+        let result = anytime.run(&ConjunctiveQuery::all("t")).unwrap();
+        assert_eq!(result.iterations.len(), 1);
+        assert!(result.reached_full_data);
+        assert_eq!(result.iterations[0].sample_size, 50);
+    }
+
+    #[test]
+    fn approximate_maps_converge_to_the_exact_ones() {
+        let t = table(6000);
+        let config = AnytimeConfig {
+            initial_sample: 200,
+            growth_factor: 3.0,
+            budget: Duration::from_secs(30),
+            ..AnytimeConfig::default()
+        };
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), config).unwrap();
+        let result = anytime.run(&ConjunctiveQuery::all("t")).unwrap();
+        assert!(result.reached_full_data);
+        let exact = &result.iterations.last().unwrap().result;
+        let first = &result.iterations.first().unwrap().result;
+        // Both should find the same top grouping attributes; the approximate
+        // covers should be close to the exact ones (within sampling noise).
+        let exact_best = exact.best().unwrap();
+        let approx_best = first.best().unwrap();
+        assert_eq!(
+            {
+                let mut a = approx_best.map.source_attributes.clone();
+                a.sort();
+                a
+            },
+            {
+                let mut e = exact_best.map.source_attributes.clone();
+                e.sort();
+                e
+            }
+        );
+        let exact_covers = exact_best.map.covers(exact.working_set_size);
+        let approx_covers = approx_best.map.covers(first.working_set_size);
+        assert_eq!(exact_covers.len(), approx_covers.len());
+        for (a, e) in approx_covers.iter().zip(exact_covers.iter()) {
+            assert!((a - e).abs() < 0.15, "approx {a} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let t = table(10);
+        let bad_growth = AnytimeConfig {
+            growth_factor: 1.0,
+            ..AnytimeConfig::default()
+        };
+        assert!(AnytimeAtlas::new(Arc::clone(&t), bad_growth).is_err());
+        let bad_sample = AnytimeConfig {
+            initial_sample: 0,
+            ..AnytimeConfig::default()
+        };
+        assert!(AnytimeAtlas::new(t, bad_sample).is_err());
+    }
+
+    #[test]
+    fn empty_working_set_is_an_error() {
+        let t = table(100);
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), AnytimeConfig::default()).unwrap();
+        let query = ConjunctiveQuery::all("t")
+            .and(atlas_query::Predicate::range("x", 5000.0, 6000.0));
+        assert!(matches!(
+            anytime.run(&query),
+            Err(crate::error::AtlasError::EmptyWorkingSet)
+        ));
+    }
+}

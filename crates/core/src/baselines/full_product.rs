@@ -1,0 +1,118 @@
+//! Exhaustive product baseline: cut everything, intersect everything.
+
+use crate::candidates::generate_candidates;
+use crate::cut::CutConfig;
+use crate::error::{AtlasError, Result};
+use crate::map::DataMap;
+use crate::merge::product_maps;
+use atlas_columnar::{Bitmap, Table};
+use atlas_query::ConjunctiveQuery;
+
+/// The exhaustive-enumeration baseline.
+///
+/// Every cuttable attribute is cut (two-way by default) and the product of
+/// *all* candidate maps is returned as a single map. This is the behaviour
+/// Atlas explicitly avoids: the number of regions grows exponentially with
+/// the number of attributes and every region query mentions every attribute,
+/// so the output is complete but unreadable.
+#[derive(Debug, Clone)]
+pub struct FullProductBaseline {
+    /// The cut configuration used for every attribute.
+    pub cut: CutConfig,
+    /// Whether empty intersections are dropped from the result.
+    pub drop_empty_regions: bool,
+}
+
+impl Default for FullProductBaseline {
+    fn default() -> Self {
+        FullProductBaseline {
+            cut: CutConfig::default(),
+            drop_empty_regions: true,
+        }
+    }
+}
+
+impl FullProductBaseline {
+    /// Generate the single exhaustive map for a working set.
+    pub fn generate(
+        &self,
+        table: &Table,
+        working: &Bitmap,
+        user_query: &ConjunctiveQuery,
+    ) -> Result<DataMap> {
+        let candidates = generate_candidates(table, working, user_query, None, &self.cut)?;
+        if candidates.is_empty() {
+            return Err(AtlasError::NoCuttableAttributes);
+        }
+        product_maps(&candidates.maps, self.drop_empty_regions)
+            .ok_or(AtlasError::NoCuttableAttributes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table(columns: usize, rows: usize) -> Table {
+        let fields: Vec<Field> = (0..columns)
+            .map(|c| Field::new(format!("x{c}"), DataType::Float))
+            .collect();
+        let schema = Schema::new(fields).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            let row: Vec<Value> = (0..columns)
+                .map(|c| Value::Float(((i * (c + 3) * 31) % 100) as f64))
+                .collect();
+            b.push_row(&row).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn region_count_grows_exponentially_with_attributes() {
+        let baseline = FullProductBaseline::default();
+        let mut previous = 0usize;
+        for columns in [2usize, 4, 6] {
+            let t = table(columns, 800);
+            let map = baseline
+                .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
+                .unwrap();
+            assert!(map.num_regions() > previous);
+            assert!(
+                map.num_regions() > 2usize.pow(columns as u32) / 2,
+                "columns={columns} regions={}",
+                map.num_regions()
+            );
+            // Every region query mentions every attribute: unreadable.
+            assert_eq!(map.max_predicates(), columns);
+            previous = map.num_regions();
+        }
+    }
+
+    #[test]
+    fn result_is_still_a_valid_partition() {
+        let t = table(4, 500);
+        let baseline = FullProductBaseline::default();
+        let map = baseline
+            .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
+            .unwrap();
+        assert!(map.regions_are_disjoint());
+        assert_eq!(map.covered_count(), 500);
+    }
+
+    #[test]
+    fn uncuttable_tables_are_an_error() {
+        let schema = Schema::new(vec![Field::new("c", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for _ in 0..10 {
+            b.push_row(&[Value::Int(1)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let baseline = FullProductBaseline::default();
+        assert!(matches!(
+            baseline.generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t")),
+            Err(AtlasError::NoCuttableAttributes)
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! Baseline map generators used by the evaluation (experiment E8).
+//!
+//! The paper positions Atlas against two families of alternatives
+//! (Section 6): exhaustive cluster/subspace analysis, which returns one
+//! complete but unreadable answer, and naive suggestions that ignore the data
+//! distribution. The baselines here make that comparison concrete:
+//!
+//! * [`full_product`] — the exhaustive enumeration: cut *every* attribute and
+//!   take the product of all candidate maps. Complete, but violates every
+//!   convenience constraint (region count explodes, queries carry one
+//!   predicate per attribute).
+//! * [`single_attribute`] — no clustering, no merging: just the ranked
+//!   one-attribute candidate maps. Readable but blind to multi-attribute
+//!   structure.
+//! * [`random_map`] — uninformed suggestions: random attribute subsets with
+//!   random split points. The floor any data-aware method must beat.
+//! * [`grid_clique`] — a small grid-density subspace-clustering system in the
+//!   spirit of CLIQUE, standing in for the "exhaustive subspace clustering"
+//!   comparison of Section 6.
+
+pub mod full_product;
+pub mod grid_clique;
+pub mod random_map;
+pub mod single_attribute;
+
+pub use full_product::FullProductBaseline;
+pub use grid_clique::{GridCliqueBaseline, GridCliqueConfig};
+pub use random_map::{RandomMapBaseline, RandomMapConfig};
+pub use single_attribute::SingleAttributeBaseline;

@@ -1,0 +1,260 @@
+//! Random-map baseline: uninformed query suggestions.
+
+use crate::error::{AtlasError, Result};
+use crate::map::DataMap;
+use crate::region::Region;
+use atlas_columnar::{Bitmap, DataType, Table};
+use atlas_query::{ConjunctiveQuery, Predicate};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random baseline.
+#[derive(Debug, Clone)]
+pub struct RandomMapConfig {
+    /// Number of maps to generate.
+    pub num_maps: usize,
+    /// Maximum number of attributes per map.
+    pub max_attributes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomMapConfig {
+    fn default() -> Self {
+        RandomMapConfig {
+            num_maps: 10,
+            max_attributes: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// The uninformed baseline: it picks random attribute subsets and splits each
+/// numeric attribute at a *uniformly random* point of its range (instead of a
+/// data-driven point) and each categorical attribute into random halves of its
+/// value list. Any data-aware method should produce better-balanced, more
+/// informative maps.
+#[derive(Debug, Clone, Default)]
+pub struct RandomMapBaseline {
+    /// Configuration.
+    pub config: RandomMapConfig,
+}
+
+impl RandomMapBaseline {
+    /// Create a baseline with the given configuration.
+    pub fn new(config: RandomMapConfig) -> Self {
+        RandomMapBaseline { config }
+    }
+
+    /// Generate random maps over the working set.
+    pub fn generate(
+        &self,
+        table: &Table,
+        working: &Bitmap,
+        user_query: &ConjunctiveQuery,
+    ) -> Result<Vec<DataMap>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let usable: Vec<String> = table
+            .schema()
+            .fields()
+            .iter()
+            .filter(|f| {
+                let stats = table
+                    .column_stats(&f.name, working)
+                    .expect("schema-listed column exists");
+                stats.distinct_count >= 2 && !stats.looks_like_identifier()
+            })
+            .map(|f| f.name.clone())
+            .collect();
+        if usable.is_empty() {
+            return Err(AtlasError::NoCuttableAttributes);
+        }
+        let mut maps = Vec::with_capacity(self.config.num_maps);
+        for _ in 0..self.config.num_maps {
+            let how_many = rng.gen_range(1..=self.config.max_attributes.min(usable.len()));
+            let mut attrs = usable.clone();
+            attrs.shuffle(&mut rng);
+            attrs.truncate(how_many);
+            let mut regions = vec![Region::new(user_query.clone(), working.clone())];
+            for attr in &attrs {
+                regions = self.split_regions_randomly(table, &regions, attr, &mut rng)?;
+            }
+            regions.retain(|r| !r.is_empty());
+            if !regions.is_empty() {
+                maps.push(DataMap::new(regions, attrs));
+            }
+        }
+        Ok(maps)
+    }
+
+    fn split_regions_randomly(
+        &self,
+        table: &Table,
+        regions: &[Region],
+        attribute: &str,
+        rng: &mut StdRng,
+    ) -> Result<Vec<Region>> {
+        let column = table.column(attribute)?;
+        let mut out = Vec::with_capacity(regions.len() * 2);
+        for region in regions {
+            match column.data_type() {
+                DataType::Int | DataType::Float => {
+                    let Some((min, max)) = column.numeric_min_max(&region.selection) else {
+                        out.push(region.clone());
+                        continue;
+                    };
+                    if max <= min {
+                        out.push(region.clone());
+                        continue;
+                    }
+                    let split = rng.gen_range(min..max);
+                    let low = column.select_range(&region.selection, min, split);
+                    let high = column.select_range(&region.selection, nudge_up(split), max);
+                    out.push(Region::new(
+                        region.query.clone().and(Predicate::range(attribute, min, split)),
+                        low,
+                    ));
+                    out.push(Region::new(
+                        region
+                            .query
+                            .clone()
+                            .and(Predicate::range(attribute, nudge_up(split), max)),
+                        high,
+                    ));
+                }
+                DataType::Str | DataType::Bool => {
+                    let mut categories: Vec<String> = column
+                        .categories_by_frequency(&region.selection)
+                        .into_iter()
+                        .map(|(v, _)| v)
+                        .collect();
+                    if categories.len() < 2 {
+                        out.push(region.clone());
+                        continue;
+                    }
+                    categories.shuffle(rng);
+                    let cut_point = rng.gen_range(1..categories.len());
+                    let (left, right) = categories.split_at(cut_point);
+                    for group in [left, right] {
+                        let selection = column.select_in(&region.selection, group);
+                        out.push(Region::new(
+                            region
+                                .query
+                                .clone()
+                                .and(Predicate::values(attribute, group.iter().cloned())),
+                            selection,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn nudge_up(x: f64) -> f64 {
+    if x.is_finite() {
+        f64::from_bits(if x >= 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 })
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{Field, Schema, TableBuilder, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("group", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..300 {
+            b.push_row(&[
+                Value::Float((i % 100) as f64),
+                Value::Str(["a", "b", "c"][i % 3].into()),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn generates_requested_number_of_valid_maps() {
+        let t = table();
+        let baseline = RandomMapBaseline::new(RandomMapConfig {
+            num_maps: 8,
+            max_attributes: 2,
+            seed: 3,
+        });
+        let maps = baseline
+            .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
+            .unwrap();
+        assert_eq!(maps.len(), 8);
+        for map in &maps {
+            assert!(map.num_regions() >= 1);
+            assert!(map.regions_are_disjoint());
+            assert!(map.source_attributes.len() <= 2);
+            // Random maps never lose tuples other than through empty regions.
+            assert!(map.covered_count() <= 300);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let t = table();
+        let make = |seed| {
+            RandomMapBaseline::new(RandomMapConfig {
+                num_maps: 5,
+                max_attributes: 2,
+                seed,
+            })
+            .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
+            .unwrap()
+        };
+        let a = make(11);
+        let b = make(11);
+        assert_eq!(a.len(), b.len());
+        for (ma, mb) in a.iter().zip(b.iter()) {
+            assert_eq!(ma.source_attributes, mb.source_attributes);
+            assert_eq!(ma.region_counts(), mb.region_counts());
+        }
+    }
+
+    #[test]
+    fn random_maps_are_usually_less_balanced_than_median_cuts() {
+        // The entropy of a median cut is maximal (1 bit for a two-way split);
+        // random splits on a uniform attribute average well below that.
+        let t = table();
+        let baseline = RandomMapBaseline::new(RandomMapConfig {
+            num_maps: 20,
+            max_attributes: 1,
+            seed: 5,
+        });
+        let maps = baseline
+            .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
+            .unwrap();
+        let mean_entropy: f64 =
+            maps.iter().map(|m| m.entropy()).sum::<f64>() / maps.len() as f64;
+        assert!(mean_entropy < 0.99, "mean random entropy {mean_entropy}");
+    }
+
+    #[test]
+    fn all_identifier_table_is_an_error() {
+        let schema = Schema::new(vec![Field::new("id", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..100 {
+            b.push_row(&[Value::Int(i)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let baseline = RandomMapBaseline::default();
+        assert!(matches!(
+            baseline.generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t")),
+            Err(AtlasError::NoCuttableAttributes)
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! End-to-end engine configuration.
+
+use crate::cluster::ClusteringConfig;
+use crate::cut::CutConfig;
+use crate::distance::MapDistanceMetric;
+use crate::error::{AtlasError, Result};
+
+/// How the maps of one cluster are combined into a representative map
+/// (Section 3.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum MergeStrategy {
+    /// The product operator `M1 × M2`: intersect every region of the first
+    /// map with every region of the second. Fast and "natural", but unlikely
+    /// to reveal clusters.
+    Product,
+    /// The composition operator `M1 ∘ M2`: re-cut every region of the first
+    /// map on the attributes of the other maps, so split points adapt locally.
+    /// More expensive, more likely to reveal clusters.
+    #[default]
+    Composition,
+}
+
+
+/// Configuration of the whole Atlas pipeline.
+///
+/// The defaults follow the choices the paper argues for: two-way cuts, the
+/// Variation-of-Information distance (normalised so one threshold works
+/// across datasets), single-linkage agglomerative clustering capped at three
+/// attributes per cluster, composition merging, entropy ranking, and the
+/// readability constraints of Section 2 (≤ 8 regions per map, ≤ 3 predicates
+/// per query, at most a dozen maps shown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtlasConfig {
+    /// Configuration of the `CUT` primitive.
+    pub cut: CutConfig,
+    /// Dependency measure between candidate maps.
+    pub distance: MapDistanceMetric,
+    /// Configuration of the agglomerative clustering step.
+    pub clustering: ClusteringConfig,
+    /// How clusters of candidate maps are merged.
+    pub merge: MergeStrategy,
+    /// Maximum number of regions per result map ("a map with more than 8
+    /// regions is hard to read").
+    pub max_regions_per_map: usize,
+    /// Maximum number of predicates added to the user query per region query
+    /// ("we target less than 3").
+    pub max_new_predicates: usize,
+    /// Maximum number of maps returned ("less than a dozen").
+    pub max_maps: usize,
+    /// If set, candidate generation only considers these attributes.
+    pub attributes: Option<Vec<String>>,
+    /// Drop result regions that cover no tuples.
+    pub drop_empty_regions: bool,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            cut: CutConfig::default(),
+            distance: MapDistanceMetric::NormalizedVI,
+            clustering: ClusteringConfig::default(),
+            merge: MergeStrategy::Composition,
+            max_regions_per_map: 8,
+            max_new_predicates: 3,
+            max_maps: 10,
+            attributes: None,
+            drop_empty_regions: true,
+        }
+    }
+}
+
+impl AtlasConfig {
+    /// Validate the configuration, harmonising the readability constraints
+    /// with the clustering cap (a cluster of `k` two-way cut maps yields up to
+    /// `2^k` regions and `k` extra predicates).
+    pub fn validate(&self) -> Result<()> {
+        self.cut.validate()?;
+        self.clustering.validate()?;
+        if self.max_regions_per_map < 2 {
+            return Err(AtlasError::InvalidConfig(
+                "max_regions_per_map must be at least 2".to_string(),
+            ));
+        }
+        if self.max_new_predicates == 0 {
+            return Err(AtlasError::InvalidConfig(
+                "max_new_predicates must be at least 1".to_string(),
+            ));
+        }
+        if self.max_maps == 0 {
+            return Err(AtlasError::InvalidConfig(
+                "max_maps must be at least 1".to_string(),
+            ));
+        }
+        if self.clustering.max_cluster_size > self.max_new_predicates {
+            return Err(AtlasError::InvalidConfig(format!(
+                "max_cluster_size ({}) exceeds max_new_predicates ({}): merged queries would be too complex",
+                self.clustering.max_cluster_size, self.max_new_predicates
+            )));
+        }
+        Ok(())
+    }
+
+    /// A configuration tuned for speed: equi-width cuts, product merging.
+    pub fn fast() -> Self {
+        AtlasConfig {
+            cut: CutConfig {
+                numeric: crate::cut::NumericCutStrategy::EquiWidth,
+                ..CutConfig::default()
+            },
+            merge: MergeStrategy::Product,
+            ..AtlasConfig::default()
+        }
+    }
+
+    /// A configuration tuned for map quality: k-means cuts, composition
+    /// merging (the default), exact natural-breaks refinement is left to the
+    /// caller because of its quadratic cost.
+    pub fn quality() -> Self {
+        AtlasConfig {
+            cut: CutConfig {
+                numeric: crate::cut::NumericCutStrategy::KMeans { max_iterations: 50 },
+                ..CutConfig::default()
+            },
+            merge: MergeStrategy::Composition,
+            ..AtlasConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_matches_paper_constraints() {
+        let cfg = AtlasConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.cut.num_splits, 2);
+        assert_eq!(cfg.max_regions_per_map, 8);
+        assert_eq!(cfg.max_new_predicates, 3);
+        assert!(cfg.max_maps <= 12);
+        assert_eq!(cfg.merge, MergeStrategy::Composition);
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(AtlasConfig::fast().validate().is_ok());
+        assert!(AtlasConfig::quality().validate().is_ok());
+        assert_eq!(AtlasConfig::fast().merge, MergeStrategy::Product);
+    }
+
+    #[test]
+    fn inconsistent_configs_are_rejected() {
+        let mut cfg = AtlasConfig::default();
+        cfg.max_regions_per_map = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = AtlasConfig::default();
+        cfg.max_maps = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = AtlasConfig::default();
+        cfg.max_new_predicates = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = AtlasConfig::default();
+        cfg.clustering.max_cluster_size = 5;
+        cfg.max_new_predicates = 3;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = AtlasConfig::default();
+        cfg.cut.num_splits = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! The `CUT` primitive (Definition 1 of the paper).
+//!
+//! `CUT_k(Q)` takes a query `Q` and splits the range covered by its `k`-th
+//! attribute into disjoint sub-ranges, producing a one-attribute map. The
+//! paper discusses several cutting strategies; all of them are implemented
+//! here and selected through [`CutConfig`]:
+//!
+//! * ordinal attributes — equi-width binning, median / equi-depth splits,
+//!   1-D k-means (the "maximise intra-cluster homogeneity" option), exact
+//!   natural breaks, or a Greenwald–Khanna sketch-approximated median
+//!   (Section 5.1's one-pass optimisation);
+//! * categorical attributes — grouping values in frequency order, alphabetic
+//!   order, or first-appearance ("the order in which the user gives them")
+//!   order, balanced by cover.
+//!
+//! Following the paper's performance-over-accuracy argument, the default
+//! number of partitions is **two**.
+
+use crate::error::{AtlasError, Result};
+use crate::map::DataMap;
+use crate::region::Region;
+use atlas_columnar::{Bitmap, DataType, Table};
+use atlas_query::{ConjunctiveQuery, Predicate};
+use atlas_stats::{kmeans_1d, quantile, EquiWidthHistogram, GkSketch};
+
+/// How to split an ordinal (numeric) attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericCutStrategy {
+    /// Equal-width bins between the min and max of the working set.
+    EquiWidth,
+    /// Equal-population bins (median for two-way splits).
+    Median,
+    /// 1-D k-means: split points between cluster centroids.
+    KMeans {
+        /// Maximum Lloyd iterations.
+        max_iterations: usize,
+    },
+    /// Exact minimum-variance partition (Fisher–Jenks natural breaks).
+    NaturalBreaks,
+    /// Approximate equal-population bins using a Greenwald–Khanna sketch
+    /// (one-pass, Section 5.1 of the paper).
+    SketchMedian {
+        /// Sketch error bound (rank error as a fraction of the population).
+        epsilon: f64,
+    },
+}
+
+/// How to group the values of a categorical attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CategoricalCutStrategy {
+    /// Order values by decreasing frequency, then group greedily so the group
+    /// covers are balanced.
+    Frequency,
+    /// Order values alphabetically (the paper's suggestion for
+    /// high-cardinality, semantics-free columns), then group contiguously.
+    Alphabetic,
+    /// Keep the dictionary (first-appearance / user-given) order, then group
+    /// contiguously.
+    DictionaryOrder,
+}
+
+/// Configuration of the `CUT` primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutConfig {
+    /// Number of partitions per attribute (the paper fixes this to 2).
+    pub num_splits: usize,
+    /// Strategy for ordinal attributes.
+    pub numeric: NumericCutStrategy,
+    /// Strategy for categorical attributes.
+    pub categorical: CategoricalCutStrategy,
+    /// Categorical attributes with more distinct values than this are not cut
+    /// (they are "codes, names, comments or keys" in the paper's terms).
+    pub max_categories: usize,
+    /// Skip attributes whose statistics look like identifiers.
+    pub skip_identifiers: bool,
+}
+
+impl Default for CutConfig {
+    fn default() -> Self {
+        CutConfig {
+            num_splits: 2,
+            numeric: NumericCutStrategy::Median,
+            categorical: CategoricalCutStrategy::Frequency,
+            max_categories: 40,
+            skip_identifiers: true,
+        }
+    }
+}
+
+impl CutConfig {
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_splits < 2 {
+            return Err(AtlasError::InvalidConfig(
+                "num_splits must be at least 2".to_string(),
+            ));
+        }
+        if let NumericCutStrategy::SketchMedian { epsilon } = self.numeric {
+            if !(epsilon > 0.0 && epsilon < 0.5) {
+                return Err(AtlasError::InvalidConfig(
+                    "sketch epsilon must be in (0, 0.5)".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Apply `CUT` to one attribute of the working set.
+///
+/// * `table` — the table the selection ranges over;
+/// * `working` — the rows selected by the parent query (the working set);
+/// * `parent_query` — the query being broken down; region queries extend it;
+/// * `attribute` — the attribute to split.
+///
+/// Returns `Ok(None)` when the attribute cannot be usefully cut (constant
+/// column, all NULL, identifier-like, too many categories); this mirrors the
+/// paper's advice to skip such columns rather than fail.
+pub fn cut_attribute(
+    table: &Table,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attribute: &str,
+    config: &CutConfig,
+) -> Result<Option<DataMap>> {
+    config.validate()?;
+    let column = table.column(attribute)?;
+    let stats = table.column_stats(attribute, working)?;
+    if stats.non_null_count == 0 || stats.distinct_count < 2 {
+        return Ok(None);
+    }
+    if config.skip_identifiers && stats.looks_like_identifier() {
+        return Ok(None);
+    }
+
+    let regions = match column.data_type() {
+        DataType::Int | DataType::Float => {
+            let values = column.numeric_values_where(working);
+            let splits = numeric_splits(&values, config)?;
+            if splits.is_empty() {
+                return Ok(None);
+            }
+            numeric_regions(
+                table,
+                working,
+                parent_query,
+                attribute,
+                column.data_type(),
+                stats.min.unwrap_or(0.0),
+                stats.max.unwrap_or(0.0),
+                &splits,
+            )?
+        }
+        DataType::Str | DataType::Bool => {
+            if stats.distinct_count > config.max_categories {
+                return Ok(None);
+            }
+            let groups = categorical_groups(table, working, attribute, config)?;
+            if groups.len() < 2 {
+                return Ok(None);
+            }
+            categorical_regions(table, working, parent_query, attribute, &groups)?
+        }
+    };
+
+    let mut map = DataMap::new(regions, vec![attribute.to_string()]);
+    map.drop_empty_regions();
+    if map.num_regions() < 2 {
+        return Ok(None);
+    }
+    Ok(Some(map))
+}
+
+/// Compute the interior split points for a numeric attribute.
+fn numeric_splits(values: &[f64], config: &CutConfig) -> Result<Vec<f64>> {
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    let k = config.num_splits;
+    let splits: Vec<f64> = match config.numeric {
+        NumericCutStrategy::EquiWidth => EquiWidthHistogram::build(values, k)
+            .map(|h| h.split_points())
+            .unwrap_or_default(),
+        NumericCutStrategy::Median => {
+            let mut out = Vec::with_capacity(k - 1);
+            for i in 1..k {
+                if let Some(q) = quantile(values, i as f64 / k as f64) {
+                    out.push(q);
+                }
+            }
+            out
+        }
+        NumericCutStrategy::KMeans { max_iterations } => kmeans_1d(values, k, max_iterations)
+            .map(|r| r.splits)
+            .unwrap_or_default(),
+        NumericCutStrategy::NaturalBreaks => atlas_stats::breaks::natural_breaks(values, k)
+            .map(|r| r.splits)
+            .unwrap_or_default(),
+        NumericCutStrategy::SketchMedian { epsilon } => {
+            let mut sketch = GkSketch::new(epsilon);
+            sketch.extend(values);
+            let mut out = Vec::with_capacity(k - 1);
+            for i in 1..k {
+                if let Some(q) = sketch.query(i as f64 / k as f64) {
+                    out.push(q);
+                }
+            }
+            out
+        }
+    };
+    // Deduplicate and drop degenerate splits (outside the observed range).
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut cleaned: Vec<f64> = Vec::with_capacity(splits.len());
+    for s in splits {
+        if s >= min && s < max && cleaned.last().is_none_or(|&last| s > last) {
+            cleaned.push(s);
+        }
+    }
+    Ok(cleaned)
+}
+
+/// Build the per-region range predicates and selections for a numeric cut.
+#[allow(clippy::too_many_arguments)]
+fn numeric_regions(
+    table: &Table,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attribute: &str,
+    dtype: DataType,
+    min: f64,
+    max: f64,
+    splits: &[f64],
+) -> Result<Vec<Region>> {
+    let column = table.column(attribute)?;
+    let mut regions = Vec::with_capacity(splits.len() + 1);
+    let mut lo = min;
+    for (i, &split) in splits.iter().chain(std::iter::once(&max)).enumerate() {
+        let hi = if i == splits.len() { max } else { split };
+        if hi < lo {
+            continue;
+        }
+        let selection = column.select_range(working, lo, hi);
+        let query = parent_query
+            .clone()
+            .and(Predicate::range(attribute, lo, hi));
+        regions.push(Region::new(query, selection));
+        lo = next_lower_bound(dtype, hi);
+    }
+    Ok(regions)
+}
+
+/// The smallest admissible lower bound strictly above `hi`, respecting the
+/// column type: the next integer for integer columns, the next representable
+/// float otherwise. This keeps adjacent range regions disjoint while the
+/// queries stay human-readable (`[17, 37]`, `[38, 90]` on integer data).
+fn next_lower_bound(dtype: DataType, hi: f64) -> f64 {
+    match dtype {
+        DataType::Int => hi.floor() + 1.0,
+        _ => {
+            if hi.is_finite() {
+                f64::from_bits(if hi >= 0.0 {
+                    hi.to_bits() + 1
+                } else {
+                    hi.to_bits() - 1
+                })
+            } else {
+                hi
+            }
+        }
+    }
+}
+
+/// Group the categorical values of the working set into `num_splits` groups.
+fn categorical_groups(
+    table: &Table,
+    working: &Bitmap,
+    attribute: &str,
+    config: &CutConfig,
+) -> Result<Vec<Vec<String>>> {
+    let column = table.column(attribute)?;
+    let mut freq = column.categories_by_frequency(working);
+    if freq.len() < 2 {
+        return Ok(Vec::new());
+    }
+    match config.categorical {
+        CategoricalCutStrategy::Frequency => {
+            // already in decreasing frequency order
+        }
+        CategoricalCutStrategy::Alphabetic => {
+            freq.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        CategoricalCutStrategy::DictionaryOrder => {
+            if let Some(dict) = column.as_dict() {
+                let order: Vec<&String> = dict.dictionary().iter().collect();
+                freq.sort_by_key(|(value, _)| {
+                    order.iter().position(|d| *d == value).unwrap_or(usize::MAX)
+                });
+            }
+        }
+    }
+    let k = config.num_splits.min(freq.len());
+    let total: usize = freq.iter().map(|(_, n)| n).sum();
+    let target = (total as f64 / k as f64).ceil() as usize;
+
+    // Greedy contiguous grouping: walk the ordered values, starting a new
+    // group when the current one reaches the target cover, while keeping
+    // enough values for the remaining groups.
+    let mut groups: Vec<Vec<String>> = Vec::with_capacity(k);
+    let mut current: Vec<String> = Vec::new();
+    let mut current_count = 0usize;
+    let mut remaining_values = freq.len();
+    for (value, count) in freq {
+        let remaining_groups = k - groups.len();
+        let must_close = remaining_values == remaining_groups.saturating_sub(1) + 1
+            && !current.is_empty()
+            && groups.len() + 1 < k;
+        current.push(value);
+        current_count += count;
+        remaining_values -= 1;
+        if (current_count >= target || must_close) && groups.len() + 1 < k {
+            groups.push(std::mem::take(&mut current));
+            current_count = 0;
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    Ok(groups)
+}
+
+/// Build per-region set predicates and selections for a categorical cut.
+fn categorical_regions(
+    table: &Table,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attribute: &str,
+    groups: &[Vec<String>],
+) -> Result<Vec<Region>> {
+    let column = table.column(attribute)?;
+    let mut regions = Vec::with_capacity(groups.len());
+    for group in groups {
+        let selection = column.select_in(working, group);
+        let query = parent_query
+            .clone()
+            .and(Predicate::values(attribute, group.iter().cloned()));
+        regions.push(Region::new(query, selection));
+    }
+    Ok(regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{Field, Schema, TableBuilder, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("height", DataType::Float),
+            Field::new("sex", DataType::Str),
+            Field::new("education", DataType::Str),
+            Field::new("id", DataType::Int),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("survey", schema);
+        for i in 0..200i64 {
+            let age = 17 + (i * 7) % 74; // 17..90
+            let height = 150.0 + (i % 50) as f64;
+            let sex = if i % 2 == 0 { "M" } else { "F" };
+            let education = match i % 10 {
+                0..=4 => "HS",
+                5..=7 => "BSc",
+                8 => "MSc",
+                _ => "PhD",
+            };
+            b.push_row(&[
+                Value::Int(age),
+                Value::Float(height),
+                Value::Str(sex.into()),
+                Value::Str(education.into()),
+                Value::Int(i),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn base_query() -> ConjunctiveQuery {
+        ConjunctiveQuery::all("survey")
+    }
+
+    #[test]
+    fn default_config_is_valid_and_two_way() {
+        let cfg = CutConfig::default();
+        assert_eq!(cfg.num_splits, 2);
+        assert!(cfg.validate().is_ok());
+        let bad = CutConfig {
+            num_splits: 1,
+            ..CutConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(AtlasError::InvalidConfig(_))));
+        let bad_eps = CutConfig {
+            numeric: NumericCutStrategy::SketchMedian { epsilon: 0.9 },
+            ..CutConfig::default()
+        };
+        assert!(bad_eps.validate().is_err());
+    }
+
+    #[test]
+    fn median_cut_on_integer_attribute_partitions_the_working_set() {
+        let t = table();
+        let working = t.full_selection();
+        let map = cut_attribute(&t, &working, &base_query(), "age", &CutConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(map.num_regions(), 2);
+        assert!(map.regions_are_disjoint());
+        // Medians split roughly in half.
+        let counts = map.region_counts();
+        assert!((counts[0] as i64 - counts[1] as i64).abs() <= 20);
+        // Regions keep the parent query's table and add one predicate each.
+        assert_eq!(map.max_predicates(), 1);
+        assert_eq!(map.source_attributes, vec!["age".to_string()]);
+        // Every working row with a non-NULL age is covered.
+        assert_eq!(map.covered_count(), 200);
+    }
+
+    #[test]
+    fn all_numeric_strategies_produce_valid_partitions() {
+        let t = table();
+        let working = t.full_selection();
+        let strategies = [
+            NumericCutStrategy::EquiWidth,
+            NumericCutStrategy::Median,
+            NumericCutStrategy::KMeans { max_iterations: 30 },
+            NumericCutStrategy::NaturalBreaks,
+            NumericCutStrategy::SketchMedian { epsilon: 0.01 },
+        ];
+        for strategy in strategies {
+            let cfg = CutConfig {
+                numeric: strategy,
+                ..CutConfig::default()
+            };
+            let map = cut_attribute(&t, &working, &base_query(), "height", &cfg)
+                .unwrap()
+                .unwrap_or_else(|| panic!("strategy {strategy:?} produced no map"));
+            assert!(map.num_regions() >= 2, "strategy {strategy:?}");
+            assert!(map.regions_are_disjoint(), "strategy {strategy:?}");
+            assert_eq!(map.covered_count(), 200, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn k_way_cuts_produce_k_regions() {
+        let t = table();
+        let working = t.full_selection();
+        let cfg = CutConfig {
+            num_splits: 4,
+            ..CutConfig::default()
+        };
+        let map = cut_attribute(&t, &working, &base_query(), "age", &cfg)
+            .unwrap()
+            .unwrap();
+        assert_eq!(map.num_regions(), 4);
+        assert!(map.regions_are_disjoint());
+        assert_eq!(map.covered_count(), 200);
+    }
+
+    #[test]
+    fn categorical_cut_groups_values_and_balances_cover() {
+        let t = table();
+        let working = t.full_selection();
+        let map = cut_attribute(
+            &t,
+            &working,
+            &base_query(),
+            "education",
+            &CutConfig::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(map.num_regions(), 2);
+        assert!(map.regions_are_disjoint());
+        assert_eq!(map.covered_count(), 200);
+        // The majority value ("HS", 50%) should sit alone in one region under
+        // the frequency strategy.
+        let big = map
+            .regions
+            .iter()
+            .find(|r| r.query.predicate_on("education").unwrap().set.contains_value("HS"))
+            .unwrap();
+        assert_eq!(big.count(), 100);
+    }
+
+    #[test]
+    fn binary_categorical_cut_is_one_value_per_region() {
+        let t = table();
+        let working = t.full_selection();
+        let map = cut_attribute(&t, &working, &base_query(), "sex", &CutConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(map.num_regions(), 2);
+        let sizes = map.region_counts();
+        assert_eq!(sizes, vec![100, 100]);
+    }
+
+    #[test]
+    fn alphabetic_and_dictionary_strategies_work() {
+        let t = table();
+        let working = t.full_selection();
+        for strategy in [
+            CategoricalCutStrategy::Alphabetic,
+            CategoricalCutStrategy::DictionaryOrder,
+        ] {
+            let cfg = CutConfig {
+                categorical: strategy,
+                ..CutConfig::default()
+            };
+            let map = cut_attribute(&t, &working, &base_query(), "education", &cfg)
+                .unwrap()
+                .unwrap();
+            assert_eq!(map.num_regions(), 2);
+            assert!(map.regions_are_disjoint());
+            assert_eq!(map.covered_count(), 200);
+        }
+    }
+
+    #[test]
+    fn identifier_columns_are_skipped() {
+        let t = table();
+        let working = t.full_selection();
+        let map = cut_attribute(&t, &working, &base_query(), "id", &CutConfig::default()).unwrap();
+        assert!(map.is_none());
+        // but cutting is possible when identifier skipping is disabled
+        let cfg = CutConfig {
+            skip_identifiers: false,
+            ..CutConfig::default()
+        };
+        assert!(cut_attribute(&t, &working, &base_query(), "id", &cfg)
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn constant_and_unknown_attributes() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for _ in 0..10 {
+            b.push_row(&[Value::Int(5)]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let working = t.full_selection();
+        let q = ConjunctiveQuery::all("t");
+        assert!(cut_attribute(&t, &working, &q, "x", &CutConfig::default())
+            .unwrap()
+            .is_none());
+        assert!(cut_attribute(&t, &working, &q, "zzz", &CutConfig::default()).is_err());
+    }
+
+    #[test]
+    fn cut_respects_the_working_set() {
+        let t = table();
+        // Working set: only the first 40 rows. Within such a small subset the
+        // age values happen to be all distinct, so identifier skipping must be
+        // disabled to exercise the restriction logic itself.
+        let working = Bitmap::from_indices(t.num_rows(), 0..40);
+        let cfg = CutConfig {
+            skip_identifiers: false,
+            ..CutConfig::default()
+        };
+        let map = cut_attribute(&t, &working, &base_query(), "age", &cfg)
+            .unwrap()
+            .unwrap();
+        assert_eq!(map.covered_count(), 40);
+        for region in &map.regions {
+            for row in region.selection.iter_ones() {
+                assert!(row < 40);
+            }
+        }
+    }
+
+    #[test]
+    fn region_queries_extend_the_parent_query() {
+        let t = table();
+        let parent = ConjunctiveQuery::all("survey").and(Predicate::values("sex", ["M"]));
+        let working = atlas_query::evaluate(&parent, &t).unwrap();
+        let map = cut_attribute(&t, &working, &parent, "age", &CutConfig::default())
+            .unwrap()
+            .unwrap();
+        for region in &map.regions {
+            assert!(region.query.predicate_on("sex").is_some());
+            assert!(region.query.predicate_on("age").is_some());
+            // Evaluating the region query from scratch gives exactly the
+            // region's selection: queries and extents are consistent.
+            let evaluated = atlas_query::evaluate(&region.query, &t).unwrap();
+            assert_eq!(evaluated.to_indices(), region.selection.to_indices());
+        }
+    }
+
+    #[test]
+    fn integer_regions_have_readable_adjacent_bounds() {
+        let t = table();
+        let working = t.full_selection();
+        let map = cut_attribute(&t, &working, &base_query(), "age", &CutConfig::default())
+            .unwrap()
+            .unwrap();
+        // Second region's lower bound is an integer (floor(split) + 1).
+        let second = &map.regions[1];
+        match &second.query.predicate_on("age").unwrap().set {
+            atlas_query::PredicateSet::Range { lo, .. } => {
+                assert_eq!(lo.fract(), 0.0, "integer cut should use integer bounds");
+            }
+            _ => panic!("expected a range predicate"),
+        }
+    }
+
+    #[test]
+    fn max_categories_limit_is_enforced() {
+        let t = table();
+        let working = t.full_selection();
+        let cfg = CutConfig {
+            max_categories: 3,
+            ..CutConfig::default()
+        };
+        // education has 4 distinct values, above the limit of 3.
+        assert!(
+            cut_attribute(&t, &working, &base_query(), "education", &cfg)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn nulls_fall_outside_all_regions() {
+        let schema = Schema::new(vec![Field::nullable("x", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..20 {
+            let v = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 7)
+            };
+            b.push_row(&[v]).unwrap();
+        }
+        let t = b.build().unwrap();
+        let working = t.full_selection();
+        let map = cut_attribute(
+            &t,
+            &working,
+            &ConjunctiveQuery::all("t"),
+            "x",
+            &CutConfig::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(map.covered_count(), 16);
+        assert!(map.regions_are_disjoint());
+        let labels = map.region_labels(20);
+        assert_eq!(labels[0], crate::map::NO_REGION);
+        assert_eq!(labels[5], crate::map::NO_REGION);
+    }
+}

@@ -1,0 +1,230 @@
+//! Distances between data maps (step 2a of the framework).
+//!
+//! Definition 2 of the paper associates a discrete random variable to every
+//! map: pick a random tuple of the working set, the variable is the region it
+//! falls into. Two maps are *related* when their variables are statistically
+//! dependent. The paper proposes mutual-information-based measures and singles
+//! out the Variation of Information (Meilă 2007) because it is a true metric.
+
+use crate::map::DataMap;
+use atlas_stats::ContingencyTable;
+
+/// The dependency measure used as a distance between maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum MapDistanceMetric {
+    /// Variation of Information, in bits. A metric; 0 for identical
+    /// partitions, `H(X) + H(Y)` for independent ones. The paper's choice.
+    VariationOfInformation,
+    /// VI normalised by the joint entropy, in `[0, 1]`. Scale-free, so a
+    /// single distance threshold works across datasets.
+    #[default]
+    NormalizedVI,
+    /// `1 − NMI`, in `[0, 1]`. Not a metric, provided for comparison in the
+    /// ablation experiments.
+    OneMinusNmi,
+}
+
+
+/// A symmetric distance matrix over a set of candidate maps.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    size: usize,
+    values: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Build a matrix of the given size with all distances set to zero.
+    pub fn zeros(size: usize) -> Self {
+        DistanceMatrix {
+            size,
+            values: vec![0.0; size * size],
+        }
+    }
+
+    /// Number of maps the matrix ranges over.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// True if the matrix ranges over no maps.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The distance between maps `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.size + j]
+    }
+
+    /// Set the distance between maps `i` and `j` (kept symmetric).
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.values[i * self.size + j] = value;
+        self.values[j * self.size + i] = value;
+    }
+}
+
+/// The distance between two maps under the chosen metric.
+///
+/// `table_rows` is the number of rows of the underlying table (the length of
+/// the label vectors). Rows outside either map (NULLs, rows outside the
+/// working set) are ignored, as they carry no information about dependency.
+pub fn map_distance(
+    a: &DataMap,
+    b: &DataMap,
+    table_rows: usize,
+    metric: MapDistanceMetric,
+) -> f64 {
+    let labels_a = a.region_labels(table_rows);
+    let labels_b = b.region_labels(table_rows);
+    distance_from_labels(&labels_a, &labels_b, a.num_regions(), b.num_regions(), metric)
+}
+
+/// The distance between two label vectors (used internally and by the anytime
+/// engine, which compares approximate and exact maps).
+pub fn distance_from_labels(
+    labels_a: &[u32],
+    labels_b: &[u32],
+    card_a: usize,
+    card_b: usize,
+    metric: MapDistanceMetric,
+) -> f64 {
+    let table = ContingencyTable::from_labels(labels_a, labels_b, card_a, card_b);
+    match metric {
+        MapDistanceMetric::VariationOfInformation => table.variation_of_information(),
+        MapDistanceMetric::NormalizedVI => table.normalized_vi(),
+        MapDistanceMetric::OneMinusNmi => 1.0 - table.normalized_mi(),
+    }
+}
+
+/// Pairwise distance matrix over a set of candidate maps.
+///
+/// Label vectors are materialised once per map, so the cost is
+/// `O(n·rows + n²·regions²)` for `n` candidates.
+pub fn distance_matrix(
+    maps: &[DataMap],
+    table_rows: usize,
+    metric: MapDistanceMetric,
+) -> DistanceMatrix {
+    let labels: Vec<Vec<u32>> = maps.iter().map(|m| m.region_labels(table_rows)).collect();
+    let mut matrix = DistanceMatrix::zeros(maps.len());
+    for i in 0..maps.len() {
+        for j in (i + 1)..maps.len() {
+            let d = distance_from_labels(
+                &labels[i],
+                &labels[j],
+                maps[i].num_regions(),
+                maps[j].num_regions(),
+                metric,
+            );
+            matrix.set(i, j, d);
+        }
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use atlas_columnar::Bitmap;
+    use atlas_query::{ConjunctiveQuery, Predicate};
+
+    /// Build a map over `n` rows whose region index for row `r` is
+    /// `assign(r)`, with `k` regions.
+    fn map_from_fn(n: usize, k: usize, assign: impl Fn(usize) -> usize, attr: &str) -> DataMap {
+        let mut regions = Vec::new();
+        for region_idx in 0..k {
+            let rows: Vec<usize> = (0..n).filter(|&r| assign(r) == region_idx).collect();
+            regions.push(Region::new(
+                ConjunctiveQuery::all("t").and(Predicate::range(attr, region_idx as f64, region_idx as f64 + 1.0)),
+                Bitmap::from_indices(n, rows),
+            ));
+        }
+        DataMap::new(regions, vec![attr.to_string()])
+    }
+
+    #[test]
+    fn identical_maps_have_zero_distance() {
+        let a = map_from_fn(100, 2, |r| r % 2, "x");
+        let b = map_from_fn(100, 2, |r| r % 2, "y");
+        for metric in [
+            MapDistanceMetric::VariationOfInformation,
+            MapDistanceMetric::NormalizedVI,
+            MapDistanceMetric::OneMinusNmi,
+        ] {
+            assert!(map_distance(&a, &b, 100, metric) < 1e-9, "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn dependent_maps_are_closer_than_independent_ones() {
+        // a and b are perfectly dependent (same partition relabelled);
+        // c is independent of both.
+        let a = map_from_fn(400, 2, |r| r % 2, "a");
+        let b = map_from_fn(400, 2, |r| (r + 1) % 2, "b");
+        let c = map_from_fn(400, 2, |r| usize::from((r / 2) % 2 == 0), "c");
+        for metric in [
+            MapDistanceMetric::VariationOfInformation,
+            MapDistanceMetric::NormalizedVI,
+            MapDistanceMetric::OneMinusNmi,
+        ] {
+            let d_ab = map_distance(&a, &b, 400, metric);
+            let d_ac = map_distance(&a, &c, 400, metric);
+            assert!(d_ab < d_ac, "{metric:?}: d_ab={d_ab} d_ac={d_ac}");
+        }
+    }
+
+    #[test]
+    fn normalized_metrics_stay_in_unit_interval() {
+        let a = map_from_fn(300, 3, |r| r % 3, "a");
+        let c = map_from_fn(300, 2, |r| (r * 7 + 3) % 2, "c");
+        for metric in [MapDistanceMetric::NormalizedVI, MapDistanceMetric::OneMinusNmi] {
+            let d = map_distance(&a, &c, 300, metric);
+            assert!((0.0..=1.0).contains(&d), "{metric:?}: {d}");
+        }
+    }
+
+    #[test]
+    fn vi_distance_is_symmetric_and_satisfies_triangle_inequality() {
+        let a = map_from_fn(240, 2, |r| r % 2, "a");
+        let b = map_from_fn(240, 3, |r| r % 3, "b");
+        let c = map_from_fn(240, 2, |r| usize::from(r < 120), "c");
+        let metric = MapDistanceMetric::VariationOfInformation;
+        let d_ab = map_distance(&a, &b, 240, metric);
+        let d_ba = map_distance(&b, &a, 240, metric);
+        assert!((d_ab - d_ba).abs() < 1e-12);
+        let d_bc = map_distance(&b, &c, 240, metric);
+        let d_ac = map_distance(&a, &c, 240, metric);
+        assert!(d_ac <= d_ab + d_bc + 1e-9);
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let maps = vec![
+            map_from_fn(120, 2, |r| r % 2, "a"),
+            map_from_fn(120, 2, |r| (r / 3) % 2, "b"),
+            map_from_fn(120, 3, |r| r % 3, "c"),
+        ];
+        let m = distance_matrix(&maps, 120, MapDistanceMetric::NormalizedVI);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_outside_both_maps_are_ignored() {
+        // Only the first 50 rows are labelled; the rest is sentinel.
+        let a = map_from_fn(50, 2, |r| r % 2, "a");
+        let b = map_from_fn(50, 2, |r| r % 2, "b");
+        // Distances over 100 table rows (50 unlabelled) equal distances over 50.
+        let d_100 = map_distance(&a, &b, 100, MapDistanceMetric::NormalizedVI);
+        let d_50 = map_distance(&a, &b, 50, MapDistanceMetric::NormalizedVI);
+        assert!((d_100 - d_50).abs() < 1e-12);
+    }
+}

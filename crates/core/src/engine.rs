@@ -1,0 +1,456 @@
+//! The end-to-end Atlas engine.
+//!
+//! [`Atlas::explore`] runs the four-step pipeline of Section 3 on the result
+//! of a user query and returns a ranked list of data maps, together with
+//! per-phase timings (the paper's "quasi-real time" requirement is a
+//! first-class concern, so the engine measures itself).
+
+use crate::candidates::{generate_candidates, CandidateSet};
+use crate::cluster::cluster_maps;
+use crate::config::{AtlasConfig, MergeStrategy};
+use crate::distance::distance_matrix;
+use crate::error::{AtlasError, Result};
+use crate::map::DataMap;
+use crate::merge::{compose_maps, product_maps};
+use crate::rank::{rank_maps, RankedMap};
+use atlas_columnar::{Bitmap, Table};
+use atlas_query::ConjunctiveQuery;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock time spent in each phase of the pipeline, in milliseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Evaluating the user query.
+    pub query_ms: f64,
+    /// Candidate generation (`CUT` on every attribute).
+    pub candidates_ms: f64,
+    /// Distance matrix + agglomerative clustering.
+    pub clustering_ms: f64,
+    /// Merging each cluster into a result map.
+    pub merge_ms: f64,
+    /// Ranking.
+    pub rank_ms: f64,
+    /// End-to-end total.
+    pub total_ms: f64,
+}
+
+/// The result of one exploration step.
+#[derive(Debug, Clone)]
+pub struct MapResult {
+    /// The ranked data maps (best first), at most `max_maps` of them.
+    pub maps: Vec<RankedMap>,
+    /// Number of tuples selected by the user query (the working set size).
+    pub working_set_size: usize,
+    /// The working set itself, for callers that want to drill further without
+    /// re-evaluating the query.
+    pub working_set: Bitmap,
+    /// Attributes that were skipped during candidate generation.
+    pub skipped_attributes: Vec<String>,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+}
+
+impl MapResult {
+    /// The best map, if any.
+    pub fn best(&self) -> Option<&RankedMap> {
+        self.maps.first()
+    }
+
+    /// Number of maps returned.
+    pub fn num_maps(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+/// The Atlas engine: a table plus a configuration.
+#[derive(Debug, Clone)]
+pub struct Atlas {
+    table: Arc<Table>,
+    config: AtlasConfig,
+}
+
+impl Atlas {
+    /// Create an engine over a shared table with the given configuration.
+    pub fn new(table: Arc<Table>, config: AtlasConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Atlas { table, config })
+    }
+
+    /// Create an engine with the default (paper) configuration.
+    pub fn with_defaults(table: Arc<Table>) -> Result<Self> {
+        Atlas::new(table, AtlasConfig::default())
+    }
+
+    /// The table the engine explores.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.config
+    }
+
+    /// Answer a user query with a ranked list of data maps.
+    pub fn explore(&self, user_query: &ConjunctiveQuery) -> Result<MapResult> {
+        let total_start = Instant::now();
+        let query_start = Instant::now();
+        let working = atlas_query::evaluate(user_query, &self.table)?;
+        let query_ms = elapsed_ms(query_start);
+        self.explore_working_set(user_query, working, query_ms, total_start)
+    }
+
+    /// Same as [`Atlas::explore`] but over an externally supplied working set
+    /// (used by the anytime engine, which works on samples).
+    pub fn explore_selection(
+        &self,
+        user_query: &ConjunctiveQuery,
+        working: Bitmap,
+    ) -> Result<MapResult> {
+        let total_start = Instant::now();
+        self.explore_working_set(user_query, working, 0.0, total_start)
+    }
+
+    fn explore_working_set(
+        &self,
+        user_query: &ConjunctiveQuery,
+        working: Bitmap,
+        query_ms: f64,
+        total_start: Instant,
+    ) -> Result<MapResult> {
+        let working_set_size = working.count();
+        if working_set_size == 0 {
+            return Err(AtlasError::EmptyWorkingSet);
+        }
+
+        // Step 1: candidate maps.
+        let phase_start = Instant::now();
+        let candidates = self.candidates(user_query, &working)?;
+        let candidates_ms = elapsed_ms(phase_start);
+        if candidates.is_empty() {
+            return Err(AtlasError::NoCuttableAttributes);
+        }
+
+        // Step 2: cluster dependent candidates.
+        let phase_start = Instant::now();
+        let matrix = distance_matrix(&candidates.maps, self.table.num_rows(), self.config.distance);
+        let clusters = cluster_maps(&matrix, &self.config.clustering)?;
+        let clustering_ms = elapsed_ms(phase_start);
+
+        // Step 3: merge each cluster into a representative map.
+        let phase_start = Instant::now();
+        let mut merged: Vec<DataMap> = Vec::with_capacity(clusters.len());
+        for cluster in &clusters {
+            let members: Vec<DataMap> = cluster
+                .iter()
+                .map(|&idx| candidates.maps[idx].clone())
+                .collect();
+            let map = match self.config.merge {
+                MergeStrategy::Product => product_maps(&members, self.config.drop_empty_regions),
+                MergeStrategy::Composition => compose_maps(
+                    &members,
+                    &self.table,
+                    &self.config.cut,
+                    self.config.drop_empty_regions,
+                )?,
+            };
+            if let Some(map) = map {
+                merged.push(self.enforce_constraints(map));
+            }
+        }
+        let merge_ms = elapsed_ms(phase_start);
+
+        // Step 4: rank and truncate.
+        let phase_start = Instant::now();
+        let mut ranked = rank_maps(merged);
+        ranked.truncate(self.config.max_maps);
+        let rank_ms = elapsed_ms(phase_start);
+
+        Ok(MapResult {
+            maps: ranked,
+            working_set_size,
+            working_set: working,
+            skipped_attributes: candidates.skipped,
+            timings: PhaseTimings {
+                query_ms,
+                candidates_ms,
+                clustering_ms,
+                merge_ms,
+                rank_ms,
+                total_ms: elapsed_ms(total_start),
+            },
+        })
+    }
+
+    /// Step 1 as a standalone operation (used by baselines and benchmarks).
+    pub fn candidates(
+        &self,
+        user_query: &ConjunctiveQuery,
+        working: &Bitmap,
+    ) -> Result<CandidateSet> {
+        generate_candidates(
+            &self.table,
+            working,
+            user_query,
+            self.config.attributes.as_deref(),
+            &self.config.cut,
+        )
+    }
+
+    /// Enforce the readability constraints of Section 2 on a merged map: if it
+    /// has more than `max_regions_per_map` regions, keep the largest ones and
+    /// fold the rest into a single remainder region (whose query is the
+    /// disjunction-free parent query — it is reported as "other tuples").
+    fn enforce_constraints(&self, mut map: DataMap) -> DataMap {
+        if map.num_regions() <= self.config.max_regions_per_map {
+            return map;
+        }
+        // Keep the largest (max_regions - 1) regions, merge the tail.
+        map.regions
+            .sort_by(|a, b| b.count().cmp(&a.count()));
+        let keep = self.config.max_regions_per_map.saturating_sub(1).max(1);
+        let tail = map.regions.split_off(keep);
+        if !tail.is_empty() {
+            let mut remainder_selection = Bitmap::new_empty(self.table.num_rows());
+            for region in &tail {
+                remainder_selection.union_with(&region.selection);
+            }
+            // The remainder region keeps only the parent predicates (it is the
+            // working set minus the kept regions), so its query stays simple.
+            let parent_query = tail[0].query.clone();
+            map.regions.push(crate::region::Region::new(
+                ConjunctiveQuery {
+                    table: parent_query.table,
+                    predicates: Vec::new(),
+                },
+                remainder_selection,
+            ));
+        }
+        map
+    }
+}
+
+fn elapsed_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::{CutConfig, NumericCutStrategy};
+    use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+    use atlas_query::Predicate;
+
+    /// A survey-like table with two planted dependency groups:
+    /// (education, salary) and (age, hours), plus an independent eye colour.
+    fn survey(rows: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("hours", DataType::Int),
+            Field::new("education", DataType::Str),
+            Field::new("salary", DataType::Str),
+            Field::new("eye_color", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("survey", schema);
+        for i in 0..rows {
+            let age = 17 + (i * 13) % 74;
+            let hours = if age >= 65 { 5 + (i % 8) } else { 30 + (i % 20) };
+            let education = if i % 3 == 0 { "HS" } else { "MSc" };
+            let salary = if education == "MSc" && i % 10 < 8 {
+                ">50k"
+            } else {
+                "<50k"
+            };
+            // Use i/3 so the eye colour is statistically independent of the
+            // education group (which is a function of i % 3).
+            let eye = ["Blue", "Green", "Brown"][(i / 3) % 3];
+            b.push_row(&[
+                Value::Int(age as i64),
+                Value::Int(hours as i64),
+                Value::Str(education.into()),
+                Value::Str(salary.into()),
+                Value::Str(eye.into()),
+            ])
+            .unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn explore_returns_ranked_maps_within_constraints() {
+        let table = survey(600);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+        assert!(result.num_maps() >= 2, "expected several maps");
+        assert_eq!(result.working_set_size, 600);
+        assert!(result.maps.len() <= atlas.config().max_maps);
+        for ranked in &result.maps {
+            assert!(ranked.map.num_regions() <= atlas.config().max_regions_per_map);
+            assert!(ranked.map.regions_are_disjoint());
+            assert!(
+                ranked.map.max_predicates()
+                    <= atlas.config().max_new_predicates
+                        + ConjunctiveQuery::all("survey").num_predicates()
+            );
+            assert!(ranked.score >= 0.0);
+        }
+        // Scores are non-increasing.
+        for pair in result.maps.windows(2) {
+            assert!(pair[0].score >= pair[1].score - 1e-12);
+        }
+        assert!(result.timings.total_ms >= 0.0);
+        assert!(result.best().is_some());
+    }
+
+    #[test]
+    fn dependent_attributes_are_grouped_into_the_same_map() {
+        let table = survey(900);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+        // Find the map containing education; it should also involve salary
+        // (planted dependency), and never eye_color (independent).
+        let education_map = result
+            .maps
+            .iter()
+            .find(|m| m.map.source_attributes.iter().any(|a| a == "education"))
+            .expect("some map should involve education");
+        assert!(
+            education_map
+                .map
+                .source_attributes
+                .iter()
+                .any(|a| a == "salary"),
+            "education and salary should be merged, got {:?}",
+            education_map.map.source_attributes
+        );
+        assert!(
+            !education_map
+                .map
+                .source_attributes
+                .iter()
+                .any(|a| a == "eye_color"),
+            "independent eye_color should not join the education map"
+        );
+    }
+
+    #[test]
+    fn explore_respects_the_user_query() {
+        let table = survey(600);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey").and(Predicate::range("age", 17.0, 40.0));
+        let result = atlas.explore(&query).unwrap();
+        assert!(result.working_set_size < 600);
+        for ranked in &result.maps {
+            for region in &ranked.map.regions {
+                // Every region query must still contain the user's predicate.
+                assert!(region.query.predicate_on("age").is_some());
+                // And select only rows inside the working set.
+                assert!(region.selection.is_disjoint(&result.working_set.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_working_set_is_an_error() {
+        let table = survey(100);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey").and(Predicate::range("age", 500.0, 600.0));
+        assert!(matches!(
+            atlas.explore(&query),
+            Err(AtlasError::EmptyWorkingSet)
+        ));
+    }
+
+    #[test]
+    fn unknown_table_attribute_in_query_is_an_error() {
+        let table = survey(100);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey").and(Predicate::range("height", 0.0, 1.0));
+        assert!(matches!(atlas.explore(&query), Err(AtlasError::Query(_))));
+    }
+
+    #[test]
+    fn product_and_composition_strategies_both_work() {
+        let table = survey(400);
+        for merge in [MergeStrategy::Product, MergeStrategy::Composition] {
+            let config = AtlasConfig {
+                merge,
+                ..AtlasConfig::default()
+            };
+            let atlas = Atlas::new(Arc::clone(&table), config).unwrap();
+            let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+            assert!(result.num_maps() >= 1, "{merge:?}");
+            for ranked in &result.maps {
+                assert!(ranked.map.regions_are_disjoint(), "{merge:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn attribute_restriction_limits_candidates() {
+        let table = survey(300);
+        let config = AtlasConfig {
+            attributes: Some(vec!["age".to_string(), "hours".to_string()]),
+            ..AtlasConfig::default()
+        };
+        let atlas = Atlas::new(Arc::clone(&table), config).unwrap();
+        let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+        for ranked in &result.maps {
+            for attr in &ranked.map.source_attributes {
+                assert!(attr == "age" || attr == "hours");
+            }
+        }
+    }
+
+    #[test]
+    fn region_cap_folds_excess_regions_into_a_remainder() {
+        let table = survey(500);
+        // Force many regions: 4-way cuts, up to 3 attributes per cluster, but
+        // cap the result at 6 regions.
+        let config = AtlasConfig {
+            cut: CutConfig {
+                num_splits: 4,
+                numeric: NumericCutStrategy::Median,
+                ..CutConfig::default()
+            },
+            max_regions_per_map: 6,
+            merge: MergeStrategy::Product,
+            ..AtlasConfig::default()
+        };
+        let atlas = Atlas::new(Arc::clone(&table), config).unwrap();
+        let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+        for ranked in &result.maps {
+            assert!(ranked.map.num_regions() <= 6);
+        }
+    }
+
+    #[test]
+    fn explore_selection_skips_query_evaluation() {
+        let table = survey(200);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let working = Bitmap::from_indices(200, 0..100);
+        let result = atlas
+            .explore_selection(&ConjunctiveQuery::all("survey"), working)
+            .unwrap();
+        assert_eq!(result.working_set_size, 100);
+        for ranked in &result.maps {
+            for region in &ranked.map.regions {
+                for row in region.selection.iter_ones() {
+                    assert!(row < 100);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let table = survey(50);
+        let config = AtlasConfig {
+            max_maps: 0,
+            ..AtlasConfig::default()
+        };
+        assert!(Atlas::new(table, config).is_err());
+    }
+}

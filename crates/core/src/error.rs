@@ -1,0 +1,69 @@
+//! Error type of the Atlas engine.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, AtlasError>;
+
+/// Errors raised by the map-generation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtlasError {
+    /// The user query (or a region query) failed to parse or evaluate.
+    Query(atlas_query::QueryError),
+    /// The storage layer reported an error.
+    Columnar(String),
+    /// The user query selects no rows, so there is nothing to map.
+    EmptyWorkingSet,
+    /// No attribute of the table can be cut (all are constant, identifiers, or
+    /// excluded by the configuration).
+    NoCuttableAttributes,
+    /// The configuration is inconsistent (e.g. zero splits per attribute).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::Query(e) => write!(f, "query error: {e}"),
+            AtlasError::Columnar(msg) => write!(f, "storage error: {msg}"),
+            AtlasError::EmptyWorkingSet => {
+                f.write_str("the user query selects no rows; nothing to map")
+            }
+            AtlasError::NoCuttableAttributes => {
+                f.write_str("no attribute can be cut into a candidate map")
+            }
+            AtlasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {}
+
+impl From<atlas_query::QueryError> for AtlasError {
+    fn from(err: atlas_query::QueryError) -> Self {
+        AtlasError::Query(err)
+    }
+}
+
+impl From<atlas_columnar::ColumnarError> for AtlasError {
+    fn from(err: atlas_columnar::ColumnarError) -> Self {
+        AtlasError::Columnar(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AtlasError::EmptyWorkingSet.to_string().contains("no rows"));
+        assert!(AtlasError::InvalidConfig("zero splits".into())
+            .to_string()
+            .contains("zero splits"));
+        let e: AtlasError = atlas_query::QueryError::UnknownAttribute("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e: AtlasError = atlas_columnar::ColumnarError::EmptySchema.into();
+        assert!(matches!(e, AtlasError::Columnar(_)));
+    }
+}

@@ -1,0 +1,62 @@
+//! # atlas-core
+//!
+//! The Atlas map-generation engine — the primary contribution of "Fast
+//! Cartography for Data Explorers" (Sellam & Kersten, VLDB 2013).
+//!
+//! Atlas answers queries with queries: given a user query over a relational
+//! table, it summarises the matching tuples with a handful of **data maps**.
+//! A [`DataMap`] is a small set of conjunctive queries, each describing one
+//! region of the working set. The framework has four steps (Section 3 of the
+//! paper), each implemented by a module here:
+//!
+//! 1. **Candidate maps** ([`cut`], [`candidates`]) — every usable attribute is
+//!    broken down with the `CUT` primitive into a simple one-attribute map
+//!    (two regions by default, per the paper's performance-over-accuracy
+//!    choice).
+//! 2. **Clustering** ([`distance`], [`cluster`]) — candidate maps that are
+//!    statistically dependent describe the same aspect of the data; they are
+//!    grouped by agglomerative clustering under the Variation-of-Information
+//!    distance.
+//! 3. **Merging** ([`merge`]) — the maps of each cluster are combined into a
+//!    single representative map with either the *product* or the *composition*
+//!    operator.
+//! 4. **Ranking** ([`rank`]) — result maps are ordered by decreasing entropy
+//!    of their cover distribution, so balanced, multi-region maps come first
+//!    and outlier-revealing maps come last.
+//!
+//! The [`engine::Atlas`] type drives the whole pipeline; [`anytime`]
+//! implements the sampling-based anytime refinement of Section 5.1; and
+//! [`baselines`] provides the comparison systems used by the evaluation
+//! (exhaustive product, random maps, single-attribute maps and a grid-density
+//! subspace-clustering stand-in).
+
+#![warn(missing_docs)]
+
+pub mod anytime;
+pub mod baselines;
+pub mod candidates;
+pub mod cluster;
+pub mod config;
+pub mod cut;
+pub mod distance;
+pub mod engine;
+pub mod error;
+pub mod map;
+pub mod merge;
+pub mod precompute;
+pub mod rank;
+pub mod region;
+
+pub use anytime::{AnytimeAtlas, AnytimeConfig, AnytimeIteration, AnytimeResult};
+pub use candidates::{generate_candidates, CandidateSet};
+pub use cluster::{cluster_maps, slink, ClusteringConfig, Dendrogram, Linkage, MergeStep};
+pub use config::{AtlasConfig, MergeStrategy};
+pub use cut::{cut_attribute, CategoricalCutStrategy, CutConfig, NumericCutStrategy};
+pub use distance::{distance_matrix, map_distance, DistanceMatrix, MapDistanceMetric};
+pub use engine::{Atlas, MapResult, PhaseTimings};
+pub use error::{AtlasError, Result};
+pub use map::DataMap;
+pub use merge::{compose_maps, product_maps};
+pub use precompute::{CacheStats, CachedAtlas};
+pub use rank::{rank_maps, RankedMap};
+pub use region::Region;

@@ -1,0 +1,261 @@
+//! Anticipative computation (Section 5.1, "Anticipative computations").
+//!
+//! "The idea of this approach is to perform calculations offline, by
+//! anticipating what the user will ask. There are two periods during which
+//! this is possible: before the first query, and during the idle time between
+//! each query."
+//!
+//! [`CachedAtlas`] implements both periods:
+//!
+//! * **before the first query** — [`CachedAtlas::warm_up`] pre-computes and
+//!   caches the map result of the whole-table query, so the very first
+//!   interaction is served from memory;
+//! * **between queries** — [`CachedAtlas::prefetch`] takes the result the user
+//!   is currently looking at and pre-computes the exploration of every region
+//!   query (the only queries the GUI lets the user submit next), so whichever
+//!   region the user drills into is already answered.
+//!
+//! The cache is a simple bounded FIFO keyed by the canonical SQL text of the
+//! query — deliberately unsophisticated, as the paper leaves "deciding what to
+//! compute" open; eviction order and keying are the two obvious extension
+//! points.
+
+use crate::config::AtlasConfig;
+use crate::engine::{Atlas, MapResult};
+use crate::error::Result;
+use atlas_columnar::Table;
+use atlas_query::{to_sql, ConjunctiveQuery};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Statistics of the cache behaviour (useful in tests and benchmarks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: usize,
+    /// Queries that had to be computed on demand.
+    pub misses: usize,
+    /// Results inserted by prefetching or warm-up.
+    pub prefetched: usize,
+    /// Entries evicted because the cache was full.
+    pub evicted: usize,
+}
+
+/// An [`Atlas`] engine wrapped with an anticipative result cache.
+#[derive(Debug, Clone)]
+pub struct CachedAtlas {
+    engine: Atlas,
+    capacity: usize,
+    cache: HashMap<String, MapResult>,
+    insertion_order: VecDeque<String>,
+    stats: CacheStats,
+}
+
+impl CachedAtlas {
+    /// Wrap an engine with a cache holding at most `capacity` results.
+    pub fn new(table: Arc<Table>, config: AtlasConfig, capacity: usize) -> Result<Self> {
+        Ok(CachedAtlas {
+            engine: Atlas::new(table, config)?,
+            capacity: capacity.max(1),
+            cache: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Atlas {
+        &self.engine
+    }
+
+    /// Cache behaviour so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    fn key(query: &ConjunctiveQuery) -> String {
+        to_sql(query)
+    }
+
+    fn insert(&mut self, key: String, result: MapResult) {
+        if self.cache.contains_key(&key) {
+            self.cache.insert(key, result);
+            return;
+        }
+        if self.cache.len() >= self.capacity {
+            if let Some(oldest) = self.insertion_order.pop_front() {
+                self.cache.remove(&oldest);
+                self.stats.evicted += 1;
+            }
+        }
+        self.insertion_order.push_back(key.clone());
+        self.cache.insert(key, result);
+    }
+
+    /// Pre-compute the whole-table exploration ("before the first query").
+    pub fn warm_up(&mut self) -> Result<()> {
+        let query = ConjunctiveQuery::all(self.engine.table().name());
+        let key = Self::key(&query);
+        if !self.cache.contains_key(&key) {
+            let result = self.engine.explore(&query)?;
+            self.insert(key, result);
+            self.stats.prefetched += 1;
+        }
+        Ok(())
+    }
+
+    /// Answer a query, from the cache when possible.
+    pub fn explore(&mut self, query: &ConjunctiveQuery) -> Result<MapResult> {
+        let key = Self::key(query);
+        if let Some(result) = self.cache.get(&key) {
+            self.stats.hits += 1;
+            return Ok(result.clone());
+        }
+        self.stats.misses += 1;
+        let result = self.engine.explore(query)?;
+        self.insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Idle-time prefetch: pre-compute the exploration of every region query
+    /// of the given result (at most `limit` of them, largest regions first).
+    ///
+    /// Regions whose exploration fails (for example a region too small to cut)
+    /// are skipped silently — prefetching is best-effort by design.
+    pub fn prefetch(&mut self, result: &MapResult, limit: usize) -> usize {
+        let mut regions: Vec<&crate::region::Region> = result
+            .maps
+            .iter()
+            .flat_map(|m| m.map.regions.iter())
+            .collect();
+        regions.sort_by(|a, b| b.count().cmp(&a.count()));
+        let mut computed = 0usize;
+        for region in regions.into_iter().take(limit) {
+            let key = Self::key(&region.query);
+            if self.cache.contains_key(&key) {
+                continue;
+            }
+            if let Ok(region_result) = self.engine.explore(&region.query) {
+                self.insert(key, region_result);
+                self.stats.prefetched += 1;
+                computed += 1;
+            }
+        }
+        computed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table(rows: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::new("group", DataType::Str),
+            Field::new("y", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            let group = ["a", "b", "c"][i % 3];
+            let x = (i % 100) as f64 + if group == "a" { 0.0 } else { 200.0 };
+            b.push_row(&[
+                Value::Float(x),
+                Value::Str(group.into()),
+                Value::Float((i % 17) as f64),
+            ])
+            .unwrap();
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn warm_up_makes_the_first_query_a_hit() {
+        let mut cached = CachedAtlas::new(table(3_000), AtlasConfig::default(), 8).unwrap();
+        assert!(cached.is_empty());
+        cached.warm_up().unwrap();
+        assert_eq!(cached.len(), 1);
+        let result = cached.explore(&ConjunctiveQuery::all("t")).unwrap();
+        assert!(result.num_maps() >= 1);
+        assert_eq!(cached.stats().hits, 1);
+        assert_eq!(cached.stats().misses, 0);
+        // Warming up twice does not recompute.
+        cached.warm_up().unwrap();
+        assert_eq!(cached.stats().prefetched, 1);
+    }
+
+    #[test]
+    fn cached_results_equal_fresh_results() {
+        let t = table(2_000);
+        let mut cached = CachedAtlas::new(Arc::clone(&t), AtlasConfig::default(), 8).unwrap();
+        let query = ConjunctiveQuery::all("t");
+        let first = cached.explore(&query).unwrap();
+        let second = cached.explore(&query).unwrap();
+        assert_eq!(cached.stats().misses, 1);
+        assert_eq!(cached.stats().hits, 1);
+        assert_eq!(first.num_maps(), second.num_maps());
+        assert_eq!(first.working_set_size, second.working_set_size);
+        let fresh = Atlas::new(t, AtlasConfig::default())
+            .unwrap()
+            .explore(&query)
+            .unwrap();
+        assert_eq!(fresh.num_maps(), first.num_maps());
+    }
+
+    #[test]
+    fn prefetch_turns_drill_downs_into_hits() {
+        let mut cached = CachedAtlas::new(table(4_000), AtlasConfig::default(), 16).unwrap();
+        let result = cached.explore(&ConjunctiveQuery::all("t")).unwrap();
+        let computed = cached.prefetch(&result, 4);
+        assert!(computed >= 1);
+        assert_eq!(cached.stats().prefetched, computed);
+        // Drilling into the largest region of the best map is now a hit.
+        let best = result.best().unwrap();
+        let largest = best
+            .map
+            .regions
+            .iter()
+            .max_by_key(|r| r.count())
+            .unwrap();
+        let hits_before = cached.stats().hits;
+        let drill = cached.explore(&largest.query).unwrap();
+        assert!(drill.working_set_size < result.working_set_size);
+        assert_eq!(cached.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_fifo_eviction() {
+        let mut cached = CachedAtlas::new(table(2_000), AtlasConfig::default(), 2).unwrap();
+        let q1 = ConjunctiveQuery::all("t");
+        let q2 = q1.clone().and(atlas_query::Predicate::values("group", ["a"]));
+        let q3 = q1.clone().and(atlas_query::Predicate::values("group", ["b"]));
+        cached.explore(&q1).unwrap();
+        cached.explore(&q2).unwrap();
+        cached.explore(&q3).unwrap();
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached.stats().evicted, 1);
+        // q1 was evicted (FIFO), so it is a miss again.
+        let misses_before = cached.stats().misses;
+        cached.explore(&q1).unwrap();
+        assert_eq!(cached.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn prefetch_limit_zero_does_nothing() {
+        let mut cached = CachedAtlas::new(table(1_000), AtlasConfig::default(), 4).unwrap();
+        let result = cached.explore(&ConjunctiveQuery::all("t")).unwrap();
+        assert_eq!(cached.prefetch(&result, 0), 0);
+    }
+}

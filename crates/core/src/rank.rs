@@ -1,0 +1,113 @@
+//! Ranking the result maps (step 4 of the framework).
+//!
+//! Section 3.4 of the paper: result maps are ranked by decreasing entropy of
+//! their cover distribution. Maps with many regions score high; among maps
+//! with the same number of regions the most balanced one wins; maps that
+//! isolate tiny outlier regions appear last.
+
+use crate::map::DataMap;
+
+/// A map together with its ranking score.
+#[derive(Debug, Clone)]
+pub struct RankedMap {
+    /// The map.
+    pub map: DataMap,
+    /// The ranking score (entropy of the cover distribution, in bits).
+    pub score: f64,
+}
+
+impl RankedMap {
+    /// Convenience accessor: number of regions of the underlying map.
+    pub fn num_regions(&self) -> usize {
+        self.map.num_regions()
+    }
+}
+
+/// Score a single map: the entropy, in bits, of its cover distribution.
+pub fn score_map(map: &DataMap) -> f64 {
+    map.entropy()
+}
+
+/// Rank a set of maps by decreasing entropy.
+///
+/// Ties are broken by the number of regions (more regions first) and then by
+/// the source attributes, so the order is deterministic.
+pub fn rank_maps(maps: Vec<DataMap>) -> Vec<RankedMap> {
+    let mut ranked: Vec<RankedMap> = maps
+        .into_iter()
+        .map(|map| {
+            let score = score_map(&map);
+            RankedMap { map, score }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| b.map.num_regions().cmp(&a.map.num_regions()))
+            .then_with(|| a.map.source_attributes.cmp(&b.map.source_attributes))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::Region;
+    use atlas_columnar::Bitmap;
+    use atlas_query::{ConjunctiveQuery, Predicate};
+
+    fn map_with_counts(counts: &[usize], attr: &str) -> DataMap {
+        let total: usize = counts.iter().sum();
+        let mut start = 0usize;
+        let mut regions = Vec::new();
+        for &count in counts {
+            let rows: Vec<usize> = (start..start + count).collect();
+            regions.push(Region::new(
+                ConjunctiveQuery::all("t").and(Predicate::range(attr, start as f64, (start + count) as f64)),
+                Bitmap::from_indices(total, rows),
+            ));
+            start += count;
+        }
+        DataMap::new(regions, vec![attr.to_string()])
+    }
+
+    #[test]
+    fn balanced_many_region_maps_rank_first() {
+        let four_balanced = map_with_counts(&[25, 25, 25, 25], "a");
+        let two_balanced = map_with_counts(&[50, 50], "b");
+        let outlier = map_with_counts(&[99, 1], "c");
+        let ranked = rank_maps(vec![outlier, two_balanced, four_balanced]);
+        assert_eq!(ranked[0].map.source_attributes, vec!["a"]);
+        assert_eq!(ranked[1].map.source_attributes, vec!["b"]);
+        assert_eq!(ranked[2].map.source_attributes, vec!["c"]);
+        assert!((ranked[0].score - 2.0).abs() < 1e-9);
+        assert!((ranked[1].score - 1.0).abs() < 1e-9);
+        assert!(ranked[2].score < 0.1);
+        assert_eq!(ranked[0].num_regions(), 4);
+    }
+
+    #[test]
+    fn same_region_count_prefers_balance() {
+        let balanced = map_with_counts(&[50, 50], "balanced");
+        let skewed = map_with_counts(&[90, 10], "skewed");
+        let ranked = rank_maps(vec![skewed, balanced]);
+        assert_eq!(ranked[0].map.source_attributes, vec!["balanced"]);
+    }
+
+    #[test]
+    fn ties_are_broken_deterministically() {
+        let a = map_with_counts(&[10, 10], "a");
+        let b = map_with_counts(&[10, 10], "b");
+        let ranked1 = rank_maps(vec![a.clone(), b.clone()]);
+        let ranked2 = rank_maps(vec![b, a]);
+        assert_eq!(
+            ranked1[0].map.source_attributes,
+            ranked2[0].map.source_attributes
+        );
+    }
+
+    #[test]
+    fn empty_input_ranks_to_empty_output() {
+        assert!(rank_maps(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Regions: one query of a data map, plus its extent.
+
+use atlas_columnar::Bitmap;
+use atlas_query::ConjunctiveQuery;
+use std::fmt;
+
+/// One region of a data map: a conjunctive query describing it, and the rows
+/// of the table it covers (within the current working set).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The query describing this region. It always includes the predicates of
+    /// the user query it was derived from, so it can be submitted back to the
+    /// engine verbatim for drill-down.
+    pub query: ConjunctiveQuery,
+    /// The rows of the table covered by this region (already intersected with
+    /// the working set).
+    pub selection: Bitmap,
+}
+
+impl Region {
+    /// Create a region from a query and its selection.
+    pub fn new(query: ConjunctiveQuery, selection: Bitmap) -> Self {
+        Region { query, selection }
+    }
+
+    /// Number of tuples in the region.
+    pub fn count(&self) -> usize {
+        self.selection.count()
+    }
+
+    /// The cover of the region relative to a reference population size
+    /// (Section 3: number of items described divided by the total number of
+    /// tuples). Returns 0 for an empty reference population.
+    pub fn cover(&self, reference_size: usize) -> f64 {
+        if reference_size == 0 {
+            0.0
+        } else {
+            self.count() as f64 / reference_size as f64
+        }
+    }
+
+    /// Number of predicates of the region's query (readability constraint:
+    /// the paper targets at most ~3).
+    pub fn num_predicates(&self) -> usize {
+        self.query.num_predicates()
+    }
+
+    /// True if the region covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.selection.is_all_clear()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} tuples)", self.query, self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_query::Predicate;
+
+    #[test]
+    fn count_cover_and_arity() {
+        let query = ConjunctiveQuery::all("t")
+            .and(Predicate::range("age", 0.0, 40.0))
+            .and(Predicate::values("sex", ["F"]));
+        let selection = Bitmap::from_indices(10, [1, 3, 5]);
+        let region = Region::new(query, selection);
+        assert_eq!(region.count(), 3);
+        assert!((region.cover(10) - 0.3).abs() < 1e-12);
+        assert!((region.cover(6) - 0.5).abs() < 1e-12);
+        assert_eq!(region.cover(0), 0.0);
+        assert_eq!(region.num_predicates(), 2);
+        assert!(!region.is_empty());
+        assert!(region.to_string().contains("3 tuples"));
+    }
+
+    #[test]
+    fn empty_region() {
+        let region = Region::new(ConjunctiveQuery::all("t"), Bitmap::new_empty(5));
+        assert!(region.is_empty());
+        assert_eq!(region.count(), 0);
+    }
+}

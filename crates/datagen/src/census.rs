@@ -1,0 +1,379 @@
+//! Adult-census-like survey generator with planted attribute dependencies.
+//!
+//! The generated table reproduces the running example of the paper (Figures 1
+//! and 2): a survey with demographic attributes. Three dependency groups are
+//! planted so that the map-clustering step has unambiguous ground truth:
+//!
+//! | group | attributes | mechanism |
+//! |-------|------------|-----------|
+//! | G1    | `education`, `salary` | salary is drawn from a distribution conditioned on education |
+//! | G2    | `age`, `hours_per_week` | working hours collapse after retirement age |
+//! | G3    | `sex`, `height_cm` | height is drawn from a sex-specific normal |
+//! | —     | `eye_color` | independent of everything (the paper's distractor) |
+
+use atlas_columnar::{DataType, Field, Schema, Table, TableBuilder, Value};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the census generator.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// RNG seed (same seed ⇒ same table).
+    pub seed: u64,
+    /// Name of the generated table.
+    pub table_name: String,
+    /// Strength of the planted dependencies in `[0, 1]`: 1.0 = deterministic
+    /// coupling, 0.0 = fully independent attributes.
+    pub dependency_strength: f64,
+    /// Fraction of values replaced by NULL (uniformly across nullable
+    /// columns), to exercise NULL handling.
+    pub null_fraction: f64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        CensusConfig {
+            rows: 10_000,
+            seed: 42,
+            table_name: "census".to_string(),
+            dependency_strength: 0.85,
+            null_fraction: 0.0,
+        }
+    }
+}
+
+/// The census data generator.
+#[derive(Debug, Clone)]
+pub struct CensusGenerator {
+    config: CensusConfig,
+}
+
+/// Education levels, ordered from lowest to highest.
+pub const EDUCATION_LEVELS: [&str; 4] = ["HighSchool", "BSc", "MSc", "PhD"];
+/// Salary classes, mirroring the Adult census bucketing.
+pub const SALARY_CLASSES: [&str; 2] = ["<50k", ">50k"];
+/// Sexes used by the generator.
+pub const SEXES: [&str; 2] = ["Male", "Female"];
+/// Eye colours (the independent distractor attribute from the paper's intro).
+pub const EYE_COLORS: [&str; 3] = ["Blue", "Green", "Brown"];
+
+impl CensusGenerator {
+    /// Create a generator with the given configuration.
+    pub fn new(config: CensusConfig) -> Self {
+        CensusGenerator { config }
+    }
+
+    /// Create a generator with default configuration except row count and seed.
+    pub fn with_rows(rows: usize, seed: u64) -> Self {
+        CensusGenerator {
+            config: CensusConfig {
+                rows,
+                seed,
+                ..CensusConfig::default()
+            },
+        }
+    }
+
+    /// The schema of the generated table.
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("sex", DataType::Str),
+            Field::new("height_cm", DataType::Float),
+            Field::new("education", DataType::Str),
+            Field::new("salary", DataType::Str),
+            Field::new("hours_per_week", DataType::Int),
+            Field::new("eye_color", DataType::Str),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// The planted dependency groups (used as ground truth by experiment E3).
+    pub fn dependency_groups() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["education", "salary"],
+            vec!["age", "hours_per_week"],
+            vec!["sex", "height_cm"],
+            vec!["eye_color"],
+        ]
+    }
+
+    /// Generate the table.
+    pub fn generate(&self) -> Table {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut builder = TableBuilder::new(cfg.table_name.clone(), Self::schema());
+        let strength = cfg.dependency_strength.clamp(0.0, 1.0);
+        let normal = Normalish::new();
+
+        for _ in 0..cfg.rows {
+            // Age: mixture of working-age adults and retirees, 17..=90.
+            let age: i64 = if rng.gen_bool(0.8) {
+                rng.gen_range(17..=64)
+            } else {
+                rng.gen_range(65..=90)
+            };
+
+            // Sex, then height conditioned on sex (group G3).
+            let sex = SEXES[rng.gen_range(0..SEXES.len())];
+            let height_mean = if follows(&mut rng, strength) {
+                if sex == "Male" {
+                    178.0
+                } else {
+                    164.0
+                }
+            } else {
+                171.0
+            };
+            let height = height_mean + 7.0 * normal.sample(&mut rng);
+
+            // Education, then salary conditioned on education (group G1).
+            let education = {
+                let r: f64 = rng.gen();
+                if r < 0.35 {
+                    EDUCATION_LEVELS[0]
+                } else if r < 0.70 {
+                    EDUCATION_LEVELS[1]
+                } else if r < 0.92 {
+                    EDUCATION_LEVELS[2]
+                } else {
+                    EDUCATION_LEVELS[3]
+                }
+            };
+            let p_high = if follows(&mut rng, strength) {
+                match education {
+                    "HighSchool" => 0.08,
+                    "BSc" => 0.35,
+                    "MSc" => 0.70,
+                    _ => 0.88,
+                }
+            } else {
+                0.4
+            };
+            let salary = if rng.gen_bool(p_high) {
+                SALARY_CLASSES[1]
+            } else {
+                SALARY_CLASSES[0]
+            };
+
+            // Hours per week conditioned on age (group G2): a downward trend
+            // with age plus a hard retirement cliff, so the dependency is
+            // visible even to coarse two-way cuts.
+            let hours: i64 = if follows(&mut rng, strength) {
+                if age >= 65 {
+                    rng.gen_range(0..=12)
+                } else {
+                    let base = 48.0 - 0.5 * (age - 17) as f64 + 5.0 * normal.sample(&mut rng);
+                    base.clamp(5.0, 80.0).round() as i64
+                }
+            } else {
+                rng.gen_range(0..=80)
+            };
+
+            // Eye colour: independent of everything.
+            let eye = EYE_COLORS[rng.gen_range(0..EYE_COLORS.len())];
+
+            let maybe_null = |rng: &mut StdRng, v: Value| -> Value {
+                if cfg.null_fraction > 0.0 && rng.gen_bool(cfg.null_fraction.clamp(0.0, 1.0)) {
+                    Value::Null
+                } else {
+                    v
+                }
+            };
+
+            let height_value = maybe_null(&mut rng, Value::Float((height * 10.0).round() / 10.0));
+            let hours_value = maybe_null(&mut rng, Value::Int(hours));
+            builder
+                .push_row(&[
+                    Value::Int(age),
+                    Value::Str(sex.to_string()),
+                    height_value,
+                    Value::Str(education.to_string()),
+                    Value::Str(salary.to_string()),
+                    hours_value,
+                    Value::Str(eye.to_string()),
+                ])
+                .expect("generated row matches static schema");
+        }
+        builder.build().expect("generated columns are consistent")
+    }
+}
+
+/// Bernoulli draw: does this row follow the planted dependency?
+fn follows(rng: &mut StdRng, strength: f64) -> bool {
+    rng.gen_bool(strength)
+}
+
+/// A small standard-normal sampler (Box–Muller) so we do not need an extra
+/// statistics dependency.
+#[derive(Debug, Clone, Copy)]
+struct Normalish;
+
+impl Normalish {
+    fn new() -> Self {
+        Normalish
+    }
+}
+
+impl Distribution<f64> for Normalish {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::Bitmap;
+
+    #[test]
+    fn generates_requested_rows_with_schema() {
+        let t = CensusGenerator::with_rows(500, 7).generate();
+        assert_eq!(t.num_rows(), 500);
+        assert_eq!(t.num_columns(), 7);
+        assert_eq!(t.name(), "census");
+        assert!(t.schema().contains("education"));
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let a = CensusGenerator::with_rows(200, 99).generate();
+        let b = CensusGenerator::with_rows(200, 99).generate();
+        for row in [0usize, 50, 199] {
+            assert_eq!(a.row(row).unwrap(), b.row(row).unwrap());
+        }
+        let c = CensusGenerator::with_rows(200, 100).generate();
+        let mut identical = true;
+        for row in 0..200 {
+            if a.row(row).unwrap() != c.row(row).unwrap() {
+                identical = false;
+                break;
+            }
+        }
+        assert!(!identical, "different seeds should give different data");
+    }
+
+    #[test]
+    fn values_are_in_expected_domains() {
+        let t = CensusGenerator::with_rows(1000, 3).generate();
+        let all = t.full_selection();
+        let (age_min, age_max) = t.column("age").unwrap().numeric_min_max(&all).unwrap();
+        assert!(age_min >= 17.0 && age_max <= 90.0);
+        let (h_min, h_max) = t
+            .column("hours_per_week")
+            .unwrap()
+            .numeric_min_max(&all)
+            .unwrap();
+        assert!(h_min >= 0.0 && h_max <= 80.0);
+        let edu = t.column("education").unwrap().categories_by_frequency(&all);
+        for (value, _) in edu {
+            assert!(EDUCATION_LEVELS.contains(&value.as_str()));
+        }
+    }
+
+    #[test]
+    fn planted_dependency_education_salary_is_visible() {
+        let t = CensusGenerator::with_rows(4000, 11).generate();
+        let all = t.full_selection();
+        // P(>50k | PhD or MSc) should far exceed P(>50k | HighSchool).
+        let edu = t.column("education").unwrap();
+        let sal = t.column("salary").unwrap();
+        let high_edu = edu.select_in(&all, &["MSc".to_string(), "PhD".to_string()]);
+        let low_edu = edu.select_in(&all, &["HighSchool".to_string()]);
+        let rich = sal.select_in(&all, &[">50k".to_string()]);
+        let p_rich_high = rich.intersection_count(&high_edu) as f64 / high_edu.count() as f64;
+        let p_rich_low = rich.intersection_count(&low_edu) as f64 / low_edu.count() as f64;
+        assert!(
+            p_rich_high > p_rich_low + 0.3,
+            "p_rich_high={p_rich_high} p_rich_low={p_rich_low}"
+        );
+    }
+
+    #[test]
+    fn planted_dependency_age_hours_is_visible() {
+        let t = CensusGenerator::with_rows(4000, 13).generate();
+        let all = t.full_selection();
+        let age = t.column("age").unwrap();
+        let hours = t.column("hours_per_week").unwrap();
+        let retired = age.select_range(&all, 65.0, 200.0);
+        let working = age.select_range(&all, 17.0, 64.0);
+        let hours_retired: f64 = mean(&hours.numeric_values_where(&retired));
+        let hours_working: f64 = mean(&hours.numeric_values_where(&working));
+        assert!(hours_working > hours_retired + 10.0);
+    }
+
+    #[test]
+    fn eye_color_is_independent_of_salary() {
+        let t = CensusGenerator::with_rows(6000, 17).generate();
+        let all = t.full_selection();
+        let eye = t.column("eye_color").unwrap();
+        let sal = t.column("salary").unwrap();
+        let rich = sal.select_in(&all, &[">50k".to_string()]);
+        let mut rates = Vec::new();
+        for color in EYE_COLORS {
+            let with_color = eye.select_in(&all, &[color.to_string()]);
+            let rate = rich.intersection_count(&with_color) as f64 / with_color.count() as f64;
+            rates.push(rate);
+        }
+        let spread = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread < 0.08, "salary rate spread across eye colors: {spread}");
+    }
+
+    #[test]
+    fn zero_strength_removes_dependencies() {
+        let cfg = CensusConfig {
+            rows: 5000,
+            seed: 5,
+            dependency_strength: 0.0,
+            ..CensusConfig::default()
+        };
+        let t = CensusGenerator::new(cfg).generate();
+        let all = t.full_selection();
+        let edu = t.column("education").unwrap();
+        let sal = t.column("salary").unwrap();
+        let high_edu = edu.select_in(&all, &["PhD".to_string(), "MSc".to_string()]);
+        let low_edu = edu.select_in(&all, &["HighSchool".to_string()]);
+        let rich = sal.select_in(&all, &[">50k".to_string()]);
+        let p_rich_high = rich.intersection_count(&high_edu) as f64 / high_edu.count() as f64;
+        let p_rich_low = rich.intersection_count(&low_edu) as f64 / low_edu.count() as f64;
+        assert!((p_rich_high - p_rich_low).abs() < 0.08);
+    }
+
+    #[test]
+    fn null_fraction_produces_nulls() {
+        let cfg = CensusConfig {
+            rows: 1000,
+            seed: 21,
+            null_fraction: 0.2,
+            ..CensusConfig::default()
+        };
+        let t = CensusGenerator::new(cfg).generate();
+        let nulls = t.column("hours_per_week").unwrap().null_count();
+        assert!(nulls > 100 && nulls < 320, "null count {nulls}");
+    }
+
+    fn mean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    #[test]
+    fn dependency_groups_cover_schema_attributes() {
+        let schema = CensusGenerator::schema();
+        for group in CensusGenerator::dependency_groups() {
+            for attr in group {
+                assert!(schema.contains(attr), "group attribute {attr} not in schema");
+            }
+        }
+        let _ = Bitmap::new_empty(1); // silence unused import lint in some cfgs
+    }
+}

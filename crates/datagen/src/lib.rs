@@ -1,0 +1,37 @@
+//! # atlas-datagen
+//!
+//! Seeded synthetic dataset generators for the Atlas reproduction.
+//!
+//! The paper motivates Atlas with a census-like survey (its Figure 2 example)
+//! and names SDSS and TPC data as targets (Section 5.2). Those datasets are
+//! not redistributable here, so this crate generates schema-compatible
+//! synthetic stand-ins with **known, planted structure**:
+//!
+//! * [`census`] — an Adult-census-like survey with planted attribute
+//!   dependency groups (education↔salary, age↔hours-per-week, sex↔height) and
+//!   an independent distractor attribute (eye colour). Used by experiments E1,
+//!   E3, E5, E6, E8.
+//! * [`mixture`] — numeric tables with planted Gaussian subspace clusters and
+//!   optional noise dimensions, returning the ground-truth labels. Used by E4
+//!   and E7.
+//! * [`sdss`] — a sky-survey-like photometric catalog where magnitudes and
+//!   redshift depend on the object class. Used by the `sky_survey` example and
+//!   the scale benchmarks.
+//! * [`orders`] — a TPC-H-like denormalised orders table with realistic
+//!   categorical/numeric mix and a high-cardinality key column (to exercise
+//!   the identifier-skipping logic).
+//!
+//! Every generator is deterministic for a given seed, so experiments are
+//! reproducible run to run.
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod mixture;
+pub mod orders;
+pub mod sdss;
+
+pub use census::{CensusConfig, CensusGenerator};
+pub use mixture::{MixtureConfig, MixtureDataset, MixtureGenerator};
+pub use orders::{OrdersConfig, OrdersGenerator};
+pub use sdss::{SdssConfig, SdssGenerator};

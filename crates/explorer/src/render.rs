@@ -1,0 +1,135 @@
+//! Plain-text and Markdown rendering of data maps.
+//!
+//! The renderings follow the style of the paper's figures: one block per
+//! region, listing the region's predicates in `Attribute: set` form, plus the
+//! cover so the user can see at a glance how the working set is distributed.
+
+use atlas_core::{DataMap, MapResult, RankedMap};
+use atlas_query::to_compact;
+use std::fmt::Write as _;
+
+/// Render one map as indented plain text.
+pub fn render_map(map: &DataMap, working_set_size: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Map on [{}] — {} regions, entropy {:.3} bits",
+        map.source_attributes.join(", "),
+        map.num_regions(),
+        map.entropy()
+    );
+    for (i, region) in map.regions.iter().enumerate() {
+        let cover = region.cover(working_set_size);
+        let _ = writeln!(
+            out,
+            "  region {i}: {} tuples ({:.1}% of the working set)",
+            region.count(),
+            cover * 100.0
+        );
+        for line in to_compact(&region.query).lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+    }
+    out
+}
+
+/// Render a whole exploration result (all ranked maps) as plain text.
+pub fn render_result(result: &MapResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} map(s) over a working set of {} tuples (generated in {:.1} ms)",
+        result.num_maps(),
+        result.working_set_size,
+        result.timings.total_ms
+    );
+    for (rank, ranked) in result.maps.iter().enumerate() {
+        let _ = writeln!(out, "#{rank} (score {:.3}):", ranked.score);
+        out.push_str(&render_map(&ranked.map, result.working_set_size));
+    }
+    if !result.skipped_attributes.is_empty() {
+        let _ = writeln!(
+            out,
+            "skipped attributes: {}",
+            result.skipped_attributes.join(", ")
+        );
+    }
+    out
+}
+
+/// Render a result as a Markdown table (one row per region of each map).
+pub fn render_result_markdown(result: &MapResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| map | score | region | cover | query |");
+    let _ = writeln!(out, "|-----|-------|--------|-------|-------|");
+    for (rank, ranked) in result.maps.iter().enumerate() {
+        for (i, region) in ranked.map.regions.iter().enumerate() {
+            let query_text = to_compact(&region.query).replace('\n', "; ");
+            let _ = writeln!(
+                out,
+                "| {rank} | {:.3} | {i} | {:.1}% | {} |",
+                ranked.score,
+                region.cover(result.working_set_size) * 100.0,
+                query_text
+            );
+        }
+    }
+    out
+}
+
+/// Render only the top map of a result, as plain text (the quick look).
+pub fn render_best(result: &MapResult) -> Option<String> {
+    result
+        .best()
+        .map(|ranked: &RankedMap| render_map(&ranked.map, result.working_set_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_core::{Atlas, AtlasConfig};
+    use atlas_datagen::CensusGenerator;
+    use atlas_query::ConjunctiveQuery;
+    use std::sync::Arc;
+
+    fn result() -> MapResult {
+        let table = Arc::new(CensusGenerator::with_rows(1500, 9).generate());
+        let atlas = Atlas::new(table, AtlasConfig::default()).unwrap();
+        atlas.explore(&ConjunctiveQuery::all("census")).unwrap()
+    }
+
+    #[test]
+    fn plain_text_rendering_mentions_regions_and_covers() {
+        let r = result();
+        let text = render_result(&r);
+        assert!(text.contains("working set of 1500 tuples"));
+        assert!(text.contains("region 0"));
+        assert!(text.contains('%'));
+        assert!(text.contains("Map on ["));
+        // Every map of the result is rendered.
+        for ranked in &r.maps {
+            for attr in &ranked.map.source_attributes {
+                assert!(text.contains(attr.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn markdown_rendering_has_one_row_per_region() {
+        let r = result();
+        let md = render_result_markdown(&r);
+        let expected_rows: usize = r.maps.iter().map(|m| m.map.num_regions()).sum();
+        let data_rows = md.lines().count() - 2; // header + separator
+        assert_eq!(data_rows, expected_rows);
+        assert!(md.starts_with("| map |"));
+    }
+
+    #[test]
+    fn best_map_rendering() {
+        let r = result();
+        let best = render_best(&r).unwrap();
+        assert!(best.contains("regions"));
+        // Rendering a single map agrees with rendering through the result.
+        assert!(render_result(&r).contains(best.lines().next().unwrap()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Exploration sessions: the interaction loop of Figure 1.
+//!
+//! The user submits a query; Atlas answers with a handful of maps; the user
+//! either drills down into one region (its query becomes the new user query)
+//! or asks for a new map. A [`Session`] records that history so the user can
+//! also go back.
+
+use atlas_columnar::Table;
+use atlas_core::{Atlas, AtlasConfig, MapResult, Result};
+use atlas_query::ConjunctiveQuery;
+use std::sync::Arc;
+
+/// One step of an exploration: the query that was submitted and the maps that
+/// came back.
+#[derive(Debug, Clone)]
+pub struct ExplorationStep {
+    /// The query submitted at this step.
+    pub query: ConjunctiveQuery,
+    /// The result Atlas returned.
+    pub result: MapResult,
+}
+
+impl ExplorationStep {
+    /// Number of tuples in this step's working set.
+    pub fn working_set_size(&self) -> usize {
+        self.result.working_set_size
+    }
+}
+
+/// An interactive exploration session over a single table.
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: Atlas,
+    steps: Vec<ExplorationStep>,
+}
+
+impl Session {
+    /// Start a session over a table with the given engine configuration.
+    pub fn new(table: Arc<Table>, config: AtlasConfig) -> Result<Self> {
+        Ok(Session {
+            engine: Atlas::new(table, config)?,
+            steps: Vec::new(),
+        })
+    }
+
+    /// Start a session with the default configuration.
+    pub fn with_defaults(table: Arc<Table>) -> Result<Self> {
+        Session::new(table, AtlasConfig::default())
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Atlas {
+        &self.engine
+    }
+
+    /// The exploration history, oldest step first.
+    pub fn history(&self) -> &[ExplorationStep] {
+        &self.steps
+    }
+
+    /// The current (latest) step, if any.
+    pub fn current(&self) -> Option<&ExplorationStep> {
+        self.steps.last()
+    }
+
+    /// Exploration depth (number of steps taken).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Submit a query: Atlas answers it with maps and the step is recorded.
+    pub fn submit(&mut self, query: ConjunctiveQuery) -> Result<&ExplorationStep> {
+        let result = self.engine.explore(&query)?;
+        self.steps.push(ExplorationStep { query, result });
+        Ok(self.steps.last().expect("step was just pushed"))
+    }
+
+    /// Submit a query written in the restricted SQL syntax.
+    pub fn submit_sql(&mut self, sql: &str) -> Result<&ExplorationStep> {
+        let mut query = atlas_query::parse_query(sql).map_err(atlas_core::AtlasError::Query)?;
+        if query.table.is_empty() {
+            query.table = self.engine.table().name().to_string();
+        }
+        self.submit(query)
+    }
+
+    /// Drill down: take region `region_idx` of map `map_idx` of the current
+    /// step and submit its query as the next exploration step (the refine
+    /// action of Figure 1).
+    pub fn drill_down(&mut self, map_idx: usize, region_idx: usize) -> Result<&ExplorationStep> {
+        let query = {
+            let step = self.current().ok_or_else(|| {
+                atlas_core::AtlasError::InvalidConfig(
+                    "cannot drill down before submitting a query".to_string(),
+                )
+            })?;
+            let map = step.result.maps.get(map_idx).ok_or_else(|| {
+                atlas_core::AtlasError::InvalidConfig(format!("no map #{map_idx} in current step"))
+            })?;
+            let region = map.map.regions.get(region_idx).ok_or_else(|| {
+                atlas_core::AtlasError::InvalidConfig(format!(
+                    "no region #{region_idx} in map #{map_idx}"
+                ))
+            })?;
+            region.query.clone()
+        };
+        self.submit(query)
+    }
+
+    /// Go back one step, returning the step that was abandoned.
+    pub fn back(&mut self) -> Option<ExplorationStep> {
+        self.steps.pop()
+    }
+
+    /// Reset the session, clearing the history.
+    pub fn reset(&mut self) {
+        self.steps.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_datagen::CensusGenerator;
+
+    fn census_session() -> Session {
+        let table = Arc::new(CensusGenerator::with_rows(2000, 3).generate());
+        Session::with_defaults(table).unwrap()
+    }
+
+    #[test]
+    fn submit_and_history() {
+        let mut session = census_session();
+        assert_eq!(session.depth(), 0);
+        assert!(session.current().is_none());
+        let step = session
+            .submit(ConjunctiveQuery::all("census"))
+            .unwrap();
+        assert_eq!(step.working_set_size(), 2000);
+        assert!(step.result.num_maps() >= 1);
+        assert_eq!(session.depth(), 1);
+        assert!(session.current().is_some());
+        assert_eq!(session.history().len(), 1);
+    }
+
+    #[test]
+    fn submit_sql_fills_in_the_table_name() {
+        let mut session = census_session();
+        let step = session
+            .submit_sql("age BETWEEN 17 AND 40 AND sex IN ('Male')")
+            .unwrap();
+        assert!(step.query.table == "census");
+        assert!(step.working_set_size() < 2000);
+        assert!(step.working_set_size() > 0);
+    }
+
+    #[test]
+    fn drill_down_narrows_the_working_set() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        let before = session.current().unwrap().working_set_size();
+        let step = session.drill_down(0, 0).unwrap();
+        assert!(step.working_set_size() < before);
+        assert!(step.working_set_size() > 0);
+        assert_eq!(session.depth(), 2);
+        // The drill-down query is the region query, so it has at least one predicate.
+        assert!(session.current().unwrap().query.num_predicates() >= 1);
+    }
+
+    #[test]
+    fn back_pops_history() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        session.drill_down(0, 0).unwrap();
+        assert_eq!(session.depth(), 2);
+        let popped = session.back().unwrap();
+        assert!(popped.query.num_predicates() >= 1);
+        assert_eq!(session.depth(), 1);
+        session.reset();
+        assert_eq!(session.depth(), 0);
+        assert!(session.back().is_none());
+    }
+
+    #[test]
+    fn drill_down_without_a_step_or_with_bad_indices_fails() {
+        let mut session = census_session();
+        assert!(session.drill_down(0, 0).is_err());
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        assert!(session.drill_down(99, 0).is_err());
+        assert!(session.drill_down(0, 99).is_err());
+        // The failed drill-downs must not have altered the history.
+        assert_eq!(session.depth(), 1);
+    }
+
+    #[test]
+    fn bad_sql_is_reported() {
+        let mut session = census_session();
+        assert!(session.submit_sql("SELECT age FROM census").is_err());
+        assert_eq!(session.depth(), 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Errors raised by the query layer.
+
+use std::fmt;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Errors raised while parsing or evaluating conjunctive queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text could not be tokenised.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The token stream did not match the grammar.
+    Parse {
+        /// Index of the offending token.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The query references a column that the table does not have.
+    UnknownAttribute(String),
+    /// A predicate is not applicable to the column's type (e.g. a range
+    /// predicate on a string column).
+    IncompatiblePredicate {
+        /// The attribute the predicate refers to.
+        attribute: String,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// An error bubbled up from the storage layer.
+    Storage(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            QueryError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            QueryError::IncompatiblePredicate { attribute, message } => {
+                write!(f, "incompatible predicate on {attribute}: {message}")
+            }
+            QueryError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<atlas_columnar::ColumnarError> for QueryError {
+    fn from(err: atlas_columnar::ColumnarError) -> Self {
+        match err {
+            atlas_columnar::ColumnarError::UnknownColumn(name) => {
+                QueryError::UnknownAttribute(name)
+            }
+            other => QueryError::Storage(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = QueryError::Parse {
+            position: 3,
+            message: "expected AND".into(),
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains("expected AND"));
+        let e = QueryError::UnknownAttribute("ageee".into());
+        assert!(e.to_string().contains("ageee"));
+    }
+
+    #[test]
+    fn columnar_error_converts() {
+        let e: QueryError = atlas_columnar::ColumnarError::UnknownColumn("x".into()).into();
+        assert_eq!(e, QueryError::UnknownAttribute("x".into()));
+        let e: QueryError = atlas_columnar::ColumnarError::EmptySchema.into();
+        assert!(matches!(e, QueryError::Storage(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Evaluation of conjunctive queries against the columnar engine.
+
+use crate::ast::{ConjunctiveQuery, Predicate, PredicateSet};
+use crate::error::{QueryError, Result};
+use atlas_columnar::{Bitmap, DataType, Table};
+
+/// Evaluate a single predicate over a table, restricted to `base`.
+pub fn evaluate_predicate(predicate: &Predicate, table: &Table, base: &Bitmap) -> Result<Bitmap> {
+    let column = table.column(&predicate.attribute)?;
+    match &predicate.set {
+        PredicateSet::Range { lo, hi } => {
+            if !column.data_type().is_ordinal() {
+                return Err(QueryError::IncompatiblePredicate {
+                    attribute: predicate.attribute.clone(),
+                    message: format!(
+                        "range predicate on a {} column",
+                        column.data_type()
+                    ),
+                });
+            }
+            Ok(column.select_range(base, *lo, *hi))
+        }
+        PredicateSet::Values(values) => {
+            // Value-set predicates are primarily for categorical columns, but
+            // integers are accepted through their decimal rendering so that
+            // low-cardinality integer codes behave like categories.
+            if column.data_type() == DataType::Float {
+                return Err(QueryError::IncompatiblePredicate {
+                    attribute: predicate.attribute.clone(),
+                    message: "value-set predicate on a float column".to_string(),
+                });
+            }
+            let values: Vec<String> = values.iter().cloned().collect();
+            Ok(column.select_in(base, &values))
+        }
+    }
+}
+
+/// Evaluate a query over a table, restricted to the rows selected by `base`.
+///
+/// This is the primitive Atlas uses while drilling down: the "user query"
+/// defines the working set, and every region query is evaluated *within* it.
+pub fn evaluate_within(query: &ConjunctiveQuery, table: &Table, base: &Bitmap) -> Result<Bitmap> {
+    let mut selection = base.clone();
+    for predicate in &query.predicates {
+        if selection.is_all_clear() {
+            break;
+        }
+        selection = evaluate_predicate(predicate, table, &selection)?;
+    }
+    Ok(selection)
+}
+
+/// Evaluate a query over the whole table.
+pub fn evaluate(query: &ConjunctiveQuery, table: &Table) -> Result<Bitmap> {
+    evaluate_within(query, table, &table.full_selection())
+}
+
+/// The cover `C(Q)` of a query: the fraction of the *table's* rows it selects
+/// (Section 3 of the paper).
+pub fn cover(query: &ConjunctiveQuery, table: &Table) -> Result<f64> {
+    Ok(evaluate(query, table)?.cover())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Predicate;
+    use atlas_columnar::{Field, Schema, TableBuilder, Value};
+
+    fn survey() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("sex", DataType::Str),
+            Field::new("salary", DataType::Str),
+            Field::new("score", DataType::Float),
+            Field::new("member", DataType::Bool),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("survey", schema);
+        let rows: Vec<(i64, &str, &str, f64, bool)> = vec![
+            (22, "M", "<50k", 1.0, true),
+            (28, "F", "<50k", 2.0, false),
+            (35, "F", ">50k", 3.0, true),
+            (41, "M", ">50k", 4.0, true),
+            (55, "F", ">50k", 5.0, false),
+            (67, "M", "<50k", 6.0, false),
+        ];
+        for (age, sex, salary, score, member) in rows {
+            b.push_row(&[
+                Value::Int(age),
+                Value::Str(sex.into()),
+                Value::Str(salary.into()),
+                Value::Float(score),
+                Value::Bool(member),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn range_and_set_predicates() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey")
+            .and(Predicate::range("age", 25.0, 60.0))
+            .and(Predicate::values("sex", ["F"]));
+        let sel = evaluate(&q, &t).unwrap();
+        assert_eq!(sel.to_indices(), vec![1, 2, 4]);
+        assert!((cover(&q, &t).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_query_selects_everything() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey");
+        assert_eq!(evaluate(&q, &t).unwrap().count(), 6);
+        assert_eq!(cover(&q, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn evaluation_within_a_base_selection() {
+        let t = survey();
+        let base = Bitmap::from_indices(6, [0, 1, 2]);
+        let q = ConjunctiveQuery::all("survey").and(Predicate::values("sex", ["F"]));
+        let sel = evaluate_within(&q, &t, &base).unwrap();
+        assert_eq!(sel.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cover_is_relative_to_the_whole_table() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey").and(Predicate::values("salary", [">50k"]));
+        assert!((cover(&q, &t).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey").and(Predicate::range("height", 0.0, 1.0));
+        assert!(matches!(
+            evaluate(&q, &t),
+            Err(QueryError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn incompatible_predicates_are_rejected() {
+        let t = survey();
+        let range_on_string =
+            ConjunctiveQuery::all("survey").and(Predicate::range("sex", 0.0, 1.0));
+        assert!(matches!(
+            evaluate(&range_on_string, &t),
+            Err(QueryError::IncompatiblePredicate { .. })
+        ));
+        let set_on_float =
+            ConjunctiveQuery::all("survey").and(Predicate::values("score", ["1.0"]));
+        assert!(matches!(
+            evaluate(&set_on_float, &t),
+            Err(QueryError::IncompatiblePredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn bool_and_int_set_predicates() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey").and(Predicate::values("member", ["true"]));
+        assert_eq!(evaluate(&q, &t).unwrap().count(), 3);
+        let q = ConjunctiveQuery::all("survey").and(Predicate::values("age", ["22", "67"]));
+        assert_eq!(evaluate(&q, &t).unwrap().to_indices(), vec![0, 5]);
+    }
+
+    #[test]
+    fn contradictory_query_selects_nothing() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey")
+            .and(Predicate::range("age", 0.0, 10.0))
+            .and(Predicate::values("sex", ["M"]));
+        let sel = evaluate(&q, &t).unwrap();
+        assert!(sel.is_all_clear());
+        assert_eq!(cover(&q, &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn float_range_predicate() {
+        let t = survey();
+        let q = ConjunctiveQuery::all("survey").and(Predicate::range("score", 2.5, 4.5));
+        assert_eq!(evaluate(&q, &t).unwrap().to_indices(), vec![2, 3]);
+    }
+
+    #[test]
+    fn parsed_query_evaluates_like_built_query() {
+        let t = survey();
+        let parsed = crate::parser::parse_query(
+            "SELECT * FROM survey WHERE age BETWEEN 25 AND 60 AND sex IN ('F')",
+        )
+        .unwrap();
+        let built = ConjunctiveQuery::all("survey")
+            .and(Predicate::range("age", 25.0, 60.0))
+            .and(Predicate::values("sex", ["F"]));
+        assert_eq!(
+            evaluate(&parsed, &t).unwrap().to_indices(),
+            evaluate(&built, &t).unwrap().to_indices()
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Tokeniser for the restricted SQL surface syntax.
+
+use crate::error::{QueryError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A bare identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenise a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' as escaped quote.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            position: i,
+                            message: "unterminated string literal".to_string(),
+                        });
+                    }
+                    let cj = bytes[j] as char;
+                    if cj == '\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] as char == '\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(cj);
+                        j += 1;
+                    }
+                }
+                tokens.push(Token::StringLit(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_digit() || cj == '.' || cj == 'e' || cj == 'E' {
+                        j += 1;
+                    } else if (cj == '-' || cj == '+')
+                        && (bytes[j - 1] as char == 'e' || bytes[j - 1] as char == 'E')
+                    {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                let value = text.parse::<f64>().map_err(|_| QueryError::Lex {
+                    position: start,
+                    message: format!("invalid number: {text}"),
+                })?;
+                tokens.push(Token::Number(value));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' || cj == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let toks = tokenize(
+            "SELECT * FROM survey WHERE age BETWEEN 17 AND 90 AND education IN ('BSc', 'MSc')",
+        )
+        .unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Number(17.0)));
+        assert!(toks.contains(&Token::StringLit("BSc".to_string())));
+        assert!(toks.iter().any(|t| t.is_keyword("select")));
+        assert!(toks.iter().any(|t| t.is_keyword("between")));
+    }
+
+    #[test]
+    fn numbers_including_negative_and_float() {
+        let toks = tokenize("-3.5 42 1e3 2.5e-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(-3.5),
+                Token::Number(42.0),
+                Token::Number(1000.0),
+                Token::Number(0.025)
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escape() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::StringLit("it's".to_string())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a >= 1 AND b < 2 AND c <= 3 AND d > 4 AND e = 'x'").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("age ? 5").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { position: 4, .. }));
+        let err = tokenize("'unterminated").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { .. }));
+        let err = tokenize("age = 1.2.3.4e").unwrap_err();
+        assert!(matches!(err, QueryError::Lex { .. }));
+    }
+
+    #[test]
+    fn identifiers_with_underscores_and_dots() {
+        let toks = tokenize("hours_per_week t1.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("hours_per_week".to_string()),
+                Token::Ident("t1.col".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # atlas-query
+//!
+//! The conjunctive query language of Atlas.
+//!
+//! The original prototype exposes a "proprietary query language … a
+//! restriction of SQL which can only express conjunction of predicates"
+//! (Section 4 of "Fast Cartography for Data Explorers"). This crate provides:
+//!
+//! * the **AST**: a [`ConjunctiveQuery`] is a conjunction of [`Predicate`]s,
+//!   each of the form `attribute ∈ S` where `S` is either a numeric range or a
+//!   set of categorical values ([`ast`]);
+//! * a **lexer + recursive-descent parser** for the SQL-restricted surface
+//!   syntax (`SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x','y')`)
+//!   ([`lexer`], [`parser`]);
+//! * a **printer** back to SQL and to the compact mathematical notation used
+//!   in the paper's figures ([`printer`]);
+//! * **evaluation** of a query against the columnar engine, producing a
+//!   selection [`atlas_columnar::Bitmap`] and the cover `C(Q)` ([`eval`]).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{ConjunctiveQuery, Predicate, PredicateSet};
+pub use error::{QueryError, Result};
+pub use eval::{cover, evaluate, evaluate_within};
+pub use parser::parse_query;
+pub use printer::{to_compact, to_sql};

@@ -1,0 +1,172 @@
+//! Optimal one-dimensional partitioning (Fisher–Jenks natural breaks).
+//!
+//! Where [`crate::kmeans1d`] gives a fast local optimum, this module computes
+//! the *exact* minimum-variance partition of a sorted 1-D sample into `k`
+//! contiguous classes via dynamic programming (`O(k·n²)`). Atlas uses it as a
+//! gold standard in the cut-quality experiments (E2) and as an optional
+//! high-quality cutting strategy for small working sets.
+
+/// Result of the optimal-breaks computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaturalBreaks {
+    /// Interior split values (upper bound of each class except the last),
+    /// `k - 1` of them.
+    pub splits: Vec<f64>,
+    /// Total within-class sum of squared deviations of the optimal partition.
+    pub within_class_ssd: f64,
+}
+
+/// Compute the optimal partition of `values` into `k` contiguous classes
+/// minimising the within-class sum of squared deviations.
+///
+/// Returns `None` if `values` is empty or `k == 0`. If there are fewer
+/// distinct values than `k`, the number of classes is reduced accordingly.
+pub fn natural_breaks(values: &[f64], k: usize) -> Option<NaturalBreaks> {
+    if values.is_empty() || k == 0 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let mut distinct = sorted.clone();
+    distinct.dedup();
+    let k = k.min(distinct.len()).max(1);
+    if k == 1 {
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let ssd = sorted.iter().map(|v| (v - mean).powi(2)).sum();
+        return Some(NaturalBreaks {
+            splits: Vec::new(),
+            within_class_ssd: ssd,
+        });
+    }
+
+    // Prefix sums for O(1) segment cost.
+    let mut prefix = vec![0.0f64; n + 1];
+    let mut prefix_sq = vec![0.0f64; n + 1];
+    for (i, &v) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    // Cost of the segment [i, j) = sum of squared deviations from its mean.
+    let seg_cost = |i: usize, j: usize| -> f64 {
+        if j <= i {
+            return 0.0;
+        }
+        let len = (j - i) as f64;
+        let sum = prefix[j] - prefix[i];
+        let sum_sq = prefix_sq[j] - prefix_sq[i];
+        (sum_sq - sum * sum / len).max(0.0)
+    };
+
+    // dp[c][j] = best cost of splitting the first j items into c+1 classes.
+    let mut dp = vec![vec![f64::INFINITY; n + 1]; k];
+    let mut back = vec![vec![0usize; n + 1]; k];
+    for j in 0..=n {
+        dp[0][j] = seg_cost(0, j);
+    }
+    for c in 1..k {
+        for j in (c + 1)..=n {
+            for split in c..j {
+                let cost = dp[c - 1][split] + seg_cost(split, j);
+                if cost < dp[c][j] {
+                    dp[c][j] = cost;
+                    back[c][j] = split;
+                }
+            }
+        }
+    }
+
+    // Reconstruct the boundaries.
+    let mut boundaries = Vec::with_capacity(k - 1);
+    let mut j = n;
+    for c in (1..k).rev() {
+        let split = back[c][j];
+        boundaries.push(split);
+        j = split;
+    }
+    boundaries.reverse();
+    let splits = boundaries
+        .iter()
+        .map(|&b| {
+            // Split value: midpoint between the last item of the left class and
+            // the first item of the right class.
+            if b == 0 || b >= n {
+                sorted[b.min(n - 1)]
+            } else {
+                (sorted[b - 1] + sorted[b]) / 2.0
+            }
+        })
+        .collect();
+    Some(NaturalBreaks {
+        splits,
+        within_class_ssd: dp[k - 1][n],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(natural_breaks(&[], 2).is_none());
+        assert!(natural_breaks(&[1.0], 0).is_none());
+    }
+
+    #[test]
+    fn one_class_returns_total_ssd() {
+        let r = natural_breaks(&[1.0, 2.0, 3.0], 1).unwrap();
+        assert!(r.splits.is_empty());
+        assert!((r.within_class_ssd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_separable_two_groups() {
+        let values = [1.0, 1.1, 0.9, 10.0, 10.1, 9.9];
+        let r = natural_breaks(&values, 2).unwrap();
+        assert_eq!(r.splits.len(), 1);
+        assert!(r.splits[0] > 1.1 && r.splits[0] < 9.9);
+        assert!(r.within_class_ssd < 0.05);
+    }
+
+    #[test]
+    fn three_groups() {
+        let mut values = Vec::new();
+        for c in [0.0, 100.0, 1000.0] {
+            for i in 0..10 {
+                values.push(c + i as f64 * 0.1);
+            }
+        }
+        let r = natural_breaks(&values, 3).unwrap();
+        assert_eq!(r.splits.len(), 2);
+        assert!(r.splits[0] > 1.0 && r.splits[0] < 100.0);
+        assert!(r.splits[1] > 101.0 && r.splits[1] < 1000.0);
+    }
+
+    #[test]
+    fn optimal_is_no_worse_than_kmeans() {
+        let values: Vec<f64> = (0..120)
+            .map(|i| ((i * 37) % 100) as f64 + if i % 3 == 0 { 500.0 } else { 0.0 })
+            .collect();
+        let nb = natural_breaks(&values, 3).unwrap();
+        let km = crate::kmeans1d::kmeans_1d(&values, 3, 100).unwrap();
+        assert!(nb.within_class_ssd <= km.inertia + 1e-6);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_classes() {
+        let values = vec![2.0, 2.0, 7.0, 7.0, 7.0];
+        let r = natural_breaks(&values, 4).unwrap();
+        assert!(r.splits.len() <= 1);
+        assert!(r.within_class_ssd < 1e-9);
+    }
+
+    #[test]
+    fn splits_partition_data_with_expected_counts() {
+        let values = [1.0, 2.0, 3.0, 101.0, 102.0, 103.0, 104.0];
+        let r = natural_breaks(&values, 2).unwrap();
+        let split = r.splits[0];
+        let left = values.iter().filter(|&&v| v <= split).count();
+        assert_eq!(left, 3);
+    }
+}

@@ -1,0 +1,226 @@
+//! Contingency tables between two discrete labelings.
+//!
+//! A candidate map assigns every tuple of the working set to one of its
+//! regions, i.e. it defines a discrete random variable (Definition 2 of the
+//! paper). The dependency between two maps is computed from the contingency
+//! table of their two label vectors.
+
+/// A dense `r × c` contingency table between two label vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    rows: usize,
+    cols: usize,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl ContingencyTable {
+    /// Build a contingency table from two equally long label vectors.
+    ///
+    /// Labels must be dense indices (`0..rows`, `0..cols`); `rows`/`cols` are
+    /// the number of categories of each labeling. Pairs where either label is
+    /// `>= rows`/`>= cols` are ignored (they represent rows that fall outside
+    /// the map, e.g. NULLs).
+    ///
+    /// # Panics
+    /// Panics if the label vectors have different lengths.
+    pub fn from_labels(a: &[u32], b: &[u32], rows: usize, cols: usize) -> Self {
+        assert_eq!(a.len(), b.len(), "label vectors must have equal length");
+        let mut counts = vec![0u64; rows * cols];
+        let mut total = 0u64;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            let (x, y) = (x as usize, y as usize);
+            if x < rows && y < cols {
+                counts[x * cols + y] += 1;
+                total += 1;
+            }
+        }
+        ContingencyTable {
+            rows,
+            cols,
+            counts,
+            total,
+        }
+    }
+
+    /// Number of row categories.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column categories.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of counted pairs.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The count in cell `(i, j)`.
+    pub fn count(&self, i: usize, j: usize) -> u64 {
+        self.counts[i * self.cols + j]
+    }
+
+    /// Row marginals (one per row category).
+    pub fn row_marginals(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.rows];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[i] += self.count(i, j);
+            }
+        }
+        out
+    }
+
+    /// Column marginals (one per column category).
+    pub fn col_marginals(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.cols];
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[j] += self.count(i, j);
+            }
+        }
+        out
+    }
+
+    /// Entropy of the row variable, `H(X)`, in bits.
+    pub fn row_entropy(&self) -> f64 {
+        crate::entropy::entropy_of_counts(&self.row_marginals())
+    }
+
+    /// Entropy of the column variable, `H(Y)`, in bits.
+    pub fn col_entropy(&self) -> f64 {
+        crate::entropy::entropy_of_counts(&self.col_marginals())
+    }
+
+    /// Joint entropy `H(X, Y)` in bits.
+    pub fn joint_entropy(&self) -> f64 {
+        crate::entropy::entropy_of_counts(&self.counts)
+    }
+
+    /// Mutual information `I(X; Y) = H(X) + H(Y) − H(X, Y)` in bits.
+    ///
+    /// Clamped at zero to absorb floating-point noise.
+    pub fn mutual_information(&self) -> f64 {
+        (self.row_entropy() + self.col_entropy() - self.joint_entropy()).max(0.0)
+    }
+
+    /// Variation of Information `VI(X; Y) = H(X,Y) − I(X;Y)` in bits.
+    ///
+    /// VI is a true metric on partitions (Meilă 2007), which is why the paper
+    /// prefers it over raw mutual information as a map distance.
+    pub fn variation_of_information(&self) -> f64 {
+        (2.0 * self.joint_entropy() - self.row_entropy() - self.col_entropy()).max(0.0)
+    }
+
+    /// Normalised VI in `[0, 1]`: `VI / H(X,Y)` (0 when the joint entropy is 0).
+    pub fn normalized_vi(&self) -> f64 {
+        let joint = self.joint_entropy();
+        if joint <= f64::EPSILON {
+            0.0
+        } else {
+            (self.variation_of_information() / joint).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Normalised mutual information in `[0, 1]` (arithmetic-mean
+    /// normalisation). 0 when either marginal entropy is 0.
+    pub fn normalized_mi(&self) -> f64 {
+        let hx = self.row_entropy();
+        let hy = self.col_entropy();
+        let denom = 0.5 * (hx + hy);
+        if denom <= f64::EPSILON {
+            0.0
+        } else {
+            (self.mutual_information() / denom).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_counts_and_marginals() {
+        let a = [0u32, 0, 1, 1, 1];
+        let b = [0u32, 1, 0, 1, 1];
+        let t = ContingencyTable::from_labels(&a, &b, 2, 2);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.count(0, 0), 1);
+        assert_eq!(t.count(0, 1), 1);
+        assert_eq!(t.count(1, 0), 1);
+        assert_eq!(t.count(1, 1), 2);
+        assert_eq!(t.row_marginals(), vec![2, 3]);
+        assert_eq!(t.col_marginals(), vec![2, 3]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.num_cols(), 2);
+    }
+
+    #[test]
+    fn out_of_range_labels_are_ignored() {
+        let a = [0u32, 5, 1];
+        let b = [0u32, 0, 9];
+        let t = ContingencyTable::from_labels(&a, &b, 2, 2);
+        assert_eq!(t.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        ContingencyTable::from_labels(&[0], &[0, 1], 2, 2);
+    }
+
+    #[test]
+    fn identical_labelings_have_zero_vi_and_full_nmi() {
+        let a = [0u32, 1, 2, 0, 1, 2, 0, 1];
+        let t = ContingencyTable::from_labels(&a, &a, 3, 3);
+        assert!(t.variation_of_information() < 1e-9);
+        assert!((t.normalized_mi() - 1.0).abs() < 1e-9);
+        assert!(t.normalized_vi() < 1e-9);
+        assert!((t.mutual_information() - t.row_entropy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_labelings_have_zero_mi() {
+        // Perfectly independent: every (a, b) combination appears equally often.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..2u32 {
+            for j in 0..2u32 {
+                for _ in 0..25 {
+                    a.push(i);
+                    b.push(j);
+                }
+            }
+        }
+        let t = ContingencyTable::from_labels(&a, &b, 2, 2);
+        assert!(t.mutual_information() < 1e-9);
+        assert!((t.variation_of_information() - 2.0).abs() < 1e-9);
+        assert!(t.normalized_mi() < 1e-9);
+        assert!((t.normalized_vi() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_labeling_edge_case() {
+        let a = [0u32; 10];
+        let b = [0u32; 10];
+        let t = ContingencyTable::from_labels(&a, &b, 1, 1);
+        assert_eq!(t.mutual_information(), 0.0);
+        assert_eq!(t.variation_of_information(), 0.0);
+        assert_eq!(t.normalized_vi(), 0.0);
+        assert_eq!(t.normalized_mi(), 0.0);
+    }
+
+    #[test]
+    fn vi_is_symmetric() {
+        let a = [0u32, 0, 1, 2, 1, 0, 2, 2, 1, 0];
+        let b = [1u32, 0, 1, 1, 0, 0, 1, 0, 1, 1];
+        let t_ab = ContingencyTable::from_labels(&a, &b, 3, 2);
+        let t_ba = ContingencyTable::from_labels(&b, &a, 2, 3);
+        assert!((t_ab.variation_of_information() - t_ba.variation_of_information()).abs() < 1e-12);
+        assert!((t_ab.mutual_information() - t_ba.mutual_information()).abs() < 1e-12);
+    }
+}

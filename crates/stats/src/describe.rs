@@ -1,0 +1,126 @@
+//! Descriptive statistics over a slice of numbers.
+
+/// Summary statistics of a numeric sample.
+///
+/// All quantities are computed in a single pass except the quantiles, which
+/// sort a copy of the data. `Describe` is used by the explorer to annotate
+/// regions ("why is this region interesting?") and by the benchmarks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Describe {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Population variance.
+    pub variance: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Compute descriptive statistics of `values`.
+    ///
+    /// Returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Describe> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            let pos = p * (count - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                let frac = pos - lo as f64;
+                sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+            }
+        };
+        Some(Describe {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            variance,
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: sorted[count - 1],
+        })
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Value range (max - min).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Describe::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let d = Describe::of(&[7.0]).unwrap();
+        assert_eq!(d.count, 1);
+        assert_eq!(d.mean, 7.0);
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.min, 7.0);
+        assert_eq!(d.max, 7.0);
+        assert_eq!(d.median, 7.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let d = Describe::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(d.count, 8);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        assert!((d.std_dev - 2.0).abs() < 1e-12);
+        assert!((d.variance - 4.0).abs() < 1e-12);
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.max, 9.0);
+        assert!((d.median - 4.5).abs() < 1e-12);
+        assert!((d.range() - 7.0).abs() < 1e-12);
+        assert!(d.iqr() > 0.0);
+    }
+
+    #[test]
+    fn quartiles_interpolate() {
+        let d = Describe::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((d.q1 - 1.75).abs() < 1e-12);
+        assert!((d.median - 2.5).abs() < 1e-12);
+        assert!((d.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let d1 = Describe::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let d2 = Describe::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(d1, d2);
+    }
+}

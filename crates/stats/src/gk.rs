@@ -1,0 +1,271 @@
+//! Greenwald–Khanna streaming quantile sketch.
+//!
+//! Section 5.1 of the paper ("Algorithm optimization") proposes approximating
+//! the median computed by `CUT` with a one-pass sketch to avoid sorting large
+//! columns. This is the classic ε-approximate quantile summary of Greenwald &
+//! Khanna (SIGMOD 2001): after inserting `n` items, `query(p)` returns a value
+//! whose rank is within `ε·n` of the exact `p`-quantile rank, using
+//! `O((1/ε)·log(ε·n))` space.
+
+/// One tuple of the GK summary: a stored value `v`, the minimum gap `g`
+/// between its rank and its predecessor's, and the rank uncertainty `delta`.
+#[derive(Debug, Clone, Copy)]
+struct GkEntry {
+    value: f64,
+    g: u64,
+    delta: u64,
+}
+
+/// Greenwald–Khanna ε-approximate quantile sketch.
+#[derive(Debug, Clone)]
+pub struct GkSketch {
+    epsilon: f64,
+    entries: Vec<GkEntry>,
+    count: u64,
+    /// Compress every `compress_interval` inserts.
+    compress_interval: u64,
+    since_compress: u64,
+}
+
+impl GkSketch {
+    /// Create a sketch with the given error bound `epsilon` (e.g. `0.01` for a
+    /// 1 % rank error). Values of `epsilon` outside `(0, 0.5]` are clamped.
+    pub fn new(epsilon: f64) -> Self {
+        let epsilon = if epsilon <= 0.0 {
+            1e-4
+        } else {
+            epsilon.min(0.5)
+        };
+        let compress_interval = (1.0 / (2.0 * epsilon)).ceil() as u64;
+        GkSketch {
+            epsilon,
+            entries: Vec::new(),
+            count: 0,
+            compress_interval: compress_interval.max(1),
+            since_compress: 0,
+        }
+    }
+
+    /// The error bound the sketch was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of values inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current number of stored tuples (the space usage).
+    pub fn size(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self
+            .entries
+            .partition_point(|e| e.value < value);
+        let delta = if idx == 0 || idx == self.entries.len() {
+            0
+        } else {
+            (2.0 * self.epsilon * self.count as f64).floor() as u64
+        };
+        self.entries.insert(
+            idx,
+            GkEntry {
+                value,
+                g: 1,
+                delta,
+            },
+        );
+        self.count += 1;
+        self.since_compress += 1;
+        if self.since_compress >= self.compress_interval {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Insert a batch of values.
+    pub fn extend(&mut self, values: &[f64]) {
+        for &v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Merge entries whose combined uncertainty stays within the bound.
+    fn compress(&mut self) {
+        if self.entries.len() < 3 {
+            return;
+        }
+        let threshold = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let mut compressed: Vec<GkEntry> = Vec::with_capacity(self.entries.len());
+        // Always keep the first entry (minimum).
+        compressed.push(self.entries[0]);
+        for i in 1..self.entries.len() {
+            let entry = self.entries[i];
+            // Try to merge `last` into `entry` (forward merge keeps maxima).
+            let is_last_overall = i == self.entries.len() - 1;
+            let can_merge = {
+                let last = compressed
+                    .last()
+                    .expect("compressed always has at least one entry");
+                !is_last_overall
+                    && compressed.len() > 1
+                    && last.g + entry.g + entry.delta <= threshold
+            };
+            if can_merge {
+                let last = compressed
+                    .last_mut()
+                    .expect("compressed always has at least one entry");
+                let merged_g = last.g + entry.g;
+                *last = GkEntry {
+                    value: entry.value,
+                    g: merged_g,
+                    delta: entry.delta,
+                };
+            } else {
+                compressed.push(entry);
+            }
+        }
+        self.entries = compressed;
+    }
+
+    /// Query the `p`-quantile (0 ≤ p ≤ 1). Returns `None` if nothing has been
+    /// inserted.
+    pub fn query(&self, p: f64) -> Option<f64> {
+        if self.count == 0 || self.entries.is_empty() {
+            return None;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let rank = (p * self.count as f64).ceil() as u64;
+        let margin = (self.epsilon * self.count as f64).ceil() as u64;
+        let mut r_min = 0u64;
+        for (i, e) in self.entries.iter().enumerate() {
+            r_min += e.g;
+            let r_max = r_min + e.delta;
+            if (rank + margin >= r_max || i == self.entries.len() - 1)
+                && rank <= r_min + margin {
+                    return Some(e.value);
+                }
+        }
+        self.entries.last().map(|e| e.value)
+    }
+
+    /// Convenience accessor for the approximate median.
+    pub fn median(&self) -> Option<f64> {
+        self.query(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::quantile;
+
+    fn rank_of(sorted: &[f64], value: f64) -> usize {
+        sorted.partition_point(|&x| x <= value)
+    }
+
+    #[test]
+    fn empty_sketch_returns_none() {
+        let sk = GkSketch::new(0.01);
+        assert_eq!(sk.query(0.5), None);
+        assert_eq!(sk.median(), None);
+        assert_eq!(sk.count(), 0);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut sk = GkSketch::new(0.01);
+        sk.insert(42.0);
+        assert_eq!(sk.median(), Some(42.0));
+        assert_eq!(sk.query(0.0), Some(42.0));
+        assert_eq!(sk.query(1.0), Some(42.0));
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut sk = GkSketch::new(0.01);
+        sk.insert(f64::NAN);
+        sk.insert(1.0);
+        assert_eq!(sk.count(), 1);
+    }
+
+    #[test]
+    fn epsilon_is_clamped() {
+        assert!(GkSketch::new(-3.0).epsilon() > 0.0);
+        assert!(GkSketch::new(5.0).epsilon() <= 0.5);
+    }
+
+    #[test]
+    fn median_error_is_within_bound_uniform() {
+        let n = 10_000usize;
+        let eps = 0.01;
+        let mut values: Vec<f64> = (0..n).map(|i| (i as f64 * 37.0) % 1000.0).collect();
+        let mut sk = GkSketch::new(eps);
+        sk.extend(&values);
+        values.sort_by(|a, b| a.total_cmp(b));
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = sk.query(p).unwrap();
+            let approx_rank = rank_of(&values, approx) as f64 / n as f64;
+            assert!(
+                (approx_rank - p).abs() <= 3.0 * eps + 1e-9,
+                "p={p} approx_rank={approx_rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_stays_sublinear() {
+        let n = 50_000usize;
+        let mut sk = GkSketch::new(0.01);
+        for i in 0..n {
+            sk.insert(((i * 2654435761) % 100_000) as f64);
+        }
+        assert!(
+            sk.size() < n / 10,
+            "sketch size {} should be far below n={n}",
+            sk.size()
+        );
+        assert_eq!(sk.count(), n as u64);
+    }
+
+    #[test]
+    fn sorted_and_reverse_sorted_streams() {
+        let n = 5_000;
+        for reverse in [false, true] {
+            let mut sk = GkSketch::new(0.02);
+            let iter: Box<dyn Iterator<Item = usize>> = if reverse {
+                Box::new((0..n).rev())
+            } else {
+                Box::new(0..n)
+            };
+            for i in iter {
+                sk.insert(i as f64);
+            }
+            let med = sk.median().unwrap();
+            let exact = quantile(&(0..n).map(|x| x as f64).collect::<Vec<_>>(), 0.5).unwrap();
+            assert!(
+                (med - exact).abs() <= 0.05 * n as f64,
+                "reverse={reverse} med={med} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_heavy_stream() {
+        let mut sk = GkSketch::new(0.01);
+        for _ in 0..1000 {
+            sk.insert(5.0);
+        }
+        for _ in 0..10 {
+            sk.insert(100.0);
+        }
+        assert_eq!(sk.median(), Some(5.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! One-dimensional k-means.
+//!
+//! The paper's alternative cutting strategy splits an attribute "such that the
+//! intra-cluster distance is maximized within each partition (as in K-means)"
+//! — i.e. homogeneous partitions. For a single dimension Lloyd's algorithm
+//! with a deterministic quantile-based initialisation converges quickly and is
+//! entirely adequate; the result is returned as sorted split points so the
+//! `CUT` primitive can build contiguous range predicates.
+
+/// Result of a 1-D k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans1dResult {
+    /// Cluster centroids, sorted ascending.
+    pub centroids: Vec<f64>,
+    /// Split points between consecutive clusters (midpoints between adjacent
+    /// centroids), sorted ascending; `centroids.len() - 1` of them.
+    pub splits: Vec<f64>,
+    /// Sum of squared distances of every point to its centroid.
+    pub inertia: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Run 1-D k-means with `k` clusters on `values`.
+///
+/// Returns `None` if `values` is empty or `k == 0`. If the data has fewer
+/// distinct values than `k`, fewer clusters are returned.
+pub fn kmeans_1d(values: &[f64], k: usize, max_iterations: usize) -> Option<KMeans1dResult> {
+    if values.is_empty() || k == 0 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut distinct = sorted.clone();
+    distinct.dedup();
+    let k = k.min(distinct.len());
+    if k == 1 {
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let inertia = sorted.iter().map(|v| (v - mean).powi(2)).sum();
+        return Some(KMeans1dResult {
+            centroids: vec![mean],
+            splits: Vec::new(),
+            inertia,
+            iterations: 0,
+        });
+    }
+
+    // Deterministic initialisation: spread the centroids over the quantiles.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| {
+            let p = (i as f64 + 0.5) / k as f64;
+            crate::quantile::quantile_sorted(&sorted, p)
+        })
+        .collect();
+    centroids.dedup();
+    // If quantile init collapses (heavy ties), fall back to distinct values.
+    while centroids.len() < k {
+        let missing = distinct
+            .iter()
+            .find(|v| !centroids.iter().any(|c| (*c - **v).abs() < f64::EPSILON));
+        match missing {
+            Some(&v) => {
+                centroids.push(v);
+                centroids.sort_by(|a, b| a.total_cmp(b));
+            }
+            None => break,
+        }
+    }
+    let k = centroids.len();
+
+    let mut assignments = vec![0usize; sorted.len()];
+    let mut iterations = 0;
+    for _ in 0..max_iterations.max(1) {
+        iterations += 1;
+        // Assignment step: since data and centroids are sorted, assign by
+        // nearest centroid with a linear sweep.
+        let mut changed = false;
+        let mut c_idx = 0usize;
+        for (i, &v) in sorted.iter().enumerate() {
+            while c_idx + 1 < k
+                && (centroids[c_idx + 1] - v).abs() < (centroids[c_idx] - v).abs()
+            {
+                c_idx += 1;
+            }
+            // The sweep pointer only moves forward; but a point may be closer
+            // to an earlier centroid when values decrease — they never do
+            // (sorted), so this is safe.
+            if assignments[i] != c_idx {
+                assignments[i] = c_idx;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (i, &v) in sorted.iter().enumerate() {
+            sums[assignments[i]] += v;
+            counts[assignments[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        centroids.sort_by(|a, b| a.total_cmp(b));
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    let inertia = sorted
+        .iter()
+        .zip(assignments.iter())
+        .map(|(&v, &a)| (v - centroids[a]).powi(2))
+        .sum();
+    let splits = centroids
+        .windows(2)
+        .map(|w| (w[0] + w[1]) / 2.0)
+        .collect();
+    Some(KMeans1dResult {
+        centroids,
+        splits,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_zero_k() {
+        assert!(kmeans_1d(&[], 2, 10).is_none());
+        assert!(kmeans_1d(&[1.0], 0, 10).is_none());
+    }
+
+    #[test]
+    fn single_cluster_returns_mean() {
+        let r = kmeans_1d(&[1.0, 2.0, 3.0], 1, 10).unwrap();
+        assert_eq!(r.centroids.len(), 1);
+        assert!((r.centroids[0] - 2.0).abs() < 1e-12);
+        assert!(r.splits.is_empty());
+    }
+
+    #[test]
+    fn recovers_two_well_separated_clusters() {
+        let mut values = Vec::new();
+        for i in 0..50 {
+            values.push(10.0 + (i % 5) as f64 * 0.1);
+            values.push(100.0 + (i % 5) as f64 * 0.1);
+        }
+        let r = kmeans_1d(&values, 2, 50).unwrap();
+        assert_eq!(r.centroids.len(), 2);
+        assert!((r.centroids[0] - 10.2).abs() < 0.5);
+        assert!((r.centroids[1] - 100.2).abs() < 0.5);
+        assert_eq!(r.splits.len(), 1);
+        assert!(r.splits[0] > 20.0 && r.splits[0] < 90.0);
+        // Both clusters are tight, so inertia is tiny compared to the spread.
+        assert!(r.inertia < 10.0);
+    }
+
+    #[test]
+    fn recovers_three_clusters() {
+        let mut values = Vec::new();
+        for center in [0.0, 50.0, 200.0] {
+            for i in 0..30 {
+                values.push(center + (i % 3) as f64);
+            }
+        }
+        let r = kmeans_1d(&values, 3, 100).unwrap();
+        assert_eq!(r.centroids.len(), 3);
+        assert!(r.centroids[0] < 5.0);
+        assert!((r.centroids[1] - 51.0).abs() < 5.0);
+        assert!(r.centroids[2] > 195.0);
+        assert_eq!(r.splits.len(), 2);
+    }
+
+    #[test]
+    fn fewer_distinct_values_than_k() {
+        let values = vec![1.0, 1.0, 5.0, 5.0];
+        let r = kmeans_1d(&values, 4, 20).unwrap();
+        assert!(r.centroids.len() <= 2);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn kmeans_beats_equi_width_on_skewed_data() {
+        // A tight cluster plus a distant outlier group: the k-means split
+        // isolates the groups, giving lower inertia than the midpoint split.
+        let mut values: Vec<f64> = (0..95).map(|i| i as f64 * 0.01).collect();
+        values.extend((0..5).map(|i| 1000.0 + i as f64));
+        let r = kmeans_1d(&values, 2, 50).unwrap();
+        let split = r.splits[0];
+        // Equi-width midpoint would be ~502; k-means should cut well below.
+        assert!(split < 900.0);
+        let left: Vec<f64> = values.iter().cloned().filter(|&v| v <= split).collect();
+        let right: Vec<f64> = values.iter().cloned().filter(|&v| v > split).collect();
+        assert_eq!(left.len(), 95);
+        assert_eq!(right.len(), 5);
+    }
+
+    #[test]
+    fn splits_are_sorted_and_between_centroids() {
+        let values: Vec<f64> = (0..200).map(|i| (i as f64 * 7.3) % 100.0).collect();
+        let r = kmeans_1d(&values, 4, 50).unwrap();
+        for w in r.splits.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for (i, s) in r.splits.iter().enumerate() {
+            assert!(*s >= r.centroids[i] && *s <= r.centroids[i + 1]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # atlas-stats
+//!
+//! Statistics substrate for the Atlas data-cartography engine.
+//!
+//! The map-generation framework of "Fast Cartography for Data Explorers"
+//! (Sellam & Kersten, VLDB 2013) leans on a handful of statistical tools:
+//!
+//! * **Information theory** — the distance between two candidate maps is the
+//!   statistical dependency of their underlying variables, quantified with
+//!   mutual information or the Variation of Information ([`entropy`],
+//!   [`contingency`]).
+//! * **Quantiles and sketches** — the `CUT` primitive splits an attribute at
+//!   the median (or other quantiles); the paper proposes one-pass sketches to
+//!   approximate it on large columns ([`quantile`], [`gk`]).
+//! * **One-dimensional clustering** — the alternative cutting strategy that
+//!   maximises within-partition homogeneity ([`kmeans1d`], [`breaks`]).
+//! * **Sampling** — the anytime variant draws repeated samples
+//!   ([`reservoir`]).
+//! * **Histograms and descriptive statistics** — for equi-width cuts and
+//!   reporting ([`histogram`], [`describe`]).
+//! * **Agreement scores** — the evaluation compares recovered partitions to
+//!   planted ground truth (ARI, purity, NMI) ([`agreement`]).
+
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod breaks;
+pub mod contingency;
+pub mod describe;
+pub mod entropy;
+pub mod gk;
+pub mod histogram;
+pub mod kmeans1d;
+pub mod quantile;
+pub mod reservoir;
+
+pub use agreement::{adjusted_rand_index, normalized_mutual_information, purity, rand_index};
+pub use contingency::ContingencyTable;
+pub use describe::Describe;
+pub use entropy::{
+    entropy, entropy_of_counts, joint_entropy, mutual_information, normalized_vi,
+    variation_of_information,
+};
+pub use gk::GkSketch;
+pub use histogram::{EquiDepthHistogram, EquiWidthHistogram};
+pub use kmeans1d::{kmeans_1d, KMeans1dResult};
+pub use quantile::{median, quantile, quantiles};
+pub use reservoir::ReservoirSampler;

@@ -1,0 +1,130 @@
+//! Exact quantiles.
+//!
+//! These are the "ground truth" used by the default median-based `CUT`, and
+//! the reference the Greenwald–Khanna sketch ([`crate::gk`]) is validated
+//! against.
+
+/// The `p`-quantile (0 ≤ p ≤ 1) of `values`, using linear interpolation
+/// between order statistics. Returns `None` for an empty slice.
+///
+/// The input does not need to be sorted; a copy is sorted internally.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some(quantile_sorted(&sorted, p))
+}
+
+/// Several quantiles at once, sorting the input only once.
+pub fn quantiles(values: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    Some(ps.iter().map(|&p| quantile_sorted(&sorted, p)).collect())
+}
+
+/// The median of `values` (`None` for an empty slice).
+pub fn median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Quantile of an already-sorted slice (ascending). `p` is clamped to `[0,1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Equally spaced interior split points that partition `values` into `k`
+/// roughly equally populated parts (the equi-depth / k-quantile cut).
+///
+/// Returns `k - 1` split values; duplicates are removed so the result may be
+/// shorter when the data is heavily tied. Returns `None` for empty input or
+/// `k < 2`.
+pub fn equi_depth_splits(values: &[f64], k: usize) -> Option<Vec<f64>> {
+    if values.is_empty() || k < 2 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mut splits = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let q = quantile_sorted(&sorted, i as f64 / k as f64);
+        if splits.last().is_none_or(|&last: &f64| q > last) {
+            splits.push(q);
+        }
+    }
+    Some(splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        assert!(quantile(&[], 0.5).is_none());
+        assert!(median(&[]).is_none());
+        assert!(quantiles(&[], &[0.5]).is_none());
+        assert!(equi_depth_splits(&[], 2).is_none());
+        assert!(equi_depth_splits(&[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_endpoints_and_interp() {
+        let v = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&v, 0.0), Some(10.0));
+        assert_eq!(quantile(&v, 1.0), Some(50.0));
+        assert_eq!(quantile(&v, 0.5), Some(30.0));
+        assert_eq!(quantile(&v, 0.25), Some(20.0));
+        assert_eq!(quantile(&v, 0.1), Some(14.0));
+        // out-of-range p is clamped
+        assert_eq!(quantile(&v, 2.0), Some(50.0));
+        assert_eq!(quantile(&v, -1.0), Some(10.0));
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let v = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let qs = quantiles(&v, &[0.25, 0.5, 0.75]).unwrap();
+        assert_eq!(qs[0], quantile(&v, 0.25).unwrap());
+        assert_eq!(qs[1], quantile(&v, 0.5).unwrap());
+        assert_eq!(qs[2], quantile(&v, 0.75).unwrap());
+    }
+
+    #[test]
+    fn equi_depth_splits_partition_evenly() {
+        let v: Vec<f64> = (0..100).map(|x| x as f64).collect();
+        let splits = equi_depth_splits(&v, 4).unwrap();
+        assert_eq!(splits.len(), 3);
+        assert!((splits[0] - 24.75).abs() < 1.0);
+        assert!((splits[1] - 49.5).abs() < 1.0);
+        assert!((splits[2] - 74.25).abs() < 1.0);
+    }
+
+    #[test]
+    fn equi_depth_splits_dedupe_on_ties() {
+        let v = vec![1.0; 50];
+        let splits = equi_depth_splits(&v, 4).unwrap();
+        assert!(splits.len() <= 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Reservoir sampling.
+//!
+//! The anytime variant of Atlas (Section 5.1 of the paper) "continually takes
+//! small samples of the data and updates a set of approximate results". The
+//! reservoir sampler provides a uniform sample of the rows selected by the
+//! current query without knowing the selection cardinality in advance.
+
+/// Algorithm-R reservoir sampler over items of type `T`.
+///
+/// The random source is any closure returning a `f64` uniform in `[0, 1)`, so
+/// the sampler itself has no dependency on a specific RNG; the engine plugs in
+/// a seeded `rand::StdRng` and the tests use a deterministic counter.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    capacity: usize,
+    seen: usize,
+    items: Vec<T>,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// Create a sampler keeping at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        ReservoirSampler {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Offer one item; `uniform` must return a fresh uniform draw in `[0, 1)`.
+    pub fn offer<F: FnMut() -> f64>(&mut self, item: T, uniform: &mut F) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            let j = (uniform() * self.seen as f64) as usize;
+            if j < self.capacity {
+                self.items[j] = item;
+            }
+        }
+    }
+
+    /// Offer a sequence of items.
+    pub fn offer_all<I, F>(&mut self, items: I, uniform: &mut F)
+    where
+        I: IntoIterator<Item = T>,
+        F: FnMut() -> f64,
+    {
+        for item in items {
+            self.offer(item, uniform);
+        }
+    }
+
+    /// The number of items offered so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the sampler, returning the sample.
+    pub fn into_sample(self) -> Vec<T> {
+        self.items
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if the reservoir is full.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap deterministic uniform source for tests.
+    fn lcg(seed: u64) -> impl FnMut() -> f64 {
+        let mut state = seed.max(1);
+        move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        }
+    }
+
+    #[test]
+    fn fills_up_to_capacity_without_randomness() {
+        let mut r = ReservoirSampler::new(5);
+        let mut u = lcg(1);
+        r.offer_all(0..3, &mut u);
+        assert_eq!(r.sample(), &[0, 1, 2]);
+        assert_eq!(r.seen(), 3);
+        assert!(!r.is_full());
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut r = ReservoirSampler::new(10);
+        let mut u = lcg(7);
+        r.offer_all(0..1000, &mut u);
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 1000);
+        assert!(r.is_full());
+        assert_eq!(r.capacity(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut r = ReservoirSampler::new(0);
+        let mut u = lcg(3);
+        r.offer_all(0..100, &mut u);
+        assert!(r.sample().is_empty());
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn sample_items_come_from_the_stream() {
+        let mut r = ReservoirSampler::new(20);
+        let mut u = lcg(42);
+        r.offer_all((0..500).map(|i| i * 2), &mut u);
+        for &item in r.sample() {
+            assert!(item % 2 == 0 && item < 1000);
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Offer 0..100 many times with different seeds; every item should be
+        // selected a reasonable number of times (chi-square-ish sanity check).
+        let mut hits = vec![0usize; 100];
+        for seed in 0..300u64 {
+            let mut r = ReservoirSampler::new(10);
+            let mut u = lcg(seed * 2 + 1);
+            r.offer_all(0..100usize, &mut u);
+            for &item in r.sample() {
+                hits[item] += 1;
+            }
+        }
+        // Expected hits per item = 300 * 10 / 100 = 30.
+        let min = *hits.iter().min().unwrap();
+        let max = *hits.iter().max().unwrap();
+        assert!(min > 5, "min hits {min} too low for uniform sampling");
+        assert!(max < 90, "max hits {max} too high for uniform sampling");
+    }
+
+    #[test]
+    fn into_sample_consumes() {
+        let mut r = ReservoirSampler::new(3);
+        let mut u = lcg(9);
+        r.offer_all(0..3, &mut u);
+        let v = r.into_sample();
+        assert_eq!(v.len(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! The anytime engine of Section 5.1: quality under a time budget.
+//!
+//! Atlas should feel instantaneous. On large working sets the anytime engine
+//! runs the pipeline on growing samples, so the analyst gets a usable map in
+//! milliseconds and a refined one if they wait. This example prints each
+//! iteration: sample size, elapsed time, the attributes of the best map, and
+//! how close its covers are to the exact (full-data) answer.
+//!
+//! Run with: `cargo run --release --example anytime_budget`
+
+use atlas::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let table = Arc::new(CensusGenerator::with_rows(200_000, 99).generate());
+    println!("loaded table: {table}");
+
+    let config = AnytimeConfig {
+        initial_sample: 1_000,
+        growth_factor: 4.0,
+        budget: Duration::from_millis(2_000),
+        ..AnytimeConfig::default()
+    };
+    let anytime = AnytimeAtlas::new(Arc::clone(&table), config).expect("valid configuration");
+
+    let query = ConjunctiveQuery::all("census");
+    let outcome = anytime.run(&query).expect("anytime run succeeds");
+
+    // The exact answer, for reference (what an unbounded run would return).
+    let exact = Atlas::with_defaults(Arc::clone(&table))
+        .expect("valid configuration")
+        .explore(&query)
+        .expect("exact exploration succeeds");
+    let exact_best = exact.best().expect("at least one exact map");
+    let exact_covers = exact_best.map.covers(exact.working_set_size);
+
+    println!(
+        "{:<12} {:>10} {:>12} {:>28} {:>16}",
+        "iteration", "sample", "elapsed(ms)", "best map attributes", "max cover error"
+    );
+    for (i, iteration) in outcome.iterations.iter().enumerate() {
+        let best = iteration.result.best().expect("at least one map per iteration");
+        let covers = best.map.covers(iteration.result.working_set_size);
+        let max_error = covers
+            .iter()
+            .zip(exact_covers.iter())
+            .map(|(a, e)| (a - e).abs())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>28} {:>16.4}",
+            i,
+            iteration.sample_size,
+            iteration.elapsed.as_secs_f64() * 1000.0,
+            best.map.source_attributes.join(","),
+            max_error
+        );
+    }
+    println!(
+        "\nreached full data: {} (working set {} tuples)",
+        outcome.reached_full_data, outcome.working_set_size
+    );
+    println!(
+        "exact engine took {:.1} ms end-to-end for comparison",
+        exact.timings.total_ms
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: load a dataset, ask one question, read the maps.
+//!
+//! This walks through the minimal Atlas loop of Figure 1 of the paper:
+//! a query goes in, a ranked list of data maps comes out.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use atlas::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A synthetic stand-in for the Adult census survey of the paper's
+    // introduction: age, sex, height, education, salary, hours, eye colour,
+    // with planted dependencies (education↔salary, age↔hours, sex↔height).
+    let table = Arc::new(CensusGenerator::with_rows(20_000, 42).generate());
+    println!("loaded table: {table}");
+
+    // The engine with the paper's default configuration: two-way cuts at the
+    // median, Variation-of-Information distance, single-linkage clustering,
+    // composition merging, entropy ranking, ≤ 8 regions, ≤ 3 predicates.
+    let atlas = Atlas::with_defaults(Arc::clone(&table)).expect("valid default configuration");
+
+    // The user query of the paper's Figure 2, in the restricted SQL syntax.
+    let query = parse_query(
+        "SELECT * FROM census WHERE age BETWEEN 17 AND 90 \
+         AND eye_color IN ('Blue', 'Green', 'Brown') \
+         AND education IN ('BSc', 'MSc', 'PhD', 'HighSchool')",
+    )
+    .expect("well-formed query");
+    println!("\nuser query:\n  {}\n", to_sql(&query));
+
+    let result = atlas.explore(&query).expect("exploration succeeds");
+    println!("{}", render_result(&result));
+
+    println!(
+        "generated {} maps over {} tuples in {:.1} ms \
+         (cut {:.1} ms, cluster {:.1} ms, merge {:.1} ms, rank {:.1} ms)",
+        result.num_maps(),
+        result.working_set_size,
+        result.timings.total_ms,
+        result.timings.candidates_ms,
+        result.timings.clustering_ms,
+        result.timings.merge_ms,
+        result.timings.rank_ms,
+    );
+
+    // Every region is itself a query: pick one and it becomes the next
+    // exploration step.
+    if let Some(best) = result.best() {
+        if let Some(region) = best.map.regions.first() {
+            println!("\nTo drill down, submit for example:\n  {}", to_sql(&region.query));
+        }
+    }
+}

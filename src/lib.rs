@@ -1,0 +1,64 @@
+//! # Atlas — Fast Cartography for Data Explorers
+//!
+//! A from-scratch Rust reproduction of **"Fast Cartography for Data
+//! Explorers"** (Thibault Sellam & Martin Kersten, PVLDB 6(12), VLDB 2013).
+//!
+//! Atlas answers queries with queries: instead of returning a long list of
+//! tuples, it summarises the result of a user query with a handful of **data
+//! maps** — small sets of conjunctive queries, each describing one region of
+//! the data — which the user can drill into interactively.
+//!
+//! This crate is a thin facade that re-exports the public API of the
+//! workspace crates:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`columnar`] | `atlas-columnar` | in-memory column store (tables, bitmaps, CSV, statistics) |
+//! | [`stats`] | `atlas-stats` | entropy / MI / VI, quantile sketches, 1-D clustering, agreement scores |
+//! | [`query`] | `atlas-query` | the conjunctive query language (AST, parser, printer, evaluation) |
+//! | [`core`] | `atlas-core` | the map-generation engine: CUT, clustering, merging, ranking, anytime, baselines |
+//! | [`datagen`] | `atlas-datagen` | seeded synthetic datasets (census, mixtures, sky survey, orders) |
+//! | [`explorer`] | `atlas-explorer` | exploration sessions, rendering, quality metrics |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use atlas::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. Get a table (here: the synthetic census of the paper's intro).
+//! let table = Arc::new(CensusGenerator::with_rows(5_000, 42).generate());
+//!
+//! // 2. Build the engine with the paper's default configuration.
+//! let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+//!
+//! // 3. Ask a question — Atlas answers with ranked data maps.
+//! let query = parse_query("SELECT * FROM census WHERE age BETWEEN 17 AND 90").unwrap();
+//! let result = atlas.explore(&query).unwrap();
+//!
+//! assert!(result.num_maps() >= 1);
+//! assert!(result.best().unwrap().map.num_regions() <= 8);
+//! println!("{}", render_result(&result));
+//! ```
+
+pub use atlas_columnar as columnar;
+pub use atlas_core as core;
+pub use atlas_datagen as datagen;
+pub use atlas_explorer as explorer;
+pub use atlas_query as query;
+pub use atlas_stats as stats;
+
+/// The most commonly used types, re-exported flat for convenience.
+pub mod prelude {
+    pub use atlas_columnar::{Bitmap, Catalog, Column, DataType, Field, Schema, Table, TableBuilder, Value};
+    pub use atlas_core::{
+        AnytimeAtlas, AnytimeConfig, Atlas, AtlasConfig, CategoricalCutStrategy, CutConfig,
+        DataMap, MapDistanceMetric, MapResult, MergeStrategy, NumericCutStrategy, RankedMap,
+        Region,
+    };
+    pub use atlas_datagen::{
+        CensusGenerator, MixtureGenerator, OrdersGenerator, SdssGenerator,
+    };
+    pub use atlas_explorer::{render_map, render_result, MapQuality, ReadabilityReport, Session};
+    pub use atlas_query::{parse_query, to_compact, to_sql, ConjunctiveQuery, Predicate, PredicateSet};
+}

@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) on the core invariants of the system.
+//!
+//! Each property encodes something the paper states or the design relies on:
+//!
+//! * the CUT primitive always produces disjoint regions that cover every
+//!   non-NULL tuple of the working set, for every strategy and split count;
+//! * the Variation of Information is a metric on maps (symmetry, identity,
+//!   triangle inequality);
+//! * the product operator's regions are exactly the non-empty pairwise
+//!   intersections, so the covered count never changes;
+//! * conjunctive queries round-trip through the SQL printer and parser;
+//! * bitmap algebra behaves like set algebra.
+
+use atlas::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a small table from generated numeric and categorical values.
+fn build_table(numeric: &[f64], categories: &[u8]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Float),
+        Field::new("c", DataType::Str),
+    ])
+    .unwrap();
+    let mut builder = TableBuilder::new("t", schema);
+    for (i, &x) in numeric.iter().enumerate() {
+        let c = categories[i % categories.len()] % 4;
+        builder
+            .push_row(&[
+                Value::Float(x),
+                Value::Str(format!("cat{c}")),
+            ])
+            .unwrap();
+    }
+    builder.build().unwrap()
+}
+
+fn numeric_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1000.0..1000.0f64, 8..200)
+}
+
+fn category_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 4..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cut_always_partitions_the_working_set(
+        numeric in numeric_strategy(),
+        categories in category_strategy(),
+        splits in 2usize..5,
+        strategy_idx in 0usize..4,
+    ) {
+        let table = build_table(&numeric, &categories);
+        let working = table.full_selection();
+        let strategy = [
+            NumericCutStrategy::EquiWidth,
+            NumericCutStrategy::Median,
+            NumericCutStrategy::KMeans { max_iterations: 20 },
+            NumericCutStrategy::SketchMedian { epsilon: 0.05 },
+        ][strategy_idx];
+        let config = CutConfig {
+            num_splits: splits,
+            numeric: strategy,
+            skip_identifiers: false,
+            ..CutConfig::default()
+        };
+        for attribute in ["x", "c"] {
+            let map = atlas::core::cut::cut_attribute(
+                &table,
+                &working,
+                &ConjunctiveQuery::all("t"),
+                attribute,
+                &config,
+            )
+            .unwrap();
+            if let Some(map) = map {
+                prop_assert!(map.regions_are_disjoint());
+                prop_assert!(map.num_regions() >= 2);
+                prop_assert!(map.num_regions() <= splits);
+                // Every row is covered (no NULLs in this table).
+                prop_assert_eq!(map.covered_count(), table.num_rows());
+                // Region queries and extents agree.
+                for region in &map.regions {
+                    let evaluated = atlas::query::evaluate(&region.query, &table).unwrap();
+                    prop_assert_eq!(evaluated.to_indices(), region.selection.to_indices());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_preserves_coverage_and_disjointness(
+        numeric in numeric_strategy(),
+        categories in category_strategy(),
+    ) {
+        let table = build_table(&numeric, &categories);
+        let working = table.full_selection();
+        let config = CutConfig { skip_identifiers: false, ..CutConfig::default() };
+        let q = ConjunctiveQuery::all("t");
+        let mx = atlas::core::cut::cut_attribute(&table, &working, &q, "x", &config).unwrap();
+        let mc = atlas::core::cut::cut_attribute(&table, &working, &q, "c", &config).unwrap();
+        if let (Some(mx), Some(mc)) = (mx, mc) {
+            let covered_before = table.num_rows();
+            let product = atlas::core::product_maps(&[mx, mc], true).unwrap();
+            prop_assert!(product.regions_are_disjoint());
+            prop_assert_eq!(product.covered_count(), covered_before);
+            prop_assert!(product.num_regions() <= 4);
+            for region in &product.regions {
+                prop_assert!(!region.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn composition_preserves_coverage(
+        numeric in numeric_strategy(),
+        categories in category_strategy(),
+    ) {
+        let table = build_table(&numeric, &categories);
+        let working = table.full_selection();
+        let config = CutConfig { skip_identifiers: false, ..CutConfig::default() };
+        let q = ConjunctiveQuery::all("t");
+        let mx = atlas::core::cut::cut_attribute(&table, &working, &q, "x", &config).unwrap();
+        let mc = atlas::core::cut::cut_attribute(&table, &working, &q, "c", &config).unwrap();
+        if let (Some(mx), Some(mc)) = (mx, mc) {
+            let composed = atlas::core::compose_maps(&[mx, mc], &table, &config, true)
+                .unwrap()
+                .unwrap();
+            prop_assert!(composed.regions_are_disjoint());
+            prop_assert_eq!(composed.covered_count(), table.num_rows());
+        }
+    }
+
+    #[test]
+    fn map_distance_is_a_metric(
+        labels_a in proptest::collection::vec(0u32..4, 60),
+        labels_b in proptest::collection::vec(0u32..4, 60),
+        labels_c in proptest::collection::vec(0u32..4, 60),
+    ) {
+        use atlas::core::distance::distance_from_labels;
+        let metric = MapDistanceMetric::VariationOfInformation;
+        let d = |a: &[u32], b: &[u32]| distance_from_labels(a, b, 4, 4, metric);
+        let d_ab = d(&labels_a, &labels_b);
+        let d_ba = d(&labels_b, &labels_a);
+        let d_ac = d(&labels_a, &labels_c);
+        let d_bc = d(&labels_b, &labels_c);
+        // Symmetry, non-negativity, identity, triangle inequality.
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!(d(&labels_a, &labels_a) < 1e-9);
+        prop_assert!(d_ac <= d_ab + d_bc + 1e-9);
+    }
+
+    #[test]
+    fn queries_round_trip_through_sql(
+        lo in -100i64..100,
+        width in 1i64..100,
+        values in proptest::collection::btree_set("[a-z]{1,6}", 1..4),
+    ) {
+        let query = ConjunctiveQuery::all("t")
+            .and(Predicate::range("x", lo as f64, (lo + width) as f64))
+            .and(Predicate::values("c", values.iter().cloned()));
+        let sql = to_sql(&query);
+        let reparsed = parse_query(&sql).unwrap();
+        prop_assert_eq!(reparsed, query);
+    }
+
+    #[test]
+    fn bitmap_algebra_matches_set_algebra(
+        a in proptest::collection::btree_set(0usize..300, 0..100),
+        b in proptest::collection::btree_set(0usize..300, 0..100),
+    ) {
+        let bm_a = Bitmap::from_indices(300, a.iter().copied());
+        let bm_b = Bitmap::from_indices(300, b.iter().copied());
+        let expected_and: Vec<usize> = a.intersection(&b).copied().collect();
+        let expected_or: Vec<usize> = a.union(&b).copied().collect();
+        let expected_diff: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(bm_a.and(&bm_b).to_indices(), expected_and);
+        prop_assert_eq!(bm_a.or(&bm_b).to_indices(), expected_or);
+        prop_assert_eq!(bm_a.and_not(&bm_b).to_indices(), expected_diff);
+        prop_assert_eq!(bm_a.intersection_count(&bm_b), a.intersection(&b).count());
+        prop_assert_eq!(bm_a.not().count(), 300 - a.len());
+    }
+
+    #[test]
+    fn entropy_ranking_is_invariant_to_input_order(
+        counts in proptest::collection::vec(1u64..500, 2..8),
+    ) {
+        // Entropy of a count vector does not depend on the order of counts,
+        // and is maximised by the balanced distribution of the same size.
+        let entropy = atlas::stats::entropy_of_counts(&counts);
+        let mut reversed = counts.clone();
+        reversed.reverse();
+        prop_assert!((entropy - atlas::stats::entropy_of_counts(&reversed)).abs() < 1e-9);
+        let balanced = vec![counts.iter().sum::<u64>() / counts.len() as u64 + 1; counts.len()];
+        prop_assert!(entropy <= atlas::stats::entropy_of_counts(&balanced) + 1e-9);
+    }
+
+    #[test]
+    fn gk_sketch_median_stays_within_rank_error(
+        mut values in proptest::collection::vec(-1e6..1e6f64, 50..2000),
+    ) {
+        let mut sketch = atlas::stats::GkSketch::new(0.02);
+        sketch.extend(&values);
+        let approx = sketch.median().unwrap();
+        values.sort_by(|a, b| a.total_cmp(b));
+        let rank = values.partition_point(|&v| v <= approx) as f64 / values.len() as f64;
+        // Allow a generous multiple of epsilon to absorb interpolation at the
+        // ends of runs of duplicates.
+        prop_assert!((rank - 0.5).abs() <= 0.1, "median rank was {rank}");
+    }
+}
+
+/// Non-proptest invariant: the engine end-to-end never returns overlapping
+/// regions or empty maps, across a sweep of configurations.
+#[test]
+fn engine_invariants_across_configurations() {
+    let table = Arc::new(CensusGenerator::with_rows(3_000, 1).generate());
+    for merge in [MergeStrategy::Product, MergeStrategy::Composition] {
+        for numeric in [
+            NumericCutStrategy::EquiWidth,
+            NumericCutStrategy::Median,
+            NumericCutStrategy::KMeans { max_iterations: 25 },
+        ] {
+            for linkage in [
+                atlas::core::Linkage::Single,
+                atlas::core::Linkage::Complete,
+                atlas::core::Linkage::Average,
+            ] {
+                let config = AtlasConfig {
+                    merge,
+                    cut: CutConfig {
+                        numeric,
+                        ..CutConfig::default()
+                    },
+                    clustering: atlas::core::ClusteringConfig {
+                        linkage,
+                        ..atlas::core::ClusteringConfig::default()
+                    },
+                    ..AtlasConfig::default()
+                };
+                let atlas_engine = Atlas::new(Arc::clone(&table), config).unwrap();
+                let result = atlas_engine.explore(&ConjunctiveQuery::all("census")).unwrap();
+                assert!(result.num_maps() >= 1);
+                for ranked in &result.maps {
+                    assert!(ranked.map.num_regions() >= 2);
+                    assert!(ranked.map.num_regions() <= 8);
+                    assert!(ranked.map.regions_are_disjoint());
+                    assert!(ranked.score.is_finite());
+                }
+            }
+        }
+    }
+}
