@@ -21,9 +21,8 @@ fn bench_distance_matrix(c: &mut Criterion) {
         let table = wide_numeric(20_000, columns);
         let working = table.full_selection();
         let query = ConjunctiveQuery::all("wide");
-        let candidates =
-            generate_candidates(&table, &working, &query, None, &CutConfig::default())
-                .expect("candidates");
+        let candidates = generate_candidates(&table, &working, &query, None, &CutConfig::default())
+            .expect("candidates");
         group.bench_with_input(
             BenchmarkId::from_parameter(columns),
             &candidates.maps,

@@ -21,7 +21,10 @@ fn bench_cut_strategies(c: &mut Criterion) {
         ("median", NumericCutStrategy::Median),
         ("kmeans", NumericCutStrategy::KMeans { max_iterations: 30 }),
         ("natural_breaks", NumericCutStrategy::NaturalBreaks),
-        ("gk_sketch", NumericCutStrategy::SketchMedian { epsilon: 0.01 }),
+        (
+            "gk_sketch",
+            NumericCutStrategy::SketchMedian { epsilon: 0.01 },
+        ),
     ];
     for (name, strategy) in strategies {
         // Natural breaks is O(n²); bench it on a smaller working set so the
@@ -59,22 +62,21 @@ fn bench_cut_column_size(c: &mut Criterion) {
         let query = ConjunctiveQuery::all("census");
         for (name, strategy) in [
             ("exact_median", NumericCutStrategy::Median),
-            ("gk_sketch", NumericCutStrategy::SketchMedian { epsilon: 0.01 }),
+            (
+                "gk_sketch",
+                NumericCutStrategy::SketchMedian { epsilon: 0.01 },
+            ),
         ] {
             let config = CutConfig {
                 numeric: strategy,
                 ..CutConfig::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, rows),
-                &config,
-                |b, config| {
-                    b.iter(|| {
-                        cut_attribute(&table, &working, &query, "height_cm", config)
-                            .expect("cut succeeds")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, rows), &config, |b, config| {
+                b.iter(|| {
+                    cut_attribute(&table, &working, &query, "height_cm", config)
+                        .expect("cut succeeds")
+                })
+            });
         }
     }
     group.finish();

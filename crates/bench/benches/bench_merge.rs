@@ -18,8 +18,8 @@ fn bench_merge_operators(c: &mut Criterion) {
         let working = table.full_selection();
         let query = ConjunctiveQuery::all("mixture");
         let config = CutConfig::default();
-        let candidates = generate_candidates(&table, &working, &query, None, &config)
-            .expect("candidates");
+        let candidates =
+            generate_candidates(&table, &working, &query, None, &config).expect("candidates");
         // Merge the two signal-attribute maps (the realistic cluster size).
         let pair: Vec<_> = candidates
             .maps

@@ -17,9 +17,8 @@ fn bench_ranking(c: &mut Criterion) {
         let table = census(rows);
         let working = table.full_selection();
         let query = ConjunctiveQuery::all("census");
-        let candidates =
-            generate_candidates(&table, &working, &query, None, &CutConfig::default())
-                .expect("candidates");
+        let candidates = generate_candidates(&table, &working, &query, None, &CutConfig::default())
+            .expect("candidates");
         group.bench_with_input(
             BenchmarkId::from_parameter(rows),
             &candidates.maps,

@@ -16,7 +16,8 @@ use atlas_core::{
 use atlas_datagen::CensusGenerator;
 use atlas_explorer::{MapQuality, ReadabilityReport};
 use atlas_query::ConjunctiveQuery;
-use atlas_stats::{adjusted_rand_index, quantile};
+use atlas_stats::adjusted_rand_index;
+use atlas_stats::quantile::quantile;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -119,7 +120,10 @@ fn e2_cut_strategies() {
         ("equi_width", NumericCutStrategy::EquiWidth),
         ("median", NumericCutStrategy::Median),
         ("kmeans", NumericCutStrategy::KMeans { max_iterations: 30 }),
-        ("gk_sketch(1%)", NumericCutStrategy::SketchMedian { epsilon: 0.01 }),
+        (
+            "gk_sketch(1%)",
+            NumericCutStrategy::SketchMedian { epsilon: 0.01 },
+        ),
     ];
     for (name, strategy) in strategies {
         let config = CutConfig {
@@ -399,25 +403,41 @@ fn e8_baselines() {
         .into_iter()
         .map(|m| m.map)
         .collect();
-    report_row("single_attribute", &single_maps, start.elapsed().as_secs_f64() * 1000.0);
+    report_row(
+        "single_attribute",
+        &single_maps,
+        start.elapsed().as_secs_f64() * 1000.0,
+    );
 
     let start = Instant::now();
     let product_map = FullProductBaseline::default()
         .generate(&table, &working, &query)
         .expect("baseline succeeds");
-    report_row("full_product", std::slice::from_ref(&product_map), start.elapsed().as_secs_f64() * 1000.0);
+    report_row(
+        "full_product",
+        std::slice::from_ref(&product_map),
+        start.elapsed().as_secs_f64() * 1000.0,
+    );
 
     let start = Instant::now();
     let random_maps = RandomMapBaseline::default()
         .generate(&table, &working, &query)
         .expect("baseline succeeds");
-    report_row("random_maps", &random_maps, start.elapsed().as_secs_f64() * 1000.0);
+    report_row(
+        "random_maps",
+        &random_maps,
+        start.elapsed().as_secs_f64() * 1000.0,
+    );
 
     let start = Instant::now();
     let clique_maps = GridCliqueBaseline::default()
         .generate(&table, &working, &query)
         .expect("baseline succeeds");
-    report_row("grid_clique", &clique_maps, start.elapsed().as_secs_f64() * 1000.0);
+    report_row(
+        "grid_clique",
+        &clique_maps,
+        start.elapsed().as_secs_f64() * 1000.0,
+    );
     println!();
 }
 
@@ -436,8 +456,8 @@ fn e9_splits_ablation() {
         let working = table.full_selection();
         let query = ConjunctiveQuery::all("census");
         let start = Instant::now();
-        let candidates = generate_candidates(&table, &working, &query, None, &cut)
-            .expect("candidates");
+        let candidates =
+            generate_candidates(&table, &working, &query, None, &cut).expect("candidates");
         let candidate_ms = start.elapsed().as_secs_f64() * 1000.0;
         let matrix = distance_matrix(
             &candidates.maps,
@@ -476,9 +496,7 @@ fn e9_splits_ablation() {
             .map(|m| m.map.num_regions())
             .max()
             .unwrap_or(0);
-        println!(
-            "| {splits} | {exact} | {candidate_ms:.1} | {end_to_end_ms:.1} | {max_regions} |"
-        );
+        println!("| {splits} | {exact} | {candidate_ms:.1} | {end_to_end_ms:.1} | {max_regions} |");
     }
     println!();
 }
@@ -506,7 +524,8 @@ fn e10_sketch_ablation() {
 
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
-        let rank_exact = sorted.partition_point(|&v| v <= exact_median) as f64 / sorted.len() as f64;
+        let rank_exact =
+            sorted.partition_point(|&v| v <= exact_median) as f64 / sorted.len() as f64;
         let rank_approx =
             sorted.partition_point(|&v| v <= approx_median) as f64 / sorted.len() as f64;
         println!(

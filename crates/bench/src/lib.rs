@@ -54,7 +54,9 @@ pub fn wide_numeric(rows: usize, columns: usize) -> Arc<Table> {
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     for _ in 0..rows {
-        let row: Vec<Value> = (0..columns).map(|_| Value::Float(next() * 1000.0)).collect();
+        let row: Vec<Value> = (0..columns)
+            .map(|_| Value::Float(next() * 1000.0))
+            .collect();
         builder.push_row(&row).expect("row matches schema");
     }
     Arc::new(builder.build().expect("columns are consistent"))

@@ -101,7 +101,8 @@ mod tests {
         let mut b = TableBuilder::new("t", schema());
         b.push_row(&[Value::Int(20), Value::Float(0.5), Value::Str("a".into())])
             .unwrap();
-        b.push_row(&[Value::Int(30), Value::Int(1), Value::Null]).unwrap();
+        b.push_row(&[Value::Int(30), Value::Int(1), Value::Null])
+            .unwrap();
         assert_eq!(b.num_rows(), 2);
         let t = b.build().unwrap();
         assert_eq!(t.num_rows(), 2);

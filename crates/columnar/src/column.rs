@@ -377,7 +377,7 @@ impl Column {
                     .filter(|&(_, n)| n > 0)
                     .map(|(code, n)| (d.dictionary()[code].clone(), n))
                     .collect();
-                pairs.sort_by(|a, b| b.1.cmp(&a.1));
+                pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
                 pairs
             }
             Column::Bool(v) => {
@@ -397,7 +397,7 @@ impl Column {
                 if f > 0 {
                     pairs.push(("false".to_string(), f));
                 }
-                pairs.sort_by(|a, b| b.1.cmp(&a.1));
+                pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
                 pairs
             }
             _ => Vec::new(),

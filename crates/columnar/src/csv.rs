@@ -155,7 +155,12 @@ pub fn read_csv_path<P: AsRef<Path>>(
 }
 
 /// Parse a CSV given as a string (used heavily in tests and examples).
-pub fn read_csv_str(name: &str, text: &str, schema: Option<Schema>, opts: &CsvOptions) -> Result<Table> {
+pub fn read_csv_str(
+    name: &str,
+    text: &str,
+    schema: Option<Schema>,
+    opts: &CsvOptions,
+) -> Result<Table> {
     let lines: Vec<String> = text
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -227,11 +232,7 @@ fn read_csv_lines(
         if fields.len() != schema.len() {
             return Err(ColumnarError::Csv {
                 line: line_no + if opts.has_header { 2 } else { 1 },
-                message: format!(
-                    "expected {} fields, found {}",
-                    schema.len(),
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", schema.len(), fields.len()),
             });
         }
         let mut row = Vec::with_capacity(fields.len());
@@ -291,11 +292,11 @@ mod tests {
     #[test]
     fn split_line_handles_quotes() {
         assert_eq!(split_line("a,b,c", ','), vec!["a", "b", "c"]);
+        assert_eq!(split_line("a,\"b,c\",d", ','), vec!["a", "b,c", "d"]);
         assert_eq!(
-            split_line("a,\"b,c\",d", ','),
-            vec!["a", "b,c", "d"]
+            split_line("\"say \"\"hi\"\"\",x", ','),
+            vec!["say \"hi\"", "x"]
         );
-        assert_eq!(split_line("\"say \"\"hi\"\"\",x", ','), vec!["say \"hi\"", "x"]);
         assert_eq!(split_line("a,,c", ','), vec!["a", "", "c"]);
     }
 
@@ -358,7 +359,13 @@ mod tests {
 
     #[test]
     fn bool_inference() {
-        let t = read_csv_str("t", "flag\ntrue\nfalse\nyes\n", None, &CsvOptions::default()).unwrap();
+        let t = read_csv_str(
+            "t",
+            "flag\ntrue\nfalse\nyes\n",
+            None,
+            &CsvOptions::default(),
+        )
+        .unwrap();
         assert_eq!(t.schema().field("flag").unwrap().dtype, DataType::Bool);
         assert_eq!(t.value(2, "flag").unwrap(), Value::Bool(true));
     }

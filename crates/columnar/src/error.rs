@@ -57,7 +57,10 @@ impl fmt::Display for ColumnarError {
             ColumnarError::UnknownTable(name) => write!(f, "unknown table: {name}"),
             ColumnarError::DuplicateTable(name) => write!(f, "table already exists: {name}"),
             ColumnarError::LengthMismatch { expected, found } => {
-                write!(f, "length mismatch: expected {expected} rows, found {found}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} rows, found {found}"
+                )
             }
             ColumnarError::TypeMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")

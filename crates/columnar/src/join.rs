@@ -156,7 +156,11 @@ mod tests {
         ])
         .unwrap();
         let mut b = TableBuilder::new("customers", schema);
-        for (c, s, a) in [(10i64, "retail", 1i64), (20, "corporate", 2), (30, "retail", 3)] {
+        for (c, s, a) in [
+            (10i64, "retail", 1i64),
+            (20, "corporate", 2),
+            (30, "retail", 3),
+        ] {
             b.push_row(&[Value::Int(c), Value::Str(s.into()), Value::Int(a)])
                 .unwrap();
         }
@@ -165,8 +169,14 @@ mod tests {
 
     #[test]
     fn inner_join_matches_foreign_keys() {
-        let joined = hash_join("orders_c", &orders(), "customer_id", &customers(), "customer_id")
-            .unwrap();
+        let joined = hash_join(
+            "orders_c",
+            &orders(),
+            "customer_id",
+            &customers(),
+            "customer_id",
+        )
+        .unwrap();
         // Order 5 references a missing customer, so 4 rows survive.
         assert_eq!(joined.num_rows(), 4);
         // Columns: order_id, customer_id, amount, segment, customers_amount.
@@ -192,8 +202,14 @@ mod tests {
     #[test]
     fn one_to_many_join_duplicates_dimension_rows() {
         // Join the other way around: each customer matches all their orders.
-        let joined =
-            hash_join("c_orders", &customers(), "customer_id", &orders(), "customer_id").unwrap();
+        let joined = hash_join(
+            "c_orders",
+            &customers(),
+            "customer_id",
+            &orders(),
+            "customer_id",
+        )
+        .unwrap();
         assert_eq!(joined.num_rows(), 4);
         // customer 10 appears twice (two orders).
         let all = joined.full_selection();
@@ -232,8 +248,10 @@ mod tests {
         ])
         .unwrap();
         let mut b = TableBuilder::new("l", schema.clone());
-        b.push_row(&[Value::Str("a".into()), Value::Int(1)]).unwrap();
-        b.push_row(&[Value::Str("b".into()), Value::Int(2)]).unwrap();
+        b.push_row(&[Value::Str("a".into()), Value::Int(1)])
+            .unwrap();
+        b.push_row(&[Value::Str("b".into()), Value::Int(2)])
+            .unwrap();
         let left = b.build().unwrap();
         let schema_r = Schema::new(vec![
             Field::new("code", DataType::Str),

@@ -156,7 +156,10 @@ mod tests {
             Field::new("a", DataType::Float),
         ]);
         assert!(matches!(dup, Err(ColumnarError::DuplicateField(_))));
-        assert!(matches!(Schema::new(vec![]), Err(ColumnarError::EmptySchema)));
+        assert!(matches!(
+            Schema::new(vec![]),
+            Err(ColumnarError::EmptySchema)
+        ));
     }
 
     #[test]

@@ -166,13 +166,7 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}{} [{} rows]",
-            self.name,
-            self.schema,
-            self.num_rows
-        )
+        write!(f, "{}{} [{} rows]", self.name, self.schema, self.num_rows)
     }
 }
 

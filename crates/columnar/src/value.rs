@@ -230,10 +230,7 @@ mod tests {
     #[test]
     fn total_ordering_within_and_across_types() {
         assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
-        assert_eq!(
-            Value::Float(2.0).total_cmp(&Value::Int(2)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Float(2.0).total_cmp(&Value::Int(2)), Ordering::Equal);
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
         assert_eq!(
             Value::Str("b".into()).total_cmp(&Value::Str("a".into())),

@@ -221,7 +221,11 @@ fn prev_float(x: f64) -> f64 {
     if x == 0.0 {
         return -f64::MIN_POSITIVE;
     }
-    f64::from_bits(if x > 0.0 { x.to_bits() - 1 } else { x.to_bits() + 1 })
+    f64::from_bits(if x > 0.0 {
+        x.to_bits() - 1
+    } else {
+        x.to_bits() + 1
+    })
 }
 
 #[cfg(test)]

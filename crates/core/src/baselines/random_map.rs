@@ -112,7 +112,10 @@ impl RandomMapBaseline {
                     let low = column.select_range(&region.selection, min, split);
                     let high = column.select_range(&region.selection, nudge_up(split), max);
                     out.push(Region::new(
-                        region.query.clone().and(Predicate::range(attribute, min, split)),
+                        region
+                            .query
+                            .clone()
+                            .and(Predicate::range(attribute, min, split)),
                         low,
                     ));
                     out.push(Region::new(
@@ -155,7 +158,11 @@ impl RandomMapBaseline {
 
 fn nudge_up(x: f64) -> f64 {
     if x.is_finite() {
-        f64::from_bits(if x >= 0.0 { x.to_bits() + 1 } else { x.to_bits() - 1 })
+        f64::from_bits(if x >= 0.0 {
+            x.to_bits() + 1
+        } else {
+            x.to_bits() - 1
+        })
     } else {
         x
     }
@@ -238,8 +245,7 @@ mod tests {
         let maps = baseline
             .generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t"))
             .unwrap();
-        let mean_entropy: f64 =
-            maps.iter().map(|m| m.entropy()).sum::<f64>() / maps.len() as f64;
+        let mean_entropy: f64 = maps.iter().map(|m| m.entropy()).sum::<f64>() / maps.len() as f64;
         assert!(mean_entropy < 0.99, "mean random entropy {mean_entropy}");
     }
 

@@ -21,8 +21,7 @@ use crate::distance::DistanceMatrix;
 use crate::error::{AtlasError, Result};
 
 /// Linkage criterion for the generic agglomerative algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Linkage {
     /// Distance between clusters = minimum pairwise distance (SLINK-style).
     #[default]
@@ -32,7 +31,6 @@ pub enum Linkage {
     /// Distance between clusters = unweighted average pairwise distance.
     Average,
 }
-
 
 /// Configuration of the map-clustering step.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,8 +137,8 @@ pub fn slink(distances: &DistanceMatrix) -> Dendrogram {
     for i in 0..n {
         pi[i] = i;
         lambda[i] = f64::INFINITY;
-        for j in 0..i {
-            m[j] = distances.get(i, j);
+        for (j, mj) in m.iter_mut().enumerate().take(i) {
+            *mj = distances.get(i, j);
         }
         for j in 0..i {
             if lambda[j] >= m[j] {
@@ -183,7 +181,10 @@ pub fn slink(distances: &DistanceMatrix) -> Dendrogram {
 ///
 /// Returns the clusters as lists of candidate indices, each sorted, ordered by
 /// their smallest member.
-pub fn cluster_maps(distances: &DistanceMatrix, config: &ClusteringConfig) -> Result<Vec<Vec<usize>>> {
+pub fn cluster_maps(
+    distances: &DistanceMatrix,
+    config: &ClusteringConfig,
+) -> Result<Vec<Vec<usize>>> {
     config.validate()?;
     let n = distances.len();
     if n == 0 {
@@ -231,12 +232,7 @@ pub fn cluster_maps(distances: &DistanceMatrix, config: &ClusteringConfig) -> Re
     Ok(clusters)
 }
 
-fn linkage_distance(
-    distances: &DistanceMatrix,
-    a: &[usize],
-    b: &[usize],
-    linkage: Linkage,
-) -> f64 {
+fn linkage_distance(distances: &DistanceMatrix, a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
     let mut min = f64::INFINITY;
     let mut max = f64::NEG_INFINITY;
     let mut sum = 0.0;
@@ -408,9 +404,11 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_inputs() {
-        let clusters = cluster_maps(&DistanceMatrix::zeros(0), &ClusteringConfig::default()).unwrap();
+        let clusters =
+            cluster_maps(&DistanceMatrix::zeros(0), &ClusteringConfig::default()).unwrap();
         assert!(clusters.is_empty());
-        let clusters = cluster_maps(&DistanceMatrix::zeros(1), &ClusteringConfig::default()).unwrap();
+        let clusters =
+            cluster_maps(&DistanceMatrix::zeros(1), &ClusteringConfig::default()).unwrap();
         assert_eq!(clusters, vec![vec![0]]);
         let dendro = slink(&DistanceMatrix::zeros(0));
         assert!(dendro.steps.is_empty());

@@ -7,8 +7,7 @@ use crate::error::{AtlasError, Result};
 
 /// How the maps of one cluster are combined into a representative map
 /// (Section 3.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MergeStrategy {
     /// The product operator `M1 × M2`: intersect every region of the first
     /// map with every region of the second. Fast and "natural", but unlikely
@@ -20,7 +19,6 @@ pub enum MergeStrategy {
     #[default]
     Composition,
 }
-
 
 /// Configuration of the whole Atlas pipeline.
 ///
@@ -152,16 +150,22 @@ mod tests {
 
     #[test]
     fn inconsistent_configs_are_rejected() {
-        let mut cfg = AtlasConfig::default();
-        cfg.max_regions_per_map = 1;
+        let cfg = AtlasConfig {
+            max_regions_per_map: 1,
+            ..AtlasConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = AtlasConfig::default();
-        cfg.max_maps = 0;
+        let cfg = AtlasConfig {
+            max_maps: 0,
+            ..AtlasConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = AtlasConfig::default();
-        cfg.max_new_predicates = 0;
+        let cfg = AtlasConfig {
+            max_new_predicates: 0,
+            ..AtlasConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         let mut cfg = AtlasConfig::default();

@@ -21,7 +21,8 @@ use crate::map::DataMap;
 use crate::region::Region;
 use atlas_columnar::{Bitmap, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
-use atlas_stats::{kmeans_1d, quantile, EquiWidthHistogram, GkSketch};
+use atlas_stats::quantile::quantile;
+use atlas_stats::{kmeans_1d, EquiWidthHistogram, GkSketch};
 
 /// How to split an ordinal (numeric) attribute.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -488,7 +489,13 @@ mod tests {
         let big = map
             .regions
             .iter()
-            .find(|r| r.query.predicate_on("education").unwrap().set.contains_value("HS"))
+            .find(|r| {
+                r.query
+                    .predicate_on("education")
+                    .unwrap()
+                    .set
+                    .contains_value("HS")
+            })
             .unwrap();
         assert_eq!(big.count(), 100);
     }

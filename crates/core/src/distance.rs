@@ -10,8 +10,7 @@ use crate::map::DataMap;
 use atlas_stats::ContingencyTable;
 
 /// The dependency measure used as a distance between maps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MapDistanceMetric {
     /// Variation of Information, in bits. A metric; 0 for identical
     /// partitions, `H(X) + H(Y)` for independent ones. The paper's choice.
@@ -24,7 +23,6 @@ pub enum MapDistanceMetric {
     /// ablation experiments.
     OneMinusNmi,
 }
-
 
 /// A symmetric distance matrix over a set of candidate maps.
 #[derive(Debug, Clone)]
@@ -69,15 +67,16 @@ impl DistanceMatrix {
 /// `table_rows` is the number of rows of the underlying table (the length of
 /// the label vectors). Rows outside either map (NULLs, rows outside the
 /// working set) are ignored, as they carry no information about dependency.
-pub fn map_distance(
-    a: &DataMap,
-    b: &DataMap,
-    table_rows: usize,
-    metric: MapDistanceMetric,
-) -> f64 {
+pub fn map_distance(a: &DataMap, b: &DataMap, table_rows: usize, metric: MapDistanceMetric) -> f64 {
     let labels_a = a.region_labels(table_rows);
     let labels_b = b.region_labels(table_rows);
-    distance_from_labels(&labels_a, &labels_b, a.num_regions(), b.num_regions(), metric)
+    distance_from_labels(
+        &labels_a,
+        &labels_b,
+        a.num_regions(),
+        b.num_regions(),
+        metric,
+    )
 }
 
 /// The distance between two label vectors (used internally and by the anytime
@@ -137,7 +136,11 @@ mod tests {
         for region_idx in 0..k {
             let rows: Vec<usize> = (0..n).filter(|&r| assign(r) == region_idx).collect();
             regions.push(Region::new(
-                ConjunctiveQuery::all("t").and(Predicate::range(attr, region_idx as f64, region_idx as f64 + 1.0)),
+                ConjunctiveQuery::all("t").and(Predicate::range(
+                    attr,
+                    region_idx as f64,
+                    region_idx as f64 + 1.0,
+                )),
                 Bitmap::from_indices(n, rows),
             ));
         }
@@ -179,7 +182,10 @@ mod tests {
     fn normalized_metrics_stay_in_unit_interval() {
         let a = map_from_fn(300, 3, |r| r % 3, "a");
         let c = map_from_fn(300, 2, |r| (r * 7 + 3) % 2, "c");
-        for metric in [MapDistanceMetric::NormalizedVI, MapDistanceMetric::OneMinusNmi] {
+        for metric in [
+            MapDistanceMetric::NormalizedVI,
+            MapDistanceMetric::OneMinusNmi,
+        ] {
             let d = map_distance(&a, &c, 300, metric);
             assert!((0.0..=1.0).contains(&d), "{metric:?}: {d}");
         }

@@ -134,7 +134,11 @@ impl Atlas {
 
         // Step 2: cluster dependent candidates.
         let phase_start = Instant::now();
-        let matrix = distance_matrix(&candidates.maps, self.table.num_rows(), self.config.distance);
+        let matrix = distance_matrix(
+            &candidates.maps,
+            self.table.num_rows(),
+            self.config.distance,
+        );
         let clusters = cluster_maps(&matrix, &self.config.clustering)?;
         let clustering_ms = elapsed_ms(phase_start);
 
@@ -207,8 +211,7 @@ impl Atlas {
             return map;
         }
         // Keep the largest (max_regions - 1) regions, merge the tail.
-        map.regions
-            .sort_by(|a, b| b.count().cmp(&a.count()));
+        map.regions.sort_by_key(|r| std::cmp::Reverse(r.count()));
         let keep = self.config.max_regions_per_map.saturating_sub(1).max(1);
         let tail = map.regions.split_off(keep);
         if !tail.is_empty() {
@@ -256,7 +259,11 @@ mod tests {
         let mut b = TableBuilder::new("survey", schema);
         for i in 0..rows {
             let age = 17 + (i * 13) % 74;
-            let hours = if age >= 65 { 5 + (i % 8) } else { 30 + (i % 20) };
+            let hours = if age >= 65 {
+                5 + (i % 8)
+            } else {
+                30 + (i % 20)
+            };
             let education = if i % 3 == 0 { "HS" } else { "MSc" };
             let salary = if education == "MSc" && i % 10 < 8 {
                 ">50k"

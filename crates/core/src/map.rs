@@ -219,7 +219,11 @@ mod tests {
     #[test]
     fn drop_empty_regions_removes_only_empty_ones() {
         let mut map = DataMap::new(
-            vec![region(4, &[0, 1], "a"), region(4, &[], "a"), region(4, &[2], "a")],
+            vec![
+                region(4, &[0, 1], "a"),
+                region(4, &[], "a"),
+                region(4, &[2], "a"),
+            ],
             vec!["a".to_string()],
         );
         map.drop_empty_regions();

@@ -79,7 +79,8 @@ pub fn compose_maps(
         };
         let mut regions = Vec::new();
         for region in &result.regions {
-            let sub_map = cut_attribute(table, &region.selection, &region.query, &attribute, config)?;
+            let sub_map =
+                cut_attribute(table, &region.selection, &region.query, &attribute, config)?;
             match sub_map {
                 Some(sub) => regions.extend(sub.regions),
                 None => regions.push(region.clone()),
@@ -215,7 +216,7 @@ mod tests {
     fn product_of_single_map_is_identity_and_empty_input_is_none() {
         let t = clustered_table();
         let m1 = candidate(&t, "size", NumericCutStrategy::Median);
-        let p = product_maps(&[m1.clone()], true).unwrap();
+        let p = product_maps(std::slice::from_ref(&m1), true).unwrap();
         assert_eq!(p.num_regions(), m1.num_regions());
         assert!(product_maps(&[], true).is_none());
         assert!(compose_maps(&[], &t, &CutConfig::default(), true)
@@ -230,8 +231,16 @@ mod tests {
             numeric: NumericCutStrategy::KMeans { max_iterations: 50 },
             ..CutConfig::default()
         };
-        let m_size = candidate(&t, "size", NumericCutStrategy::KMeans { max_iterations: 50 });
-        let m_weight = candidate(&t, "weight", NumericCutStrategy::KMeans { max_iterations: 50 });
+        let m_size = candidate(
+            &t,
+            "size",
+            NumericCutStrategy::KMeans { max_iterations: 50 },
+        );
+        let m_weight = candidate(
+            &t,
+            "weight",
+            NumericCutStrategy::KMeans { max_iterations: 50 },
+        );
         let composed = compose_maps(&[m_size, m_weight], &t, &cfg, true)
             .unwrap()
             .unwrap();
@@ -256,22 +265,32 @@ mod tests {
             numeric: NumericCutStrategy::KMeans { max_iterations: 50 },
             ..CutConfig::default()
         };
-        let m_size = candidate(&t, "size", NumericCutStrategy::KMeans { max_iterations: 50 });
-        let m_weight = candidate(&t, "weight", NumericCutStrategy::KMeans { max_iterations: 50 });
+        let m_size = candidate(
+            &t,
+            "size",
+            NumericCutStrategy::KMeans { max_iterations: 50 },
+        );
+        let m_weight = candidate(
+            &t,
+            "weight",
+            NumericCutStrategy::KMeans { max_iterations: 50 },
+        );
 
         let composed = compose_maps(&[m_size.clone(), m_weight.clone()], &t, &cfg, true)
             .unwrap()
             .unwrap();
         let product = product_maps(&[m_size, m_weight], true).unwrap();
 
-        let ari_composed =
-            atlas_stats::adjusted_rand_index(&composed.region_labels(100), &labels);
+        let ari_composed = atlas_stats::adjusted_rand_index(&composed.region_labels(100), &labels);
         let ari_product = atlas_stats::adjusted_rand_index(&product.region_labels(100), &labels);
         assert!(
             ari_composed > ari_product,
             "composition ARI {ari_composed} should beat product ARI {ari_product}"
         );
-        assert!(ari_composed > 0.95, "composition should recover the planted clusters");
+        assert!(
+            ari_composed > 0.95,
+            "composition should recover the planted clusters"
+        );
     }
 
     #[test]
@@ -308,8 +327,12 @@ mod tests {
         let working = Bitmap::from_indices(100, 0..50);
         let cfg = CutConfig::default();
         let q = ConjunctiveQuery::all("t");
-        let m1 = cut_attribute(&t, &working, &q, "weight", &cfg).unwrap().unwrap();
-        let m2 = cut_attribute(&t, &working, &q, "label", &cfg).unwrap().unwrap();
+        let m1 = cut_attribute(&t, &working, &q, "weight", &cfg)
+            .unwrap()
+            .unwrap();
+        let m2 = cut_attribute(&t, &working, &q, "label", &cfg)
+            .unwrap()
+            .unwrap();
         let product = product_maps(&[m1, m2], true).unwrap();
         assert_eq!(product.covered_count(), 50);
         for region in &product.regions {

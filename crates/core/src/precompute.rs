@@ -88,8 +88,8 @@ impl CachedAtlas {
     }
 
     fn insert(&mut self, key: String, result: MapResult) {
-        if self.cache.contains_key(&key) {
-            self.cache.insert(key, result);
+        if let Some(slot) = self.cache.get_mut(&key) {
+            *slot = result;
             return;
         }
         if self.cache.len() >= self.capacity {
@@ -138,7 +138,7 @@ impl CachedAtlas {
             .iter()
             .flat_map(|m| m.map.regions.iter())
             .collect();
-        regions.sort_by(|a, b| b.count().cmp(&a.count()));
+        regions.sort_by_key(|r| std::cmp::Reverse(r.count()));
         let mut computed = 0usize;
         for region in regions.into_iter().take(limit) {
             let key = Self::key(&region.query);
@@ -223,12 +223,7 @@ mod tests {
         assert_eq!(cached.stats().prefetched, computed);
         // Drilling into the largest region of the best map is now a hit.
         let best = result.best().unwrap();
-        let largest = best
-            .map
-            .regions
-            .iter()
-            .max_by_key(|r| r.count())
-            .unwrap();
+        let largest = best.map.regions.iter().max_by_key(|r| r.count()).unwrap();
         let hits_before = cached.stats().hits;
         let drill = cached.explore(&largest.query).unwrap();
         assert!(drill.working_set_size < result.working_set_size);
@@ -239,8 +234,12 @@ mod tests {
     fn capacity_is_enforced_with_fifo_eviction() {
         let mut cached = CachedAtlas::new(table(2_000), AtlasConfig::default(), 2).unwrap();
         let q1 = ConjunctiveQuery::all("t");
-        let q2 = q1.clone().and(atlas_query::Predicate::values("group", ["a"]));
-        let q3 = q1.clone().and(atlas_query::Predicate::values("group", ["b"]));
+        let q2 = q1
+            .clone()
+            .and(atlas_query::Predicate::values("group", ["a"]));
+        let q3 = q1
+            .clone()
+            .and(atlas_query::Predicate::values("group", ["b"]));
         cached.explore(&q1).unwrap();
         cached.explore(&q2).unwrap();
         cached.explore(&q3).unwrap();

@@ -63,7 +63,11 @@ mod tests {
         for &count in counts {
             let rows: Vec<usize> = (start..start + count).collect();
             regions.push(Region::new(
-                ConjunctiveQuery::all("t").and(Predicate::range(attr, start as f64, (start + count) as f64)),
+                ConjunctiveQuery::all("t").and(Predicate::range(
+                    attr,
+                    start as f64,
+                    (start + count) as f64,
+                )),
                 Bitmap::from_indices(total, rows),
             ));
             start += count;

@@ -322,7 +322,10 @@ mod tests {
         }
         let spread = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread < 0.08, "salary rate spread across eye colors: {spread}");
+        assert!(
+            spread < 0.08,
+            "salary rate spread across eye colors: {spread}"
+        );
     }
 
     #[test]
@@ -371,7 +374,10 @@ mod tests {
         let schema = CensusGenerator::schema();
         for group in CensusGenerator::dependency_groups() {
             for attr in group {
-                assert!(schema.contains(attr), "group attribute {attr} not in schema");
+                assert!(
+                    schema.contains(attr),
+                    "group attribute {attr} not in schema"
+                );
             }
         }
         let _ = Bitmap::new_empty(1); // silence unused import lint in some cfgs

@@ -156,9 +156,8 @@ impl MixtureGenerator {
             labels.push(cluster as u32);
 
             let mut row = Vec::with_capacity(cfg.signal_dims + cfg.noise_dims);
-            for d in 0..cfg.signal_dims {
-                let v = centres[cluster][d] + gaussian(&mut rng);
-                row.push(Value::Float(v));
+            for centre in centres[cluster].iter().take(cfg.signal_dims) {
+                row.push(Value::Float(centre + gaussian(&mut rng)));
             }
             let noise_span = cfg.separation * cfg.num_clusters as f64;
             for _ in 0..cfg.noise_dims {
@@ -224,11 +223,8 @@ mod tests {
         let values = ds.table.column("sig_0").unwrap().numeric_values_where(&all);
         // With separation 6 sigma, the two clusters produce a clearly bimodal
         // distribution: almost nothing should lie in the middle band.
-        let mid_band = values
-            .iter()
-            .filter(|&&v| (v - 3.0).abs() < 1.0)
-            .count() as f64
-            / values.len() as f64;
+        let mid_band =
+            values.iter().filter(|&&v| (v - 3.0).abs() < 1.0).count() as f64 / values.len() as f64;
         assert!(mid_band < 0.1, "mid band fraction {mid_band}");
     }
 
@@ -262,7 +258,10 @@ mod tests {
         let mean = noise.iter().sum::<f64>() / noise.len() as f64;
         let var = noise.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / noise.len() as f64;
         let expected = span * span / 12.0;
-        assert!((var / expected - 1.0).abs() < 0.2, "var {var} vs expected {expected}");
+        assert!(
+            (var / expected - 1.0).abs() < 0.2,
+            "var {var} vs expected {expected}"
+        );
     }
 
     #[test]

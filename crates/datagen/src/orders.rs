@@ -15,7 +15,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Market segments (as in TPC-H `customer.c_mktsegment`).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 /// Order priorities.
 pub const PRIORITIES: [&str; 3] = ["HIGH", "MEDIUM", "LOW"];
 /// Shipping modes.
@@ -154,9 +160,7 @@ mod tests {
     fn generates_rows_and_unique_keys() {
         let t = OrdersGenerator::with_rows(1000, 3).generate();
         assert_eq!(t.num_rows(), 1000);
-        let stats = t
-            .column_stats("order_key", &t.full_selection())
-            .unwrap();
+        let stats = t.column_stats("order_key", &t.full_selection()).unwrap();
         assert_eq!(stats.distinct_count, 1000);
         assert!(stats.looks_like_identifier());
     }
@@ -164,9 +168,7 @@ mod tests {
     #[test]
     fn comment_code_is_high_cardinality() {
         let t = OrdersGenerator::with_rows(2000, 5).generate();
-        let stats = t
-            .column_stats("comment_code", &t.full_selection())
-            .unwrap();
+        let stats = t.column_stats("comment_code", &t.full_selection()).unwrap();
         assert!(stats.distinct_ratio() > 0.9);
     }
 

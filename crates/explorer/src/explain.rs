@@ -18,7 +18,7 @@
 
 use atlas_columnar::{Bitmap, Column, DataType, Table};
 use atlas_core::Region;
-use atlas_stats::quantile;
+use atlas_stats::quantile::quantile;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -117,7 +117,9 @@ pub fn explain_selection(
             Err(_) => continue,
         };
         let insight = match field.dtype {
-            DataType::Int | DataType::Float => numeric_insight(&field.name, column, selection, reference),
+            DataType::Int | DataType::Float => {
+                numeric_insight(&field.name, column, selection, reference)
+            }
             DataType::Str | DataType::Bool => {
                 categorical_insight(&field.name, column, selection, reference)
             }
@@ -195,7 +197,7 @@ fn categorical_insight(
         let reg_share = region_share.get(value).copied().unwrap_or(0.0);
         total_variation += (reg_share - ref_share).abs();
         let lift = reg_share - ref_share;
-        if best.map_or(true, |(_, best_lift, _)| lift > best_lift) {
+        if best.is_none_or(|(_, best_lift, _)| lift > best_lift) {
             best = Some((value, lift, ref_share));
         }
     }
@@ -203,7 +205,7 @@ fn categorical_insight(
     for (value, &reg_share) in &region_share {
         if !reference_share.contains_key(value) {
             total_variation += reg_share;
-            if best.map_or(true, |(_, best_lift, _)| reg_share > best_lift) {
+            if best.is_none_or(|(_, best_lift, _)| reg_share > best_lift) {
                 best = Some((value, reg_share, 0.0));
             }
         }
@@ -278,8 +280,14 @@ mod tests {
             other => panic!("expected a categorical shift, got {other:?}"),
         }
         // Education must rank above the independent eye colour.
-        let edu_pos = insights.iter().position(|i| i.attribute == "education").unwrap();
-        let eye_pos = insights.iter().position(|i| i.attribute == "eye_color").unwrap();
+        let edu_pos = insights
+            .iter()
+            .position(|i| i.attribute == "education")
+            .unwrap();
+        let eye_pos = insights
+            .iter()
+            .position(|i| i.attribute == "eye_color")
+            .unwrap();
         assert!(edu_pos < eye_pos);
         // The eye colour shift itself is small.
         assert!(insights[eye_pos].score < 0.1);

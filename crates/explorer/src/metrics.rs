@@ -192,7 +192,10 @@ mod tests {
         let atlas = Atlas::new(table, config).unwrap();
         let result = atlas.explore(&ConjunctiveQuery::all("mixture")).unwrap();
         let (_, quality) = MapQuality::best_of(&result.maps, &truth).unwrap();
-        assert!(quality.ari < 0.2, "noise map should not recover clusters: {quality:?}");
+        assert!(
+            quality.ari < 0.2,
+            "noise map should not recover clusters: {quality:?}"
+        );
     }
 
     #[test]

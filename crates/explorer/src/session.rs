@@ -133,9 +133,7 @@ mod tests {
         let mut session = census_session();
         assert_eq!(session.depth(), 0);
         assert!(session.current().is_none());
-        let step = session
-            .submit(ConjunctiveQuery::all("census"))
-            .unwrap();
+        let step = session.submit(ConjunctiveQuery::all("census")).unwrap();
         assert_eq!(step.working_set_size(), 2000);
         assert!(step.result.num_maps() >= 1);
         assert_eq!(session.depth(), 1);

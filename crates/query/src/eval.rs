@@ -12,10 +12,7 @@ pub fn evaluate_predicate(predicate: &Predicate, table: &Table, base: &Bitmap) -
             if !column.data_type().is_ordinal() {
                 return Err(QueryError::IncompatiblePredicate {
                     attribute: predicate.attribute.clone(),
-                    message: format!(
-                        "range predicate on a {} column",
-                        column.data_type()
-                    ),
+                    message: format!("range predicate on a {} column", column.data_type()),
                 });
             }
             Ok(column.select_range(base, *lo, *hi))
@@ -153,8 +150,7 @@ mod tests {
             evaluate(&range_on_string, &t),
             Err(QueryError::IncompatiblePredicate { .. })
         ));
-        let set_on_float =
-            ConjunctiveQuery::all("survey").and(Predicate::values("score", ["1.0"]));
+        let set_on_float = ConjunctiveQuery::all("survey").and(Predicate::values("score", ["1.0"]));
         assert!(matches!(
             evaluate(&set_on_float, &t),
             Err(QueryError::IncompatiblePredicate { .. })

@@ -119,10 +119,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let mut j = i + 1;
                 while j < bytes.len() {
                     let cj = bytes[j] as char;
-                    if cj.is_ascii_digit() || cj == '.' || cj == 'e' || cj == 'E' {
-                        j += 1;
-                    } else if (cj == '-' || cj == '+')
-                        && (bytes[j - 1] as char == 'e' || bytes[j - 1] as char == 'E')
+                    let sign_in_exponent = (cj == '-' || cj == '+')
+                        && (bytes[j - 1] as char == 'e' || bytes[j - 1] as char == 'E');
+                    if cj.is_ascii_digit()
+                        || cj == '.'
+                        || cj == 'e'
+                        || cj == 'E'
+                        || sign_in_exponent
                     {
                         j += 1;
                     } else {

@@ -107,7 +107,9 @@ impl Parser {
                     match self.next() {
                         Some(Token::Comma) => continue,
                         Some(Token::RParen) => break,
-                        Some(t) => return Err(self.error(format!("expected ',' or ')', found {t:?}"))),
+                        Some(t) => {
+                            return Err(self.error(format!("expected ',' or ')', found {t:?}")))
+                        }
                         None => return Err(self.error("expected ',' or ')', found end of input")),
                     }
                 }
@@ -159,9 +161,8 @@ impl Parser {
                 self.next();
                 predicates.push(self.predicate()?);
             } else if t.is_keyword("or") {
-                return Err(self.error(
-                    "OR is not part of the language: Atlas queries are conjunctions only",
-                ));
+                return Err(self
+                    .error("OR is not part of the language: Atlas queries are conjunctions only"));
             } else {
                 break;
             }

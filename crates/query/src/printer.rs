@@ -144,11 +144,8 @@ mod tests {
 
     #[test]
     fn unbounded_range_renders_as_not_null() {
-        let q = ConjunctiveQuery::all("t").and(Predicate::range(
-            "x",
-            f64::NEG_INFINITY,
-            f64::INFINITY,
-        ));
+        let q =
+            ConjunctiveQuery::all("t").and(Predicate::range("x", f64::NEG_INFINITY, f64::INFINITY));
         assert!(to_sql(&q).contains("x IS NOT NULL"));
     }
 

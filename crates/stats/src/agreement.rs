@@ -85,7 +85,10 @@ pub fn purity(a: &[u32], reference: &[u32]) -> f64 {
     let table = ContingencyTable::from_labels(a, reference, cardinality(a), cardinality(reference));
     let mut correct = 0u64;
     for i in 0..table.num_rows() {
-        let best = (0..table.num_cols()).map(|j| table.count(i, j)).max().unwrap_or(0);
+        let best = (0..table.num_cols())
+            .map(|j| table.count(i, j))
+            .max()
+            .unwrap_or(0);
         correct += best;
     }
     correct as f64 / a.len() as f64

@@ -61,8 +61,8 @@ pub fn natural_breaks(values: &[f64], k: usize) -> Option<NaturalBreaks> {
     // dp[c][j] = best cost of splitting the first j items into c+1 classes.
     let mut dp = vec![vec![f64::INFINITY; n + 1]; k];
     let mut back = vec![vec![0usize; n + 1]; k];
-    for j in 0..=n {
-        dp[0][j] = seg_cost(0, j);
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = seg_cost(0, j);
     }
     for c in 1..k {
         for j in (c + 1)..=n {

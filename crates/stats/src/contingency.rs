@@ -66,9 +66,9 @@ impl ContingencyTable {
     /// Row marginals (one per row category).
     pub fn row_marginals(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.rows];
-        for i in 0..self.rows {
+        for (i, row_total) in out.iter_mut().enumerate() {
             for j in 0..self.cols {
-                out[i] += self.count(i, j);
+                *row_total += self.count(i, j);
             }
         }
         out
@@ -77,9 +77,9 @@ impl ContingencyTable {
     /// Column marginals (one per column category).
     pub fn col_marginals(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.cols];
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out[j] += self.count(i, j);
+        for (j, col_total) in out.iter_mut().enumerate() {
+            for i in 0..self.rows {
+                *col_total += self.count(i, j);
             }
         }
         out

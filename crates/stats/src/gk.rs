@@ -66,22 +66,13 @@ impl GkSketch {
         if value.is_nan() {
             return;
         }
-        let idx = self
-            .entries
-            .partition_point(|e| e.value < value);
+        let idx = self.entries.partition_point(|e| e.value < value);
         let delta = if idx == 0 || idx == self.entries.len() {
             0
         } else {
             (2.0 * self.epsilon * self.count as f64).floor() as u64
         };
-        self.entries.insert(
-            idx,
-            GkEntry {
-                value,
-                g: 1,
-                delta,
-            },
-        );
+        self.entries.insert(idx, GkEntry { value, g: 1, delta });
         self.count += 1;
         self.since_compress += 1;
         if self.since_compress >= self.compress_interval {
@@ -148,10 +139,9 @@ impl GkSketch {
         for (i, e) in self.entries.iter().enumerate() {
             r_min += e.g;
             let r_max = r_min + e.delta;
-            if (rank + margin >= r_max || i == self.entries.len() - 1)
-                && rank <= r_min + margin {
-                    return Some(e.value);
-                }
+            if (rank + margin >= r_max || i == self.entries.len() - 1) && rank <= r_min + margin {
+                return Some(e.value);
+            }
         }
         self.entries.last().map(|e| e.value)
     }

@@ -110,9 +110,7 @@ impl EquiDepthHistogram {
             }
         }
         let last = sorted[sorted.len() - 1];
-        if last > *edges.last().expect("edges never empty") {
-            edges.push(last);
-        } else if edges.len() == 1 {
+        if last > *edges.last().expect("edges never empty") || edges.len() == 1 {
             edges.push(last);
         }
         let nbins = edges.len() - 1;
@@ -190,7 +188,11 @@ mod tests {
         assert_eq!(h.total(), 100);
         let max = *h.counts.iter().max().unwrap();
         let min = *h.counts.iter().min().unwrap();
-        assert!(max - min <= 10, "counts should be roughly balanced: {:?}", h.counts);
+        assert!(
+            max - min <= 10,
+            "counts should be roughly balanced: {:?}",
+            h.counts
+        );
     }
 
     #[test]

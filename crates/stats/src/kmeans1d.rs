@@ -77,9 +77,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iterations: usize) -> Option<KMea
         let mut changed = false;
         let mut c_idx = 0usize;
         for (i, &v) in sorted.iter().enumerate() {
-            while c_idx + 1 < k
-                && (centroids[c_idx + 1] - v).abs() < (centroids[c_idx] - v).abs()
-            {
+            while c_idx + 1 < k && (centroids[c_idx + 1] - v).abs() < (centroids[c_idx] - v).abs() {
                 c_idx += 1;
             }
             // The sweep pointer only moves forward; but a point may be closer
@@ -113,10 +111,7 @@ pub fn kmeans_1d(values: &[f64], k: usize, max_iterations: usize) -> Option<KMea
         .zip(assignments.iter())
         .map(|(&v, &a)| (v - centroids[a]).powi(2))
         .sum();
-    let splits = centroids
-        .windows(2)
-        .map(|w| (w[0] + w[1]) / 2.0)
-        .collect();
+    let splits = centroids.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
     Some(KMeans1dResult {
         centroids,
         splits,

@@ -38,11 +38,10 @@ pub use agreement::{adjusted_rand_index, normalized_mutual_information, purity, 
 pub use contingency::ContingencyTable;
 pub use describe::Describe;
 pub use entropy::{
-    entropy, entropy_of_counts, joint_entropy, mutual_information, normalized_vi,
-    variation_of_information,
+    entropy_of_counts, joint_entropy, mutual_information, normalized_vi, variation_of_information,
 };
 pub use gk::GkSketch;
 pub use histogram::{EquiDepthHistogram, EquiWidthHistogram};
 pub use kmeans1d::{kmeans_1d, KMeans1dResult};
-pub use quantile::{median, quantile, quantiles};
+pub use quantile::{median, quantiles};
 pub use reservoir::ReservoirSampler;

@@ -40,7 +40,10 @@ fn main() {
         "iteration", "sample", "elapsed(ms)", "best map attributes", "max cover error"
     );
     for (i, iteration) in outcome.iterations.iter().enumerate() {
-        let best = iteration.result.best().expect("at least one map per iteration");
+        let best = iteration
+            .result
+            .best()
+            .expect("at least one map per iteration");
         let covers = best.map.covers(iteration.result.working_set_size);
         let max_error = covers
             .iter()

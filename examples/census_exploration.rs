@@ -18,7 +18,10 @@ fn main() {
     let step = session
         .submit(ConjunctiveQuery::all("census"))
         .expect("initial exploration succeeds");
-    println!("=== step 1: the whole survey ({} tuples) ===", step.working_set_size());
+    println!(
+        "=== step 1: the whole survey ({} tuples) ===",
+        step.working_set_size()
+    );
     println!("{}", render_result(&step.result));
 
     // The top maps group statistically dependent attributes, exactly as in
@@ -43,7 +46,9 @@ fn main() {
     println!("{}", render_result(&step.result));
 
     // Step 3: drill once more, then report the exploration path.
-    let step = session.drill_down(0, 0).expect("second drill-down succeeds");
+    let step = session
+        .drill_down(0, 0)
+        .expect("second drill-down succeeds");
     println!(
         "\n=== step 3: drilled again ({} tuples) ===",
         step.working_set_size()

@@ -48,7 +48,10 @@ fn main() {
     // exploration step.
     if let Some(best) = result.best() {
         if let Some(region) = best.map.regions.first() {
-            println!("\nTo drill down, submit for example:\n  {}", to_sql(&region.query));
+            println!(
+                "\nTo drill down, submit for example:\n  {}",
+                to_sql(&region.query)
+            );
         }
     }
 }

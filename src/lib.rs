@@ -41,6 +41,8 @@
 //! println!("{}", render_result(&result));
 //! ```
 
+#![warn(missing_docs)]
+
 pub use atlas_columnar as columnar;
 pub use atlas_core as core;
 pub use atlas_datagen as datagen;
@@ -50,15 +52,17 @@ pub use atlas_stats as stats;
 
 /// The most commonly used types, re-exported flat for convenience.
 pub mod prelude {
-    pub use atlas_columnar::{Bitmap, Catalog, Column, DataType, Field, Schema, Table, TableBuilder, Value};
+    pub use atlas_columnar::{
+        Bitmap, Catalog, Column, DataType, Field, Schema, Table, TableBuilder, Value,
+    };
     pub use atlas_core::{
         AnytimeAtlas, AnytimeConfig, Atlas, AtlasConfig, CategoricalCutStrategy, CutConfig,
         DataMap, MapDistanceMetric, MapResult, MergeStrategy, NumericCutStrategy, RankedMap,
         Region,
     };
-    pub use atlas_datagen::{
-        CensusGenerator, MixtureGenerator, OrdersGenerator, SdssGenerator,
-    };
+    pub use atlas_datagen::{CensusGenerator, MixtureGenerator, OrdersGenerator, SdssGenerator};
     pub use atlas_explorer::{render_map, render_result, MapQuality, ReadabilityReport, Session};
-    pub use atlas_query::{parse_query, to_compact, to_sql, ConjunctiveQuery, Predicate, PredicateSet};
+    pub use atlas_query::{
+        parse_query, to_compact, to_sql, ConjunctiveQuery, Predicate, PredicateSet,
+    };
 }

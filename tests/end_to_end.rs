@@ -20,7 +20,10 @@ fn census_exploration_reproduces_the_figure_2_behaviour() {
     for ranked in &result.maps {
         assert!(ranked.map.num_regions() >= 2);
         assert!(ranked.map.num_regions() <= 8, "readability: ≤ 8 regions");
-        assert!(ranked.map.max_predicates() <= 4, "user predicate + ≤ 3 new ones");
+        assert!(
+            ranked.map.max_predicates() <= 4,
+            "user predicate + ≤ 3 new ones"
+        );
         assert!(ranked.map.regions_are_disjoint());
     }
 
@@ -92,7 +95,10 @@ fn exploration_session_narrows_until_small() {
     }
     assert!(sizes.len() >= 3, "at least two successful drill-downs");
     for pair in sizes.windows(2) {
-        assert!(pair[1] < pair[0], "drilling down must narrow the working set");
+        assert!(
+            pair[1] < pair[0],
+            "drilling down must narrow the working set"
+        );
         assert!(pair[1] > 0);
     }
 }
@@ -102,16 +108,17 @@ fn orders_table_identifier_columns_are_skipped() {
     let table = Arc::new(OrdersGenerator::with_rows(5_000, 3).generate());
     let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
     let result = atlas.explore(&ConjunctiveQuery::all("orders")).unwrap();
-    assert!(result
-        .skipped_attributes
-        .iter()
-        .any(|a| a == "order_key"));
+    assert!(result.skipped_attributes.iter().any(|a| a == "order_key"));
     assert!(result
         .skipped_attributes
         .iter()
         .any(|a| a == "comment_code"));
     for ranked in &result.maps {
-        assert!(!ranked.map.source_attributes.iter().any(|a| a == "order_key"));
+        assert!(!ranked
+            .map
+            .source_attributes
+            .iter()
+            .any(|a| a == "order_key"));
         assert!(!ranked
             .map
             .source_attributes
@@ -164,7 +171,9 @@ age,sex,salary\n\
     )
     .unwrap();
     let atlas_engine = Atlas::with_defaults(Arc::new(table)).unwrap();
-    let result = atlas_engine.explore(&ConjunctiveQuery::all("people")).unwrap();
+    let result = atlas_engine
+        .explore(&ConjunctiveQuery::all("people"))
+        .unwrap();
     assert!(result.num_maps() >= 1);
     assert_eq!(result.working_set_size, 12);
 }

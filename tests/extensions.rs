@@ -52,8 +52,14 @@ fn join_then_map_then_explain() {
     // Section 5.2's "materialize the join into one large temporary table",
     // followed by the normal Atlas pipeline on the denormalised view.
     let (orders, customers) = star_schema();
-    let denormalised = hash_join("orders_denorm", &orders, "customer_id", &customers, "customer_id")
-        .unwrap();
+    let denormalised = hash_join(
+        "orders_denorm",
+        &orders,
+        "customer_id",
+        &customers,
+        "customer_id",
+    )
+    .unwrap();
     assert_eq!(denormalised.num_rows(), 600);
     assert!(denormalised.schema().contains("segment"));
 
@@ -113,7 +119,11 @@ fn cached_engine_serves_drill_downs_after_prefetch() {
     // Warm up before the first query, as Section 5.1 suggests.
     cached.warm_up().unwrap();
     let result = cached.explore(&ConjunctiveQuery::all("census")).unwrap();
-    assert_eq!(cached.stats().hits, 1, "warm-up should serve the first query");
+    assert_eq!(
+        cached.stats().hits,
+        1,
+        "warm-up should serve the first query"
+    );
 
     // Idle time: prefetch every region the user can click next.
     let total_regions: usize = result.maps.iter().map(|m| m.map.num_regions()).sum();
@@ -155,11 +165,7 @@ fn explanations_are_consistent_with_the_region_queries() {
         };
         let insights = explain_region(&table, region, &result.working_set);
         let age_insight = insights.iter().find(|i| i.attribute == "age").unwrap();
-        if let InsightKind::NumericShift {
-            region_mean,
-            ..
-        } = &age_insight.kind
-        {
+        if let InsightKind::NumericShift { region_mean, .. } = &age_insight.kind {
             assert!(
                 predicate.set.contains_number(*region_mean),
                 "the region's own mean age {region_mean} must satisfy its predicate {predicate}"

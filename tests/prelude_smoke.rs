@@ -1,0 +1,49 @@
+//! Smoke test: the facade `prelude` re-exports the documented public API.
+//!
+//! The README and the crate docs promise that `use atlas::prelude::*` is
+//! enough to run the whole pipeline. This test uses each promised name
+//! directly from the prelude, so any future re-export regression fails to
+//! compile rather than surfacing as a broken doc example.
+
+use atlas::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn prelude_exports_the_documented_api() {
+    // CensusGenerator + Atlas + AtlasConfig.
+    let table: Arc<Table> = Arc::new(CensusGenerator::with_rows(500, 7).generate());
+    let config = AtlasConfig::default();
+    let atlas: Atlas = Atlas::new(Arc::clone(&table), config).expect("default config is valid");
+
+    // parse_query produces a ConjunctiveQuery usable by the engine.
+    let query: ConjunctiveQuery =
+        parse_query("SELECT * FROM census WHERE age BETWEEN 17 AND 90").expect("query parses");
+
+    let result = atlas.explore(&query).expect("exploration succeeds");
+    assert!(result.num_maps() >= 1);
+
+    // DataMap is reachable by name, and render_result works on the result.
+    let best: &DataMap = &result.best().expect("at least one map").map;
+    assert!(best.num_regions() >= 2);
+    let rendered = render_result(&result);
+    assert!(!rendered.is_empty());
+}
+
+#[test]
+fn prelude_exports_support_types() {
+    // Columnar building blocks.
+    let schema = Schema::new(vec![Field::new("x", DataType::Float)]).expect("valid schema");
+    let mut builder = TableBuilder::new("t", schema);
+    builder
+        .push_row(&[Value::Float(1.0)])
+        .expect("row matches schema");
+    let table: Table = builder.build().expect("non-empty table");
+    let bitmap: Bitmap = table.full_selection();
+    assert_eq!(bitmap.count(), 1);
+
+    // Query pretty-printers round-trip through the parser.
+    let query = ConjunctiveQuery::all("t").and(Predicate::range("x", 0.0, 2.0));
+    let reparsed = parse_query(&to_sql(&query)).expect("printed SQL parses");
+    assert_eq!(reparsed, query);
+    assert!(!to_compact(&query).is_empty());
+}

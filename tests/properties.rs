@@ -26,10 +26,7 @@ fn build_table(numeric: &[f64], categories: &[u8]) -> Table {
     for (i, &x) in numeric.iter().enumerate() {
         let c = categories[i % categories.len()] % 4;
         builder
-            .push_row(&[
-                Value::Float(x),
-                Value::Str(format!("cat{c}")),
-            ])
+            .push_row(&[Value::Float(x), Value::Str(format!("cat{c}"))])
             .unwrap();
     }
     builder.build().unwrap()
@@ -243,7 +240,9 @@ fn engine_invariants_across_configurations() {
                     ..AtlasConfig::default()
                 };
                 let atlas_engine = Atlas::new(Arc::clone(&table), config).unwrap();
-                let result = atlas_engine.explore(&ConjunctiveQuery::all("census")).unwrap();
+                let result = atlas_engine
+                    .explore(&ConjunctiveQuery::all("census"))
+                    .unwrap();
                 assert!(result.num_maps() >= 1);
                 for ranked in &result.maps {
                     assert!(ranked.map.num_regions() >= 2);

@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion 0.5 API the Atlas benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] knobs (`sample_size`,
+//! `warm_up_time`, `measurement_time`, `throughput`), `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark warms up for the
+//! configured time, then runs timed batches until both the sample budget and
+//! the measurement time are spent, and prints mean / min / max wall-clock
+//! time per iteration. There is no statistical outlier analysis, HTML
+//! report, or baseline comparison — the numbers are honest but coarse,
+//! suitable for spotting order-of-magnitude regressions in CI logs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let defaults = self.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: defaults.sample_size,
+            warm_up_time: defaults.warm_up_time,
+            measurement_time: defaults.measurement_time,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside of any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and timing configuration.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set how long to run the closure untimed before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the wall-clock budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Record the work per iteration, reported as a rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark identified by `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&label, self.throughput.as_ref());
+        self
+    }
+
+    /// Run a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group. (No cross-benchmark analysis in this stand-in.)
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure; handed to each benchmark body.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it repeatedly inside the configured budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement: one sample per routine call, until both the sample
+        // count is reached and further samples would bust the time budget.
+        let measure_start = Instant::now();
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<&Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<60} (no samples collected)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        let rate = throughput.map(|t| t.rate(mean)).unwrap_or_default();
+        println!(
+            "{label:<60} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples){rate}",
+            self.samples.len(),
+        );
+    }
+}
+
+/// A benchmark label, optionally `function/parameter`-structured.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Label a benchmark with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Label a benchmark with a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept both
+/// string labels and structured ids.
+pub trait IntoBenchmarkId {
+    /// Convert into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// The amount of work one iteration performs, for rate reporting.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate(&self, mean: Duration) -> String {
+        let secs = mean.as_secs_f64();
+        if secs <= 0.0 {
+            return String::new();
+        }
+        match self {
+            Throughput::Elements(n) => format!("  {:.0} elem/s", *n as f64 / secs),
+            Throughput::Bytes(n) => format!("  {:.0} B/s", *n as f64 / secs),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a single runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

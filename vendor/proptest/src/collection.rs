@@ -1,0 +1,102 @@
+//! Collection strategies: random-length `Vec`s and `BTreeSet`s.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A target size for a generated collection: either exact or a half-open
+/// range, mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    low: usize,
+    high: usize, // exclusive
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        if self.high <= self.low + 1 {
+            self.low
+        } else {
+            rng.gen_range(self.low..self.high)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            low: exact,
+            high: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange {
+            low: range.start,
+            high: range.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generate `Vec`s of values from `element`, with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set below target; cap the attempts so tiny
+        // value domains (e.g. 0..4) cannot loop forever.
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 16 + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Generate `BTreeSet`s of values from `element`, with target size in `size`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API that the workspace's property
+//! tests use:
+//!
+//! * the [`Strategy`] trait, implemented for numeric ranges and for string
+//!   patterns like `"[a-z]{1,6}"`;
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`] and [`prop_assert_eq!`];
+//! * [`prelude::ProptestConfig`] with `with_cases`.
+//!
+//! The one deliberate omission is *shrinking*: on failure the offending
+//! inputs are reported via the panic message of the underlying assert, but
+//! no minimisation pass runs. Cases are generated from a deterministic
+//! per-test seed, so failures reproduce exactly across runs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+pub mod collection;
+pub mod prelude;
+pub mod string;
+
+/// A recipe for generating random values of an associated type.
+///
+/// The real proptest `Strategy` carries a value tree for shrinking; this
+/// stand-in only needs [`Strategy::generate`].
+pub trait Strategy {
+    /// The type of values the strategy produces.
+    type Value;
+
+    /// Produce one value using the given generator.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String literals act as regex-like string strategies (e.g. `"[a-z]{1,6}"`).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+/// A strategy producing a constant value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Runtime configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub mod __internal {
+    //! Support machinery used by the macro expansions.
+
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Derive a per-test base seed from the test name, so each property
+    /// explores a distinct but fully deterministic input stream.
+    pub fn seed_for(test_name: &str) -> u64 {
+        // FNV-1a, folded with a fixed tweak so the stream differs from other
+        // FNV users in the workspace.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^ 0x41544c4153 // "ATLAS"
+    }
+}
+
+/// Define property tests: each `fn` runs its body over many generated inputs.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = <$crate::__internal::StdRng as $crate::__internal::SeedableRng>::seed_from_u64(
+                $crate::__internal::seed_for(stringify!($name)),
+            );
+            for _case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property; on failure the test panics with the
+/// formatted message (no shrinking pass runs in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -1,0 +1,5 @@
+//! The commonly used names, mirroring `proptest::prelude`.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+};

@@ -1,0 +1,122 @@
+//! Generation of strings matching a small regex-like pattern language.
+//!
+//! Supports what the workspace's tests use: literal characters, character
+//! classes like `[a-z0-9_]`, and `{m}` / `{m,n}` quantifiers after a class
+//! or literal. Anything fancier falls back to a panic naming the pattern,
+//! which keeps silent mismatches impossible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl Piece {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Piece::Literal(c) => out.push(*c),
+            Piece::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick).expect("valid scalar"));
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick is bounded by the total span");
+            }
+        }
+    }
+}
+
+/// Generate a random string matching `pattern`.
+///
+/// # Panics
+/// Panics if the pattern uses syntax outside the supported subset.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Piece::Class(ranges)
+            }
+            '\\' => Piece::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            other => Piece::Literal(other),
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for q in chars.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                    n.trim().parse::<usize>().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in pattern {pattern:?}")
+                    });
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = if max > min {
+            rng.gen_range(min..=max)
+        } else {
+            min
+        };
+        for _ in 0..count {
+            piece.emit(rng, &mut out);
+        }
+    }
+    out
+}

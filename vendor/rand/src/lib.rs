@@ -1,0 +1,87 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small, API-compatible subset of `rand` 0.8 that
+//! Atlas actually uses: [`Rng`], [`SeedableRng`], [`rngs::StdRng`],
+//! [`seq::SliceRandom`], and [`distributions::Distribution`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — not the ChaCha12 stream of the real crate, but a fast,
+//! well-studied generator that is more than adequate for the seeded synthetic
+//! datasets and randomised algorithms in this workspace. Determinism holds:
+//! the same seed always yields the same stream on every platform.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// A low-level source of random 64-bit words.
+///
+/// Everything else in this crate ([`Rng`], the distributions, the slice
+/// helpers) is derived from this single method.
+pub trait RngCore {
+    /// Return the next 64 random bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 random bits from the generator.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator seedable from a small integer, for reproducible
+/// runs.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing random value generation, mirroring `rand::Rng` 0.8.
+///
+/// Blanket-implemented for every [`RngCore`], so any generator (and any
+/// `&mut` borrow of one) exposes `gen`, `gen_range`, `gen_bool` and `sample`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats, uniform over all values for integers).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        let x: f64 = self.gen();
+        x < p
+    }
+
+    /// Sample a value from an explicit distribution.
+    fn sample<T, D>(&mut self, distribution: D) -> T
+    where
+        D: distributions::Distribution<T>,
+    {
+        distribution.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

@@ -1,0 +1,35 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::distributions::SampleUniform;
+use crate::Rng;
+
+/// Extension methods on slices: in-place shuffling and random choice.
+pub trait SliceRandom {
+    /// The element type of the slice.
+    type Item;
+
+    /// Shuffle the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Return a uniformly chosen element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_inclusive(rng, 0, i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[usize::sample_half_open(rng, 0, self.len())])
+        }
+    }
+}
