@@ -31,5 +31,49 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end);
+/// Build-once/explore-many vs rebuild-per-query: the point of the prepared
+/// engine. The `prepared` case pays the column-statistics profile once,
+/// outside the measured loop; the `rebuilt` case pays it on every query, as
+/// the pre-redesign engine effectively did.
+fn bench_prepared_vs_rebuilt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_prepared_engine_reuse");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(2000));
+    let table = census(100_000);
+    let query = ConjunctiveQuery::all("census");
+
+    let prepared = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig::fast())
+        .build()
+        .expect("valid config");
+    group.bench_function("prepared", |b| {
+        b.iter(|| prepared.explore(&query).expect("exploration succeeds"))
+    });
+    group.bench_function("rebuilt_per_query", |b| {
+        b.iter(|| {
+            Atlas::builder(Arc::clone(&table))
+                .config(AtlasConfig::fast())
+                .build()
+                .expect("valid config")
+                .explore(&query)
+                .expect("exploration succeeds")
+        })
+    });
+    group.finish();
+
+    // The observable contract behind the speed-up: after the first query, a
+    // whole-table explore recomputes no per-column statistics at all.
+    let before = prepared.profile_stats();
+    prepared.explore(&query).expect("exploration succeeds");
+    let after = prepared.profile_stats();
+    assert_eq!(after.misses, before.misses, "no statistics recomputation");
+    assert!(
+        after.hits > before.hits,
+        "statistics served from the profile"
+    );
+}
+
+criterion_group!(benches, bench_end_to_end, bench_prepared_vs_rebuilt);
 criterion_main!(benches);

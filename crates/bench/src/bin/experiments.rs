@@ -12,6 +12,7 @@ use atlas_core::cut::{cut_attribute, CutConfig, NumericCutStrategy};
 use atlas_core::{
     cluster_maps, distance_matrix, generate_candidates, AnytimeAtlas, AnytimeConfig, Atlas,
     AtlasConfig, ClusteringConfig, DataMap, Linkage, MapDistanceMetric, MergeStrategy,
+    PhaseTimings,
 };
 use atlas_datagen::CensusGenerator;
 use atlas_explorer::{MapQuality, ReadabilityReport};
@@ -22,7 +23,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let raw_args: Vec<String> = std::env::args().skip(1).collect();
+    // `bench-smoke [path]` — the CI perf-trajectory mode — writes a small
+    // JSON report instead of printing the experiment tables.
+    if raw_args.first().map(String::as_str) == Some("bench-smoke") {
+        let path = raw_args.get(1).map_or("BENCH_PR2.json", String::as_str);
+        bench_smoke(path);
+        return;
+    }
+    let args: Vec<String> = raw_args.iter().map(|a| a.to_lowercase()).collect();
     let wants = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     println!("# Atlas experiment harness");
@@ -551,4 +560,65 @@ fn variance(values: &[f64]) -> f64 {
 fn sanity() {
     let a = [0u32, 0, 1, 1];
     assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
+}
+
+fn timings_json(t: &PhaseTimings) -> String {
+    format!(
+        "{{\"query_ms\": {:.3}, \"candidates_ms\": {:.3}, \"clustering_ms\": {:.3}, \
+         \"merge_ms\": {:.3}, \"rank_ms\": {:.3}, \"total_ms\": {:.3}}}",
+        t.query_ms, t.candidates_ms, t.clustering_ms, t.merge_ms, t.rank_ms, t.total_ms
+    )
+}
+
+/// The CI perf-trajectory smoke run: a small build-once/explore-many workload
+/// on the prepared engine, reported as JSON (`PhaseTimings` per exploration
+/// plus the statistics-profile counters that prove the second exploration
+/// recomputed nothing).
+fn bench_smoke(path: &str) {
+    const ROWS: usize = 20_000;
+    let table = census(ROWS);
+    let query = ConjunctiveQuery::all("census");
+
+    let build_start = Instant::now();
+    let atlas = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig::fast())
+        .build()
+        .expect("valid config");
+    let build_ms = build_start.elapsed().as_secs_f64() * 1000.0;
+
+    let first = atlas.explore(&query).expect("first exploration succeeds");
+    let profile_after_first = atlas.profile_stats();
+    let second = atlas.explore(&query).expect("second exploration succeeds");
+    let profile_after_second = atlas.profile_stats();
+    assert_eq!(
+        profile_after_first.misses, profile_after_second.misses,
+        "the second explore on a prepared engine must not recompute statistics"
+    );
+
+    // The rebuild-per-query cost, for the trajectory's before/after contrast.
+    let rebuild_start = Instant::now();
+    let rebuilt = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig::fast())
+        .build()
+        .expect("valid config")
+        .explore(&query)
+        .expect("rebuilt exploration succeeds");
+    let rebuild_total_ms = rebuild_start.elapsed().as_secs_f64() * 1000.0;
+
+    let json = format!(
+        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 2,\n  \"dataset\": \"census\",\n  \
+         \"rows\": {ROWS},\n  \"config\": \"fast\",\n  \"build_ms\": {build_ms:.3},\n  \
+         \"first_explore\": {},\n  \"second_explore\": {},\n  \
+         \"rebuild_per_query_total_ms\": {rebuild_total_ms:.3},\n  \
+         \"profile\": {{\"hits\": {}, \"misses\": {}}},\n  \"maps\": {}\n}}\n",
+        timings_json(&first.timings),
+        timings_json(&second.timings),
+        profile_after_second.hits,
+        profile_after_second.misses,
+        second.num_maps(),
+    );
+    std::fs::write(path, &json).expect("bench-smoke report is writable");
+    println!("wrote {path}:");
+    print!("{json}");
+    let _ = rebuilt;
 }

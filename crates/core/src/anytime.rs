@@ -6,22 +6,26 @@
 //! approximate results. This way, the user would have instant results and the
 //! system could interrupt the exploration after a timeout."
 //!
-//! [`AnytimeAtlas::run`] implements exactly that loop: starting from a small
-//! uniform sample of the working set, it repeatedly doubles the sample,
-//! re-runs the pipeline, and records each intermediate result, until either
-//! the time budget is exhausted or the sample covers the whole working set.
+//! Since the prepared-engine redesign, the anytime loop **is** the engine:
+//! [`crate::engine::Atlas::explore_iter`] streams improving
+//! [`AnytimeIteration`]s under the time budget of
+//! [`ExploreOptions`], and
+//! [`crate::engine::Atlas::explore_anytime`] collects them. [`AnytimeAtlas`]
+//! remains as a thin convenience wrapper that pairs one prepared engine with
+//! one set of options; it no longer implements a pipeline of its own.
 
-use crate::config::AtlasConfig;
-use crate::engine::{Atlas, MapResult};
+use crate::config::{AtlasConfig, ExploreOptions};
+use crate::engine::Atlas;
+pub use crate::engine::{AnytimeIteration, AnytimeResult};
 use crate::error::Result;
-use atlas_columnar::{Bitmap, Table};
+use atlas_columnar::Table;
 use atlas_query::ConjunctiveQuery;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Configuration of the anytime loop.
+/// Configuration of the anytime loop: a pipeline configuration plus the
+/// sampling options. Convertible to [`ExploreOptions`] via
+/// [`AnytimeConfig::options`].
 #[derive(Debug, Clone)]
 pub struct AnytimeConfig {
     /// The pipeline configuration used on every sample.
@@ -49,59 +53,35 @@ impl Default for AnytimeConfig {
     }
 }
 
-/// One iteration of the anytime loop.
-#[derive(Debug, Clone)]
-pub struct AnytimeIteration {
-    /// Number of sampled rows this iteration ran on.
-    pub sample_size: usize,
-    /// Wall-clock time elapsed since the start of the loop when this
-    /// iteration finished.
-    pub elapsed: Duration,
-    /// The (approximate) result computed from the sample.
-    pub result: MapResult,
-}
-
-/// The outcome of an anytime run.
-#[derive(Debug, Clone)]
-pub struct AnytimeResult {
-    /// All iterations, in order of increasing sample size.
-    pub iterations: Vec<AnytimeIteration>,
-    /// True if the final iteration ran on the full working set (the result is
-    /// then exact, not approximate).
-    pub reached_full_data: bool,
-    /// Size of the full working set.
-    pub working_set_size: usize,
-}
-
-impl AnytimeResult {
-    /// The most refined result available.
-    pub fn best(&self) -> Option<&AnytimeIteration> {
-        self.iterations.last()
+impl AnytimeConfig {
+    /// The sampling side of this configuration as engine-level options.
+    pub fn options(&self) -> ExploreOptions {
+        ExploreOptions {
+            budget: Some(self.budget),
+            initial_sample: self.initial_sample,
+            growth_factor: self.growth_factor,
+            seed: self.seed,
+        }
     }
 }
 
-/// The anytime engine.
+/// A prepared engine paired with anytime options.
+///
+/// Kept for convenience and backwards compatibility; `run` simply delegates
+/// to [`Atlas::explore_anytime`] on the unified engine, so the table profile
+/// is computed once at construction and shared across runs.
 #[derive(Debug, Clone)]
 pub struct AnytimeAtlas {
-    table: Arc<Table>,
+    engine: Atlas,
     config: AnytimeConfig,
 }
 
 impl AnytimeAtlas {
     /// Create an anytime engine over a shared table.
     pub fn new(table: Arc<Table>, config: AnytimeConfig) -> Result<Self> {
-        config.atlas.validate()?;
-        if config.growth_factor <= 1.0 {
-            return Err(crate::error::AtlasError::InvalidConfig(
-                "growth_factor must be greater than 1".to_string(),
-            ));
-        }
-        if config.initial_sample == 0 {
-            return Err(crate::error::AtlasError::InvalidConfig(
-                "initial_sample must be at least 1".to_string(),
-            ));
-        }
-        Ok(AnytimeAtlas { table, config })
+        config.options().validate()?;
+        let engine = Atlas::new(table, config.atlas.clone())?;
+        Ok(AnytimeAtlas { engine, config })
     }
 
     /// The configuration.
@@ -109,63 +89,16 @@ impl AnytimeAtlas {
         &self.config
     }
 
+    /// The underlying prepared engine.
+    pub fn engine(&self) -> &Atlas {
+        &self.engine
+    }
+
     /// Run the anytime loop for a user query.
     pub fn run(&self, user_query: &ConjunctiveQuery) -> Result<AnytimeResult> {
-        let start = Instant::now();
-        let working = atlas_query::evaluate(user_query, &self.table)?;
-        let working_size = working.count();
-        if working_size == 0 {
-            return Err(crate::error::AtlasError::EmptyWorkingSet);
-        }
-        let working_rows: Vec<usize> = working.to_indices();
-        let atlas = Atlas::new(Arc::clone(&self.table), self.config.atlas.clone())?;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-
-        let mut iterations = Vec::new();
-        let mut sample_size = self.config.initial_sample.min(working_size);
-        let mut reached_full = false;
-        loop {
-            let is_full = sample_size >= working_size;
-            let sample = if is_full {
-                working.clone()
-            } else {
-                sample_rows(&working_rows, sample_size, self.table.num_rows(), &mut rng)
-            };
-            let result = atlas.explore_selection(user_query, sample)?;
-            iterations.push(AnytimeIteration {
-                sample_size: sample_size.min(working_size),
-                elapsed: start.elapsed(),
-                result,
-            });
-            if is_full {
-                reached_full = true;
-                break;
-            }
-            if start.elapsed() >= self.config.budget {
-                break;
-            }
-            let next = (sample_size as f64 * self.config.growth_factor).ceil() as usize;
-            sample_size = next.min(working_size);
-        }
-        Ok(AnytimeResult {
-            iterations,
-            reached_full_data: reached_full,
-            working_set_size: working_size,
-        })
+        self.engine
+            .explore_anytime(user_query, self.config.options())
     }
-}
-
-/// Draw a uniform sample (without replacement) of `k` of the given row ids,
-/// returned as a bitmap over `table_rows`.
-fn sample_rows(rows: &[usize], k: usize, table_rows: usize, rng: &mut StdRng) -> Bitmap {
-    let k = k.min(rows.len());
-    // Partial Fisher–Yates over a copy of the indices.
-    let mut pool: Vec<usize> = rows.to_vec();
-    for i in 0..k {
-        let j = rng.gen_range(i..pool.len());
-        pool.swap(i, j);
-    }
-    Bitmap::from_indices(table_rows, pool[..k].iter().copied())
 }
 
 #[cfg(test)]
@@ -323,5 +256,35 @@ mod tests {
             anytime.run(&query),
             Err(crate::error::AtlasError::EmptyWorkingSet)
         ));
+    }
+
+    #[test]
+    fn anytime_run_equals_the_engine_explore_anytime() {
+        let t = table(3000);
+        let config = AnytimeConfig {
+            initial_sample: 128,
+            growth_factor: 4.0,
+            budget: Duration::from_secs(30),
+            ..AnytimeConfig::default()
+        };
+        let anytime = AnytimeAtlas::new(Arc::clone(&t), config.clone()).unwrap();
+        let via_wrapper = anytime.run(&ConjunctiveQuery::all("t")).unwrap();
+        let via_engine = anytime
+            .engine()
+            .explore_anytime(&ConjunctiveQuery::all("t"), config.options())
+            .unwrap();
+        assert_eq!(
+            via_wrapper.iterations.len(),
+            via_engine.iterations.len(),
+            "the wrapper is a pure delegation"
+        );
+        for (a, b) in via_wrapper
+            .iterations
+            .iter()
+            .zip(via_engine.iterations.iter())
+        {
+            assert_eq!(a.sample_size, b.sample_size);
+            assert_eq!(a.result.num_maps(), b.result.num_maps());
+        }
     }
 }

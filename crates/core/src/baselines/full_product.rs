@@ -1,10 +1,15 @@
 //! Exhaustive product baseline: cut everything, intersect everything.
+//!
+//! Built from the shared stage traits — [`PaperCut`] for the candidates,
+//! [`ProductMerge`] for the (single, exhaustive) merge — rather than a
+//! pipeline of its own.
 
-use crate::candidates::generate_candidates;
+use crate::candidates::generate_candidates_in_context;
 use crate::cut::CutConfig;
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
-use crate::merge::product_maps;
+use crate::pipeline::{MergePolicy, PaperCut, PipelineContext, ProductMerge};
+use crate::profile::TableProfile;
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
 
@@ -40,11 +45,21 @@ impl FullProductBaseline {
         working: &Bitmap,
         user_query: &ConjunctiveQuery,
     ) -> Result<DataMap> {
-        let candidates = generate_candidates(table, working, user_query, None, &self.cut)?;
+        let profile = TableProfile::empty(table.num_rows());
+        let strategy = PaperCut;
+        let ctx = PipelineContext {
+            table,
+            profile: &profile,
+            cut_config: &self.cut,
+            cut_strategy: &strategy,
+            drop_empty_regions: self.drop_empty_regions,
+        };
+        let candidates = generate_candidates_in_context(&ctx, working, user_query, None)?;
         if candidates.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
         }
-        product_maps(&candidates.maps, self.drop_empty_regions)
+        ProductMerge
+            .merge(&ctx, &candidates.maps, working)?
             .ok_or(AtlasError::NoCuttableAttributes)
     }
 }

@@ -5,14 +5,23 @@
 //! every dimension into ξ equal-width intervals, call a cell *dense* when it
 //! holds more than a τ fraction of the tuples, combine dense units
 //! bottom-up (Apriori-style) into higher-dimensional dense units, and report
-//! connected dense units as clusters. This implementation covers 1- and
-//! 2-dimensional subspaces of the numeric attributes, which is enough to act
-//! as the "exhaustive subspace clusterer" comparator in experiment E8: it
-//! returns *all* dense regions of *all* subspaces rather than a handful of
-//! readable maps.
+//! connected dense units as clusters.
+//!
+//! Since the pipeline redesign the baseline is built from stage traits rather
+//! than a private pipeline: [`GridCut`] is a [`CutStrategy`] that emits the
+//! dense 1-dimensional units of an attribute as a map, and
+//! [`DenseProductMerge`] is a [`MergePolicy`] that intersects unit maps and
+//! keeps only the intersections that stay dense (the Apriori step, restricted
+//! to 2-d). [`GridCliqueBaseline::generate`] composes the two over all
+//! numeric attributes, which is enough to act as the "exhaustive subspace
+//! clusterer" comparator in experiment E8: it returns *all* dense regions of
+//! *all* subspaces rather than a handful of readable maps.
 
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
+use crate::merge::product_maps;
+use crate::pipeline::{CutStrategy, MergePolicy, PipelineContext};
+use crate::profile::TableProfile;
 use crate::region::Region;
 use atlas_columnar::{Bitmap, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
@@ -39,20 +48,118 @@ impl Default for GridCliqueConfig {
     }
 }
 
+/// A [`CutStrategy`] that discretises a numeric attribute into equal-width
+/// intervals and keeps only the *dense* ones (CLIQUE's 1-dimensional pass).
+///
+/// Unlike the paper's `CUT`, the result is not a partition: sparse rows fall
+/// outside every region, and an attribute with a single dense unit still
+/// yields a (one-region) map so higher-dimensional mining can intersect it.
+/// Categorical attributes are not cut (`Ok(None)`), as in CLIQUE.
+#[derive(Debug, Clone, Copy)]
+pub struct GridCut {
+    /// Number of equal-width intervals (ξ).
+    pub intervals: usize,
+    /// Density threshold (τ) as a fraction of the working set.
+    pub density_threshold: f64,
+}
+
+impl CutStrategy for GridCut {
+    fn name(&self) -> &str {
+        "grid-dense-cut"
+    }
+
+    fn cut(
+        &self,
+        ctx: &PipelineContext<'_>,
+        working: &Bitmap,
+        parent_query: &ConjunctiveQuery,
+        attribute: &str,
+    ) -> Result<Option<DataMap>> {
+        let column = ctx.table.column(attribute)?;
+        if !matches!(column.data_type(), DataType::Int | DataType::Float) {
+            return Ok(None);
+        }
+        let total = working.count();
+        if total == 0 {
+            return Ok(None);
+        }
+        let min_count = (self.density_threshold * total as f64).ceil() as usize;
+        let Some((min, max)) = column.numeric_min_max(working) else {
+            return Ok(None);
+        };
+        if max <= min {
+            return Ok(None);
+        }
+        let width = (max - min) / self.intervals as f64;
+        let mut regions = Vec::new();
+        for i in 0..self.intervals {
+            let lo = min + width * i as f64;
+            // Upper-exclusive except for the last interval, approximated with
+            // a closed range that stops just under the next boundary.
+            let hi = if i + 1 == self.intervals {
+                max
+            } else {
+                prev_float(min + width * (i + 1) as f64)
+            };
+            let selection = column.select_range(working, lo, hi);
+            if selection.count() >= min_count {
+                // The predicate records the interval index as an integer
+                // range; exact bounds are recoverable from the selection.
+                let query = parent_query
+                    .clone()
+                    .and(Predicate::range(attribute, i as f64, i as f64));
+                regions.push(Region::new(query, selection));
+            }
+        }
+        if regions.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(DataMap::new(regions, vec![attribute.to_string()])))
+    }
+}
+
+/// A [`MergePolicy`] implementing CLIQUE's Apriori step: the product of the
+/// member maps, keeping only intersections that are still dense. Returns
+/// `Ok(None)` when fewer than two dense units survive (a subspace needs at
+/// least two units to describe structure).
+#[derive(Debug, Clone, Copy)]
+pub struct DenseProductMerge {
+    /// Density threshold (τ) as a fraction of the working set.
+    pub density_threshold: f64,
+}
+
+impl MergePolicy for DenseProductMerge {
+    fn name(&self) -> &str {
+        "dense-product"
+    }
+
+    fn merge(
+        &self,
+        ctx: &PipelineContext<'_>,
+        members: &[DataMap],
+        working: &Bitmap,
+    ) -> Result<Option<DataMap>> {
+        let min_count = (self.density_threshold * working.count() as f64).ceil() as usize;
+        let Some(product) = product_maps(members, ctx.drop_empty_regions) else {
+            return Ok(None);
+        };
+        let regions: Vec<Region> = product
+            .regions
+            .into_iter()
+            .filter(|r| r.count() >= min_count)
+            .collect();
+        if regions.len() < 2 {
+            return Ok(None);
+        }
+        Ok(Some(DataMap::new(regions, product.source_attributes)))
+    }
+}
+
 /// The grid-density subspace-clustering baseline.
 #[derive(Debug, Clone, Default)]
 pub struct GridCliqueBaseline {
     /// Configuration.
     pub config: GridCliqueConfig,
-}
-
-/// A dense unit found by the baseline.
-#[derive(Debug, Clone)]
-struct DenseUnit {
-    /// The attributes and interval index per attribute.
-    intervals: Vec<(String, usize)>,
-    /// The rows in the unit.
-    selection: Bitmap,
 }
 
 impl GridCliqueBaseline {
@@ -62,8 +169,8 @@ impl GridCliqueBaseline {
     }
 
     /// Mine the dense subspace units of the working set and report each
-    /// maximal set of connected dense units (per subspace) as one map whose
-    /// regions are the dense units.
+    /// subspace with at least two dense units as one map whose regions are
+    /// the dense units.
     ///
     /// The output intentionally ignores the readability constraints: it is the
     /// exhaustive answer a subspace clusterer would give.
@@ -78,11 +185,27 @@ impl GridCliqueBaseline {
                 "intervals must be at least 2".to_string(),
             ));
         }
-        let total = working.count();
-        if total == 0 {
+        if working.count() == 0 {
             return Err(AtlasError::EmptyWorkingSet);
         }
-        let min_count = (self.config.density_threshold * total as f64).ceil() as usize;
+        let cutter = GridCut {
+            intervals: self.config.intervals,
+            density_threshold: self.config.density_threshold,
+        };
+        let merger = DenseProductMerge {
+            density_threshold: self.config.density_threshold,
+        };
+        // The grid stages read only the raw columns, never the statistics
+        // profile, so an empty one avoids a useless whole-table scan.
+        let profile = TableProfile::empty(table.num_rows());
+        let cut_config = crate::cut::CutConfig::default();
+        let ctx = PipelineContext {
+            table,
+            profile: &profile,
+            cut_config: &cut_config,
+            cut_strategy: &cutter,
+            drop_empty_regions: true,
+        };
 
         // Numeric attributes only (as in CLIQUE).
         let numeric: Vec<String> = table
@@ -96,45 +219,28 @@ impl GridCliqueBaseline {
             return Err(AtlasError::NoCuttableAttributes);
         }
 
-        // 1-dimensional dense units per attribute.
-        let mut one_dim: Vec<(String, Vec<DenseUnit>)> = Vec::new();
+        // 1-dimensional dense-unit maps per attribute.
+        let mut one_dim: Vec<DataMap> = Vec::new();
         for attr in &numeric {
-            let units = self.dense_units_1d(table, working, attr, min_count)?;
-            if !units.is_empty() {
-                one_dim.push((attr.clone(), units));
+            if let Some(map) = cutter.cut(&ctx, working, user_query, attr)? {
+                one_dim.push(map);
             }
         }
 
-        let mut maps = Vec::new();
         // Report every 1-d subspace with at least 2 dense units as a map.
-        for (attr, units) in &one_dim {
-            if units.len() >= 2 {
-                maps.push(self.units_to_map(units, user_query, std::slice::from_ref(attr)));
-            }
-        }
+        let mut maps: Vec<DataMap> = one_dim
+            .iter()
+            .filter(|m| m.num_regions() >= 2)
+            .cloned()
+            .collect();
 
-        // 2-dimensional subspaces: intersect dense units of pairs of attributes
-        // (the Apriori candidate generation of CLIQUE, restricted to 2-d).
+        // 2-dimensional subspaces: the Apriori step over pairs of attributes.
         if self.config.two_dimensional {
             for i in 0..one_dim.len() {
                 for j in (i + 1)..one_dim.len() {
-                    let mut units_2d = Vec::new();
-                    for a in &one_dim[i].1 {
-                        for b in &one_dim[j].1 {
-                            let selection = a.selection.and(&b.selection);
-                            if selection.count() >= min_count {
-                                let mut intervals = a.intervals.clone();
-                                intervals.extend(b.intervals.iter().cloned());
-                                units_2d.push(DenseUnit {
-                                    intervals,
-                                    selection,
-                                });
-                            }
-                        }
-                    }
-                    if units_2d.len() >= 2 {
-                        let attrs = vec![one_dim[i].0.clone(), one_dim[j].0.clone()];
-                        maps.push(self.units_to_map(&units_2d, user_query, &attrs));
+                    let members = [one_dim[i].clone(), one_dim[j].clone()];
+                    if let Some(map) = merger.merge(&ctx, &members, working)? {
+                        maps.push(map);
                     }
                 }
             }
@@ -143,73 +249,6 @@ impl GridCliqueBaseline {
             return Err(AtlasError::NoCuttableAttributes);
         }
         Ok(maps)
-    }
-
-    fn dense_units_1d(
-        &self,
-        table: &Table,
-        working: &Bitmap,
-        attribute: &str,
-        min_count: usize,
-    ) -> Result<Vec<DenseUnit>> {
-        let column = table.column(attribute)?;
-        let Some((min, max)) = column.numeric_min_max(working) else {
-            return Ok(Vec::new());
-        };
-        if max <= min {
-            return Ok(Vec::new());
-        }
-        let width = (max - min) / self.config.intervals as f64;
-        let mut units = Vec::new();
-        for i in 0..self.config.intervals {
-            let lo = min + width * i as f64;
-            let hi = if i + 1 == self.config.intervals {
-                max
-            } else {
-                min + width * (i + 1) as f64
-            };
-            // Upper-exclusive except for the last interval, approximated with a
-            // closed range that stops just under `hi`.
-            let hi_closed = if i + 1 == self.config.intervals {
-                hi
-            } else {
-                prev_float(hi)
-            };
-            let selection = column.select_range(working, lo, hi_closed);
-            if selection.count() >= min_count {
-                units.push(DenseUnit {
-                    intervals: vec![(attribute.to_string(), i)],
-                    selection,
-                });
-            }
-        }
-        Ok(units)
-    }
-
-    #[allow(clippy::unused_self)]
-    fn units_to_map(
-        &self,
-        units: &[DenseUnit],
-        user_query: &ConjunctiveQuery,
-        attributes: &[String],
-    ) -> DataMap {
-        let regions: Vec<Region> = units
-            .iter()
-            .map(|unit| {
-                let mut query = user_query.clone();
-                for (attr, interval) in &unit.intervals {
-                    // The predicate records the interval index as an integer
-                    // range; exact bounds are recoverable from the selection.
-                    query.add_predicate(Predicate::range(
-                        attr.clone(),
-                        *interval as f64,
-                        *interval as f64,
-                    ));
-                }
-                Region::new(query, unit.selection.clone())
-            })
-            .collect();
-        DataMap::new(regions, attributes.to_vec())
     }
 }
 

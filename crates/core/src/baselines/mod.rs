@@ -17,6 +17,15 @@
 //! * [`grid_clique`] — a small grid-density subspace-clustering system in the
 //!   spirit of CLIQUE, standing in for the "exhaustive subspace clustering"
 //!   comparison of Section 6.
+//!
+//! None of the baselines owns a private pipeline any more: each one is
+//! expressed with the stage traits of [`crate::pipeline`] — the random and
+//! grid cutters are [`crate::pipeline::CutStrategy`] implementations
+//! ([`RandomCut`], [`GridCut`]), the density-filtered Apriori step is a
+//! [`crate::pipeline::MergePolicy`] ([`DenseProductMerge`]), and the
+//! exhaustive/single-attribute baselines reuse the paper's own stages with
+//! steps omitted. Any of them can be plugged into a prepared engine through
+//! [`crate::engine::AtlasBuilder`].
 
 pub mod full_product;
 pub mod grid_clique;
@@ -24,6 +33,6 @@ pub mod random_map;
 pub mod single_attribute;
 
 pub use full_product::FullProductBaseline;
-pub use grid_clique::{GridCliqueBaseline, GridCliqueConfig};
-pub use random_map::{RandomMapBaseline, RandomMapConfig};
+pub use grid_clique::{DenseProductMerge, GridCliqueBaseline, GridCliqueConfig, GridCut};
+pub use random_map::{RandomCut, RandomMapBaseline, RandomMapConfig};
 pub use single_attribute::SingleAttributeBaseline;

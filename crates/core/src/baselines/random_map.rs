@@ -1,13 +1,23 @@
 //! Random-map baseline: uninformed query suggestions.
+//!
+//! Since the pipeline redesign the baseline is no longer a separate code
+//! path: the random splitting lives in [`RandomCut`], an alternative
+//! [`CutStrategy`] implementation, and maps are assembled by composing those
+//! cuts through the shared [`CompositionMerge`] policy — the same machinery
+//! the real engine uses, just with data-blind split points.
 
+use crate::cut::CutConfig;
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
+use crate::pipeline::{CompositionMerge, CutStrategy, MergePolicy, PipelineContext};
+use crate::profile::TableProfile;
 use crate::region::Region;
 use atlas_columnar::{Bitmap, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Configuration of the random baseline.
 #[derive(Debug, Clone)]
@@ -30,11 +40,99 @@ impl Default for RandomMapConfig {
     }
 }
 
-/// The uninformed baseline: it picks random attribute subsets and splits each
-/// numeric attribute at a *uniformly random* point of its range (instead of a
-/// data-driven point) and each categorical attribute into random halves of its
-/// value list. Any data-aware method should produce better-balanced, more
+/// A [`CutStrategy`] that splits attributes at *uniformly random* points
+/// (instead of data-driven ones): numeric attributes at a random point of
+/// their observed range, categorical attributes into random halves of their
+/// value list. Any data-aware strategy should produce better-balanced, more
 /// informative maps.
+///
+/// The RNG state is interior (behind a mutex), so the strategy satisfies the
+/// `Send + Sync` stage contract while each call advances one deterministic,
+/// seeded stream.
+#[derive(Debug)]
+pub struct RandomCut {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomCut {
+    /// A random cutter with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomCut {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl CutStrategy for RandomCut {
+    fn name(&self) -> &str {
+        "random-cut"
+    }
+
+    fn cut(
+        &self,
+        ctx: &PipelineContext<'_>,
+        working: &Bitmap,
+        parent_query: &ConjunctiveQuery,
+        attribute: &str,
+    ) -> Result<Option<DataMap>> {
+        let column = ctx.table.column(attribute)?;
+        let mut rng = self.rng.lock().expect("rng lock is never poisoned");
+        let regions = match column.data_type() {
+            DataType::Int | DataType::Float => {
+                let Some((min, max)) = column.numeric_min_max(working) else {
+                    return Ok(None);
+                };
+                if max <= min {
+                    return Ok(None);
+                }
+                let split = rng.gen_range(min..max);
+                let low = column.select_range(working, min, split);
+                let high = column.select_range(working, nudge_up(split), max);
+                vec![
+                    Region::new(
+                        parent_query
+                            .clone()
+                            .and(Predicate::range(attribute, min, split)),
+                        low,
+                    ),
+                    Region::new(
+                        parent_query
+                            .clone()
+                            .and(Predicate::range(attribute, nudge_up(split), max)),
+                        high,
+                    ),
+                ]
+            }
+            DataType::Str | DataType::Bool => {
+                let mut categories: Vec<String> = column
+                    .categories_by_frequency(working)
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect();
+                if categories.len() < 2 {
+                    return Ok(None);
+                }
+                categories.shuffle(&mut *rng);
+                let cut_point = rng.gen_range(1..categories.len());
+                let (left, right) = categories.split_at(cut_point);
+                [left, right]
+                    .into_iter()
+                    .map(|group| {
+                        Region::new(
+                            parent_query
+                                .clone()
+                                .and(Predicate::values(attribute, group.iter().cloned())),
+                            column.select_in(working, group),
+                        )
+                    })
+                    .collect()
+            }
+        };
+        Ok(Some(DataMap::new(regions, vec![attribute.to_string()])))
+    }
+}
+
+/// The uninformed baseline: random attribute subsets, random split points.
 #[derive(Debug, Clone, Default)]
 pub struct RandomMapBaseline {
     /// Configuration.
@@ -47,21 +145,35 @@ impl RandomMapBaseline {
         RandomMapBaseline { config }
     }
 
-    /// Generate random maps over the working set.
+    /// Generate random maps over the working set by composing [`RandomCut`]
+    /// splits through the shared [`CompositionMerge`] policy.
     pub fn generate(
         &self,
         table: &Table,
         working: &Bitmap,
         user_query: &ConjunctiveQuery,
     ) -> Result<Vec<DataMap>> {
+        let profile = TableProfile::empty(table.num_rows());
+        let strategy = RandomCut::new(self.config.seed);
+        let cut_config = CutConfig::default();
+        let ctx = PipelineContext {
+            table,
+            profile: &profile,
+            cut_config: &cut_config,
+            cut_strategy: &strategy,
+            drop_empty_regions: true,
+        };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Usability is judged on the *working set* (a column constant within
+        // a drill-down subset is not usable there, whatever the full table
+        // looks like).
         let usable: Vec<String> = table
             .schema()
             .fields()
             .iter()
             .filter(|f| {
-                let stats = table
-                    .column_stats(&f.name, working)
+                let stats = profile
+                    .stats_for(table, &f.name, working)
                     .expect("schema-listed column exists");
                 stats.distinct_count >= 2 && !stats.looks_like_identifier()
             })
@@ -76,83 +188,26 @@ impl RandomMapBaseline {
             let mut attrs = usable.clone();
             attrs.shuffle(&mut rng);
             attrs.truncate(how_many);
-            let mut regions = vec![Region::new(user_query.clone(), working.clone())];
+            // Composition only reads the *attribute* of members after the
+            // first, so the whole working set as a single base region plus
+            // one region-less stub per attribute reproduces the recursive
+            // random splitting exactly: each region is re-cut locally (its
+            // own min/max) by [`RandomCut`], and regions an attribute cannot
+            // split are kept whole.
+            let mut members = Vec::with_capacity(attrs.len() + 1);
+            members.push(DataMap::new(
+                vec![Region::new(user_query.clone(), working.clone())],
+                Vec::new(),
+            ));
             for attr in &attrs {
-                regions = self.split_regions_randomly(table, &regions, attr, &mut rng)?;
+                members.push(DataMap::new(Vec::new(), vec![attr.clone()]));
             }
-            regions.retain(|r| !r.is_empty());
-            if !regions.is_empty() {
-                maps.push(DataMap::new(regions, attrs));
-            }
+            let map = CompositionMerge
+                .merge(&ctx, &members, working)?
+                .expect("composing a non-empty member list yields a map");
+            maps.push(map);
         }
         Ok(maps)
-    }
-
-    fn split_regions_randomly(
-        &self,
-        table: &Table,
-        regions: &[Region],
-        attribute: &str,
-        rng: &mut StdRng,
-    ) -> Result<Vec<Region>> {
-        let column = table.column(attribute)?;
-        let mut out = Vec::with_capacity(regions.len() * 2);
-        for region in regions {
-            match column.data_type() {
-                DataType::Int | DataType::Float => {
-                    let Some((min, max)) = column.numeric_min_max(&region.selection) else {
-                        out.push(region.clone());
-                        continue;
-                    };
-                    if max <= min {
-                        out.push(region.clone());
-                        continue;
-                    }
-                    let split = rng.gen_range(min..max);
-                    let low = column.select_range(&region.selection, min, split);
-                    let high = column.select_range(&region.selection, nudge_up(split), max);
-                    out.push(Region::new(
-                        region
-                            .query
-                            .clone()
-                            .and(Predicate::range(attribute, min, split)),
-                        low,
-                    ));
-                    out.push(Region::new(
-                        region
-                            .query
-                            .clone()
-                            .and(Predicate::range(attribute, nudge_up(split), max)),
-                        high,
-                    ));
-                }
-                DataType::Str | DataType::Bool => {
-                    let mut categories: Vec<String> = column
-                        .categories_by_frequency(&region.selection)
-                        .into_iter()
-                        .map(|(v, _)| v)
-                        .collect();
-                    if categories.len() < 2 {
-                        out.push(region.clone());
-                        continue;
-                    }
-                    categories.shuffle(rng);
-                    let cut_point = rng.gen_range(1..categories.len());
-                    let (left, right) = categories.split_at(cut_point);
-                    for group in [left, right] {
-                        let selection = column.select_in(&region.selection, group);
-                        out.push(Region::new(
-                            region
-                                .query
-                                .clone()
-                                .and(Predicate::values(attribute, group.iter().cloned())),
-                            selection,
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(out)
     }
 }
 
@@ -262,5 +317,32 @@ mod tests {
             baseline.generate(&t, &t.full_selection(), &ConjunctiveQuery::all("t")),
             Err(AtlasError::NoCuttableAttributes)
         ));
+    }
+
+    #[test]
+    fn random_cut_is_a_usable_cut_strategy() {
+        // RandomCut plugs into the pipeline traits like any other strategy.
+        let t = table();
+        let profile = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
+        let strategy = RandomCut::new(99);
+        let cut_config = CutConfig::default();
+        let ctx = PipelineContext {
+            table: &t,
+            profile: &profile,
+            cut_config: &cut_config,
+            cut_strategy: &strategy,
+            drop_empty_regions: true,
+        };
+        let working = t.full_selection();
+        let query = ConjunctiveQuery::all("t");
+        let numeric = strategy.cut(&ctx, &working, &query, "x").unwrap().unwrap();
+        assert_eq!(numeric.num_regions(), 2);
+        assert!(numeric.regions_are_disjoint());
+        let categorical = strategy
+            .cut(&ctx, &working, &query, "group")
+            .unwrap()
+            .unwrap();
+        assert_eq!(categorical.num_regions(), 2);
+        assert_eq!(categorical.covered_count(), 300);
     }
 }

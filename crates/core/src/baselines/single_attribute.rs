@@ -1,9 +1,15 @@
 //! Single-attribute baseline: the candidate maps, ranked, nothing more.
+//!
+//! Built from the shared stage traits — [`PaperCut`] for the candidates,
+//! [`EntropyRanker`] for the ordering — with the clustering and merging
+//! steps simply omitted.
 
-use crate::candidates::generate_candidates;
+use crate::candidates::generate_candidates_in_context;
 use crate::cut::CutConfig;
 use crate::error::{AtlasError, Result};
-use crate::rank::{rank_maps, RankedMap};
+use crate::pipeline::{EntropyRanker, PaperCut, PipelineContext, Ranker};
+use crate::profile::TableProfile;
+use crate::rank::RankedMap;
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
 
@@ -27,11 +33,20 @@ impl SingleAttributeBaseline {
         working: &Bitmap,
         user_query: &ConjunctiveQuery,
     ) -> Result<Vec<RankedMap>> {
-        let candidates = generate_candidates(table, working, user_query, None, &self.cut)?;
+        let profile = TableProfile::empty(table.num_rows());
+        let strategy = PaperCut;
+        let ctx = PipelineContext {
+            table,
+            profile: &profile,
+            cut_config: &self.cut,
+            cut_strategy: &strategy,
+            drop_empty_regions: true,
+        };
+        let candidates = generate_candidates_in_context(&ctx, working, user_query, None)?;
         if candidates.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
         }
-        Ok(rank_maps(candidates.maps))
+        Ok(EntropyRanker.rank(candidates.maps))
     }
 }
 

@@ -5,9 +5,11 @@
 //! constants, identifiers, very-high-cardinality categoricals — are skipped,
 //! as Section 5.2 of the paper recommends.
 
-use crate::cut::{cut_attribute, CutConfig};
-use crate::error::Result;
+use crate::cut::CutConfig;
 use crate::map::DataMap;
+use crate::pipeline::{PaperCut, PipelineContext};
+use crate::profile::TableProfile;
+use crate::Result;
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
 
@@ -41,20 +43,21 @@ impl CandidateSet {
     }
 }
 
-/// Generate the candidate maps for a working set.
+/// Generate the candidate maps for a working set through a pipeline context:
+/// one [`crate::pipeline::CutStrategy::cut`] call per considered attribute.
 ///
 /// `attributes` restricts the candidate generation to a subset of columns; if
 /// `None`, every column of the table is considered.
-pub fn generate_candidates(
-    table: &Table,
+pub fn generate_candidates_in_context(
+    ctx: &PipelineContext<'_>,
     working: &Bitmap,
     parent_query: &ConjunctiveQuery,
     attributes: Option<&[String]>,
-    config: &CutConfig,
 ) -> Result<CandidateSet> {
     let names: Vec<String> = match attributes {
         Some(list) => list.to_vec(),
-        None => table
+        None => ctx
+            .table
             .schema()
             .names()
             .into_iter()
@@ -64,12 +67,38 @@ pub fn generate_candidates(
     let mut maps = Vec::with_capacity(names.len());
     let mut skipped = Vec::new();
     for name in names {
-        match cut_attribute(table, working, parent_query, &name, config)? {
+        match ctx.cut_strategy.cut(ctx, working, parent_query, &name)? {
             Some(map) => maps.push(map),
             None => skipped.push(name),
         }
     }
     Ok(CandidateSet { maps, skipped })
+}
+
+/// Standalone candidate generation with the paper's `CUT` strategy: profiles
+/// the table on the spot and delegates to [`generate_candidates_in_context`].
+/// Prefer a prepared [`crate::engine::Atlas`] (and its
+/// [`crate::engine::Atlas::candidates`]) when generating candidates more than
+/// once for the same table.
+pub fn generate_candidates(
+    table: &Table,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attributes: Option<&[String]>,
+    config: &CutConfig,
+) -> Result<CandidateSet> {
+    // An empty profile: one-shot callers compute working-set statistics on
+    // the fly (as before the redesign) instead of profiling the whole table.
+    let profile = TableProfile::empty(table.num_rows());
+    let strategy = PaperCut;
+    let ctx = PipelineContext {
+        table,
+        profile: &profile,
+        cut_config: config,
+        cut_strategy: &strategy,
+        drop_empty_regions: true,
+    };
+    generate_candidates_in_context(&ctx, working, parent_query, attributes)
 }
 
 #[cfg(test)]

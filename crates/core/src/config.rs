@@ -4,6 +4,7 @@ use crate::cluster::ClusteringConfig;
 use crate::cut::CutConfig;
 use crate::distance::MapDistanceMetric;
 use crate::error::{AtlasError, Result};
+use std::time::Duration;
 
 /// How the maps of one cluster are combined into a representative map
 /// (Section 3.3 of the paper).
@@ -126,6 +127,68 @@ impl AtlasConfig {
     }
 }
 
+/// Options of one anytime exploration ([`crate::engine::Atlas::explore_iter`],
+/// Section 5.1 of the paper): the pipeline runs on geometrically growing
+/// samples of the working set until the budget is exhausted or the sample
+/// covers everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOptions {
+    /// Wall-clock budget; the loop stops before starting an iteration once
+    /// the budget is exceeded. `None` runs until the full working set has
+    /// been explored (the result is then exact).
+    pub budget: Option<Duration>,
+    /// Size of the first sample (rows).
+    pub initial_sample: usize,
+    /// Multiplicative sample growth factor between iterations (must be > 1).
+    pub growth_factor: f64,
+    /// RNG seed for the sampling.
+    pub seed: u64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            budget: Some(Duration::from_millis(500)),
+            initial_sample: 512,
+            growth_factor: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+impl ExploreOptions {
+    /// Options with no time budget: iterate until the result is exact.
+    pub fn exhaustive() -> Self {
+        ExploreOptions {
+            budget: None,
+            ..ExploreOptions::default()
+        }
+    }
+
+    /// Options with the given wall-clock budget.
+    pub fn budgeted(budget: Duration) -> Self {
+        ExploreOptions {
+            budget: Some(budget),
+            ..ExploreOptions::default()
+        }
+    }
+
+    /// Validate the options.
+    pub fn validate(&self) -> Result<()> {
+        if self.growth_factor <= 1.0 {
+            return Err(AtlasError::InvalidConfig(
+                "growth_factor must be greater than 1".to_string(),
+            ));
+        }
+        if self.initial_sample == 0 {
+            return Err(AtlasError::InvalidConfig(
+                "initial_sample must be at least 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +239,25 @@ mod tests {
         let mut cfg = AtlasConfig::default();
         cfg.cut.num_splits = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn explore_options_validate() {
+        assert!(ExploreOptions::default().validate().is_ok());
+        assert!(ExploreOptions::exhaustive().budget.is_none());
+        assert_eq!(
+            ExploreOptions::budgeted(Duration::from_millis(20)).budget,
+            Some(Duration::from_millis(20))
+        );
+        let bad_growth = ExploreOptions {
+            growth_factor: 1.0,
+            ..ExploreOptions::default()
+        };
+        assert!(bad_growth.validate().is_err());
+        let bad_sample = ExploreOptions {
+            initial_sample: 0,
+            ..ExploreOptions::default()
+        };
+        assert!(bad_sample.validate().is_err());
     }
 }

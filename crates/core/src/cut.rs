@@ -18,8 +18,9 @@
 
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
+use crate::pipeline::PipelineContext;
 use crate::region::Region;
-use atlas_columnar::{Bitmap, DataType, Table};
+use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
 use atlas_stats::quantile::quantile;
 use atlas_stats::{kmeans_1d, EquiWidthHistogram, GkSketch};
@@ -124,9 +125,54 @@ pub fn cut_attribute(
     attribute: &str,
     config: &CutConfig,
 ) -> Result<Option<DataMap>> {
+    let stats = table.column_stats(attribute, working)?;
+    cut_with_stats(
+        table,
+        working,
+        parent_query,
+        attribute,
+        config,
+        &stats,
+        None,
+    )
+}
+
+/// [`cut_attribute`] inside a prepared engine: statistics (and, for
+/// sketch-based strategies, the quantile sketch itself) come from the
+/// engine's [`crate::profile::TableProfile`] instead of being recomputed, so
+/// whole-table explorations never re-scan columns for metadata.
+pub(crate) fn cut_attribute_in_context(
+    ctx: &PipelineContext<'_>,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attribute: &str,
+) -> Result<Option<DataMap>> {
+    let stats = ctx.profile.stats_for(ctx.table, attribute, working)?;
+    let sketch = ctx.profile.sketch_for(attribute, working);
+    cut_with_stats(
+        ctx.table,
+        working,
+        parent_query,
+        attribute,
+        ctx.cut_config,
+        &stats,
+        sketch,
+    )
+}
+
+/// The body of the `CUT` primitive, with the per-column statistics supplied
+/// by the caller (fresh or from a profile).
+fn cut_with_stats(
+    table: &Table,
+    working: &Bitmap,
+    parent_query: &ConjunctiveQuery,
+    attribute: &str,
+    config: &CutConfig,
+    stats: &ColumnStats,
+    sketch: Option<&GkSketch>,
+) -> Result<Option<DataMap>> {
     config.validate()?;
     let column = table.column(attribute)?;
-    let stats = table.column_stats(attribute, working)?;
     if stats.non_null_count == 0 || stats.distinct_count < 2 {
         return Ok(None);
     }
@@ -137,7 +183,7 @@ pub fn cut_attribute(
     let regions = match column.data_type() {
         DataType::Int | DataType::Float => {
             let values = column.numeric_values_where(working);
-            let splits = numeric_splits(&values, config)?;
+            let splits = numeric_splits(&values, config, sketch)?;
             if splits.is_empty() {
                 return Ok(None);
             }
@@ -173,7 +219,15 @@ pub fn cut_attribute(
 }
 
 /// Compute the interior split points for a numeric attribute.
-fn numeric_splits(values: &[f64], config: &CutConfig) -> Result<Vec<f64>> {
+///
+/// `prebuilt_sketch` is a quantile sketch of the working set's values (from a
+/// [`crate::profile::TableProfile`]); when present, the `SketchMedian`
+/// strategy queries it instead of building a fresh sketch.
+fn numeric_splits(
+    values: &[f64],
+    config: &CutConfig,
+    prebuilt_sketch: Option<&GkSketch>,
+) -> Result<Vec<f64>> {
     if values.is_empty() {
         return Ok(Vec::new());
     }
@@ -198,8 +252,16 @@ fn numeric_splits(values: &[f64], config: &CutConfig) -> Result<Vec<f64>> {
             .map(|r| r.splits)
             .unwrap_or_default(),
         NumericCutStrategy::SketchMedian { epsilon } => {
-            let mut sketch = GkSketch::new(epsilon);
-            sketch.extend(values);
+            let fresh;
+            let sketch = match prebuilt_sketch {
+                Some(prebuilt) if prebuilt.epsilon() <= epsilon => prebuilt,
+                _ => {
+                    let mut s = GkSketch::new(epsilon);
+                    s.extend(values);
+                    fresh = s;
+                    &fresh
+                }
+            };
             let mut out = Vec::with_capacity(k - 1);
             for i in 1..k {
                 if let Some(q) = sketch.query(i as f64 / k as f64) {

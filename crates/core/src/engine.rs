@@ -1,22 +1,36 @@
 //! The end-to-end Atlas engine.
 //!
-//! [`Atlas::explore`] runs the four-step pipeline of Section 3 on the result
-//! of a user query and returns a ranked list of data maps, together with
-//! per-phase timings (the paper's "quasi-real time" requirement is a
+//! [`Atlas::builder`] assembles a **prepared** engine: per-column statistics
+//! (quantile sketches, distinct counts, null masks) are computed once at
+//! build time and shared — behind `Arc`s — across every subsequent
+//! exploration, and each of the four pipeline steps of Section 3 is a
+//! pluggable trait object ([`crate::pipeline`]). The engine is `Send + Sync`,
+//! so one `Arc<Atlas>` can serve concurrent explorations.
+//!
+//! [`Atlas::explore`] runs the pipeline exactly; [`Atlas::explore_iter`]
+//! streams the anytime refinement of Section 5.1 (growing samples under a
+//! time budget) as an iterator of improving [`AnytimeIteration`]s. Both
+//! return per-phase timings (the paper's "quasi-real time" requirement is a
 //! first-class concern, so the engine measures itself).
 
-use crate::candidates::{generate_candidates, CandidateSet};
+use crate::candidates::{generate_candidates_in_context, CandidateSet};
 use crate::cluster::cluster_maps;
-use crate::config::{AtlasConfig, MergeStrategy};
-use crate::distance::distance_matrix;
+use crate::config::{AtlasConfig, ExploreOptions, MergeStrategy};
+use crate::cut::NumericCutStrategy;
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
-use crate::merge::{compose_maps, product_maps};
-use crate::rank::{rank_maps, RankedMap};
+use crate::pipeline::{
+    CompositionMerge, CutStrategy, EntropyRanker, MapDistance, MergePolicy, PaperCut,
+    PipelineContext, ProductMerge, Ranker, ViDistance,
+};
+use crate::profile::{ProfileStats, TableProfile};
+use crate::rank::RankedMap;
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Wall-clock time spent in each phase of the pipeline, in milliseconds.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -63,18 +77,135 @@ impl MapResult {
     }
 }
 
-/// The Atlas engine: a table plus a configuration.
+/// Assembles a prepared [`Atlas`] engine: a table, a configuration, and one
+/// implementation per pipeline stage.
+///
+/// Stages not set explicitly default to the paper's algorithms, parameterised
+/// by the configuration: [`PaperCut`], [`ViDistance`] with the configured
+/// metric, [`ProductMerge`] or [`CompositionMerge`] per
+/// [`MergeStrategy`], and [`EntropyRanker`].
+///
+/// ```
+/// # use atlas_core::{Atlas, AtlasConfig};
+/// # use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+/// # use std::sync::Arc;
+/// # let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+/// # let mut b = TableBuilder::new("t", schema);
+/// # for i in 0..50 { b.push_row(&[Value::Int(i % 7)]).unwrap(); }
+/// # let table = Arc::new(b.build().unwrap());
+/// let atlas = Atlas::builder(table)
+///     .config(AtlasConfig::fast())
+///     .build()
+///     .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct AtlasBuilder {
+    table: Arc<Table>,
+    config: AtlasConfig,
+    cut_strategy: Option<Arc<dyn CutStrategy>>,
+    distance: Option<Arc<dyn MapDistance>>,
+    merge: Option<Arc<dyn MergePolicy>>,
+    ranker: Option<Arc<dyn Ranker>>,
+}
+
+impl AtlasBuilder {
+    /// Start building an engine over a shared table.
+    pub fn new(table: Arc<Table>) -> Self {
+        AtlasBuilder {
+            table,
+            config: AtlasConfig::default(),
+            cut_strategy: None,
+            distance: None,
+            merge: None,
+            ranker: None,
+        }
+    }
+
+    /// Use the given configuration (defaults to [`AtlasConfig::default`]).
+    pub fn config(mut self, config: AtlasConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replace the candidate-generation stage (step 1).
+    pub fn cut_strategy(mut self, strategy: impl CutStrategy + 'static) -> Self {
+        self.cut_strategy = Some(Arc::new(strategy));
+        self
+    }
+
+    /// Replace the map-distance stage (step 2).
+    pub fn distance(mut self, distance: impl MapDistance + 'static) -> Self {
+        self.distance = Some(Arc::new(distance));
+        self
+    }
+
+    /// Replace the merge stage (step 3).
+    pub fn merge_policy(mut self, policy: impl MergePolicy + 'static) -> Self {
+        self.merge = Some(Arc::new(policy));
+        self
+    }
+
+    /// Replace the ranking stage (step 4).
+    pub fn ranker(mut self, ranker: impl Ranker + 'static) -> Self {
+        self.ranker = Some(Arc::new(ranker));
+        self
+    }
+
+    /// Validate the configuration, profile the table (the build-once cost
+    /// every later `explore` amortises), and assemble the engine.
+    pub fn build(self) -> Result<Atlas> {
+        self.config.validate()?;
+        // Quantile sketches are only ever queried by sketch-based cut
+        // strategies; skip building them otherwise.
+        let sketch_epsilon = match self.config.cut.numeric {
+            NumericCutStrategy::SketchMedian { epsilon } => Some(epsilon),
+            _ => None,
+        };
+        let profile = Arc::new(TableProfile::build(&self.table, sketch_epsilon));
+        let merge = self.merge.unwrap_or_else(|| match self.config.merge {
+            MergeStrategy::Product => Arc::new(ProductMerge) as Arc<dyn MergePolicy>,
+            MergeStrategy::Composition => Arc::new(CompositionMerge) as Arc<dyn MergePolicy>,
+        });
+        Ok(Atlas {
+            cut_strategy: self.cut_strategy.unwrap_or_else(|| Arc::new(PaperCut)),
+            distance: self.distance.unwrap_or_else(|| {
+                Arc::new(ViDistance {
+                    metric: self.config.distance,
+                })
+            }),
+            merge,
+            ranker: self.ranker.unwrap_or_else(|| Arc::new(EntropyRanker)),
+            table: self.table,
+            config: self.config,
+            profile,
+        })
+    }
+}
+
+/// The prepared Atlas engine: a table, its build-time statistics profile, and
+/// one implementation per pipeline stage. `Send + Sync`; clone it or wrap it
+/// in an `Arc` to share the (already computed) profile across threads.
 #[derive(Debug, Clone)]
 pub struct Atlas {
     table: Arc<Table>,
     config: AtlasConfig,
+    profile: Arc<TableProfile>,
+    cut_strategy: Arc<dyn CutStrategy>,
+    distance: Arc<dyn MapDistance>,
+    merge: Arc<dyn MergePolicy>,
+    ranker: Arc<dyn Ranker>,
 }
 
 impl Atlas {
-    /// Create an engine over a shared table with the given configuration.
+    /// Start building a prepared engine over a shared table.
+    pub fn builder(table: Arc<Table>) -> AtlasBuilder {
+        AtlasBuilder::new(table)
+    }
+
+    /// Create an engine over a shared table with the given configuration and
+    /// the paper's default stage implementations.
     pub fn new(table: Arc<Table>, config: AtlasConfig) -> Result<Self> {
-        config.validate()?;
-        Ok(Atlas { table, config })
+        Atlas::builder(table).config(config).build()
     }
 
     /// Create an engine with the default (paper) configuration.
@@ -90,6 +221,33 @@ impl Atlas {
     /// The active configuration.
     pub fn config(&self) -> &AtlasConfig {
         &self.config
+    }
+
+    /// The per-column statistics computed when the engine was built.
+    pub fn profile(&self) -> &TableProfile {
+        &self.profile
+    }
+
+    /// Hit/miss counters of the statistics profile. Whole-table candidate
+    /// generation is served from the build-time profile (hits); statistics
+    /// over proper subsets — drill-down queries, anytime samples, and the
+    /// per-region re-cuts of composition merging — are computed on the fly
+    /// (misses). With a merge policy that never re-cuts (e.g.
+    /// [`MergeStrategy::Product`]), repeated whole-table explorations
+    /// recompute no statistics at all.
+    pub fn profile_stats(&self) -> ProfileStats {
+        self.profile.counters()
+    }
+
+    /// The stage context handed to the pipeline traits.
+    fn context(&self) -> PipelineContext<'_> {
+        PipelineContext {
+            table: &self.table,
+            profile: &self.profile,
+            cut_config: &self.config.cut,
+            cut_strategy: self.cut_strategy.as_ref(),
+            drop_empty_regions: self.config.drop_empty_regions,
+        }
     }
 
     /// Answer a user query with a ranked list of data maps.
@@ -124,9 +282,16 @@ impl Atlas {
             return Err(AtlasError::EmptyWorkingSet);
         }
 
+        let ctx = self.context();
+
         // Step 1: candidate maps.
         let phase_start = Instant::now();
-        let candidates = self.candidates(user_query, &working)?;
+        let candidates = generate_candidates_in_context(
+            &ctx,
+            &working,
+            user_query,
+            self.config.attributes.as_deref(),
+        )?;
         let candidates_ms = elapsed_ms(phase_start);
         if candidates.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
@@ -134,11 +299,9 @@ impl Atlas {
 
         // Step 2: cluster dependent candidates.
         let phase_start = Instant::now();
-        let matrix = distance_matrix(
-            &candidates.maps,
-            self.table.num_rows(),
-            self.config.distance,
-        );
+        let matrix = self
+            .distance
+            .matrix(&candidates.maps, self.table.num_rows());
         let clusters = cluster_maps(&matrix, &self.config.clustering)?;
         let clustering_ms = elapsed_ms(phase_start);
 
@@ -150,16 +313,7 @@ impl Atlas {
                 .iter()
                 .map(|&idx| candidates.maps[idx].clone())
                 .collect();
-            let map = match self.config.merge {
-                MergeStrategy::Product => product_maps(&members, self.config.drop_empty_regions),
-                MergeStrategy::Composition => compose_maps(
-                    &members,
-                    &self.table,
-                    &self.config.cut,
-                    self.config.drop_empty_regions,
-                )?,
-            };
-            if let Some(map) = map {
+            if let Some(map) = self.merge.merge(&ctx, &members, &working)? {
                 merged.push(self.enforce_constraints(map));
             }
         }
@@ -167,7 +321,7 @@ impl Atlas {
 
         // Step 4: rank and truncate.
         let phase_start = Instant::now();
-        let mut ranked = rank_maps(merged);
+        let mut ranked = self.ranker.rank(merged);
         ranked.truncate(self.config.max_maps);
         let rank_ms = elapsed_ms(phase_start);
 
@@ -193,13 +347,69 @@ impl Atlas {
         user_query: &ConjunctiveQuery,
         working: &Bitmap,
     ) -> Result<CandidateSet> {
-        generate_candidates(
-            &self.table,
+        generate_candidates_in_context(
+            &self.context(),
             working,
             user_query,
             self.config.attributes.as_deref(),
-            &self.config.cut,
         )
+    }
+
+    /// Stream the anytime refinement of Section 5.1 for a user query: an
+    /// iterator of improving [`AnytimeIteration`]s computed on growing
+    /// samples of the working set, stopping once the time budget of
+    /// `options` is exhausted or the full working set has been explored.
+    ///
+    /// The first iteration is available after one pass over a small sample
+    /// ("the user \[gets\] instant results"); callers that want only the final
+    /// outcome can use [`Atlas::explore_anytime`].
+    pub fn explore_iter(
+        &self,
+        user_query: &ConjunctiveQuery,
+        options: ExploreOptions,
+    ) -> Result<ExploreIter<'_>> {
+        options.validate()?;
+        let working = atlas_query::evaluate(user_query, &self.table)?;
+        let working_size = working.count();
+        if working_size == 0 {
+            return Err(AtlasError::EmptyWorkingSet);
+        }
+        let rows = working.to_indices();
+        let sample_size = options.initial_sample.min(working_size);
+        Ok(ExploreIter {
+            engine: self,
+            query: user_query.clone(),
+            working,
+            rows,
+            rng: StdRng::seed_from_u64(options.seed),
+            options,
+            start: Instant::now(),
+            sample_size,
+            done: false,
+        })
+    }
+
+    /// Run the anytime loop to completion and collect every iteration (the
+    /// blocking form of [`Atlas::explore_iter`]).
+    pub fn explore_anytime(
+        &self,
+        user_query: &ConjunctiveQuery,
+        options: ExploreOptions,
+    ) -> Result<AnytimeResult> {
+        let mut iter = self.explore_iter(user_query, options)?;
+        let working_set_size = iter.working_set_size();
+        let mut iterations = Vec::new();
+        for step in &mut iter {
+            iterations.push(step?);
+        }
+        let reached_full_data = iterations
+            .last()
+            .is_some_and(|it| it.sample_size == working_set_size);
+        Ok(AnytimeResult {
+            iterations,
+            reached_full_data,
+            working_set_size,
+        })
     }
 
     /// Enforce the readability constraints of Section 2 on a merged map: if it
@@ -232,6 +442,126 @@ impl Atlas {
         }
         map
     }
+}
+
+/// One iteration of the anytime loop.
+#[derive(Debug, Clone)]
+pub struct AnytimeIteration {
+    /// Number of sampled rows this iteration ran on.
+    pub sample_size: usize,
+    /// Wall-clock time elapsed since the start of the loop when this
+    /// iteration finished.
+    pub elapsed: Duration,
+    /// The (approximate) result computed from the sample.
+    pub result: MapResult,
+}
+
+/// The outcome of an anytime run.
+#[derive(Debug, Clone)]
+pub struct AnytimeResult {
+    /// All iterations, in order of increasing sample size.
+    pub iterations: Vec<AnytimeIteration>,
+    /// True if the final iteration ran on the full working set (the result is
+    /// then exact, not approximate).
+    pub reached_full_data: bool,
+    /// Size of the full working set.
+    pub working_set_size: usize,
+}
+
+impl AnytimeResult {
+    /// The most refined result available.
+    pub fn best(&self) -> Option<&AnytimeIteration> {
+        self.iterations.last()
+    }
+}
+
+/// The streaming anytime exploration returned by [`Atlas::explore_iter`].
+///
+/// Each `next()` runs the full pipeline on a sample of the working set and
+/// yields the resulting [`AnytimeIteration`]; samples grow geometrically
+/// until the time budget is exhausted or the whole working set is covered.
+#[derive(Debug)]
+pub struct ExploreIter<'a> {
+    engine: &'a Atlas,
+    query: ConjunctiveQuery,
+    working: Bitmap,
+    rows: Vec<usize>,
+    rng: StdRng,
+    options: ExploreOptions,
+    start: Instant,
+    sample_size: usize,
+    done: bool,
+}
+
+impl ExploreIter<'_> {
+    /// Size of the full working set the samples are drawn from.
+    pub fn working_set_size(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Wall-clock time elapsed since the iterator was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Iterator for ExploreIter<'_> {
+    type Item = Result<AnytimeIteration>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let working_size = self.rows.len();
+        let is_full = self.sample_size >= working_size;
+        let sample = if is_full {
+            self.working.clone()
+        } else {
+            sample_rows(
+                &self.rows,
+                self.sample_size,
+                self.engine.table.num_rows(),
+                &mut self.rng,
+            )
+        };
+        let result = match self.engine.explore_selection(&self.query, sample) {
+            Ok(result) => result,
+            Err(err) => {
+                self.done = true;
+                return Some(Err(err));
+            }
+        };
+        let iteration = AnytimeIteration {
+            sample_size: self.sample_size.min(working_size),
+            elapsed: self.start.elapsed(),
+            result,
+        };
+        if is_full
+            || self
+                .options
+                .budget
+                .is_some_and(|b| self.start.elapsed() >= b)
+        {
+            self.done = true;
+        } else {
+            let next = (self.sample_size as f64 * self.options.growth_factor).ceil() as usize;
+            self.sample_size = next.min(working_size);
+        }
+        Some(Ok(iteration))
+    }
+}
+
+/// Draw a uniform sample (without replacement) of `k` of the given row ids,
+/// returned as a bitmap over `table_rows`.
+fn sample_rows(rows: &[usize], k: usize, table_rows: usize, rng: &mut StdRng) -> Bitmap {
+    let k = k.min(rows.len());
+    // Partial Fisher–Yates over a copy of the indices.
+    let mut pool: Vec<usize> = rows.to_vec();
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    Bitmap::from_indices(table_rows, pool[..k].iter().copied())
 }
 
 fn elapsed_ms(start: Instant) -> f64 {
@@ -459,5 +789,175 @@ mod tests {
             ..AtlasConfig::default()
         };
         assert!(Atlas::new(table, config).is_err());
+        assert!(Atlas::builder(survey(50))
+            .config(AtlasConfig {
+                max_maps: 0,
+                ..AtlasConfig::default()
+            })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_defaults_equal_the_new_constructor() {
+        let table = survey(600);
+        let via_builder = Atlas::builder(Arc::clone(&table)).build().unwrap();
+        let via_new = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey");
+        let a = via_builder.explore(&query).unwrap();
+        let b = via_new.explore(&query).unwrap();
+        assert_eq!(a.num_maps(), b.num_maps());
+        for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+            assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+            assert_eq!(ra.map.region_counts(), rb.map.region_counts());
+            assert!((ra.score - rb.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn second_explore_on_a_prepared_engine_recomputes_no_statistics() {
+        // The acceptance criterion of the prepared-engine redesign: column
+        // statistics are computed once at build time, so whole-table
+        // explorations are pure profile hits — the second `explore` call does
+        // no per-column statistics recomputation at all.
+        let table = survey(600);
+        let config = AtlasConfig {
+            merge: MergeStrategy::Product,
+            ..AtlasConfig::default()
+        };
+        let atlas = Atlas::new(Arc::clone(&table), config).unwrap();
+        let query = ConjunctiveQuery::all("survey");
+
+        let first = atlas.explore(&query).unwrap();
+        let after_first = atlas.profile_stats();
+        assert_eq!(
+            after_first.misses, 0,
+            "whole-table stats come from the profile"
+        );
+        assert!(after_first.hits >= table.num_columns());
+
+        let second = atlas.explore(&query).unwrap();
+        let after_second = atlas.profile_stats();
+        assert_eq!(
+            after_second.misses, 0,
+            "the second explore must not recompute any column statistics"
+        );
+        assert!(after_second.hits > after_first.hits);
+        assert_eq!(first.num_maps(), second.num_maps());
+    }
+
+    #[test]
+    fn subset_explorations_fall_back_to_fresh_statistics() {
+        let table = survey(600);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey").and(Predicate::range("age", 17.0, 40.0));
+        atlas.explore(&query).unwrap();
+        assert!(
+            atlas.profile_stats().misses > 0,
+            "subset working sets need fresh statistics"
+        );
+    }
+
+    #[test]
+    fn custom_ranker_changes_the_presentation_order() {
+        /// Ranks maps by *increasing* entropy — the opposite of the paper.
+        #[derive(Debug)]
+        struct WorstFirst;
+        impl crate::pipeline::Ranker for WorstFirst {
+            fn name(&self) -> &str {
+                "worst-first"
+            }
+            fn rank(&self, maps: Vec<DataMap>) -> Vec<crate::rank::RankedMap> {
+                let mut ranked = crate::rank::rank_maps(maps);
+                ranked.reverse();
+                ranked
+            }
+        }
+        let table = survey(600);
+        let normal = Atlas::builder(Arc::clone(&table)).build().unwrap();
+        let reversed = Atlas::builder(Arc::clone(&table))
+            .ranker(WorstFirst)
+            .build()
+            .unwrap();
+        let query = ConjunctiveQuery::all("survey");
+        let a = normal.explore(&query).unwrap();
+        let b = reversed.explore(&query).unwrap();
+        assert!(a.num_maps() >= 2);
+        assert_eq!(a.num_maps(), b.num_maps());
+        assert!((a.maps.first().unwrap().score - b.maps.last().unwrap().score).abs() < 1e-12);
+        // Scores are non-decreasing under the custom ranker.
+        for pair in b.maps.windows(2) {
+            assert!(pair[0].score <= pair[1].score + 1e-12);
+        }
+    }
+
+    #[test]
+    fn explore_iter_streams_improving_iterations() {
+        let table = survey(4_000);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let options = ExploreOptions {
+            budget: None,
+            initial_sample: 200,
+            growth_factor: 4.0,
+            seed: 7,
+        };
+        let mut sizes = Vec::new();
+        for step in atlas
+            .explore_iter(&ConjunctiveQuery::all("survey"), options)
+            .unwrap()
+        {
+            let iteration = step.unwrap();
+            assert!(iteration.result.num_maps() >= 1);
+            sizes.push(iteration.sample_size);
+        }
+        assert!(sizes.len() >= 2, "several iterations expected: {sizes:?}");
+        for pair in sizes.windows(2) {
+            assert!(pair[1] > pair[0], "samples must grow: {sizes:?}");
+        }
+        assert_eq!(*sizes.last().unwrap(), 4_000, "ends on the full data");
+    }
+
+    #[test]
+    fn explore_anytime_final_iteration_matches_plain_explore() {
+        let table = survey(1_500);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let query = ConjunctiveQuery::all("survey");
+        let outcome = atlas
+            .explore_anytime(&query, ExploreOptions::exhaustive())
+            .unwrap();
+        assert!(outcome.reached_full_data);
+        let exact = atlas.explore(&query).unwrap();
+        let last = &outcome.best().unwrap().result;
+        assert_eq!(last.num_maps(), exact.num_maps());
+        for (a, b) in last.maps.iter().zip(exact.maps.iter()) {
+            assert_eq!(a.map.source_attributes, b.map.source_attributes);
+            assert_eq!(a.map.region_counts(), b.map.region_counts());
+        }
+    }
+
+    #[test]
+    fn explore_iter_validates_options_and_working_sets() {
+        let table = survey(100);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let bad = ExploreOptions {
+            growth_factor: 0.5,
+            ..ExploreOptions::default()
+        };
+        assert!(atlas
+            .explore_iter(&ConjunctiveQuery::all("survey"), bad)
+            .is_err());
+        let empty = ConjunctiveQuery::all("survey").and(Predicate::range("age", 500.0, 600.0));
+        assert!(matches!(
+            atlas.explore_iter(&empty, ExploreOptions::default()),
+            Err(AtlasError::EmptyWorkingSet)
+        ));
+    }
+
+    #[test]
+    fn the_prepared_engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Atlas>();
+        assert_send_sync::<AtlasBuilder>();
+        assert_send_sync::<crate::profile::TableProfile>();
     }
 }

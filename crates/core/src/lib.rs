@@ -24,11 +24,23 @@
 //!    of their cover distribution, so balanced, multi-region maps come first
 //!    and outlier-revealing maps come last.
 //!
-//! The [`engine::Atlas`] type drives the whole pipeline; [`anytime`]
-//! implements the sampling-based anytime refinement of Section 5.1; and
-//! [`baselines`] provides the comparison systems used by the evaluation
-//! (exhaustive product, random maps, single-attribute maps and a grid-density
-//! subspace-clustering stand-in).
+//! The [`engine::Atlas`] type drives the whole pipeline. Since the
+//! prepared-engine redesign it is assembled by [`engine::AtlasBuilder`]: the
+//! four steps are the pluggable traits of [`pipeline`]
+//! ([`pipeline::CutStrategy`], [`pipeline::MapDistance`],
+//! [`pipeline::MergePolicy`], [`pipeline::Ranker`]) with the paper's
+//! algorithms as defaults, and per-column statistics are computed **once** at
+//! build time into a shared [`profile::TableProfile`]. The engine is
+//! `Send + Sync`, so one `Arc<Atlas>` serves concurrent explorations.
+//!
+//! The sampling-based anytime refinement of Section 5.1 runs through the same
+//! engine ([`engine::Atlas::explore_iter`] /
+//! [`engine::Atlas::explore_anytime`], driven by [`config::ExploreOptions`]);
+//! [`anytime::AnytimeAtlas`] is a thin convenience wrapper. [`baselines`]
+//! provides the comparison systems used by the evaluation (exhaustive
+//! product, random maps, single-attribute maps and a grid-density
+//! subspace-clustering stand-in), each expressed as alternative stage-trait
+//! implementations rather than separate pipelines.
 
 #![warn(missing_docs)]
 
@@ -43,20 +55,29 @@ pub mod engine;
 pub mod error;
 pub mod map;
 pub mod merge;
+pub mod pipeline;
 pub mod precompute;
+pub mod profile;
 pub mod rank;
 pub mod region;
 
-pub use anytime::{AnytimeAtlas, AnytimeConfig, AnytimeIteration, AnytimeResult};
-pub use candidates::{generate_candidates, CandidateSet};
+pub use anytime::{AnytimeAtlas, AnytimeConfig};
+pub use candidates::{generate_candidates, generate_candidates_in_context, CandidateSet};
 pub use cluster::{cluster_maps, slink, ClusteringConfig, Dendrogram, Linkage, MergeStep};
-pub use config::{AtlasConfig, MergeStrategy};
+pub use config::{AtlasConfig, ExploreOptions, MergeStrategy};
 pub use cut::{cut_attribute, CategoricalCutStrategy, CutConfig, NumericCutStrategy};
 pub use distance::{distance_matrix, map_distance, DistanceMatrix, MapDistanceMetric};
-pub use engine::{Atlas, MapResult, PhaseTimings};
+pub use engine::{
+    AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder, ExploreIter, MapResult, PhaseTimings,
+};
 pub use error::{AtlasError, Result};
 pub use map::DataMap;
 pub use merge::{compose_maps, product_maps};
+pub use pipeline::{
+    CompositionMerge, CutStrategy, EntropyRanker, MapDistance, MergePolicy, PaperCut,
+    PipelineContext, ProductMerge, Ranker, ViDistance,
+};
 pub use precompute::{CacheStats, CachedAtlas};
+pub use profile::{ColumnProfile, ProfileStats, TableProfile};
 pub use rank::{rank_maps, RankedMap};
 pub use region::Region;

@@ -16,9 +16,11 @@
 //! Both operators are associative enough for Atlas's purposes: clusters are
 //! merged by folding the operator over the cluster's maps in order.
 
-use crate::cut::{cut_attribute, CutConfig};
+use crate::cut::CutConfig;
 use crate::error::Result;
 use crate::map::DataMap;
+use crate::pipeline::{CompositionMerge, MergePolicy, PaperCut, PipelineContext};
+use crate::profile::TableProfile;
 use crate::region::Region;
 use atlas_columnar::Table;
 
@@ -62,46 +64,34 @@ pub fn product_maps(maps: &[DataMap], drop_empty: bool) -> Option<DataMap> {
 /// same cut configuration that produced the candidates). Regions whose local
 /// cut fails (constant attribute within the region, all NULL…) are kept
 /// uncut, so the result always covers at least as much as the first map.
+///
+/// This is the standalone form of
+/// [`crate::pipeline::CompositionMerge`] (to which it delegates), fixed to
+/// the paper's `CUT` strategy with on-the-fly statistics.
 pub fn compose_maps(
     maps: &[DataMap],
     table: &Table,
     config: &CutConfig,
     drop_empty: bool,
 ) -> Result<Option<DataMap>> {
-    if maps.is_empty() {
-        return Ok(None);
-    }
-    let mut result = maps[0].clone();
-    for other in &maps[1..] {
-        let attribute = match other.source_attributes.first() {
-            Some(a) => a.clone(),
-            None => continue,
-        };
-        let mut regions = Vec::new();
-        for region in &result.regions {
-            let sub_map =
-                cut_attribute(table, &region.selection, &region.query, &attribute, config)?;
-            match sub_map {
-                Some(sub) => regions.extend(sub.regions),
-                None => regions.push(region.clone()),
-            }
-        }
-        if drop_empty {
-            regions.retain(|r| !r.is_empty());
-        }
-        let mut attributes = result.source_attributes.clone();
-        if !attributes.contains(&attribute) {
-            attributes.push(attribute);
-        }
-        result = DataMap::new(regions, attributes);
-    }
-    Ok(Some(result))
+    let profile = TableProfile::empty(table.num_rows());
+    let strategy = PaperCut;
+    let ctx = PipelineContext {
+        table,
+        profile: &profile,
+        cut_config: config,
+        cut_strategy: &strategy,
+        drop_empty_regions: drop_empty,
+    };
+    // Composition never reads the working set; any bitmap satisfies the
+    // merge-policy signature.
+    CompositionMerge.merge(&ctx, maps, &table.empty_selection())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cut::NumericCutStrategy;
+    use crate::cut::{cut_attribute, NumericCutStrategy};
     use atlas_columnar::{Bitmap, DataType, Field, Schema, TableBuilder, Value};
     use atlas_query::{ConjunctiveQuery, Predicate};
 

@@ -16,9 +16,11 @@
 //!   region the user drills into is already answered.
 //!
 //! The cache is a simple bounded FIFO keyed by the canonical SQL text of the
-//! query — deliberately unsophisticated, as the paper leaves "deciding what to
-//! compute" open; eviction order and keying are the two obvious extension
-//! points.
+//! query — predicates are sorted by attribute before printing, so two
+//! conjunctions that differ only in predicate order share one cache entry.
+//! The scheme stays deliberately unsophisticated, as the paper leaves
+//! "deciding what to compute" open; eviction order and keying are the two
+//! obvious extension points.
 
 use crate::config::AtlasConfig;
 use crate::engine::{Atlas, MapResult};
@@ -54,13 +56,23 @@ pub struct CachedAtlas {
 impl CachedAtlas {
     /// Wrap an engine with a cache holding at most `capacity` results.
     pub fn new(table: Arc<Table>, config: AtlasConfig, capacity: usize) -> Result<Self> {
-        Ok(CachedAtlas {
-            engine: Atlas::new(table, config)?,
+        Ok(CachedAtlas::from_engine(
+            Atlas::new(table, config)?,
+            capacity,
+        ))
+    }
+
+    /// Wrap an already prepared engine (built via
+    /// [`crate::engine::AtlasBuilder`], possibly with custom stages) with a
+    /// cache holding at most `capacity` results.
+    pub fn from_engine(engine: Atlas, capacity: usize) -> Self {
+        CachedAtlas {
+            engine,
             capacity: capacity.max(1),
             cache: HashMap::new(),
             insertion_order: VecDeque::new(),
             stats: CacheStats::default(),
-        })
+        }
     }
 
     /// The wrapped engine.
@@ -83,8 +95,20 @@ impl CachedAtlas {
         self.cache.is_empty()
     }
 
+    /// The cache key of a query: its SQL text with the predicates sorted by
+    /// attribute (ties broken by the rendered set, for queries constructed
+    /// with duplicate same-attribute predicates), so conjunctions that differ
+    /// only in predicate order (the conjunction is commutative) key
+    /// identically instead of causing spurious misses. Value sets need no
+    /// extra handling: they are `BTreeSet`s, already canonically ordered.
     fn key(query: &ConjunctiveQuery) -> String {
-        to_sql(query)
+        let mut canonical = query.clone();
+        canonical.predicates.sort_by(|a, b| {
+            a.attribute
+                .cmp(&b.attribute)
+                .then_with(|| a.set.to_string().cmp(&b.set.to_string()))
+        });
+        to_sql(&canonical)
     }
 
     fn insert(&mut self, key: String, result: MapResult) {
@@ -249,6 +273,48 @@ mod tests {
         let misses_before = cached.stats().misses;
         cached.explore(&q1).unwrap();
         assert_eq!(cached.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn reordered_predicates_share_one_cache_entry() {
+        // Regression test: `a AND b` and `b AND a` are the same conjunction
+        // and must key to the same cache slot.
+        let mut cached = CachedAtlas::new(table(2_000), AtlasConfig::default(), 8).unwrap();
+        let x_pred = atlas_query::Predicate::range("x", 0.0, 250.0);
+        let group_pred = atlas_query::Predicate::values("group", ["a", "b"]);
+        let forward = ConjunctiveQuery {
+            table: "t".to_string(),
+            predicates: vec![x_pred.clone(), group_pred.clone()],
+        };
+        let reversed = ConjunctiveQuery {
+            table: "t".to_string(),
+            predicates: vec![group_pred, x_pred],
+        };
+        let first = cached.explore(&forward).unwrap();
+        assert_eq!(cached.stats().misses, 1);
+        let second = cached.explore(&reversed).unwrap();
+        assert_eq!(
+            cached.stats(),
+            &CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            },
+            "semantically identical queries must not miss"
+        );
+        assert_eq!(cached.len(), 1);
+        assert_eq!(first.working_set_size, second.working_set_size);
+        assert_eq!(first.num_maps(), second.num_maps());
+    }
+
+    #[test]
+    fn from_engine_wraps_a_prepared_engine() {
+        let t = table(1_000);
+        let engine = Atlas::builder(Arc::clone(&t)).build().unwrap();
+        let mut cached = CachedAtlas::from_engine(engine, 4);
+        let result = cached.explore(&ConjunctiveQuery::all("t")).unwrap();
+        assert!(result.num_maps() >= 1);
+        assert_eq!(cached.stats().misses, 1);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Build-time per-column statistics shared across explorations.
+//!
+//! Every call to [`crate::engine::Atlas::explore`] needs per-column summary
+//! statistics (distinct counts, min/max, null masks) to decide which
+//! attributes are cuttable and where to cut them. Before the prepared-engine
+//! redesign these were recomputed from scratch on every query; a
+//! [`TableProfile`] computes them **once** when the engine is built and shares
+//! them (behind an `Arc`) across every subsequent exploration — the
+//! "anticipative computation" spirit of Section 5.1 applied to the engine's
+//! own metadata.
+//!
+//! The profile also keeps a one-pass Greenwald–Khanna quantile sketch per
+//! numeric column, so sketch-based cut strategies never have to re-scan the
+//! column for whole-table explorations.
+//!
+//! Statistics served from the profile are counted as `hits`; working sets that
+//! are proper subsets of the table (drill-down queries, anytime samples,
+//! composition re-cuts) still require fresh statistics and are counted as
+//! `misses`. The counters make cache behaviour observable in tests and
+//! benchmarks ([`TableProfile::counters`]).
+
+use crate::error::Result;
+use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
+use atlas_stats::GkSketch;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pre-computed statistics of one column over the full table.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// The column name.
+    pub name: String,
+    /// Full-table summary statistics (distinct count, min/max, mean/variance).
+    pub stats: ColumnStats,
+    /// A quantile sketch of the column values (numeric columns only, and only
+    /// when the profile was built with a sketch epsilon).
+    pub sketch: Option<GkSketch>,
+    /// The rows holding a non-NULL value (the column's null mask, inverted).
+    /// The paper's own stages derive null information from [`ColumnStats`];
+    /// the materialised mask is part of the profile surface custom pipeline
+    /// stages reach through [`crate::pipeline::PipelineContext::profile`]
+    /// (e.g. to intersect a working set with the non-NULL rows directly).
+    pub non_null: Bitmap,
+}
+
+/// A snapshot of the profile's cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileStats {
+    /// Statistics requests served from the pre-computed profile.
+    pub hits: usize,
+    /// Statistics requests that had to be computed on the fly (subset working
+    /// sets and unknown columns).
+    pub misses: usize,
+}
+
+/// Per-column statistics of a table, computed once and shared by every
+/// exploration of a prepared engine.
+#[derive(Debug)]
+pub struct TableProfile {
+    num_rows: usize,
+    columns: Vec<ColumnProfile>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl TableProfile {
+    /// The sketch accuracy used when the cut configuration does not request a
+    /// specific epsilon.
+    pub const DEFAULT_SKETCH_EPSILON: f64 = 0.005;
+
+    /// Profile every column of the table: one pass per column for the summary
+    /// statistics and the null mask, plus — when `sketch_epsilon` is set — a
+    /// quantile sketch for numeric columns built with that rank-error bound.
+    /// Pass `None` when no stage will query sketches (the engine builder does
+    /// so automatically unless the cut strategy is sketch-based), saving a
+    /// full value materialisation per numeric column.
+    pub fn build(table: &Table, sketch_epsilon: Option<f64>) -> Self {
+        let full = table.full_selection();
+        let columns = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|field| {
+                let column = table
+                    .column(&field.name)
+                    .expect("schema-listed column exists");
+                let stats = ColumnStats::compute(column, &full);
+                let sketch = match (field.dtype, sketch_epsilon) {
+                    (DataType::Int | DataType::Float, Some(epsilon)) => {
+                        let mut sketch = GkSketch::new(epsilon);
+                        sketch.extend(&column.numeric_values_where(&full));
+                        Some(sketch)
+                    }
+                    _ => None,
+                };
+                let non_null = Bitmap::from_indices(
+                    table.num_rows(),
+                    (0..table.num_rows()).filter(|&row| !column.is_null(row)),
+                );
+                ColumnProfile {
+                    name: field.name.clone(),
+                    stats,
+                    sketch,
+                    non_null,
+                }
+            })
+            .collect();
+        TableProfile {
+            num_rows: table.num_rows(),
+            columns,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// A profile with no pre-computed columns: every statistics request is
+    /// answered by scanning the working set on the fly (and counted as a
+    /// miss). Standalone entry points that run once per working set — the
+    /// baselines, [`crate::candidates::generate_candidates`] — use this
+    /// instead of paying for a full-table profile they would never amortise;
+    /// prepared engines always carry a full [`TableProfile::build`] profile.
+    pub fn empty(num_rows: usize) -> Self {
+        TableProfile {
+            num_rows,
+            columns: Vec::new(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of rows of the profiled table.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The profile of a column, if the column exists.
+    pub fn column(&self, name: &str) -> Option<&ColumnProfile> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// All column profiles, in schema order.
+    pub fn columns(&self) -> &[ColumnProfile] {
+        &self.columns
+    }
+
+    /// True when the working set covers the whole table, so full-table
+    /// statistics apply as-is.
+    pub fn covers(&self, working: &Bitmap) -> bool {
+        working.count() == self.num_rows
+    }
+
+    /// Statistics of `attribute` over `working`: served from the profile when
+    /// the working set is the whole table, computed on the fly otherwise.
+    pub fn stats_for<'a>(
+        &'a self,
+        table: &Table,
+        attribute: &str,
+        working: &Bitmap,
+    ) -> Result<Cow<'a, ColumnStats>> {
+        if self.covers(working) {
+            if let Some(profile) = self.column(attribute) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Cow::Borrowed(&profile.stats));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(Cow::Owned(table.column_stats(attribute, working)?))
+    }
+
+    /// The pre-built quantile sketch of `attribute`, usable only when the
+    /// working set covers the whole table (a sketch of the full column says
+    /// nothing about an arbitrary subset).
+    pub fn sketch_for(&self, attribute: &str, working: &Bitmap) -> Option<&GkSketch> {
+        if !self.covers(working) {
+            return None;
+        }
+        self.column(attribute)?.sketch.as_ref()
+    }
+
+    /// A snapshot of the hit/miss counters.
+    pub fn counters(&self) -> ProfileStats {
+        ProfileStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Float),
+            Field::nullable("n", DataType::Int),
+            Field::new("c", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..100 {
+            let n = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 10)
+            };
+            b.push_row(&[
+                Value::Float(i as f64),
+                n,
+                Value::Str(["a", "b"][(i % 2) as usize].into()),
+            ])
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn profile_matches_on_demand_statistics() {
+        let t = table();
+        let profile = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
+        assert_eq!(profile.num_rows(), 100);
+        assert_eq!(profile.columns().len(), 3);
+        for name in ["x", "n", "c"] {
+            let cached = &profile.column(name).unwrap().stats;
+            let fresh = t.column_stats(name, &t.full_selection()).unwrap();
+            assert_eq!(cached, &fresh, "column {name}");
+        }
+        // Null mask: column n has 25 NULLs.
+        assert_eq!(profile.column("n").unwrap().non_null.count(), 75);
+        assert_eq!(profile.column("x").unwrap().non_null.count(), 100);
+        // Sketches exist for numeric columns only.
+        assert!(profile.column("x").unwrap().sketch.is_some());
+        assert!(profile.column("c").unwrap().sketch.is_none());
+        // The sketch median is close to the true median (rank error εn plus
+        // the sketch's own value quantization).
+        let sketch = profile.column("x").unwrap().sketch.as_ref().unwrap();
+        assert!((sketch.median().unwrap() - 49.5).abs() <= 2.5);
+    }
+
+    #[test]
+    fn full_table_requests_hit_and_subsets_miss() {
+        let t = table();
+        let profile = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
+        assert_eq!(profile.counters(), ProfileStats::default());
+
+        let full = t.full_selection();
+        let cached = profile.stats_for(&t, "x", &full).unwrap();
+        assert_eq!(profile.counters().hits, 1);
+        assert_eq!(profile.counters().misses, 0);
+        assert_eq!(cached.non_null_count, 100);
+
+        let subset = Bitmap::from_indices(100, 0..50);
+        let fresh = profile.stats_for(&t, "x", &subset).unwrap();
+        assert_eq!(profile.counters().hits, 1);
+        assert_eq!(profile.counters().misses, 1);
+        assert_eq!(fresh.non_null_count, 50);
+
+        // Sketches are only served for full-table working sets.
+        assert!(profile.sketch_for("x", &full).is_some());
+        assert!(profile.sketch_for("x", &subset).is_none());
+        assert!(profile.sketch_for("c", &full).is_none());
+    }
+
+    #[test]
+    fn empty_profiles_always_compute_on_the_fly() {
+        let t = table();
+        let profile = TableProfile::empty(t.num_rows());
+        let full = t.full_selection();
+        let stats = profile.stats_for(&t, "x", &full).unwrap();
+        assert_eq!(stats.non_null_count, 100);
+        assert_eq!(profile.counters(), ProfileStats { hits: 0, misses: 1 });
+        assert!(profile.sketch_for("x", &full).is_none());
+    }
+
+    #[test]
+    fn unknown_columns_are_an_error() {
+        let t = table();
+        let profile = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
+        assert!(profile.stats_for(&t, "zzz", &t.full_selection()).is_err());
+    }
+}

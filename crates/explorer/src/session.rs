@@ -37,10 +37,19 @@ pub struct Session {
 impl Session {
     /// Start a session over a table with the given engine configuration.
     pub fn new(table: Arc<Table>, config: AtlasConfig) -> Result<Self> {
-        Ok(Session {
-            engine: Atlas::new(table, config)?,
+        Ok(Session::with_engine(Atlas::new(table, config)?))
+    }
+
+    /// Start a session over an already prepared engine (built with
+    /// [`Atlas::builder`], possibly with custom pipeline stages). The
+    /// engine's build-time statistics profile is shared by every step of the
+    /// session — and, since cloning an engine is cheap, by other sessions or
+    /// threads exploring the same table.
+    pub fn with_engine(engine: Atlas) -> Self {
+        Session {
+            engine,
             steps: Vec::new(),
-        })
+        }
     }
 
     /// Start a session with the default configuration.
@@ -195,5 +204,20 @@ mod tests {
         let mut session = census_session();
         assert!(session.submit_sql("SELECT age FROM census").is_err());
         assert_eq!(session.depth(), 0);
+    }
+
+    #[test]
+    fn with_engine_accepts_a_prepared_engine() {
+        let table = Arc::new(CensusGenerator::with_rows(2000, 3).generate());
+        // Product merge never re-cuts inside regions, so a whole-table step
+        // is answered purely from the engine's build-time statistics profile.
+        let engine = Atlas::builder(Arc::clone(&table))
+            .config(AtlasConfig::fast())
+            .build()
+            .unwrap();
+        let mut session = Session::with_engine(engine);
+        let step = session.submit(ConjunctiveQuery::all("census")).unwrap();
+        assert!(step.result.num_maps() >= 1);
+        assert_eq!(session.engine().profile_stats().misses, 0);
     }
 }

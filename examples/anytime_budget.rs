@@ -1,10 +1,14 @@
-//! The anytime engine of Section 5.1: quality under a time budget.
+//! The anytime exploration of Section 5.1: quality under a time budget.
 //!
-//! Atlas should feel instantaneous. On large working sets the anytime engine
-//! runs the pipeline on growing samples, so the analyst gets a usable map in
-//! milliseconds and a refined one if they wait. This example prints each
-//! iteration: sample size, elapsed time, the attributes of the best map, and
-//! how close its covers are to the exact (full-data) answer.
+//! Atlas should feel instantaneous. On large working sets the engine's
+//! `explore_iter` runs the pipeline on growing samples, so the analyst gets a
+//! usable map in milliseconds and a refined one if they wait. Since the
+//! prepared-engine redesign there is no separate anytime engine: the same
+//! `Atlas` that answers exact queries streams approximate iterations when
+//! given `ExploreOptions` with a budget. This example consumes the stream
+//! live, printing each iteration as it is produced: sample size, elapsed
+//! time, the attributes of the best map, and how close its covers are to the
+//! exact (full-data) answer.
 //!
 //! Run with: `cargo run --release --example anytime_budget`
 
@@ -16,30 +20,36 @@ fn main() {
     let table = Arc::new(CensusGenerator::with_rows(200_000, 99).generate());
     println!("loaded table: {table}");
 
-    let config = AnytimeConfig {
-        initial_sample: 1_000,
-        growth_factor: 4.0,
-        budget: Duration::from_millis(2_000),
-        ..AnytimeConfig::default()
-    };
-    let anytime = AnytimeAtlas::new(Arc::clone(&table), config).expect("valid configuration");
-
+    // One prepared engine serves both the exact and the anytime exploration.
+    let atlas = Atlas::builder(Arc::clone(&table))
+        .build()
+        .expect("valid configuration");
     let query = ConjunctiveQuery::all("census");
-    let outcome = anytime.run(&query).expect("anytime run succeeds");
 
     // The exact answer, for reference (what an unbounded run would return).
-    let exact = Atlas::with_defaults(Arc::clone(&table))
-        .expect("valid configuration")
-        .explore(&query)
-        .expect("exact exploration succeeds");
+    let exact = atlas.explore(&query).expect("exact exploration succeeds");
     let exact_best = exact.best().expect("at least one exact map");
     let exact_covers = exact_best.map.covers(exact.working_set_size);
+
+    let options = ExploreOptions {
+        initial_sample: 1_000,
+        growth_factor: 4.0,
+        budget: Some(Duration::from_millis(2_000)),
+        ..ExploreOptions::default()
+    };
 
     println!(
         "{:<12} {:>10} {:>12} {:>28} {:>16}",
         "iteration", "sample", "elapsed(ms)", "best map attributes", "max cover error"
     );
-    for (i, iteration) in outcome.iterations.iter().enumerate() {
+    let mut reached_full = false;
+    let mut working_set_size = 0;
+    for (i, step) in atlas
+        .explore_iter(&query, options)
+        .expect("anytime iterator starts")
+        .enumerate()
+    {
+        let iteration = step.expect("iteration succeeds");
         let best = iteration
             .result
             .best()
@@ -58,11 +68,10 @@ fn main() {
             best.map.source_attributes.join(","),
             max_error
         );
+        reached_full = iteration.sample_size == exact.working_set_size;
+        working_set_size = exact.working_set_size;
     }
-    println!(
-        "\nreached full data: {} (working set {} tuples)",
-        outcome.reached_full_data, outcome.working_set_size
-    );
+    println!("\nreached full data: {reached_full} (working set {working_set_size} tuples)");
     println!(
         "exact engine took {:.1} ms end-to-end for comparison",
         exact.timings.total_ms

@@ -3,7 +3,9 @@
 //! Reproduces the interaction loop of Figure 1 / Figure 2 of the paper: the
 //! analyst starts from the whole survey, receives several alternative maps of
 //! the same data, drills into a region, and keeps going until the working set
-//! is small enough to inspect directly.
+//! is small enough to inspect directly. The session rides one prepared
+//! engine, so every step after the first reuses the build-time column
+//! statistics.
 //!
 //! Run with: `cargo run --release --example census_exploration`
 
@@ -12,7 +14,10 @@ use std::sync::Arc;
 
 fn main() {
     let table = Arc::new(CensusGenerator::with_rows(50_000, 7).generate());
-    let mut session = Session::with_defaults(Arc::clone(&table)).expect("valid configuration");
+    let engine = Atlas::builder(Arc::clone(&table))
+        .build()
+        .expect("valid configuration");
+    let mut session = Session::with_engine(engine);
 
     // Step 1: the analyst knows nothing — map everything.
     let step = session
@@ -67,4 +72,10 @@ fn main() {
     // Going back is cheap: the session keeps the whole history.
     session.back();
     println!("\nafter back(): depth = {}", session.depth());
+
+    let profile = session.engine().profile_stats();
+    println!(
+        "statistics profile over the whole session: {} hits, {} misses",
+        profile.hits, profile.misses
+    );
 }

@@ -24,11 +24,13 @@ fn main() {
         .filter(|name| *name != "class")
         .map(|s| s.to_string())
         .collect();
-    let config = AtlasConfig {
-        attributes: Some(attributes),
-        ..AtlasConfig::quality()
-    };
-    let atlas = Atlas::new(Arc::clone(&table), config).expect("valid configuration");
+    let atlas = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig {
+            attributes: Some(attributes),
+            ..AtlasConfig::quality()
+        })
+        .build()
+        .expect("valid configuration");
 
     let query = parse_query("SELECT * FROM photo_obj WHERE mag_r BETWEEN 10 AND 30")
         .expect("well-formed query");

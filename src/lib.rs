@@ -29,8 +29,11 @@
 //! // 1. Get a table (here: the synthetic census of the paper's intro).
 //! let table = Arc::new(CensusGenerator::with_rows(5_000, 42).generate());
 //!
-//! // 2. Build the engine with the paper's default configuration.
-//! let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+//! // 2. Build a *prepared* engine: per-column statistics (quantile
+//! //    sketches, distinct counts, null masks) are computed once, here,
+//! //    and shared by every subsequent exploration. The engine is
+//! //    `Send + Sync`, so one `Arc<Atlas>` can serve many threads.
+//! let atlas = Atlas::builder(Arc::clone(&table)).build().unwrap();
 //!
 //! // 3. Ask a question — Atlas answers with ranked data maps.
 //! let query = parse_query("SELECT * FROM census WHERE age BETWEEN 17 AND 90").unwrap();
@@ -39,6 +42,49 @@
 //! assert!(result.num_maps() >= 1);
 //! assert!(result.best().unwrap().map.num_regions() <= 8);
 //! println!("{}", render_result(&result));
+//!
+//! // 4. In a hurry? Stream the anytime refinement of Section 5.1: growing
+//! //    samples under a time budget, through the very same engine.
+//! let options = ExploreOptions::budgeted(std::time::Duration::from_millis(200));
+//! for step in atlas.explore_iter(&query, options).unwrap() {
+//!     let iteration = step.unwrap();
+//!     println!("{} rows sampled -> {} maps",
+//!              iteration.sample_size, iteration.result.num_maps());
+//! }
+//! ```
+//!
+//! # Extending the pipeline
+//!
+//! The four steps of the paper's framework — cut, cluster, merge, rank — are
+//! the traits `CutStrategy`, `MapDistance`, `MergePolicy` and `Ranker` of
+//! [`core::pipeline`]. [`Atlas::builder`](core::engine::AtlasBuilder) accepts
+//! a custom implementation for any step; the remaining steps keep the
+//! paper's algorithms:
+//!
+//! ```
+//! use atlas::prelude::*;
+//! use std::sync::Arc;
+//!
+//! /// Rank maps by how many attributes they combine, not by entropy.
+//! #[derive(Debug)]
+//! struct WidestFirst;
+//!
+//! impl Ranker for WidestFirst {
+//!     fn name(&self) -> &str { "widest-first" }
+//!     fn rank(&self, maps: Vec<DataMap>) -> Vec<RankedMap> {
+//!         let mut ranked: Vec<RankedMap> = maps
+//!             .into_iter()
+//!             .map(|map| RankedMap { score: map.source_attributes.len() as f64, map })
+//!             .collect();
+//!         ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+//!         ranked
+//!     }
+//! }
+//!
+//! let table = Arc::new(CensusGenerator::with_rows(2_000, 42).generate());
+//! let atlas = Atlas::builder(table).ranker(WidestFirst).build().unwrap();
+//! let result = atlas.explore(&parse_query("SELECT * FROM census").unwrap()).unwrap();
+//! assert!(result.num_maps() >= 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -56,9 +102,11 @@ pub mod prelude {
         Bitmap, Catalog, Column, DataType, Field, Schema, Table, TableBuilder, Value,
     };
     pub use atlas_core::{
-        AnytimeAtlas, AnytimeConfig, Atlas, AtlasConfig, CategoricalCutStrategy, CutConfig,
-        DataMap, MapDistanceMetric, MapResult, MergeStrategy, NumericCutStrategy, RankedMap,
-        Region,
+        AnytimeAtlas, AnytimeConfig, AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder,
+        AtlasConfig, CachedAtlas, CategoricalCutStrategy, CutConfig, CutStrategy, DataMap,
+        ExploreOptions, MapDistance, MapDistanceMetric, MapResult, MergePolicy, MergeStrategy,
+        NumericCutStrategy, PhaseTimings, PipelineContext, ProfileStats, RankedMap, Ranker, Region,
+        TableProfile,
     };
     pub use atlas_datagen::{CensusGenerator, MixtureGenerator, OrdersGenerator, SdssGenerator};
     pub use atlas_explorer::{render_map, render_result, MapQuality, ReadabilityReport, Session};

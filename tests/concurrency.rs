@@ -1,0 +1,136 @@
+//! Concurrency guarantees of the prepared engine.
+//!
+//! The redesign's contract: `Atlas::builder` yields a `Send + Sync` engine
+//! whose build-time statistics are shared across explorations, so one
+//! `Arc<Atlas>` can serve concurrent traffic. These tests pin the auto-trait
+//! bounds at compile time and check that concurrent explorations agree with
+//! single-threaded ones.
+
+use atlas::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn engine_types_are_send_and_sync() {
+    assert_send_sync::<Atlas>();
+    assert_send_sync::<AtlasBuilder>();
+    assert_send_sync::<Arc<Atlas>>();
+    assert_send_sync::<TableProfile>();
+    assert_send_sync::<MapResult>();
+}
+
+/// The signature a comparison needs: deterministic per map, order included.
+fn fingerprint(result: &MapResult) -> Vec<(Vec<String>, Vec<u64>, f64)> {
+    result
+        .maps
+        .iter()
+        .map(|ranked| {
+            (
+                ranked.map.source_attributes.clone(),
+                ranked.map.region_counts(),
+                ranked.score,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_explorations_agree_with_single_threaded_results() {
+    const THREADS: usize = 6;
+    let table = Arc::new(CensusGenerator::with_rows(6_000, 42).generate());
+    let atlas = Arc::new(
+        Atlas::builder(Arc::clone(&table))
+            .build()
+            .expect("default config is valid"),
+    );
+
+    // Each thread gets its own query; queries repeat across threads so the
+    // shared profile is hit concurrently from several threads at once.
+    let queries: Vec<ConjunctiveQuery> = (0..THREADS)
+        .map(|i| match i % 3 {
+            0 => ConjunctiveQuery::all("census"),
+            1 => ConjunctiveQuery::all("census").and(Predicate::range("age", 17.0, 45.0)),
+            _ => ConjunctiveQuery::all("census").and(Predicate::values("sex", ["Male"])),
+        })
+        .collect();
+
+    // Reference: the same queries, answered sequentially.
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| fingerprint(&atlas.explore(q).expect("sequential exploration succeeds")))
+        .collect();
+
+    let concurrent: Vec<_> = thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|query| {
+                let engine = Arc::clone(&atlas);
+                scope.spawn(move || {
+                    fingerprint(
+                        &engine
+                            .explore(query)
+                            .expect("concurrent exploration succeeds"),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no exploration thread panics"))
+            .collect()
+    });
+
+    for (i, (seq, conc)) in expected.iter().zip(concurrent.iter()).enumerate() {
+        assert_eq!(seq, conc, "thread {i} diverged from the sequential result");
+    }
+}
+
+#[test]
+fn concurrent_anytime_runs_share_one_engine() {
+    let table = Arc::new(CensusGenerator::with_rows(4_000, 7).generate());
+    let atlas = Arc::new(
+        Atlas::builder(Arc::clone(&table))
+            .build()
+            .expect("default config is valid"),
+    );
+    let options = ExploreOptions {
+        initial_sample: 250,
+        growth_factor: 4.0,
+        ..ExploreOptions::exhaustive()
+    };
+
+    let outcomes: Vec<AnytimeResult> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&atlas);
+                let options = options.clone();
+                scope.spawn(move || {
+                    engine
+                        .explore_anytime(&ConjunctiveQuery::all("census"), options)
+                        .expect("anytime run succeeds")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no anytime thread panics"))
+            .collect()
+    });
+
+    // Identical options + identical seed => identical iteration ladders.
+    for outcome in &outcomes {
+        assert!(outcome.reached_full_data);
+        assert_eq!(
+            outcome.iterations.len(),
+            outcomes[0].iterations.len(),
+            "seeded sampling is deterministic across threads"
+        );
+        let final_result = &outcome.best().expect("at least one iteration").result;
+        assert_eq!(
+            fingerprint(final_result),
+            fingerprint(&outcomes[0].best().unwrap().result)
+        );
+    }
+}

@@ -10,10 +10,10 @@ use std::sync::Arc;
 
 #[test]
 fn prelude_exports_the_documented_api() {
-    // CensusGenerator + Atlas + AtlasConfig.
+    // CensusGenerator + the builder API: Atlas::builder -> AtlasBuilder -> Atlas.
     let table: Arc<Table> = Arc::new(CensusGenerator::with_rows(500, 7).generate());
-    let config = AtlasConfig::default();
-    let atlas: Atlas = Atlas::new(Arc::clone(&table), config).expect("default config is valid");
+    let builder: AtlasBuilder = Atlas::builder(Arc::clone(&table)).config(AtlasConfig::default());
+    let atlas: Atlas = builder.build().expect("default config is valid");
 
     // parse_query produces a ConjunctiveQuery usable by the engine.
     let query: ConjunctiveQuery =
@@ -22,11 +22,80 @@ fn prelude_exports_the_documented_api() {
     let result = atlas.explore(&query).expect("exploration succeeds");
     assert!(result.num_maps() >= 1);
 
+    // The build-time statistics profile is reachable through the prelude.
+    let stats: ProfileStats = atlas.profile_stats();
+    assert!(stats.hits + stats.misses > 0);
+
     // DataMap is reachable by name, and render_result works on the result.
     let best: &DataMap = &result.best().expect("at least one map").map;
     assert!(best.num_regions() >= 2);
     let rendered = render_result(&result);
     assert!(!rendered.is_empty());
+}
+
+#[test]
+fn prelude_exports_the_anytime_surface() {
+    let table: Arc<Table> = Arc::new(CensusGenerator::with_rows(2_000, 7).generate());
+    let atlas = Atlas::builder(Arc::clone(&table))
+        .build()
+        .expect("default config is valid");
+    let query = parse_query("SELECT * FROM census").expect("query parses");
+
+    // ExploreOptions + explore_iter stream AnytimeIterations.
+    let options = ExploreOptions {
+        initial_sample: 200,
+        ..ExploreOptions::exhaustive()
+    };
+    let mut last: Option<AnytimeIteration> = None;
+    for step in atlas
+        .explore_iter(&query, options.clone())
+        .expect("iterator starts")
+    {
+        last = Some(step.expect("iteration succeeds"));
+    }
+    assert_eq!(last.expect("at least one iteration").sample_size, 2_000);
+
+    // The blocking form returns an AnytimeResult.
+    let outcome: AnytimeResult = atlas
+        .explore_anytime(&query, options)
+        .expect("anytime run succeeds");
+    assert!(outcome.reached_full_data);
+}
+
+#[test]
+fn prelude_exports_the_pipeline_traits() {
+    // The stage traits are nameable from the prelude, so user code can write
+    // custom implementations against `use atlas::prelude::*` alone.
+    #[derive(Debug)]
+    struct FewestRegionsFirst;
+    impl Ranker for FewestRegionsFirst {
+        fn name(&self) -> &str {
+            "fewest-regions-first"
+        }
+        fn rank(&self, maps: Vec<DataMap>) -> Vec<RankedMap> {
+            let mut ranked: Vec<RankedMap> = maps
+                .into_iter()
+                .map(|map| RankedMap {
+                    score: -(map.num_regions() as f64),
+                    map,
+                })
+                .collect();
+            ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+            ranked
+        }
+    }
+
+    let table: Arc<Table> = Arc::new(CensusGenerator::with_rows(500, 7).generate());
+    let atlas = Atlas::builder(Arc::clone(&table))
+        .ranker(FewestRegionsFirst)
+        .build()
+        .expect("custom ranker builds");
+    let result = atlas
+        .explore(&parse_query("SELECT * FROM census").expect("query parses"))
+        .expect("exploration succeeds");
+    for pair in result.maps.windows(2) {
+        assert!(pair[0].map.num_regions() <= pair[1].map.num_regions());
+    }
 }
 
 #[test]
