@@ -8,6 +8,38 @@ use atlas_query::ConjunctiveQuery;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
+/// Candidate generation at 20k / 100k census rows, through a prepared engine
+/// (the phase the fused select kernels and the thread pool target). Phase
+/// regressions show up here without running the whole pipeline.
+fn bench_candidate_generation_scale(c: &mut Criterion) {
+    use atlas_core::{Atlas, AtlasConfig};
+    use std::sync::Arc;
+    let mut group = c.benchmark_group("e6_candidates_vs_rows");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for rows in [20_000usize, 100_000] {
+        let table = census(rows);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("census");
+        for (name, parallelism) in [("seq", 1), ("par", AtlasConfig::default().parallelism)] {
+            let atlas = Atlas::builder(Arc::clone(&table))
+                .config(AtlasConfig::fast().with_parallelism(parallelism))
+                .build()
+                .expect("valid config");
+            group.bench_with_input(BenchmarkId::new(name, rows), &atlas, |b, atlas| {
+                b.iter(|| {
+                    atlas
+                        .candidates(&query, &working)
+                        .expect("candidate generation succeeds")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_candidate_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_candidates_vs_splits");
     group
@@ -32,5 +64,9 @@ fn bench_candidate_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_candidate_generation);
+criterion_group!(
+    benches,
+    bench_candidate_generation,
+    bench_candidate_generation_scale
+);
 criterion_main!(benches);

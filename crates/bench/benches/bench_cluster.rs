@@ -34,6 +34,52 @@ fn bench_distance_matrix(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pairwise distance matrix at 20k / 100k rows (12 candidate maps),
+/// sequentially and on the pool — the phase the fused bitmap-contingency
+/// kernel targets.
+fn bench_distance_matrix_scale(c: &mut Criterion) {
+    use atlas_core::{distance_matrix_with_pool, ThreadPool};
+    let mut group = c.benchmark_group("e3_distance_matrix_vs_rows");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for rows in [20_000usize, 100_000] {
+        let table = wide_numeric(rows, 12);
+        let working = table.full_selection();
+        let query = ConjunctiveQuery::all("wide");
+        let candidates = generate_candidates(&table, &working, &query, None, &CutConfig::default())
+            .expect("candidates");
+        group.bench_with_input(
+            BenchmarkId::new("seq", rows),
+            &candidates.maps,
+            |b, maps| {
+                b.iter(|| distance_matrix(maps, table.num_rows(), MapDistanceMetric::NormalizedVI))
+            },
+        );
+        let pool = ThreadPool::new(minirayon_threads());
+        group.bench_with_input(
+            BenchmarkId::new("par", rows),
+            &candidates.maps,
+            |b, maps| {
+                b.iter(|| {
+                    distance_matrix_with_pool(
+                        maps,
+                        table.num_rows(),
+                        MapDistanceMetric::NormalizedVI,
+                        &pool,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn minirayon_threads() -> usize {
+    atlas_core::AtlasConfig::default().parallelism
+}
+
 fn bench_linkages(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_agglomerative_linkage");
     group
@@ -65,5 +111,10 @@ fn bench_linkages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_distance_matrix, bench_linkages);
+criterion_group!(
+    benches,
+    bench_distance_matrix,
+    bench_distance_matrix_scale,
+    bench_linkages
+);
 criterion_main!(benches);

@@ -27,7 +27,7 @@ fn main() {
     // `bench-smoke [path]` — the CI perf-trajectory mode — writes a small
     // JSON report instead of printing the experiment tables.
     if raw_args.first().map(String::as_str) == Some("bench-smoke") {
-        let path = raw_args.get(1).map_or("BENCH_PR2.json", String::as_str);
+        let path = raw_args.get(1).map_or("BENCH_PR3.json", String::as_str);
         bench_smoke(path);
         return;
     }
@@ -570,13 +570,11 @@ fn timings_json(t: &PhaseTimings) -> String {
     )
 }
 
-/// The CI perf-trajectory smoke run: a small build-once/explore-many workload
-/// on the prepared engine, reported as JSON (`PhaseTimings` per exploration
-/// plus the statistics-profile counters that prove the second exploration
-/// recomputed nothing).
-fn bench_smoke(path: &str) {
-    const ROWS: usize = 20_000;
-    let table = census(ROWS);
+/// One bench-smoke scale point: explore the census at `rows` with the fast
+/// configuration, sequentially and with the default parallelism, and take the
+/// best of `repeats` runs (the steady-state figure CI cares about).
+fn smoke_scale_point(rows: usize, repeats: usize) -> String {
+    let table = census(rows);
     let query = ConjunctiveQuery::all("census");
 
     let build_start = Instant::now();
@@ -586,39 +584,139 @@ fn bench_smoke(path: &str) {
         .expect("valid config");
     let build_ms = build_start.elapsed().as_secs_f64() * 1000.0;
 
-    let first = atlas.explore(&query).expect("first exploration succeeds");
-    let profile_after_first = atlas.profile_stats();
-    let second = atlas.explore(&query).expect("second exploration succeeds");
-    let profile_after_second = atlas.profile_stats();
+    let sequential = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig::fast().with_parallelism(1))
+        .build()
+        .expect("valid config");
+
+    let best_of = |engine: &Atlas| {
+        let mut best: Option<atlas_core::MapResult> = None;
+        for _ in 0..repeats {
+            let result = engine.explore(&query).expect("exploration succeeds");
+            if best
+                .as_ref()
+                .is_none_or(|b| result.timings.total_ms < b.timings.total_ms)
+            {
+                best = Some(result);
+            }
+        }
+        best.expect("at least one exploration ran")
+    };
+
+    let parallel_result = best_of(&atlas);
+    let sequential_result = best_of(&sequential);
+
+    // The parallelism knob must not change the answer: same maps, same
+    // attribute groups, same region populations, bit-identical scores.
+    assert_eq!(parallel_result.num_maps(), sequential_result.num_maps());
+    for (p, s) in parallel_result
+        .maps
+        .iter()
+        .zip(sequential_result.maps.iter())
+    {
+        assert_eq!(p.map.source_attributes, s.map.source_attributes);
+        assert_eq!(p.map.region_counts(), s.map.region_counts());
+        assert_eq!(p.score.to_bits(), s.score.to_bits());
+    }
+
+    let profile = atlas.profile_stats();
     assert_eq!(
-        profile_after_first.misses, profile_after_second.misses,
-        "the second explore on a prepared engine must not recompute statistics"
+        profile.misses, 0,
+        "whole-table smoke explorations must be pure profile hits"
     );
 
-    // The rebuild-per-query cost, for the trajectory's before/after contrast.
-    let rebuild_start = Instant::now();
-    let rebuilt = Atlas::builder(Arc::clone(&table))
-        .config(AtlasConfig::fast())
-        .build()
-        .expect("valid config")
-        .explore(&query)
-        .expect("rebuilt exploration succeeds");
-    let rebuild_total_ms = rebuild_start.elapsed().as_secs_f64() * 1000.0;
+    format!(
+        "    {{\"rows\": {rows}, \"build_ms\": {build_ms:.3}, \"explore\": {}, \
+         \"explore_seq\": {}, \"maps\": {}}}",
+        timings_json(&parallel_result.timings),
+        timings_json(&sequential_result.timings),
+        parallel_result.num_maps(),
+    )
+}
+
+/// Pull `"key": <number>` out of a JSON report the cheap way (the reports are
+/// flat enough that the first occurrence is the headline 20k-row figure).
+fn find_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Print a phase-by-phase delta table against the most recent previous
+/// `BENCH_*.json`, so CI logs show the perf trajectory at a glance.
+fn print_phase_deltas(previous_path: &str, previous: &str, current: &str) {
+    println!("\nphase deltas vs {previous_path} (headline 20k-row point):");
+    println!("| phase | previous ms | current ms | delta |");
+    println!("|-------|-------------|------------|-------|");
+    for phase in [
+        "query_ms",
+        "candidates_ms",
+        "clustering_ms",
+        "merge_ms",
+        "rank_ms",
+        "total_ms",
+        "build_ms",
+    ] {
+        match (find_number(previous, phase), find_number(current, phase)) {
+            (Some(before), Some(after)) if before > 0.0 => {
+                let delta = (after - before) / before * 100.0;
+                println!("| {phase} | {before:.3} | {after:.3} | {delta:+.1}% |");
+            }
+            (Some(before), Some(after)) => {
+                println!("| {phase} | {before:.3} | {after:.3} | — |");
+            }
+            _ => println!("| {phase} | — | — | — |"),
+        }
+    }
+}
+
+/// The CI perf-trajectory smoke run: the prepared-engine census workload at
+/// three scales (20k, 100k and the new 1M-row point), each explored both
+/// sequentially (`parallelism = 1`) and with the default parallelism,
+/// reported as JSON. When an earlier `BENCH_*.json` is present, a
+/// phase-by-phase delta table is printed so CI logs show the trajectory.
+fn bench_smoke(path: &str) {
+    let scale_points = [(20_000usize, 5usize), (100_000, 5), (1_000_000, 2)];
+    let scales: Vec<String> = scale_points
+        .iter()
+        .map(|&(rows, repeats)| smoke_scale_point(rows, repeats))
+        .collect();
 
     let json = format!(
-        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 2,\n  \"dataset\": \"census\",\n  \
-         \"rows\": {ROWS},\n  \"config\": \"fast\",\n  \"build_ms\": {build_ms:.3},\n  \
-         \"first_explore\": {},\n  \"second_explore\": {},\n  \
-         \"rebuild_per_query_total_ms\": {rebuild_total_ms:.3},\n  \
-         \"profile\": {{\"hits\": {}, \"misses\": {}}},\n  \"maps\": {}\n}}\n",
-        timings_json(&first.timings),
-        timings_json(&second.timings),
-        profile_after_second.hits,
-        profile_after_second.misses,
-        second.num_maps(),
+        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 3,\n  \"dataset\": \"census\",\n  \
+         \"config\": \"fast\",\n  \"parallelism\": {},\n  \"scale\": [\n{}\n  ]\n}}\n",
+        AtlasConfig::default().parallelism,
+        scales.join(",\n"),
     );
+
+    // Perf trajectory: compare against the most recent previous report
+    // (excluded by basename, so "./BENCH_PR3.json" never deltas against its
+    // own previous output).
+    let own_name = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let previous = std::fs::read_dir(".")
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json") && *name != own_name)
+        // Length-before-lexicographic so BENCH_PR10.json outranks
+        // BENCH_PR9.json once PR numbers reach double digits.
+        .max_by_key(|name| (name.len(), name.clone()));
+
     std::fs::write(path, &json).expect("bench-smoke report is writable");
     println!("wrote {path}:");
     print!("{json}");
-    let _ = rebuilt;
+    if let Some(previous_path) = previous {
+        if let Ok(previous_text) = std::fs::read_to_string(&previous_path) {
+            print_phase_deltas(&previous_path, &previous_text, &json);
+        }
+    }
 }

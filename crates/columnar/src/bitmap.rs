@@ -211,9 +211,72 @@ impl Bitmap {
         }
     }
 
+    /// Call `f` with the index of every set bit, in increasing order.
+    ///
+    /// This is the streaming form of [`Bitmap::iter_ones`]: it skips all-zero
+    /// words a whole `u64` at a time and compiles to a tight loop, so scan
+    /// kernels can visit a selection without materialising an index vector.
+    #[inline]
+    pub fn for_each_one(&self, mut f: impl FnMut(usize)) {
+        for (word_idx, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(word_idx * WORD_BITS + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Build the sub-selection of this bitmap whose set bits satisfy `keep`.
+    ///
+    /// The fused filter kernel behind `Column::select_range` /
+    /// `Column::select_in`: output words are assembled directly (no per-bit
+    /// bounds checks or index arithmetic on the result), and all-zero input
+    /// words are skipped a whole `u64` at a time.
+    #[inline]
+    pub fn filter_ones(&self, mut keep: impl FnMut(usize) -> bool) -> Bitmap {
+        let mut out = Bitmap::new_empty(self.len);
+        for (word_idx, (&word, out_word)) in self.words.iter().zip(out.words.iter_mut()).enumerate()
+        {
+            let mut bits = word;
+            let mut acc = 0u64;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                if keep(word_idx * WORD_BITS + bit as usize) {
+                    acc |= 1u64 << bit;
+                }
+                bits &= bits - 1;
+            }
+            *out_word = acc;
+        }
+        out
+    }
+
+    /// Build a bitmap over `len` rows from a per-row predicate, assembling
+    /// whole words at a time (the fused form of [`Bitmap::from_indices`] for
+    /// dense constructions like null masks).
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Bitmap {
+        let mut bm = Bitmap::new_empty(len);
+        for (word_idx, word) in bm.words.iter_mut().enumerate() {
+            let base = word_idx * WORD_BITS;
+            let top = WORD_BITS.min(len - base);
+            let mut acc = 0u64;
+            for bit in 0..top {
+                if f(base + bit) {
+                    acc |= 1u64 << bit;
+                }
+            }
+            *word = acc;
+        }
+        bm
+    }
+
     /// Collect the indices of set bits into a vector.
     pub fn to_indices(&self) -> Vec<usize> {
-        self.iter_ones().collect()
+        let mut out = Vec::with_capacity(self.count());
+        self.for_each_one(|idx| out.push(idx));
+        out
     }
 
     /// Zero out any bits beyond `len` in the last word so `count` stays exact.
@@ -338,6 +401,68 @@ mod tests {
         let idx = vec![0, 7, 63, 64, 65, 127, 128, 199];
         let bm = Bitmap::from_indices(200, idx.clone());
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn iter_ones_on_empty_full_and_zero_length_bitmaps() {
+        assert_eq!(Bitmap::new_empty(0).iter_ones().count(), 0);
+        assert_eq!(Bitmap::new_empty(200).iter_ones().count(), 0);
+        let full = Bitmap::new_full(200);
+        assert_eq!(
+            full.iter_ones().collect::<Vec<_>>(),
+            (0..200).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn iter_ones_handles_word_boundaries_and_trailing_partial_word() {
+        // Bits on both sides of every word boundary of a 3-word bitmap.
+        let idx = vec![0, 62, 63, 64, 65, 126, 127, 128, 129];
+        let bm = Bitmap::from_indices(130, idx.clone());
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), idx);
+        // A bitmap whose length is an exact multiple of the word size.
+        let exact = Bitmap::new_full(128);
+        assert_eq!(exact.iter_ones().count(), 128);
+        assert_eq!(exact.iter_ones().last(), Some(127));
+        // The last set bit of a trailing partial word is reachable.
+        let tail = Bitmap::from_indices(70, [69]);
+        assert_eq!(tail.iter_ones().collect::<Vec<_>>(), vec![69]);
+        // Bits masked off beyond `len` never appear (full + not round-trips).
+        let full = Bitmap::new_full(70);
+        assert_eq!(full.not().iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn for_each_one_matches_iter_ones() {
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bm = Bitmap::from_indices(len, (0..len).filter(|i| i % 7 == 3));
+            let mut streamed = Vec::new();
+            bm.for_each_one(|idx| streamed.push(idx));
+            assert_eq!(streamed, bm.iter_ones().collect::<Vec<_>>(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn filter_ones_builds_the_kept_subselection() {
+        let bm = Bitmap::from_indices(200, [0, 5, 63, 64, 100, 150, 199]);
+        let kept = bm.filter_ones(|idx| idx % 2 == 0);
+        assert_eq!(kept.to_indices(), vec![0, 64, 100, 150]);
+        assert_eq!(kept.len(), 200);
+        // Filtering nothing or everything round-trips.
+        assert_eq!(bm.filter_ones(|_| true), bm);
+        assert!(bm.filter_ones(|_| false).is_all_clear());
+    }
+
+    #[test]
+    fn from_fn_matches_from_bools() {
+        for len in [0usize, 1, 64, 65, 130] {
+            let bools: Vec<bool> = (0..len).map(|i| i % 3 == 1).collect();
+            assert_eq!(
+                Bitmap::from_fn(len, |i| bools[i]),
+                Bitmap::from_bools(&bools),
+                "len={len}"
+            );
+        }
     }
 
     #[test]

@@ -41,17 +41,15 @@ impl ColumnStats {
             Column::Int(values) => {
                 let mut distinct: HashSet<i64> = HashSet::new();
                 let mut welford = Welford::new();
-                for idx in sel.iter_ones() {
-                    match values.get(idx) {
-                        Some(Some(x)) => {
-                            non_null += 1;
-                            distinct.insert(*x);
-                            welford.push(*x as f64);
-                        }
-                        Some(None) => nulls += 1,
-                        None => {}
+                sel.for_each_one(|idx| match values.get(idx) {
+                    Some(Some(x)) => {
+                        non_null += 1;
+                        distinct.insert(*x);
+                        welford.push(*x as f64);
                     }
-                }
+                    Some(None) => nulls += 1,
+                    None => {}
+                });
                 ColumnStats {
                     dtype,
                     non_null_count: non_null,
@@ -66,17 +64,15 @@ impl ColumnStats {
             Column::Float(values) => {
                 let mut distinct: HashSet<u64> = HashSet::new();
                 let mut welford = Welford::new();
-                for idx in sel.iter_ones() {
-                    match values.get(idx) {
-                        Some(Some(x)) => {
-                            non_null += 1;
-                            distinct.insert(x.to_bits());
-                            welford.push(*x);
-                        }
-                        Some(None) => nulls += 1,
-                        None => {}
+                sel.for_each_one(|idx| match values.get(idx) {
+                    Some(Some(x)) => {
+                        non_null += 1;
+                        distinct.insert(x.to_bits());
+                        welford.push(*x);
                     }
-                }
+                    Some(None) => nulls += 1,
+                    None => {}
+                });
                 ColumnStats {
                     dtype,
                     non_null_count: non_null,
@@ -90,9 +86,9 @@ impl ColumnStats {
             }
             Column::Str(d) => {
                 let mut distinct: HashSet<u32> = HashSet::new();
-                for idx in sel.iter_ones() {
+                sel.for_each_one(|idx| {
                     if idx >= d.len() {
-                        continue;
+                        return;
                     }
                     let code = d.code(idx);
                     if code == NULL_CODE {
@@ -101,7 +97,7 @@ impl ColumnStats {
                         non_null += 1;
                         distinct.insert(code);
                     }
-                }
+                });
                 ColumnStats {
                     dtype,
                     non_null_count: non_null,
@@ -116,20 +112,18 @@ impl ColumnStats {
             Column::Bool(values) => {
                 let mut seen_true = false;
                 let mut seen_false = false;
-                for idx in sel.iter_ones() {
-                    match values.get(idx) {
-                        Some(Some(true)) => {
-                            non_null += 1;
-                            seen_true = true;
-                        }
-                        Some(Some(false)) => {
-                            non_null += 1;
-                            seen_false = true;
-                        }
-                        Some(None) => nulls += 1,
-                        None => {}
+                sel.for_each_one(|idx| match values.get(idx) {
+                    Some(Some(true)) => {
+                        non_null += 1;
+                        seen_true = true;
                     }
-                }
+                    Some(Some(false)) => {
+                        non_null += 1;
+                        seen_false = true;
+                    }
+                    Some(None) => nulls += 1,
+                    None => {}
+                });
                 ColumnStats {
                     dtype,
                     non_null_count: non_null,

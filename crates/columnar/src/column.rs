@@ -256,20 +256,16 @@ impl Column {
     pub fn numeric_values_where(&self, sel: &Bitmap) -> Vec<f64> {
         let mut out = Vec::with_capacity(sel.count().min(self.len()));
         match self {
-            Column::Int(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        out.push(*x as f64);
-                    }
+            Column::Int(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    out.push(*x as f64);
                 }
-            }
-            Column::Float(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        out.push(*x);
-                    }
+            }),
+            Column::Float(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    out.push(*x);
                 }
-            }
+            }),
             _ => {}
         }
         out
@@ -278,83 +274,220 @@ impl Column {
     /// Select the rows whose numeric value lies in `[lo, hi]` (inclusive),
     /// restricted to `sel`. NULLs never match. Non-numeric columns return an
     /// empty selection.
+    ///
+    /// Fused kernel: the selection is walked word-by-word (all-zero words are
+    /// skipped) and result words are assembled directly.
     pub fn select_range(&self, sel: &Bitmap, lo: f64, hi: f64) -> Bitmap {
-        let mut out = Bitmap::new_empty(sel.len());
         match self {
-            Column::Int(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        let x = *x as f64;
-                        if x >= lo && x <= hi {
-                            out.set(idx);
-                        }
-                    }
+            Column::Int(v) => sel.filter_ones(|idx| match v.get(idx) {
+                Some(Some(x)) => {
+                    let x = *x as f64;
+                    x >= lo && x <= hi
                 }
-            }
-            Column::Float(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        if *x >= lo && *x <= hi {
-                            out.set(idx);
-                        }
-                    }
-                }
-            }
-            _ => {}
+                _ => false,
+            }),
+            Column::Float(v) => sel.filter_ones(|idx| match v.get(idx) {
+                Some(Some(x)) => *x >= lo && *x <= hi,
+                _ => false,
+            }),
+            _ => Bitmap::new_empty(sel.len()),
         }
-        out
     }
 
     /// Select the rows whose categorical value is in `values`, restricted to
     /// `sel`. For boolean columns the values `"true"` / `"false"` are honoured.
     /// NULLs never match. Numeric columns match on the decimal rendering of the
     /// value, so set predicates degrade gracefully on integers.
-    pub fn select_in(&self, sel: &Bitmap, values: &[String]) -> Bitmap {
-        let mut out = Bitmap::new_empty(sel.len());
+    pub fn select_in<S: AsRef<str>>(&self, sel: &Bitmap, values: &[S]) -> Bitmap {
+        self.select_in_iter(sel, values.iter().map(S::as_ref))
+    }
+
+    /// [`Column::select_in`] over a borrowed value iterator (no value-set
+    /// clone required).
+    ///
+    /// The value set is resolved **once**, before the scan: to dictionary
+    /// codes for string columns (membership is then one indexed load per row,
+    /// never a string comparison), to native `i64`s for integer columns, and
+    /// to rendered-string sets for float columns. The scan itself is the fused
+    /// word-by-word filter of [`Bitmap::filter_ones`].
+    pub fn select_in_iter<'v, I>(&self, sel: &Bitmap, values: I) -> Bitmap
+    where
+        I: IntoIterator<Item = &'v str>,
+    {
         match self {
             Column::Str(d) => {
-                let codes: Vec<u32> = values.iter().filter_map(|v| d.code_of(v)).collect();
+                // Resolve the value set to sorted dictionary codes once: the
+                // setup cost is O(|values| log |values|) regardless of the
+                // dictionary's cardinality, and each row is one binary search
+                // over the (typically tiny) code set — never a string compare.
+                let mut codes: Vec<u32> = values.into_iter().filter_map(|v| d.code_of(v)).collect();
                 if codes.is_empty() {
-                    return out;
+                    return Bitmap::new_empty(sel.len());
                 }
-                for idx in sel.iter_ones() {
-                    let c = d.code(idx);
-                    if c != NULL_CODE && codes.contains(&c) {
-                        out.set(idx);
-                    }
-                }
+                codes.sort_unstable();
+                sel.filter_ones(|idx| {
+                    let code = d.code(idx);
+                    code != NULL_CODE && codes.binary_search(&code).is_ok()
+                })
             }
             Column::Bool(v) => {
-                let want_true = values.iter().any(|s| s.eq_ignore_ascii_case("true"));
-                let want_false = values.iter().any(|s| s.eq_ignore_ascii_case("false"));
-                for idx in sel.iter_ones() {
-                    match v.get(idx) {
-                        Some(Some(true)) if want_true => out.set(idx),
-                        Some(Some(false)) if want_false => out.set(idx),
-                        _ => {}
-                    }
+                let mut want_true = false;
+                let mut want_false = false;
+                for s in values {
+                    want_true |= s.eq_ignore_ascii_case("true");
+                    want_false |= s.eq_ignore_ascii_case("false");
                 }
+                sel.filter_ones(|idx| match v.get(idx) {
+                    Some(Some(true)) => want_true,
+                    Some(Some(false)) => want_false,
+                    _ => false,
+                })
             }
             Column::Int(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        if values.iter().any(|s| s == &x.to_string()) {
-                            out.set(idx);
-                        }
-                    }
+                // Parse the value set once; the round-trip check keeps the
+                // semantics of decimal-rendering equality (e.g. "007" or "+7"
+                // still never match the value 7).
+                let wanted: Vec<i64> = values
+                    .into_iter()
+                    .filter_map(|s| s.parse::<i64>().ok().filter(|x| x.to_string() == s))
+                    .collect();
+                if wanted.is_empty() {
+                    return Bitmap::new_empty(sel.len());
                 }
+                sel.filter_ones(|idx| match v.get(idx) {
+                    Some(Some(x)) => wanted.contains(x),
+                    _ => false,
+                })
             }
             Column::Float(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        if values.iter().any(|s| s == &x.to_string()) {
-                            out.set(idx);
+                let wanted: std::collections::HashSet<&str> = values.into_iter().collect();
+                if wanted.is_empty() {
+                    return Bitmap::new_empty(sel.len());
+                }
+                sel.filter_ones(|idx| match v.get(idx) {
+                    Some(Some(x)) => wanted.contains(x.to_string().as_str()),
+                    _ => false,
+                })
+            }
+        }
+    }
+
+    /// Partition the selected rows into one selection per numeric range, in a
+    /// **single pass** over the column (instead of one
+    /// [`Column::select_range`] scan per region).
+    ///
+    /// `bounds` are inclusive `[lo, hi]` intervals and must be pairwise
+    /// disjoint (each row is assigned to the first interval containing its
+    /// value — for disjoint intervals, the only one). NULLs fall into no
+    /// region; non-numeric columns return all-empty selections.
+    pub fn select_ranges(&self, sel: &Bitmap, bounds: &[(f64, f64)]) -> Vec<Bitmap> {
+        let mut out: Vec<Bitmap> = bounds
+            .iter()
+            .map(|_| Bitmap::new_empty(sel.len()))
+            .collect();
+        let mut assign = |idx: usize, x: f64| {
+            for (region, &(lo, hi)) in out.iter_mut().zip(bounds) {
+                if x >= lo && x <= hi {
+                    region.set(idx);
+                    break;
+                }
+            }
+        };
+        match self {
+            Column::Int(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    assign(idx, *x as f64);
+                }
+            }),
+            Column::Float(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    assign(idx, *x);
+                }
+            }),
+            _ => {}
+        }
+        out
+    }
+
+    /// Partition the selected rows into one selection per value group, in a
+    /// **single pass** over the column (instead of one [`Column::select_in`]
+    /// scan per group).
+    ///
+    /// Groups must be pairwise disjoint value sets. String columns resolve
+    /// every group to dictionary codes once and then do one indexed lookup
+    /// per row; boolean columns honour `"true"` / `"false"`. Numeric columns
+    /// fall back to one [`Column::select_in`] pass per group (set predicates
+    /// on numeric columns are a degraded edge case, not a hot path).
+    pub fn select_in_groups(&self, sel: &Bitmap, groups: &[Vec<String>]) -> Vec<Bitmap> {
+        match self {
+            Column::Str(d) => {
+                // code → group index (usize::MAX = no group), resolved once.
+                const NO_GROUP: usize = usize::MAX;
+                let mut group_of = vec![NO_GROUP; d.cardinality()];
+                for (g, group) in groups.iter().enumerate() {
+                    for value in group {
+                        if let Some(code) = d.code_of(value) {
+                            group_of[code as usize] = g;
                         }
                     }
                 }
+                let mut out: Vec<Bitmap> = groups
+                    .iter()
+                    .map(|_| Bitmap::new_empty(sel.len()))
+                    .collect();
+                sel.for_each_one(|idx| {
+                    let code = d.code(idx);
+                    if code != NULL_CODE {
+                        let g = group_of[code as usize];
+                        if g != NO_GROUP {
+                            out[g].set(idx);
+                        }
+                    }
+                });
+                out
             }
+            Column::Bool(v) => {
+                let group_of_bool = |value: bool| {
+                    groups.iter().position(|group| {
+                        group
+                            .iter()
+                            .any(|s| s.eq_ignore_ascii_case(if value { "true" } else { "false" }))
+                    })
+                };
+                let true_group = group_of_bool(true);
+                let false_group = group_of_bool(false);
+                let mut out: Vec<Bitmap> = groups
+                    .iter()
+                    .map(|_| Bitmap::new_empty(sel.len()))
+                    .collect();
+                sel.for_each_one(|idx| {
+                    let target = match v.get(idx) {
+                        Some(Some(true)) => true_group,
+                        Some(Some(false)) => false_group,
+                        _ => None,
+                    };
+                    if let Some(g) = target {
+                        out[g].set(idx);
+                    }
+                });
+                out
+            }
+            _ => groups
+                .iter()
+                .map(|group| self.select_in(sel, group))
+                .collect(),
         }
-        out
+    }
+
+    /// The rows holding a non-NULL value, as a bitmap over the column's rows
+    /// (the inverted null mask), assembled a word at a time.
+    pub fn non_null_mask(&self) -> Bitmap {
+        match self {
+            Column::Int(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
+            Column::Float(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
+            Column::Str(d) => Bitmap::from_fn(d.len(), |idx| d.code(idx) != NULL_CODE),
+            Column::Bool(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
+        }
     }
 
     /// The distinct categorical values of the rows selected by `sel`, ordered
@@ -365,12 +498,12 @@ impl Column {
         match self {
             Column::Str(d) => {
                 let mut counts: Vec<usize> = vec![0; d.cardinality()];
-                for idx in sel.iter_ones() {
+                sel.for_each_one(|idx| {
                     let c = d.code(idx);
                     if c != NULL_CODE {
                         counts[c as usize] += 1;
                     }
-                }
+                });
                 let mut pairs: Vec<(String, usize)> = counts
                     .into_iter()
                     .enumerate()
@@ -383,13 +516,11 @@ impl Column {
             Column::Bool(v) => {
                 let mut t = 0usize;
                 let mut f = 0usize;
-                for idx in sel.iter_ones() {
-                    match v.get(idx) {
-                        Some(Some(true)) => t += 1,
-                        Some(Some(false)) => f += 1,
-                        _ => {}
-                    }
-                }
+                sel.for_each_one(|idx| match v.get(idx) {
+                    Some(Some(true)) => t += 1,
+                    Some(Some(false)) => f += 1,
+                    _ => {}
+                });
                 let mut pairs = Vec::new();
                 if t > 0 {
                     pairs.push(("true".to_string(), t));
@@ -410,25 +541,21 @@ impl Column {
         let mut max = f64::NEG_INFINITY;
         let mut seen = false;
         match self {
-            Column::Int(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        let x = *x as f64;
-                        min = min.min(x);
-                        max = max.max(x);
-                        seen = true;
-                    }
+            Column::Int(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    let x = *x as f64;
+                    min = min.min(x);
+                    max = max.max(x);
+                    seen = true;
                 }
-            }
-            Column::Float(v) => {
-                for idx in sel.iter_ones() {
-                    if let Some(Some(x)) = v.get(idx) {
-                        min = min.min(*x);
-                        max = max.max(*x);
-                        seen = true;
-                    }
+            }),
+            Column::Float(v) => sel.for_each_one(|idx| {
+                if let Some(Some(x)) = v.get(idx) {
+                    min = min.min(*x);
+                    max = max.max(*x);
+                    seen = true;
                 }
-            }
+            }),
             _ => return None,
         }
         if seen {

@@ -53,6 +53,7 @@ impl FullProductBaseline {
             cut_config: &self.cut,
             cut_strategy: &strategy,
             drop_empty_regions: self.drop_empty_regions,
+            pool: minirayon::ThreadPool::sequential(),
         };
         let candidates = generate_candidates_in_context(&ctx, working, user_query, None)?;
         if candidates.is_empty() {

@@ -205,6 +205,7 @@ impl GridCliqueBaseline {
             cut_config: &cut_config,
             cut_strategy: &cutter,
             drop_empty_regions: true,
+            pool: minirayon::ThreadPool::sequential(),
         };
 
         // Numeric attributes only (as in CLIQUE).

@@ -162,6 +162,7 @@ impl RandomMapBaseline {
             cut_config: &cut_config,
             cut_strategy: &strategy,
             drop_empty_regions: true,
+            pool: minirayon::ThreadPool::sequential(),
         };
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         // Usability is judged on the *working set* (a column constant within
@@ -332,6 +333,7 @@ mod tests {
             cut_config: &cut_config,
             cut_strategy: &strategy,
             drop_empty_regions: true,
+            pool: minirayon::ThreadPool::sequential(),
         };
         let working = t.full_selection();
         let query = ConjunctiveQuery::all("t");

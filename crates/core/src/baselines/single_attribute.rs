@@ -41,6 +41,7 @@ impl SingleAttributeBaseline {
             cut_config: &self.cut,
             cut_strategy: &strategy,
             drop_empty_regions: true,
+            pool: minirayon::ThreadPool::sequential(),
         };
         let candidates = generate_candidates_in_context(&ctx, working, user_query, None)?;
         if candidates.is_empty() {

@@ -48,6 +48,12 @@ impl CandidateSet {
 ///
 /// `attributes` restricts the candidate generation to a subset of columns; if
 /// `None`, every column of the table is considered.
+///
+/// Attributes are cut **in parallel** across `ctx.pool` (one task per
+/// attribute) and the results are assembled in schema order, so the candidate
+/// set — including the order of `maps` and `skipped`, and which error is
+/// reported on failure — is identical at every parallelism level for pure
+/// cut strategies.
 pub fn generate_candidates_in_context(
     ctx: &PipelineContext<'_>,
     working: &Bitmap,
@@ -64,10 +70,13 @@ pub fn generate_candidates_in_context(
             .map(|s| s.to_string())
             .collect(),
     };
+    let cuts = ctx.pool.par_map(&names, |name| {
+        ctx.cut_strategy.cut(ctx, working, parent_query, name)
+    });
     let mut maps = Vec::with_capacity(names.len());
     let mut skipped = Vec::new();
-    for name in names {
-        match ctx.cut_strategy.cut(ctx, working, parent_query, &name)? {
+    for (name, cut) in names.into_iter().zip(cuts) {
+        match cut? {
             Some(map) => maps.push(map),
             None => skipped.push(name),
         }
@@ -97,6 +106,7 @@ pub fn generate_candidates(
         cut_config: config,
         cut_strategy: &strategy,
         drop_empty_regions: true,
+        pool: minirayon::ThreadPool::sequential(),
     };
     generate_candidates_in_context(&ctx, working, parent_query, attributes)
 }

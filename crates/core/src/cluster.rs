@@ -19,6 +19,7 @@
 
 use crate::distance::DistanceMatrix;
 use crate::error::{AtlasError, Result};
+use minirayon::ThreadPool;
 
 /// Linkage criterion for the generic agglomerative algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -185,6 +186,22 @@ pub fn cluster_maps(
     distances: &DistanceMatrix,
     config: &ClusteringConfig,
 ) -> Result<Vec<Vec<usize>>> {
+    cluster_maps_with_pool(distances, config, ThreadPool::sequential())
+}
+
+/// [`cluster_maps`] with the closest-pair search of each round split across a
+/// thread pool (row-blocked over the first cluster index).
+///
+/// The selected pair — smallest linkage distance, ties broken by the smallest
+/// `(a, b)` index pair — is a pure function of the matrix, so the clustering
+/// is **identical at every thread count**. Small instances (fewer than
+/// [`PARALLEL_SEARCH_THRESHOLD`] clusters) search sequentially; the scan is
+/// memory-bound and not worth task dispatch below that.
+pub fn cluster_maps_with_pool(
+    distances: &DistanceMatrix,
+    config: &ClusteringConfig,
+    pool: &ThreadPool,
+) -> Result<Vec<Vec<usize>>> {
     config.validate()?;
     let n = distances.len();
     if n == 0 {
@@ -193,25 +210,27 @@ pub fn cluster_maps(
     let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     loop {
         // Find the closest admissible pair of clusters.
-        let mut best: Option<(usize, usize, f64)> = None;
-        for a in 0..clusters.len() {
-            for b in (a + 1)..clusters.len() {
-                if clusters[a].len() + clusters[b].len() > config.max_cluster_size {
-                    continue;
-                }
-                let d = linkage_distance(distances, &clusters[a], &clusters[b], config.linkage);
-                if let Some(threshold) = config.distance_threshold {
-                    if d > threshold {
-                        continue;
+        let best = if pool.threads() > 1 && clusters.len() >= PARALLEL_SEARCH_THRESHOLD {
+            let clusters = &clusters;
+            pool.par_map_indexed(clusters.len(), 4, |a| {
+                best_partner_of(distances, clusters, config, a)
+            })
+            .into_iter()
+            .flatten()
+            .min_by(|x, y| pair_order(*x, *y))
+        } else {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for a in 0..clusters.len() {
+                if let Some(candidate) = best_partner_of(distances, &clusters, config, a) {
+                    if best.is_none_or(|b| pair_order(candidate, b).is_lt()) {
+                        best = Some(candidate);
                     }
                 }
-                if best.is_none_or(|(_, _, bd)| d < bd) {
-                    best = Some((a, b, d));
-                }
             }
-        }
+            best
+        };
         match best {
-            Some((a, b, _)) => {
+            Some((_, a, b)) => {
                 let merged: Vec<usize> = {
                     let mut m = clusters[a].clone();
                     m.extend_from_slice(&clusters[b]);
@@ -230,6 +249,47 @@ pub fn cluster_maps(
     }
     clusters.sort_by_key(|c| c[0]);
     Ok(clusters)
+}
+
+/// Minimum number of clusters before the closest-pair search of a round is
+/// split across the thread pool.
+pub const PARALLEL_SEARCH_THRESHOLD: usize = 24;
+
+/// The best admissible merge partner for cluster `a` among clusters `a+1..`:
+/// `(distance, a, b)` of the closest pair passing the size and threshold
+/// constraints, or `None` if no pair is admissible.
+fn best_partner_of(
+    distances: &DistanceMatrix,
+    clusters: &[Vec<usize>],
+    config: &ClusteringConfig,
+    a: usize,
+) -> Option<(f64, usize, usize)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for b in (a + 1)..clusters.len() {
+        if clusters[a].len() + clusters[b].len() > config.max_cluster_size {
+            continue;
+        }
+        let d = linkage_distance(distances, &clusters[a], &clusters[b], config.linkage);
+        if let Some(threshold) = config.distance_threshold {
+            if d > threshold {
+                continue;
+            }
+        }
+        let candidate = (d, a, b);
+        if best.is_none_or(|current| pair_order(candidate, current).is_lt()) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Total order on merge candidates: by distance, ties broken by the smaller
+/// `(a, b)` index pair — exactly the pair the sequential lexicographic scan
+/// with a strict `<` distance test would keep.
+fn pair_order(x: (f64, usize, usize), y: (f64, usize, usize)) -> std::cmp::Ordering {
+    x.0.total_cmp(&y.0)
+        .then_with(|| x.1.cmp(&y.1))
+        .then_with(|| x.2.cmp(&y.2))
 }
 
 fn linkage_distance(distances: &DistanceMatrix, a: &[usize], b: &[usize], linkage: Linkage) -> f64 {
@@ -444,6 +504,34 @@ mod tests {
         // Merge distances are non-decreasing.
         for w in dendro.steps.windows(2) {
             assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn pooled_clustering_is_identical_to_sequential_on_large_matrices() {
+        // Large enough to cross PARALLEL_SEARCH_THRESHOLD.
+        let n = 40;
+        let mut m = DistanceMatrix::zeros(n);
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, next());
+            }
+        }
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let cfg = ClusteringConfig {
+                linkage,
+                distance_threshold: Some(0.5),
+                max_cluster_size: 6,
+            };
+            let sequential = cluster_maps(&m, &cfg).unwrap();
+            let pool = minirayon::ThreadPool::new(4);
+            let pooled = cluster_maps_with_pool(&m, &cfg, &pool).unwrap();
+            assert_eq!(sequential, pooled, "{linkage:?}");
         }
     }
 

@@ -51,6 +51,23 @@ pub struct AtlasConfig {
     pub attributes: Option<Vec<String>>,
     /// Drop result regions that cover no tuples.
     pub drop_empty_regions: bool,
+    /// Number of threads the engine's pipeline phases may use (candidate
+    /// generation, the pairwise distance matrix, per-cluster merging, and
+    /// profile building at [`crate::engine::Atlas::builder`] time).
+    ///
+    /// Defaults to the number of hardware threads
+    /// ([`AtlasConfig::default_parallelism`]); the `ATLAS_PARALLELISM`
+    /// environment variable overrides the default (CI uses it to exercise the
+    /// sequential path). `1` disables the thread pool entirely: every phase
+    /// runs inline on the calling thread, exactly as before the pool existed.
+    ///
+    /// **Determinism:** every parallel phase assembles its results in input
+    /// order, so with the paper's (pure) stage implementations the ranked
+    /// maps are **bit-for-bit identical** at every parallelism level. Custom
+    /// stages with order-dependent interior state (e.g. a shared RNG stream,
+    /// like [`crate::baselines::RandomCut`]) only keep run-to-run determinism
+    /// at `parallelism = 1`.
+    pub parallelism: usize,
 }
 
 impl Default for AtlasConfig {
@@ -65,11 +82,30 @@ impl Default for AtlasConfig {
             max_maps: 10,
             attributes: None,
             drop_empty_regions: true,
+            parallelism: AtlasConfig::default_parallelism(),
         }
     }
 }
 
 impl AtlasConfig {
+    /// The default value of [`AtlasConfig::parallelism`]: the
+    /// `ATLAS_PARALLELISM` environment variable if set to a positive integer,
+    /// the number of hardware threads otherwise.
+    pub fn default_parallelism() -> usize {
+        match std::env::var("ATLAS_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => minirayon::available_threads(),
+        }
+    }
+
+    /// This configuration with the given [`AtlasConfig::parallelism`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
     /// Validate the configuration, harmonising the readability constraints
     /// with the clustering cap (a cluster of `k` two-way cut maps yields up to
     /// `2^k` regions and `k` extra predicates).
@@ -96,6 +132,11 @@ impl AtlasConfig {
                 "max_cluster_size ({}) exceeds max_new_predicates ({}): merged queries would be too complex",
                 self.clustering.max_cluster_size, self.max_new_predicates
             )));
+        }
+        if self.parallelism == 0 {
+            return Err(AtlasError::InvalidConfig(
+                "parallelism must be at least 1 (1 = sequential)".to_string(),
+            ));
         }
         Ok(())
     }
@@ -239,6 +280,21 @@ mod tests {
         let mut cfg = AtlasConfig::default();
         cfg.cut.num_splits = 0;
         assert!(cfg.validate().is_err());
+
+        let cfg = AtlasConfig {
+            parallelism: 0,
+            ..AtlasConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_defaults_to_at_least_one_and_is_overridable() {
+        assert!(AtlasConfig::default().parallelism >= 1);
+        assert!(AtlasConfig::default_parallelism() >= 1);
+        let cfg = AtlasConfig::default().with_parallelism(4);
+        assert_eq!(cfg.parallelism, 4);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::pipeline::PipelineContext;
 use crate::region::Region;
 use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
-use atlas_stats::quantile::quantile;
-use atlas_stats::{kmeans_1d, EquiWidthHistogram, GkSketch};
+use atlas_stats::quantile::quantiles;
+use atlas_stats::{kmeans_1d, GkSketch};
 
 /// How to split an ordinal (numeric) attribute.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,8 +182,19 @@ fn cut_with_stats(
 
     let regions = match column.data_type() {
         DataType::Int | DataType::Float => {
-            let values = column.numeric_values_where(working);
-            let splits = numeric_splits(&values, config, sketch)?;
+            let splits = match config.numeric {
+                // Equi-width splits depend only on min/max, which the caller's
+                // statistics already hold: no value materialisation at all.
+                NumericCutStrategy::EquiWidth => equi_width_splits(
+                    stats.min.unwrap_or(0.0),
+                    stats.max.unwrap_or(0.0),
+                    config.num_splits,
+                ),
+                _ => {
+                    let values = column.numeric_values_where(working);
+                    numeric_splits(&values, config, sketch)?
+                }
+            };
             if splits.is_empty() {
                 return Ok(None);
             }
@@ -233,17 +244,15 @@ fn numeric_splits(
     }
     let k = config.num_splits;
     let splits: Vec<f64> = match config.numeric {
-        NumericCutStrategy::EquiWidth => EquiWidthHistogram::build(values, k)
-            .map(|h| h.split_points())
-            .unwrap_or_default(),
+        NumericCutStrategy::EquiWidth => {
+            let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            return Ok(equi_width_splits(min, max, k));
+        }
         NumericCutStrategy::Median => {
-            let mut out = Vec::with_capacity(k - 1);
-            for i in 1..k {
-                if let Some(q) = quantile(values, i as f64 / k as f64) {
-                    out.push(q);
-                }
-            }
-            out
+            // One sort for all k−1 quantiles instead of one sort per quantile.
+            let ps: Vec<f64> = (1..k).map(|i| i as f64 / k as f64).collect();
+            quantiles(values, &ps).unwrap_or_default()
         }
         NumericCutStrategy::KMeans { max_iterations } => kmeans_1d(values, k, max_iterations)
             .map(|r| r.splits)
@@ -283,7 +292,30 @@ fn numeric_splits(
     Ok(cleaned)
 }
 
+/// Interior equi-width split points for the observed `[min, max]` range,
+/// already cleaned (strictly increasing, inside the open range). This is the
+/// split set an equi-width histogram over the values would produce, computed
+/// from the summary statistics alone — the fused fast path of the `EquiWidth`
+/// strategy needs no scan over the column values.
+fn equi_width_splits(min: f64, max: f64, k: usize) -> Vec<f64> {
+    if k < 2 || min.is_nan() || max.is_nan() || min >= max {
+        return Vec::new();
+    }
+    let width = (max - min) / k as f64;
+    let mut cleaned = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let s = min + width * i as f64;
+        if s >= min && s < max && cleaned.last().is_none_or(|&last| s > last) {
+            cleaned.push(s);
+        }
+    }
+    cleaned
+}
+
 /// Build the per-region range predicates and selections for a numeric cut.
+///
+/// All region extents come out of **one** fused pass over the column
+/// ([`atlas_columnar::Column::select_ranges`]) instead of one scan per region.
 #[allow(clippy::too_many_arguments)]
 fn numeric_regions(
     table: &Table,
@@ -296,20 +328,27 @@ fn numeric_regions(
     splits: &[f64],
 ) -> Result<Vec<Region>> {
     let column = table.column(attribute)?;
-    let mut regions = Vec::with_capacity(splits.len() + 1);
+    let mut bounds = Vec::with_capacity(splits.len() + 1);
     let mut lo = min;
     for (i, &split) in splits.iter().chain(std::iter::once(&max)).enumerate() {
         let hi = if i == splits.len() { max } else { split };
         if hi < lo {
             continue;
         }
-        let selection = column.select_range(working, lo, hi);
-        let query = parent_query
-            .clone()
-            .and(Predicate::range(attribute, lo, hi));
-        regions.push(Region::new(query, selection));
+        bounds.push((lo, hi));
         lo = next_lower_bound(dtype, hi);
     }
+    let selections = column.select_ranges(working, &bounds);
+    let regions = bounds
+        .into_iter()
+        .zip(selections)
+        .map(|((lo, hi), selection)| {
+            let query = parent_query
+                .clone()
+                .and(Predicate::range(attribute, lo, hi));
+            Region::new(query, selection)
+        })
+        .collect();
     Ok(regions)
 }
 
@@ -393,6 +432,10 @@ fn categorical_groups(
 }
 
 /// Build per-region set predicates and selections for a categorical cut.
+///
+/// All region extents come out of **one** fused pass over the column
+/// ([`atlas_columnar::Column::select_in_groups`]): value groups are resolved
+/// to dictionary codes once, then each row does a single indexed lookup.
 fn categorical_regions(
     table: &Table,
     working: &Bitmap,
@@ -401,14 +444,17 @@ fn categorical_regions(
     groups: &[Vec<String>],
 ) -> Result<Vec<Region>> {
     let column = table.column(attribute)?;
-    let mut regions = Vec::with_capacity(groups.len());
-    for group in groups {
-        let selection = column.select_in(working, group);
-        let query = parent_query
-            .clone()
-            .and(Predicate::values(attribute, group.iter().cloned()));
-        regions.push(Region::new(query, selection));
-    }
+    let selections = column.select_in_groups(working, groups);
+    let regions = groups
+        .iter()
+        .zip(selections)
+        .map(|(group, selection)| {
+            let query = parent_query
+                .clone()
+                .and(Predicate::values(attribute, group.iter().cloned()));
+            Region::new(query, selection)
+        })
+        .collect();
     Ok(regions)
 }
 

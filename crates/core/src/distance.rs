@@ -7,7 +7,9 @@
 //! out the Variation of Information (Meilă 2007) because it is a true metric.
 
 use crate::map::DataMap;
+use atlas_columnar::Bitmap;
 use atlas_stats::ContingencyTable;
+use minirayon::ThreadPool;
 
 /// The dependency measure used as a distance between maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,19 +66,76 @@ impl DistanceMatrix {
 
 /// The distance between two maps under the chosen metric.
 ///
-/// `table_rows` is the number of rows of the underlying table (the length of
-/// the label vectors). Rows outside either map (NULLs, rows outside the
-/// working set) are ignored, as they carry no information about dependency.
+/// `table_rows` is the number of rows of the underlying table. Rows outside
+/// either map (NULLs, rows outside the working set) — and rows at index
+/// `table_rows` or beyond — are ignored, as they carry no information about
+/// dependency.
+///
+/// The contingency table between the two maps' variables is assembled with
+/// the fused columnar kernel [`ContingencyTable::from_selections`] —
+/// `regions(a) × regions(b)` word-level intersection popcounts — instead of
+/// materialising a label per table row, which makes the cost proportional to
+/// `table_rows / 64` rather than `table_rows`. Both maps must have pairwise
+/// disjoint regions (every map produced by `CUT` and the merge operators
+/// does). When the maps' region bitmaps do not share one common length at
+/// most `table_rows` (they always do for maps of a `table_rows`-row table)
+/// the label-based path is used instead, so out-of-range rows stay excluded
+/// and mixed-length maps keep working exactly as before the fused kernel.
 pub fn map_distance(a: &DataMap, b: &DataMap, table_rows: usize, metric: MapDistanceMetric) -> f64 {
-    let labels_a = a.region_labels(table_rows);
-    let labels_b = b.region_labels(table_rows);
-    distance_from_labels(
-        &labels_a,
-        &labels_b,
-        a.num_regions(),
-        b.num_regions(),
-        metric,
-    )
+    if !fused_compatible([a, b], table_rows) {
+        let labels_a = a.region_labels(table_rows);
+        let labels_b = b.region_labels(table_rows);
+        return distance_from_labels(
+            &labels_a,
+            &labels_b,
+            a.num_regions(),
+            b.num_regions(),
+            metric,
+        );
+    }
+    let regions_a: Vec<&Bitmap> = a.regions.iter().map(|r| &r.selection).collect();
+    let regions_b: Vec<&Bitmap> = b.regions.iter().map(|r| &r.selection).collect();
+    distance_from_selections(&regions_a, &regions_b, metric)
+}
+
+/// True when every region bitmap across the given maps shares one common
+/// length at most `table_rows` — the precondition of the fused
+/// bitmap-contingency kernel (word-level intersections need equal lengths,
+/// and the `table_rows` contract excludes rows past that index).
+fn fused_compatible<'a>(maps: impl IntoIterator<Item = &'a DataMap>, table_rows: usize) -> bool {
+    let mut common: Option<usize> = None;
+    for map in maps {
+        for region in &map.regions {
+            let len = region.selection.len();
+            if len > table_rows {
+                return false;
+            }
+            match common {
+                None => common = Some(len),
+                Some(expected) if expected == len => {}
+                Some(_) => return false,
+            }
+        }
+    }
+    true
+}
+
+/// The distance between two partitions given as per-region selection bitmaps.
+fn distance_from_selections(
+    regions_a: &[&Bitmap],
+    regions_b: &[&Bitmap],
+    metric: MapDistanceMetric,
+) -> f64 {
+    let table = ContingencyTable::from_selections(regions_a, regions_b);
+    metric_of(&table, metric)
+}
+
+fn metric_of(table: &ContingencyTable, metric: MapDistanceMetric) -> f64 {
+    match metric {
+        MapDistanceMetric::VariationOfInformation => table.variation_of_information(),
+        MapDistanceMetric::NormalizedVI => table.normalized_vi(),
+        MapDistanceMetric::OneMinusNmi => 1.0 - table.normalized_mi(),
+    }
 }
 
 /// The distance between two label vectors (used internally and by the anytime
@@ -89,34 +148,64 @@ pub fn distance_from_labels(
     metric: MapDistanceMetric,
 ) -> f64 {
     let table = ContingencyTable::from_labels(labels_a, labels_b, card_a, card_b);
-    match metric {
-        MapDistanceMetric::VariationOfInformation => table.variation_of_information(),
-        MapDistanceMetric::NormalizedVI => table.normalized_vi(),
-        MapDistanceMetric::OneMinusNmi => 1.0 - table.normalized_mi(),
-    }
+    metric_of(&table, metric)
 }
 
-/// Pairwise distance matrix over a set of candidate maps.
+/// Pairwise distance matrix over a set of candidate maps (sequential).
 ///
-/// Label vectors are materialised once per map, so the cost is
-/// `O(n·rows + n²·regions²)` for `n` candidates.
+/// Each pair is compared through the fused bitmap-contingency kernel of
+/// [`map_distance`], so the cost is `O(n² · regionsᵃ·regionsᵇ · rows/64)`
+/// word operations for `n` candidates — no label vectors are materialised.
 pub fn distance_matrix(
     maps: &[DataMap],
     table_rows: usize,
     metric: MapDistanceMetric,
 ) -> DistanceMatrix {
-    let labels: Vec<Vec<u32>> = maps.iter().map(|m| m.region_labels(table_rows)).collect();
-    let mut matrix = DistanceMatrix::zeros(maps.len());
-    for i in 0..maps.len() {
-        for j in (i + 1)..maps.len() {
-            let d = distance_from_labels(
-                &labels[i],
-                &labels[j],
-                maps[i].num_regions(),
-                maps[j].num_regions(),
-                metric,
-            );
-            matrix.set(i, j, d);
+    distance_matrix_with_pool(maps, table_rows, metric, ThreadPool::sequential())
+}
+
+/// [`distance_matrix`] with the upper triangle split row-blocked across a
+/// thread pool.
+///
+/// Results are written per row of the triangle and are **identical at every
+/// thread count** (each cell is a pure function of its two maps).
+pub fn distance_matrix_with_pool(
+    maps: &[DataMap],
+    table_rows: usize,
+    metric: MapDistanceMetric,
+    pool: &ThreadPool,
+) -> DistanceMatrix {
+    let n = maps.len();
+    if !fused_compatible(maps, table_rows) {
+        // Out-of-range or mixed-length region bitmaps: let `map_distance`
+        // pick the right path per pair (see its docs), preserving the old
+        // `table_rows` truncation contract.
+        let rows: Vec<Vec<f64>> = pool.par_map_indexed(n, 1, |i| {
+            ((i + 1)..n)
+                .map(|j| map_distance(&maps[i], &maps[j], table_rows, metric))
+                .collect()
+        });
+        return triangle_to_matrix(n, rows);
+    }
+    let regions: Vec<Vec<&Bitmap>> = maps
+        .iter()
+        .map(|m| m.regions.iter().map(|r| &r.selection).collect())
+        .collect();
+    // Row i of the upper triangle holds the distances (i, i+1..n).
+    let rows: Vec<Vec<f64>> = pool.par_map_indexed(n, 1, |i| {
+        ((i + 1)..n)
+            .map(|j| distance_from_selections(&regions[i], &regions[j], metric))
+            .collect()
+    });
+    triangle_to_matrix(n, rows)
+}
+
+/// Assemble per-row upper-triangle distances into a symmetric matrix.
+fn triangle_to_matrix(n: usize, rows: Vec<Vec<f64>>) -> DistanceMatrix {
+    let mut matrix = DistanceMatrix::zeros(n);
+    for (i, row) in rows.into_iter().enumerate() {
+        for (offset, d) in row.into_iter().enumerate() {
+            matrix.set(i, i + 1 + offset, d);
         }
     }
     matrix
@@ -221,6 +310,66 @@ mod tests {
                 assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn fused_bitmap_distance_matches_the_label_based_reference() {
+        // The fused contingency kernel must reproduce the label-vector path
+        // bit for bit on disjoint maps (including rows outside both maps).
+        let n = 300;
+        let a = map_from_fn(n, 3, |r| r % 3, "a");
+        let b = map_from_fn(n, 2, |r| (r / 7) % 2, "b");
+        let labels_a = a.region_labels(n);
+        let labels_b = b.region_labels(n);
+        for metric in [
+            MapDistanceMetric::VariationOfInformation,
+            MapDistanceMetric::NormalizedVI,
+            MapDistanceMetric::OneMinusNmi,
+        ] {
+            let fused = map_distance(&a, &b, n, metric);
+            let reference = distance_from_labels(&labels_a, &labels_b, 3, 2, metric);
+            assert_eq!(fused.to_bits(), reference.to_bits(), "{metric:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_distance_matrix_is_bit_identical_to_sequential() {
+        let maps: Vec<DataMap> = (0..12)
+            .map(|k| map_from_fn(500, 2 + k % 3, move |r| (r / (k + 1)) % (2 + k % 3), "x"))
+            .collect();
+        let sequential = distance_matrix(&maps, 500, MapDistanceMetric::NormalizedVI);
+        let pool = minirayon::ThreadPool::new(4);
+        let parallel =
+            distance_matrix_with_pool(&maps, 500, MapDistanceMetric::NormalizedVI, &pool);
+        assert_eq!(sequential.len(), parallel.len());
+        for i in 0..maps.len() {
+            for j in 0..maps.len() {
+                assert_eq!(
+                    sequential.get(i, j).to_bits(),
+                    parallel.get(i, j).to_bits(),
+                    "cell ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_length_region_bitmaps_fall_back_to_the_label_path() {
+        // Map a covers a 50-row prefix (bitmaps of len 50), map b the full
+        // 100-row table: the fused kernel cannot intersect those, so the
+        // label-based path must kick in and reproduce the old behaviour.
+        let a = map_from_fn(50, 2, |r| r % 2, "a");
+        let b = map_from_fn(100, 2, |r| (r / 5) % 2, "b");
+        let labels_a = a.region_labels(100);
+        let labels_b = b.region_labels(100);
+        let reference =
+            distance_from_labels(&labels_a, &labels_b, 2, 2, MapDistanceMetric::NormalizedVI);
+        let fused = map_distance(&a, &b, 100, MapDistanceMetric::NormalizedVI);
+        assert_eq!(fused.to_bits(), reference.to_bits());
+        // The matrix path survives mixed lengths too (no panic, same values).
+        let maps = vec![a, b];
+        let matrix = distance_matrix(&maps, 100, MapDistanceMetric::NormalizedVI);
+        assert_eq!(matrix.get(0, 1).to_bits(), reference.to_bits());
     }
 
     #[test]

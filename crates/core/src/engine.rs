@@ -14,7 +14,7 @@
 //! first-class concern, so the engine measures itself).
 
 use crate::candidates::{generate_candidates_in_context, CandidateSet};
-use crate::cluster::cluster_maps;
+use crate::cluster::cluster_maps_with_pool;
 use crate::config::{AtlasConfig, ExploreOptions, MergeStrategy};
 use crate::cut::NumericCutStrategy;
 use crate::error::{AtlasError, Result};
@@ -27,6 +27,7 @@ use crate::profile::{ProfileStats, TableProfile};
 use crate::rank::RankedMap;
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
+use minirayon::ThreadPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -152,16 +153,22 @@ impl AtlasBuilder {
     }
 
     /// Validate the configuration, profile the table (the build-once cost
-    /// every later `explore` amortises), and assemble the engine.
+    /// every later `explore` amortises; columns are profiled in parallel per
+    /// [`AtlasConfig::parallelism`]), and assemble the engine.
     pub fn build(self) -> Result<Atlas> {
         self.config.validate()?;
+        let pool = Arc::new(ThreadPool::new(self.config.parallelism));
         // Quantile sketches are only ever queried by sketch-based cut
         // strategies; skip building them otherwise.
         let sketch_epsilon = match self.config.cut.numeric {
             NumericCutStrategy::SketchMedian { epsilon } => Some(epsilon),
             _ => None,
         };
-        let profile = Arc::new(TableProfile::build(&self.table, sketch_epsilon));
+        let profile = Arc::new(TableProfile::build_with_pool(
+            &self.table,
+            sketch_epsilon,
+            &pool,
+        ));
         let merge = self.merge.unwrap_or_else(|| match self.config.merge {
             MergeStrategy::Product => Arc::new(ProductMerge) as Arc<dyn MergePolicy>,
             MergeStrategy::Composition => Arc::new(CompositionMerge) as Arc<dyn MergePolicy>,
@@ -178,6 +185,7 @@ impl AtlasBuilder {
             table: self.table,
             config: self.config,
             profile,
+            pool,
         })
     }
 }
@@ -194,6 +202,9 @@ pub struct Atlas {
     distance: Arc<dyn MapDistance>,
     merge: Arc<dyn MergePolicy>,
     ranker: Arc<dyn Ranker>,
+    /// Worker threads shared by every exploration of this engine (and its
+    /// clones), sized by [`AtlasConfig::parallelism`].
+    pool: Arc<ThreadPool>,
 }
 
 impl Atlas {
@@ -239,6 +250,11 @@ impl Atlas {
         self.profile.counters()
     }
 
+    /// The thread pool sized by [`AtlasConfig::parallelism`].
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
     /// The stage context handed to the pipeline traits.
     fn context(&self) -> PipelineContext<'_> {
         PipelineContext {
@@ -247,6 +263,7 @@ impl Atlas {
             cut_config: &self.config.cut,
             cut_strategy: self.cut_strategy.as_ref(),
             drop_empty_regions: self.config.drop_empty_regions,
+            pool: &self.pool,
         }
     }
 
@@ -299,21 +316,23 @@ impl Atlas {
 
         // Step 2: cluster dependent candidates.
         let phase_start = Instant::now();
-        let matrix = self
-            .distance
-            .matrix(&candidates.maps, self.table.num_rows());
-        let clusters = cluster_maps(&matrix, &self.config.clustering)?;
+        let matrix = self.distance.matrix(&ctx, &candidates.maps);
+        let clusters = cluster_maps_with_pool(&matrix, &self.config.clustering, &self.pool)?;
         let clustering_ms = elapsed_ms(phase_start);
 
-        // Step 3: merge each cluster into a representative map.
+        // Step 3: merge each cluster into a representative map, one pool task
+        // per cluster, results assembled in cluster order.
         let phase_start = Instant::now();
-        let mut merged: Vec<DataMap> = Vec::with_capacity(clusters.len());
-        for cluster in &clusters {
+        let merge_results = self.pool.par_map(&clusters, |cluster| {
             let members: Vec<DataMap> = cluster
                 .iter()
                 .map(|&idx| candidates.maps[idx].clone())
                 .collect();
-            if let Some(map) = self.merge.merge(&ctx, &members, &working)? {
+            self.merge.merge(&ctx, &members, &working)
+        });
+        let mut merged: Vec<DataMap> = Vec::with_capacity(clusters.len());
+        for result in merge_results {
+            if let Some(map) = result? {
                 merged.push(self.enforce_constraints(map));
             }
         }
@@ -951,6 +970,44 @@ mod tests {
             atlas.explore_iter(&empty, ExploreOptions::default()),
             Err(AtlasError::EmptyWorkingSet)
         ));
+    }
+
+    #[test]
+    fn parallel_explore_is_bit_identical_to_sequential() {
+        let table = survey(2_000);
+        let query = ConjunctiveQuery::all("survey");
+        for merge in [MergeStrategy::Product, MergeStrategy::Composition] {
+            let base = AtlasConfig {
+                merge,
+                ..AtlasConfig::default()
+            };
+            let sequential =
+                Atlas::new(Arc::clone(&table), base.clone().with_parallelism(1)).unwrap();
+            let parallel =
+                Atlas::new(Arc::clone(&table), base.clone().with_parallelism(4)).unwrap();
+            assert_eq!(parallel.pool().threads(), 4);
+            let a = sequential.explore(&query).unwrap();
+            let b = parallel.explore(&query).unwrap();
+            assert_eq!(a.num_maps(), b.num_maps(), "{merge:?}");
+            assert_eq!(a.working_set_size, b.working_set_size);
+            assert_eq!(a.skipped_attributes, b.skipped_attributes);
+            for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+                assert_eq!(
+                    ra.map.source_attributes, rb.map.source_attributes,
+                    "{merge:?}"
+                );
+                assert_eq!(ra.map.region_counts(), rb.map.region_counts(), "{merge:?}");
+                assert_eq!(ra.score.to_bits(), rb.score.to_bits(), "{merge:?}");
+                for (qa, qb) in ra.map.regions.iter().zip(rb.map.regions.iter()) {
+                    assert_eq!(
+                        atlas_query::to_sql(&qa.query),
+                        atlas_query::to_sql(&qb.query),
+                        "{merge:?}"
+                    );
+                    assert_eq!(qa.selection, qb.selection, "{merge:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //! [`pipeline::MergePolicy`], [`pipeline::Ranker`]) with the paper's
 //! algorithms as defaults, and per-column statistics are computed **once** at
 //! build time into a shared [`profile::TableProfile`]. The engine is
-//! `Send + Sync`, so one `Arc<Atlas>` serves concurrent explorations.
+//! `Send + Sync`, so one `Arc<Atlas>` serves concurrent explorations — and
+//! each exploration itself runs multicore: the hot phases (candidate cuts,
+//! the pairwise distance matrix, per-cluster merging, profile building) split
+//! across a scoped thread pool sized by [`config::AtlasConfig::parallelism`],
+//! with results assembled in input order so the ranked maps are bit-for-bit
+//! identical at every parallelism level.
 //!
 //! The sampling-based anytime refinement of Section 5.1 runs through the same
 //! engine ([`engine::Atlas::explore_iter`] /
@@ -63,16 +68,21 @@ pub mod region;
 
 pub use anytime::{AnytimeAtlas, AnytimeConfig};
 pub use candidates::{generate_candidates, generate_candidates_in_context, CandidateSet};
-pub use cluster::{cluster_maps, slink, ClusteringConfig, Dendrogram, Linkage, MergeStep};
+pub use cluster::{
+    cluster_maps, cluster_maps_with_pool, slink, ClusteringConfig, Dendrogram, Linkage, MergeStep,
+};
 pub use config::{AtlasConfig, ExploreOptions, MergeStrategy};
 pub use cut::{cut_attribute, CategoricalCutStrategy, CutConfig, NumericCutStrategy};
-pub use distance::{distance_matrix, map_distance, DistanceMatrix, MapDistanceMetric};
+pub use distance::{
+    distance_matrix, distance_matrix_with_pool, map_distance, DistanceMatrix, MapDistanceMetric,
+};
 pub use engine::{
     AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder, ExploreIter, MapResult, PhaseTimings,
 };
 pub use error::{AtlasError, Result};
 pub use map::DataMap;
 pub use merge::{compose_maps, product_maps};
+pub use minirayon::ThreadPool;
 pub use pipeline::{
     CompositionMerge, CutStrategy, EntropyRanker, MapDistance, MergePolicy, PaperCut,
     PipelineContext, ProductMerge, Ranker, ViDistance,

@@ -2,7 +2,7 @@
 
 use crate::region::Region;
 use atlas_columnar::Bitmap;
-use atlas_stats::entropy_of_counts;
+use atlas_stats::entropy_of_selections;
 use std::fmt;
 
 /// Sentinel label for rows that belong to no region of a map (rows outside
@@ -58,9 +58,10 @@ impl DataMap {
 
     /// Entropy (bits) of the map's cover distribution — the ranking score of
     /// Section 3.4. Maps with many balanced regions score high; maps that
-    /// isolate a tiny outlier region score low.
+    /// isolate a tiny outlier region score low. Computed straight from the
+    /// region bitmaps (word-level popcounts, no per-row materialisation).
     pub fn entropy(&self) -> f64 {
-        entropy_of_counts(&self.region_counts())
+        entropy_of_selections(self.regions.iter().map(|r| &r.selection))
     }
 
     /// The maximum number of predicates over the map's region queries.

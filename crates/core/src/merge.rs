@@ -82,6 +82,7 @@ pub fn compose_maps(
         cut_config: config,
         cut_strategy: &strategy,
         drop_empty_regions: drop_empty,
+        pool: minirayon::ThreadPool::sequential(),
     };
     // Composition never reads the working set; any bitmap satisfies the
     // merge-policy signature.

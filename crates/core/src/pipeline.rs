@@ -21,7 +21,7 @@
 //! across threads behind an `Arc`.
 
 use crate::cut::{cut_attribute_in_context, CutConfig};
-use crate::distance::{distance_matrix, DistanceMatrix, MapDistanceMetric};
+use crate::distance::{distance_matrix_with_pool, DistanceMatrix, MapDistanceMetric};
 use crate::error::Result;
 use crate::map::DataMap;
 use crate::merge::product_maps;
@@ -29,12 +29,13 @@ use crate::profile::TableProfile;
 use crate::rank::{rank_maps, RankedMap};
 use atlas_columnar::{Bitmap, Table};
 use atlas_query::ConjunctiveQuery;
+use minirayon::ThreadPool;
 use std::fmt;
 
 /// Everything a pipeline stage may need: the table, its pre-computed
-/// statistics, the cut configuration, and the engine's cut strategy (so merge
+/// statistics, the cut configuration, the engine's cut strategy (so merge
 /// policies that re-cut locally — composition — route through the same
-/// strategy the candidates came from).
+/// strategy the candidates came from), and the engine's thread pool.
 pub struct PipelineContext<'a> {
     /// The table being explored.
     pub table: &'a Table,
@@ -46,6 +47,10 @@ pub struct PipelineContext<'a> {
     pub cut_strategy: &'a dyn CutStrategy,
     /// Whether result regions covering no tuples are dropped.
     pub drop_empty_regions: bool,
+    /// The engine's thread pool, sized by
+    /// [`crate::AtlasConfig::parallelism`]. Stages are free to split their
+    /// work across it; one-shot contexts use [`ThreadPool::sequential`].
+    pub pool: &'a ThreadPool,
 }
 
 impl fmt::Debug for PipelineContext<'_> {
@@ -84,7 +89,10 @@ pub trait MapDistance: fmt::Debug + Send + Sync {
     fn name(&self) -> &str;
 
     /// The pairwise distance matrix over a set of candidate maps.
-    fn matrix(&self, maps: &[DataMap], table_rows: usize) -> DistanceMatrix;
+    ///
+    /// Implementations may parallelise across `ctx.pool`; the result must not
+    /// depend on the pool's thread count.
+    fn matrix(&self, ctx: &PipelineContext<'_>, maps: &[DataMap]) -> DistanceMatrix;
 }
 
 /// Step 3 — combine the maps of one cluster into a representative map.
@@ -154,8 +162,8 @@ impl MapDistance for ViDistance {
         }
     }
 
-    fn matrix(&self, maps: &[DataMap], table_rows: usize) -> DistanceMatrix {
-        distance_matrix(maps, table_rows, self.metric)
+    fn matrix(&self, ctx: &PipelineContext<'_>, maps: &[DataMap]) -> DistanceMatrix {
+        distance_matrix_with_pool(maps, ctx.table.num_rows(), self.metric, ctx.pool)
     }
 }
 
@@ -283,6 +291,7 @@ mod tests {
             cut_config: &cut_config,
             cut_strategy: strategy,
             drop_empty_regions: true,
+            pool: ThreadPool::sequential(),
         };
         f(&ctx)
     }

@@ -22,6 +22,7 @@
 use crate::error::Result;
 use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
 use atlas_stats::GkSketch;
+use minirayon::ThreadPool;
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -75,36 +76,36 @@ impl TableProfile {
     /// so automatically unless the cut strategy is sketch-based), saving a
     /// full value materialisation per numeric column.
     pub fn build(table: &Table, sketch_epsilon: Option<f64>) -> Self {
+        TableProfile::build_with_pool(table, sketch_epsilon, ThreadPool::sequential())
+    }
+
+    /// [`TableProfile::build`] with one task per column on the given pool, so
+    /// `Atlas::builder` scales with the core count. Column profiles are
+    /// independent and assembled in schema order: the result is identical at
+    /// every thread count.
+    pub fn build_with_pool(table: &Table, sketch_epsilon: Option<f64>, pool: &ThreadPool) -> Self {
         let full = table.full_selection();
-        let columns = table
-            .schema()
-            .fields()
-            .iter()
-            .map(|field| {
-                let column = table
-                    .column(&field.name)
-                    .expect("schema-listed column exists");
-                let stats = ColumnStats::compute(column, &full);
-                let sketch = match (field.dtype, sketch_epsilon) {
-                    (DataType::Int | DataType::Float, Some(epsilon)) => {
-                        let mut sketch = GkSketch::new(epsilon);
-                        sketch.extend(&column.numeric_values_where(&full));
-                        Some(sketch)
-                    }
-                    _ => None,
-                };
-                let non_null = Bitmap::from_indices(
-                    table.num_rows(),
-                    (0..table.num_rows()).filter(|&row| !column.is_null(row)),
-                );
-                ColumnProfile {
-                    name: field.name.clone(),
-                    stats,
-                    sketch,
-                    non_null,
+        let fields = table.schema().fields();
+        let columns = pool.par_map(fields, |field| {
+            let column = table
+                .column(&field.name)
+                .expect("schema-listed column exists");
+            let stats = ColumnStats::compute(column, &full);
+            let sketch = match (field.dtype, sketch_epsilon) {
+                (DataType::Int | DataType::Float, Some(epsilon)) => {
+                    let mut sketch = GkSketch::new(epsilon);
+                    sketch.extend(&column.numeric_values_where(&full));
+                    Some(sketch)
                 }
-            })
-            .collect();
+                _ => None,
+            };
+            ColumnProfile {
+                name: field.name.clone(),
+                stats,
+                sketch,
+                non_null: column.non_null_mask(),
+            }
+        });
         TableProfile {
             num_rows: table.num_rows(),
             columns,
@@ -271,6 +272,26 @@ mod tests {
         assert_eq!(stats.non_null_count, 100);
         assert_eq!(profile.counters(), ProfileStats { hits: 0, misses: 1 });
         assert!(profile.sketch_for("x", &full).is_none());
+    }
+
+    #[test]
+    fn pooled_profile_build_matches_the_sequential_one() {
+        let t = table();
+        let sequential = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
+        let pool = ThreadPool::new(4);
+        let pooled =
+            TableProfile::build_with_pool(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON), &pool);
+        assert_eq!(pooled.num_rows(), sequential.num_rows());
+        assert_eq!(pooled.columns().len(), sequential.columns().len());
+        for (a, b) in pooled.columns().iter().zip(sequential.columns()) {
+            assert_eq!(a.name, b.name, "schema order is preserved");
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.non_null, b.non_null);
+            assert_eq!(a.sketch.is_some(), b.sketch.is_some());
+            if let (Some(sa), Some(sb)) = (&a.sketch, &b.sketch) {
+                assert_eq!(sa.median(), sb.median());
+            }
+        }
     }
 
     #[test]

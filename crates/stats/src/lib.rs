@@ -38,7 +38,8 @@ pub use agreement::{adjusted_rand_index, normalized_mutual_information, purity, 
 pub use contingency::ContingencyTable;
 pub use describe::Describe;
 pub use entropy::{
-    entropy_of_counts, joint_entropy, mutual_information, normalized_vi, variation_of_information,
+    entropy_of_counts, entropy_of_selections, joint_entropy, mutual_information, normalized_vi,
+    variation_of_information,
 };
 pub use gk::GkSketch;
 pub use histogram::{EquiDepthHistogram, EquiWidthHistogram};

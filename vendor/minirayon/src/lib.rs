@@ -1,0 +1,569 @@
+//! A minimal `rayon`-style scoped thread pool, vendored because the build
+//! environment has no crates.io access.
+//!
+//! The pool offers the small work-splitting surface Atlas needs:
+//!
+//! * [`ThreadPool::scope`] / [`Scope::spawn`] — structured fork/join over
+//!   borrowed data, mirroring `std::thread::scope` but running the closures on
+//!   a fixed set of **persistent** worker threads instead of spawning one
+//!   thread per task;
+//! * [`ThreadPool::join`] — run two closures, potentially in parallel;
+//! * [`ThreadPool::par_map`] / [`ThreadPool::par_map_indexed`] /
+//!   [`ThreadPool::par_chunks`] — order-preserving data-parallel helpers built
+//!   on `scope`.
+//!
+//! # Determinism
+//!
+//! Every helper returns its results **in input order**, regardless of which
+//! worker executed which chunk. A pool created with one thread
+//! ([`ThreadPool::sequential`], or `ThreadPool::new(1)`) executes everything
+//! inline on the calling thread, in input order, with no queue and no workers
+//! — it *is* the sequential code path, not a simulation of it. Callers whose
+//! closures are pure functions of their inputs therefore get bit-for-bit
+//! identical results at every thread count.
+//!
+//! # Safety contract
+//!
+//! [`Scope::spawn`] erases the `'scope` lifetime of the task closure so it can
+//! sit in the pool's `'static` work queue (the same lifetime erasure
+//! `rayon-core` and `crossbeam` perform). The erasure is sound because of two
+//! invariants enforced by this module and nothing else:
+//!
+//! 1. **`scope` never returns before every spawned task has finished.**
+//!    [`ThreadPool::scope`] blocks — helping to drain the queue while it waits
+//!    — until the scope's pending-task count reaches zero, even when the scope
+//!    closure or a task panics. A task can therefore never observe a dangling
+//!    `'scope` borrow.
+//! 2. **Tasks never outlive the pool.** Workers are joined in
+//!    [`ThreadPool`]'s `Drop` after the queue is drained of the shutdown flag;
+//!    since tasks only enter the queue inside `scope`, and `scope` borrows the
+//!    pool, all tasks are gone before the pool can be dropped.
+//!
+//! Panics inside a task are caught, forwarded to the scope owner, and re-raised
+//! from `scope` after all sibling tasks finished (first payload wins), so a
+//! panicking task still cannot unwind past the borrowed data's lifetime.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work. `'static` is a lie told by [`Scope::spawn`];
+/// see the module-level safety contract.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled on task enqueue, scope completion, and shutdown. Workers and
+    /// waiting scopes both sleep on it.
+    signal: Condvar,
+}
+
+impl Shared {
+    fn push(&self, task: Task) {
+        let mut queue = self.queue.lock().expect("pool queue is never poisoned");
+        queue.tasks.push_back(task);
+        drop(queue);
+        self.signal.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.queue
+            .lock()
+            .expect("pool queue is never poisoned")
+            .tasks
+            .pop_front()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("pool queue is never poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .signal
+                    .wait(queue)
+                    .expect("pool queue is never poisoned");
+            }
+        };
+        // Tasks are always the catch_unwind wrappers built by `Scope::spawn`,
+        // so a panic in user code never unwinds into this loop.
+        task();
+    }
+}
+
+/// A fixed-size pool of persistent worker threads with a shared FIFO work
+/// queue.
+///
+/// `ThreadPool::new(n)` keeps `n - 1` workers: the thread calling
+/// [`ThreadPool::scope`] always participates in the work, so `n` is the total
+/// number of threads that can run tasks concurrently. `n = 1` spawns no
+/// workers at all and executes every task inline — the sequential path.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool able to run `threads` tasks concurrently (the caller
+    /// counts as one). `threads` is clamped to at least 1.
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            signal: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("minirayon-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// A process-wide single-threaded pool: every task runs inline on the
+    /// calling thread. Handy default for one-shot code paths that take a
+    /// `&ThreadPool` but have nothing to gain from parallelism.
+    pub fn sequential() -> &'static ThreadPool {
+        static SEQUENTIAL: OnceLock<ThreadPool> = OnceLock::new();
+        SEQUENTIAL.get_or_init(|| ThreadPool::new(1))
+    }
+
+    /// Number of threads that can run tasks concurrently (callers included).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run a structured-concurrency scope: `f` may [`Scope::spawn`] tasks that
+    /// borrow from the enclosing environment (`'env`), and `scope` only
+    /// returns once every spawned task has finished.
+    ///
+    /// Panics from tasks (or from `f` itself) are re-raised here after all
+    /// tasks completed, so borrowed data stays valid for as long as any task
+    /// can touch it.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            },
+            scope: PhantomData,
+            env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.wait_all();
+        if let Some(payload) = scope
+            .state
+            .panic
+            .lock()
+            .expect("panic slot lock is never poisoned")
+            .take()
+        {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Run two closures, potentially in parallel, and return both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads == 1 {
+            return (a(), b());
+        }
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join task ran to completion"))
+    }
+
+    /// Split `0..len` into contiguous chunks of at least `min_chunk` indices,
+    /// apply `f` to each chunk, and return the chunk results **in range
+    /// order**. With one thread (or a single chunk) this is a plain loop.
+    pub fn par_chunks<U, F>(&self, len: usize, min_chunk: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(Range<usize>) -> U + Sync,
+    {
+        let min_chunk = min_chunk.max(1);
+        let chunk = len.div_ceil(self.threads * TASKS_PER_THREAD).max(min_chunk);
+        let starts: Vec<usize> = (0..len).step_by(chunk).collect();
+        if self.threads == 1 || starts.len() <= 1 {
+            return starts
+                .into_iter()
+                .map(|start| f(start..(start + chunk).min(len)))
+                .collect();
+        }
+        let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(starts.len()));
+        self.scope(|s| {
+            for &start in &starts {
+                let f = &f;
+                let results = &results;
+                s.spawn(move || {
+                    let value = f(start..(start + chunk).min(len));
+                    results
+                        .lock()
+                        .expect("results lock is never poisoned")
+                        .push((start, value));
+                });
+            }
+        });
+        let mut parts = results
+            .into_inner()
+            .expect("results lock is never poisoned");
+        parts.sort_by_key(|&(start, _)| start);
+        parts.into_iter().map(|(_, value)| value).collect()
+    }
+
+    /// Apply `f` to every index in `0..len` and collect the results in index
+    /// order. `min_chunk` bounds how finely the index range is split.
+    pub fn par_map_indexed<U, F>(&self, len: usize, min_chunk: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        if self.threads == 1 {
+            return (0..len).map(f).collect();
+        }
+        let chunks = self.par_chunks(len, min_chunk, |range| range.map(&f).collect::<Vec<U>>());
+        let mut out = Vec::with_capacity(len);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Apply `f` to every item of `items` and collect the results in item
+    /// order.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.par_map_indexed(items.len(), 1, |i| f(&items[i]))
+    }
+}
+
+/// Target number of tasks per thread when splitting ranges: a little
+/// oversubscription smooths out uneven per-item cost without drowning the
+/// queue in tiny tasks.
+const TASKS_PER_THREAD: usize = 4;
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .expect("pool queue is never poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.signal.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A fork/join scope created by [`ThreadPool::scope`]. Mirrors
+/// `std::thread::Scope`: tasks spawned here may borrow anything that outlives
+/// the `scope` call (`'env`).
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    state: ScopeState,
+    scope: PhantomData<&'scope mut &'scope ()>,
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queue `f` to run on the pool (or run it inline on a single-threaded
+    /// pool). The task may borrow from the scope's environment; `scope` will
+    /// not return until it has finished.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.pool.threads == 1 {
+            f();
+            return;
+        }
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state: &ScopeState = &self.state;
+        let shared: &Shared = &self.pool.shared;
+        let wrapper = move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("panic slot is never poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let remaining = state.pending.fetch_sub(1, Ordering::SeqCst) - 1;
+            if remaining == 0 {
+                // Lock/notify so a scope owner checking `pending` under the
+                // queue lock cannot miss the wakeup.
+                let _queue = shared.queue.lock().expect("pool queue is never poisoned");
+                shared.signal.notify_all();
+            }
+        };
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
+        // SAFETY: `wait_all` (always run by `ThreadPool::scope` before it
+        // returns, panic or not) blocks until this task has executed, so the
+        // `'scope` borrows inside the closure are live for the task's whole
+        // lifetime. See the module-level safety contract.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.pool.shared.push(task);
+    }
+
+    /// Block until every task spawned on this scope has finished, executing
+    /// queued tasks (from any scope on this pool) while waiting.
+    fn wait_all(&self) {
+        if self.pool.threads == 1 {
+            return;
+        }
+        loop {
+            if self.state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if let Some(task) = self.pool.shared.try_pop() {
+                task();
+                continue;
+            }
+            let queue = self
+                .pool
+                .shared
+                .queue
+                .lock()
+                .expect("pool queue is never poisoned");
+            if self.state.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if !queue.tasks.is_empty() {
+                continue;
+            }
+            // Releases the lock; woken by task enqueue or scope completion.
+            drop(
+                self.pool
+                    .shared
+                    .signal
+                    .wait(queue)
+                    .expect("pool queue is never poisoned"),
+            );
+        }
+    }
+}
+
+impl fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &self.state.pending.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// The number of hardware threads, used as the default pool size.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_every_task_exactly_once() {
+        for threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let counter = AtomicU64::new(0);
+            pool.scope(|s| {
+                for i in 0..100u64 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(i + 1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 5050, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..997).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(pool.par_map(&items, |&x| x * x), expected);
+            assert_eq!(
+                pool.par_map_indexed(997, 1, |i| items[i] * items[i]),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_the_range_in_order() {
+        let pool = ThreadPool::new(4);
+        let ranges = pool.par_chunks(103, 10, |range| range);
+        assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        assert_eq!(ranges.last().map(|r| r.end), Some(103));
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "contiguous, ordered chunks");
+        }
+        assert!(ranges.iter().all(|r| r.len() >= 10 || r.end == 103));
+        // Empty ranges produce no chunks.
+        assert!(pool.par_chunks(0, 1, |range| range).is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for threads in [1usize, 4] {
+            let pool = ThreadPool::new(threads);
+            let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
+            assert_eq!(a, 4);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn tasks_borrow_and_mutate_disjoint_environment_data() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 64];
+        pool.scope(|s| {
+            for (i, slot) in data.iter_mut().enumerate() {
+                s.spawn(move || *slot = i * 3);
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    fn panics_propagate_after_all_tasks_finish() {
+        let pool = ThreadPool::new(3);
+        let finished = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for i in 0..20u64 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "the task panic must surface");
+        assert_eq!(finished.load(Ordering::SeqCst), 19, "siblings still ran");
+        // The pool survives a panicked scope.
+        assert_eq!(pool.par_map(&[1, 2, 3], |&x: &i32| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                outer.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn sequential_pool_is_single_threaded_and_inline() {
+        let pool = ThreadPool::sequential();
+        assert_eq!(pool.threads(), 1);
+        // Inline execution: tasks run in spawn order, on the calling thread.
+        let order = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..5 {
+                let order = &order;
+                s.spawn(move || order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn new_clamps_zero_threads_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert!(available_threads() >= 1);
+        assert_eq!(format!("{pool:?}"), "ThreadPool { threads: 1 }");
+    }
+}
