@@ -27,7 +27,7 @@ fn main() {
     // `bench-smoke [path]` — the CI perf-trajectory mode — writes a small
     // JSON report instead of printing the experiment tables.
     if raw_args.first().map(String::as_str) == Some("bench-smoke") {
-        let path = raw_args.get(1).map_or("BENCH_PR3.json", String::as_str);
+        let path = raw_args.get(1).map_or("BENCH_PR4.json", String::as_str);
         bench_smoke(path);
         return;
     }
@@ -634,6 +634,87 @@ fn smoke_scale_point(rows: usize, repeats: usize) -> String {
     )
 }
 
+/// Segmented-storage smoke: streaming CSV ingest throughput. A census CSV is
+/// rendered once in memory, then parsed through the streaming reader (rows
+/// flow straight into the segment-sealing builder, so peak parser memory is
+/// one segment + the inference prefix, not the file).
+fn smoke_ingest(rows: usize) -> String {
+    let table = census(rows);
+    let mut csv = Vec::new();
+    atlas_columnar::csv::write_csv(&table, &mut csv).expect("csv renders");
+    let opts = atlas_columnar::csv::CsvOptions::default();
+
+    let start = Instant::now();
+    let streamed =
+        atlas_columnar::csv::read_csv("census", csv.as_slice(), None, &opts).expect("csv parses");
+    let read_ms = start.elapsed().as_secs_f64() * 1000.0;
+    assert_eq!(streamed.num_rows(), rows);
+
+    let rows_per_s = rows as f64 / (read_ms / 1000.0);
+    format!(
+        "{{\"rows\": {rows}, \"csv_bytes\": {}, \"segment_rows\": {}, \"segments\": {}, \
+         \"read_ms\": {read_ms:.3}, \"rows_per_s\": {rows_per_s:.0}}}",
+        csv.len(),
+        atlas_columnar::default_segment_rows(),
+        streamed.num_segments(),
+    )
+}
+
+/// Segmented-storage smoke: preparing the engine for newly arrived data by
+/// `Atlas::append` (profile only the new segment, merge) vs a from-scratch
+/// rebuild over the extended table — the incremental-ingest acceptance
+/// number. The two engines' answers are asserted identical at runtime.
+fn smoke_append(rows: usize) -> String {
+    let table = census(rows);
+    let query = ConjunctiveQuery::all("census");
+    assert!(
+        table.num_segments() >= 2,
+        "append smoke needs a multi-segment table (segment_rows {} >= rows {rows}?)",
+        atlas_columnar::default_segment_rows(),
+    );
+    let (head, tail) = table.segments().split_at(table.num_segments() - 1);
+    let prefix = Arc::new(
+        atlas_columnar::Table::from_segments("census", table.schema().clone(), head.to_vec())
+            .expect("prefix table"),
+    );
+    let prepared = Atlas::builder(prefix)
+        .config(AtlasConfig::fast())
+        .build()
+        .expect("valid config");
+
+    let start = Instant::now();
+    let appended = prepared
+        .append(Arc::clone(&tail[0]))
+        .expect("append succeeds");
+    let append_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let start = Instant::now();
+    let rebuilt = Atlas::builder(Arc::clone(&table))
+        .config(AtlasConfig::fast())
+        .build()
+        .expect("valid config");
+    let rebuild_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // Incremental preparation must not change the answer.
+    let a = appended.explore(&query).expect("exploration succeeds");
+    let b = rebuilt.explore(&query).expect("exploration succeeds");
+    assert_eq!(a.num_maps(), b.num_maps());
+    for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+        assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+        assert_eq!(ra.map.region_counts(), rb.map.region_counts());
+        assert_eq!(ra.score.to_bits(), rb.score.to_bits());
+    }
+
+    format!(
+        "{{\"rows\": {rows}, \"segments\": {}, \"appended_rows\": {}, \
+         \"append_prepare_ms\": {append_ms:.3}, \"rebuild_prepare_ms\": {rebuild_ms:.3}, \
+         \"speedup\": {:.1}}}",
+        table.num_segments(),
+        tail[0].num_rows(),
+        rebuild_ms / append_ms.max(1e-9),
+    )
+}
+
 /// Pull `"key": <number>` out of a JSON report the cheap way (the reports are
 /// flat enough that the first occurrence is the headline 20k-row figure).
 fn find_number(text: &str, key: &str) -> Option<f64> {
@@ -675,21 +756,27 @@ fn print_phase_deltas(previous_path: &str, previous: &str, current: &str) {
 }
 
 /// The CI perf-trajectory smoke run: the prepared-engine census workload at
-/// three scales (20k, 100k and the new 1M-row point), each explored both
-/// sequentially (`parallelism = 1`) and with the default parallelism,
-/// reported as JSON. When an earlier `BENCH_*.json` is present, a
-/// phase-by-phase delta table is printed so CI logs show the trajectory.
+/// three scales (20k, 100k and 1M rows), each explored both sequentially
+/// (`parallelism = 1`) and with the default parallelism, plus the
+/// segmented-storage numbers — streaming CSV ingest throughput and
+/// append-vs-rebuild preparation — reported as JSON. When an earlier
+/// `BENCH_*.json` is present, a phase-by-phase delta table is printed so CI
+/// logs show the trajectory.
 fn bench_smoke(path: &str) {
     let scale_points = [(20_000usize, 5usize), (100_000, 5), (1_000_000, 2)];
     let scales: Vec<String> = scale_points
         .iter()
         .map(|&(rows, repeats)| smoke_scale_point(rows, repeats))
         .collect();
+    let ingest = smoke_ingest(200_000);
+    let append = smoke_append(1_000_000);
 
     let json = format!(
-        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 3,\n  \"dataset\": \"census\",\n  \
-         \"config\": \"fast\",\n  \"parallelism\": {},\n  \"scale\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 4,\n  \"dataset\": \"census\",\n  \
+         \"config\": \"fast\",\n  \"parallelism\": {},\n  \"segment_rows\": {},\n  \
+         \"scale\": [\n{}\n  ],\n  \"ingest\": {ingest},\n  \"append\": {append}\n}}\n",
         AtlasConfig::default().parallelism,
+        atlas_columnar::default_segment_rows(),
         scales.join(",\n"),
     );
 

@@ -253,6 +253,117 @@ impl Bitmap {
         out
     }
 
+    /// [`Bitmap::for_each_one`] restricted to the half-open row range
+    /// `start..end`: call `f` with the index of every set bit inside the
+    /// range, in increasing order.
+    ///
+    /// This is the kernel segmented tables scan with — each segment walks only
+    /// its own slice of a table-wide selection, skipping all-zero words a
+    /// whole `u64` at a time and masking the two boundary words, so the union
+    /// of the per-segment walks visits exactly the bits the global walk would.
+    #[inline]
+    pub fn for_each_one_in(&self, start: usize, end: usize, mut f: impl FnMut(usize)) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_word = start / WORD_BITS;
+        let last_word = (end - 1) / WORD_BITS;
+        for word_idx in first_word..=last_word {
+            let mut bits = self.words[word_idx];
+            if word_idx == first_word {
+                bits &= !0u64 << (start % WORD_BITS);
+            }
+            if word_idx == last_word {
+                let rem = end - word_idx * WORD_BITS;
+                if rem < WORD_BITS {
+                    bits &= (1u64 << rem) - 1;
+                }
+            }
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                f(word_idx * WORD_BITS + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// [`Bitmap::filter_ones`] restricted to `start..end`, OR-accumulating the
+    /// kept bits into `out` (which must range over the same number of rows).
+    ///
+    /// Segmented scan kernels call this once per segment with the segment's
+    /// global row range: each call assembles whole output words and only the
+    /// (at most two) boundary words of adjacent segments touch the same word,
+    /// which the OR handles without coordination.
+    ///
+    /// # Panics
+    /// Panics if `out` ranges over a different number of rows.
+    #[inline]
+    pub fn filter_ones_in_into(
+        &self,
+        start: usize,
+        end: usize,
+        out: &mut Bitmap,
+        mut keep: impl FnMut(usize) -> bool,
+    ) {
+        assert_eq!(self.len, out.len, "bitmap length mismatch");
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_word = start / WORD_BITS;
+        let last_word = (end - 1) / WORD_BITS;
+        for word_idx in first_word..=last_word {
+            let mut bits = self.words[word_idx];
+            if word_idx == first_word {
+                bits &= !0u64 << (start % WORD_BITS);
+            }
+            if word_idx == last_word {
+                let rem = end - word_idx * WORD_BITS;
+                if rem < WORD_BITS {
+                    bits &= (1u64 << rem) - 1;
+                }
+            }
+            let mut acc = 0u64;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                if keep(word_idx * WORD_BITS + bit as usize) {
+                    acc |= 1u64 << bit;
+                }
+                bits &= bits - 1;
+            }
+            out.words[word_idx] |= acc;
+        }
+    }
+
+    /// Set every bit of `start..end` for which `f(idx)` holds, assembling
+    /// whole words at a time (the range form of [`Bitmap::from_fn`], used to
+    /// build table-wide masks one segment at a time).
+    pub fn fill_range_from_fn(
+        &mut self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize) -> bool,
+    ) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_word = start / WORD_BITS;
+        let last_word = (end - 1) / WORD_BITS;
+        for word_idx in first_word..=last_word {
+            let lo = start.max(word_idx * WORD_BITS);
+            let hi = end.min((word_idx + 1) * WORD_BITS);
+            let mut acc = 0u64;
+            for idx in lo..hi {
+                if f(idx) {
+                    acc |= 1u64 << (idx % WORD_BITS);
+                }
+            }
+            self.words[word_idx] |= acc;
+        }
+    }
+
     /// Build a bitmap over `len` rows from a per-row predicate, assembling
     /// whole words at a time (the fused form of [`Bitmap::from_indices`] for
     /// dense constructions like null masks).
@@ -270,6 +381,47 @@ impl Bitmap {
             *word = acc;
         }
         bm
+    }
+
+    /// A bitmap over `self.len() + other.len()` rows: this bitmap's bits
+    /// followed by `other`'s. Used to extend table-wide masks when a segment
+    /// is appended; word-aligned boundaries (the common case — the default
+    /// segment size is a multiple of 64) are a plain word copy.
+    pub fn concat(&self, other: &Bitmap) -> Bitmap {
+        let mut out = Bitmap::new_empty(self.len + other.len);
+        out.words[..self.words.len()].copy_from_slice(&self.words);
+        if self.len.is_multiple_of(WORD_BITS) {
+            out.words[self.words.len()..].copy_from_slice(&other.words);
+        } else {
+            other.for_each_one(|idx| out.set(self.len + idx));
+        }
+        out
+    }
+
+    /// OR `other`'s bits into this bitmap starting at row `offset` (which
+    /// must leave `other` entirely inside `self`). The in-place counterpart
+    /// of [`Bitmap::concat`] for assembling a table-wide mask from
+    /// per-segment masks in **one linear pass**: word-aligned offsets (the
+    /// common case) OR whole words, unaligned offsets fall back to per-bit
+    /// sets.
+    ///
+    /// # Panics
+    /// Panics if `offset + other.len()` exceeds this bitmap's length.
+    pub fn or_shifted(&mut self, other: &Bitmap, offset: usize) {
+        assert!(
+            offset + other.len <= self.len,
+            "shifted bitmap [{offset}, {}) out of range {}",
+            offset + other.len,
+            self.len
+        );
+        if offset.is_multiple_of(WORD_BITS) {
+            let first_word = offset / WORD_BITS;
+            for (word, &o) in self.words[first_word..].iter_mut().zip(other.words.iter()) {
+                *word |= o;
+            }
+        } else {
+            other.for_each_one(|idx| self.set(offset + idx));
+        }
     }
 
     /// Collect the indices of set bits into a vector.
@@ -463,6 +615,96 @@ mod tests {
                 "len={len}"
             );
         }
+    }
+
+    #[test]
+    fn range_kernels_match_their_global_forms() {
+        // Split points on and off word boundaries, including empty ranges.
+        let bm = Bitmap::from_indices(300, (0..300).filter(|i| i % 3 == 0 || i % 7 == 0));
+        for &(a, b) in &[
+            (0usize, 300usize),
+            (0, 64),
+            (1, 63),
+            (63, 65),
+            (100, 100),
+            (128, 200),
+        ] {
+            let mut ranged = Vec::new();
+            bm.for_each_one_in(a, b, |idx| ranged.push(idx));
+            let expected: Vec<usize> = bm.iter_ones().filter(|&i| i >= a && i < b).collect();
+            assert_eq!(ranged, expected, "range {a}..{b}");
+        }
+        // Covering splits reassemble the global walk exactly.
+        for splits in [
+            vec![0usize, 300],
+            vec![0, 1, 65, 130, 300],
+            vec![0, 64, 128, 192, 300],
+        ] {
+            let mut assembled = Vec::new();
+            let mut filtered = Bitmap::new_empty(300);
+            for pair in splits.windows(2) {
+                bm.for_each_one_in(pair[0], pair[1], |idx| assembled.push(idx));
+                bm.filter_ones_in_into(pair[0], pair[1], &mut filtered, |idx| idx % 2 == 0);
+            }
+            assert_eq!(assembled, bm.iter_ones().collect::<Vec<_>>());
+            assert_eq!(
+                filtered,
+                bm.filter_ones(|idx| idx % 2 == 0),
+                "splits {splits:?}"
+            );
+        }
+        // fill_range_from_fn over covering splits equals from_fn.
+        let mut filled = Bitmap::new_empty(300);
+        for pair in [0usize, 50, 64, 129, 300].windows(2) {
+            filled.fill_range_from_fn(pair[0], pair[1], |idx| idx % 5 == 1);
+        }
+        assert_eq!(filled, Bitmap::from_fn(300, |idx| idx % 5 == 1));
+        // Out-of-range ends are clamped.
+        let mut clamped = Vec::new();
+        bm.for_each_one_in(290, 10_000, |idx| clamped.push(idx));
+        assert!(clamped.iter().all(|&i| (290..300).contains(&i)));
+    }
+
+    #[test]
+    fn concat_joins_aligned_and_unaligned_bitmaps() {
+        // Word-aligned left side takes the copy fast path.
+        let a = Bitmap::from_indices(128, [0, 63, 64, 127]);
+        let b = Bitmap::from_indices(70, [0, 69]);
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 198);
+        assert_eq!(joined.to_indices(), vec![0, 63, 64, 127, 128, 197]);
+        // Unaligned left side shifts bit by bit.
+        let a = Bitmap::from_indices(70, [1, 69]);
+        let joined = a.concat(&b);
+        assert_eq!(joined.len(), 140);
+        assert_eq!(joined.to_indices(), vec![1, 69, 70, 139]);
+        // Empty sides are identities.
+        assert_eq!(Bitmap::new_empty(0).concat(&b), b);
+        assert_eq!(b.concat(&Bitmap::new_empty(0)), b);
+    }
+
+    #[test]
+    fn or_shifted_assembles_masks_at_aligned_and_unaligned_offsets() {
+        let part_a = Bitmap::from_indices(64, [0, 63]);
+        let part_b = Bitmap::from_indices(70, [1, 69]);
+        // Aligned offsets (whole-word OR) reproduce concat.
+        let mut assembled = Bitmap::new_empty(134);
+        assembled.or_shifted(&part_a, 0);
+        assembled.or_shifted(&part_b, 64);
+        assert_eq!(assembled, part_a.concat(&part_b));
+        // Unaligned offset falls back to per-bit sets.
+        let mut assembled = Bitmap::new_empty(134);
+        assembled.or_shifted(&part_b, 0);
+        assembled.or_shifted(&part_a, 70);
+        assert_eq!(assembled, part_b.concat(&part_a));
+        assert_eq!(assembled.to_indices(), vec![1, 69, 70, 133]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn or_shifted_rejects_out_of_range_offsets() {
+        let mut target = Bitmap::new_empty(10);
+        target.or_shifted(&Bitmap::new_full(8), 5);
     }
 
     #[test]

@@ -1,27 +1,38 @@
-//! Row-oriented table construction.
+//! Row-oriented, segment-emitting table construction.
 
 use crate::column::Column;
 use crate::error::{ColumnarError, Result};
 use crate::schema::Schema;
+use crate::segment::{default_segment_rows, Segment};
 use crate::table::Table;
 use crate::value::Value;
+use std::sync::Arc;
 
-/// Incrementally builds a [`Table`] row by row.
+/// Incrementally builds a [`Table`] row by row, sealing an immutable
+/// [`Segment`] every `segment_rows` rows.
 ///
 /// The data generators and the CSV reader both funnel through this builder so
-/// type checking happens in exactly one place.
+/// type checking happens in exactly one place — and so every ingest path
+/// produces segmented storage: the builder's *mutable* state never exceeds
+/// one segment of rows (sealed segments are immutable and final), which is
+/// what bounds the streaming CSV reader's working state by the segment size
+/// instead of the file size.
 #[derive(Debug, Clone)]
 pub struct TableBuilder {
     name: String,
     schema: Schema,
-    columns: Vec<Column>,
+    segment_rows: usize,
+    current: Vec<Column>,
+    current_rows: usize,
+    segments: Vec<Arc<Segment>>,
     num_rows: usize,
 }
 
 impl TableBuilder {
-    /// Start building a table with the given name and schema.
+    /// Start building a table with the given name and schema, sealing
+    /// segments at [`default_segment_rows`].
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = schema
+        let current = schema
             .fields()
             .iter()
             .map(|f| Column::new_empty(f.dtype))
@@ -29,9 +40,24 @@ impl TableBuilder {
         TableBuilder {
             name: name.into(),
             schema,
-            columns,
+            segment_rows: default_segment_rows(),
+            current,
+            current_rows: 0,
+            segments: Vec::new(),
             num_rows: 0,
         }
+    }
+
+    /// Use a specific segment size (rows per sealed segment) instead of
+    /// [`default_segment_rows`]. Values below 1 are clamped to 1.
+    pub fn with_segment_rows(mut self, segment_rows: usize) -> Self {
+        self.segment_rows = segment_rows.max(1);
+        self
+    }
+
+    /// Rows per sealed segment.
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
     }
 
     /// The schema being built against.
@@ -44,17 +70,22 @@ impl TableBuilder {
         self.num_rows
     }
 
+    /// Number of segments sealed so far (excluding the open one).
+    pub fn num_sealed_segments(&self) -> usize {
+        self.segments.len()
+    }
+
     /// Append one row. The slice must have exactly one value per column, in
-    /// schema order.
+    /// schema order. Reaching the segment size seals the open segment.
     pub fn push_row(&mut self, values: &[Value]) -> Result<()> {
-        if values.len() != self.columns.len() {
+        if values.len() != self.current.len() {
             return Err(ColumnarError::LengthMismatch {
-                expected: self.columns.len(),
+                expected: self.current.len(),
                 found: values.len(),
             });
         }
         // Validate all values first so a failed push cannot leave ragged columns.
-        for (column, value) in self.columns.iter().zip(values.iter()) {
+        for (column, value) in self.current.iter().zip(values.iter()) {
             if !value.is_null() {
                 let vt = value.data_type().expect("non-null value has a type");
                 let ct = column.data_type();
@@ -68,16 +99,53 @@ impl TableBuilder {
                 }
             }
         }
-        for (column, value) in self.columns.iter_mut().zip(values.iter()) {
+        for (column, value) in self.current.iter_mut().zip(values.iter()) {
             column.push(value)?;
         }
+        self.current_rows += 1;
         self.num_rows += 1;
+        if self.current_rows >= self.segment_rows {
+            self.seal_segment()?;
+        }
+        Ok(())
+    }
+
+    /// Seal the open segment (a no-op when it holds no rows): its columns
+    /// become an immutable [`Segment`] with per-column statistics, and the
+    /// builder starts a fresh one. Called automatically every
+    /// [`TableBuilder::segment_rows`] rows; calling it directly places a
+    /// segment boundary at the current row.
+    pub fn seal_segment(&mut self) -> Result<()> {
+        if self.current_rows == 0 {
+            return Ok(());
+        }
+        let columns = std::mem::replace(
+            &mut self.current,
+            self.schema
+                .fields()
+                .iter()
+                .map(|f| Column::new_empty(f.dtype))
+                .collect(),
+        );
+        self.current_rows = 0;
+        self.segments
+            .push(Arc::new(Segment::new(&self.schema, columns)?));
         Ok(())
     }
 
     /// Finish building and produce the immutable table.
-    pub fn build(self) -> Result<Table> {
-        Table::new(self.name, self.schema, self.columns)
+    pub fn build(mut self) -> Result<Table> {
+        self.seal_segment()?;
+        Table::from_segments(self.name, self.schema, self.segments)
+    }
+
+    /// Finish building and hand back the sealed segments themselves (with the
+    /// schema), for callers that feed an incremental consumer — e.g.
+    /// streaming segments into an engine's `append` — instead of assembling
+    /// one table.
+    pub fn build_segments(mut self) -> Result<(Schema, Vec<Arc<Segment>>)> {
+        self.seal_segment()?;
+        Ok((self.schema, self.segments))
     }
 }
 
@@ -136,5 +204,51 @@ mod tests {
         let t = TableBuilder::new("empty", schema()).build().unwrap();
         assert!(t.is_empty());
         assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.num_segments(), 0);
+    }
+
+    #[test]
+    fn segments_seal_at_the_configured_size() {
+        let mut b = TableBuilder::new("t", schema()).with_segment_rows(3);
+        assert_eq!(b.segment_rows(), 3);
+        for i in 0..8 {
+            b.push_row(&[Value::Int(i), Value::Float(0.0), Value::Null])
+                .unwrap();
+        }
+        assert_eq!(b.num_sealed_segments(), 2, "two full segments of 3");
+        let t = b.build().unwrap();
+        assert_eq!(t.num_segments(), 3, "plus the 2-row tail");
+        assert_eq!(t.segments()[0].num_rows(), 3);
+        assert_eq!(t.segments()[2].num_rows(), 2);
+        assert_eq!(t.segment_offset(2), 6);
+        assert_eq!(t.value(7, "age").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn manual_seal_places_a_boundary() {
+        let mut b = TableBuilder::new("t", schema()).with_segment_rows(100);
+        b.push_row(&[Value::Int(1), Value::Float(0.0), Value::Null])
+            .unwrap();
+        b.seal_segment().unwrap();
+        b.seal_segment().unwrap(); // idempotent on an empty segment
+        b.push_row(&[Value::Int(2), Value::Float(0.0), Value::Null])
+            .unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn build_segments_returns_sealed_segments() {
+        let mut b = TableBuilder::new("t", schema()).with_segment_rows(2);
+        for i in 0..5 {
+            b.push_row(&[Value::Int(i), Value::Float(0.0), Value::Null])
+                .unwrap();
+        }
+        let (schema, segments) = b.build_segments().unwrap();
+        assert_eq!(segments.len(), 3);
+        assert_eq!(segments.iter().map(|s| s.num_rows()).sum::<usize>(), 5);
+        let t = Table::from_segments("t", schema, segments).unwrap();
+        assert_eq!(t.num_rows(), 5);
     }
 }

@@ -10,6 +10,259 @@ use crate::column::{Column, NULL_CODE};
 use crate::value::DataType;
 use std::collections::HashSet;
 
+/// The distinct non-NULL values seen by a [`ColumnSummary`], kept in a form
+/// that merges exactly across segments (a plain count cannot: segments share
+/// values, so distinct counts are not additive).
+#[derive(Debug, Clone)]
+enum DistinctSet {
+    /// Distinct integers.
+    Ints(HashSet<i64>),
+    /// Distinct floats, keyed by bit pattern (matching the historical
+    /// `ColumnStats` semantics: `-0.0` and `0.0` count separately, NaNs by
+    /// payload).
+    Floats(HashSet<u64>),
+    /// Distinct strings. Segments intern their dictionaries independently, so
+    /// cross-segment identity has to go through the string itself.
+    Strs(HashSet<String>),
+    /// Whether `true` / `false` have been seen.
+    Bools {
+        /// `true` seen.
+        t: bool,
+        /// `false` seen.
+        f: bool,
+    },
+}
+
+impl DistinctSet {
+    fn new(dtype: DataType) -> Self {
+        match dtype {
+            DataType::Int => DistinctSet::Ints(HashSet::new()),
+            DataType::Float => DistinctSet::Floats(HashSet::new()),
+            DataType::Str => DistinctSet::Strs(HashSet::new()),
+            DataType::Bool => DistinctSet::Bools { t: false, f: false },
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DistinctSet::Ints(s) => s.len(),
+            DistinctSet::Floats(s) => s.len(),
+            DistinctSet::Strs(s) => s.len(),
+            DistinctSet::Bools { t, f } => usize::from(*t) + usize::from(*f),
+        }
+    }
+
+    fn union_with(&mut self, other: &DistinctSet) {
+        match (self, other) {
+            (DistinctSet::Ints(a), DistinctSet::Ints(b)) => a.extend(b.iter().copied()),
+            (DistinctSet::Floats(a), DistinctSet::Floats(b)) => a.extend(b.iter().copied()),
+            (DistinctSet::Strs(a), DistinctSet::Strs(b)) => {
+                for s in b {
+                    if !a.contains(s.as_str()) {
+                        a.insert(s.clone());
+                    }
+                }
+            }
+            (DistinctSet::Bools { t, f }, DistinctSet::Bools { t: ot, f: of }) => {
+                *t |= *ot;
+                *f |= *of;
+            }
+            _ => unreachable!("distinct sets of mismatched column types are never merged"),
+        }
+    }
+}
+
+/// The **mergeable** form of [`ColumnStats`]: everything a segment contributes
+/// to the statistics of the whole column, in a representation where two
+/// summaries combine exactly (counts add, min/max fold, mean/variance merge by
+/// Chan's parallel formula, and distinct values union as a real set).
+///
+/// This is what makes profiles incremental: a prepared engine keeps one
+/// `ColumnSummary` per column, and appending a segment merges the new
+/// segment's summary instead of rescanning the table. Merging is
+/// left-associative over segments in row order, so an appended profile is
+/// bit-for-bit the profile a from-scratch rebuild would produce.
+#[derive(Debug, Clone)]
+pub struct ColumnSummary {
+    dtype: DataType,
+    non_null: usize,
+    nulls: usize,
+    // Welford state of the numeric values (zeroed for non-numeric columns).
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    distinct: DistinctSet,
+}
+
+impl ColumnSummary {
+    /// An empty summary for a column of the given type (the identity of
+    /// [`ColumnSummary::merge_from`]).
+    pub fn empty(dtype: DataType) -> Self {
+        ColumnSummary {
+            dtype,
+            non_null: 0,
+            nulls: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: None,
+            max: None,
+            distinct: DistinctSet::new(dtype),
+        }
+    }
+
+    /// Summarise one segment-local column over the rows of `sel` that fall in
+    /// the segment's global row range `offset..offset + column.len()`.
+    ///
+    /// `sel` is a **table-wide** selection; the summary visits only this
+    /// segment's slice of it, so per-segment summaries can be computed
+    /// independently (and in parallel) and then folded in segment order.
+    pub fn compute(column: &Column, sel: &Bitmap, offset: usize) -> Self {
+        let mut out = ColumnSummary::empty(column.data_type());
+        let end = offset + column.len();
+        match column {
+            Column::Int(values) => {
+                let DistinctSet::Ints(distinct) = &mut out.distinct else {
+                    unreachable!("int columns use int distinct sets");
+                };
+                let mut welford = Welford::new();
+                sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
+                    Some(Some(x)) => {
+                        out.non_null += 1;
+                        distinct.insert(*x);
+                        welford.push(*x as f64);
+                    }
+                    Some(None) => out.nulls += 1,
+                    None => {}
+                });
+                out.mean = welford.mean;
+                out.m2 = welford.m2;
+                out.min = welford.min;
+                out.max = welford.max;
+            }
+            Column::Float(values) => {
+                let DistinctSet::Floats(distinct) = &mut out.distinct else {
+                    unreachable!("float columns use float distinct sets");
+                };
+                let mut welford = Welford::new();
+                sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
+                    Some(Some(x)) => {
+                        out.non_null += 1;
+                        distinct.insert(x.to_bits());
+                        welford.push(*x);
+                    }
+                    Some(None) => out.nulls += 1,
+                    None => {}
+                });
+                out.mean = welford.mean;
+                out.m2 = welford.m2;
+                out.min = welford.min;
+                out.max = welford.max;
+            }
+            Column::Str(d) => {
+                // Track distinct codes locally (one indexed flag per row),
+                // then resolve the seen codes to strings once.
+                let mut seen = vec![false; d.cardinality()];
+                sel.for_each_one_in(offset, end, |idx| {
+                    let local = idx - offset;
+                    if local >= d.len() {
+                        return;
+                    }
+                    let code = d.code(local);
+                    if code == NULL_CODE {
+                        out.nulls += 1;
+                    } else {
+                        out.non_null += 1;
+                        seen[code as usize] = true;
+                    }
+                });
+                let DistinctSet::Strs(distinct) = &mut out.distinct else {
+                    unreachable!("string columns use string distinct sets");
+                };
+                for (code, seen) in seen.into_iter().enumerate() {
+                    if seen {
+                        let value = &d.dictionary()[code];
+                        if !distinct.contains(value.as_str()) {
+                            distinct.insert(value.clone());
+                        }
+                    }
+                }
+            }
+            Column::Bool(values) => {
+                let DistinctSet::Bools { t, f } = &mut out.distinct else {
+                    unreachable!("bool columns use bool distinct sets");
+                };
+                sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
+                    Some(Some(true)) => {
+                        out.non_null += 1;
+                        *t = true;
+                    }
+                    Some(Some(false)) => {
+                        out.non_null += 1;
+                        *f = true;
+                    }
+                    Some(None) => out.nulls += 1,
+                    None => {}
+                });
+            }
+        }
+        out
+    }
+
+    /// The column type this summary describes.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Merge `other` — the summary of the rows **after** this summary's rows —
+    /// into `self`. Counts add, min/max fold, distinct values union, and the
+    /// numeric moments combine with Chan's parallel-Welford formula.
+    pub fn merge_from(&mut self, other: &ColumnSummary) {
+        debug_assert_eq!(self.dtype, other.dtype, "summaries of one column only");
+        if other.non_null > 0 {
+            let n_a = self.non_null as f64;
+            let n_b = other.non_null as f64;
+            if self.non_null == 0 {
+                self.mean = other.mean;
+                self.m2 = other.m2;
+            } else {
+                let delta = other.mean - self.mean;
+                let n = n_a + n_b;
+                self.mean += delta * n_b / n;
+                self.m2 += other.m2 + delta * delta * n_a * n_b / n;
+            }
+            self.min = match (self.min, other.min) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            self.max = match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        self.non_null += other.non_null;
+        self.nulls += other.nulls;
+        self.distinct.union_with(&other.distinct);
+    }
+
+    /// Collapse the summary into the public [`ColumnStats`] form. The distinct
+    /// count is exact (it comes from the merged value set).
+    pub fn to_stats(&self) -> ColumnStats {
+        let numeric = matches!(self.dtype, DataType::Int | DataType::Float);
+        let has_values = numeric && self.non_null > 0;
+        ColumnStats {
+            dtype: self.dtype,
+            non_null_count: self.non_null,
+            null_count: self.nulls,
+            distinct_count: self.distinct.len(),
+            min: self.min,
+            max: self.max,
+            mean: has_values.then_some(self.mean),
+            variance: has_values.then_some(self.m2 / self.non_null as f64),
+        }
+    }
+}
+
 /// Summary statistics of one column restricted to a selection.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStats {
@@ -33,108 +286,53 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     /// Compute statistics for `column` over the rows selected by `sel`.
+    ///
+    /// This is the single-segment form of the canonical statistics kernel:
+    /// segmented tables compute one [`ColumnSummary`] per segment and fold
+    /// them in row order, which for one segment is exactly this.
     pub fn compute(column: &Column, sel: &Bitmap) -> ColumnStats {
-        let dtype = column.data_type();
-        let mut non_null = 0usize;
-        let mut nulls = 0usize;
-        match column {
-            Column::Int(values) => {
-                let mut distinct: HashSet<i64> = HashSet::new();
-                let mut welford = Welford::new();
-                sel.for_each_one(|idx| match values.get(idx) {
-                    Some(Some(x)) => {
-                        non_null += 1;
-                        distinct.insert(*x);
-                        welford.push(*x as f64);
-                    }
-                    Some(None) => nulls += 1,
-                    None => {}
-                });
-                ColumnStats {
-                    dtype,
-                    non_null_count: non_null,
-                    null_count: nulls,
-                    distinct_count: distinct.len(),
-                    min: welford.min,
-                    max: welford.max,
-                    mean: welford.mean(),
-                    variance: welford.variance(),
-                }
+        ColumnSummary::compute(column, sel, 0).to_stats()
+    }
+
+    /// Merge the statistics of two disjoint row sets of the **same column**
+    /// (`self` covering the earlier rows).
+    ///
+    /// Counts, min/max, mean and variance merge exactly; `distinct_count`
+    /// merges as the `a + b` **upper bound**, because a plain count cannot
+    /// know how many values the two sides share. Callers that need the exact
+    /// merged distinct count (the engine's table profile does) merge
+    /// [`ColumnSummary`]s instead, which carry the value sets.
+    pub fn merge(&self, other: &ColumnStats) -> ColumnStats {
+        debug_assert_eq!(self.dtype, other.dtype, "statistics of one column only");
+        let n_a = self.non_null_count as f64;
+        let n_b = other.non_null_count as f64;
+        let (mean, variance) = match (self.mean.zip(self.variance), other.mean.zip(other.variance))
+        {
+            (Some((ma, va)), Some((mb, vb))) => {
+                let n = n_a + n_b;
+                let delta = mb - ma;
+                let mean = ma + delta * n_b / n;
+                let m2 = va * n_a + vb * n_b + delta * delta * n_a * n_b / n;
+                (Some(mean), Some(m2 / n))
             }
-            Column::Float(values) => {
-                let mut distinct: HashSet<u64> = HashSet::new();
-                let mut welford = Welford::new();
-                sel.for_each_one(|idx| match values.get(idx) {
-                    Some(Some(x)) => {
-                        non_null += 1;
-                        distinct.insert(x.to_bits());
-                        welford.push(*x);
-                    }
-                    Some(None) => nulls += 1,
-                    None => {}
-                });
-                ColumnStats {
-                    dtype,
-                    non_null_count: non_null,
-                    null_count: nulls,
-                    distinct_count: distinct.len(),
-                    min: welford.min,
-                    max: welford.max,
-                    mean: welford.mean(),
-                    variance: welford.variance(),
-                }
+            (a, b) => {
+                let one = a.or(b);
+                (one.map(|(m, _)| m), one.map(|(_, v)| v))
             }
-            Column::Str(d) => {
-                let mut distinct: HashSet<u32> = HashSet::new();
-                sel.for_each_one(|idx| {
-                    if idx >= d.len() {
-                        return;
-                    }
-                    let code = d.code(idx);
-                    if code == NULL_CODE {
-                        nulls += 1;
-                    } else {
-                        non_null += 1;
-                        distinct.insert(code);
-                    }
-                });
-                ColumnStats {
-                    dtype,
-                    non_null_count: non_null,
-                    null_count: nulls,
-                    distinct_count: distinct.len(),
-                    min: None,
-                    max: None,
-                    mean: None,
-                    variance: None,
-                }
-            }
-            Column::Bool(values) => {
-                let mut seen_true = false;
-                let mut seen_false = false;
-                sel.for_each_one(|idx| match values.get(idx) {
-                    Some(Some(true)) => {
-                        non_null += 1;
-                        seen_true = true;
-                    }
-                    Some(Some(false)) => {
-                        non_null += 1;
-                        seen_false = true;
-                    }
-                    Some(None) => nulls += 1,
-                    None => {}
-                });
-                ColumnStats {
-                    dtype,
-                    non_null_count: non_null,
-                    null_count: nulls,
-                    distinct_count: usize::from(seen_true) + usize::from(seen_false),
-                    min: None,
-                    max: None,
-                    mean: None,
-                    variance: None,
-                }
-            }
+        };
+        let fold = |a: Option<f64>, b: Option<f64>, pick: fn(f64, f64) -> f64| match (a, b) {
+            (Some(x), Some(y)) => Some(pick(x, y)),
+            (x, y) => x.or(y),
+        };
+        ColumnStats {
+            dtype: self.dtype,
+            non_null_count: self.non_null_count + other.non_null_count,
+            null_count: self.null_count + other.null_count,
+            distinct_count: self.distinct_count + other.distinct_count,
+            min: fold(self.min, other.min, f64::min),
+            max: fold(self.max, other.max, f64::max),
+            mean,
+            variance,
         }
     }
 
@@ -193,22 +391,6 @@ impl Welford {
         self.m2 += delta * (x - self.mean);
         self.min = Some(self.min.map_or(x, |m| m.min(x)));
         self.max = Some(self.max.map_or(x, |m| m.max(x)));
-    }
-
-    fn mean(&self) -> Option<f64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.mean)
-        }
-    }
-
-    fn variance(&self) -> Option<f64> {
-        if self.count == 0 {
-            None
-        } else {
-            Some(self.m2 / self.count as f64)
-        }
     }
 }
 
@@ -271,6 +453,86 @@ mod tests {
         assert_eq!(stats.null_count, 1);
         assert_eq!(stats.distinct_count, 2);
         assert_eq!(stats.min, None);
+    }
+
+    #[test]
+    fn summaries_merge_exactly_across_splits() {
+        // Split a column at arbitrary points; the folded summary must agree
+        // with the single-pass statistics on everything, including the exact
+        // distinct count (values are shared across the split).
+        let values: Vec<Option<i64>> = (0..200)
+            .map(|i| if i % 9 == 0 { None } else { Some(i % 13) })
+            .collect();
+        let whole = Column::Int(values.clone());
+        let reference = ColumnStats::compute(&whole, &Bitmap::new_full(200));
+        for split in [1usize, 63, 64, 65, 100, 199] {
+            let left = Column::Int(values[..split].to_vec());
+            let right = Column::Int(values[split..].to_vec());
+            let sel = Bitmap::new_full(200);
+            let mut folded = ColumnSummary::compute(&left, &sel, 0);
+            folded.merge_from(&ColumnSummary::compute(&right, &sel, split));
+            let merged = folded.to_stats();
+            assert_eq!(merged.non_null_count, reference.non_null_count);
+            assert_eq!(merged.null_count, reference.null_count);
+            assert_eq!(
+                merged.distinct_count, reference.distinct_count,
+                "split {split}"
+            );
+            assert_eq!(merged.min, reference.min);
+            assert_eq!(merged.max, reference.max);
+            assert!((merged.mean.unwrap() - reference.mean.unwrap()).abs() < 1e-9);
+            assert!((merged.variance.unwrap() - reference.variance.unwrap()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn string_summaries_union_distinct_values_across_dictionaries() {
+        // Two segments interning overlapping dictionaries independently: the
+        // merged distinct count must deduplicate by string, not by code.
+        let mut a = DictColumn::new();
+        for s in ["x", "y", "x"] {
+            a.push(Some(s));
+        }
+        let mut b = DictColumn::new();
+        for s in ["y", "z", "y"] {
+            b.push(Some(s));
+        }
+        let left = Column::Str(a);
+        let right = Column::Str(b);
+        let sel = Bitmap::new_full(6);
+        let mut folded = ColumnSummary::compute(&left, &sel, 0);
+        folded.merge_from(&ColumnSummary::compute(&right, &sel, 3));
+        let stats = folded.to_stats();
+        assert_eq!(stats.distinct_count, 3, "x, y, z");
+        assert_eq!(stats.non_null_count, 6);
+    }
+
+    #[test]
+    fn column_stats_merge_is_exact_except_distinct() {
+        let a = ColumnStats::compute(
+            &Column::Int(vec![Some(1), Some(2), None]),
+            &Bitmap::new_full(3),
+        );
+        let b = ColumnStats::compute(&Column::Int(vec![Some(2), Some(10)]), &Bitmap::new_full(2));
+        let merged = a.merge(&b);
+        let reference = ColumnStats::compute(
+            &Column::Int(vec![Some(1), Some(2), None, Some(2), Some(10)]),
+            &Bitmap::new_full(5),
+        );
+        assert_eq!(merged.non_null_count, reference.non_null_count);
+        assert_eq!(merged.null_count, reference.null_count);
+        assert_eq!(merged.min, reference.min);
+        assert_eq!(merged.max, reference.max);
+        assert!((merged.mean.unwrap() - reference.mean.unwrap()).abs() < 1e-12);
+        assert!((merged.variance.unwrap() - reference.variance.unwrap()).abs() < 1e-9);
+        // distinct merges as the a + b upper bound (2 is shared).
+        assert_eq!(merged.distinct_count, 4);
+        assert_eq!(reference.distinct_count, 3);
+        // Merging with an all-NULL side keeps the non-NULL side's moments.
+        let nulls = ColumnStats::compute(&Column::Int(vec![None, None]), &Bitmap::new_full(2));
+        let kept = a.merge(&nulls);
+        assert_eq!(kept.mean, a.mean);
+        assert_eq!(kept.null_count, 3);
     }
 
     #[test]

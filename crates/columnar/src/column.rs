@@ -687,6 +687,35 @@ mod tests {
     }
 
     #[test]
+    fn select_range_ignores_nan_values() {
+        // NaN never satisfies an inclusive range, whatever the bounds.
+        let col = Column::Float(vec![Some(1.0), Some(f64::NAN), Some(2.0), None, Some(3.0)]);
+        let all = Bitmap::new_full(5);
+        let hit = col.select_range(&all, f64::NEG_INFINITY, f64::INFINITY);
+        assert_eq!(hit.to_indices(), vec![0, 2, 4]);
+        assert_eq!(col.select_range(&all, 1.0, 2.0).to_indices(), vec![0, 2]);
+        // NaN bounds match nothing (every comparison is false).
+        assert!(col.select_range(&all, f64::NAN, 10.0).is_all_clear());
+        assert!(col.select_range(&all, 0.0, f64::NAN).is_all_clear());
+        assert!(col.select_range(&all, f64::NAN, f64::NAN).is_all_clear());
+    }
+
+    #[test]
+    fn select_range_with_inverted_bounds_selects_nothing() {
+        // (lo, hi) with lo > hi is an empty interval under the inclusive
+        // semantics — pinned so the per-segment kernels keep it.
+        let col = int_col(&[Some(1), Some(2), Some(3)]);
+        let all = Bitmap::new_full(3);
+        assert!(col.select_range(&all, 3.0, 1.0).is_all_clear());
+        // Degenerate single-point interval still matches.
+        assert_eq!(col.select_range(&all, 2.0, 2.0).to_indices(), vec![1]);
+        // select_ranges agrees per region.
+        let regions = col.select_ranges(&all, &[(3.0, 1.0), (2.0, 2.0)]);
+        assert!(regions[0].is_all_clear());
+        assert_eq!(regions[1].to_indices(), vec![1]);
+    }
+
+    #[test]
     fn select_range_on_restricted_selection() {
         let col = Column::Float(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
         let sel = Bitmap::from_indices(4, [1, 2]);

@@ -24,6 +24,9 @@ pub struct CsvOptions {
     pub inference_rows: usize,
     /// Strings treated as NULL (default: empty string, `NULL`, `null`, `NA`).
     pub null_markers: Vec<String>,
+    /// Rows per sealed storage segment while streaming
+    /// (default: [`crate::segment::default_segment_rows`]).
+    pub segment_rows: Option<usize>,
 }
 
 impl Default for CsvOptions {
@@ -38,6 +41,7 @@ impl Default for CsvOptions {
                 "null".to_string(),
                 "NA".to_string(),
             ],
+            segment_rows: None,
         }
     }
 }
@@ -125,22 +129,142 @@ fn infer_type(samples: &[&str], opts: &CsvOptions) -> DataType {
     }
 }
 
-/// Read a table from any reader producing CSV text.
+/// Read a table from any reader producing CSV text, **streaming**: rows flow
+/// straight into a segment-sealing [`TableBuilder`], so the parser's working
+/// state — raw text buffered, rows pending in the open segment — is bounded
+/// by one segment of rows (plus the type-inference prefix when no schema is
+/// supplied), never by the file size. The decoded table itself still grows
+/// with the data, of course; what streaming removes is the old
+/// whole-file-in-memory line buffer alongside it.
 pub fn read_csv<R: Read>(
     name: &str,
     reader: R,
     schema: Option<Schema>,
     opts: &CsvOptions,
 ) -> Result<Table> {
-    let buf = BufReader::new(reader);
-    let mut lines = Vec::new();
-    for line in buf.lines() {
-        let line = line?;
-        if !line.trim().is_empty() {
-            lines.push(line);
+    let mut lines = BufReader::new(reader).lines();
+    // Pull the next non-empty line (whitespace-only lines are skipped, as the
+    // buffered reader always did).
+    let mut next_line = move || -> Result<Option<String>> {
+        for line in lines.by_ref() {
+            let line = line?;
+            if !line.trim().is_empty() {
+                return Ok(Some(line));
+            }
+        }
+        Ok(None)
+    };
+
+    let first = next_line()?.ok_or_else(|| ColumnarError::Csv {
+        line: 0,
+        message: "empty input".to_string(),
+    })?;
+    // Header handling: a headerless file's first line is data and must be
+    // processed again below.
+    let (header, mut pending): (Vec<String>, Vec<String>) = if opts.has_header {
+        (
+            split_line(&first, opts.delimiter)
+                .into_iter()
+                .map(|h| h.trim().to_string())
+                .collect(),
+            Vec::new(),
+        )
+    } else {
+        let ncols = split_line(&first, opts.delimiter).len();
+        ((0..ncols).map(|i| format!("col{i}")).collect(), vec![first])
+    };
+
+    let schema = match schema {
+        Some(s) => {
+            if s.len() != header.len() {
+                return Err(ColumnarError::LengthMismatch {
+                    expected: s.len(),
+                    found: header.len(),
+                });
+            }
+            s
+        }
+        None => {
+            // Buffer only the inference prefix, infer types, then replay it.
+            while pending.len() < opts.inference_rows {
+                match next_line()? {
+                    Some(line) => pending.push(line),
+                    None => break,
+                }
+            }
+            let mut columns_samples: Vec<Vec<&str>> = vec![Vec::new(); header.len()];
+            let split_pending: Vec<Vec<String>> = pending
+                .iter()
+                .map(|line| split_line(line, opts.delimiter))
+                .collect();
+            for fields in &split_pending {
+                for (i, f) in fields.iter().enumerate().take(header.len()) {
+                    columns_samples[i].push(f.as_str());
+                }
+            }
+            let fields: Vec<Field> = header
+                .iter()
+                .zip(columns_samples.iter())
+                .map(|(name, samples)| Field::nullable(name.clone(), infer_type(samples, opts)))
+                .collect();
+            Schema::new(fields)?
+        }
+    };
+
+    let mut builder = TableBuilder::new(name, schema.clone());
+    if let Some(segment_rows) = opts.segment_rows {
+        builder = builder.with_segment_rows(segment_rows);
+    }
+    let mut data_line_no = 0usize; // 0-based index among non-empty data lines
+    let mut row = Vec::with_capacity(schema.len());
+    let mut push_line = |builder: &mut TableBuilder, line: &str, line_no: usize| -> Result<()> {
+        parse_row(line, &schema, opts, line_no, &mut row)?;
+        builder.push_row(&row)
+    };
+    for line in pending.drain(..) {
+        push_line(&mut builder, &line, data_line_no)?;
+        data_line_no += 1;
+    }
+    while let Some(line) = next_line()? {
+        push_line(&mut builder, &line, data_line_no)?;
+        data_line_no += 1;
+    }
+    builder.build()
+}
+
+/// Split and type one data line into `row`, reporting errors with the
+/// 1-based physical line number (`line_no` counts non-empty data lines).
+fn parse_row(
+    line: &str,
+    schema: &Schema,
+    opts: &CsvOptions,
+    line_no: usize,
+    row: &mut Vec<Value>,
+) -> Result<()> {
+    let physical = line_no + if opts.has_header { 2 } else { 1 };
+    let fields = split_line(line, opts.delimiter);
+    if fields.len() != schema.len() {
+        return Err(ColumnarError::Csv {
+            line: physical,
+            message: format!("expected {} fields, found {}", schema.len(), fields.len()),
+        });
+    }
+    row.clear();
+    for (raw, field) in fields.iter().zip(schema.fields().iter()) {
+        match parse_field(raw, field.dtype, opts) {
+            Some(v) => row.push(v),
+            None => {
+                return Err(ColumnarError::Csv {
+                    line: physical,
+                    message: format!(
+                        "cannot parse '{raw}' as {} for column {}",
+                        field.dtype, field.name
+                    ),
+                })
+            }
         }
     }
-    read_csv_lines(name, &lines, schema, opts)
+    Ok(())
 }
 
 /// Read a table from a CSV file on disk.
@@ -161,124 +285,36 @@ pub fn read_csv_str(
     schema: Option<Schema>,
     opts: &CsvOptions,
 ) -> Result<Table> {
-    let lines: Vec<String> = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| l.to_string())
-        .collect();
-    read_csv_lines(name, &lines, schema, opts)
-}
-
-fn read_csv_lines(
-    name: &str,
-    lines: &[String],
-    schema: Option<Schema>,
-    opts: &CsvOptions,
-) -> Result<Table> {
-    if lines.is_empty() {
-        return Err(ColumnarError::Csv {
-            line: 0,
-            message: "empty input".to_string(),
-        });
-    }
-    let (header, data_lines): (Vec<String>, &[String]) = if opts.has_header {
-        (
-            split_line(&lines[0], opts.delimiter)
-                .into_iter()
-                .map(|h| h.trim().to_string())
-                .collect(),
-            &lines[1..],
-        )
-    } else {
-        let ncols = split_line(&lines[0], opts.delimiter).len();
-        ((0..ncols).map(|i| format!("col{i}")).collect(), lines)
-    };
-
-    let schema = match schema {
-        Some(s) => {
-            if s.len() != header.len() {
-                return Err(ColumnarError::LengthMismatch {
-                    expected: s.len(),
-                    found: header.len(),
-                });
-            }
-            s
-        }
-        None => {
-            // Infer types from a prefix of the data.
-            let sample_count = data_lines.len().min(opts.inference_rows);
-            let mut columns_samples: Vec<Vec<String>> = vec![Vec::new(); header.len()];
-            for line in &data_lines[..sample_count] {
-                let fields = split_line(line, opts.delimiter);
-                for (i, f) in fields.iter().enumerate().take(header.len()) {
-                    columns_samples[i].push(f.clone());
-                }
-            }
-            let fields: Vec<Field> = header
-                .iter()
-                .zip(columns_samples.iter())
-                .map(|(name, samples)| {
-                    let refs: Vec<&str> = samples.iter().map(|s| s.as_str()).collect();
-                    Field::nullable(name.clone(), infer_type(&refs, opts))
-                })
-                .collect();
-            Schema::new(fields)?
-        }
-    };
-
-    let mut builder = TableBuilder::new(name, schema.clone());
-    for (line_no, line) in data_lines.iter().enumerate() {
-        let fields = split_line(line, opts.delimiter);
-        if fields.len() != schema.len() {
-            return Err(ColumnarError::Csv {
-                line: line_no + if opts.has_header { 2 } else { 1 },
-                message: format!("expected {} fields, found {}", schema.len(), fields.len()),
-            });
-        }
-        let mut row = Vec::with_capacity(fields.len());
-        for (raw, field) in fields.iter().zip(schema.fields().iter()) {
-            match parse_field(raw, field.dtype, opts) {
-                Some(v) => row.push(v),
-                None => {
-                    return Err(ColumnarError::Csv {
-                        line: line_no + if opts.has_header { 2 } else { 1 },
-                        message: format!(
-                            "cannot parse '{raw}' as {} for column {}",
-                            field.dtype, field.name
-                        ),
-                    })
-                }
-            }
-        }
-        builder.push_row(&row)?;
-    }
-    builder.build()
+    read_csv(name, text.as_bytes(), schema, opts)
 }
 
 /// Write a table as CSV (header + rows) to any writer.
 pub fn write_csv<W: Write>(table: &Table, mut writer: W) -> Result<()> {
     let names = table.schema().names();
     writeln!(writer, "{}", names.join(","))?;
-    for row in 0..table.num_rows() {
-        let mut fields = Vec::with_capacity(names.len());
-        for col in table.columns() {
-            let v = col.value(row);
-            let s = match v {
-                Value::Null => String::new(),
-                Value::Str(s) => {
-                    if s.contains(',') || s.contains('"') {
-                        format!("\"{}\"", s.replace('"', "\"\""))
-                    } else {
-                        s
+    // Walk segment by segment so each cell is a direct indexed load instead
+    // of a per-cell segment lookup.
+    for segment in table.segments() {
+        for local in 0..segment.num_rows() {
+            let mut fields = Vec::with_capacity(names.len());
+            for col in segment.columns() {
+                let s = match col.value(local) {
+                    Value::Null => String::new(),
+                    Value::Str(s) => {
+                        if s.contains(',') || s.contains('"') {
+                            format!("\"{}\"", s.replace('"', "\"\""))
+                        } else {
+                            s
+                        }
                     }
-                }
-                Value::Int(i) => i.to_string(),
-                Value::Float(f) => f.to_string(),
-                Value::Bool(b) => b.to_string(),
-            };
-            fields.push(s);
+                    Value::Int(i) => i.to_string(),
+                    Value::Float(f) => f.to_string(),
+                    Value::Bool(b) => b.to_string(),
+                };
+                fields.push(s);
+            }
+            writeln!(writer, "{}", fields.join(","))?;
         }
-        writeln!(writer, "{}", fields.join(","))?;
     }
     Ok(())
 }
@@ -385,5 +421,39 @@ mod tests {
     fn empty_input_is_an_error() {
         let err = read_csv_str("t", "", None, &CsvOptions::default()).unwrap_err();
         assert!(matches!(err, ColumnarError::Csv { .. }));
+        // Whitespace-only input is empty too.
+        let err = read_csv_str("t", "\n  \n", None, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, ColumnarError::Csv { line: 0, .. }));
+    }
+
+    #[test]
+    fn streaming_reader_seals_segments_and_matches_the_one_shot_parse() {
+        // 10 data rows with a tiny inference prefix and 3-row segments: the
+        // reader must hand rows straight to the segment-sealing builder (its
+        // live state never exceeds one segment) and still parse identically.
+        let mut text = String::from("id,group\n");
+        for i in 0..10 {
+            text.push_str(&format!("{i},{}\n", ["a", "b"][i % 2]));
+        }
+        let opts = CsvOptions {
+            inference_rows: 2,
+            segment_rows: Some(3),
+            ..CsvOptions::default()
+        };
+        let t = read_csv_str("t", &text, None, &opts).unwrap();
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.num_segments(), 4, "3+3+3+1");
+        assert_eq!(t.schema().field("id").unwrap().dtype, DataType::Int);
+        let whole = read_csv_str("t", &text, None, &CsvOptions::default()).unwrap();
+        for row in 0..10 {
+            assert_eq!(t.row(row).unwrap(), whole.row(row).unwrap());
+        }
+        // Inference still sees rows beyond the first segment? No — only the
+        // prefix: a float first appearing after the prefix is a parse error,
+        // pinning the bounded-memory contract (nothing past the prefix is
+        // buffered for inference).
+        let text = String::from("v\n1\n2\n2.5\n");
+        let err = read_csv_str("t", &text, None, &opts).unwrap_err();
+        assert!(matches!(err, ColumnarError::Csv { line: 4, .. }));
     }
 }

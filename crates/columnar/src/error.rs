@@ -28,6 +28,24 @@ pub enum ColumnarError {
         /// The type that was found.
         found: String,
     },
+    /// A named column disagrees with its table (or segment) on length.
+    ColumnLengthMismatch {
+        /// The offending column.
+        column: String,
+        /// The expected number of rows.
+        expected: usize,
+        /// The number of rows actually found.
+        found: usize,
+    },
+    /// A named column disagrees with its schema field on data type.
+    ColumnTypeMismatch {
+        /// The offending column.
+        column: String,
+        /// The type the schema declares.
+        expected: String,
+        /// The type the column actually has.
+        found: String,
+    },
     /// A row index was out of bounds.
     RowOutOfBounds {
         /// The offending row index.
@@ -64,6 +82,26 @@ impl fmt::Display for ColumnarError {
             }
             ColumnarError::TypeMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ColumnarError::ColumnLengthMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "column '{column}': length mismatch, expected {expected} rows, found {found}"
+                )
+            }
+            ColumnarError::ColumnTypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "column '{column}': type mismatch, schema declares {expected}, column is {found}"
+                )
             }
             ColumnarError::RowOutOfBounds { row, len } => {
                 write!(f, "row index {row} out of bounds for length {len}")

@@ -11,11 +11,10 @@
 //! prefixing the right-hand columns with the right table's name.
 
 use crate::builder::TableBuilder;
-use crate::column::Column;
 use crate::error::{ColumnarError, Result};
 use crate::schema::{Field, Schema};
 use crate::table::Table;
-use crate::value::Value;
+use crate::value::{DataType, Value};
 use std::collections::HashMap;
 
 /// A join key value, normalised so that `Int(3)` in one table matches
@@ -53,8 +52,8 @@ pub fn hash_join(
 ) -> Result<Table> {
     let left_key_column = left.column(left_key)?;
     let right_key_column = right.column(right_key)?;
-    for (key_name, column) in [(left_key, left_key_column), (right_key, right_key_column)] {
-        if matches!(column, Column::Float(_)) {
+    for (key_name, column) in [(left_key, &left_key_column), (right_key, &right_key_column)] {
+        if column.data_type() == DataType::Float {
             return Err(ColumnarError::TypeMismatch {
                 expected: "int, str or bool join key".to_string(),
                 found: format!("float key column '{key_name}'"),
@@ -94,7 +93,8 @@ pub fn hash_join(
         }
     }
 
-    // Probe phase.
+    // Probe phase. Rows are fetched with `Table::row` — one segment lookup
+    // per row instead of one per cell.
     for left_row in 0..left.num_rows() {
         let Some(key) = join_key(&left_key_column.value(left_row)) else {
             continue;
@@ -102,18 +102,12 @@ pub fn hash_join(
         let Some(matches) = index.get(&key) else {
             continue;
         };
+        let left_values = left.row(left_row)?;
         for &right_row in matches {
-            let mut row: Vec<Value> = Vec::with_capacity(builder.schema().len());
-            for column in left.columns() {
-                row.push(column.value(left_row));
-            }
+            let mut row = left_values.clone();
+            let right_values = right.row(right_row)?;
             for (right_idx, _) in &right_output {
-                row.push(
-                    right
-                        .column_at(*right_idx)
-                        .expect("index from the right schema")
-                        .value(right_row),
-                );
+                row.push(right_values[*right_idx].clone());
             }
             builder.push_row(&row)?;
         }

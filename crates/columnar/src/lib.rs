@@ -6,24 +6,34 @@
 //! answers per-attribute scans restricted by a selection, counts covers, and
 //! exposes per-column statistics.
 //!
-//! The engine is deliberately single-node and single-threaded: Atlas targets a
-//! single interactive exploration session, and everything it asks of the DBMS is
-//! a sequence of column scans over the (already filtered) working set.
+//! Storage is **segmented**: a [`Table`] is an ordered list of immutable
+//! [`Segment`]s (contiguous row ranges, each with its own columns and
+//! seal-time [`ColumnStats`]), shared individually by `Arc`. Appending data
+//! creates a new table that reuses every existing segment, so continuously
+//! ingesting workloads extend state instead of invalidating it. All scan
+//! kernels ([`ColumnView`]) operate per-segment in global row coordinates and
+//! are bit-for-bit independent of the segment layout; the layout is
+//! controlled by `ATLAS_SEGMENT_ROWS` ([`segment::default_segment_rows`]).
 //!
 //! ## Key types
 //!
 //! * [`Value`] / [`DataType`] — the scalar type system (64-bit integers, 64-bit
 //!   floats, dictionary-encoded strings, booleans).
-//! * [`Column`] — a typed column with a null mask; string columns are
-//!   dictionary-encoded ([`column::DictColumn`]).
-//! * [`Bitmap`] — a packed selection vector used to represent query results and
-//!   region extents.
+//! * [`Column`] — a typed segment-local column with a null mask; string columns
+//!   are dictionary-encoded ([`column::DictColumn`]).
+//! * [`Segment`] — an immutable row range: one column per field plus
+//!   per-column statistics.
+//! * [`ColumnView`] — one schema column across every segment of a table; all
+//!   selection / partition / statistics kernels live here.
+//! * [`Bitmap`] — a packed selection vector over the table's global rows,
+//!   used to represent query results and region extents.
 //! * [`Schema`] / [`Field`] — relation schemas.
-//! * [`Table`] — an immutable relation (schema + columns), built through a
-//!   [`TableBuilder`] or loaded from CSV.
+//! * [`Table`] — an immutable relation (schema + segments), built through a
+//!   segment-sealing [`TableBuilder`] or streamed from CSV.
 //! * [`Catalog`] — a named collection of tables.
-//! * [`ColumnStats`] — per-column summary statistics (min/max, nulls, distinct
-//!   count estimate, mean/variance for numeric columns).
+//! * [`ColumnStats`] — per-column summary statistics (min/max, nulls, exact
+//!   distinct counts, mean/variance for numeric columns), with
+//!   [`colstats::ColumnSummary`] as the exactly-mergeable form.
 
 #![warn(missing_docs)]
 
@@ -36,16 +46,20 @@ pub mod csv;
 pub mod error;
 pub mod join;
 pub mod schema;
+pub mod segment;
 pub mod table;
 pub mod value;
+pub mod view;
 
 pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use catalog::Catalog;
-pub use colstats::ColumnStats;
+pub use colstats::{ColumnStats, ColumnSummary};
 pub use column::Column;
 pub use error::{ColumnarError, Result};
 pub use join::hash_join;
 pub use schema::{Field, Schema};
+pub use segment::{default_segment_rows, Segment};
 pub use table::Table;
 pub use value::{DataType, Value};
+pub use view::ColumnView;

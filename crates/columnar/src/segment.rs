@@ -1,0 +1,241 @@
+//! Immutable row-range segments of a [`crate::Table`].
+//!
+//! A segment is a horizontal slice of a relation: one column per schema field,
+//! all of the same length, with per-column [`ColumnStats`] available on
+//! demand (computed lazily, cached for the segment's lifetime). Segments are **immutable** and shared by `Arc`, so
+//! appending data to a table never touches (or copies) the rows already
+//! ingested: a new table is the old segment list plus one new segment, and
+//! engine-side statistics extend by merging the new segment's summaries.
+//!
+//! The segment size is a storage-layout knob, not a semantics knob: every scan
+//! kernel walks the segments in row order and assembles results in global row
+//! coordinates, so query answers are bit-for-bit identical at every segment
+//! size for every **exact** kernel and cut strategy — the default pipeline
+//! end to end (the property `tests/segments.rs` pins). The one deliberate
+//! exception is the ε-approximate `SketchMedian` cut strategy: its quantile
+//! sketch is a fold of per-segment sketches, so its (already approximate)
+//! split points may shift with the chunking, within the same ε rank-error
+//! envelope.
+
+use crate::bitmap::Bitmap;
+use crate::colstats::{ColumnStats, ColumnSummary};
+use crate::column::Column;
+use crate::error::{ColumnarError, Result};
+use crate::schema::Schema;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The default number of rows per segment: the `ATLAS_SEGMENT_ROWS`
+/// environment variable if set to a positive integer, 65 536 otherwise
+/// (a word-aligned size large enough to keep per-segment overheads
+/// negligible; CI runs the suite with `ATLAS_SEGMENT_ROWS=1024` to exercise
+/// the many-segment paths).
+pub fn default_segment_rows() -> usize {
+    match std::env::var("ATLAS_SEGMENT_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => 65_536,
+    }
+}
+
+/// One immutable row-range of a table: a column per schema field plus the
+/// per-column statistics of those rows.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    columns: Vec<Column>,
+    num_rows: usize,
+    /// Per-column statistics, computed on first access (sealing itself stays
+    /// a pure move, so hot ingest paths — streaming CSV, joins,
+    /// `materialize` — never pay for statistics nobody reads).
+    stats: OnceLock<Vec<ColumnStats>>,
+}
+
+impl Segment {
+    /// Seal a segment from columns matching `schema`. All columns must have
+    /// the same length and the schema's types; violations are reported with
+    /// the offending column's name.
+    ///
+    /// Per-column [`ColumnStats`] are the segment's *introspection* surface
+    /// (fast `null_count`, per-segment min/max for users and future
+    /// pruning); they are computed lazily on first access and cached for the
+    /// segment's lifetime. Engine profiles deliberately do **not** reuse
+    /// them: a profile's summaries must be foldable (they carry
+    /// distinct-value sets the sealed form drops to stay small), so
+    /// preparing an engine scans each segment itself — the price of keeping
+    /// segments lean while profiles stay exactly mergeable.
+    pub fn new(schema: &Schema, columns: Vec<Column>) -> Result<Self> {
+        let num_rows = validate_columns(schema, &columns)?;
+        Ok(Segment {
+            columns,
+            num_rows,
+            stats: OnceLock::new(),
+        })
+    }
+
+    /// Number of rows in this segment.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// True if the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The segment's columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The column at schema position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The statistics of every column, in schema order (computed on first
+    /// access, cached afterwards).
+    pub fn stats(&self) -> &[ColumnStats] {
+        self.stats.get_or_init(|| {
+            let full = Bitmap::new_full(self.num_rows);
+            self.columns
+                .iter()
+                .map(|c| ColumnSummary::compute(c, &full, 0).to_stats())
+                .collect()
+        })
+    }
+
+    /// The statistics of the column at schema position `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn column_stats(&self, idx: usize) -> &ColumnStats {
+        &self.stats()[idx]
+    }
+}
+
+/// The one shared column-set validation: schema arity, per-column length
+/// agreement and schema types, reporting violations with the offending
+/// column's name. Returns the common row count. Used by [`Segment::new`],
+/// `Table::new` (before chunking) and `Table::from_segments` (on sealed
+/// segments, whose lengths are already consistent).
+pub(crate) fn validate_columns(schema: &Schema, columns: &[Column]) -> Result<usize> {
+    if schema.len() != columns.len() {
+        return Err(ColumnarError::LengthMismatch {
+            expected: schema.len(),
+            found: columns.len(),
+        });
+    }
+    let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
+    for (field, column) in schema.fields().iter().zip(columns.iter()) {
+        if column.len() != num_rows {
+            return Err(ColumnarError::ColumnLengthMismatch {
+                column: field.name.clone(),
+                expected: num_rows,
+                found: column.len(),
+            });
+        }
+        if column.data_type() != field.dtype {
+            return Err(ColumnarError::ColumnTypeMismatch {
+                column: field.name.clone(),
+                expected: field.dtype.name().to_string(),
+                found: column.data_type().name().to_string(),
+            });
+        }
+    }
+    Ok(num_rows)
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segment [{} rows x {} columns]",
+            self.num_rows,
+            self.columns.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::DictColumn;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("name", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_are_computed_lazily_and_cached() {
+        let ages = Column::Int(vec![Some(20), None, Some(40)]);
+        let mut d = DictColumn::new();
+        for n in ["ann", "bob", "ann"] {
+            d.push(Some(n));
+        }
+        let seg = Segment::new(&schema(), vec![ages, Column::Str(d)]).unwrap();
+        assert_eq!(seg.num_rows(), 3);
+        assert_eq!(seg.num_columns(), 2);
+        assert!(!seg.is_empty());
+        assert_eq!(seg.column_stats(0).non_null_count, 2);
+        assert_eq!(seg.column_stats(0).null_count, 1);
+        assert_eq!(seg.column_stats(0).min, Some(20.0));
+        assert_eq!(seg.column_stats(1).distinct_count, 2);
+        assert_eq!(seg.stats().len(), 2);
+        assert_eq!(seg.to_string(), "segment [3 rows x 2 columns]");
+    }
+
+    #[test]
+    fn mismatches_name_the_offending_column() {
+        // Length mismatch between the two columns.
+        let ages = Column::Int(vec![Some(20), Some(30)]);
+        let mut d = DictColumn::new();
+        d.push(Some("ann"));
+        let err = Segment::new(&schema(), vec![ages, Column::Str(d)]).unwrap_err();
+        match err {
+            ColumnarError::ColumnLengthMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                assert_eq!(column, "name");
+                assert_eq!((expected, found), (2, 1));
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // Type mismatch on a named column.
+        let wrong = Column::Float(vec![Some(1.0)]);
+        let mut d = DictColumn::new();
+        d.push(Some("ann"));
+        let err = Segment::new(&schema(), vec![wrong, Column::Str(d)]).unwrap_err();
+        match err {
+            ColumnarError::ColumnTypeMismatch { column, .. } => assert_eq!(column, "age"),
+            other => panic!("unexpected error: {other}"),
+        }
+        // Wrong column count keeps the schema-arity error.
+        assert!(matches!(
+            Segment::new(&schema(), vec![]),
+            Err(ColumnarError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn default_segment_rows_is_positive() {
+        assert!(default_segment_rows() >= 1);
+    }
+}

@@ -1,60 +1,109 @@
-//! Immutable in-memory relations.
+//! Immutable in-memory relations, stored as ordered lists of segments.
 
 use crate::bitmap::Bitmap;
+use crate::builder::TableBuilder;
 use crate::colstats::ColumnStats;
-use crate::column::Column;
+use crate::column::{Column, DictColumn};
 use crate::error::{ColumnarError, Result};
 use crate::schema::Schema;
+use crate::segment::{default_segment_rows, Segment};
 use crate::value::Value;
+use crate::view::ColumnView;
 use std::fmt;
 use std::sync::Arc;
 
-/// An immutable relation: a schema plus one [`Column`] per field.
+/// An immutable relation: a schema plus an ordered list of [`Segment`]s, each
+/// holding a contiguous row range with one column per field.
 ///
-/// Tables are cheap to share (`Arc<Table>`); Atlas keeps the working set of an
-/// exploration session as a single table plus selection bitmaps, never copying
-/// rows.
+/// Tables are cheap to share (`Arc<Table>`) **and cheap to extend**: because
+/// segments are immutable and individually `Arc`-shared,
+/// [`Table::append_segment`] produces a new table that reuses every existing
+/// segment and adds one — ingested data is never copied or re-encoded. All
+/// row addressing is global: a [`Bitmap`] selection ranges over the whole
+/// table, and the per-segment scan kernels of [`ColumnView`] assemble their
+/// results in global coordinates, so query answers are independent of the
+/// segment layout.
 #[derive(Debug, Clone)]
 pub struct Table {
-    name: String,
-    schema: Schema,
-    columns: Vec<Column>,
-    num_rows: usize,
+    pub(crate) name: String,
+    pub(crate) schema: Schema,
+    pub(crate) segments: Vec<Arc<Segment>>,
+    /// Global row index of the first row of each segment.
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) num_rows: usize,
 }
 
 impl Table {
-    /// Assemble a table from a schema and matching columns.
+    /// Assemble a table from a schema and matching whole-relation columns.
     ///
     /// All columns must have the same length and their types must match the
-    /// schema.
+    /// schema; violations name the offending column. The rows are chunked
+    /// into segments of [`default_segment_rows`] (columns short enough to fit
+    /// one segment are moved, not copied).
     pub fn new(name: impl Into<String>, schema: Schema, columns: Vec<Column>) -> Result<Self> {
-        if schema.len() != columns.len() {
-            return Err(ColumnarError::LengthMismatch {
-                expected: schema.len(),
-                found: columns.len(),
-            });
+        let num_rows = crate::segment::validate_columns(&schema, &columns)?;
+        let segment_rows = default_segment_rows();
+        let mut segments = Vec::new();
+        if num_rows <= segment_rows {
+            if num_rows > 0 {
+                segments.push(Arc::new(Segment::new(&schema, columns)?));
+            }
+        } else {
+            let mut start = 0;
+            while start < num_rows {
+                let end = (start + segment_rows).min(num_rows);
+                let chunk: Vec<Column> = columns
+                    .iter()
+                    .map(|c| slice_column(c, start, end))
+                    .collect();
+                segments.push(Arc::new(Segment::new(&schema, chunk)?));
+                start = end;
+            }
         }
-        let num_rows = columns.first().map(|c| c.len()).unwrap_or(0);
-        for (field, column) in schema.fields().iter().zip(columns.iter()) {
-            if column.len() != num_rows {
-                return Err(ColumnarError::LengthMismatch {
-                    expected: num_rows,
-                    found: column.len(),
-                });
+        Table::from_segments(name, schema, segments)
+    }
+
+    /// Assemble a table from already-sealed segments (validated against the
+    /// schema; zero-row segments are dropped).
+    pub fn from_segments(
+        name: impl Into<String>,
+        schema: Schema,
+        segments: Vec<Arc<Segment>>,
+    ) -> Result<Self> {
+        let mut kept = Vec::with_capacity(segments.len());
+        let mut offsets = Vec::with_capacity(segments.len());
+        let mut num_rows = 0usize;
+        for segment in segments {
+            validate_segment(&schema, &segment)?;
+            if segment.is_empty() {
+                continue;
             }
-            if column.data_type() != field.dtype {
-                return Err(ColumnarError::TypeMismatch {
-                    expected: field.dtype.name().to_string(),
-                    found: column.data_type().name().to_string(),
-                });
-            }
+            offsets.push(num_rows);
+            num_rows += segment.num_rows();
+            kept.push(segment);
         }
         Ok(Table {
             name: name.into(),
             schema,
-            columns,
+            segments: kept,
+            offsets,
             num_rows,
         })
+    }
+
+    /// A new table extending this one with one more segment (which must match
+    /// the schema). Existing segments are shared, not copied: this is the
+    /// storage half of incremental ingest.
+    pub fn append_segment(&self, segment: impl Into<Arc<Segment>>) -> Result<Table> {
+        let segment = segment.into();
+        validate_segment(&self.schema, &segment)?;
+        let mut out = self.clone();
+        if !segment.is_empty() {
+            out.offsets.push(out.num_rows);
+            out.num_rows += segment.num_rows();
+            out.segments.push(segment);
+        }
+        Ok(out)
     }
 
     /// The table name.
@@ -74,7 +123,7 @@ impl Table {
 
     /// Number of columns.
     pub fn num_columns(&self) -> usize {
-        self.columns.len()
+        self.schema.len()
     }
 
     /// True if the table holds no rows.
@@ -82,20 +131,40 @@ impl Table {
         self.num_rows == 0
     }
 
-    /// The column with the given name.
-    pub fn column(&self, name: &str) -> Result<&Column> {
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The segments, in row order.
+    pub fn segments(&self) -> &[Arc<Segment>] {
+        &self.segments
+    }
+
+    /// Global row index of the first row of segment `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn segment_offset(&self, idx: usize) -> usize {
+        self.offsets[idx]
+    }
+
+    /// A view of the column with the given name, spanning every segment.
+    pub fn column(&self, name: &str) -> Result<ColumnView<'_>> {
         let idx = self.schema.index_of(name)?;
-        Ok(&self.columns[idx])
+        Ok(ColumnView::new(self, idx))
     }
 
-    /// The column at the given index, if any.
-    pub fn column_at(&self, idx: usize) -> Option<&Column> {
-        self.columns.get(idx)
+    /// A view of the column at the given schema position, if any.
+    pub fn column_at(&self, idx: usize) -> Option<ColumnView<'_>> {
+        (idx < self.schema.len()).then(|| ColumnView::new(self, idx))
     }
 
-    /// All columns, in schema order.
-    pub fn columns(&self) -> &[Column] {
-        &self.columns
+    /// Views of all columns, in schema order.
+    pub fn columns(&self) -> Vec<ColumnView<'_>> {
+        (0..self.schema.len())
+            .map(|idx| ColumnView::new(self, idx))
+            .collect()
     }
 
     /// The value at (`row`, `column_name`).
@@ -109,6 +178,20 @@ impl Table {
         Ok(self.column(column_name)?.value(row))
     }
 
+    /// The segment containing global row `row`, with its offset.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub(crate) fn segment_of(&self, row: usize) -> (usize, &Segment) {
+        assert!(
+            row < self.num_rows,
+            "row index {row} out of bounds for length {}",
+            self.num_rows
+        );
+        let idx = self.offsets.partition_point(|&o| o <= row) - 1;
+        (self.offsets[idx], &self.segments[idx])
+    }
+
     /// A full selection over this table (all rows).
     pub fn full_selection(&self) -> Bitmap {
         Bitmap::new_full(self.num_rows)
@@ -119,10 +202,34 @@ impl Table {
         Bitmap::new_empty(self.num_rows)
     }
 
-    /// Compute summary statistics for the named column over the selected rows.
+    /// Compute summary statistics for the named column over the selected rows
+    /// (one [`crate::colstats::ColumnSummary`] per segment, folded in row
+    /// order).
     pub fn column_stats(&self, name: &str, sel: &Bitmap) -> Result<ColumnStats> {
-        let column = self.column(name)?;
-        Ok(ColumnStats::compute(column, sel))
+        Ok(self.column(name)?.stats(sel))
+    }
+
+    /// Whole-column statistics folded from the segments' **cached** per-
+    /// segment statistics via [`ColumnStats::merge`] — no row scan when the
+    /// segment stats are already materialised, and at most one scan per
+    /// segment ever.
+    ///
+    /// Counts, min/max, mean and variance are exact; `distinct_count` is the
+    /// `merge` upper bound (segments may share values). Use
+    /// [`Table::column_stats`] with a full selection when the distinct count
+    /// must be exact.
+    pub fn quick_column_stats(&self, name: &str) -> Result<ColumnStats> {
+        let idx = self.schema.index_of(name)?;
+        let dtype = self.schema.fields()[idx].dtype;
+        let mut acc: Option<ColumnStats> = None;
+        for segment in &self.segments {
+            let stats = segment.column_stats(idx);
+            acc = Some(match acc {
+                Some(folded) => folded.merge(stats),
+                None => stats.clone(),
+            });
+        }
+        Ok(acc.unwrap_or_else(|| crate::colstats::ColumnSummary::empty(dtype).to_stats()))
     }
 
     /// Materialise a row as a vector of values (mostly for display / tests).
@@ -133,7 +240,12 @@ impl Table {
                 len: self.num_rows,
             });
         }
-        Ok(self.columns.iter().map(|c| c.value(row)).collect())
+        let (offset, segment) = self.segment_of(row);
+        Ok(segment
+            .columns()
+            .iter()
+            .map(|c| c.value(row - offset))
+            .collect())
     }
 
     /// Build a new, smaller table containing only the selected rows.
@@ -142,25 +254,46 @@ impl Table {
     /// explorer uses it to export a region, and the anytime engine uses it to
     /// materialise samples.
     pub fn materialize(&self, name: impl Into<String>, sel: &Bitmap) -> Result<Table> {
-        let mut new_columns: Vec<Column> = self
-            .columns
-            .iter()
-            .map(|c| Column::new_empty(c.data_type()))
-            .collect();
+        let mut builder = TableBuilder::new(name, self.schema.clone());
+        let mut row_buf: Vec<Value> = Vec::with_capacity(self.schema.len());
         for idx in sel.iter_ones() {
             if idx >= self.num_rows {
                 break;
             }
-            for (src, dst) in self.columns.iter().zip(new_columns.iter_mut()) {
-                dst.push(&src.value(idx))?;
-            }
+            let (offset, segment) = self.segment_of(idx);
+            row_buf.clear();
+            row_buf.extend(segment.columns().iter().map(|c| c.value(idx - offset)));
+            builder.push_row(&row_buf)?;
         }
-        Table::new(name, self.schema.clone(), new_columns)
+        builder.build()
     }
 
     /// Wrap the table in an `Arc` for sharing.
     pub fn into_shared(self) -> Arc<Table> {
         Arc::new(self)
+    }
+}
+
+/// Check a sealed segment against a table schema (column count and types;
+/// lengths inside a sealed segment are consistent by construction).
+fn validate_segment(schema: &Schema, segment: &Segment) -> Result<()> {
+    crate::segment::validate_columns(schema, segment.columns()).map(|_| ())
+}
+
+/// Copy the rows `start..end` of a whole-relation column into a segment-local
+/// column (string columns are re-interned into a segment-local dictionary).
+fn slice_column(column: &Column, start: usize, end: usize) -> Column {
+    match column {
+        Column::Int(v) => Column::Int(v[start..end].to_vec()),
+        Column::Float(v) => Column::Float(v[start..end].to_vec()),
+        Column::Bool(v) => Column::Bool(v[start..end].to_vec()),
+        Column::Str(d) => {
+            let mut out = DictColumn::new();
+            for row in start..end {
+                out.push(d.get(row));
+            }
+            Column::Str(out)
+        }
     }
 }
 
@@ -173,7 +306,6 @@ impl fmt::Display for Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::column::DictColumn;
     use crate::schema::Field;
     use crate::value::DataType;
 
@@ -198,6 +330,7 @@ mod tests {
         assert_eq!(t.num_rows(), 4);
         assert_eq!(t.num_columns(), 2);
         assert!(!t.is_empty());
+        assert!(t.num_segments() >= 1);
         assert_eq!(t.value(0, "age").unwrap(), Value::Int(20));
         assert_eq!(t.value(2, "age").unwrap(), Value::Null);
         assert_eq!(t.value(1, "name").unwrap(), Value::Str("bob".into()));
@@ -211,14 +344,17 @@ mod tests {
     }
 
     #[test]
-    fn construction_rejects_mismatches() {
+    fn construction_rejects_mismatches_naming_the_column() {
         let schema = Schema::new(vec![Field::new("age", DataType::Int)]).unwrap();
         // wrong number of columns
         assert!(Table::new("t", schema.clone(), vec![]).is_err());
-        // wrong type
+        // wrong type, named
         let wrong = Column::Float(vec![Some(1.0)]);
-        assert!(Table::new("t", schema.clone(), vec![wrong]).is_err());
-        // mismatched lengths
+        match Table::new("t", schema.clone(), vec![wrong]) {
+            Err(ColumnarError::ColumnTypeMismatch { column, .. }) => assert_eq!(column, "age"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        // mismatched lengths, named
         let schema2 = Schema::new(vec![
             Field::new("a", DataType::Int),
             Field::new("b", DataType::Int),
@@ -226,10 +362,17 @@ mod tests {
         .unwrap();
         let c1 = Column::Int(vec![Some(1), Some(2)]);
         let c2 = Column::Int(vec![Some(1)]);
-        assert!(matches!(
-            Table::new("t", schema2, vec![c1, c2]),
-            Err(ColumnarError::LengthMismatch { .. })
-        ));
+        match Table::new("t", schema2, vec![c1, c2]) {
+            Err(ColumnarError::ColumnLengthMismatch {
+                column,
+                expected,
+                found,
+            }) => {
+                assert_eq!(column, "b");
+                assert_eq!((expected, found), (2, 1));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]
@@ -250,5 +393,84 @@ mod tests {
         let stats = t.column_stats("age", &t.full_selection()).unwrap();
         assert_eq!(stats.non_null_count, 3);
         assert_eq!(stats.null_count, 1);
+    }
+
+    #[test]
+    fn quick_column_stats_fold_segment_stats() {
+        // A 3-segment table with a value shared across segments.
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let seg = |values: Vec<Option<i64>>| {
+            Arc::new(Segment::new(&schema, vec![Column::Int(values)]).unwrap())
+        };
+        let t = Table::from_segments(
+            "t",
+            schema.clone(),
+            vec![
+                seg(vec![Some(1), Some(2), None]),
+                seg(vec![Some(2), Some(10)]),
+            ],
+        )
+        .unwrap();
+        let quick = t.quick_column_stats("x").unwrap();
+        let exact = t.column_stats("x", &t.full_selection()).unwrap();
+        assert_eq!(quick.non_null_count, exact.non_null_count);
+        assert_eq!(quick.null_count, exact.null_count);
+        assert_eq!(quick.min, exact.min);
+        assert_eq!(quick.max, exact.max);
+        assert!((quick.mean.unwrap() - exact.mean.unwrap()).abs() < 1e-12);
+        // distinct is an upper bound: 2 is shared between the segments.
+        assert_eq!(exact.distinct_count, 3);
+        assert_eq!(quick.distinct_count, 4);
+        // Unknown columns error; empty tables fold to zeroes.
+        assert!(t.quick_column_stats("zzz").is_err());
+        let empty = TableBuilder::new("e", schema).build().unwrap();
+        assert_eq!(empty.quick_column_stats("x").unwrap().non_null_count, 0);
+    }
+
+    #[test]
+    fn append_segment_shares_existing_segments() {
+        let t = sample_table();
+        let schema = t.schema().clone();
+        let ages = Column::Int(vec![Some(70)]);
+        let mut d = DictColumn::new();
+        d.push(Some("eve"));
+        let segment = Segment::new(&schema, vec![ages, Column::Str(d)]).unwrap();
+        let extended = t.append_segment(segment).unwrap();
+        assert_eq!(extended.num_rows(), 5);
+        assert_eq!(extended.num_segments(), t.num_segments() + 1);
+        // Old segments are the very same allocations.
+        for (a, b) in t.segments().iter().zip(extended.segments()) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(extended.value(4, "name").unwrap(), Value::Str("eve".into()));
+        assert_eq!(extended.segment_offset(extended.num_segments() - 1), 4);
+        // The original table is untouched.
+        assert_eq!(t.num_rows(), 4);
+        // A segment of the wrong shape is rejected.
+        let bad = Segment::new(
+            &Schema::new(vec![Field::new("x", DataType::Int)]).unwrap(),
+            vec![Column::Int(vec![Some(1)])],
+        )
+        .unwrap();
+        assert!(t.append_segment(bad).is_err());
+    }
+
+    #[test]
+    fn from_segments_drops_empty_segments_and_offsets_accumulate() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let seg = |values: Vec<Option<i64>>| {
+            Arc::new(Segment::new(&schema, vec![Column::Int(values)]).unwrap())
+        };
+        let t = Table::from_segments(
+            "t",
+            schema.clone(),
+            vec![seg(vec![Some(1), Some(2)]), seg(vec![]), seg(vec![Some(3)])],
+        )
+        .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_segments(), 2);
+        assert_eq!(t.segment_offset(0), 0);
+        assert_eq!(t.segment_offset(1), 2);
+        assert_eq!(t.value(2, "x").unwrap(), Value::Int(3));
     }
 }

@@ -40,7 +40,11 @@ pub enum NumericCutStrategy {
     /// Exact minimum-variance partition (Fisher–Jenks natural breaks).
     NaturalBreaks,
     /// Approximate equal-population bins using a Greenwald–Khanna sketch
-    /// (one-pass, Section 5.1 of the paper).
+    /// (one-pass, Section 5.1 of the paper). ε-approximate by design — and,
+    /// on segmented tables, the engine's sketch is a fold of per-segment
+    /// sketches, so split points may shift slightly with the segment layout
+    /// (within the same ε rank-error envelope); the exact strategies are
+    /// layout-independent bit for bit.
     SketchMedian {
         /// Sketch error bound (rank error as a fraction of the population).
         epsilon: f64,
@@ -393,10 +397,13 @@ fn categorical_groups(
             freq.sort_by(|a, b| a.0.cmp(&b.0));
         }
         CategoricalCutStrategy::DictionaryOrder => {
-            if let Some(dict) = column.as_dict() {
-                let order: Vec<&String> = dict.dictionary().iter().collect();
+            // Global first-appearance order, merged across segments (for
+            // boolean columns there is no dictionary and the frequency order
+            // stands, as before).
+            let order = column.dictionary();
+            if !order.is_empty() {
                 freq.sort_by_key(|(value, _)| {
-                    order.iter().position(|d| *d == value).unwrap_or(usize::MAX)
+                    order.iter().position(|d| d == value).unwrap_or(usize::MAX)
                 });
             }
         }

@@ -25,7 +25,7 @@ use crate::pipeline::{
 };
 use crate::profile::{ProfileStats, TableProfile};
 use crate::rank::RankedMap;
-use atlas_columnar::{Bitmap, Table};
+use atlas_columnar::{Bitmap, Segment, Table};
 use atlas_query::ConjunctiveQuery;
 use minirayon::ThreadPool;
 use rand::rngs::StdRng;
@@ -253,6 +253,45 @@ impl Atlas {
     /// The thread pool sized by [`AtlasConfig::parallelism`].
     pub fn pool(&self) -> &ThreadPool {
         &self.pool
+    }
+
+    /// A new prepared engine over this engine's table extended by `segment` —
+    /// the incremental-ingest path.
+    ///
+    /// The segment (which must match the table's schema) is appended to the
+    /// segment list **without copying existing data**, and the engine
+    /// re-prepares by profiling only the new rows and merging their summaries,
+    /// sketches and null masks into the existing profile
+    /// ([`TableProfile::merge_segment`]) — never by rebuilding from scratch.
+    /// The resulting engine is bit-for-bit identical to
+    /// `Atlas::builder(extended_table)` with the same configuration.
+    ///
+    /// Cost: the new segment is scanned once, and the retained profile state
+    /// is carried over — which clones each column's exact distinct-value set
+    /// and extends its null mask, so an append is
+    /// `O(segment rows + distinct values + table rows / 64)` per column.
+    /// That is far below a rebuild's full rescan on ordinary columns (the
+    /// 1M-row census benchmark prepares ~60× faster), but the distinct-set
+    /// clone means identifier-like columns (almost every value unique) keep
+    /// append cost proportional to their cardinality.
+    ///
+    /// The original engine is untouched (it keeps answering queries over the
+    /// old snapshot), and both engines share every pre-existing segment and
+    /// the thread pool.
+    pub fn append(&self, segment: impl Into<Arc<Segment>>) -> Result<Atlas> {
+        let segment = segment.into();
+        let table = Arc::new(self.table.append_segment(Arc::clone(&segment))?);
+        let profile = Arc::new(self.profile.merge_segment(&segment));
+        Ok(Atlas {
+            table,
+            config: self.config.clone(),
+            profile,
+            cut_strategy: Arc::clone(&self.cut_strategy),
+            distance: Arc::clone(&self.distance),
+            merge: Arc::clone(&self.merge),
+            ranker: Arc::clone(&self.ranker),
+            pool: Arc::clone(&self.pool),
+        })
     }
 
     /// The stage context handed to the pipeline traits.
@@ -1008,6 +1047,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn append_re_prepares_identically_to_a_rebuild() {
+        // Split the survey into a prefix table and a tail segment; appending
+        // the tail to a prefix engine must answer exactly like an engine
+        // built from scratch over the whole table.
+        let whole = survey(900);
+        let query = ConjunctiveQuery::all("survey");
+        for merge in [MergeStrategy::Product, MergeStrategy::Composition] {
+            let config = AtlasConfig {
+                merge,
+                ..AtlasConfig::default()
+            };
+            // Rebuild the survey with small segments so there is a real tail.
+            let mut b = {
+                let schema = whole.schema().clone();
+                atlas_columnar::TableBuilder::new("survey", schema).with_segment_rows(256)
+            };
+            for row in 0..whole.num_rows() {
+                b.push_row(&whole.row(row).unwrap()).unwrap();
+            }
+            let table = b.build().unwrap();
+            assert!(table.num_segments() >= 3);
+            let (head, tail) = table.segments().split_at(table.num_segments() - 1);
+            let prefix =
+                Table::from_segments("survey", table.schema().clone(), head.to_vec()).unwrap();
+
+            let appended = Atlas::new(Arc::new(prefix), config.clone())
+                .unwrap()
+                .append(Arc::clone(&tail[0]))
+                .unwrap();
+            let rebuilt = Atlas::new(Arc::new(table.clone()), config).unwrap();
+            assert_eq!(appended.table().num_rows(), 900);
+
+            let a = appended.explore(&query).unwrap();
+            let b = rebuilt.explore(&query).unwrap();
+            assert_eq!(a.num_maps(), b.num_maps(), "{merge:?}");
+            assert_eq!(a.working_set_size, b.working_set_size);
+            assert_eq!(a.skipped_attributes, b.skipped_attributes);
+            for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+                assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+                assert_eq!(ra.map.region_counts(), rb.map.region_counts());
+                assert_eq!(ra.score.to_bits(), rb.score.to_bits(), "{merge:?}");
+                for (qa, qb) in ra.map.regions.iter().zip(rb.map.regions.iter()) {
+                    assert_eq!(
+                        atlas_query::to_sql(&qa.query),
+                        atlas_query::to_sql(&qb.query)
+                    );
+                    assert_eq!(qa.selection, qb.selection);
+                }
+            }
+            // With a merge policy that never re-cuts, the appended engine's
+            // whole-table exploration is served purely from the merged
+            // profile — the acceptance criterion of incremental preparation.
+            if merge == MergeStrategy::Product {
+                assert_eq!(appended.profile_stats().misses, 0);
+                assert!(appended.profile_stats().hits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn append_rejects_mismatched_segments_and_keeps_the_old_engine() {
+        let table = survey(300);
+        let atlas = Atlas::with_defaults(Arc::clone(&table)).unwrap();
+        let bad_schema =
+            atlas_columnar::Schema::new(vec![atlas_columnar::Field::new("zzz", DataType::Int)])
+                .unwrap();
+        let bad = Segment::new(
+            &bad_schema,
+            vec![atlas_columnar::Column::Int(vec![Some(1)])],
+        )
+        .unwrap();
+        assert!(atlas.append(bad).is_err());
+        // The engine still answers over its original snapshot.
+        let result = atlas.explore(&ConjunctiveQuery::all("survey")).unwrap();
+        assert_eq!(result.working_set_size, 300);
     }
 
     #[test]

@@ -1,17 +1,27 @@
-//! Build-time per-column statistics shared across explorations.
+//! Build-time per-column statistics shared across explorations — built **per
+//! segment** and folded, so profiles are incremental.
 //!
 //! Every call to [`crate::engine::Atlas::explore`] needs per-column summary
 //! statistics (distinct counts, min/max, null masks) to decide which
-//! attributes are cuttable and where to cut them. Before the prepared-engine
-//! redesign these were recomputed from scratch on every query; a
-//! [`TableProfile`] computes them **once** when the engine is built and shares
-//! them (behind an `Arc`) across every subsequent exploration — the
-//! "anticipative computation" spirit of Section 5.1 applied to the engine's
-//! own metadata.
+//! attributes are cuttable and where to cut them. A [`TableProfile`] computes
+//! them **once** when the engine is built and shares them (behind an `Arc`)
+//! across every subsequent exploration — the "anticipative computation"
+//! spirit of Section 5.1 applied to the engine's own metadata.
+//!
+//! With segmented storage the profile is also **mergeable**: every column is
+//! profiled as one [`ColumnSummary`] per segment (one pool task per
+//! (segment, column) pair, so building scales across segments and columns
+//! alike), folded left-to-right in row order. The folded summaries stay in the profile, so appending a segment
+//! ([`TableProfile::merge_segment`], driven by
+//! [`crate::engine::Atlas::append`]) only profiles the **new** rows and
+//! merges — no whole-table rebuild — and produces bit-for-bit the profile a
+//! from-scratch rebuild of the extended table would (the fold is
+//! left-associative either way).
 //!
 //! The profile also keeps a one-pass Greenwald–Khanna quantile sketch per
-//! numeric column, so sketch-based cut strategies never have to re-scan the
-//! column for whole-table explorations.
+//! numeric column (built per segment and merged with [`GkSketch::merge`]), so
+//! sketch-based cut strategies never re-scan columns for whole-table
+//! explorations.
 //!
 //! Statistics served from the profile are counted as `hits`; working sets that
 //! are proper subsets of the table (drill-down queries, anytime samples,
@@ -20,7 +30,7 @@
 //! benchmarks ([`TableProfile::counters`]).
 
 use crate::error::Result;
-use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
+use atlas_columnar::{Bitmap, Column, ColumnStats, ColumnSummary, DataType, Segment, Table};
 use atlas_stats::GkSketch;
 use minirayon::ThreadPool;
 use std::borrow::Cow;
@@ -42,6 +52,13 @@ pub struct ColumnProfile {
     /// stages reach through [`crate::pipeline::PipelineContext::profile`]
     /// (e.g. to intersect a working set with the non-NULL rows directly).
     pub non_null: Bitmap,
+    /// The mergeable form of `stats` (the fold of the per-segment summaries),
+    /// kept so [`TableProfile::merge_segment`] can extend the profile without
+    /// rescanning existing segments. This retains the column's exact
+    /// distinct-value set for the engine's lifetime — `O(distinct)` memory,
+    /// which is what buys exact (and append-invariant) distinct counts
+    /// without rescans; identifier-like columns pay the most.
+    summary: ColumnSummary,
 }
 
 /// A snapshot of the profile's cache behaviour.
@@ -60,8 +77,79 @@ pub struct ProfileStats {
 pub struct TableProfile {
     num_rows: usize,
     columns: Vec<ColumnProfile>,
+    sketch_epsilon: Option<f64>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+}
+
+/// The per-segment contribution of one column: its mergeable summary, its
+/// segment-local non-NULL mask, and — for numeric columns of sketching
+/// profiles — its quantile sketch.
+struct SegmentColumnProfile {
+    summary: ColumnSummary,
+    non_null: Bitmap,
+    sketch: Option<GkSketch>,
+}
+
+/// Profile one column of one segment.
+fn profile_segment_column(
+    column: &Column,
+    offset: usize,
+    full: &Bitmap,
+    sketch_epsilon: Option<f64>,
+) -> SegmentColumnProfile {
+    let summary = ColumnSummary::compute(column, full, offset);
+    let sketch = match (column.data_type(), sketch_epsilon) {
+        (DataType::Int | DataType::Float, Some(epsilon)) => {
+            let mut sketch = GkSketch::new(epsilon);
+            let local = Bitmap::new_full(column.len());
+            sketch.extend(&column.numeric_values_where(&local));
+            Some(sketch)
+        }
+        _ => None,
+    };
+    SegmentColumnProfile {
+        summary,
+        non_null: column.non_null_mask(),
+        sketch,
+    }
+}
+
+/// The sketch a freshly-built profile starts a numeric column with (merging
+/// segment sketches into it in row order).
+fn empty_sketch(dtype: DataType, sketch_epsilon: Option<f64>) -> Option<GkSketch> {
+    match (dtype, sketch_epsilon) {
+        (DataType::Int | DataType::Float, Some(epsilon)) => Some(GkSketch::new(epsilon)),
+        _ => None,
+    }
+}
+
+/// Extend a numeric-column non-NULL mask and sketch with one more segment.
+fn merge_column_segment(
+    profile: &ColumnProfile,
+    column: &Column,
+    sketch_epsilon: Option<f64>,
+) -> ColumnProfile {
+    let local_full = Bitmap::new_full(column.len());
+    let part = ColumnSummary::compute(column, &local_full, 0);
+    let mut summary = profile.summary.clone();
+    summary.merge_from(&part);
+    let sketch = profile.sketch.as_ref().map(|existing| {
+        let mut merged = existing.clone();
+        if let Some(epsilon) = sketch_epsilon {
+            let mut part_sketch = GkSketch::new(epsilon);
+            part_sketch.extend(&column.numeric_values_where(&local_full));
+            merged.merge(&part_sketch);
+        }
+        merged
+    });
+    ColumnProfile {
+        name: profile.name.clone(),
+        stats: summary.to_stats(),
+        sketch,
+        non_null: profile.non_null.concat(&column.non_null_mask()),
+        summary,
+    }
 }
 
 impl TableProfile {
@@ -69,46 +157,70 @@ impl TableProfile {
     /// specific epsilon.
     pub const DEFAULT_SKETCH_EPSILON: f64 = 0.005;
 
-    /// Profile every column of the table: one pass per column for the summary
-    /// statistics and the null mask, plus — when `sketch_epsilon` is set — a
-    /// quantile sketch for numeric columns built with that rank-error bound.
-    /// Pass `None` when no stage will query sketches (the engine builder does
-    /// so automatically unless the cut strategy is sketch-based), saving a
-    /// full value materialisation per numeric column.
+    /// Profile every column of the table: one mergeable summary per segment
+    /// per column (plus — when `sketch_epsilon` is set — a per-segment
+    /// quantile sketch for numeric columns), folded in row order. Pass `None`
+    /// when no stage will query sketches (the engine builder does so
+    /// automatically unless the cut strategy is sketch-based), saving a full
+    /// value materialisation per numeric column.
     pub fn build(table: &Table, sketch_epsilon: Option<f64>) -> Self {
         TableProfile::build_with_pool(table, sketch_epsilon, ThreadPool::sequential())
     }
 
-    /// [`TableProfile::build`] with one task per column on the given pool, so
-    /// `Atlas::builder` scales with the core count. Column profiles are
-    /// independent and assembled in schema order: the result is identical at
-    /// every thread count.
+    /// [`TableProfile::build`] with one task per **(segment, column)** pair
+    /// on the given pool, so `Atlas::builder` scales with the core count on
+    /// both axes — across segments of a long table *and* across columns of a
+    /// wide (or single-segment) one. The per-pair profiles are independent
+    /// and folded in row order: the result is identical at every thread
+    /// count — and identical to incrementally appending the same segments
+    /// one by one.
     pub fn build_with_pool(table: &Table, sketch_epsilon: Option<f64>, pool: &ThreadPool) -> Self {
         let full = table.full_selection();
         let fields = table.schema().fields();
-        let columns = pool.par_map(fields, |field| {
-            let column = table
-                .column(&field.name)
-                .expect("schema-listed column exists");
-            let stats = ColumnStats::compute(column, &full);
-            let sketch = match (field.dtype, sketch_epsilon) {
-                (DataType::Int | DataType::Float, Some(epsilon)) => {
-                    let mut sketch = GkSketch::new(epsilon);
-                    sketch.extend(&column.numeric_values_where(&full));
-                    Some(sketch)
-                }
-                _ => None,
-            };
-            ColumnProfile {
-                name: field.name.clone(),
-                stats,
-                sketch,
-                non_null: column.non_null_mask(),
-            }
+        let num_columns = fields.len();
+        let tasks: Vec<(usize, usize)> = (0..table.num_segments())
+            .flat_map(|seg| (0..num_columns).map(move |col| (seg, col)))
+            .collect();
+        let partials = pool.par_map(&tasks, |&(seg, col)| {
+            profile_segment_column(
+                table.segments()[seg].column(col),
+                table.segment_offset(seg),
+                &full,
+                sketch_epsilon,
+            )
         });
+        let columns = fields
+            .iter()
+            .enumerate()
+            .map(|(col, field)| {
+                let mut summary = ColumnSummary::empty(field.dtype);
+                let mut sketch = empty_sketch(field.dtype, sketch_epsilon);
+                // Null masks are computed inside the parallel tasks; the fold
+                // ORs each one into a preallocated table-wide mask at its
+                // segment offset (one linear pass, whole-word ORs on
+                // word-aligned boundaries).
+                let mut non_null = Bitmap::new_empty(table.num_rows());
+                for seg in 0..table.num_segments() {
+                    let partial = &partials[seg * num_columns + col];
+                    summary.merge_from(&partial.summary);
+                    non_null.or_shifted(&partial.non_null, table.segment_offset(seg));
+                    if let (Some(acc), Some(part)) = (&mut sketch, &partial.sketch) {
+                        acc.merge(part);
+                    }
+                }
+                ColumnProfile {
+                    name: field.name.clone(),
+                    stats: summary.to_stats(),
+                    sketch,
+                    non_null,
+                    summary,
+                }
+            })
+            .collect();
         TableProfile {
             num_rows: table.num_rows(),
             columns,
+            sketch_epsilon,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -124,6 +236,38 @@ impl TableProfile {
         TableProfile {
             num_rows,
             columns: Vec::new(),
+            sketch_epsilon: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The profile of the table extended by `segment`: only the **new** rows
+    /// are profiled (summaries, sketch, null mask of the segment), then
+    /// merged column by column into the existing fold — the incremental
+    /// re-preparation behind [`crate::engine::Atlas::append`]. Because the
+    /// fold is left-associative in row order, the result is bit-for-bit the
+    /// profile [`TableProfile::build`] would produce on the extended table.
+    ///
+    /// The segment must match the profiled table's schema (the engine
+    /// validates this when it appends to the [`Table`] first). Empty profiles
+    /// stay empty — they compute everything on the fly anyway.
+    ///
+    /// Hit/miss counters start at zero: the merged profile describes a new
+    /// engine state.
+    pub fn merge_segment(&self, segment: &Segment) -> TableProfile {
+        let columns = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(col, profile)| {
+                merge_column_segment(profile, segment.column(col), self.sketch_epsilon)
+            })
+            .collect();
+        TableProfile {
+            num_rows: self.num_rows + segment.num_rows(),
+            columns,
+            sketch_epsilon: self.sketch_epsilon,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -193,13 +337,17 @@ mod tests {
     use atlas_columnar::{DataType, Field, Schema, TableBuilder, Value};
 
     fn table() -> Table {
+        table_with_segment_rows(usize::MAX)
+    }
+
+    fn table_with_segment_rows(segment_rows: usize) -> Table {
         let schema = Schema::new(vec![
             Field::new("x", DataType::Float),
             Field::nullable("n", DataType::Int),
             Field::new("c", DataType::Str),
         ])
         .unwrap();
-        let mut b = TableBuilder::new("t", schema);
+        let mut b = TableBuilder::new("t", schema).with_segment_rows(segment_rows);
         for i in 0..100 {
             let n = if i % 4 == 0 {
                 Value::Null
@@ -240,6 +388,61 @@ mod tests {
     }
 
     #[test]
+    fn segmented_profiles_match_single_segment_ones_on_everything_exact() {
+        let reference = TableProfile::build(&table(), None);
+        for segment_rows in [7usize, 32, 64] {
+            let t = table_with_segment_rows(segment_rows);
+            assert!(t.num_segments() > 1);
+            let profile = TableProfile::build(&t, None);
+            for (a, b) in profile.columns().iter().zip(reference.columns()) {
+                assert_eq!(a.name, b.name);
+                // Everything explore consumes is segmentation-invariant.
+                assert_eq!(a.stats.non_null_count, b.stats.non_null_count);
+                assert_eq!(a.stats.null_count, b.stats.null_count);
+                assert_eq!(a.stats.distinct_count, b.stats.distinct_count);
+                assert_eq!(a.stats.min, b.stats.min);
+                assert_eq!(a.stats.max, b.stats.max);
+                assert_eq!(a.non_null, b.non_null);
+                // Mean/variance merge numerically (Chan's formula), not
+                // bitwise — but stay within floating-point slack.
+                match (a.stats.mean, b.stats.mean) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                    (x, y) => assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_segment_equals_a_full_rebuild() {
+        // Build a profile over the first segments, append the last one, and
+        // compare against profiling the whole table from scratch.
+        let t = table_with_segment_rows(32); // 32+32+32+4 rows
+        assert_eq!(t.num_segments(), 4);
+        let prefix =
+            Table::from_segments("t", t.schema().clone(), t.segments()[..3].to_vec()).unwrap();
+        let appended = TableProfile::build(&prefix, Some(0.01)).merge_segment(&t.segments()[3]);
+        let rebuilt = TableProfile::build(&t, Some(0.01));
+        assert_eq!(appended.num_rows(), rebuilt.num_rows());
+        for (a, b) in appended.columns().iter().zip(rebuilt.columns()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.stats, b.stats, "appended profile must equal rebuild");
+            assert_eq!(a.non_null, b.non_null);
+            assert_eq!(a.sketch.is_some(), b.sketch.is_some());
+            if let (Some(sa), Some(sb)) = (&a.sketch, &b.sketch) {
+                assert_eq!(sa.count(), sb.count());
+                assert_eq!(sa.median(), sb.median());
+            }
+        }
+        // Counters restart on the merged profile.
+        assert_eq!(appended.counters(), ProfileStats::default());
+        // Empty profiles stay empty but track the new row count.
+        let empty = TableProfile::empty(96).merge_segment(&t.segments()[3]);
+        assert_eq!(empty.num_rows(), 100);
+        assert!(empty.columns().is_empty());
+    }
+
+    #[test]
     fn full_table_requests_hit_and_subsets_miss() {
         let t = table();
         let profile = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
@@ -276,7 +479,8 @@ mod tests {
 
     #[test]
     fn pooled_profile_build_matches_the_sequential_one() {
-        let t = table();
+        // Multi-segment table so the pool actually has independent tasks.
+        let t = table_with_segment_rows(16);
         let sequential = TableProfile::build(&t, Some(TableProfile::DEFAULT_SKETCH_EPSILON));
         let pool = ThreadPool::new(4);
         let pooled =

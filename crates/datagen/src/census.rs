@@ -31,6 +31,12 @@ pub struct CensusConfig {
     /// Fraction of values replaced by NULL (uniformly across nullable
     /// columns), to exercise NULL handling.
     pub null_fraction: f64,
+    /// Rows per storage segment of the generated table
+    /// (default: [`atlas_columnar::default_segment_rows`]). Generation is
+    /// segment-sized either way — rows stream through the sealing
+    /// [`TableBuilder`] — but the knob lets benchmarks and tests control the
+    /// layout (e.g. to carve off a tail segment for `Atlas::append`).
+    pub segment_rows: Option<usize>,
 }
 
 impl Default for CensusConfig {
@@ -41,6 +47,7 @@ impl Default for CensusConfig {
             table_name: "census".to_string(),
             dependency_strength: 0.85,
             null_fraction: 0.0,
+            segment_rows: None,
         }
     }
 }
@@ -106,6 +113,9 @@ impl CensusGenerator {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut builder = TableBuilder::new(cfg.table_name.clone(), Self::schema());
+        if let Some(segment_rows) = cfg.segment_rows {
+            builder = builder.with_segment_rows(segment_rows);
+        }
         let strength = cfg.dependency_strength.clamp(0.0, 1.0);
         let normal = Normalish::new();
 
@@ -346,6 +356,27 @@ mod tests {
         let p_rich_high = rich.intersection_count(&high_edu) as f64 / high_edu.count() as f64;
         let p_rich_low = rich.intersection_count(&low_edu) as f64 / low_edu.count() as f64;
         assert!((p_rich_high - p_rich_low).abs() < 0.08);
+    }
+
+    #[test]
+    fn segment_rows_controls_the_layout_without_changing_the_data() {
+        let cfg = CensusConfig {
+            rows: 1000,
+            seed: 4,
+            segment_rows: Some(256),
+            ..CensusConfig::default()
+        };
+        let chunked = CensusGenerator::new(cfg.clone()).generate();
+        assert_eq!(chunked.num_segments(), 4, "256*3 + 232");
+        let whole = CensusGenerator::new(CensusConfig {
+            segment_rows: Some(usize::MAX),
+            ..cfg
+        })
+        .generate();
+        assert_eq!(whole.num_segments(), 1);
+        for row in [0usize, 255, 256, 999] {
+            assert_eq!(chunked.row(row).unwrap(), whole.row(row).unwrap());
+        }
     }
 
     #[test]

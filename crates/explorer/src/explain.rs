@@ -16,7 +16,7 @@
 //! top are the ones that make the region "special", whether or not they appear
 //! in the region's defining query.
 
-use atlas_columnar::{Bitmap, Column, DataType, Table};
+use atlas_columnar::{Bitmap, ColumnView, DataType, Table};
 use atlas_core::Region;
 use atlas_stats::quantile::quantile;
 use std::collections::BTreeMap;
@@ -134,7 +134,7 @@ pub fn explain_selection(
 
 fn numeric_insight(
     name: &str,
-    column: &Column,
+    column: ColumnView<'_>,
     selection: &Bitmap,
     reference: &Bitmap,
 ) -> Option<AttributeInsight> {
@@ -172,7 +172,7 @@ fn numeric_insight(
 
 fn categorical_insight(
     name: &str,
-    column: &Column,
+    column: ColumnView<'_>,
     selection: &Bitmap,
     reference: &Bitmap,
 ) -> Option<AttributeInsight> {

@@ -5,7 +5,7 @@
 //! or asks for a new map. A [`Session`] records that history so the user can
 //! also go back.
 
-use atlas_columnar::Table;
+use atlas_columnar::{Segment, Table};
 use atlas_core::{Atlas, AtlasConfig, MapResult, Result};
 use atlas_query::ConjunctiveQuery;
 use std::sync::Arc;
@@ -116,6 +116,33 @@ impl Session {
         self.submit(query)
     }
 
+    /// Ingest newly arrived data mid-session: append `segment` to the
+    /// engine's table (the engine re-prepares incrementally, merging only the
+    /// new segment's statistics — see [`Atlas::append`]) and, when a step is
+    /// on screen, re-run its query over the extended table so the current
+    /// view reflects the new rows. The refreshed result **replaces** the
+    /// current step (history depth is unchanged); earlier steps keep the
+    /// results their snapshots produced.
+    pub fn append_segment(
+        &mut self,
+        segment: impl Into<Arc<Segment>>,
+    ) -> Result<Option<&ExplorationStep>> {
+        // Prepare the new engine and the refreshed result *before* touching
+        // the session, so an error leaves engine and history untouched.
+        let engine = self.engine.append(segment)?;
+        let refreshed = match self.steps.last() {
+            Some(current) => Some(engine.explore(&current.query)?),
+            None => None,
+        };
+        self.engine = engine;
+        let Some(result) = refreshed else {
+            return Ok(None);
+        };
+        let current = self.steps.last_mut().expect("refreshed implies a step");
+        current.result = result;
+        Ok(Some(self.steps.last().expect("a step was just refreshed")))
+    }
+
     /// Go back one step, returning the step that was abandoned.
     pub fn back(&mut self) -> Option<ExplorationStep> {
         self.steps.pop()
@@ -203,6 +230,50 @@ mod tests {
     fn bad_sql_is_reported() {
         let mut session = census_session();
         assert!(session.submit_sql("SELECT age FROM census").is_err());
+        assert_eq!(session.depth(), 0);
+    }
+
+    #[test]
+    fn append_segment_refreshes_the_current_step_in_place() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        assert_eq!(session.current().unwrap().working_set_size(), 2000);
+
+        // New data arrives: a fresh census batch with a different seed,
+        // re-packaged as one segment of the session's table schema.
+        let batch = CensusGenerator::with_rows(500, 9).generate();
+        let mut b = atlas_columnar::TableBuilder::new("census", batch.schema().clone())
+            .with_segment_rows(usize::MAX);
+        for row in 0..batch.num_rows() {
+            b.push_row(&batch.row(row).unwrap()).unwrap();
+        }
+        let (_, segments) = b.build_segments().unwrap();
+        assert_eq!(segments.len(), 1);
+
+        let refreshed = session
+            .append_segment(segments.into_iter().next().unwrap())
+            .unwrap()
+            .expect("a step was on screen");
+        assert_eq!(refreshed.working_set_size(), 2500, "the view sees new rows");
+        assert_eq!(session.depth(), 1, "refresh replaces, never stacks");
+        assert_eq!(session.engine().table().num_rows(), 2500);
+    }
+
+    #[test]
+    fn append_segment_before_any_step_only_extends_the_engine() {
+        let mut session = census_session();
+        let batch = CensusGenerator::with_rows(100, 5).generate();
+        let mut b = atlas_columnar::TableBuilder::new("census", batch.schema().clone())
+            .with_segment_rows(usize::MAX);
+        for row in 0..batch.num_rows() {
+            b.push_row(&batch.row(row).unwrap()).unwrap();
+        }
+        let (_, segments) = b.build_segments().unwrap();
+        let refreshed = session
+            .append_segment(segments.into_iter().next().unwrap())
+            .unwrap();
+        assert!(refreshed.is_none());
+        assert_eq!(session.engine().table().num_rows(), 2100);
         assert_eq!(session.depth(), 0);
     }
 

@@ -88,6 +88,68 @@ impl GkSketch {
         }
     }
 
+    /// Merge another sketch into this one (`other` summarising a disjoint
+    /// part of the stream), the enabling operation for per-segment sketches:
+    /// profile a new segment independently, then fold its sketch into the
+    /// table-wide one instead of re-sketching every value.
+    ///
+    /// The classic GK merge: the two entry lists are merge-sorted by value,
+    /// and each entry's rank uncertainty grows by the uncertainty of its
+    /// position within the *other* summary (the `g + Δ − 1` of the other
+    /// side's next-larger entry). The merged summary is then compressed
+    /// against the combined count.
+    ///
+    /// **Error under repeated folding:** the GK query guarantee rests on the
+    /// invariant `g + Δ ≤ 2εn`, and this merge preserves it inductively —
+    /// an entry from side A satisfies `g + Δ ≤ 2ε·n_a` and gains at most
+    /// `2ε·n_b − 1` from B, so `g + Δ' ≤ 2ε·(n_a + n_b)`. Folding one
+    /// sketch per segment over arbitrarily many segments therefore does
+    /// **not** accumulate error with the segment count; the per-quantile
+    /// rank error stays within the 2ε envelope (property-checked in
+    /// `tests/segments.rs` and, for a many-hundred-way fold, in this
+    /// module's tests). The merged sketch records `max(ε_a, ε_b)` as its
+    /// nominal epsilon.
+    pub fn merge(&mut self, other: &GkSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (a, b) = (&self.entries, &other.entries);
+        let mut merged: Vec<GkEntry> = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() || j < b.len() {
+            // Take the smaller head; on ties take from `a` (stable order).
+            let take_a = j >= b.len() || (i < a.len() && a[i].value <= b[j].value);
+            // Uncertainty added by the other summary: the gap around this
+            // value over there, i.e. the next-larger other entry's g + Δ − 1
+            // (nothing if this value exceeds everything in the other summary).
+            let (entry, extra) = if take_a {
+                let entry = a[i];
+                i += 1;
+                (entry, b.get(j).map_or(0, |next| next.g + next.delta - 1))
+            } else {
+                let entry = b[j];
+                j += 1;
+                (entry, a.get(i).map_or(0, |next| next.g + next.delta - 1))
+            };
+            merged.push(GkEntry {
+                value: entry.value,
+                g: entry.g,
+                delta: entry.delta + extra,
+            });
+        }
+        self.entries = merged;
+        self.count += other.count;
+        self.epsilon = self.epsilon.max(other.epsilon);
+        let compress_interval = (1.0 / (2.0 * self.epsilon)).ceil() as u64;
+        self.compress_interval = compress_interval.max(1);
+        self.since_compress = 0;
+        self.compress();
+    }
+
     /// Merge entries whose combined uncertainty stays within the bound.
     fn compress(&mut self) {
         if self.entries.len() < 3 {
@@ -245,6 +307,97 @@ mod tests {
                 "reverse={reverse} med={med} exact={exact}"
             );
         }
+    }
+
+    #[test]
+    fn merge_of_disjoint_parts_stays_within_twice_the_bound() {
+        let n = 20_000usize;
+        let eps = 0.01;
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 100_000) as f64)
+            .collect();
+        // Sketch the stream in four chunks and fold them in order.
+        let mut folded = GkSketch::new(eps);
+        for chunk in values.chunks(n / 4) {
+            let mut part = GkSketch::new(eps);
+            part.extend(chunk);
+            folded.merge(&part);
+        }
+        assert_eq!(folded.count(), n as u64);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = folded.query(p).unwrap();
+            let approx_rank = rank_of(&sorted, approx) as f64 / n as f64;
+            assert!(
+                (approx_rank - p).abs() <= 2.0 * eps + 1e-9,
+                "p={p} approx_rank={approx_rank}"
+            );
+        }
+        // Space stays sketch-like after merging.
+        assert!(folded.size() < n / 10, "size {}", folded.size());
+    }
+
+    #[test]
+    fn folding_hundreds_of_segment_sketches_does_not_accumulate_error() {
+        // The CI segment layout (ATLAS_SEGMENT_ROWS=1024) folds ~1000
+        // per-segment sketches for a 1M-row column; the g + Δ ≤ 2εn
+        // invariant must keep the rank error within the 2ε envelope no
+        // matter how many folds happen.
+        let n = 100_000usize;
+        let eps = 0.01;
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761) % 1_000_003) as f64)
+            .collect();
+        let mut folded = GkSketch::new(eps);
+        for chunk in values.chunks(256) {
+            // ~391 folds
+            let mut part = GkSketch::new(eps);
+            part.extend(chunk);
+            folded.merge(&part);
+        }
+        assert_eq!(folded.count(), n as u64);
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = folded.query(p).unwrap();
+            let approx_rank = rank_of(&sorted, approx) as f64 / n as f64;
+            assert!(
+                (approx_rank - p).abs() <= 2.0 * eps + 1e-9,
+                "p={p} approx_rank={approx_rank} after ~391 folds"
+            );
+        }
+        assert!(
+            folded.size() < 2_000,
+            "size {} stays sketch-like",
+            folded.size()
+        );
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        // Merging into an empty sketch adopts the other side.
+        let mut empty = GkSketch::new(0.01);
+        let mut other = GkSketch::new(0.02);
+        other.extend(&[1.0, 2.0, 3.0]);
+        empty.merge(&other);
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.epsilon(), 0.02);
+        // Merging an empty sketch is a no-op.
+        let before = empty.size();
+        empty.merge(&GkSketch::new(0.01));
+        assert_eq!(empty.count(), 3);
+        assert_eq!(empty.size(), before);
+        // Disjoint value ranges keep order statistics sane.
+        let mut low = GkSketch::new(0.05);
+        low.extend(&(0..500).map(f64::from).collect::<Vec<_>>());
+        let mut high = GkSketch::new(0.05);
+        high.extend(&(500..1000).map(f64::from).collect::<Vec<_>>());
+        low.merge(&high);
+        let med = low.median().unwrap();
+        assert!((med - 500.0).abs() <= 75.0, "median {med}");
+        assert!(low.query(0.0).unwrap() <= 50.0);
+        assert!(low.query(1.0).unwrap() >= 950.0);
     }
 
     #[test]

@@ -39,8 +39,7 @@ fn main() {
 
     // Compare the best map against the hidden classes.
     let class_column = table.column("class").expect("class column exists");
-    let dict = class_column.as_dict().expect("class is categorical");
-    let truth: Vec<u32> = (0..table.num_rows()).map(|row| dict.code(row)).collect();
+    let truth: Vec<u32> = class_column.category_codes();
     if let Some((idx, quality)) = MapQuality::best_of(&result.maps, &truth) {
         println!(
             "best map vs hidden classes: map #{idx}, ARI {:.3}, NMI {:.3}, purity {:.3}",

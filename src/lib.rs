@@ -53,6 +53,49 @@
 //! }
 //! ```
 //!
+//! # Incremental ingest
+//!
+//! Storage is segmented: a [`columnar::Table`] is an ordered list of
+//! immutable `Segment`s, so appending data extends state instead of
+//! invalidating it. [`Atlas::append`](core::engine::Atlas::append)
+//! re-prepares the engine by profiling **only the new segment** and merging
+//! its statistics into the build-time profile — the answers are bit-for-bit
+//! what a from-scratch rebuild would produce, at a cost proportional to the
+//! new rows:
+//!
+//! ```
+//! use atlas::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A 3-segment census: two "historical" segments plus today's batch.
+//! let full = CensusGenerator::new(atlas::datagen::CensusConfig {
+//!     rows: 3_000,
+//!     seed: 7,
+//!     segment_rows: Some(1_000),
+//!     ..atlas::datagen::CensusConfig::default()
+//! })
+//! .generate();
+//! let prefix = Arc::new(
+//!     Table::from_segments("census", full.schema().clone(), full.segments()[..2].to_vec())
+//!         .unwrap(),
+//! );
+//!
+//! let engine = Atlas::with_defaults(prefix).unwrap();
+//! let query = parse_query("SELECT * FROM census").unwrap();
+//! assert_eq!(engine.explore(&query).unwrap().working_set_size, 2_000);
+//!
+//! // New data arrives: append the segment and explore again — no rebuild,
+//! // no copy of the existing rows.
+//! let engine = engine.append(Arc::clone(&full.segments()[2])).unwrap();
+//! assert_eq!(engine.explore(&query).unwrap().working_set_size, 3_000);
+//! ```
+//!
+//! The same path serves live sessions
+//! ([`Session::append_segment`](explorer::Session::append_segment)) and the
+//! streaming CSV reader ([`columnar::csv::read_csv`]), whose parser working
+//! state (buffered text, open segment) is bounded by the segment size, not
+//! the file size.
+//!
 //! # Extending the pipeline
 //!
 //! The four steps of the paper's framework — cut, cluster, merge, rank — are
@@ -99,7 +142,8 @@ pub use atlas_stats as stats;
 /// The most commonly used types, re-exported flat for convenience.
 pub mod prelude {
     pub use atlas_columnar::{
-        Bitmap, Catalog, Column, DataType, Field, Schema, Table, TableBuilder, Value,
+        default_segment_rows, Bitmap, Catalog, Column, ColumnStats, ColumnSummary, ColumnView,
+        DataType, Field, Schema, Segment, Table, TableBuilder, Value,
     };
     pub use atlas_core::{
         AnytimeAtlas, AnytimeConfig, AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder,

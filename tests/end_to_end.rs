@@ -143,11 +143,7 @@ fn sky_survey_maps_align_with_hidden_classes() {
     };
     let atlas = Atlas::new(Arc::clone(&table), config).unwrap();
     let result = atlas.explore(&ConjunctiveQuery::all("photo_obj")).unwrap();
-    let dict_codes: Vec<u32> = {
-        let column = table.column("class").unwrap();
-        let dict = column.as_dict().unwrap();
-        (0..table.num_rows()).map(|row| dict.code(row)).collect()
-    };
+    let dict_codes: Vec<u32> = table.column("class").unwrap().category_codes();
     let (_, quality) = MapQuality::best_of(&result.maps, &dict_codes).unwrap();
     assert!(
         quality.nmi > 0.3,

@@ -1,0 +1,250 @@
+//! The segmentation contract of the storage engine: the segment layout is a
+//! physical detail that must never change an answer computed by an exact
+//! strategy (the default pipeline end to end; the ε-approximate
+//! `SketchMedian` cut is the documented exception — its per-segment sketch
+//! fold stays within ε but may shift split points with the layout).
+//!
+//! * Random tables split at **random segment boundaries** explore bit-for-bit
+//!   identically to the single-segment table, at parallelism 1 and N — the
+//!   acceptance property of the segmented-storage refactor.
+//! * `GkSketch::merge` folds per-chunk sketches into a summary whose rank
+//!   error stays within twice the per-sketch bound.
+//! * `Atlas::append` + incremental profile merge answers exactly like a
+//!   from-scratch rebuild over the extended table.
+
+use atlas::prelude::*;
+use atlas::stats::GkSketch;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Build a survey-shaped table, sealing a segment after every row index
+/// listed in `seals` (plus wherever `segment_rows` forces one).
+fn build_table(
+    numeric: &[f64],
+    categories: &[u8],
+    seals: &[usize],
+    segment_rows: usize,
+) -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Float),
+        Field::new("y", DataType::Float),
+        Field::new("c", DataType::Str),
+        Field::new("d", DataType::Str),
+    ])
+    .unwrap();
+    let mut builder = TableBuilder::new("t", schema).with_segment_rows(segment_rows);
+    for (i, &x) in numeric.iter().enumerate() {
+        let c = categories[i % categories.len()] % 4;
+        // y depends on c, d depends on x's sign: dependencies to discover.
+        let y = f64::from(c) * 100.0 + x / 10.0;
+        let d = if x >= 0.0 { "pos" } else { "neg" };
+        builder
+            .push_row(&[
+                Value::Float(x),
+                Value::Float(y),
+                Value::Str(format!("cat{c}")),
+                Value::Str(d.to_string()),
+            ])
+            .unwrap();
+        if seals.contains(&i) {
+            builder.seal_segment().unwrap();
+        }
+    }
+    Arc::new(builder.build().unwrap())
+}
+
+/// Assert two explorations are bit-for-bit identical: same map order, same
+/// attribute groups, same region queries and extents, same score bits.
+fn assert_identical(a: &atlas::core::MapResult, b: &atlas::core::MapResult) {
+    assert_eq!(a.num_maps(), b.num_maps());
+    assert_eq!(a.working_set_size, b.working_set_size);
+    assert_eq!(a.skipped_attributes, b.skipped_attributes);
+    for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+        assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+        assert_eq!(
+            ra.score.to_bits(),
+            rb.score.to_bits(),
+            "scores must be bit-identical"
+        );
+        assert_eq!(ra.map.num_regions(), rb.map.num_regions());
+        for (qa, qb) in ra.map.regions.iter().zip(rb.map.regions.iter()) {
+            assert_eq!(to_sql(&qa.query), to_sql(&qb.query));
+            assert_eq!(qa.selection, qb.selection);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random data, random segment boundaries, random segment sizes: explore
+    /// output is identical to the single-segment table, sequentially and on
+    /// a thread pool, for both merge operators — and drill-down queries (the
+    /// profile-miss path, whose statistics fold across segments) agree too.
+    #[test]
+    fn explore_is_bit_identical_across_segment_layouts(
+        numeric in proptest::collection::vec(-1000.0..1000.0f64, 16..260),
+        categories in proptest::collection::vec(0u8..4, 4..32),
+        seals in proptest::collection::vec(0usize..260, 0..6),
+        segment_rows in 5usize..200,
+        merge_idx in 0usize..2,
+        threads in 2usize..5,
+    ) {
+        let reference = build_table(&numeric, &categories, &[], usize::MAX);
+        let segmented = build_table(&numeric, &categories, &seals, segment_rows);
+        prop_assert_eq!(reference.num_rows(), segmented.num_rows());
+
+        let merge = [MergeStrategy::Product, MergeStrategy::Composition][merge_idx];
+        let config = AtlasConfig { merge, ..AtlasConfig::default() };
+        let query = ConjunctiveQuery::all("t");
+        let single = Atlas::new(Arc::clone(&reference), config.clone().with_parallelism(1))
+            .unwrap()
+            .explore(&query)
+            .unwrap();
+        for parallelism in [1usize, threads] {
+            let result = Atlas::new(
+                Arc::clone(&segmented),
+                config.clone().with_parallelism(parallelism),
+            )
+            .unwrap()
+            .explore(&query)
+            .unwrap();
+            assert_identical(&single, &result);
+        }
+
+        // Subset working sets compute their statistics per segment and fold:
+        // still identical (or they fail identically on a degenerate subset).
+        let drill = ConjunctiveQuery::all("t").and(Predicate::range("x", -500.0, 500.0));
+        let a = Atlas::new(Arc::clone(&reference), config.clone().with_parallelism(1))
+            .unwrap()
+            .explore(&drill);
+        let b = Atlas::new(Arc::clone(&segmented), config.with_parallelism(threads))
+            .unwrap()
+            .explore(&drill);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_identical(&a, &b);
+        }
+    }
+
+    /// Folding per-chunk GK sketches keeps every queried quantile's rank
+    /// within 2ε of exact (the merge bound for same-ε summaries).
+    #[test]
+    fn gk_sketch_merge_stays_within_twice_epsilon(
+        values in proptest::collection::vec(-1e6..1e6f64, 64..3000),
+        chunks in 2usize..6,
+        eps_idx in 0usize..3,
+    ) {
+        let eps = [0.02, 0.05, 0.1][eps_idx];
+        let chunk_len = values.len().div_ceil(chunks);
+        let mut folded = GkSketch::new(eps);
+        for chunk in values.chunks(chunk_len) {
+            let mut part = GkSketch::new(eps);
+            part.extend(chunk);
+            folded.merge(&part);
+        }
+        prop_assert_eq!(folded.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len() as f64;
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let approx = folded.query(p).unwrap();
+            // Rank of the returned value (as an interval, to be fair to ties).
+            let lo = sorted.partition_point(|&v| v < approx) as f64 / n;
+            let hi = sorted.partition_point(|&v| v <= approx) as f64 / n;
+            let error = if p < lo { lo - p } else if p > hi { p - hi } else { 0.0 };
+            prop_assert!(
+                error <= 2.0 * eps + 1.0 / n,
+                "p={} error={} (eps={})", p, error, eps
+            );
+        }
+    }
+}
+
+/// Appending segments to a prepared engine answers exactly like rebuilding
+/// from scratch — at the facade level, across several successive appends.
+#[test]
+fn successive_appends_equal_rebuilds() {
+    let full = Arc::new(
+        CensusGenerator::new(atlas::datagen::CensusConfig {
+            rows: 3_000,
+            seed: 23,
+            segment_rows: Some(700),
+            ..atlas::datagen::CensusConfig::default()
+        })
+        .generate(),
+    );
+    assert_eq!(full.num_segments(), 5);
+    let query = ConjunctiveQuery::all("census");
+
+    // Start from the first two segments, append the remaining three one by one.
+    let prefix = Arc::new(
+        Table::from_segments(
+            "census",
+            full.schema().clone(),
+            full.segments()[..2].to_vec(),
+        )
+        .unwrap(),
+    );
+    let mut engine = Atlas::with_defaults(prefix).unwrap();
+    let mut expected_rows = 1400;
+    for segment in &full.segments()[2..] {
+        engine = engine.append(Arc::clone(segment)).unwrap();
+        expected_rows += segment.num_rows();
+        assert_eq!(engine.table().num_rows(), expected_rows);
+    }
+    assert_eq!(expected_rows, 3_000);
+    let rebuilt = Atlas::with_defaults(Arc::clone(&full)).unwrap();
+
+    let a = engine.explore(&query).unwrap();
+    let b = rebuilt.explore(&query).unwrap();
+    assert_identical(&a, &b);
+
+    // The anytime path rides the same profile: identical too.
+    let options = ExploreOptions {
+        budget: None,
+        initial_sample: 400,
+        growth_factor: 4.0,
+        seed: 3,
+    };
+    let ia = engine.explore_anytime(&query, options.clone()).unwrap();
+    let ib = rebuilt.explore_anytime(&query, options).unwrap();
+    assert_eq!(ia.iterations.len(), ib.iterations.len());
+    assert_identical(&ia.best().unwrap().result, &ib.best().unwrap().result);
+}
+
+/// The CSV streaming reader produces the same table (and the same maps) as
+/// parsing in one gulp, whatever the segment size.
+#[test]
+fn streamed_csv_explores_identically() {
+    let table = Arc::new(CensusGenerator::with_rows(2_000, 77).generate());
+    let mut csv = Vec::new();
+    atlas::columnar::csv::write_csv(&table, &mut csv).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+
+    let opts = atlas::columnar::csv::CsvOptions::default();
+    let one_gulp = atlas::columnar::csv::read_csv_str("census", &text, None, &opts).unwrap();
+    let streamed = atlas::columnar::csv::read_csv_str(
+        "census",
+        &text,
+        None,
+        &atlas::columnar::csv::CsvOptions {
+            segment_rows: Some(301),
+            ..atlas::columnar::csv::CsvOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(streamed.num_segments() >= 7);
+
+    let query = ConjunctiveQuery::all("census");
+    let a = Atlas::with_defaults(Arc::new(one_gulp))
+        .unwrap()
+        .explore(&query)
+        .unwrap();
+    let b = Atlas::with_defaults(Arc::new(streamed))
+        .unwrap()
+        .explore(&query)
+        .unwrap();
+    assert_identical(&a, &b);
+}
