@@ -17,10 +17,12 @@ use atlas_core::{
 use atlas_datagen::CensusGenerator;
 use atlas_explorer::{MapQuality, ReadabilityReport};
 use atlas_query::ConjunctiveQuery;
+use atlas_serve::wire::Json;
+use atlas_serve::{Client, DatasetOptions, Registry, ServeConfig, Server, ServerHandle};
 use atlas_stats::adjusted_rand_index;
 use atlas_stats::quantile::quantile;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +31,13 @@ fn main() {
     if raw_args.first().map(String::as_str) == Some("bench-smoke") {
         let path = raw_args.get(1).map_or("BENCH_PR4.json", String::as_str);
         bench_smoke(path);
+        return;
+    }
+    // `load-smoke [path]` — the serving-throughput mode: boots `atlas-serve`
+    // on an ephemeral port and drives it with a closed-loop load generator.
+    if raw_args.first().map(String::as_str) == Some("load-smoke") {
+        let path = raw_args.get(1).map_or("BENCH_PR5.json", String::as_str);
+        load_smoke(path);
         return;
     }
     let args: Vec<String> = raw_args.iter().map(|a| a.to_lowercase()).collect();
@@ -562,18 +571,26 @@ fn sanity() {
     assert!((adjusted_rand_index(&a, &a) - 1.0).abs() < 1e-9);
 }
 
-fn timings_json(t: &PhaseTimings) -> String {
-    format!(
-        "{{\"query_ms\": {:.3}, \"candidates_ms\": {:.3}, \"clustering_ms\": {:.3}, \
-         \"merge_ms\": {:.3}, \"rank_ms\": {:.3}, \"total_ms\": {:.3}}}",
-        t.query_ms, t.candidates_ms, t.clustering_ms, t.merge_ms, t.rank_ms, t.total_ms
-    )
+/// Round to 3 decimals so the JSON reports stay diff-friendly.
+fn ms(x: f64) -> Json {
+    Json::Num((x * 1000.0).round() / 1000.0)
+}
+
+fn timings_value(t: &PhaseTimings) -> Json {
+    Json::object(vec![
+        ("query_ms", ms(t.query_ms)),
+        ("candidates_ms", ms(t.candidates_ms)),
+        ("clustering_ms", ms(t.clustering_ms)),
+        ("merge_ms", ms(t.merge_ms)),
+        ("rank_ms", ms(t.rank_ms)),
+        ("total_ms", ms(t.total_ms)),
+    ])
 }
 
 /// One bench-smoke scale point: explore the census at `rows` with the fast
 /// configuration, sequentially and with the default parallelism, and take the
 /// best of `repeats` runs (the steady-state figure CI cares about).
-fn smoke_scale_point(rows: usize, repeats: usize) -> String {
+fn smoke_scale_point(rows: usize, repeats: usize) -> Json {
     let table = census(rows);
     let query = ConjunctiveQuery::all("census");
 
@@ -625,20 +642,20 @@ fn smoke_scale_point(rows: usize, repeats: usize) -> String {
         "whole-table smoke explorations must be pure profile hits"
     );
 
-    format!(
-        "    {{\"rows\": {rows}, \"build_ms\": {build_ms:.3}, \"explore\": {}, \
-         \"explore_seq\": {}, \"maps\": {}}}",
-        timings_json(&parallel_result.timings),
-        timings_json(&sequential_result.timings),
-        parallel_result.num_maps(),
-    )
+    Json::object(vec![
+        ("rows", Json::from(rows)),
+        ("build_ms", ms(build_ms)),
+        ("explore", timings_value(&parallel_result.timings)),
+        ("explore_seq", timings_value(&sequential_result.timings)),
+        ("maps", Json::from(parallel_result.num_maps())),
+    ])
 }
 
 /// Segmented-storage smoke: streaming CSV ingest throughput. A census CSV is
 /// rendered once in memory, then parsed through the streaming reader (rows
 /// flow straight into the segment-sealing builder, so peak parser memory is
 /// one segment + the inference prefix, not the file).
-fn smoke_ingest(rows: usize) -> String {
+fn smoke_ingest(rows: usize) -> Json {
     let table = census(rows);
     let mut csv = Vec::new();
     atlas_columnar::csv::write_csv(&table, &mut csv).expect("csv renders");
@@ -651,20 +668,24 @@ fn smoke_ingest(rows: usize) -> String {
     assert_eq!(streamed.num_rows(), rows);
 
     let rows_per_s = rows as f64 / (read_ms / 1000.0);
-    format!(
-        "{{\"rows\": {rows}, \"csv_bytes\": {}, \"segment_rows\": {}, \"segments\": {}, \
-         \"read_ms\": {read_ms:.3}, \"rows_per_s\": {rows_per_s:.0}}}",
-        csv.len(),
-        atlas_columnar::default_segment_rows(),
-        streamed.num_segments(),
-    )
+    Json::object(vec![
+        ("rows", Json::from(rows)),
+        ("csv_bytes", Json::from(csv.len())),
+        (
+            "segment_rows",
+            Json::from(atlas_columnar::default_segment_rows()),
+        ),
+        ("segments", Json::from(streamed.num_segments())),
+        ("read_ms", ms(read_ms)),
+        ("rows_per_s", Json::Num(rows_per_s.round())),
+    ])
 }
 
 /// Segmented-storage smoke: preparing the engine for newly arrived data by
 /// `Atlas::append` (profile only the new segment, merge) vs a from-scratch
 /// rebuild over the extended table — the incremental-ingest acceptance
 /// number. The two engines' answers are asserted identical at runtime.
-fn smoke_append(rows: usize) -> String {
+fn smoke_append(rows: usize) -> Json {
     let table = census(rows);
     let query = ConjunctiveQuery::all("census");
     assert!(
@@ -705,31 +726,45 @@ fn smoke_append(rows: usize) -> String {
         assert_eq!(ra.score.to_bits(), rb.score.to_bits());
     }
 
-    format!(
-        "{{\"rows\": {rows}, \"segments\": {}, \"appended_rows\": {}, \
-         \"append_prepare_ms\": {append_ms:.3}, \"rebuild_prepare_ms\": {rebuild_ms:.3}, \
-         \"speedup\": {:.1}}}",
-        table.num_segments(),
-        tail[0].num_rows(),
-        rebuild_ms / append_ms.max(1e-9),
-    )
+    Json::object(vec![
+        ("rows", Json::from(rows)),
+        ("segments", Json::from(table.num_segments())),
+        ("appended_rows", Json::from(tail[0].num_rows())),
+        ("append_prepare_ms", ms(append_ms)),
+        ("rebuild_prepare_ms", ms(rebuild_ms)),
+        (
+            "speedup",
+            Json::Num((rebuild_ms / append_ms.max(1e-9) * 10.0).round() / 10.0),
+        ),
+    ])
 }
 
-/// Pull `"key": <number>` out of a JSON report the cheap way (the reports are
-/// flat enough that the first occurrence is the headline 20k-row figure).
-fn find_number(text: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = text.find(&needle)? + needle.len();
-    let rest = text[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// Pull the first `"key": <number>` out of a parsed JSON report, walking
+/// values depth-first in document order (the reports put the headline
+/// 20k-row figure first).
+fn find_number(value: &Json, key: &str) -> Option<f64> {
+    match value {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                if k == key {
+                    if let Some(x) = v.num() {
+                        return Some(x);
+                    }
+                }
+                if let Some(x) = find_number(v, key) {
+                    return Some(x);
+                }
+            }
+            None
+        }
+        Json::Arr(items) => items.iter().find_map(|v| find_number(v, key)),
+        _ => None,
+    }
 }
 
 /// Print a phase-by-phase delta table against the most recent previous
 /// `BENCH_*.json`, so CI logs show the perf trajectory at a glance.
-fn print_phase_deltas(previous_path: &str, previous: &str, current: &str) {
+fn print_phase_deltas(previous_path: &str, previous: &Json, current: &Json) {
     println!("\nphase deltas vs {previous_path} (headline 20k-row point):");
     println!("| phase | previous ms | current ms | delta |");
     println!("|-------|-------------|------------|-------|");
@@ -764,25 +799,37 @@ fn print_phase_deltas(previous_path: &str, previous: &str, current: &str) {
 /// logs show the trajectory.
 fn bench_smoke(path: &str) {
     let scale_points = [(20_000usize, 5usize), (100_000, 5), (1_000_000, 2)];
-    let scales: Vec<String> = scale_points
+    let scales: Vec<Json> = scale_points
         .iter()
         .map(|&(rows, repeats)| smoke_scale_point(rows, repeats))
         .collect();
     let ingest = smoke_ingest(200_000);
     let append = smoke_append(1_000_000);
 
-    let json = format!(
-        "{{\n  \"experiment\": \"bench_smoke\",\n  \"pr\": 4,\n  \"dataset\": \"census\",\n  \
-         \"config\": \"fast\",\n  \"parallelism\": {},\n  \"segment_rows\": {},\n  \
-         \"scale\": [\n{}\n  ],\n  \"ingest\": {ingest},\n  \"append\": {append}\n}}\n",
-        AtlasConfig::default().parallelism,
-        atlas_columnar::default_segment_rows(),
-        scales.join(",\n"),
-    );
+    let report = Json::object(vec![
+        ("experiment", Json::from("bench_smoke")),
+        ("pr", Json::from(4usize)),
+        ("dataset", Json::from("census")),
+        ("config", Json::from("fast")),
+        (
+            "parallelism",
+            Json::from(AtlasConfig::default().parallelism),
+        ),
+        (
+            "segment_rows",
+            Json::from(atlas_columnar::default_segment_rows()),
+        ),
+        ("scale", Json::array(scales)),
+        ("ingest", ingest),
+        ("append", append),
+    ]);
+    write_report_with_deltas(path, &report);
+}
 
-    // Perf trajectory: compare against the most recent previous report
-    // (excluded by basename, so "./BENCH_PR3.json" never deltas against its
-    // own previous output).
+/// Write a report, print it, and print the phase-delta table against the
+/// most recent previous `BENCH_*.json` (excluded by basename, so a report
+/// never deltas against its own previous output).
+fn write_report_with_deltas(path: &str, report: &Json) {
     let own_name = std::path::Path::new(path)
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -798,12 +845,224 @@ fn bench_smoke(path: &str) {
         // BENCH_PR9.json once PR numbers reach double digits.
         .max_by_key(|name| (name.len(), name.clone()));
 
-    std::fs::write(path, &json).expect("bench-smoke report is writable");
+    let text = report.pretty();
+    std::fs::write(path, &text).expect("bench report is writable");
     println!("wrote {path}:");
-    print!("{json}");
+    print!("{text}");
     if let Some(previous_path) = previous {
-        if let Ok(previous_text) = std::fs::read_to_string(&previous_path) {
-            print_phase_deltas(&previous_path, &previous_text, &json);
+        if let Some(previous_report) = std::fs::read_to_string(&previous_path)
+            .ok()
+            .and_then(|text| atlas_serve::wire::parse(&text).ok())
+        {
+            print_phase_deltas(&previous_path, &previous_report, report);
         }
     }
+}
+
+/// Boot a load-test server: the 100k census behind `server_threads` workers,
+/// engine parallelism pinned to 1 (so worker threads are the only scaling
+/// dimension) and the shared result cache disabled (so every request does
+/// real engine work — the honest configuration for a throughput number).
+fn boot_load_server(rows: usize, server_threads: usize) -> ServerHandle {
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            census(rows),
+            DatasetOptions {
+                config: AtlasConfig::fast().with_parallelism(1),
+                cache_capacity: 0,
+            },
+        )
+        .expect("census registers");
+    let config = ServeConfig {
+        queue_depth: 512,
+        ..ServeConfig::default()
+    }
+    .with_threads(server_threads);
+    Server::start(registry, config).expect("server binds an ephemeral port")
+}
+
+/// The query mix of the load generator: distinct conjunctive range scans so
+/// requests exercise the engine instead of replaying one hot result.
+fn load_query(i: usize) -> String {
+    let k = i % 16;
+    format!(
+        "SELECT * FROM census WHERE age BETWEEN {} AND {}",
+        17 + k,
+        52 + 2 * k
+    )
+}
+
+/// One closed-loop measurement: `clients` threads, each with its own session,
+/// issuing explores back-to-back for `duration`. Returns the point as JSON
+/// plus the achieved requests/second.
+fn load_point(
+    addr: std::net::SocketAddr,
+    server_threads: usize,
+    clients: usize,
+    duration: Duration,
+) -> (Json, f64) {
+    // Create every session (and warm up) serially *before* the barrier
+    // exists: a panic past a barrier rendezvous would deadlock the other
+    // client threads; failing here fails the run immediately instead.
+    let sessions: Vec<String> = (0..clients)
+        .map(|c| {
+            let client = Client::new(addr);
+            let token = client.create_session("census").expect("session opens");
+            for i in 0..2 {
+                let _ = client.post_text(&format!("/sessions/{token}/explore"), &load_query(c + i));
+            }
+            token
+        })
+        .collect();
+    let barrier = std::sync::Barrier::new(clients);
+    let mut all_latencies: Vec<f64> = Vec::new();
+    let mut max_elapsed = 0.0f64;
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .iter()
+            .enumerate()
+            .map(|(c, token)| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let client = Client::new(addr);
+                    let explore_path = format!("/sessions/{token}/explore");
+                    barrier.wait();
+                    let started = Instant::now();
+                    let mut latencies = Vec::new();
+                    let mut errors = 0usize;
+                    let mut i = c; // desynchronise the query mix across clients
+                    while started.elapsed() < duration {
+                        let sent = Instant::now();
+                        match client.post_text(&explore_path, &load_query(i)) {
+                            Ok(reply) if reply.status == 200 => {
+                                latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
+                            }
+                            _ => errors += 1,
+                        }
+                        i += 1;
+                    }
+                    (latencies, started.elapsed().as_secs_f64(), errors)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (latencies, elapsed, thread_errors) = handle.join().expect("client thread");
+            all_latencies.extend(latencies);
+            max_elapsed = max_elapsed.max(elapsed);
+            errors += thread_errors;
+        }
+    });
+    let requests = all_latencies.len();
+    let rps = requests as f64 / max_elapsed.max(1e-9);
+    let p = |q: f64| quantile(&all_latencies, q).map(ms).unwrap_or(Json::Null);
+    let point = Json::object(vec![
+        ("server_threads", Json::from(server_threads)),
+        ("clients", Json::from(clients)),
+        ("requests", Json::from(requests)),
+        ("errors", Json::from(errors)),
+        ("elapsed_ms", ms(max_elapsed * 1000.0)),
+        ("rps", Json::Num((rps * 10.0).round() / 10.0)),
+        ("p50_ms", p(0.50)),
+        ("p95_ms", p(0.95)),
+        ("p99_ms", p(0.99)),
+    ]);
+    (point, rps)
+}
+
+/// The serving-throughput smoke run: boot `atlas-serve` over the 100k-row
+/// census and drive it with a closed-loop generator at 1, 4 and N client
+/// threads against 1 and N server threads, recording throughput and
+/// p50/p95/p99 latency per point, plus the cold-start time (dataset
+/// generation + engine preparation + bind until `/healthz` answers). The
+/// thread-scaling headline is honest about the hardware: `cores` is recorded
+/// next to it (a 1-core container cannot speed up CPU-bound explores by
+/// adding workers).
+fn load_smoke(path: &str) {
+    const ROWS: usize = 100_000;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = ServeConfig::default_threads().max(4);
+    let duration = Duration::from_millis(1500);
+
+    // Cold start: everything between "nothing is running" and a green
+    // health check.
+    let cold_started = Instant::now();
+    let handle = boot_load_server(ROWS, max_threads);
+    let client = Client::new(handle.addr());
+    loop {
+        if let Ok(reply) = client.get("/healthz") {
+            if reply.status == 200 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let cold_start_ms = cold_started.elapsed().as_secs_f64() * 1000.0;
+    handle.shutdown();
+
+    let mut client_counts = vec![1usize, 4, max_threads];
+    client_counts.dedup();
+    let mut points = Vec::new();
+    let rps_at = |server_threads: usize, points: &mut Vec<Json>| -> f64 {
+        let handle = boot_load_server(ROWS, server_threads);
+        let mut best = 0.0f64;
+        for &clients in &client_counts {
+            let (point, rps) = load_point(handle.addr(), server_threads, clients, duration);
+            println!(
+                "load-smoke: {} server thread(s), {clients} client(s): {}",
+                server_threads,
+                point.encode()
+            );
+            points.push(point);
+            best = best.max(rps);
+        }
+        handle.shutdown();
+        best
+    };
+    let rps_one = rps_at(1, &mut points);
+    let rps_many = rps_at(max_threads, &mut points);
+
+    let report = Json::object(vec![
+        ("experiment", Json::from("load_smoke")),
+        ("pr", Json::from(5usize)),
+        ("dataset", Json::from("census")),
+        ("rows", Json::from(ROWS)),
+        (
+            "config",
+            Json::from("fast, engine parallelism 1, result cache off"),
+        ),
+        ("cores", Json::from(cores)),
+        ("cold_start_ms", ms(cold_start_ms)),
+        (
+            "scaling",
+            Json::object(vec![
+                ("server_threads", Json::from(max_threads)),
+                (
+                    "rps_1_server_thread",
+                    Json::Num((rps_one * 10.0).round() / 10.0),
+                ),
+                (
+                    "rps_n_server_threads",
+                    Json::Num((rps_many * 10.0).round() / 10.0),
+                ),
+                (
+                    "speedup",
+                    Json::Num((rps_many / rps_one.max(1e-9) * 100.0).round() / 100.0),
+                ),
+            ]),
+        ),
+        ("points", Json::array(points)),
+        // The explore-phase trajectory keeps the delta table comparable with
+        // the earlier BENCH_*.json reports (headline 20k point first).
+        (
+            "scale",
+            Json::array(vec![
+                smoke_scale_point(20_000, 3),
+                smoke_scale_point(100_000, 3),
+            ]),
+        ),
+    ]);
+    write_report_with_deltas(path, &report);
 }

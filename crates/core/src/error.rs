@@ -21,6 +21,23 @@ pub enum AtlasError {
     InvalidConfig(String),
 }
 
+impl AtlasError {
+    /// True if the error was caused by the caller's input (an unparseable or
+    /// unanswerable query, inconsistent options) rather than by the engine
+    /// itself. Front-ends use this split to map errors onto their own
+    /// vocabulary — `atlas-serve` turns user errors into HTTP `4xx` statuses
+    /// and everything else into `5xx`.
+    pub fn is_user_error(&self) -> bool {
+        match self {
+            AtlasError::Query(_)
+            | AtlasError::EmptyWorkingSet
+            | AtlasError::NoCuttableAttributes
+            | AtlasError::InvalidConfig(_) => true,
+            AtlasError::Columnar(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for AtlasError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -65,5 +82,17 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e: AtlasError = atlas_columnar::ColumnarError::EmptySchema.into();
         assert!(matches!(e, AtlasError::Columnar(_)));
+    }
+
+    #[test]
+    fn user_errors_are_distinguished_from_engine_errors() {
+        assert!(AtlasError::EmptyWorkingSet.is_user_error());
+        assert!(AtlasError::NoCuttableAttributes.is_user_error());
+        assert!(AtlasError::InvalidConfig("x".into()).is_user_error());
+        assert!(
+            AtlasError::Query(atlas_query::QueryError::UnknownAttribute("x".into()))
+                .is_user_error()
+        );
+        assert!(!AtlasError::Columnar("disk on fire".into()).is_user_error());
     }
 }

@@ -15,12 +15,17 @@
 //!   query (the only queries the GUI lets the user submit next), so whichever
 //!   region the user drills into is already answered.
 //!
-//! The cache is a simple bounded FIFO keyed by the canonical SQL text of the
+//! The cache is a bounded LRU keyed by the canonical SQL text of the
 //! query — predicates are sorted by attribute before printing, so two
-//! conjunctions that differ only in predicate order share one cache entry.
-//! The scheme stays deliberately unsophisticated, as the paper leaves
-//! "deciding what to compute" open; eviction order and keying are the two
-//! obvious extension points.
+//! conjunctions that differ only in predicate order share one cache entry —
+//! and a hit refreshes the entry's recency, so the queries a user keeps
+//! coming back to survive eviction. The scheme stays deliberately
+//! unsophisticated otherwise, as the paper leaves "deciding what to compute"
+//! open; keying and the eviction policy are the two obvious extension points.
+//!
+//! The raw [`CachedAtlas::lookup`] / [`CachedAtlas::insert_result`] pair
+//! exists for front-ends (such as `atlas-serve`) that hold the cache behind a
+//! lock and must not keep it locked while the engine computes a miss.
 
 use crate::config::AtlasConfig;
 use crate::engine::{Atlas, MapResult};
@@ -80,9 +85,16 @@ impl CachedAtlas {
         &self.engine
     }
 
-    /// Cache behaviour so far.
+    /// Cache behaviour so far: hit, miss, prefetch and eviction counters
+    /// (consumed by tests, benchmarks, and the `atlas-serve` `/metrics`
+    /// endpoint).
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// The configured capacity (number of results the cache can hold).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of cached results.
@@ -111,9 +123,21 @@ impl CachedAtlas {
         to_sql(&canonical)
     }
 
+    /// Move `key` to the most-recently-used end of the order queue.
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.insertion_order.iter().position(|k| k == key) {
+            let key = self
+                .insertion_order
+                .remove(pos)
+                .expect("position was just found");
+            self.insertion_order.push_back(key);
+        }
+    }
+
     fn insert(&mut self, key: String, result: MapResult) {
         if let Some(slot) = self.cache.get_mut(&key) {
             *slot = result;
+            self.touch(&key);
             return;
         }
         if self.cache.len() >= self.capacity {
@@ -138,14 +162,40 @@ impl CachedAtlas {
         Ok(())
     }
 
+    /// The raw cache probe: a hit returns the cached result (and refreshes
+    /// its recency), a miss returns `None`. Both update the counters. Callers
+    /// that hold the cache behind a lock use this to release the lock while
+    /// the engine computes, then store the outcome with
+    /// [`CachedAtlas::insert_result`].
+    pub fn lookup(&mut self, query: &ConjunctiveQuery) -> Option<MapResult> {
+        self.lookup_key(&Self::key(query))
+    }
+
+    fn lookup_key(&mut self, key: &str) -> Option<MapResult> {
+        if let Some(result) = self.cache.get(key) {
+            let result = result.clone();
+            self.stats.hits += 1;
+            self.touch(key);
+            return Some(result);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Store an externally computed result for `query` (the write half of
+    /// [`CachedAtlas::lookup`]). The result must come from an engine
+    /// answering over the same table snapshot as [`CachedAtlas::engine`],
+    /// otherwise later hits would disagree with fresh explorations.
+    pub fn insert_result(&mut self, query: &ConjunctiveQuery, result: MapResult) {
+        self.insert(Self::key(query), result);
+    }
+
     /// Answer a query, from the cache when possible.
     pub fn explore(&mut self, query: &ConjunctiveQuery) -> Result<MapResult> {
         let key = Self::key(query);
-        if let Some(result) = self.cache.get(&key) {
-            self.stats.hits += 1;
-            return Ok(result.clone());
+        if let Some(result) = self.lookup_key(&key) {
+            return Ok(result);
         }
-        self.stats.misses += 1;
         let result = self.engine.explore(query)?;
         self.insert(key, result.clone());
         Ok(result)
@@ -255,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_enforced_with_fifo_eviction() {
+    fn capacity_is_enforced_with_least_recently_used_eviction() {
         let mut cached = CachedAtlas::new(table(2_000), AtlasConfig::default(), 2).unwrap();
         let q1 = ConjunctiveQuery::all("t");
         let q2 = q1
@@ -264,15 +314,76 @@ mod tests {
         let q3 = q1
             .clone()
             .and(atlas_query::Predicate::values("group", ["b"]));
+        assert_eq!(cached.capacity(), 2);
         cached.explore(&q1).unwrap();
         cached.explore(&q2).unwrap();
         cached.explore(&q3).unwrap();
         assert_eq!(cached.len(), 2);
         assert_eq!(cached.stats().evicted, 1);
-        // q1 was evicted (FIFO), so it is a miss again.
+        // q1 was the least recently used entry, so it is a miss again.
         let misses_before = cached.stats().misses;
         cached.explore(&q1).unwrap();
         assert_eq!(cached.stats().misses, misses_before + 1);
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_fifo() {
+        // Regression test for the eviction policy the server's shared result
+        // cache relies on: capacity 2, three distinct queries, but the oldest
+        // *inserted* entry is touched before the third insert — so the LRU
+        // victim must be the second entry, not the first.
+        let mut cached = CachedAtlas::new(table(2_000), AtlasConfig::default(), 2).unwrap();
+        let q1 = ConjunctiveQuery::all("t");
+        let q2 = q1
+            .clone()
+            .and(atlas_query::Predicate::values("group", ["a"]));
+        let q3 = q1
+            .clone()
+            .and(atlas_query::Predicate::values("group", ["b"]));
+        cached.explore(&q1).unwrap(); // miss, cache = [q1]
+        cached.explore(&q2).unwrap(); // miss, cache = [q1, q2]
+        cached.explore(&q1).unwrap(); // hit: q1 becomes most recently used
+        cached.explore(&q3).unwrap(); // miss: evicts q2 (the LRU), not q1
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached.stats().evicted, 1);
+
+        // q1 must still be cached (a FIFO would have evicted it) …
+        let hits_before = cached.stats().hits;
+        cached.explore(&q1).unwrap();
+        assert_eq!(cached.stats().hits, hits_before + 1, "q1 survived");
+        // … and q2 must be gone.
+        let misses_before = cached.stats().misses;
+        cached.explore(&q2).unwrap();
+        assert_eq!(
+            cached.stats().misses,
+            misses_before + 1,
+            "q2 was the victim"
+        );
+    }
+
+    #[test]
+    fn lookup_and_insert_result_split_the_explore_path() {
+        // The server-side protocol: probe under a lock, compute outside it,
+        // store the outcome. Counters must behave exactly like `explore`.
+        let t = table(1_500);
+        let engine = Atlas::builder(Arc::clone(&t)).build().unwrap();
+        let mut cached = CachedAtlas::from_engine(engine.clone(), 4);
+        let query = ConjunctiveQuery::all("t");
+        assert!(cached.lookup(&query).is_none());
+        assert_eq!(cached.stats().misses, 1);
+        let result = engine.explore(&query).unwrap();
+        cached.insert_result(&query, result.clone());
+        let hit = cached.lookup(&query).expect("inserted result is found");
+        assert_eq!(hit.working_set_size, result.working_set_size);
+        assert_eq!(hit.num_maps(), result.num_maps());
+        assert_eq!(
+            cached.stats(),
+            &CacheStats {
+                hits: 1,
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
     }
 
     #[test]

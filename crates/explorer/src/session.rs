@@ -93,26 +93,43 @@ impl Session {
         self.submit(query)
     }
 
+    /// Record a step whose result was computed externally — by a shared
+    /// result cache (`atlas_core::CachedAtlas`), a remote worker, or any
+    /// other front-end that routes explorations around the session's own
+    /// engine. The step joins the history exactly as if
+    /// [`Session::submit`] had produced it, so `drill_down`/`back` keep
+    /// working; the caller is responsible for the result actually answering
+    /// `query` over this session's table snapshot.
+    pub fn record(&mut self, query: ConjunctiveQuery, result: MapResult) -> &ExplorationStep {
+        self.steps.push(ExplorationStep { query, result });
+        self.steps.last().expect("step was just pushed")
+    }
+
+    /// The query a drill-down on (`map_idx`, `region_idx`) would submit,
+    /// without submitting it. Errors mirror [`Session::drill_down`] and leave
+    /// the history untouched.
+    pub fn drill_query(&self, map_idx: usize, region_idx: usize) -> Result<ConjunctiveQuery> {
+        let step = self.current().ok_or_else(|| {
+            atlas_core::AtlasError::InvalidConfig(
+                "cannot drill down before submitting a query".to_string(),
+            )
+        })?;
+        let map = step.result.maps.get(map_idx).ok_or_else(|| {
+            atlas_core::AtlasError::InvalidConfig(format!("no map #{map_idx} in current step"))
+        })?;
+        let region = map.map.regions.get(region_idx).ok_or_else(|| {
+            atlas_core::AtlasError::InvalidConfig(format!(
+                "no region #{region_idx} in map #{map_idx}"
+            ))
+        })?;
+        Ok(region.query.clone())
+    }
+
     /// Drill down: take region `region_idx` of map `map_idx` of the current
     /// step and submit its query as the next exploration step (the refine
     /// action of Figure 1).
     pub fn drill_down(&mut self, map_idx: usize, region_idx: usize) -> Result<&ExplorationStep> {
-        let query = {
-            let step = self.current().ok_or_else(|| {
-                atlas_core::AtlasError::InvalidConfig(
-                    "cannot drill down before submitting a query".to_string(),
-                )
-            })?;
-            let map = step.result.maps.get(map_idx).ok_or_else(|| {
-                atlas_core::AtlasError::InvalidConfig(format!("no map #{map_idx} in current step"))
-            })?;
-            let region = map.map.regions.get(region_idx).ok_or_else(|| {
-                atlas_core::AtlasError::InvalidConfig(format!(
-                    "no region #{region_idx} in map #{map_idx}"
-                ))
-            })?;
-            region.query.clone()
-        };
+        let query = self.drill_query(map_idx, region_idx)?;
         self.submit(query)
     }
 
@@ -127,9 +144,22 @@ impl Session {
         &mut self,
         segment: impl Into<Arc<Segment>>,
     ) -> Result<Option<&ExplorationStep>> {
-        // Prepare the new engine and the refreshed result *before* touching
-        // the session, so an error leaves engine and history untouched.
         let engine = self.engine.append(segment)?;
+        self.adopt_engine(engine)
+    }
+
+    /// Switch the session onto an already prepared engine over a newer
+    /// snapshot of the same logical table — e.g. the shared engine a serving
+    /// front-end re-prepared once for all sessions (cheaper than every
+    /// session re-profiling the same segments through
+    /// [`Session::append_segment`]). As with an append, the current step's
+    /// query is re-run over the new snapshot and its result **replaces** the
+    /// step on screen; earlier steps keep their historical results. An error
+    /// (e.g. the current query not evaluating on the new engine's table)
+    /// leaves engine and history untouched.
+    pub fn adopt_engine(&mut self, engine: Atlas) -> Result<Option<&ExplorationStep>> {
+        // Compute the refreshed result *before* touching the session, so an
+        // error leaves engine and history untouched.
         let refreshed = match self.steps.last() {
             Some(current) => Some(engine.explore(&current.query)?),
             None => None,
@@ -141,6 +171,21 @@ impl Session {
         let current = self.steps.last_mut().expect("refreshed implies a step");
         current.result = result;
         Ok(Some(self.steps.last().expect("a step was just refreshed")))
+    }
+
+    /// Bound the history to its `max_depth` most recent steps, discarding
+    /// the oldest ones (long-lived front-end sessions would otherwise grow
+    /// without limit — every step retains a full [`MapResult`]). The current
+    /// step is never discarded; `back` afterwards walks only the retained
+    /// steps. Returns how many steps were discarded.
+    pub fn trim_history(&mut self, max_depth: usize) -> usize {
+        let max_depth = max_depth.max(1);
+        if self.steps.len() <= max_depth {
+            return 0;
+        }
+        let excess = self.steps.len() - max_depth;
+        self.steps.drain(..excess);
+        excess
     }
 
     /// Go back one step, returning the step that was abandoned.
@@ -227,6 +272,124 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_drill_errors_name_the_missing_index_and_keep_history_intact() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        let before: Vec<String> = session
+            .history()
+            .iter()
+            .map(|s| atlas_query::to_sql(&s.query))
+            .collect();
+
+        let err = session.drill_down(42, 0).unwrap_err();
+        assert!(err.to_string().contains("map #42"), "{err}");
+        let num_maps = session.current().unwrap().result.num_maps();
+        let err = session.drill_down(0, 1_000).unwrap_err();
+        assert!(err.to_string().contains("region #1000"), "{err}");
+        // An index one past the end fails exactly like a huge one.
+        assert!(session.drill_down(num_maps, 0).is_err());
+
+        let after: Vec<String> = session
+            .history()
+            .iter()
+            .map(|s| atlas_query::to_sql(&s.query))
+            .collect();
+        assert_eq!(before, after, "failed drills must not rewrite history");
+        // The session is still usable: a valid drill works afterwards.
+        assert!(session.drill_down(0, 0).is_ok());
+        assert_eq!(session.depth(), 2);
+    }
+
+    #[test]
+    fn back_past_the_root_is_a_clean_no_op() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        session.drill_down(0, 0).unwrap();
+        assert!(session.back().is_some());
+        assert!(session.back().is_some());
+        assert_eq!(session.depth(), 0);
+        // Going back past the root neither panics nor fabricates steps, no
+        // matter how often it is repeated.
+        for _ in 0..3 {
+            assert!(session.back().is_none());
+            assert_eq!(session.depth(), 0);
+            assert!(session.current().is_none());
+        }
+        // Drilling now fails (there is no current step) but the session still
+        // accepts fresh queries.
+        assert!(session.drill_down(0, 0).is_err());
+        assert!(session.submit(ConjunctiveQuery::all("census")).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_history_but_keeps_the_engine_usable() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        session.drill_down(0, 0).unwrap();
+        session.reset();
+        assert_eq!(session.depth(), 0);
+        assert!(session.current().is_none());
+        assert!(session.back().is_none());
+        assert!(session.drill_down(0, 0).is_err());
+        let step = session.submit(ConjunctiveQuery::all("census")).unwrap();
+        assert_eq!(step.working_set_size(), 2000);
+        assert_eq!(session.depth(), 1);
+    }
+
+    #[test]
+    fn trim_history_bounds_the_session_but_keeps_the_current_step() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        for _ in 0..3 {
+            session.drill_down(0, 0).ok();
+            session
+                .submit(ConjunctiveQuery::all("census"))
+                .expect("whole-table query always works");
+        }
+        let depth = session.depth();
+        assert!(depth >= 4);
+        let current_sql = atlas_query::to_sql(&session.current().unwrap().query);
+
+        assert_eq!(session.trim_history(depth + 1), 0, "under the cap: no-op");
+        let discarded = session.trim_history(2);
+        assert_eq!(discarded, depth - 2);
+        assert_eq!(session.depth(), 2);
+        assert_eq!(
+            atlas_query::to_sql(&session.current().unwrap().query),
+            current_sql,
+            "the step on screen survives trimming"
+        );
+        // A zero cap still keeps the current step.
+        assert_eq!(session.trim_history(0), 1);
+        assert_eq!(session.depth(), 1);
+        assert!(session.current().is_some());
+    }
+
+    #[test]
+    fn record_joins_the_history_like_submit() {
+        let mut session = census_session();
+        let query = ConjunctiveQuery::all("census");
+        // Compute the result outside the session (as a shared server-side
+        // cache would) and record it.
+        let result = session.engine().explore(&query).unwrap();
+        let expected_maps = result.num_maps();
+        session.record(query.clone(), result);
+        assert_eq!(session.depth(), 1);
+        assert_eq!(session.current().unwrap().query, query);
+
+        // drill_query mirrors drill_down's lookups without touching history.
+        let drill = session.drill_query(0, 0).unwrap();
+        assert!(drill.num_predicates() >= 1);
+        assert_eq!(session.depth(), 1);
+        assert!(session.drill_query(expected_maps, 0).is_err());
+
+        // And the recorded step drills exactly like a submitted one.
+        let step = session.drill_down(0, 0).unwrap();
+        assert!(step.working_set_size() < 2000);
+        assert_eq!(session.depth(), 2);
+    }
+
+    #[test]
     fn bad_sql_is_reported() {
         let mut session = census_session();
         assert!(session.submit_sql("SELECT age FROM census").is_err());
@@ -275,6 +438,41 @@ mod tests {
         assert!(refreshed.is_none());
         assert_eq!(session.engine().table().num_rows(), 2100);
         assert_eq!(session.depth(), 0);
+    }
+
+    #[test]
+    fn adopt_engine_refreshes_the_current_step_without_re_profiling() {
+        let mut session = census_session();
+        session.submit(ConjunctiveQuery::all("census")).unwrap();
+        assert_eq!(session.current().unwrap().working_set_size(), 2000);
+
+        // A front-end re-prepared the shared engine once (append path); the
+        // session adopts it instead of re-profiling the segment itself.
+        let batch = CensusGenerator::with_rows(400, 13).generate();
+        let mut b = atlas_columnar::TableBuilder::new("census", batch.schema().clone())
+            .with_segment_rows(usize::MAX);
+        for row in 0..batch.num_rows() {
+            b.push_row(&batch.row(row).unwrap()).unwrap();
+        }
+        let (_, segments) = b.build_segments().unwrap();
+        let shared = session
+            .engine()
+            .append(segments.into_iter().next().unwrap())
+            .unwrap();
+
+        let refreshed = session
+            .adopt_engine(shared)
+            .unwrap()
+            .expect("a step was on screen");
+        assert_eq!(refreshed.working_set_size(), 2400);
+        assert_eq!(session.depth(), 1, "refresh replaces, never stacks");
+        assert_eq!(session.engine().table().num_rows(), 2400);
+
+        // Adopting with no step on screen only swaps the engine.
+        let mut fresh = census_session();
+        let engine = fresh.engine().clone();
+        assert!(fresh.adopt_engine(engine).unwrap().is_none());
+        assert_eq!(fresh.depth(), 0);
     }
 
     #[test]

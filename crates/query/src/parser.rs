@@ -10,8 +10,13 @@
 //!             | ident IN '(' literal ( ',' literal )* ')'
 //!             | ident '=' literal
 //!             | ident ( '<' | '<=' | '>' | '>=' ) number
+//!             | ident IS NOT NULL
 //! literal    := number | string
 //! ```
+//!
+//! `IS NOT NULL` is the parse of the unbounded range `[-inf, inf]` the
+//! printer emits for it, so every predicate the engine can produce — region
+//! queries shipped over the wire included — round-trips through print + parse.
 //!
 //! Only conjunctions are accepted — that is the whole point of the language
 //! ("a restriction of SQL which can only express conjunction of predicates").
@@ -148,6 +153,18 @@ impl Parser {
                 self.next();
                 let x = self.number()?;
                 Ok(Predicate::range(attribute, x, f64::INFINITY))
+            }
+            Some(t) if t.is_keyword("is") => {
+                // `attr IS NOT NULL`: the fully unbounded range — exactly what
+                // the printer renders a `[-inf, inf]` predicate as.
+                self.next();
+                self.expect_keyword("not")?;
+                self.expect_keyword("null")?;
+                Ok(Predicate::range(
+                    attribute,
+                    f64::NEG_INFINITY,
+                    f64::INFINITY,
+                ))
             }
             Some(t) => Err(self.error(format!("expected a predicate operator, found {t:?}"))),
             None => Err(self.error("expected a predicate operator, found end of input")),

@@ -143,10 +143,15 @@ mod tests {
     }
 
     #[test]
-    fn unbounded_range_renders_as_not_null() {
+    fn unbounded_range_renders_as_not_null_and_round_trips() {
         let q =
             ConjunctiveQuery::all("t").and(Predicate::range("x", f64::NEG_INFINITY, f64::INFINITY));
-        assert!(to_sql(&q).contains("x IS NOT NULL"));
+        let sql = to_sql(&q);
+        assert!(sql.contains("x IS NOT NULL"));
+        assert_eq!(parse_query(&sql).unwrap(), q);
+        // Malformed variants of the clause are rejected, not misparsed.
+        assert!(parse_query("x IS NULL").is_err());
+        assert!(parse_query("x IS NOT").is_err());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! The `atlas-serve` binary: boot the exploration server from the command
+//! line.
+//!
+//! ```text
+//! cargo run --release -p atlas-serve -- --port 7171 --dataset census:100000
+//! ```
+//!
+//! Options:
+//!
+//! * `--port N` — TCP port (default 7171; 0 picks an ephemeral port)
+//! * `--bind ADDR` — bind address (default 127.0.0.1)
+//! * `--dataset SPEC` — repeatable; `census:ROWS[:SEED]`,
+//!   `sdss:ROWS[:SEED]`, `orders:ROWS[:SEED]` or `csv:NAME=PATH`
+//!   (default `census:20000`)
+//! * `--threads N` — worker threads (default: `ATLAS_SERVE_THREADS` or the
+//!   hardware threads)
+//! * `--cache N` — shared result-cache capacity per dataset, 0 disables
+//!   (default 64)
+//! * `--fast` / `--quality` — engine preset (default: the paper's config)
+
+use atlas_core::AtlasConfig;
+use atlas_serve::{DatasetOptions, Registry, ServeConfig, Server};
+use std::process::exit;
+
+fn fail(message: &str) -> ! {
+    eprintln!("atlas-serve: {message}");
+    exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut port: u16 = 7171;
+    let mut bind = "127.0.0.1".to_string();
+    let mut specs: Vec<String> = Vec::new();
+    let mut serve_config = ServeConfig::default();
+    let mut engine_config = AtlasConfig::default();
+    let mut cache_capacity = 64usize;
+
+    let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                port = value_of(&mut args, "--port")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--port needs a number"));
+            }
+            "--bind" => bind = value_of(&mut args, "--bind"),
+            "--dataset" => specs.push(value_of(&mut args, "--dataset")),
+            "--threads" => {
+                serve_config.threads = value_of(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads needs a number"));
+            }
+            "--cache" => {
+                cache_capacity = value_of(&mut args, "--cache")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--cache needs a number"));
+            }
+            "--fast" => engine_config = AtlasConfig::fast(),
+            "--quality" => engine_config = AtlasConfig::quality(),
+            "--help" | "-h" => {
+                println!(
+                    "usage: atlas-serve [--port N] [--bind ADDR] [--dataset SPEC]... \
+                     [--threads N] [--cache N] [--fast|--quality]"
+                );
+                return;
+            }
+            other => fail(&format!("unknown option '{other}' (try --help)")),
+        }
+    }
+    if specs.is_empty() {
+        specs.push("census:20000".to_string());
+    }
+    serve_config.bind = format!("{bind}:{port}");
+
+    let mut registry = Registry::new();
+    for spec in &specs {
+        let options = DatasetOptions {
+            config: engine_config.clone(),
+            cache_capacity,
+        };
+        if let Err(error) = registry.add_spec(spec, options) {
+            fail(&format!("loading '{spec}' failed: {error}"));
+        }
+        let dataset = registry.datasets().last().expect("just added");
+        eprintln!("loaded dataset '{}' from '{spec}'", dataset.name());
+    }
+
+    let handle = match Server::start(registry, serve_config.clone()) {
+        Ok(handle) => handle,
+        Err(error) => fail(&format!("binding {} failed: {error}", serve_config.bind)),
+    };
+    let addr = handle.addr();
+    eprintln!(
+        "atlas-serve listening on http://{addr} ({} workers)",
+        serve_config.threads
+    );
+    eprintln!("try:");
+    eprintln!("  curl -s http://{addr}/healthz");
+    eprintln!("  curl -s -X POST http://{addr}/sessions -d '{{}}'");
+    eprintln!("  curl -s -X POST http://{addr}/sessions/<token>/explore -d 'SELECT * FROM census'");
+    handle.join();
+}

@@ -1,0 +1,123 @@
+//! A minimal blocking HTTP client for the exploration server.
+//!
+//! One connection per request (`Connection: close`) keeps the client fair
+//! under a single-worker server and trivially correct; it is what the
+//! integration tests, the quickstart example, and the `load-smoke` closed-
+//! loop generator in `atlas-bench` drive the server with.
+
+use crate::http::{self, ClientResponse, HttpError};
+use crate::wire::Json;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest response body the client accepts.
+const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
+
+/// A client bound to one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for the server at `addr` with a 30 s per-request timeout.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// This client with the given per-request socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Issue one request. `body` is sent verbatim with the given content
+    /// type when present.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<(&str, &[u8])>,
+    ) -> io::Result<ClientResponse> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: atlas\r\nConnection: close\r\n");
+        if let Some((content_type, bytes)) = body {
+            head.push_str(&format!(
+                "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+                bytes.len()
+            ));
+        }
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
+        if let Some((_, bytes)) = body {
+            writer.write_all(bytes)?;
+        }
+        writer.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let deadline = std::time::Instant::now() + self.timeout;
+        http::read_response(&mut reader, MAX_RESPONSE_BYTES, Some(deadline)).map_err(|e| match e {
+            HttpError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&self, path: &str, body: &Json) -> io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(("application/json", body.encode().as_bytes())),
+        )
+    }
+
+    /// `POST path` with a plain-text body (conjunctive SQL).
+    pub fn post_text(&self, path: &str, body: &str) -> io::Result<ClientResponse> {
+        self.request(
+            "POST",
+            path,
+            Some(("text/plain; charset=utf-8", body.as_bytes())),
+        )
+    }
+
+    /// `DELETE path`.
+    pub fn delete(&self, path: &str) -> io::Result<ClientResponse> {
+        self.request("DELETE", path, None)
+    }
+
+    /// Create a session over `dataset` and return its token.
+    pub fn create_session(&self, dataset: &str) -> io::Result<String> {
+        let response = self.post_json(
+            "/sessions",
+            &Json::object(vec![("dataset", Json::from(dataset))]),
+        )?;
+        let json = response
+            .json()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "non-JSON reply"))?;
+        if response.status != 201 {
+            return Err(io::Error::other(format!(
+                "session creation failed ({}): {}",
+                response.status,
+                json.get("error").and_then(Json::str).unwrap_or("?")
+            )));
+        }
+        json.get("token")
+            .and_then(Json::str)
+            .map(String::from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "reply without a token"))
+    }
+}

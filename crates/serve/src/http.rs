@@ -1,0 +1,496 @@
+//! A minimal HTTP/1.1 layer over blocking streams.
+//!
+//! Just enough of the protocol for the exploration server and its clients:
+//! request/response lines, headers, `Content-Length`-bounded bodies (chunked
+//! transfer encoding is deliberately rejected — bodies stay bounded and the
+//! parser stays simple), and keep-alive. Everything is parsed defensively:
+//! line-length and header-count caps, a body-size cap, and explicit error
+//! variants so the connection loop can answer `400`/`413` instead of dying.
+
+use crate::wire::Json;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+/// Upper bound on one request/status/header line, in bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of headers per message.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method, upper-cased (`GET`, `POST`, …).
+    pub method: String,
+    /// The path, query string included if one was sent.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent).
+    pub fn wants_keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The path split on `/`, empty segments dropped, query string stripped:
+    /// `/sessions/abc/explore?x=1` → `["sessions", "abc", "explore"]`.
+    pub fn path_segments(&self) -> Vec<&str> {
+        let path = self.path.split('?').next().unwrap_or("");
+        path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// The body as UTF-8 text, if it is valid UTF-8.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why reading a request (or response) failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before sending anything.
+    Closed,
+    /// The read timed out with no bytes available (an idle keep-alive
+    /// connection; the caller decides whether to wait more or hang up).
+    Idle,
+    /// The message violates the protocol (answer 400 and close).
+    Malformed(String),
+    /// The declared body exceeds the configured cap (answer 413 and close).
+    BodyTooLarge {
+        /// The configured body cap in bytes.
+        limit: usize,
+    },
+    /// An underlying I/O error mid-message.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => f.write_str("connection closed"),
+            HttpError::Idle => f.write_str("connection idle"),
+            HttpError::Malformed(m) => write!(f, "malformed message: {m}"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "body exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn io_error(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Idle,
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe => HttpError::Closed,
+        _ => HttpError::Io(e),
+    }
+}
+
+/// Block until at least one byte is buffered, without consuming it.
+///
+/// Distinguishes the three states the keep-alive loop cares about: data ready
+/// (`Ok`), peer gone ([`HttpError::Closed`]), or read timeout with nothing
+/// buffered ([`HttpError::Idle`] — the caller can poll its shutdown flag and
+/// try again).
+pub fn wait_for_data<R: BufRead>(reader: &mut R) -> Result<(), HttpError> {
+    match reader.fill_buf() {
+        Ok([]) => Err(HttpError::Closed),
+        Ok(_) => Ok(()),
+        Err(e) => Err(io_error(e)),
+    }
+}
+
+/// Fill `buf` completely, riding out socket read timeouts until `deadline`
+/// (slow peers legitimately deliver a message across many timeout slices;
+/// only the overall deadline hangs up on them). EOF before the first byte of
+/// a message is a clean [`HttpError::Closed`]; EOF or an expired deadline
+/// mid-message is malformed.
+fn read_full<R: BufRead>(
+    reader: &mut R,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+    at_message_start: bool,
+) -> Result<(), HttpError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 && at_message_start {
+                    HttpError::Closed
+                } else {
+                    HttpError::Malformed("connection closed mid-message".to_string())
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(HttpError::Malformed(
+                        "timed out reading the message".to_string(),
+                    ));
+                }
+            }
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+    Ok(())
+}
+
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+    at_message_start: bool,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        read_full(
+            reader,
+            &mut byte,
+            deadline,
+            at_message_start && line.is_empty(),
+        )?;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header line".to_string()));
+        }
+        line.push(byte[0]);
+        if line.len() > MAX_LINE_BYTES {
+            return Err(HttpError::Malformed("header line too long".to_string()));
+        }
+    }
+}
+
+fn read_headers<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, deadline, false)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".to_string()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body<R: BufRead>(
+    reader: &mut R,
+    headers: &[(String, String)],
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, HttpError> {
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported; send Content-Length".to_string(),
+        ));
+    }
+    let length = match header("content-length") {
+        None => return Ok(Vec::new()),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("invalid Content-Length: {v}")))?,
+    };
+    if length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = vec![0u8; length];
+    read_full(reader, &mut body, deadline, false)?;
+    Ok(body)
+}
+
+/// Read one request from the stream. `max_body` bounds the accepted
+/// `Content-Length`; `deadline` bounds how long a slow peer may take to
+/// deliver the whole message (socket read timeouts within it are ridden
+/// out, not treated as errors).
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<Request, HttpError> {
+    let line = read_line(reader, deadline, true)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line without a path".to_string()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version: {other:?}"
+            )))
+        }
+    }
+    let headers = read_headers(reader, deadline)?;
+    let body = read_body(reader, &headers, max_body, deadline)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: value.encode().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard error envelope: `{"error": message}`.
+    pub fn error(status: u16, message: impl Into<String>) -> Response {
+        Response::json(
+            status,
+            &Json::object(vec![("error", Json::from(message.into()))]),
+        )
+    }
+}
+
+/// The reason phrase of a status code (the subset the server uses).
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a response; `keep_alive` controls the `Connection` header.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The body parsed as JSON.
+    pub fn json(&self) -> Option<Json> {
+        crate::wire::parse(self.body_text()?).ok()
+    }
+}
+
+/// Read one response from the stream. `max_body` bounds the accepted
+/// `Content-Length`; `deadline` bounds the whole read as in
+/// [`read_request`].
+pub fn read_response<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+    deadline: Option<Instant>,
+) -> Result<ClientResponse, HttpError> {
+    let line = read_line(reader, deadline, true)?;
+    let mut parts = line.split_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version: {other:?}"
+            )))
+        }
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| HttpError::Malformed("status line without a code".to_string()))?;
+    let headers = read_headers(reader, deadline)?;
+    let body = read_body(reader, &headers, max_body, deadline)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+        let mut reader = BufReader::new(bytes);
+        read_request(&mut reader, 1024, None)
+    }
+
+    #[test]
+    fn requests_parse_with_headers_and_body() {
+        let raw = b"POST /sessions/x/explore?q=1 HTTP/1.1\r\nHost: localhost\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse_bytes(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path_segments(), vec!["sessions", "x", "explore"]);
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body_text(), Some("hello"));
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = parse_bytes(raw).unwrap();
+        assert!(!req.wants_keep_alive());
+        assert!(req.body.is_empty());
+        assert!(req.path_segments().is_empty());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(parse_bytes(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            parse_bytes(b"GET /\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes(b"GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_bytes(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_up_front() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10000\r\n\r\n";
+        assert!(matches!(
+            parse_bytes(raw),
+            Err(HttpError::BodyTooLarge { limit: 1024 })
+        ));
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let response = Response::json(201, &Json::object(vec![("token", Json::from("abc"))]));
+        let mut wire = Vec::new();
+        write_response(&mut wire, &response, true).unwrap();
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 201 Created\r\n"));
+        assert!(text.contains("Connection: keep-alive"));
+
+        let mut reader = BufReader::new(wire.as_slice());
+        let parsed = read_response(&mut reader, 1024, None).unwrap();
+        assert_eq!(parsed.status, 201);
+        assert_eq!(
+            parsed.json().unwrap().get("token").unwrap().str(),
+            Some("abc")
+        );
+    }
+
+    #[test]
+    fn error_envelope_and_status_text() {
+        let response = Response::error(404, "no such dataset");
+        assert_eq!(response.status, 404);
+        assert!(String::from_utf8(response.body)
+            .unwrap()
+            .contains("no such dataset"));
+        assert_eq!(status_text(503), "Service Unavailable");
+        assert_eq!(status_text(599), "Unknown");
+    }
+}

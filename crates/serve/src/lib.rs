@@ -1,0 +1,56 @@
+//! # atlas-serve
+//!
+//! The network front of the Atlas reproduction: a dependency-free,
+//! concurrent exploration server that puts the prepared engine on the wire.
+//!
+//! The paper frames data maps as an *interactive* aid — a user submits a
+//! query, gets maps back, drills into a region, goes back — and the engine
+//! underneath was built for concurrent traffic (`Atlas` is `Send + Sync`,
+//! prepared statistics ride `Arc`s, `Atlas::append` re-prepares
+//! incrementally). This crate adds the missing subsystem between that engine
+//! and a million impatient users:
+//!
+//! * [`http`] — a minimal HTTP/1.1 layer on `std::net::TcpListener`:
+//!   request parsing, keep-alive, `Content-Length`-bounded bodies, defensive
+//!   caps;
+//! * [`wire`] — the hand-rolled JSON encoder/decoder; numbers round-trip
+//!   bit-for-bit, so ranked-map scores survive the wire exactly;
+//! * [`registry`] — datasets loaded at boot (CSV or the seeded generators),
+//!   one prepared `Arc<Atlas>` each, plus a bounded LRU result cache and the
+//!   incremental-append log;
+//! * [`sessions`] — token-addressed [`atlas_explorer::Session`]s with TTL
+//!   eviction, so `submit_sql` / `drill_down` / `back` work over the wire
+//!   exactly as in-process;
+//! * [`metrics`] — request counters and a latency histogram
+//!   (`atlas_stats::histogram`) behind `GET /metrics`;
+//! * [`server`] — accept loop, worker pool (`ATLAS_SERVE_THREADS`),
+//!   admission control with `503` on overload, graceful shutdown;
+//! * [`client`] — the small blocking client the tests, example and load
+//!   generator use.
+//!
+//! ```no_run
+//! use atlas_serve::{Registry, DatasetOptions, Server, ServeConfig};
+//!
+//! let mut registry = Registry::new();
+//! registry.add_spec("census:20000", DatasetOptions::default()).unwrap();
+//! let handle = Server::start(registry, ServeConfig::default()).unwrap();
+//! println!("serving on http://{}", handle.addr());
+//! handle.join(); // runs until killed
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod sessions;
+pub mod wire;
+
+pub use client::Client;
+pub use metrics::ServerMetrics;
+pub use registry::{DatasetOptions, Registry};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use sessions::SessionManager;
+pub use wire::Json;

@@ -1,0 +1,330 @@
+//! Server observability: request counters and a latency histogram.
+//!
+//! Counters are lock-free atomics bumped on every response; latencies go
+//! into a bounded ring of recent samples from which `/metrics` derives
+//! p50/p95/p99 (via `atlas_stats::quantile`) and an equi-width histogram
+//! (via [`atlas_stats::histogram::EquiWidthHistogram`]) on demand. Keeping
+//! raw samples instead of fixed buckets means the histogram's range always
+//! matches the workload actually observed.
+
+use crate::wire::Json;
+use atlas_stats::histogram::EquiWidthHistogram;
+use atlas_stats::quantile::quantile;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent latency samples the ring keeps.
+const LATENCY_WINDOW: usize = 4096;
+/// Histogram resolution of the `/metrics` latency report.
+const HISTOGRAM_BINS: usize = 12;
+
+/// The endpoints the server distinguishes in its counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /sessions`
+    CreateSession,
+    /// `POST /sessions/:id/explore`
+    Explore,
+    /// `POST /sessions/:id/drill`
+    Drill,
+    /// `POST /sessions/:id/back`
+    Back,
+    /// `GET /sessions/:id/history`
+    History,
+    /// `DELETE /sessions/:id`
+    DeleteSession,
+    /// `GET /datasets`
+    Datasets,
+    /// `POST /datasets/:name/rows`
+    AppendRows,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, bad paths).
+    Other,
+}
+
+/// All endpoints, in reporting order.
+pub const ENDPOINTS: [Endpoint; 11] = [
+    Endpoint::CreateSession,
+    Endpoint::Explore,
+    Endpoint::Drill,
+    Endpoint::Back,
+    Endpoint::History,
+    Endpoint::DeleteSession,
+    Endpoint::Datasets,
+    Endpoint::AppendRows,
+    Endpoint::Healthz,
+    Endpoint::Metrics,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// The label under which the endpoint reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::CreateSession => "create_session",
+            Endpoint::Explore => "explore",
+            Endpoint::Drill => "drill",
+            Endpoint::Back => "back",
+            Endpoint::History => "history",
+            Endpoint::DeleteSession => "delete_session",
+            Endpoint::Datasets => "datasets",
+            Endpoint::AppendRows => "append_rows",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|e| *e == self)
+            .expect("every endpoint is listed")
+    }
+}
+
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, latency_ms: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(latency_ms);
+        } else {
+            self.samples[self.next] = latency_ms;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Request counters plus the recent-latency window.
+pub struct ServerMetrics {
+    started: Instant,
+    by_endpoint: [AtomicU64; ENDPOINTS.len()],
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    /// Connections refused with `503` by admission control.
+    rejected_overload: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh counters; `started` is now (drives the uptime report).
+    pub fn new() -> ServerMetrics {
+        ServerMetrics {
+            started: Instant::now(),
+            by_endpoint: std::array::from_fn(|_| AtomicU64::new(0)),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+        }
+    }
+
+    /// Record one served request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency_ms: f64) {
+        self.by_endpoint[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        let bucket = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+        match self.latencies.lock() {
+            Ok(mut ring) => ring.push(latency_ms),
+            Err(poisoned) => poisoned.into_inner().push(latency_ms),
+        }
+    }
+
+    /// Record one connection refused by admission control.
+    pub fn record_overload(&self) {
+        self.rejected_overload.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served (all endpoints).
+    pub fn total_requests(&self) -> u64 {
+        self.by_endpoint
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Connections refused with `503` so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_overload.load(Ordering::Relaxed)
+    }
+
+    /// The `/metrics` report. `extra` members (cache stats, session
+    /// counters) are appended by the server so this module stays ignorant of
+    /// the registry.
+    pub fn snapshot(&self, extra: Vec<(String, Json)>) -> Json {
+        let samples: Vec<f64> = match self.latencies.lock() {
+            Ok(ring) => ring.samples.clone(),
+            Err(poisoned) => poisoned.into_inner().samples.clone(),
+        };
+        let latency = if samples.is_empty() {
+            Json::Null
+        } else {
+            let p = |q: f64| {
+                quantile(&samples, q)
+                    .map(|x| Json::Num(round3(x)))
+                    .unwrap_or(Json::Null)
+            };
+            let histogram = EquiWidthHistogram::build(&samples, HISTOGRAM_BINS)
+                .map(|h| {
+                    Json::object(vec![
+                        (
+                            "edges_ms",
+                            Json::array(h.edges.iter().map(|&e| Json::Num(round3(e))).collect()),
+                        ),
+                        (
+                            "counts",
+                            Json::array(h.counts.iter().map(|&c| Json::from(c)).collect()),
+                        ),
+                    ])
+                })
+                .unwrap_or(Json::Null);
+            Json::object(vec![
+                ("window", Json::from(samples.len())),
+                ("p50_ms", p(0.5)),
+                ("p95_ms", p(0.95)),
+                ("p99_ms", p(0.99)),
+                (
+                    "max_ms",
+                    Json::Num(round3(samples.iter().cloned().fold(0.0, f64::max))),
+                ),
+                ("histogram", histogram),
+            ])
+        };
+        let mut members = vec![
+            (
+                "uptime_s".to_string(),
+                Json::Num(round3(self.started.elapsed().as_secs_f64())),
+            ),
+            (
+                "requests_total".to_string(),
+                Json::from(self.total_requests()),
+            ),
+            (
+                "requests_by_endpoint".to_string(),
+                Json::object(
+                    ENDPOINTS
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.label(),
+                                Json::from(self.by_endpoint[e.index()].load(Ordering::Relaxed)),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "responses".to_string(),
+                Json::object(vec![
+                    (
+                        "ok_2xx",
+                        Json::from(self.responses_2xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "client_error_4xx",
+                        Json::from(self.responses_4xx.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "server_error_5xx",
+                        Json::from(self.responses_5xx.load(Ordering::Relaxed)),
+                    ),
+                    ("rejected_overload_503", Json::from(self.rejected())),
+                ]),
+            ),
+            ("latency".to_string(), latency),
+        ];
+        members.extend(extra);
+        Json::Obj(members)
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_latency_percentiles_report() {
+        let metrics = ServerMetrics::new();
+        for i in 0..100 {
+            metrics.record(Endpoint::Explore, 200, 1.0 + i as f64);
+        }
+        metrics.record(Endpoint::Drill, 400, 0.5);
+        metrics.record(Endpoint::Other, 500, 2.0);
+        metrics.record_overload();
+        assert_eq!(metrics.total_requests(), 102);
+        assert_eq!(metrics.rejected(), 1);
+
+        let snapshot = metrics.snapshot(vec![("extra".to_string(), Json::from(7u64))]);
+        let by = snapshot.get("requests_by_endpoint").unwrap();
+        assert_eq!(by.get("explore").unwrap().num(), Some(100.0));
+        assert_eq!(by.get("drill").unwrap().num(), Some(1.0));
+        let responses = snapshot.get("responses").unwrap();
+        assert_eq!(responses.get("ok_2xx").unwrap().num(), Some(100.0));
+        assert_eq!(responses.get("client_error_4xx").unwrap().num(), Some(1.0));
+        assert_eq!(responses.get("server_error_5xx").unwrap().num(), Some(1.0));
+        assert_eq!(
+            responses.get("rejected_overload_503").unwrap().num(),
+            Some(1.0)
+        );
+        let latency = snapshot.get("latency").unwrap();
+        let p50 = latency.get("p50_ms").unwrap().num().unwrap();
+        let p99 = latency.get("p99_ms").unwrap().num().unwrap();
+        assert!(p50 > 40.0 && p50 < 60.0, "{p50}");
+        assert!(p99 > p50);
+        let histogram = latency.get("histogram").unwrap();
+        let counts = histogram.get("counts").unwrap().items().unwrap();
+        let total: f64 = counts.iter().map(|c| c.num().unwrap()).sum();
+        assert_eq!(total as usize, 102);
+        assert_eq!(snapshot.get("extra").unwrap().num(), Some(7.0));
+    }
+
+    #[test]
+    fn empty_latency_window_reports_null() {
+        let metrics = ServerMetrics::new();
+        let snapshot = metrics.snapshot(Vec::new());
+        assert_eq!(snapshot.get("latency"), Some(&Json::Null));
+        assert_eq!(snapshot.get("requests_total").unwrap().num(), Some(0.0));
+    }
+
+    #[test]
+    fn the_ring_is_bounded() {
+        let metrics = ServerMetrics::new();
+        for i in 0..(LATENCY_WINDOW + 500) {
+            metrics.record(Endpoint::Explore, 200, i as f64);
+        }
+        let snapshot = metrics.snapshot(Vec::new());
+        let window = snapshot
+            .get("latency")
+            .unwrap()
+            .get("window")
+            .unwrap()
+            .num()
+            .unwrap() as usize;
+        assert_eq!(window, LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,865 @@
+//! The concurrent exploration server.
+//!
+//! A `std::net::TcpListener` accept loop feeds a bounded connection queue
+//! drained by a fixed pool of worker threads (sized by
+//! [`ServeConfig::threads`], overridable with `ATLAS_SERVE_THREADS` — the
+//! serving analogue of `AtlasConfig::parallelism`). When the queue is full
+//! the accept loop answers `503 Service Unavailable` immediately instead of
+//! letting latency collapse — admission control, not buffering. Shutdown is
+//! graceful: in-flight requests finish, idle keep-alive connections close,
+//! worker threads drain and join.
+//!
+//! ## Endpoints
+//!
+//! | method & path | body | effect |
+//! |---------------|------|--------|
+//! | `POST /sessions` | `{"dataset": name}` | create an exploration session |
+//! | `POST /sessions/:id/explore` | conjunctive SQL (or `{"sql": …}`) | ranked maps |
+//! | `POST /sessions/:id/drill` | `{"map": i, "region": j}` | drill into a region |
+//! | `POST /sessions/:id/back` | — | pop one exploration step |
+//! | `GET /sessions/:id/history` | — | the exploration history |
+//! | `DELETE /sessions/:id` | — | end the session |
+//! | `GET /datasets` | — | served datasets + cache stats |
+//! | `POST /datasets/:name/rows` | header-less CSV rows | incremental append |
+//! | `GET /healthz` | — | liveness |
+//! | `GET /metrics` | — | counters, latency percentiles + histogram |
+//!
+//! Errors use `{"error": message}` bodies; `atlas_core::AtlasError` maps to
+//! `4xx` when [`atlas_core::AtlasError::is_user_error`] holds and `5xx`
+//! otherwise.
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::metrics::{Endpoint, ServerMetrics};
+use crate::registry::{Dataset, Registry};
+use crate::sessions::{SessionManager, WireSession};
+use crate::wire::{self, Json};
+use atlas_core::{AtlasError, MapResult};
+use atlas_explorer::Session;
+use atlas_query::{parse_query, to_compact, to_sql};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a blocking read waits before the connection loop re-checks the
+/// shutdown flag and the keep-alive deadline.
+const READ_SLICE: Duration = Duration::from_millis(150);
+
+/// How long a slow client may take to deliver one complete request once its
+/// first byte has arrived (socket read timeouts within this window are
+/// ridden out, not treated as a dead connection).
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (tests, benchmarks).
+    pub bind: String,
+    /// Worker threads serving connections. Defaults to `ATLAS_SERVE_THREADS`
+    /// when set, otherwise at least 2 and at most the hardware threads.
+    pub threads: usize,
+    /// Bound on connections waiting for a worker; beyond it the accept loop
+    /// answers `503`.
+    pub queue_depth: usize,
+    /// How long an idle keep-alive connection is kept open.
+    pub keep_alive: Duration,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Idle time after which a session is evicted.
+    pub session_ttl: Duration,
+    /// Most sessions alive at once (the least recently used one is evicted
+    /// beyond this).
+    pub max_sessions: usize,
+    /// Most exploration steps a session's history retains (oldest steps are
+    /// discarded beyond this, so one long-lived session cannot grow server
+    /// memory without bound).
+    pub max_history_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            threads: ServeConfig::default_threads(),
+            queue_depth: 128,
+            keep_alive: Duration::from_secs(5),
+            max_body_bytes: 16 * 1024 * 1024,
+            session_ttl: Duration::from_secs(15 * 60),
+            max_sessions: 1024,
+            max_history_depth: 256,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default worker count: the `ATLAS_SERVE_THREADS` environment
+    /// variable if set to a positive integer, otherwise the hardware
+    /// threads, floored at 2 (workers block on sockets, so even a single
+    /// core benefits from a second worker).
+    pub fn default_threads() -> usize {
+        match std::env::var("ATLAS_SERVE_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n,
+            _ => minirayon::available_threads().max(2),
+        }
+    }
+
+    /// This configuration with the given worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+struct ConnectionQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+struct Shared {
+    registry: Registry,
+    sessions: SessionManager,
+    metrics: ServerMetrics,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+    connections: ConnectionQueue,
+    in_flight: AtomicUsize,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// True if accepted connections are waiting for a free worker.
+    fn has_queued_connections(&self) -> bool {
+        let queue = match self.connections.queue.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        !queue.is_empty()
+    }
+}
+
+/// The running server: its address plus the handles needed to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the accept loop and the worker pool, and return a handle.
+    /// The registry must serve at least one dataset.
+    pub fn start(registry: Registry, config: ServeConfig) -> std::io::Result<ServerHandle> {
+        if registry.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "the registry serves no dataset",
+            ));
+        }
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            sessions: SessionManager::new(config.session_ttl, config.max_sessions),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+            connections: ConnectionQueue {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+            },
+            in_flight: AtomicUsize::new(0),
+            registry,
+            config: config.clone(),
+        });
+
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("atlas-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("atlas-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("accept thread spawns")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics (live view).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// The served datasets.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Requests currently being processed (in-flight, queue excluded).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain in-flight requests, join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    /// Block until the server stops (for the `atlas-serve` binary, which
+    /// runs until killed).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared.connections.ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                // A persistent accept error (e.g. fd exhaustion) must not
+                // become a busy-spin that starves the workers.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            return;
+        }
+        let mut queue = match shared.connections.queue.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            // Admission control: refuse now, cheaply, on the accept thread.
+            shared.metrics.record_overload();
+            refuse_overloaded(stream);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.connections.ready.notify_one();
+    }
+}
+
+/// Answer `503` on a connection whose request will never be read. Dropping
+/// the socket with unread request bytes pending would make the kernel send a
+/// reset that destroys the response before the client reads it, so after
+/// writing we half-close and briefly drain what the client already sent.
+fn refuse_overloaded(stream: TcpStream) {
+    let mut writer = BufWriter::new(&stream);
+    if http::write_response(
+        &mut writer,
+        &Response::error(503, "server overloaded; retry later"),
+        false,
+    )
+    .is_err()
+    {
+        return;
+    }
+    drop(writer);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scratch = [0u8; 4096];
+    let mut reader = &stream;
+    // Bounded drain: a handful of reads covers any reasonable request head
+    // without letting an overload turn the accept thread into a read loop.
+    for _ in 0..16 {
+        match std::io::Read::read(&mut reader, &mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = match shared.connections.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutting_down() {
+                    return;
+                }
+                queue = match shared
+                    .connections
+                    .ready
+                    .wait_timeout(queue, Duration::from_millis(100))
+                {
+                    Ok((guard, _)) => guard,
+                    Err(poisoned) => poisoned.into_inner().0,
+                };
+            }
+        };
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        handle_connection(shared, stream);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_SLICE));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut idle_deadline = Instant::now() + shared.config.keep_alive;
+    loop {
+        // Wait for the next request without consuming anything, so idle
+        // timeouts and shutdown are observed between requests, not inside
+        // them.
+        match http::wait_for_data(&mut reader) {
+            Ok(()) => {}
+            Err(HttpError::Idle) => {
+                // Hang up on an idle keep-alive connection when shutdown or
+                // the idle deadline says so — or when other connections are
+                // queued while this one sends nothing: a worker pinned to a
+                // silent connection must not starve waiting clients.
+                if shared.shutting_down()
+                    || Instant::now() >= idle_deadline
+                    || shared.has_queued_connections()
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = match http::read_request(
+            &mut reader,
+            shared.config.max_body_bytes,
+            Some(Instant::now() + REQUEST_READ_TIMEOUT),
+        ) {
+            Ok(request) => request,
+            Err(HttpError::Closed | HttpError::Idle | HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(message)) => {
+                let _ = http::write_response(&mut writer, &Response::error(400, message), false);
+                return;
+            }
+            Err(HttpError::BodyTooLarge { limit }) => {
+                let _ = http::write_response(
+                    &mut writer,
+                    &Response::error(413, format!("body exceeds the {limit}-byte limit")),
+                    false,
+                );
+                return;
+            }
+        };
+        let started = Instant::now();
+        let keep_alive = request.wants_keep_alive() && !shared.shutting_down();
+        let (endpoint, response) = route(shared, &request);
+        shared.metrics.record(
+            endpoint,
+            response.status,
+            started.elapsed().as_secs_f64() * 1000.0,
+        );
+        if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+        idle_deadline = Instant::now() + shared.config.keep_alive;
+    }
+}
+
+/// Map an engine error onto the wire: `4xx` for the caller's mistakes, `5xx`
+/// for the engine's.
+fn error_response(error: &AtlasError) -> Response {
+    let status = match error {
+        AtlasError::Query(_) | AtlasError::InvalidConfig(_) => 400,
+        AtlasError::EmptyWorkingSet | AtlasError::NoCuttableAttributes => 422,
+        AtlasError::Columnar(_) => 500,
+    };
+    debug_assert_eq!(status < 500, error.is_user_error());
+    Response::error(status, error.to_string())
+}
+
+fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
+    let segments = request.path_segments();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(shared)),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(shared)),
+        ("GET", ["datasets"]) => (Endpoint::Datasets, datasets(shared)),
+        ("POST", ["datasets", name, "rows"]) => {
+            (Endpoint::AppendRows, append_rows(shared, name, request))
+        }
+        ("POST", ["sessions"]) => (Endpoint::CreateSession, create_session(shared, request)),
+        ("POST", ["sessions", token, "explore"]) => {
+            (Endpoint::Explore, explore(shared, token, request))
+        }
+        ("POST", ["sessions", token, "drill"]) => (Endpoint::Drill, drill(shared, token, request)),
+        ("POST", ["sessions", token, "back"]) => (Endpoint::Back, back(shared, token)),
+        ("GET", ["sessions", token, "history"]) => (Endpoint::History, history(shared, token)),
+        ("DELETE", ["sessions", token]) => (Endpoint::DeleteSession, delete_session(shared, token)),
+        (_, ["healthz" | "metrics" | "datasets"]) | (_, ["sessions", ..]) => (
+            Endpoint::Other,
+            Response::error(405, format!("method {method} not allowed here")),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::error(404, format!("no route for {method} {}", request.path)),
+        ),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("status", Json::from("ok")),
+            (
+                "datasets",
+                Json::array(
+                    shared
+                        .registry
+                        .datasets()
+                        .iter()
+                        .map(|d| Json::from(d.name()))
+                        .collect(),
+                ),
+            ),
+            ("threads", Json::from(shared.config.threads)),
+        ]),
+    )
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let sessions = shared.sessions.counters();
+    let extra = vec![
+        (
+            "sessions".to_string(),
+            Json::object(vec![
+                ("live", Json::from(sessions.live)),
+                ("created", Json::from(sessions.created)),
+                ("evicted", Json::from(sessions.evicted)),
+            ]),
+        ),
+        (
+            "result_cache".to_string(),
+            Json::object(
+                shared
+                    .registry
+                    .datasets()
+                    .iter()
+                    .map(|d| {
+                        let stats = d.cache_stats();
+                        (
+                            d.name().to_string(),
+                            Json::object(vec![
+                                ("hits", Json::from(stats.hits)),
+                                ("misses", Json::from(stats.misses)),
+                                ("evicted", Json::from(stats.evicted)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    Response::json(200, &shared.metrics.snapshot(extra))
+}
+
+fn datasets(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        &Json::object(vec![(
+            "datasets",
+            Json::array(
+                shared
+                    .registry
+                    .datasets()
+                    .iter()
+                    .map(Dataset::summary)
+                    .collect(),
+            ),
+        )]),
+    )
+}
+
+fn append_rows(shared: &Shared, name: &str, request: &Request) -> Response {
+    let Some(dataset) = shared.registry.get(name) else {
+        return Response::error(404, format!("no dataset named '{name}'"));
+    };
+    if request.body.is_empty() {
+        return Response::error(400, "empty body; send header-less CSV rows");
+    }
+    match dataset.append_csv(&request.body) {
+        // Append failures stem from the request body (malformed CSV, schema
+        // mismatch), so they map to 400 regardless of the error variant.
+        Err(error) => Response::error(400, error.to_string()),
+        Ok(outcome) => Response::json(
+            200,
+            &Json::object(vec![
+                ("dataset", Json::from(name)),
+                ("appended_rows", Json::from(outcome.appended_rows)),
+                ("appended_segments", Json::from(outcome.appended_segments)),
+                ("total_rows", Json::from(outcome.total_rows)),
+                ("generation", Json::from(outcome.generation)),
+            ]),
+        ),
+    }
+}
+
+fn create_session(shared: &Shared, request: &Request) -> Response {
+    let body = request.body_text().unwrap_or("");
+    let requested = if body.trim().is_empty() {
+        None
+    } else {
+        match wire::parse(body) {
+            Ok(json) => json.get("dataset").and_then(|d| d.str()).map(String::from),
+            Err(e) => return Response::error(400, e.to_string()),
+        }
+    };
+    let dataset = match &requested {
+        Some(name) => match shared.registry.get(name) {
+            Some(dataset) => dataset,
+            None => return Response::error(404, format!("no dataset named '{name}'")),
+        },
+        None => {
+            let datasets = shared.registry.datasets();
+            if datasets.len() == 1 {
+                &datasets[0]
+            } else {
+                return Response::error(
+                    400,
+                    "several datasets are served; pass {\"dataset\": name}",
+                );
+            }
+        }
+    };
+    let (engine, generation) = dataset.snapshot();
+    let session = Session::with_engine((*engine).clone());
+    let table = engine.table();
+    let (rows, columns) = (table.num_rows(), table.num_columns());
+    let token = shared
+        .sessions
+        .create(dataset.name().to_string(), session, generation);
+    Response::json(
+        201,
+        &Json::object(vec![
+            ("token", Json::from(token)),
+            ("dataset", Json::from(dataset.name())),
+            ("rows", Json::from(rows)),
+            ("columns", Json::from(columns)),
+            ("generation", Json::from(generation)),
+        ]),
+    )
+}
+
+/// Catch a session up with segments appended since its last request: adopt
+/// the dataset's current engine — already re-prepared incrementally, once,
+/// by the append endpoint — and refresh the step on screen
+/// ([`Session::adopt_engine`]). Sessions never re-profile segments the
+/// dataset has profiled.
+fn catch_up(wire_session: &mut WireSession, dataset: &Dataset) -> Result<(), AtlasError> {
+    let (engine, generation) = dataset.snapshot();
+    if wire_session.applied_generation < generation {
+        wire_session.session.adopt_engine((*engine).clone())?;
+        wire_session.applied_generation = generation;
+    }
+    Ok(())
+}
+
+/// Shared preamble of the session endpoints: resolve the token, lock the
+/// session, find its dataset, and catch up on appended segments; then run
+/// the action.
+fn with_session(
+    shared: &Shared,
+    token: &str,
+    action: impl FnOnce(&mut WireSession, &Dataset) -> Response,
+) -> Response {
+    let Some(slot) = shared.sessions.get(token) else {
+        return Response::error(
+            404,
+            format!("no session '{token}' (expired or never created)"),
+        );
+    };
+    let mut wire_session = match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let Some(dataset) = shared.registry.get(&wire_session.dataset) else {
+        return Response::error(500, "session references an unknown dataset");
+    };
+    if let Err(error) = catch_up(&mut wire_session, dataset) {
+        return error_response(&error);
+    }
+    action(&mut wire_session, dataset)
+}
+
+fn explore(shared: &Shared, token: &str, request: &Request) -> Response {
+    let Some(body) = request.body_text() else {
+        return Response::error(400, "body must be UTF-8 text");
+    };
+    // The body is the conjunctive SQL itself; a JSON envelope {"sql": …} is
+    // also accepted for clients that prefer uniform bodies.
+    let sql = match wire::parse(body) {
+        Ok(json) => match json.get("sql").and_then(|s| s.str()) {
+            Some(sql) => sql.to_string(),
+            None => return Response::error(400, "JSON body must carry a \"sql\" member"),
+        },
+        Err(_) => body.to_string(),
+    };
+    if sql.trim().is_empty() {
+        return Response::error(400, "empty query; send conjunctive SQL");
+    }
+    with_session(shared, token, |wire_session, dataset| {
+        let mut query = match parse_query(&sql) {
+            Ok(query) => query,
+            Err(error) => return Response::error(400, format!("query error: {error}")),
+        };
+        if query.table.is_empty() {
+            query.table = dataset.name().to_string();
+        }
+        let (result, cache_hit) = dataset.explore(&query);
+        match result {
+            Err(error) => error_response(&error),
+            Ok(result) => {
+                let response = map_result_json(dataset.name(), &result, cache_hit, {
+                    wire_session.session.depth() + 1
+                });
+                wire_session.session.record(query, result);
+                wire_session
+                    .session
+                    .trim_history(shared.config.max_history_depth);
+                Response::json(200, &response)
+            }
+        }
+    })
+}
+
+fn drill(shared: &Shared, token: &str, request: &Request) -> Response {
+    let body = request.body_text().unwrap_or("").trim().to_string();
+    let (map_idx, region_idx) = if body.is_empty() {
+        (0, 0)
+    } else {
+        match wire::parse(&body) {
+            Err(e) => return Response::error(400, e.to_string()),
+            Ok(json) => {
+                let index_of = |key: &str| match json.get(key) {
+                    None => Ok(0),
+                    Some(v) => v
+                        .index()
+                        .ok_or_else(|| format!("\"{key}\" must be a non-negative integer")),
+                };
+                match (index_of("map"), index_of("region")) {
+                    (Ok(m), Ok(r)) => (m, r),
+                    (Err(e), _) | (_, Err(e)) => return Response::error(400, e),
+                }
+            }
+        }
+    };
+    with_session(shared, token, |wire_session, dataset| {
+        let query = match wire_session.session.drill_query(map_idx, region_idx) {
+            Ok(query) => query,
+            Err(error) => return Response::error(400, error.to_string()),
+        };
+        let (result, cache_hit) = dataset.explore(&query);
+        match result {
+            Err(error) => error_response(&error),
+            Ok(result) => {
+                let response = map_result_json(dataset.name(), &result, cache_hit, {
+                    wire_session.session.depth() + 1
+                });
+                wire_session.session.record(query, result);
+                wire_session
+                    .session
+                    .trim_history(shared.config.max_history_depth);
+                Response::json(200, &response)
+            }
+        }
+    })
+}
+
+fn back(shared: &Shared, token: &str) -> Response {
+    with_session(shared, token, |wire_session, _| {
+        let popped = wire_session.session.back();
+        let current = wire_session
+            .session
+            .current()
+            .map(|step| Json::from(to_sql(&step.query)))
+            .unwrap_or(Json::Null);
+        Response::json(
+            200,
+            &Json::object(vec![
+                ("popped", Json::from(popped.is_some())),
+                ("depth", Json::from(wire_session.session.depth())),
+                ("current", current),
+            ]),
+        )
+    })
+}
+
+fn history(shared: &Shared, token: &str) -> Response {
+    with_session(shared, token, |wire_session, dataset| {
+        let steps: Vec<Json> = wire_session
+            .session
+            .history()
+            .iter()
+            .map(|step| {
+                Json::object(vec![
+                    ("sql", Json::from(to_sql(&step.query))),
+                    ("working_set_size", Json::from(step.working_set_size())),
+                    ("num_maps", Json::from(step.result.num_maps())),
+                    (
+                        "best_score",
+                        step.result
+                            .best()
+                            .map(|m| Json::Num(m.score))
+                            .unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect();
+        Response::json(
+            200,
+            &Json::object(vec![
+                ("dataset", Json::from(dataset.name())),
+                ("depth", Json::from(wire_session.session.depth())),
+                ("steps", Json::array(steps)),
+            ]),
+        )
+    })
+}
+
+fn delete_session(shared: &Shared, token: &str) -> Response {
+    if shared.sessions.remove(token) {
+        Response::json(200, &Json::object(vec![("deleted", Json::from(true))]))
+    } else {
+        Response::error(404, format!("no session '{token}'"))
+    }
+}
+
+/// Render one exploration result for the wire. Scores are encoded with
+/// shortest-round-trip formatting, so a client parsing the JSON recovers the
+/// exact `f64` the engine ranked with; region predicates are rendered by the
+/// query printer, whose print/parse round-trip is property-tested.
+fn map_result_json(dataset: &str, result: &MapResult, cache_hit: bool, depth: usize) -> Json {
+    let maps: Vec<Json> = result
+        .maps
+        .iter()
+        .map(|ranked| {
+            let regions: Vec<Json> = ranked
+                .map
+                .regions
+                .iter()
+                .map(|region| {
+                    Json::object(vec![
+                        ("sql", Json::from(to_sql(&region.query))),
+                        ("compact", Json::from(to_compact(&region.query))),
+                        ("count", Json::from(region.count())),
+                        ("cover", Json::Num(region.cover(result.working_set_size))),
+                    ])
+                })
+                .collect();
+            Json::object(vec![
+                ("score", Json::Num(ranked.score)),
+                (
+                    "source_attributes",
+                    Json::array(
+                        ranked
+                            .map
+                            .source_attributes
+                            .iter()
+                            .map(|a| Json::from(a.as_str()))
+                            .collect(),
+                    ),
+                ),
+                ("regions", Json::array(regions)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("dataset", Json::from(dataset)),
+        ("depth", Json::from(depth)),
+        ("working_set_size", Json::from(result.working_set_size)),
+        ("num_maps", Json::from(result.num_maps())),
+        ("cache_hit", Json::from(cache_hit)),
+        (
+            "skipped_attributes",
+            Json::array(
+                result
+                    .skipped_attributes
+                    .iter()
+                    .map(|a| Json::from(a.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "timings_ms",
+            Json::object(vec![
+                ("query", Json::Num(result.timings.query_ms)),
+                ("candidates", Json::Num(result.timings.candidates_ms)),
+                ("clustering", Json::Num(result.timings.clustering_ms)),
+                ("merge", Json::Num(result.timings.merge_ms)),
+                ("rank", Json::Num(result.timings.rank_ms)),
+                ("total", Json::Num(result.timings.total_ms)),
+            ]),
+        ),
+        ("maps", Json::array(maps)),
+    ])
+}

@@ -1,0 +1,12 @@
+//! The wire formats of the exploration server.
+//!
+//! Everything that crosses the socket is JSON ([`json`]) or plain text; the
+//! query language itself travels as the restricted SQL the paper's front-end
+//! speaks, rendered by `atlas_query::to_sql` and re-parsed by
+//! `atlas_query::parse_query` — the printer/parser round-trip guarantee
+//! (pinned by property tests in `atlas-query`) is what makes region
+//! predicates safe to ship as strings.
+
+pub mod json;
+
+pub use json::{parse, Json, JsonError};

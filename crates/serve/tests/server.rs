@@ -1,0 +1,382 @@
+//! End-to-end protocol tests: a real server on an ephemeral port, driven by
+//! the blocking client over real sockets.
+
+use atlas_core::AtlasConfig;
+use atlas_datagen::CensusGenerator;
+use atlas_serve::wire::Json;
+use atlas_serve::{Client, DatasetOptions, Registry, ServeConfig, Server, ServerHandle};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn boot(rows: usize, cache: usize, threads: usize) -> (ServerHandle, Client) {
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::new(CensusGenerator::with_rows(rows, 11).generate()),
+            DatasetOptions {
+                config: AtlasConfig::fast(),
+                cache_capacity: cache,
+            },
+        )
+        .unwrap();
+    let config = ServeConfig {
+        keep_alive: Duration::from_millis(400),
+        ..ServeConfig::default()
+    }
+    .with_threads(threads);
+    let handle = Server::start(registry, config).unwrap();
+    let client = Client::new(handle.addr());
+    (handle, client)
+}
+
+#[test]
+fn healthz_datasets_and_metrics_respond() {
+    let (handle, client) = boot(800, 8, 2);
+
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    let health = health.json().unwrap();
+    assert_eq!(health.get("status").unwrap().str(), Some("ok"));
+    let names = health.get("datasets").unwrap().items().unwrap();
+    assert_eq!(names[0].str(), Some("census"));
+
+    let datasets = client.get("/datasets").unwrap().json().unwrap();
+    let census = &datasets.get("datasets").unwrap().items().unwrap()[0];
+    assert_eq!(census.get("rows").unwrap().num(), Some(800.0));
+    assert!(census.get("attributes").unwrap().items().unwrap().len() >= 5);
+
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    assert!(metrics.get("requests_total").unwrap().num().unwrap() >= 2.0);
+    assert!(metrics.get("sessions").is_some());
+    assert!(metrics.get("result_cache").unwrap().get("census").is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn the_full_exploration_loop_works_over_the_wire() {
+    let (handle, client) = boot(2_000, 8, 2);
+    let token = client.create_session("census").unwrap();
+
+    // Explore with a plain-SQL body.
+    let reply = client
+        .post_text(
+            &format!("/sessions/{token}/explore"),
+            "SELECT * FROM census",
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200, "{:?}", reply.body_text());
+    let reply = reply.json().unwrap();
+    assert_eq!(reply.get("working_set_size").unwrap().num(), Some(2000.0));
+    assert_eq!(reply.get("depth").unwrap().num(), Some(1.0));
+    let maps = reply.get("maps").unwrap().items().unwrap();
+    assert!(!maps.is_empty());
+    let first_region_sql = maps[0].get("regions").unwrap().items().unwrap()[0]
+        .get("sql")
+        .unwrap()
+        .str()
+        .unwrap()
+        .to_string();
+    assert!(first_region_sql.starts_with("SELECT * FROM census"));
+
+    // The JSON envelope works too, and the table name may be omitted.
+    let reply = client
+        .post_json(
+            &format!("/sessions/{token}/explore"),
+            &Json::object(vec![("sql", Json::from("age BETWEEN 17 AND 40"))]),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200);
+    let narrowed = reply.json().unwrap();
+    assert!(narrowed.get("working_set_size").unwrap().num().unwrap() < 2000.0);
+    assert_eq!(narrowed.get("depth").unwrap().num(), Some(2.0));
+
+    // Drill into map 0 / region 0 of the current step.
+    let reply = client
+        .post_json(
+            &format!("/sessions/{token}/drill"),
+            &Json::object(vec![
+                ("map", Json::from(0usize)),
+                ("region", Json::from(0usize)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200, "{:?}", reply.body_text());
+    let drilled = reply.json().unwrap();
+    assert!(
+        drilled.get("working_set_size").unwrap().num().unwrap()
+            < narrowed.get("working_set_size").unwrap().num().unwrap()
+    );
+
+    // History shows all three steps.
+    let history = client
+        .get(&format!("/sessions/{token}/history"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(history.get("depth").unwrap().num(), Some(3.0));
+    assert_eq!(history.get("steps").unwrap().items().unwrap().len(), 3);
+
+    // Back pops one step.
+    let back = client
+        .post_text(&format!("/sessions/{token}/back"), "")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(back.get("popped").unwrap().bool(), Some(true));
+    assert_eq!(back.get("depth").unwrap().num(), Some(2.0));
+    assert!(back.get("current").unwrap().str().unwrap().contains("age"));
+
+    // Delete ends the session.
+    assert_eq!(
+        client.delete(&format!("/sessions/{token}")).unwrap().status,
+        200
+    );
+    let reply = client
+        .post_text(
+            &format!("/sessions/{token}/explore"),
+            "SELECT * FROM census",
+        )
+        .unwrap();
+    assert_eq!(reply.status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn identical_queries_hit_the_shared_cache_across_sessions() {
+    let (handle, client) = boot(1_500, 8, 2);
+    let a = client.create_session("census").unwrap();
+    let b = client.create_session("census").unwrap();
+    let first = client
+        .post_text(&format!("/sessions/{a}/explore"), "SELECT * FROM census")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(first.get("cache_hit").unwrap().bool(), Some(false));
+    // Same query, different session, different predicate spelling order.
+    let second = client
+        .post_text(&format!("/sessions/{b}/explore"), "SELECT * FROM census")
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(second.get("cache_hit").unwrap().bool(), Some(true));
+    assert_eq!(
+        first.get("maps").unwrap().encode(),
+        second.get("maps").unwrap().encode(),
+        "cached replies are byte-identical"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn errors_map_to_the_right_statuses() {
+    let (handle, client) = boot(600, 4, 2);
+    let token = client.create_session("census").unwrap();
+    let explore = |sql: &str| {
+        client
+            .post_text(&format!("/sessions/{token}/explore"), sql)
+            .unwrap()
+    };
+
+    // Unparseable SQL → 400.
+    let reply = explore("SELECT age FROM census");
+    assert_eq!(reply.status, 400);
+    assert!(reply.json().unwrap().get("error").is_some());
+    // Unknown attribute → 400 (query error).
+    assert_eq!(explore("wingspan BETWEEN 1 AND 2").status, 400);
+    // Empty working set → 422.
+    assert_eq!(explore("age BETWEEN 900 AND 999").status, 422);
+    // Unknown session → 404.
+    let reply = client
+        .post_text("/sessions/nonsense/explore", "SELECT * FROM census")
+        .unwrap();
+    assert_eq!(reply.status, 404);
+    // Unknown dataset → 404.
+    let reply = client.post_json(
+        "/sessions",
+        &Json::object(vec![("dataset", Json::from("mars"))]),
+    );
+    assert_eq!(reply.unwrap().status, 404);
+    // Drill before exploring → 400, and out-of-range indices → 400.
+    assert_eq!(
+        client
+            .post_json(
+                &format!("/sessions/{token}/drill"),
+                &Json::object(vec![("map", Json::from(0usize))]),
+            )
+            .unwrap()
+            .status,
+        400
+    );
+    explore("SELECT * FROM census");
+    let reply = client
+        .post_json(
+            &format!("/sessions/{token}/drill"),
+            &Json::object(vec![("map", Json::from(99usize))]),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 400);
+    assert!(reply
+        .json()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .str()
+        .unwrap()
+        .contains("map #99"));
+    // Unknown routes and wrong methods.
+    assert_eq!(client.get("/nope").unwrap().status, 404);
+    assert_eq!(client.get("/sessions/x/explore").unwrap().status, 405);
+    // Malformed drill body → 400.
+    let reply = client
+        .request(
+            "POST",
+            &format!("/sessions/{token}/drill"),
+            Some(("application/json", b"{\"map\": \"zero\"}")),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn appending_rows_over_the_wire_updates_live_sessions() {
+    let (handle, client) = boot(1_200, 8, 2);
+    let token = client.create_session("census").unwrap();
+    let explore = || {
+        client
+            .post_text(
+                &format!("/sessions/{token}/explore"),
+                "SELECT * FROM census",
+            )
+            .unwrap()
+            .json()
+            .unwrap()
+    };
+    assert_eq!(
+        explore().get("working_set_size").unwrap().num(),
+        Some(1200.0)
+    );
+
+    // Render a census batch as header-less CSV and POST it.
+    let batch = CensusGenerator::with_rows(300, 77).generate();
+    let mut csv = Vec::new();
+    atlas_columnar::csv::write_csv(&batch, &mut csv).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+    let body = text.split_once('\n').unwrap().1.to_string();
+    let reply = client
+        .request(
+            "POST",
+            "/datasets/census/rows",
+            Some(("text/csv", body.as_bytes())),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200, "{:?}", reply.body_text());
+    let reply = reply.json().unwrap();
+    assert_eq!(reply.get("appended_rows").unwrap().num(), Some(300.0));
+    assert_eq!(reply.get("total_rows").unwrap().num(), Some(1500.0));
+
+    // The live session catches up on its next request.
+    assert_eq!(
+        explore().get("working_set_size").unwrap().num(),
+        Some(1500.0)
+    );
+
+    // Malformed bodies are 400s; unknown datasets 404s; empty bodies 400s.
+    let bad = client
+        .request(
+            "POST",
+            "/datasets/census/rows",
+            Some(("text/csv", b"just,three,columns".as_slice())),
+        )
+        .unwrap();
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        client
+            .request(
+                "POST",
+                "/datasets/mars/rows",
+                Some(("text/csv", b"x".as_slice()))
+            )
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client
+            .request("POST", "/datasets/census/rows", None)
+            .unwrap()
+            .status,
+        400
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn overload_is_refused_with_503() {
+    // queue_depth 0 means admission control refuses every connection.
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::new(CensusGenerator::with_rows(200, 1).generate()),
+            DatasetOptions::default(),
+        )
+        .unwrap();
+    let config = ServeConfig {
+        queue_depth: 0,
+        ..ServeConfig::default()
+    }
+    .with_threads(1);
+    let handle = Server::start(registry, config).unwrap();
+    let client = Client::new(handle.addr());
+    let reply = client.get("/healthz").unwrap();
+    assert_eq!(reply.status, 503);
+    assert!(handle.metrics().rejected() >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_and_malformed_requests_fail_cleanly() {
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::new(CensusGenerator::with_rows(200, 1).generate()),
+            DatasetOptions::default(),
+        )
+        .unwrap();
+    let config = ServeConfig {
+        max_body_bytes: 64,
+        ..ServeConfig::default()
+    }
+    .with_threads(1);
+    let handle = Server::start(registry, config).unwrap();
+    let client = Client::new(handle.addr());
+    let reply = client
+        .request(
+            "POST",
+            "/sessions",
+            Some(("text/plain", vec![b'x'; 1000].as_slice())),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 413);
+
+    // A raw, non-HTTP payload gets a 400 and a closed connection.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream.write_all(b"garbage\r\n\r\n").unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    assert!(String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 400"));
+    handle.shutdown();
+}
+
+#[test]
+fn an_empty_registry_refuses_to_start_and_shutdown_is_clean() {
+    assert!(Server::start(Registry::new(), ServeConfig::default()).is_err());
+    // Boot + immediate shutdown joins every thread (no hang, no panic).
+    let (handle, client) = boot(200, 0, 3);
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    handle.shutdown();
+}

@@ -1,0 +1,105 @@
+//! Serving Atlas: boot the exploration server on an ephemeral port, drive
+//! one full exploration over a real socket, and shut down cleanly.
+//!
+//! Run with: `cargo run --example serve_quickstart`
+
+use atlas::prelude::*;
+use atlas::serve::wire::Json;
+use atlas::serve::Client;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Register a dataset and boot the server (port 0 = ephemeral).
+    let table = Arc::new(CensusGenerator::with_rows(10_000, 42).generate());
+    let mut registry = Registry::new();
+    registry
+        .add_table("census", table, DatasetOptions::default())
+        .expect("dataset registers");
+    let handle = Server::start(registry, ServeConfig::default()).expect("server boots");
+    println!("serving on http://{}", handle.addr());
+
+    // 2. Create a session — every interaction below addresses its token.
+    let client = Client::new(handle.addr());
+    let token = client.create_session("census").expect("session opens");
+    println!("session token: {token}");
+
+    // 3. Explore: the body is the same restricted SQL the paper's front-end
+    //    speaks; the reply is ranked data maps with region predicates
+    //    rendered back as SQL.
+    let reply = client
+        .post_text(
+            &format!("/sessions/{token}/explore"),
+            "SELECT * FROM census WHERE age BETWEEN 17 AND 65",
+        )
+        .expect("explore succeeds");
+    assert_eq!(reply.status, 200);
+    let reply = reply.json().expect("JSON reply");
+    println!(
+        "explore: {} rows in the working set, {} maps",
+        reply.get("working_set_size").unwrap().num().unwrap(),
+        reply.get("num_maps").unwrap().num().unwrap(),
+    );
+    let best = &reply.get("maps").unwrap().items().unwrap()[0];
+    println!(
+        "best map (score {:.3} bits) cuts on {:?}:",
+        best.get("score").unwrap().num().unwrap(),
+        best.get("source_attributes").unwrap().encode(),
+    );
+    for region in best.get("regions").unwrap().items().unwrap() {
+        println!(
+            "  {:>6} rows | {}",
+            region.get("count").unwrap().num().unwrap(),
+            region.get("sql").unwrap().str().unwrap(),
+        );
+    }
+
+    // 4. Drill into the first region of the best map — its query becomes the
+    //    next exploration step, exactly like Session::drill_down in-process.
+    let drilled = client
+        .post_json(
+            &format!("/sessions/{token}/drill"),
+            &Json::object(vec![
+                ("map", Json::from(0usize)),
+                ("region", Json::from(0usize)),
+            ]),
+        )
+        .expect("drill succeeds")
+        .json()
+        .expect("JSON reply");
+    println!(
+        "drilled: {} rows, {} maps, depth {}",
+        drilled.get("working_set_size").unwrap().num().unwrap(),
+        drilled.get("num_maps").unwrap().num().unwrap(),
+        drilled.get("depth").unwrap().num().unwrap(),
+    );
+
+    // 5. The history shows the whole trail; /metrics shows the server's own
+    //    accounting of it.
+    let history = client
+        .get(&format!("/sessions/{token}/history"))
+        .expect("history loads")
+        .json()
+        .expect("JSON reply");
+    for step in history.get("steps").unwrap().items().unwrap() {
+        println!("history: {}", step.get("sql").unwrap().str().unwrap());
+    }
+    let metrics = client
+        .get("/metrics")
+        .expect("metrics load")
+        .json()
+        .expect("JSON reply");
+    println!(
+        "served {} requests, p50 {} ms",
+        metrics.get("requests_total").unwrap().num().unwrap(),
+        metrics
+            .get("latency")
+            .unwrap()
+            .get("p50_ms")
+            .map(|p| p.encode())
+            .unwrap_or_default(),
+    );
+
+    // 6. Graceful shutdown: in-flight work drains, threads join.
+    handle.shutdown();
+    println!("server stopped");
+}

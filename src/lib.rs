@@ -19,6 +19,7 @@
 //! | [`core`] | `atlas-core` | the map-generation engine: CUT, clustering, merging, ranking, anytime, baselines |
 //! | [`datagen`] | `atlas-datagen` | seeded synthetic datasets (census, mixtures, sky survey, orders) |
 //! | [`explorer`] | `atlas-explorer` | exploration sessions, rendering, quality metrics |
+//! | [`serve`] | `atlas-serve` | the concurrent exploration server: HTTP/JSON wire protocol, multi-tenant sessions, shared engines |
 //!
 //! # Quickstart
 //!
@@ -137,6 +138,7 @@ pub use atlas_core as core;
 pub use atlas_datagen as datagen;
 pub use atlas_explorer as explorer;
 pub use atlas_query as query;
+pub use atlas_serve as serve;
 pub use atlas_stats as stats;
 
 /// The most commonly used types, re-exported flat for convenience.
@@ -157,4 +159,5 @@ pub mod prelude {
     pub use atlas_query::{
         parse_query, to_compact, to_sql, ConjunctiveQuery, Predicate, PredicateSet,
     };
+    pub use atlas_serve::{DatasetOptions, Registry, ServeConfig, Server, ServerHandle};
 }

@@ -116,3 +116,19 @@ fn prelude_exports_support_types() {
     assert_eq!(reparsed, query);
     assert!(!to_compact(&query).is_empty());
 }
+
+#[test]
+fn prelude_exports_the_serving_surface() {
+    // Registry + DatasetOptions + Server/ServeConfig/ServerHandle: boot on
+    // an ephemeral port, check liveness over a real socket, shut down.
+    let table = Arc::new(CensusGenerator::with_rows(300, 7).generate());
+    let mut registry: Registry = Registry::new();
+    registry
+        .add_table("census", table, DatasetOptions::default())
+        .expect("dataset registers");
+    let handle: ServerHandle =
+        Server::start(registry, ServeConfig::default().with_threads(2)).expect("server boots");
+    let client = atlas::serve::Client::new(handle.addr());
+    assert_eq!(client.get("/healthz").expect("healthz answers").status, 200);
+    handle.shutdown();
+}

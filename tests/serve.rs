@@ -1,0 +1,286 @@
+//! The wire-protocol acceptance test: a real server on an ephemeral port,
+//! N ≥ 8 concurrent client threads exploring the same dataset over real
+//! sockets, every reply compared **bit-for-bit** against in-process
+//! `Atlas::explore` on the same table — scores included (the JSON layer uses
+//! shortest-round-trip `f64` formatting), before *and after* a mid-test
+//! `POST /datasets/:name/rows` append.
+
+use atlas::prelude::*;
+use atlas::serve::wire::Json;
+use atlas::serve::{Client, DatasetOptions, Registry, ServeConfig, Server};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+const CLIENT_THREADS: usize = 8;
+
+/// The deterministic signature of one ranked map list: per map the score
+/// *bits*, the source attributes, and per region the printed SQL and the
+/// tuple count. Two explorations with equal signatures returned the same
+/// ranked maps, region extents included (the SQL pins the predicate, the
+/// count pins the selection).
+type Signature = Vec<(u64, Vec<String>, Vec<(String, u64)>)>;
+
+fn signature_of_result(result: &MapResult) -> Signature {
+    result
+        .maps
+        .iter()
+        .map(|ranked| {
+            (
+                ranked.score.to_bits(),
+                ranked.map.source_attributes.clone(),
+                ranked
+                    .map
+                    .regions
+                    .iter()
+                    .map(|r| (to_sql(&r.query), r.count() as u64))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn signature_of_wire(reply: &Json) -> Signature {
+    reply
+        .get("maps")
+        .expect("reply carries maps")
+        .items()
+        .expect("maps is an array")
+        .iter()
+        .map(|map| {
+            let score = map.get("score").unwrap().num().expect("score is a number");
+            let attrs = map
+                .get("source_attributes")
+                .unwrap()
+                .items()
+                .unwrap()
+                .iter()
+                .map(|a| a.str().unwrap().to_string())
+                .collect();
+            let regions = map
+                .get("regions")
+                .unwrap()
+                .items()
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    (
+                        r.get("sql").unwrap().str().unwrap().to_string(),
+                        r.get("count").unwrap().num().unwrap() as u64,
+                    )
+                })
+                .collect();
+            (score.to_bits(), attrs, regions)
+        })
+        .collect()
+}
+
+/// The query mix every client thread works through (all with explicit table
+/// names so the wire and in-process sides parse identical queries).
+fn query_mix() -> Vec<&'static str> {
+    vec![
+        "SELECT * FROM census",
+        "SELECT * FROM census WHERE age BETWEEN 17 AND 40",
+        "SELECT * FROM census WHERE sex IN ('Male')",
+        "SELECT * FROM census WHERE age BETWEEN 30 AND 70 AND sex IN ('Female')",
+        "SELECT * FROM census WHERE height_cm >= 160",
+    ]
+}
+
+fn expected_signatures(engine: &Atlas) -> BTreeMap<String, Signature> {
+    query_mix()
+        .into_iter()
+        .map(|sql| {
+            let query = parse_query(sql).unwrap();
+            let result = engine.explore(&query).unwrap();
+            (sql.to_string(), signature_of_result(&result))
+        })
+        .collect()
+}
+
+/// Run one round: every client thread opens its own session and works
+/// through the query mix (each thread in a different rotation), asserting
+/// every wire reply matches the in-process signature.
+fn concurrent_round(
+    addr: std::net::SocketAddr,
+    expected: &BTreeMap<String, Signature>,
+    expected_rows: usize,
+) {
+    let queries = query_mix();
+    thread::scope(|scope| {
+        for t in 0..CLIENT_THREADS {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let client = Client::new(addr);
+                let token = client.create_session("census").unwrap();
+                for i in 0..queries.len() {
+                    let sql = queries[(i + t) % queries.len()];
+                    let reply = client
+                        .post_text(&format!("/sessions/{token}/explore"), sql)
+                        .unwrap();
+                    assert_eq!(reply.status, 200, "thread {t}: {:?}", reply.body_text());
+                    let reply = reply.json().unwrap();
+                    assert!(
+                        reply.get("working_set_size").unwrap().num().unwrap() as usize
+                            <= expected_rows
+                    );
+                    assert_eq!(
+                        &signature_of_wire(&reply),
+                        expected.get(sql).unwrap(),
+                        "thread {t} disagrees with in-process explore on {sql}"
+                    );
+                }
+                // The session really recorded the steps (multi-tenant state).
+                let history = client
+                    .get(&format!("/sessions/{token}/history"))
+                    .unwrap()
+                    .json()
+                    .unwrap();
+                assert_eq!(
+                    history.get("depth").unwrap().num().unwrap() as usize,
+                    queries.len()
+                );
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_wire_explorations_are_bit_identical_to_in_process_results() {
+    let table = Arc::new(CensusGenerator::with_rows(4_000, 42).generate());
+    let config = AtlasConfig::default();
+
+    // The in-process reference engine and the served engine are prepared
+    // from the same shared table with the same configuration.
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::clone(&table),
+            DatasetOptions {
+                config: config.clone(),
+                cache_capacity: 16,
+            },
+        )
+        .unwrap();
+    let handle = Server::start(
+        registry,
+        ServeConfig::default().with_threads(CLIENT_THREADS),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Round 1: eight threads, five queries each, every reply bit-identical.
+    let expected = expected_signatures(&reference);
+    concurrent_round(addr, &expected, 4_000);
+
+    // Mid-test append: POST a fresh batch as header-less CSV …
+    let batch = CensusGenerator::with_rows(900, 1234).generate();
+    let mut csv = Vec::new();
+    atlas::columnar::csv::write_csv(&batch, &mut csv).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+    let body = text.split_once('\n').unwrap().1.to_string();
+    let client = Client::new(addr);
+    let reply = client
+        .request(
+            "POST",
+            "/datasets/census/rows",
+            Some(("text/csv", body.as_bytes())),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200, "{:?}", reply.body_text());
+    assert_eq!(
+        reply.json().unwrap().get("total_rows").unwrap().num(),
+        Some(4_900.0)
+    );
+
+    // … mirror it in-process through the same CSV path (identical segment
+    // boundaries), re-preparing incrementally with `Atlas::append` …
+    let opts = atlas::columnar::csv::CsvOptions {
+        has_header: false,
+        ..atlas::columnar::csv::CsvOptions::default()
+    };
+    let parsed = atlas::columnar::csv::read_csv(
+        "census",
+        body.as_bytes(),
+        Some(table.schema().clone()),
+        &opts,
+    )
+    .unwrap();
+    let mut appended = reference;
+    for segment in parsed.segments() {
+        appended = appended.append(Arc::clone(segment)).unwrap();
+    }
+    assert_eq!(appended.table().num_rows(), 4_900);
+
+    // … and round 2: the same eight-thread mix must now match the appended
+    // in-process engine, bit for bit.
+    let expected = expected_signatures(&appended);
+    concurrent_round(addr, &expected, 4_900);
+
+    // The server stayed healthy throughout.
+    let metrics = client.get("/metrics").unwrap().json().unwrap();
+    let responses = metrics.get("responses").unwrap();
+    assert_eq!(responses.get("server_error_5xx").unwrap().num(), Some(0.0));
+    assert!(
+        metrics.get("requests_total").unwrap().num().unwrap()
+            >= (2 * CLIENT_THREADS * (query_mix().len() + 2)) as f64
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn a_session_surviving_an_append_refreshes_its_current_step() {
+    // One session explores, rows arrive over the wire, and the session's
+    // next request sees the refreshed state (Session::append_segment runs
+    // server-side on catch-up).
+    let table = Arc::new(CensusGenerator::with_rows(1_000, 7).generate());
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::clone(&table),
+            DatasetOptions {
+                config: AtlasConfig::fast(),
+                cache_capacity: 8,
+            },
+        )
+        .unwrap();
+    let handle = Server::start(registry, ServeConfig::default().with_threads(2)).unwrap();
+    let client = Client::new(handle.addr());
+    let token = client.create_session("census").unwrap();
+    client
+        .post_text(
+            &format!("/sessions/{token}/explore"),
+            "SELECT * FROM census",
+        )
+        .unwrap();
+
+    let batch = CensusGenerator::with_rows(250, 8).generate();
+    let mut csv = Vec::new();
+    atlas::columnar::csv::write_csv(&batch, &mut csv).unwrap();
+    let text = String::from_utf8(csv).unwrap();
+    let body = text.split_once('\n').unwrap().1;
+    let reply = client
+        .request(
+            "POST",
+            "/datasets/census/rows",
+            Some(("text/csv", body.as_bytes())),
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200);
+
+    // The history endpoint triggers catch-up; the recorded step now reflects
+    // the extended table (refresh replaces, never stacks).
+    let history = client
+        .get(&format!("/sessions/{token}/history"))
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(history.get("depth").unwrap().num(), Some(1.0));
+    let step = &history.get("steps").unwrap().items().unwrap()[0];
+    assert_eq!(step.get("working_set_size").unwrap().num(), Some(1_250.0));
+    handle.shutdown();
+}
