@@ -18,7 +18,9 @@ use atlas_datagen::CensusGenerator;
 use atlas_explorer::{MapQuality, ReadabilityReport};
 use atlas_query::ConjunctiveQuery;
 use atlas_serve::wire::Json;
-use atlas_serve::{Client, DatasetOptions, Registry, ServeConfig, Server, ServerHandle};
+use atlas_serve::{
+    Client, Coordinator, DatasetOptions, Registry, ServeConfig, Server, ServerHandle,
+};
 use atlas_stats::adjusted_rand_index;
 use atlas_stats::quantile::quantile;
 use std::sync::Arc;
@@ -38,6 +40,15 @@ fn main() {
     if raw_args.first().map(String::as_str) == Some("load-smoke") {
         let path = raw_args.get(1).map_or("BENCH_PR5.json", String::as_str);
         load_smoke(path);
+        return;
+    }
+    // `dist-smoke [path]` — the distributed scatter-gather mode: in-process
+    // shard servers over one shared 1M-row census, a coordinator explore at
+    // N ∈ {1, 2, 4} shards, every answer checked bit-identical against the
+    // in-process engine.
+    if raw_args.first().map(String::as_str) == Some("dist-smoke") {
+        let path = raw_args.get(1).map_or("BENCH_PR6.json", String::as_str);
+        dist_smoke(path);
         return;
     }
     let args: Vec<String> = raw_args.iter().map(|a| a.to_lowercase()).collect();
@@ -1063,6 +1074,116 @@ fn load_smoke(path: &str) {
                 smoke_scale_point(100_000, 3),
             ]),
         ),
+    ]);
+    write_report_with_deltas(path, &report);
+}
+
+/// Assert two explorations returned the same ranked maps bit-for-bit:
+/// score bits, source attributes, region SQL and region counts.
+fn assert_bit_identical(a: &atlas_core::MapResult, b: &atlas_core::MapResult) {
+    assert_eq!(a.num_maps(), b.num_maps(), "map counts differ");
+    assert_eq!(a.working_set_size, b.working_set_size);
+    for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+        assert_eq!(ra.score.to_bits(), rb.score.to_bits(), "score bits differ");
+        assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+        assert_eq!(ra.map.num_regions(), rb.map.num_regions());
+        for (qa, qb) in ra.map.regions.iter().zip(rb.map.regions.iter()) {
+            assert_eq!(
+                atlas_query::to_sql(&qa.query),
+                atlas_query::to_sql(&qb.query)
+            );
+            assert_eq!(qa.count(), qb.count());
+        }
+    }
+}
+
+/// The distributed scatter-gather smoke run: four in-process shard servers
+/// sharing one 1M-row census table, a coordinator exploring through
+/// N ∈ {1, 2, 4} of them, every distributed answer checked **bit-identical**
+/// (score bits, region SQL, counts) against the in-process engine before
+/// its wall time is recorded. The fast preset (equi-width cuts, product
+/// merge) keeps the candidate stage statistics-only, which is the intended
+/// scatter shape: summaries and contingency counts travel, values do not.
+fn dist_smoke(path: &str) {
+    const ROWS: usize = 1_000_000;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let config = AtlasConfig::fast().with_parallelism(cores.min(4));
+    let table = census(ROWS);
+    let query = ConjunctiveQuery::all("census");
+
+    let prepare_started = Instant::now();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).expect("engine builds");
+    let prepare_ms = prepare_started.elapsed().as_secs_f64() * 1000.0;
+    let local_started = Instant::now();
+    let local = reference.explore(&query).expect("local explore");
+    let local_ms = local_started.elapsed().as_secs_f64() * 1000.0;
+
+    // Four shard servers booted once over the shared table; each point
+    // connects a coordinator to the first N of them.
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..4 {
+        let mut registry = Registry::new();
+        registry
+            .add_table(
+                "census",
+                Arc::clone(&table),
+                DatasetOptions {
+                    config: config.clone(),
+                    cache_capacity: 0,
+                },
+            )
+            .expect("census registers");
+        let handle = Server::start(registry, ServeConfig::default().with_threads(2))
+            .expect("server binds an ephemeral port");
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let coordinator = Coordinator::connect(
+            &addrs[..shards],
+            "census",
+            config.clone(),
+            Duration::from_secs(120),
+        )
+        .expect("coordinator connects");
+        let started = Instant::now();
+        let result = coordinator.explore(&query).expect("distributed explore");
+        let explore_ms = started.elapsed().as_secs_f64() * 1000.0;
+        assert_bit_identical(&local, &result);
+        println!(
+            "dist-smoke: {shards} shard(s): {explore_ms:.0} ms \
+             (local {local_ms:.0} ms, fan-out {})",
+            coordinator.metrics().fan_out()
+        );
+        points.push(Json::object(vec![
+            ("shards", Json::from(shards)),
+            ("explore_ms", ms(explore_ms)),
+            ("fan_out", Json::from(coordinator.metrics().fan_out())),
+            ("retries", Json::from(coordinator.metrics().retries())),
+        ]));
+    }
+    for handle in handles {
+        handle.shutdown();
+    }
+
+    let report = Json::object(vec![
+        ("experiment", Json::from("dist_smoke")),
+        ("pr", Json::from(6usize)),
+        ("dataset", Json::from("census")),
+        ("rows", Json::from(ROWS)),
+        (
+            "config",
+            Json::from("fast (equi-width cuts, product merge), shard servers in-process"),
+        ),
+        ("cores", Json::from(cores)),
+        ("segments", Json::from(table.segments().len())),
+        ("prepare_ms", ms(prepare_ms)),
+        ("local_explore_ms", ms(local_ms)),
+        ("bit_identical", Json::from(true)),
+        ("points", Json::array(points)),
     ]);
     write_report_with_deltas(path, &report);
 }

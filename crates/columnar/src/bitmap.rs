@@ -61,6 +61,25 @@ impl Bitmap {
         bm
     }
 
+    /// Rebuild a bitmap over `len` rows from its packed word vector (the
+    /// exact inverse of [`Bitmap::words`], e.g. after a wire transfer).
+    ///
+    /// The vector is truncated or zero-extended to `len.div_ceil(64)` words
+    /// and bits past `len` are cleared, so any input yields a well-formed
+    /// bitmap.
+    pub fn from_words(len: usize, mut words: Vec<u64>) -> Self {
+        words.resize(len.div_ceil(WORD_BITS), 0);
+        let mut bm = Bitmap { words, len };
+        bm.mask_tail();
+        bm
+    }
+
+    /// The packed `u64` words backing this bitmap, least-significant bit
+    /// first (`len.div_ceil(64)` words; bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// The number of rows this bitmap ranges over (not the number of set bits).
     pub fn len(&self) -> usize {
         self.len
@@ -477,6 +496,19 @@ impl Iterator for OnesIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn words_round_trip_and_tail_masking() {
+        let bm = Bitmap::from_indices(70, [0, 3, 63, 64, 69]);
+        let rebuilt = Bitmap::from_words(70, bm.words().to_vec());
+        assert_eq!(rebuilt, bm);
+        // Stray bits past `len` are cleared, short vectors zero-extend.
+        let dirty = Bitmap::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(dirty.count(), 70);
+        let short = Bitmap::from_words(70, vec![1]);
+        assert_eq!(short.count(), 1);
+        assert_eq!(short.words().len(), 2);
+    }
 
     #[test]
     fn empty_and_full() {

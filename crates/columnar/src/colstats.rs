@@ -33,6 +33,85 @@ enum DistinctSet {
     },
 }
 
+/// The distinct non-NULL values of a [`ColumnSummary`] in a serialisable,
+/// deterministic form (sorted vectors instead of hash sets), produced by
+/// [`ColumnSummary::to_parts`] and consumed by [`ColumnSummary::from_parts`].
+///
+/// Floats travel as IEEE-754 bit patterns so `-0.0`/`0.0` and NaN payloads
+/// keep the distinct-count semantics of the in-memory set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistinctValues {
+    /// Distinct integers, sorted ascending.
+    Ints(Vec<i64>),
+    /// Distinct float bit patterns, sorted ascending as `u64`.
+    Floats(Vec<u64>),
+    /// Distinct strings, sorted lexicographically.
+    Strs(Vec<String>),
+    /// Whether `true` / `false` have been seen.
+    Bools {
+        /// `true` seen.
+        t: bool,
+        /// `false` seen.
+        f: bool,
+    },
+}
+
+/// The serialisable decomposition of a [`ColumnSummary`]: every field a
+/// remote peer needs to rebuild a summary that merges and collapses exactly
+/// like the original. Floating-point state (`mean`, `m2`, `min`, `max`)
+/// must travel bit-exactly for the rebuilt summary to fold bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryParts {
+    /// Data type of the summarised column.
+    pub dtype: DataType,
+    /// Number of non-NULL rows seen.
+    pub non_null: usize,
+    /// Number of NULL rows seen.
+    pub nulls: usize,
+    /// Welford mean of the numeric values (0 for non-numeric columns).
+    pub mean: f64,
+    /// Welford sum of squared deviations (0 for non-numeric columns).
+    pub m2: f64,
+    /// Minimum numeric value, if any.
+    pub min: Option<f64>,
+    /// Maximum numeric value, if any.
+    pub max: Option<f64>,
+    /// The distinct non-NULL values, in deterministic order.
+    pub distinct: DistinctValues,
+}
+
+impl DistinctSet {
+    fn to_values(&self) -> DistinctValues {
+        match self {
+            DistinctSet::Ints(s) => {
+                let mut v: Vec<i64> = s.iter().copied().collect();
+                v.sort_unstable();
+                DistinctValues::Ints(v)
+            }
+            DistinctSet::Floats(s) => {
+                let mut v: Vec<u64> = s.iter().copied().collect();
+                v.sort_unstable();
+                DistinctValues::Floats(v)
+            }
+            DistinctSet::Strs(s) => {
+                let mut v: Vec<String> = s.iter().cloned().collect();
+                v.sort_unstable();
+                DistinctValues::Strs(v)
+            }
+            DistinctSet::Bools { t, f } => DistinctValues::Bools { t: *t, f: *f },
+        }
+    }
+
+    fn from_values(values: DistinctValues) -> Self {
+        match values {
+            DistinctValues::Ints(v) => DistinctSet::Ints(v.into_iter().collect()),
+            DistinctValues::Floats(v) => DistinctSet::Floats(v.into_iter().collect()),
+            DistinctValues::Strs(v) => DistinctSet::Strs(v.into_iter().collect()),
+            DistinctValues::Bools { t, f } => DistinctSet::Bools { t, f },
+        }
+    }
+}
+
 impl DistinctSet {
     fn new(dtype: DataType) -> Self {
         match dtype {
@@ -243,6 +322,41 @@ impl ColumnSummary {
         self.non_null += other.non_null;
         self.nulls += other.nulls;
         self.distinct.union_with(&other.distinct);
+    }
+
+    /// Decompose the summary into its serialisable [`SummaryParts`].
+    ///
+    /// Together with [`ColumnSummary::from_parts`] this is an exact round
+    /// trip: the rebuilt summary merges ([`ColumnSummary::merge_from`]) and
+    /// collapses ([`ColumnSummary::to_stats`]) bit-identically to the
+    /// original, so per-segment summaries computed on a remote shard fold on
+    /// a coordinator exactly as if they had been computed locally.
+    pub fn to_parts(&self) -> SummaryParts {
+        SummaryParts {
+            dtype: self.dtype,
+            non_null: self.non_null,
+            nulls: self.nulls,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+            distinct: self.distinct.to_values(),
+        }
+    }
+
+    /// Rebuild a summary from the parts produced by
+    /// [`ColumnSummary::to_parts`].
+    pub fn from_parts(parts: SummaryParts) -> Self {
+        ColumnSummary {
+            dtype: parts.dtype,
+            non_null: parts.non_null,
+            nulls: parts.nulls,
+            mean: parts.mean,
+            m2: parts.m2,
+            min: parts.min,
+            max: parts.max,
+            distinct: DistinctSet::from_values(parts.distinct),
+        }
     }
 
     /// Collapse the summary into the public [`ColumnStats`] form. The distinct
@@ -505,6 +619,46 @@ mod tests {
         let stats = folded.to_stats();
         assert_eq!(stats.distinct_count, 3, "x, y, z");
         assert_eq!(stats.non_null_count, 6);
+    }
+
+    #[test]
+    fn summary_parts_round_trip_is_exact() {
+        let cols = [
+            Column::Int(vec![Some(3), Some(-7), None, Some(3), Some(11)]),
+            Column::Float(vec![Some(0.0), Some(-0.0), Some(2.5), None, Some(2.5)]),
+            Column::Bool(vec![Some(true), None, Some(true)]),
+        ];
+        for col in &cols {
+            let original = ColumnSummary::compute(col, &Bitmap::new_full(5.min(col.len())), 0);
+            let rebuilt = ColumnSummary::from_parts(original.to_parts());
+            assert_eq!(rebuilt.to_parts(), original.to_parts());
+            let a = original.to_stats();
+            let b = rebuilt.to_stats();
+            assert_eq!(a, b);
+            // Future merges behave identically too.
+            let more = ColumnSummary::compute(col, &Bitmap::new_full(col.len()), 0);
+            let mut fold_a = original.clone();
+            let mut fold_b = rebuilt.clone();
+            fold_a.merge_from(&more);
+            fold_b.merge_from(&more);
+            assert_eq!(fold_a.to_parts(), fold_b.to_parts());
+        }
+        // Strings deduplicate by value across rebuilt dictionaries.
+        let mut d = DictColumn::new();
+        for s in ["b", "a", "b", "c"] {
+            d.push(Some(s));
+        }
+        let col = Column::Str(d);
+        let summary = ColumnSummary::compute(&col, &Bitmap::new_full(4), 0);
+        let parts = summary.to_parts();
+        assert_eq!(
+            parts.distinct,
+            DistinctValues::Strs(vec!["a".into(), "b".into(), "c".into()])
+        );
+        assert_eq!(
+            ColumnSummary::from_parts(parts).to_stats(),
+            summary.to_stats()
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod view;
 pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use catalog::Catalog;
-pub use colstats::{ColumnStats, ColumnSummary};
+pub use colstats::{ColumnStats, ColumnSummary, DistinctValues, SummaryParts};
 pub use column::Column;
 pub use error::{ColumnarError, Result};
 pub use join::hash_join;
@@ -62,4 +62,4 @@ pub use schema::{Field, Schema};
 pub use segment::{default_segment_rows, Segment};
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use view::ColumnView;
+pub use view::{merge_category_counts, rank_categories_by_frequency, ColumnView};

@@ -486,6 +486,21 @@ impl<'a> ColumnView<'a> {
     ///
     /// Numeric columns return an empty vector.
     pub fn categories_by_frequency(&self, sel: &Bitmap) -> Vec<(String, usize)> {
+        rank_categories_by_frequency(self.category_counts(sel))
+    }
+
+    /// The raw per-category selected counts, one `(value, count)` pair per
+    /// distinct value in **global first-appearance order**, *including zero
+    /// counts* — the mergeable precursor of
+    /// [`ColumnView::categories_by_frequency`].
+    ///
+    /// Per-range count vectors fold with [`merge_category_counts`] (in row
+    /// order) into exactly the vector this method computes over the union of
+    /// the ranges, and [`rank_categories_by_frequency`] turns the folded
+    /// vector into the final frequency ranking — which is how a distributed
+    /// coordinator reproduces the local ranking bit for bit from per-shard
+    /// counts. Numeric columns return an empty vector.
+    pub fn category_counts(&self, sel: &Bitmap) -> Vec<(String, usize)> {
         match self.dtype {
             DataType::Str => {
                 // (value, selected count) in global first-appearance order:
@@ -514,10 +529,7 @@ impl<'a> ColumnView<'a> {
                         }
                     }
                 }
-                let mut pairs: Vec<(String, usize)> =
-                    order.into_iter().filter(|(_, n)| *n > 0).collect();
-                pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-                pairs
+                order
             }
             DataType::Bool => {
                 let mut t = 0usize;
@@ -531,15 +543,7 @@ impl<'a> ColumnView<'a> {
                         _ => {}
                     });
                 }
-                let mut pairs = Vec::new();
-                if t > 0 {
-                    pairs.push(("true".to_string(), t));
-                }
-                if f > 0 {
-                    pairs.push(("false".to_string(), f));
-                }
-                pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-                pairs
+                vec![("true".to_string(), t), ("false".to_string(), f)]
             }
             _ => Vec::new(),
         }
@@ -633,6 +637,40 @@ impl<'a> ColumnView<'a> {
         }
         out
     }
+}
+
+/// Fold one more per-range category count vector (`next`, covering the rows
+/// **after** everything already folded into `acc`) into an accumulator, both
+/// in the first-appearance order of [`ColumnView::category_counts`].
+///
+/// Known values add their counts; new values append — exactly what
+/// [`ColumnView::category_counts`] does when it walks the next segment's
+/// dictionary, so folding per-range vectors in row order reproduces the
+/// whole-column vector, order included.
+pub fn merge_category_counts(acc: &mut Vec<(String, usize)>, next: &[(String, usize)]) {
+    let mut index: HashMap<String, usize> = acc
+        .iter()
+        .enumerate()
+        .map(|(pos, (value, _))| (value.clone(), pos))
+        .collect();
+    for (value, count) in next {
+        match index.get(value.as_str()) {
+            Some(&pos) => acc[pos].1 += count,
+            None => {
+                index.insert(value.clone(), acc.len());
+                acc.push((value.clone(), *count));
+            }
+        }
+    }
+}
+
+/// Collapse a [`ColumnView::category_counts`] vector into the
+/// [`ColumnView::categories_by_frequency`] ranking: drop zero counts, then
+/// stable-sort by decreasing count (ties keep first-appearance order).
+pub fn rank_categories_by_frequency(counts: Vec<(String, usize)>) -> Vec<(String, usize)> {
+    let mut pairs: Vec<(String, usize)> = counts.into_iter().filter(|(_, n)| *n > 0).collect();
+    pairs.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    pairs
 }
 
 impl std::fmt::Debug for ColumnView<'_> {
@@ -765,6 +803,41 @@ mod tests {
             assert_eq!(
                 reference.column("c").unwrap().category_codes(),
                 segmented.column("c").unwrap().category_codes()
+            );
+        }
+    }
+
+    #[test]
+    fn per_segment_category_counts_fold_into_the_whole_column_ranking() {
+        // The distributed contract: category counts computed per segment (on
+        // single-segment tables, as a shard would) and folded in row order
+        // with `merge_category_counts` equal the whole-column counts, and
+        // ranking the folded vector equals `categories_by_frequency`.
+        let table = segmented_table(200, 7);
+        let sel = Bitmap::from_indices(200, (0..200).filter(|i| i % 3 != 1));
+        for name in ["c", "b", "x"] {
+            let whole = table.column(name).unwrap();
+            let mut folded: Vec<(String, usize)> = Vec::new();
+            for (seg_idx, segment) in table.segments().iter().enumerate() {
+                let offset = table.segment_offset(seg_idx);
+                let single = Table::from_segments(
+                    table.name(),
+                    table.schema().clone(),
+                    vec![std::sync::Arc::clone(segment)],
+                )
+                .unwrap();
+                let local_sel = Bitmap::from_indices(
+                    segment.num_rows(),
+                    (0..segment.num_rows()).filter(|i| sel.get(offset + i)),
+                );
+                let part = single.column(name).unwrap().category_counts(&local_sel);
+                merge_category_counts(&mut folded, &part);
+            }
+            assert_eq!(folded, whole.category_counts(&sel), "{name}");
+            assert_eq!(
+                rank_categories_by_frequency(folded),
+                whole.categories_by_frequency(&sel),
+                "{name}"
             );
         }
     }

@@ -112,6 +112,91 @@ impl CutConfig {
     }
 }
 
+/// The data-access surface of the `CUT` primitive, with the working set
+/// baked in.
+///
+/// Every row-touching kernel `CUT` needs goes through this trait; the split
+/// selection, grouping, and region-assembly logic above it is pure. The two
+/// implementations are [`TableCutSource`] (an in-process table — both
+/// [`cut_attribute`] and the prepared engine route through it) and the serve
+/// crate's remote source, which scatters each call to shard servers holding
+/// disjoint segment subsets and folds their answers. A source that
+/// reproduces the kernel outputs reproduces the local cut **bit for bit**,
+/// because [`cut_from_source`] is the only cut body.
+///
+/// All returned selections are bitmaps over the table's **global** rows, and
+/// every method may be called only with attributes of the table's schema
+/// (unknown attributes error).
+pub trait CutSource {
+    /// The data type of `attribute`.
+    fn data_type(&self, attribute: &str) -> Result<DataType>;
+    /// The non-NULL numeric values of the working set, in global row order.
+    fn numeric_values(&self, attribute: &str) -> Result<Vec<f64>>;
+    /// Partition the working set by first-matching range in one fused pass
+    /// (the [`atlas_columnar::ColumnView::select_ranges`] kernel).
+    fn select_ranges(&self, attribute: &str, bounds: &[(f64, f64)]) -> Result<Vec<Bitmap>>;
+    /// The distinct categorical values of the working set by decreasing
+    /// frequency (ties in global first-appearance order).
+    fn categories_by_frequency(&self, attribute: &str) -> Result<Vec<(String, usize)>>;
+    /// The global first-appearance dictionary of a string column (empty for
+    /// other types).
+    fn dictionary(&self, attribute: &str) -> Result<Vec<String>>;
+    /// Partition the working set by disjoint value groups in one fused pass
+    /// (the [`atlas_columnar::ColumnView::select_in_groups`] kernel).
+    fn select_in_groups(&self, attribute: &str, groups: &[Vec<String>]) -> Result<Vec<Bitmap>>;
+}
+
+/// A [`CutSource`] reading straight from an in-process [`Table`].
+pub struct TableCutSource<'a> {
+    table: &'a Table,
+    working: &'a Bitmap,
+}
+
+impl<'a> TableCutSource<'a> {
+    /// A source over the `working` rows of `table`.
+    pub fn new(table: &'a Table, working: &'a Bitmap) -> Self {
+        TableCutSource { table, working }
+    }
+}
+
+impl CutSource for TableCutSource<'_> {
+    fn data_type(&self, attribute: &str) -> Result<DataType> {
+        Ok(self.table.column(attribute)?.data_type())
+    }
+
+    fn numeric_values(&self, attribute: &str) -> Result<Vec<f64>> {
+        Ok(self
+            .table
+            .column(attribute)?
+            .numeric_values_where(self.working))
+    }
+
+    fn select_ranges(&self, attribute: &str, bounds: &[(f64, f64)]) -> Result<Vec<Bitmap>> {
+        Ok(self
+            .table
+            .column(attribute)?
+            .select_ranges(self.working, bounds))
+    }
+
+    fn categories_by_frequency(&self, attribute: &str) -> Result<Vec<(String, usize)>> {
+        Ok(self
+            .table
+            .column(attribute)?
+            .categories_by_frequency(self.working))
+    }
+
+    fn dictionary(&self, attribute: &str) -> Result<Vec<String>> {
+        Ok(self.table.column(attribute)?.dictionary())
+    }
+
+    fn select_in_groups(&self, attribute: &str, groups: &[Vec<String>]) -> Result<Vec<Bitmap>> {
+        Ok(self
+            .table
+            .column(attribute)?
+            .select_in_groups(self.working, groups))
+    }
+}
+
 /// Apply `CUT` to one attribute of the working set.
 ///
 /// * `table` — the table the selection ranges over;
@@ -130,15 +215,8 @@ pub fn cut_attribute(
     config: &CutConfig,
 ) -> Result<Option<DataMap>> {
     let stats = table.column_stats(attribute, working)?;
-    cut_with_stats(
-        table,
-        working,
-        parent_query,
-        attribute,
-        config,
-        &stats,
-        None,
-    )
+    let source = TableCutSource::new(table, working);
+    cut_from_source(&source, parent_query, attribute, config, &stats, None)
 }
 
 /// [`cut_attribute`] inside a prepared engine: statistics (and, for
@@ -153,9 +231,9 @@ pub(crate) fn cut_attribute_in_context(
 ) -> Result<Option<DataMap>> {
     let stats = ctx.profile.stats_for(ctx.table, attribute, working)?;
     let sketch = ctx.profile.sketch_for(attribute, working);
-    cut_with_stats(
-        ctx.table,
-        working,
+    let source = TableCutSource::new(ctx.table, working);
+    cut_from_source(
+        &source,
         parent_query,
         attribute,
         ctx.cut_config,
@@ -164,11 +242,14 @@ pub(crate) fn cut_attribute_in_context(
     )
 }
 
-/// The body of the `CUT` primitive, with the per-column statistics supplied
-/// by the caller (fresh or from a profile).
-fn cut_with_stats(
-    table: &Table,
-    working: &Bitmap,
+/// The body of the `CUT` primitive over an abstract [`CutSource`], with the
+/// per-column statistics supplied by the caller (fresh, from a profile, or
+/// folded from per-shard summaries).
+///
+/// `sketch` is an optional prebuilt quantile sketch of the working set's
+/// values (only consulted by the `SketchMedian` strategy).
+pub fn cut_from_source<S: CutSource>(
+    source: &S,
     parent_query: &ConjunctiveQuery,
     attribute: &str,
     config: &CutConfig,
@@ -176,7 +257,7 @@ fn cut_with_stats(
     sketch: Option<&GkSketch>,
 ) -> Result<Option<DataMap>> {
     config.validate()?;
-    let column = table.column(attribute)?;
+    let dtype = source.data_type(attribute)?;
     if stats.non_null_count == 0 || stats.distinct_count < 2 {
         return Ok(None);
     }
@@ -184,7 +265,7 @@ fn cut_with_stats(
         return Ok(None);
     }
 
-    let regions = match column.data_type() {
+    let regions = match dtype {
         DataType::Int | DataType::Float => {
             let splits = match config.numeric {
                 // Equi-width splits depend only on min/max, which the caller's
@@ -195,7 +276,7 @@ fn cut_with_stats(
                     config.num_splits,
                 ),
                 _ => {
-                    let values = column.numeric_values_where(working);
+                    let values = source.numeric_values(attribute)?;
                     numeric_splits(&values, config, sketch)?
                 }
             };
@@ -203,11 +284,10 @@ fn cut_with_stats(
                 return Ok(None);
             }
             numeric_regions(
-                table,
-                working,
+                source,
                 parent_query,
                 attribute,
-                column.data_type(),
+                dtype,
                 stats.min.unwrap_or(0.0),
                 stats.max.unwrap_or(0.0),
                 &splits,
@@ -217,11 +297,11 @@ fn cut_with_stats(
             if stats.distinct_count > config.max_categories {
                 return Ok(None);
             }
-            let groups = categorical_groups(table, working, attribute, config)?;
+            let groups = categorical_groups(source, attribute, config)?;
             if groups.len() < 2 {
                 return Ok(None);
             }
-            categorical_regions(table, working, parent_query, attribute, &groups)?
+            categorical_regions(source, parent_query, attribute, &groups)?
         }
     };
 
@@ -319,11 +399,10 @@ fn equi_width_splits(min: f64, max: f64, k: usize) -> Vec<f64> {
 /// Build the per-region range predicates and selections for a numeric cut.
 ///
 /// All region extents come out of **one** fused pass over the column
-/// ([`atlas_columnar::Column::select_ranges`]) instead of one scan per region.
-#[allow(clippy::too_many_arguments)]
-fn numeric_regions(
-    table: &Table,
-    working: &Bitmap,
+/// ([`atlas_columnar::ColumnView::select_ranges`]) instead of one scan per
+/// region.
+fn numeric_regions<S: CutSource>(
+    source: &S,
     parent_query: &ConjunctiveQuery,
     attribute: &str,
     dtype: DataType,
@@ -331,7 +410,6 @@ fn numeric_regions(
     max: f64,
     splits: &[f64],
 ) -> Result<Vec<Region>> {
-    let column = table.column(attribute)?;
     let mut bounds = Vec::with_capacity(splits.len() + 1);
     let mut lo = min;
     for (i, &split) in splits.iter().chain(std::iter::once(&max)).enumerate() {
@@ -342,7 +420,7 @@ fn numeric_regions(
         bounds.push((lo, hi));
         lo = next_lower_bound(dtype, hi);
     }
-    let selections = column.select_ranges(working, &bounds);
+    let selections = source.select_ranges(attribute, &bounds)?;
     let regions = bounds
         .into_iter()
         .zip(selections)
@@ -378,14 +456,12 @@ fn next_lower_bound(dtype: DataType, hi: f64) -> f64 {
 }
 
 /// Group the categorical values of the working set into `num_splits` groups.
-fn categorical_groups(
-    table: &Table,
-    working: &Bitmap,
+fn categorical_groups<S: CutSource>(
+    source: &S,
     attribute: &str,
     config: &CutConfig,
 ) -> Result<Vec<Vec<String>>> {
-    let column = table.column(attribute)?;
-    let mut freq = column.categories_by_frequency(working);
+    let mut freq = source.categories_by_frequency(attribute)?;
     if freq.len() < 2 {
         return Ok(Vec::new());
     }
@@ -400,7 +476,7 @@ fn categorical_groups(
             // Global first-appearance order, merged across segments (for
             // boolean columns there is no dictionary and the frequency order
             // stands, as before).
-            let order = column.dictionary();
+            let order = source.dictionary(attribute)?;
             if !order.is_empty() {
                 freq.sort_by_key(|(value, _)| {
                     order.iter().position(|d| d == value).unwrap_or(usize::MAX)
@@ -441,17 +517,16 @@ fn categorical_groups(
 /// Build per-region set predicates and selections for a categorical cut.
 ///
 /// All region extents come out of **one** fused pass over the column
-/// ([`atlas_columnar::Column::select_in_groups`]): value groups are resolved
-/// to dictionary codes once, then each row does a single indexed lookup.
-fn categorical_regions(
-    table: &Table,
-    working: &Bitmap,
+/// ([`atlas_columnar::ColumnView::select_in_groups`]): value groups are
+/// resolved to dictionary codes once, then each row does a single indexed
+/// lookup.
+fn categorical_regions<S: CutSource>(
+    source: &S,
     parent_query: &ConjunctiveQuery,
     attribute: &str,
     groups: &[Vec<String>],
 ) -> Result<Vec<Region>> {
-    let column = table.column(attribute)?;
-    let selections = column.select_in_groups(working, groups);
+    let selections = source.select_in_groups(attribute, groups)?;
     let regions = groups
         .iter()
         .zip(selections)

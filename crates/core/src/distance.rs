@@ -130,7 +130,13 @@ fn distance_from_selections(
     metric_of(&table, metric)
 }
 
-fn metric_of(table: &ContingencyTable, metric: MapDistanceMetric) -> f64 {
+/// The chosen dependency measure of a prebuilt contingency table.
+///
+/// This is the scoring half of [`map_distance`]: callers that already hold a
+/// [`ContingencyTable`] — e.g. a distributed coordinator that summed
+/// per-shard partial counts — apply the same metric the in-process matrix
+/// uses, so identical counts give bit-identical distances.
+pub fn metric_of(table: &ContingencyTable, metric: MapDistanceMetric) -> f64 {
     match metric {
         MapDistanceMetric::VariationOfInformation => table.variation_of_information(),
         MapDistanceMetric::NormalizedVI => table.normalized_vi(),

@@ -474,32 +474,48 @@ impl Atlas {
     /// has more than `max_regions_per_map` regions, keep the largest ones and
     /// fold the rest into a single remainder region (whose query is the
     /// disjunction-free parent query — it is reported as "other tuples").
-    fn enforce_constraints(&self, mut map: DataMap) -> DataMap {
-        if map.num_regions() <= self.config.max_regions_per_map {
-            return map;
-        }
-        // Keep the largest (max_regions - 1) regions, merge the tail.
-        map.regions.sort_by_key(|r| std::cmp::Reverse(r.count()));
-        let keep = self.config.max_regions_per_map.saturating_sub(1).max(1);
-        let tail = map.regions.split_off(keep);
-        if !tail.is_empty() {
-            let mut remainder_selection = Bitmap::new_empty(self.table.num_rows());
-            for region in &tail {
-                remainder_selection.union_with(&region.selection);
-            }
-            // The remainder region keeps only the parent predicates (it is the
-            // working set minus the kept regions), so its query stays simple.
-            let parent_query = tail[0].query.clone();
-            map.regions.push(crate::region::Region::new(
-                ConjunctiveQuery {
-                    table: parent_query.table,
-                    predicates: Vec::new(),
-                },
-                remainder_selection,
-            ));
-        }
-        map
+    fn enforce_constraints(&self, map: DataMap) -> DataMap {
+        enforce_region_cap(map, self.config.max_regions_per_map, self.table.num_rows())
     }
+}
+
+/// The readability constraint of Section 2 as a standalone transform: if the
+/// map has more than `max_regions_per_map` regions, keep the largest ones and
+/// fold the rest into a single remainder region over the parent query.
+///
+/// This is exactly the post-merge step [`Atlas::explore`] applies to every
+/// cluster's merged map; it is exposed so a remote coordinator running the
+/// merge phase locally produces bit-identical maps. `num_rows` is the number
+/// of rows of the underlying table (the length of the remainder bitmap).
+pub fn enforce_region_cap(
+    mut map: DataMap,
+    max_regions_per_map: usize,
+    num_rows: usize,
+) -> DataMap {
+    if map.num_regions() <= max_regions_per_map {
+        return map;
+    }
+    // Keep the largest (max_regions - 1) regions, merge the tail.
+    map.regions.sort_by_key(|r| std::cmp::Reverse(r.count()));
+    let keep = max_regions_per_map.saturating_sub(1).max(1);
+    let tail = map.regions.split_off(keep);
+    if !tail.is_empty() {
+        let mut remainder_selection = Bitmap::new_empty(num_rows);
+        for region in &tail {
+            remainder_selection.union_with(&region.selection);
+        }
+        // The remainder region keeps only the parent predicates (it is the
+        // working set minus the kept regions), so its query stays simple.
+        let parent_query = tail[0].query.clone();
+        map.regions.push(crate::region::Region::new(
+            ConjunctiveQuery {
+                table: parent_query.table,
+                predicates: Vec::new(),
+            },
+            remainder_selection,
+        ));
+    }
+    map
 }
 
 /// One iteration of the anytime loop.

@@ -19,6 +19,10 @@ pub enum AtlasError {
     NoCuttableAttributes,
     /// The configuration is inconsistent (e.g. zero splits per attribute).
     InvalidConfig(String),
+    /// A shard or coordinator failed during a distributed exploration (a
+    /// shard died, timed out past its retry, or returned an inconsistent
+    /// dataset layout).
+    Distributed(String),
 }
 
 impl AtlasError {
@@ -33,7 +37,7 @@ impl AtlasError {
             | AtlasError::EmptyWorkingSet
             | AtlasError::NoCuttableAttributes
             | AtlasError::InvalidConfig(_) => true,
-            AtlasError::Columnar(_) => false,
+            AtlasError::Columnar(_) | AtlasError::Distributed(_) => false,
         }
     }
 }
@@ -50,6 +54,7 @@ impl fmt::Display for AtlasError {
                 f.write_str("no attribute can be cut into a candidate map")
             }
             AtlasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AtlasError::Distributed(msg) => write!(f, "distributed exploration error: {msg}"),
         }
     }
 }
@@ -82,6 +87,9 @@ mod tests {
         assert!(e.to_string().contains('x'));
         let e: AtlasError = atlas_columnar::ColumnarError::EmptySchema.into();
         assert!(matches!(e, AtlasError::Columnar(_)));
+        assert!(AtlasError::Distributed("shard 2 unreachable".into())
+            .to_string()
+            .contains("shard 2 unreachable"));
     }
 
     #[test]
@@ -94,5 +102,6 @@ mod tests {
                 .is_user_error()
         );
         assert!(!AtlasError::Columnar("disk on fire".into()).is_user_error());
+        assert!(!AtlasError::Distributed("shard died".into()).is_user_error());
     }
 }

@@ -72,12 +72,17 @@ pub use cluster::{
     cluster_maps, cluster_maps_with_pool, slink, ClusteringConfig, Dendrogram, Linkage, MergeStep,
 };
 pub use config::{AtlasConfig, ExploreOptions, MergeStrategy};
-pub use cut::{cut_attribute, CategoricalCutStrategy, CutConfig, NumericCutStrategy};
+pub use cut::{
+    cut_attribute, cut_from_source, CategoricalCutStrategy, CutConfig, CutSource,
+    NumericCutStrategy, TableCutSource,
+};
 pub use distance::{
-    distance_matrix, distance_matrix_with_pool, map_distance, DistanceMatrix, MapDistanceMetric,
+    distance_matrix, distance_matrix_with_pool, map_distance, metric_of, DistanceMatrix,
+    MapDistanceMetric,
 };
 pub use engine::{
-    AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder, ExploreIter, MapResult, PhaseTimings,
+    enforce_region_cap, AnytimeIteration, AnytimeResult, Atlas, AtlasBuilder, ExploreIter,
+    MapResult, PhaseTimings,
 };
 pub use error::{AtlasError, Result};
 pub use map::DataMap;

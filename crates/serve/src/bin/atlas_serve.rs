@@ -17,8 +17,14 @@
 //! * `--cache N` — shared result-cache capacity per dataset, 0 disables
 //!   (default 64)
 //! * `--fast` / `--quality` — engine preset (default: the paper's config)
+//! * `--merge product|composition` — cluster-merge operator (distributed
+//!   coordinators require `product`)
+//! * `--shards HOST:PORT,…` — coordinate `POST /distributed/explore` over
+//!   these shard servers (they must serve the same dataset specs)
+//! * `--shard-timeout-ms N` — per-shard request timeout (default 10000);
+//!   a failed request is retried once before the explore fails
 
-use atlas_core::AtlasConfig;
+use atlas_core::{AtlasConfig, MergeStrategy};
 use atlas_serve::{DatasetOptions, Registry, ServeConfig, Server};
 use std::process::exit;
 
@@ -61,10 +67,33 @@ fn main() {
             }
             "--fast" => engine_config = AtlasConfig::fast(),
             "--quality" => engine_config = AtlasConfig::quality(),
+            "--merge" => {
+                engine_config.merge = match value_of(&mut args, "--merge").as_str() {
+                    "product" => MergeStrategy::Product,
+                    "composition" => MergeStrategy::Composition,
+                    other => fail(&format!("unknown merge strategy '{other}'")),
+                };
+            }
+            "--shards" => {
+                serve_config.shards = value_of(&mut args, "--shards")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--shard-timeout-ms" => {
+                let ms: u64 = value_of(&mut args, "--shard-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shard-timeout-ms needs a number"));
+                serve_config.shard_timeout = std::time::Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: atlas-serve [--port N] [--bind ADDR] [--dataset SPEC]... \
-                     [--threads N] [--cache N] [--fast|--quality]"
+                     [--threads N] [--cache N] [--fast|--quality] \
+                     [--merge product|composition] [--shards HOST:PORT,...] \
+                     [--shard-timeout-ms N]"
                 );
                 return;
             }

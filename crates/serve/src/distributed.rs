@@ -1,0 +1,974 @@
+//! Distributed scatter-gather exploration: a merging coordinator over shard
+//! servers.
+//!
+//! A [`Coordinator`] partitions a dataset's segments across N shard servers
+//! (ordinary `atlas-serve` processes answering the `POST /shard/*` endpoints)
+//! and runs the Atlas pipeline with every row-touching kernel pushed down:
+//!
+//! 1. **working set** — the user query is evaluated per shard segment and the
+//!    per-segment bitmaps are OR-folded at their global offsets;
+//! 2. **candidates** — per-column statistics come back as mergeable
+//!    [`atlas_columnar::ColumnSummary`] parts folded in ascending segment
+//!    order (plus merged Greenwald–Khanna sketches for sketch-based cut
+//!    strategies), and the single shared `CUT` body
+//!    ([`atlas_core::cut_from_source`]) runs locally over a
+//!    [`atlas_core::CutSource`] whose kernels scatter to the shards;
+//! 3. **distances** — contingency tables of candidate-map pairs are counted
+//!    per segment and summed cell-wise (exact `u64` adds), then scored
+//!    locally with [`atlas_core::metric_of`];
+//! 4. **clustering, merging, ranking** — run locally on the folded inputs,
+//!    byte-for-byte the engine's own implementations.
+//!
+//! Every fold is deterministic (ascending global segment order) and every
+//! pushed-down kernel reproduces its local counterpart exactly, so the ranked
+//! maps are **bit-identical** — score bits, region SQL, region counts — to a
+//! single-process [`atlas_core::Atlas::explore`] over the same table and
+//! configuration, for *any* assignment of segments to shards. The
+//! `tests/distributed.rs` property suite pins this.
+//!
+//! The coordinator assumes the engine's default pipeline stages with
+//! [`MergeStrategy::Product`]; the composition merge re-cuts every region
+//! locally and is rejected at [`Coordinator::connect`] time.
+//!
+//! ## Fault model
+//!
+//! Each shard request has a configurable timeout and is retried exactly once
+//! on a transport error (connection refused/reset, timeout). A second failure
+//! — or any non-`200` answer — fails the explore with a typed
+//! [`AtlasError::Distributed`] naming the shard and the endpoint; the
+//! coordinator never hangs and never returns a partial map.
+
+use crate::client::Client;
+use crate::wire::frames::{
+    bitmap_from_json, contingency_from_json, dtype_from_name, get_index, get_items, get_str,
+    hex_f64, hex_f64s, parse_hex_f64s, sketch_from_json, summary_from_json,
+};
+use crate::wire::Json;
+use atlas_columnar::{
+    merge_category_counts, rank_categories_by_frequency, Bitmap, ColumnStats, ColumnSummary,
+    DataType,
+};
+use atlas_core::{
+    cluster_maps_with_pool, cut_from_source, enforce_region_cap, metric_of, product_maps,
+    rank_maps, AtlasConfig, AtlasError, CutSource, DistanceMatrix, MapResult, MergeStrategy,
+    NumericCutStrategy, PhaseTimings, ThreadPool,
+};
+use atlas_query::{to_sql, ConjunctiveQuery};
+use atlas_stats::{ContingencyTable, GkSketch};
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Scatter counters of one [`Coordinator`].
+///
+/// `fan_out` counts shard requests issued (one per shard with assigned
+/// segments per scatter round), `retries` counts second attempts after a
+/// transport error; both are monotone over the coordinator's lifetime.
+#[derive(Debug)]
+pub struct CoordinatorMetrics {
+    fan_out: AtomicU64,
+    retries: AtomicU64,
+    per_shard: Vec<ShardLatency>,
+}
+
+#[derive(Debug)]
+struct ShardLatency {
+    addr: String,
+    requests: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl CoordinatorMetrics {
+    fn new(addrs: &[String]) -> CoordinatorMetrics {
+        CoordinatorMetrics {
+            fan_out: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            per_shard: addrs
+                .iter()
+                .map(|addr| ShardLatency {
+                    addr: addr.clone(),
+                    requests: AtomicU64::new(0),
+                    total_micros: AtomicU64::new(0),
+                    max_micros: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total shard requests issued across all scatter rounds.
+    pub fn fan_out(&self) -> u64 {
+        self.fan_out.load(Ordering::Relaxed)
+    }
+
+    /// Total second attempts after a transport error.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, shard: usize, elapsed: Duration) {
+        let lat = &self.per_shard[shard];
+        let micros = elapsed.as_micros() as u64;
+        lat.requests.fetch_add(1, Ordering::Relaxed);
+        lat.total_micros.fetch_add(micros, Ordering::Relaxed);
+        lat.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A JSON snapshot: fan-out, retries, and per-shard request latency.
+    pub fn snapshot(&self) -> Json {
+        Json::object(vec![
+            ("fan_out", Json::from(self.fan_out())),
+            ("retries", Json::from(self.retries())),
+            (
+                "shards",
+                Json::array(
+                    self.per_shard
+                        .iter()
+                        .map(|lat| {
+                            let requests = lat.requests.load(Ordering::Relaxed);
+                            let total = lat.total_micros.load(Ordering::Relaxed);
+                            let mean_ms = if requests == 0 {
+                                0.0
+                            } else {
+                                total as f64 / requests as f64 / 1000.0
+                            };
+                            Json::object(vec![
+                                ("addr", Json::from(lat.addr.as_str())),
+                                ("requests", Json::from(requests)),
+                                ("mean_ms", Json::from(mean_ms)),
+                                (
+                                    "max_ms",
+                                    Json::from(
+                                        lat.max_micros.load(Ordering::Relaxed) as f64 / 1000.0,
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Debug)]
+struct ShardSlot {
+    addr: String,
+    client: Client,
+    /// Global segment indices this shard answers for, ascending. May be
+    /// empty, in which case the shard is skipped by every scatter.
+    segments: Vec<usize>,
+}
+
+/// A shard's `/shard/meta` view: (generation, total rows, per-segment row
+/// counts, schema fields) — unanimity across shards is required at connect.
+type MetaView = (usize, usize, Vec<usize>, Vec<(String, DataType)>);
+
+/// Gathered contingency counts: candidate-map pair → (rows, cols, cell
+/// counts summed across segments).
+type PairCounts = HashMap<(usize, usize), (usize, usize, Vec<u64>)>;
+
+/// The merging coordinator of a distributed exploration (see the module
+/// docs for the protocol and the determinism guarantee).
+#[derive(Debug)]
+pub struct Coordinator {
+    dataset: String,
+    config: AtlasConfig,
+    shards: Vec<ShardSlot>,
+    generation: usize,
+    num_rows: usize,
+    segment_rows: Vec<usize>,
+    segment_offsets: Vec<usize>,
+    fields: Vec<(String, DataType)>,
+    pool: ThreadPool,
+    metrics: CoordinatorMetrics,
+}
+
+fn dist_err(message: impl Into<String>) -> AtlasError {
+    AtlasError::Distributed(message.into())
+}
+
+fn resolve_addr(addr: &str) -> Result<SocketAddr, AtlasError> {
+    addr.to_socket_addrs()
+        .map_err(|e| dist_err(format!("cannot resolve shard address '{addr}': {e}")))?
+        .next()
+        .ok_or_else(|| dist_err(format!("shard address '{addr}' resolves to nothing")))
+}
+
+impl Coordinator {
+    /// Connect to the shard servers, fetch and cross-check their view of
+    /// `dataset`, and assign segments contiguously (balanced within one
+    /// segment) across the shards.
+    ///
+    /// Fails with [`AtlasError::InvalidConfig`] when the configuration does
+    /// not validate or requests [`MergeStrategy::Composition`] (whose local
+    /// re-cuts the coordinator does not push down), and with
+    /// [`AtlasError::Distributed`] when a shard is unreachable or the shards
+    /// disagree about the dataset (row count, segmentation, schema, or
+    /// generation).
+    pub fn connect(
+        addrs: &[String],
+        dataset: &str,
+        config: AtlasConfig,
+        timeout: Duration,
+    ) -> Result<Coordinator, AtlasError> {
+        config.validate()?;
+        if config.merge == MergeStrategy::Composition {
+            return Err(AtlasError::InvalidConfig(
+                "distributed explore requires MergeStrategy::Product \
+                 (composition re-cuts regions locally)"
+                    .to_string(),
+            ));
+        }
+        if addrs.is_empty() {
+            return Err(dist_err("no shard addresses"));
+        }
+        let shards: Vec<ShardSlot> = addrs
+            .iter()
+            .map(|addr| {
+                Ok(ShardSlot {
+                    addr: addr.clone(),
+                    client: Client::new(resolve_addr(addr)?).with_timeout(timeout),
+                    segments: Vec::new(),
+                })
+            })
+            .collect::<Result<_, AtlasError>>()?;
+        let metrics = CoordinatorMetrics::new(addrs);
+        let mut coordinator = Coordinator {
+            dataset: dataset.to_string(),
+            config,
+            shards,
+            generation: 0,
+            num_rows: 0,
+            segment_rows: Vec::new(),
+            segment_offsets: Vec::new(),
+            fields: Vec::new(),
+            pool: ThreadPool::new(1),
+            metrics,
+        };
+        coordinator.pool = ThreadPool::new(coordinator.config.parallelism);
+        coordinator.fetch_meta()?;
+        let num_segments = coordinator.segment_rows.len();
+        let num_shards = coordinator.shards.len();
+        // Contiguous balanced default: shard i takes ⌈n/N⌉ or ⌊n/N⌋ segments.
+        let base = num_segments / num_shards;
+        let extra = num_segments % num_shards;
+        let mut next = 0usize;
+        for (i, slot) in coordinator.shards.iter_mut().enumerate() {
+            let take = base + usize::from(i < extra);
+            slot.segments = (next..next + take).collect();
+            next += take;
+        }
+        Ok(coordinator)
+    }
+
+    /// Replace the segment assignment. `assignment[i]` lists the global
+    /// segment indices shard `i` answers for; the lists must form an exact
+    /// partition of `0..num_segments` (empty lists are fine — those shards
+    /// simply idle).
+    pub fn with_assignment(
+        mut self,
+        assignment: Vec<Vec<usize>>,
+    ) -> Result<Coordinator, AtlasError> {
+        if assignment.len() != self.shards.len() {
+            return Err(dist_err(format!(
+                "assignment covers {} shards, the coordinator has {}",
+                assignment.len(),
+                self.shards.len()
+            )));
+        }
+        let mut all: Vec<usize> = assignment.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..self.segment_rows.len()).collect();
+        if all != expected {
+            return Err(dist_err(format!(
+                "assignment is not a partition of the {} segments",
+                self.segment_rows.len()
+            )));
+        }
+        for (slot, mut segments) in self.shards.iter_mut().zip(assignment) {
+            segments.sort_unstable();
+            slot.segments = segments;
+        }
+        Ok(self)
+    }
+
+    /// The dataset this coordinator explores.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The dataset generation the shards agreed on at connect time.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// Number of segments of the distributed table.
+    pub fn num_segments(&self) -> usize {
+        self.segment_rows.len()
+    }
+
+    /// Total rows of the distributed table.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// The current segment assignment, one list of global segment indices
+    /// per shard.
+    pub fn assignment(&self) -> Vec<Vec<usize>> {
+        self.shards.iter().map(|s| s.segments.clone()).collect()
+    }
+
+    /// The scatter counters.
+    pub fn metrics(&self) -> &CoordinatorMetrics {
+        &self.metrics
+    }
+
+    /// Fetch `/shard/meta` from every shard and adopt their (unanimous) view
+    /// of the dataset.
+    fn fetch_meta(&mut self) -> Result<(), AtlasError> {
+        let body = Json::object(vec![("dataset", Json::from(self.dataset.as_str()))]);
+        let mut agreed: Option<MetaView> = None;
+        for idx in 0..self.shards.len() {
+            let reply = self.call(idx, "/shard/meta", &body)?;
+            let generation = get_index(&reply, "generation").map_err(dist_err)?;
+            let num_rows = get_index(&reply, "num_rows").map_err(dist_err)?;
+            let segments = get_items(&reply, "segments")
+                .map_err(dist_err)?
+                .iter()
+                .map(|s| s.index().ok_or_else(|| dist_err("bad segment row count")))
+                .collect::<Result<Vec<_>, _>>()?;
+            let fields = get_items(&reply, "fields")
+                .map_err(dist_err)?
+                .iter()
+                .map(|f| {
+                    let name = get_str(f, "name").map_err(dist_err)?.to_string();
+                    let dtype = dtype_from_name(get_str(f, "dtype").map_err(dist_err)?)
+                        .map_err(dist_err)?;
+                    Ok((name, dtype))
+                })
+                .collect::<Result<Vec<_>, AtlasError>>()?;
+            let view = (generation, num_rows, segments, fields);
+            match &agreed {
+                None => agreed = Some(view),
+                Some(first) if *first == view => {}
+                Some(_) => {
+                    return Err(dist_err(format!(
+                        "shard {} disagrees about dataset '{}' (generation, rows, \
+                         segmentation or schema)",
+                        self.shards[idx].addr, self.dataset
+                    )))
+                }
+            }
+        }
+        let (generation, num_rows, segment_rows, fields) =
+            agreed.expect("at least one shard answered");
+        self.generation = generation;
+        self.num_rows = num_rows;
+        self.segment_offsets = segment_rows
+            .iter()
+            .scan(0usize, |acc, rows| {
+                let offset = *acc;
+                *acc += rows;
+                Some(offset)
+            })
+            .collect();
+        self.segment_rows = segment_rows;
+        self.fields = fields;
+        Ok(())
+    }
+
+    /// One shard request with the retry-once fault policy: a transport error
+    /// (refused connection, reset, timeout) is retried exactly once; a second
+    /// transport error or any non-`200` answer fails with a typed error.
+    fn call(&self, shard: usize, path: &str, body: &Json) -> Result<Json, AtlasError> {
+        let slot = &self.shards[shard];
+        self.metrics.fan_out.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let attempt = slot.client.post_json(path, body).or_else(|_| {
+            self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            slot.client.post_json(path, body)
+        });
+        self.metrics.record(shard, started.elapsed());
+        let response =
+            attempt.map_err(|e| dist_err(format!("shard {} failed on {path}: {e}", slot.addr)))?;
+        let json = response.json();
+        if response.status != 200 {
+            let detail = json
+                .as_ref()
+                .and_then(|j| j.get("error").and_then(Json::str).map(String::from))
+                .unwrap_or_else(|| "no error body".to_string());
+            return Err(dist_err(format!(
+                "shard {} answered {} on {path}: {detail}",
+                slot.addr, response.status
+            )));
+        }
+        json.ok_or_else(|| dist_err(format!("shard {} sent non-JSON on {path}", slot.addr)))
+    }
+
+    /// Scatter one endpoint to every shard with assigned segments (in
+    /// parallel, one thread per shard) and gather the `partials` arrays
+    /// sorted by ascending global segment index. The result holds exactly
+    /// one entry per segment of the table.
+    fn scatter(
+        &self,
+        path: &str,
+        body_of: impl Fn(&[usize]) -> Json + Sync,
+    ) -> Result<Vec<Json>, AtlasError> {
+        let live: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].segments.is_empty())
+            .collect();
+        let replies: Vec<Result<Json, AtlasError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = live
+                .iter()
+                .map(|&idx| {
+                    let body_of = &body_of;
+                    scope.spawn(move || self.call(idx, path, &body_of(&self.shards[idx].segments)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(dist_err("scatter thread panicked")))
+                })
+                .collect()
+        });
+        let mut partials: Vec<(usize, Json)> = Vec::with_capacity(self.segment_rows.len());
+        for reply in replies {
+            let reply = reply?;
+            for partial in get_items(&reply, "partials").map_err(dist_err)? {
+                let segment = get_index(partial, "segment").map_err(dist_err)?;
+                if segment >= self.segment_rows.len() {
+                    return Err(dist_err(format!(
+                        "shard answered for unknown segment {segment}"
+                    )));
+                }
+                partials.push((segment, partial.clone()));
+            }
+        }
+        partials.sort_by_key(|(segment, _)| *segment);
+        let segments: Vec<usize> = partials.iter().map(|(segment, _)| *segment).collect();
+        let expected: Vec<usize> = (0..self.segment_rows.len()).collect();
+        if segments != expected {
+            return Err(dist_err(format!(
+                "scatter on {path} gathered segments {segments:?}, expected every one of 0..{}",
+                self.segment_rows.len()
+            )));
+        }
+        Ok(partials.into_iter().map(|(_, partial)| partial).collect())
+    }
+
+    /// The request body shared by the per-working-set endpoints.
+    fn data_body(&self, sql: &str, segments: &[usize], rest: Vec<(&str, Json)>) -> Json {
+        let mut members = vec![
+            ("dataset", Json::from(self.dataset.as_str())),
+            ("sql", Json::from(sql)),
+            (
+                "segments",
+                Json::array(segments.iter().map(|&s| Json::from(s)).collect()),
+            ),
+        ];
+        members.extend(rest);
+        Json::object(members)
+    }
+
+    /// Gather a per-segment bitmap member into one table-wide bitmap.
+    fn fold_bitmaps(&self, partials: &[(usize, Bitmap)]) -> Result<Bitmap, AtlasError> {
+        let mut folded = Bitmap::new_empty(self.num_rows);
+        for (segment, bitmap) in partials {
+            if bitmap.len() != self.segment_rows[*segment] {
+                return Err(dist_err(format!(
+                    "segment {segment} bitmap has {} rows, expected {}",
+                    bitmap.len(),
+                    self.segment_rows[*segment]
+                )));
+            }
+            folded.or_shifted(bitmap, self.segment_offsets[*segment]);
+        }
+        Ok(folded)
+    }
+
+    /// Scatter the working-set evaluation and fold the global bitmap.
+    fn fetch_working(&self, sql: &str) -> Result<Bitmap, AtlasError> {
+        let partials = self.scatter("/shard/working", |segments| {
+            self.data_body(sql, segments, Vec::new())
+        })?;
+        let bitmaps = partials
+            .iter()
+            .enumerate()
+            .map(|(segment, partial)| {
+                let bitmap = partial
+                    .get("bitmap")
+                    .ok_or_else(|| "partial without a bitmap".to_string())
+                    .and_then(bitmap_from_json)
+                    .map_err(dist_err)?;
+                Ok((segment, bitmap))
+            })
+            .collect::<Result<Vec<_>, AtlasError>>()?;
+        self.fold_bitmaps(&bitmaps)
+    }
+
+    /// Scatter the per-column summaries of the working set and fold them in
+    /// ascending segment order — exactly the fold of
+    /// [`atlas_columnar::ColumnView::summary`] and of the engine's table
+    /// profile, so the collapsed [`ColumnStats`] match the local path bit
+    /// for bit.
+    fn fetch_summaries(&self, sql: &str) -> Result<Vec<ColumnSummary>, AtlasError> {
+        let partials = self.scatter("/shard/summaries", |segments| {
+            self.data_body(sql, segments, Vec::new())
+        })?;
+        let mut folded: Vec<ColumnSummary> = self
+            .fields
+            .iter()
+            .map(|(_, dtype)| ColumnSummary::empty(*dtype))
+            .collect();
+        for partial in &partials {
+            let columns = get_items(partial, "columns").map_err(dist_err)?;
+            if columns.len() != self.fields.len() {
+                return Err(dist_err(format!(
+                    "summaries partial has {} columns, schema has {}",
+                    columns.len(),
+                    self.fields.len()
+                )));
+            }
+            for (acc, column) in folded.iter_mut().zip(columns) {
+                let parts = summary_from_json(column).map_err(dist_err)?;
+                if parts.dtype != acc.dtype() {
+                    return Err(dist_err("summary dtype does not match the schema"));
+                }
+                acc.merge_from(&ColumnSummary::from_parts(parts));
+            }
+        }
+        Ok(folded)
+    }
+
+    /// Scatter whole-segment quantile sketches of the numeric attributes and
+    /// merge them in ascending segment order — the table-profile fold.
+    fn fetch_sketches(
+        &self,
+        attributes: &[&str],
+        epsilon: f64,
+    ) -> Result<HashMap<String, GkSketch>, AtlasError> {
+        if attributes.is_empty() {
+            return Ok(HashMap::new());
+        }
+        let partials = self.scatter("/shard/sketches", |segments| {
+            Json::object(vec![
+                ("dataset", Json::from(self.dataset.as_str())),
+                ("epsilon", Json::from(hex_f64(epsilon))),
+                (
+                    "attributes",
+                    Json::array(attributes.iter().map(|&a| Json::from(a)).collect()),
+                ),
+                (
+                    "segments",
+                    Json::array(segments.iter().map(|&s| Json::from(s)).collect()),
+                ),
+            ])
+        })?;
+        let mut folded: Vec<GkSketch> = attributes.iter().map(|_| GkSketch::new(epsilon)).collect();
+        for partial in &partials {
+            let sketches = get_items(partial, "sketches").map_err(dist_err)?;
+            if sketches.len() != attributes.len() {
+                return Err(dist_err(
+                    "sketches partial does not match the attribute list",
+                ));
+            }
+            for (acc, sketch) in folded.iter_mut().zip(sketches) {
+                acc.merge(&sketch_from_json(sketch).map_err(dist_err)?);
+            }
+        }
+        Ok(attributes
+            .iter()
+            .map(|&a| a.to_string())
+            .zip(folded)
+            .collect())
+    }
+
+    /// Scatter the contingency-table counts of every candidate-map pair and
+    /// sum them cell-wise (exact integer adds across segments).
+    fn fetch_pair_counts(&self, maps: &[atlas_core::DataMap]) -> Result<PairCounts, AtlasError> {
+        let map_sqls: Vec<Json> = maps
+            .iter()
+            .map(|map| {
+                Json::array(
+                    map.regions
+                        .iter()
+                        .map(|region| Json::from(to_sql(&region.query)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let partials = self.scatter("/shard/contingency", |segments| {
+            Json::object(vec![
+                ("dataset", Json::from(self.dataset.as_str())),
+                ("maps", Json::array(map_sqls.clone())),
+                (
+                    "segments",
+                    Json::array(segments.iter().map(|&s| Json::from(s)).collect()),
+                ),
+            ])
+        })?;
+        let mut folded: HashMap<(usize, usize), (usize, usize, Vec<u64>)> = HashMap::new();
+        for partial in &partials {
+            for pair in get_items(partial, "pairs").map_err(dist_err)? {
+                let a = get_index(pair, "a").map_err(dist_err)?;
+                let b = get_index(pair, "b").map_err(dist_err)?;
+                let (rows, cols, counts) = contingency_from_json(pair).map_err(dist_err)?;
+                match folded.get_mut(&(a, b)) {
+                    None => {
+                        folded.insert((a, b), (rows, cols, counts));
+                    }
+                    Some((acc_rows, acc_cols, acc)) => {
+                        if (*acc_rows, *acc_cols) != (rows, cols) || acc.len() != counts.len() {
+                            return Err(dist_err(format!(
+                                "contingency dimensions of pair ({a}, {b}) differ across segments"
+                            )));
+                        }
+                        for (cell, add) in acc.iter_mut().zip(&counts) {
+                            *cell += add;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(folded)
+    }
+
+    /// Run one distributed exploration step.
+    ///
+    /// Bit-identical to [`atlas_core::Atlas::explore`] with the same table
+    /// and configuration (see the module docs); errors exactly like it on an
+    /// empty working set ([`AtlasError::EmptyWorkingSet`]) or when nothing
+    /// can be cut ([`AtlasError::NoCuttableAttributes`]), and with
+    /// [`AtlasError::Distributed`] when a shard misbehaves.
+    pub fn explore(&self, query: &ConjunctiveQuery) -> Result<MapResult, AtlasError> {
+        let total_start = Instant::now();
+        let mut query = query.clone();
+        if query.table.is_empty() {
+            query.table = self.dataset.clone();
+        }
+        let sql = to_sql(&query);
+
+        let phase = Instant::now();
+        let working = self.fetch_working(&sql)?;
+        let query_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let working_count = working.count();
+        if working_count == 0 {
+            return Err(AtlasError::EmptyWorkingSet);
+        }
+
+        // Candidate generation: folded stats + the shared CUT body over the
+        // scattering source.
+        let phase = Instant::now();
+        let covering = working_count == self.num_rows;
+        let summaries = self.fetch_summaries(&sql)?;
+        let names: Vec<String> = match &self.config.attributes {
+            Some(list) => list.clone(),
+            None => self.fields.iter().map(|(name, _)| name.clone()).collect(),
+        };
+        // Prebuilt whole-table sketches are only consulted for covering
+        // working sets (the table-profile path of the local engine).
+        let sketches = match self.config.cut.numeric {
+            NumericCutStrategy::SketchMedian { epsilon } if covering => {
+                let numeric: Vec<&str> = names
+                    .iter()
+                    .filter(|name| {
+                        self.fields.iter().any(|(n, dtype)| {
+                            n == *name && matches!(dtype, DataType::Int | DataType::Float)
+                        })
+                    })
+                    .map(String::as_str)
+                    .collect();
+                self.fetch_sketches(&numeric, epsilon)?
+            }
+            _ => HashMap::new(),
+        };
+        let source = RemoteSource {
+            coordinator: self,
+            sql: &sql,
+        };
+        let mut maps = Vec::new();
+        let mut skipped = Vec::new();
+        for name in &names {
+            let stats = self.stats_of(&summaries, name)?;
+            let sketch = sketches.get(name.as_str());
+            match cut_from_source(&source, &query, name, &self.config.cut, &stats, sketch)? {
+                Some(map) => maps.push(map),
+                None => skipped.push(name.clone()),
+            }
+        }
+        let candidates_ms = phase.elapsed().as_secs_f64() * 1e3;
+        if maps.is_empty() {
+            return Err(AtlasError::NoCuttableAttributes);
+        }
+
+        // Distances from segment-summed contingency tables, then the
+        // engine's own clustering.
+        let phase = Instant::now();
+        let mut matrix = DistanceMatrix::zeros(maps.len());
+        if maps.len() > 1 {
+            let mut pair_counts = self.fetch_pair_counts(&maps)?;
+            for i in 0..maps.len() {
+                for j in (i + 1)..maps.len() {
+                    let (rows, cols, counts) = pair_counts.remove(&(i, j)).ok_or_else(|| {
+                        dist_err(format!("no contingency counts for pair ({i}, {j})"))
+                    })?;
+                    if rows != maps[i].num_regions() || cols != maps[j].num_regions() {
+                        return Err(dist_err(format!(
+                            "contingency of pair ({i}, {j}) is {rows}x{cols}, maps have {}x{} regions",
+                            maps[i].num_regions(),
+                            maps[j].num_regions()
+                        )));
+                    }
+                    let table = ContingencyTable::from_counts(rows, cols, counts);
+                    matrix.set(i, j, metric_of(&table, self.config.distance));
+                }
+            }
+        }
+        let clusters = cluster_maps_with_pool(&matrix, &self.config.clustering, &self.pool)?;
+        let clustering_ms = phase.elapsed().as_secs_f64() * 1e3;
+
+        // Product merge + region cap, the engine's own code on local data.
+        let phase = Instant::now();
+        let products = self.pool.par_map(&clusters, |cluster| {
+            let members: Vec<atlas_core::DataMap> =
+                cluster.iter().map(|&idx| maps[idx].clone()).collect();
+            product_maps(&members, self.config.drop_empty_regions)
+        });
+        let mut merged = Vec::with_capacity(products.len());
+        for product in products.into_iter().flatten() {
+            merged.push(enforce_region_cap(
+                product,
+                self.config.max_regions_per_map,
+                self.num_rows,
+            ));
+        }
+        let merge_ms = phase.elapsed().as_secs_f64() * 1e3;
+
+        let phase = Instant::now();
+        let mut ranked = rank_maps(merged);
+        ranked.truncate(self.config.max_maps);
+        let rank_ms = phase.elapsed().as_secs_f64() * 1e3;
+
+        Ok(MapResult {
+            maps: ranked,
+            working_set_size: working_count,
+            working_set: working,
+            skipped_attributes: skipped,
+            timings: PhaseTimings {
+                query_ms,
+                candidates_ms,
+                clustering_ms,
+                merge_ms,
+                rank_ms,
+                total_ms: total_start.elapsed().as_secs_f64() * 1e3,
+            },
+        })
+    }
+
+    /// The folded [`ColumnStats`] of one attribute (errors on attributes the
+    /// schema does not know, like the local path does).
+    fn stats_of(
+        &self,
+        summaries: &[ColumnSummary],
+        attribute: &str,
+    ) -> Result<ColumnStats, AtlasError> {
+        let idx = self
+            .fields
+            .iter()
+            .position(|(name, _)| name == attribute)
+            .ok_or_else(|| dist_err(format!("unknown attribute '{attribute}'")))?;
+        Ok(summaries[idx].to_stats())
+    }
+
+    fn field_type(&self, attribute: &str) -> Result<DataType, AtlasError> {
+        self.fields
+            .iter()
+            .find(|(name, _)| name == attribute)
+            .map(|(_, dtype)| *dtype)
+            .ok_or_else(|| dist_err(format!("unknown attribute '{attribute}'")))
+    }
+
+    /// Scatter one region-partition kernel (`select_ranges` or
+    /// `select_in_groups`) and fold the per-segment region bitmaps into
+    /// table-wide ones.
+    fn fetch_regions(
+        &self,
+        sql: &str,
+        attribute: &str,
+        rest: Vec<(&str, Json)>,
+        expected: usize,
+    ) -> Result<Vec<Bitmap>, AtlasError> {
+        let partials = self.scatter("/shard/select", |segments| {
+            let mut extra = vec![("attribute", Json::from(attribute))];
+            extra.extend(rest.iter().map(|(k, v)| (*k, v.clone())));
+            self.data_body(sql, segments, extra)
+        })?;
+        let mut folded: Vec<Bitmap> = (0..expected)
+            .map(|_| Bitmap::new_empty(self.num_rows))
+            .collect();
+        for (segment, partial) in partials.iter().enumerate() {
+            let regions = get_items(partial, "regions").map_err(dist_err)?;
+            if regions.len() != expected {
+                return Err(dist_err(format!(
+                    "segment {segment} answered {} regions, expected {expected}",
+                    regions.len()
+                )));
+            }
+            for (acc, region) in folded.iter_mut().zip(regions) {
+                let bitmap = bitmap_from_json(region).map_err(dist_err)?;
+                if bitmap.len() != self.segment_rows[segment] {
+                    return Err(dist_err(format!(
+                        "segment {segment} region bitmap has the wrong length"
+                    )));
+                }
+                acc.or_shifted(&bitmap, self.segment_offsets[segment]);
+            }
+        }
+        Ok(folded)
+    }
+}
+
+/// The scattering [`CutSource`]: every kernel of the shared `CUT` body
+/// ([`atlas_core::cut_from_source`]) becomes one scatter round whose
+/// per-segment answers fold — in ascending global segment order — into
+/// exactly what the in-process [`atlas_core::TableCutSource`] computes.
+struct RemoteSource<'a> {
+    coordinator: &'a Coordinator,
+    /// The working-set SQL every kernel re-evaluates shard-side.
+    sql: &'a str,
+}
+
+impl CutSource for RemoteSource<'_> {
+    fn data_type(&self, attribute: &str) -> Result<DataType, AtlasError> {
+        self.coordinator.field_type(attribute)
+    }
+
+    fn numeric_values(&self, attribute: &str) -> Result<Vec<f64>, AtlasError> {
+        let partials = self.coordinator.scatter("/shard/values", |segments| {
+            self.coordinator.data_body(
+                self.sql,
+                segments,
+                vec![("attribute", Json::from(attribute))],
+            )
+        })?;
+        let mut values = Vec::new();
+        for partial in &partials {
+            values.extend(
+                parse_hex_f64s(get_str(partial, "values").map_err(dist_err)?).map_err(dist_err)?,
+            );
+        }
+        Ok(values)
+    }
+
+    fn select_ranges(
+        &self,
+        attribute: &str,
+        bounds: &[(f64, f64)],
+    ) -> Result<Vec<Bitmap>, AtlasError> {
+        let flat: Vec<f64> = bounds.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
+        self.coordinator.fetch_regions(
+            self.sql,
+            attribute,
+            vec![
+                ("kind", Json::from("ranges")),
+                ("bounds", Json::from(hex_f64s(&flat))),
+            ],
+            bounds.len(),
+        )
+    }
+
+    fn categories_by_frequency(&self, attribute: &str) -> Result<Vec<(String, usize)>, AtlasError> {
+        let partials = self.fetch_categories(attribute)?;
+        let mut folded: Vec<(String, usize)> = Vec::new();
+        for (counts, _) in &partials {
+            merge_category_counts(&mut folded, counts);
+        }
+        Ok(rank_categories_by_frequency(folded))
+    }
+
+    fn dictionary(&self, attribute: &str) -> Result<Vec<String>, AtlasError> {
+        let partials = self.fetch_categories(attribute)?;
+        let mut dictionary: Vec<String> = Vec::new();
+        for (_, segment_dictionary) in partials {
+            for value in segment_dictionary {
+                if !dictionary.contains(&value) {
+                    dictionary.push(value);
+                }
+            }
+        }
+        Ok(dictionary)
+    }
+
+    fn select_in_groups(
+        &self,
+        attribute: &str,
+        groups: &[Vec<String>],
+    ) -> Result<Vec<Bitmap>, AtlasError> {
+        let groups_json = Json::array(
+            groups
+                .iter()
+                .map(|group| Json::array(group.iter().map(|v| Json::from(v.as_str())).collect()))
+                .collect(),
+        );
+        self.coordinator.fetch_regions(
+            self.sql,
+            attribute,
+            vec![("kind", Json::from("groups")), ("groups", groups_json)],
+            groups.len(),
+        )
+    }
+}
+
+impl RemoteSource<'_> {
+    /// Scatter `/shard/categories`: per segment, the zero-inclusive category
+    /// counts (first-appearance order) and the segment dictionary.
+    #[allow(clippy::type_complexity)]
+    fn fetch_categories(
+        &self,
+        attribute: &str,
+    ) -> Result<Vec<(Vec<(String, usize)>, Vec<String>)>, AtlasError> {
+        let partials = self.coordinator.scatter("/shard/categories", |segments| {
+            self.coordinator.data_body(
+                self.sql,
+                segments,
+                vec![("attribute", Json::from(attribute))],
+            )
+        })?;
+        partials
+            .iter()
+            .map(|partial| {
+                let counts = get_items(partial, "counts")
+                    .map_err(dist_err)?
+                    .iter()
+                    .map(|pair| {
+                        let items = pair
+                            .items()
+                            .filter(|items| items.len() == 2)
+                            .ok_or_else(|| dist_err("category count is not a pair"))?;
+                        let value = items[0]
+                            .str()
+                            .ok_or_else(|| dist_err("category value is not a string"))?;
+                        let count = items[1]
+                            .index()
+                            .ok_or_else(|| dist_err("category count is not integral"))?;
+                        Ok((value.to_string(), count))
+                    })
+                    .collect::<Result<Vec<_>, AtlasError>>()?;
+                let dictionary = get_items(partial, "dictionary")
+                    .map_err(dist_err)?
+                    .iter()
+                    .map(|v| {
+                        v.str()
+                            .map(String::from)
+                            .ok_or_else(|| dist_err("dictionary value is not a string"))
+                    })
+                    .collect::<Result<Vec<_>, AtlasError>>()?;
+                Ok((counts, dictionary))
+            })
+            .collect()
+    }
+}

@@ -41,14 +41,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod distributed;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod sessions;
+mod shard;
 pub mod wire;
 
 pub use client::Client;
+pub use distributed::{Coordinator, CoordinatorMetrics};
 pub use metrics::ServerMetrics;
 pub use registry::{DatasetOptions, Registry};
 pub use server::{ServeConfig, Server, ServerHandle};

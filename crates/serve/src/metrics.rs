@@ -42,12 +42,32 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `POST /shard/meta`
+    ShardMeta,
+    /// `POST /shard/working`
+    ShardWorking,
+    /// `POST /shard/summaries`
+    ShardSummaries,
+    /// `POST /shard/sketches`
+    ShardSketches,
+    /// `POST /shard/values`
+    ShardValues,
+    /// `POST /shard/categories`
+    ShardCategories,
+    /// `POST /shard/select`
+    ShardSelect,
+    /// `POST /shard/contingency`
+    ShardContingency,
+    /// `POST /shard/inject`
+    ShardInject,
+    /// `POST /distributed/explore`
+    DistExplore,
     /// Anything else (404s, bad paths).
     Other,
 }
 
 /// All endpoints, in reporting order.
-pub const ENDPOINTS: [Endpoint; 11] = [
+pub const ENDPOINTS: [Endpoint; 21] = [
     Endpoint::CreateSession,
     Endpoint::Explore,
     Endpoint::Drill,
@@ -58,6 +78,16 @@ pub const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::AppendRows,
     Endpoint::Healthz,
     Endpoint::Metrics,
+    Endpoint::ShardMeta,
+    Endpoint::ShardWorking,
+    Endpoint::ShardSummaries,
+    Endpoint::ShardSketches,
+    Endpoint::ShardValues,
+    Endpoint::ShardCategories,
+    Endpoint::ShardSelect,
+    Endpoint::ShardContingency,
+    Endpoint::ShardInject,
+    Endpoint::DistExplore,
     Endpoint::Other,
 ];
 
@@ -75,6 +105,16 @@ impl Endpoint {
             Endpoint::AppendRows => "append_rows",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::ShardMeta => "shard_meta",
+            Endpoint::ShardWorking => "shard_working",
+            Endpoint::ShardSummaries => "shard_summaries",
+            Endpoint::ShardSketches => "shard_sketches",
+            Endpoint::ShardValues => "shard_values",
+            Endpoint::ShardCategories => "shard_categories",
+            Endpoint::ShardSelect => "shard_select",
+            Endpoint::ShardContingency => "shard_contingency",
+            Endpoint::ShardInject => "shard_inject",
+            Endpoint::DistExplore => "dist_explore",
             Endpoint::Other => "other",
         }
     }

@@ -28,6 +28,7 @@
 //! `4xx` when [`atlas_core::AtlasError::is_user_error`] holds and `5xx`
 //! otherwise.
 
+use crate::distributed::Coordinator;
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::{Endpoint, ServerMetrics};
 use crate::registry::{Dataset, Registry};
@@ -36,7 +37,7 @@ use crate::wire::{self, Json};
 use atlas_core::{AtlasError, MapResult};
 use atlas_explorer::Session;
 use atlas_query::{parse_query, to_compact, to_sql};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -77,6 +78,12 @@ pub struct ServeConfig {
     /// discarded beyond this, so one long-lived session cannot grow server
     /// memory without bound).
     pub max_history_depth: usize,
+    /// Shard servers (`host:port`) this server coordinates over for
+    /// `POST /distributed/explore`. Empty means the endpoint answers `400`.
+    pub shards: Vec<String>,
+    /// Per-shard request timeout for distributed exploration; a timed-out or
+    /// failed request is retried exactly once before the explore fails.
+    pub shard_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +97,8 @@ impl Default for ServeConfig {
             session_ttl: Duration::from_secs(15 * 60),
             max_sessions: 1024,
             max_history_depth: 256,
+            shards: Vec::new(),
+            shard_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -129,6 +138,11 @@ struct Shared {
     shutdown: AtomicBool,
     connections: ConnectionQueue,
     in_flight: AtomicUsize,
+    shard: crate::shard::ShardState,
+    /// Per-dataset scatter-gather coordinators, connected lazily on the
+    /// first `/distributed/explore` request and re-connected when the
+    /// dataset generation moves (always empty when `config.shards` is).
+    coordinators: Mutex<HashMap<String, (usize, Arc<Coordinator>)>>,
 }
 
 impl Shared {
@@ -180,6 +194,8 @@ impl Server {
             in_flight: AtomicUsize::new(0),
             registry,
             config: config.clone(),
+            shard: crate::shard::ShardState::default(),
+            coordinators: Mutex::new(HashMap::new()),
         });
 
         let workers = (0..config.threads.max(1))
@@ -427,11 +443,11 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 
 /// Map an engine error onto the wire: `4xx` for the caller's mistakes, `5xx`
 /// for the engine's.
-fn error_response(error: &AtlasError) -> Response {
+pub(crate) fn error_response(error: &AtlasError) -> Response {
     let status = match error {
         AtlasError::Query(_) | AtlasError::InvalidConfig(_) => 400,
         AtlasError::EmptyWorkingSet | AtlasError::NoCuttableAttributes => 422,
-        AtlasError::Columnar(_) => 500,
+        AtlasError::Columnar(_) | AtlasError::Distributed(_) => 500,
     };
     debug_assert_eq!(status < 500, error.is_user_error());
     Response::error(status, error.to_string())
@@ -455,7 +471,22 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
         ("POST", ["sessions", token, "back"]) => (Endpoint::Back, back(shared, token)),
         ("GET", ["sessions", token, "history"]) => (Endpoint::History, history(shared, token)),
         ("DELETE", ["sessions", token]) => (Endpoint::DeleteSession, delete_session(shared, token)),
-        (_, ["healthz" | "metrics" | "datasets"]) | (_, ["sessions", ..]) => (
+        ("POST", ["shard", action]) => match crate::shard::endpoint_of(action) {
+            Some(endpoint) => (
+                endpoint,
+                crate::shard::handle(&shared.registry, &shared.shard, endpoint, request),
+            ),
+            None => (
+                Endpoint::Other,
+                Response::error(404, format!("no shard endpoint '{action}'")),
+            ),
+        },
+        ("POST", ["distributed", "explore"]) => {
+            (Endpoint::DistExplore, distributed_explore(shared, request))
+        }
+        (_, ["healthz" | "metrics" | "datasets"])
+        | (_, ["sessions", ..])
+        | (_, ["shard", ..] | ["distributed", ..]) => (
             Endpoint::Other,
             Response::error(405, format!("method {method} not allowed here")),
         ),
@@ -489,7 +520,7 @@ fn healthz(shared: &Shared) -> Response {
 
 fn metrics(shared: &Shared) -> Response {
     let sessions = shared.sessions.counters();
-    let extra = vec![
+    let mut extra = vec![
         (
             "sessions".to_string(),
             Json::object(vec![
@@ -520,6 +551,19 @@ fn metrics(shared: &Shared) -> Response {
             ),
         ),
     ];
+    let coordinators = match shared.coordinators.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !coordinators.is_empty() {
+        let mut entries: Vec<(String, Json)> = coordinators
+            .iter()
+            .map(|(dataset, (_, coordinator))| (dataset.clone(), coordinator.metrics().snapshot()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        extra.push(("distributed".to_string(), Json::object(entries)));
+    }
+    drop(coordinators);
     Response::json(200, &shared.metrics.snapshot(extra))
 }
 
@@ -561,6 +605,95 @@ fn append_rows(shared: &Shared, name: &str, request: &Request) -> Response {
                 ("generation", Json::from(outcome.generation)),
             ]),
         ),
+    }
+}
+
+/// `POST /distributed/explore`: run one scatter-gather exploration over the
+/// configured shard servers. The body is conjunctive SQL, or a JSON envelope
+/// `{"sql": …, "dataset": …}`; the local dataset entry supplies the engine
+/// configuration (the shards hold the rows). Coordinators are cached per
+/// dataset and re-connected when the dataset generation moves.
+fn distributed_explore(shared: &Shared, request: &Request) -> Response {
+    if shared.config.shards.is_empty() {
+        return Response::error(
+            400,
+            "this server coordinates no shards; start it with --shards host:port,…",
+        );
+    }
+    let Some(body) = request.body_text() else {
+        return Response::error(400, "body must be UTF-8 text");
+    };
+    let (sql, requested) = match wire::parse(body) {
+        Ok(json) => match json.get("sql").and_then(|s| s.str()) {
+            Some(sql) => (
+                sql.to_string(),
+                json.get("dataset").and_then(|d| d.str()).map(String::from),
+            ),
+            None => return Response::error(400, "JSON body must carry a \"sql\" member"),
+        },
+        Err(_) => (body.to_string(), None),
+    };
+    if sql.trim().is_empty() {
+        return Response::error(400, "empty query; send conjunctive SQL");
+    }
+    let dataset = match &requested {
+        Some(name) => match shared.registry.get(name) {
+            Some(dataset) => dataset,
+            None => return Response::error(404, format!("no dataset named '{name}'")),
+        },
+        None => {
+            let datasets = shared.registry.datasets();
+            if datasets.len() == 1 {
+                &datasets[0]
+            } else {
+                return Response::error(
+                    400,
+                    "several datasets are served; pass {\"dataset\": name}",
+                );
+            }
+        }
+    };
+    let (engine, generation) = dataset.snapshot();
+    let coordinator = {
+        let mut coordinators = match shared.coordinators.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match coordinators.get(dataset.name()) {
+            Some((cached_generation, coordinator)) if *cached_generation == generation => {
+                Arc::clone(coordinator)
+            }
+            _ => {
+                let connected = Coordinator::connect(
+                    &shared.config.shards,
+                    dataset.name(),
+                    engine.config().clone(),
+                    shared.config.shard_timeout,
+                );
+                match connected {
+                    Ok(coordinator) => {
+                        let coordinator = Arc::new(coordinator);
+                        coordinators.insert(
+                            dataset.name().to_string(),
+                            (generation, Arc::clone(&coordinator)),
+                        );
+                        coordinator
+                    }
+                    Err(error) => return error_response(&error),
+                }
+            }
+        }
+    };
+    let mut query = match parse_query(&sql) {
+        Ok(query) => query,
+        Err(error) => return Response::error(400, format!("query error: {error}")),
+    };
+    if query.table.is_empty() {
+        query.table = dataset.name().to_string();
+    }
+    match coordinator.explore(&query) {
+        Ok(result) => Response::json(200, &map_result_json(dataset.name(), &result, false, 1)),
+        Err(error) => error_response(&error),
     }
 }
 

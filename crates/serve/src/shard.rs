@@ -1,0 +1,552 @@
+//! The shard role of distributed exploration: push-down work over a segment
+//! subset.
+//!
+//! A shard server is an ordinary `atlas-serve` process; every server answers
+//! the `POST /shard/*` endpoints. The coordinator assigns each shard a set of
+//! **global segment indices** and pushes the row-touching work of an explore
+//! down to them: working-set evaluation, per-column summaries, quantile
+//! sketches, numeric value runs, category counts, region partitioning, and
+//! contingency-table counting. Every answer is **per segment**, so the
+//! coordinator can fold partials in ascending global segment order and obtain
+//! bit-identical results no matter how segments were assigned to shards.
+//!
+//! Shards are stateless with respect to the partitioning: requests carry the
+//! segment indices and the (restricted SQL) queries, and the shard evaluates
+//! them against cached single-segment views of its registry datasets. The
+//! cache is keyed by dataset generation, so appends invalidate it naturally.
+//!
+//! `POST /shard/inject` is a fault-injection hook for tests: it delays the
+//! next N shard answers by a fixed amount, which is how the suite exercises
+//! the coordinator's timeout-and-retry path without real packet loss.
+
+use crate::http::{Request, Response};
+use crate::metrics::Endpoint;
+use crate::registry::{Dataset, Registry};
+use crate::wire::frames::{
+    bitmap_to_json, contingency_to_json, get_items, get_str, hex_f64s, parse_hex_f64,
+    parse_hex_f64s, sketch_to_json, summary_to_json,
+};
+use crate::wire::{self, Json};
+use atlas_columnar::{Bitmap, DataType, Table};
+use atlas_core::AtlasError;
+use atlas_query::{parse_query, ConjunctiveQuery};
+use atlas_stats::{ContingencyTable, GkSketch};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Per-server shard state: the single-segment table cache plus the
+/// fault-injection knob.
+#[derive(Default)]
+pub(crate) struct ShardState {
+    /// dataset name → (generation, one single-segment table per global
+    /// segment, in segment order).
+    tables: Mutex<HashMap<String, SegmentTables>>,
+    inject: Mutex<InjectState>,
+}
+
+/// One dataset's cached push-down view: the generation it was built from
+/// and one single-segment table per global segment, in segment order.
+type SegmentTables = (usize, Arc<Vec<Arc<Table>>>);
+
+#[derive(Default)]
+struct InjectState {
+    delay_ms: u64,
+    times: u64,
+}
+
+impl ShardState {
+    /// Apply the fault-injection delay, if armed: each armed "time" delays
+    /// exactly one data answer.
+    fn maybe_delay(&self) {
+        let delay_ms = {
+            let mut inject = match self.inject.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if inject.times > 0 {
+                inject.times -= 1;
+                inject.delay_ms
+            } else {
+                0
+            }
+        };
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+    }
+
+    /// The dataset's segments as cached single-segment tables (one per global
+    /// segment, named after the dataset so shipped queries parse against
+    /// them), rebuilt when the dataset generation moves.
+    fn segment_tables(&self, dataset: &Dataset) -> Result<Arc<Vec<Arc<Table>>>, AtlasError> {
+        let (engine, generation) = dataset.snapshot();
+        let mut cache = match self.tables.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some((cached_generation, tables)) = cache.get(dataset.name()) {
+            if *cached_generation == generation {
+                return Ok(Arc::clone(tables));
+            }
+        }
+        let table = engine.table();
+        let tables: Vec<Arc<Table>> = table
+            .segments()
+            .iter()
+            .map(|segment| {
+                Table::from_segments(
+                    dataset.name(),
+                    table.schema().clone(),
+                    vec![Arc::clone(segment)],
+                )
+                .map(Arc::new)
+                .map_err(AtlasError::from)
+            })
+            .collect::<Result<_, _>>()?;
+        let tables = Arc::new(tables);
+        cache.insert(
+            dataset.name().to_string(),
+            (generation, Arc::clone(&tables)),
+        );
+        Ok(tables)
+    }
+}
+
+/// The `Endpoint` of a `/shard/<action>` path segment.
+pub(crate) fn endpoint_of(action: &str) -> Option<Endpoint> {
+    Some(match action {
+        "meta" => Endpoint::ShardMeta,
+        "working" => Endpoint::ShardWorking,
+        "summaries" => Endpoint::ShardSummaries,
+        "sketches" => Endpoint::ShardSketches,
+        "values" => Endpoint::ShardValues,
+        "categories" => Endpoint::ShardCategories,
+        "select" => Endpoint::ShardSelect,
+        "contingency" => Endpoint::ShardContingency,
+        "inject" => Endpoint::ShardInject,
+        _ => return None,
+    })
+}
+
+/// Serve one shard endpoint.
+pub(crate) fn handle(
+    registry: &Registry,
+    state: &ShardState,
+    endpoint: Endpoint,
+    request: &Request,
+) -> Response {
+    let body = match request.body_text() {
+        Some(text) if !text.trim().is_empty() => match wire::parse(text) {
+            Ok(json) => json,
+            Err(error) => return Response::error(400, error.to_string()),
+        },
+        _ => Json::object(Vec::<(String, Json)>::new()),
+    };
+    if endpoint == Endpoint::ShardInject {
+        return inject(state, &body);
+    }
+    state.maybe_delay();
+    let dataset = match resolve_dataset(registry, &body) {
+        Ok(dataset) => dataset,
+        Err(response) => return response,
+    };
+    if endpoint == Endpoint::ShardMeta {
+        return meta(dataset);
+    }
+    let tables = match state.segment_tables(dataset) {
+        Ok(tables) => tables,
+        Err(error) => return crate::server::error_response(&error),
+    };
+    let run = match endpoint {
+        Endpoint::ShardWorking => working(&tables, &body),
+        Endpoint::ShardSummaries => summaries(&tables, &body),
+        Endpoint::ShardSketches => sketches(&tables, &body),
+        Endpoint::ShardValues => values(&tables, &body),
+        Endpoint::ShardCategories => categories(&tables, &body),
+        Endpoint::ShardSelect => select(&tables, &body),
+        Endpoint::ShardContingency => contingency(&tables, &body),
+        _ => return Response::error(404, "unknown shard endpoint"),
+    };
+    match run {
+        Ok(response) => response,
+        Err(Fail::Frame(message)) => Response::error(400, message),
+        Err(Fail::Engine(error)) => crate::server::error_response(&error),
+    }
+}
+
+/// Why a shard request failed: a malformed frame (the coordinator's fault,
+/// `400`) or an engine error while computing the answer.
+enum Fail {
+    Frame(String),
+    Engine(AtlasError),
+}
+
+impl From<String> for Fail {
+    fn from(message: String) -> Fail {
+        Fail::Frame(message)
+    }
+}
+
+impl From<AtlasError> for Fail {
+    fn from(error: AtlasError) -> Fail {
+        Fail::Engine(error)
+    }
+}
+
+fn resolve_dataset<'a>(registry: &'a Registry, body: &Json) -> Result<&'a Dataset, Response> {
+    match body.get("dataset").and_then(Json::str) {
+        Some(name) => registry
+            .get(name)
+            .ok_or_else(|| Response::error(404, format!("no dataset named '{name}'"))),
+        None => {
+            let datasets = registry.datasets();
+            if datasets.len() == 1 {
+                Ok(&datasets[0])
+            } else {
+                Err(Response::error(
+                    400,
+                    "several datasets are served; pass {\"dataset\": name}",
+                ))
+            }
+        }
+    }
+}
+
+fn inject(state: &ShardState, body: &Json) -> Response {
+    let delay_ms = body.get("delay_ms").and_then(Json::index).unwrap_or(0) as u64;
+    let times = body.get("times").and_then(Json::index).unwrap_or(0) as u64;
+    let mut inject = match state.inject.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    inject.delay_ms = delay_ms;
+    inject.times = times;
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("delay_ms", Json::from(delay_ms)),
+            ("times", Json::from(times)),
+        ]),
+    )
+}
+
+fn meta(dataset: &Dataset) -> Response {
+    let (engine, generation) = dataset.snapshot();
+    let table = engine.table();
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("dataset", Json::from(dataset.name())),
+            ("generation", Json::from(generation)),
+            ("num_rows", Json::from(table.num_rows())),
+            (
+                "segments",
+                Json::array(
+                    table
+                        .segments()
+                        .iter()
+                        .map(|s| Json::from(s.num_rows()))
+                        .collect(),
+                ),
+            ),
+            (
+                "fields",
+                Json::array(
+                    table
+                        .schema()
+                        .fields()
+                        .iter()
+                        .map(|f| {
+                            Json::object(vec![
+                                ("name", Json::from(f.name.as_str())),
+                                ("dtype", Json::from(f.dtype.name())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+}
+
+/// The common preamble of the data endpoints: the parsed query plus the
+/// requested global segment indices, validated against the segment count.
+fn query_and_segments(
+    tables: &[Arc<Table>],
+    body: &Json,
+) -> Result<(ConjunctiveQuery, Vec<usize>), Fail> {
+    let sql = get_str(body, "sql")?;
+    let query = parse_query(sql).map_err(AtlasError::from)?;
+    let segments = segment_list(tables, body)?;
+    Ok((query, segments))
+}
+
+fn segment_list(tables: &[Arc<Table>], body: &Json) -> Result<Vec<usize>, Fail> {
+    let items = get_items(body, "segments")?;
+    items
+        .iter()
+        .map(|item| {
+            let idx = item
+                .index()
+                .ok_or_else(|| "non-integral segment index".to_string())?;
+            if idx >= tables.len() {
+                return Err(Fail::Frame(format!(
+                    "segment {idx} out of range (dataset has {})",
+                    tables.len()
+                )));
+            }
+            Ok(idx)
+        })
+        .collect()
+}
+
+/// Evaluate the shipped query on one single-segment table: the bitmap of the
+/// working set's rows restricted to that segment, in segment-local indices.
+fn local_working(query: &ConjunctiveQuery, table: &Table) -> Result<Bitmap, AtlasError> {
+    Ok(atlas_query::evaluate(query, table)?)
+}
+
+fn partials_response(partials: Vec<Json>) -> Response {
+    Response::json(
+        200,
+        &Json::object(vec![("partials", Json::array(partials))]),
+    )
+}
+
+fn working(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let (query, segments) = query_and_segments(tables, body)?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let local = local_working(&query, &tables[seg])?;
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            ("count", Json::from(local.count())),
+            ("bitmap", bitmap_to_json(&local)),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn summaries(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let (query, segments) = query_and_segments(tables, body)?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        let local = local_working(&query, table)?;
+        let columns = table
+            .schema()
+            .fields()
+            .iter()
+            .map(|field| {
+                let view = table.column(&field.name).map_err(AtlasError::from)?;
+                Ok(summary_to_json(&view.summary(&local).to_parts()))
+            })
+            .collect::<Result<Vec<_>, Fail>>()?;
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            ("columns", Json::array(columns)),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn sketches(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let epsilon = parse_hex_f64(get_str(body, "epsilon")?)?;
+    if !(epsilon > 0.0 && epsilon < 0.5) {
+        return Err(Fail::Frame(format!(
+            "sketch epsilon must be a finite value in (0, 0.5), got {epsilon}"
+        )));
+    }
+    let attributes: Vec<&str> = get_items(body, "attributes")?
+        .iter()
+        .map(|a| a.str().ok_or_else(|| "non-string attribute".to_string()))
+        .collect::<Result<_, _>>()?;
+    let segments = segment_list(tables, body)?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        // Profile sketches cover the **whole** segment (they are only ever
+        // consulted for working sets that cover the table).
+        let full = Bitmap::new_full(table.num_rows());
+        let sketches = attributes
+            .iter()
+            .map(|attribute| {
+                let view = table.column(attribute).map_err(AtlasError::from)?;
+                if !matches!(view.data_type(), DataType::Int | DataType::Float) {
+                    return Err(Fail::Frame(format!(
+                        "attribute '{attribute}' is not numeric"
+                    )));
+                }
+                let mut sketch = GkSketch::new(epsilon);
+                sketch.extend(&view.numeric_values_where(&full));
+                Ok(sketch_to_json(&sketch))
+            })
+            .collect::<Result<Vec<_>, Fail>>()?;
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            ("sketches", Json::array(sketches)),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn values(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let (query, segments) = query_and_segments(tables, body)?;
+    let attribute = get_str(body, "attribute")?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        let local = local_working(&query, table)?;
+        let view = table.column(attribute).map_err(AtlasError::from)?;
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            (
+                "values",
+                Json::from(hex_f64s(&view.numeric_values_where(&local))),
+            ),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn categories(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let (query, segments) = query_and_segments(tables, body)?;
+    let attribute = get_str(body, "attribute")?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        let local = local_working(&query, table)?;
+        let view = table.column(attribute).map_err(AtlasError::from)?;
+        let counts = view
+            .category_counts(&local)
+            .into_iter()
+            .map(|(value, count)| Json::array(vec![Json::from(value), Json::from(count)]))
+            .collect();
+        let dictionary = view
+            .dictionary()
+            .into_iter()
+            .map(Json::from)
+            .collect::<Vec<_>>();
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            ("counts", Json::array(counts)),
+            ("dictionary", Json::array(dictionary)),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn select(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let (query, segments) = query_and_segments(tables, body)?;
+    let attribute = get_str(body, "attribute")?;
+    enum Partition {
+        Ranges(Vec<(f64, f64)>),
+        Groups(Vec<Vec<String>>),
+    }
+    let partition = match get_str(body, "kind")? {
+        "ranges" => {
+            // Bounds travel as one hex run of (lo, hi) bit-pattern pairs.
+            let flat = parse_hex_f64s(get_str(body, "bounds")?)?;
+            if flat.len() % 2 != 0 {
+                return Err(Fail::Frame("odd number of range bounds".to_string()));
+            }
+            Partition::Ranges(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+        }
+        "groups" => {
+            let groups = get_items(body, "groups")?
+                .iter()
+                .map(|group| {
+                    group
+                        .items()
+                        .ok_or_else(|| "non-array value group".to_string())?
+                        .iter()
+                        .map(|v| {
+                            v.str()
+                                .map(String::from)
+                                .ok_or_else(|| "non-string group value".to_string())
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Partition::Groups(groups)
+        }
+        other => return Err(Fail::Frame(format!("unknown partition kind '{other}'"))),
+    };
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        let local = local_working(&query, table)?;
+        let view = table.column(attribute).map_err(AtlasError::from)?;
+        let regions = match &partition {
+            Partition::Ranges(bounds) => view.select_ranges(&local, bounds),
+            Partition::Groups(groups) => view.select_in_groups(&local, groups),
+        };
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            (
+                "regions",
+                Json::array(regions.iter().map(bitmap_to_json).collect()),
+            ),
+        ]));
+    }
+    Ok(partials_response(partials))
+}
+
+fn contingency(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
+    let maps: Vec<Vec<ConjunctiveQuery>> = get_items(body, "maps")?
+        .iter()
+        .map(|map| {
+            map.items()
+                .ok_or_else(|| "non-array map".to_string())?
+                .iter()
+                .map(|sql| {
+                    let sql = sql
+                        .str()
+                        .ok_or_else(|| "non-string region SQL".to_string())?;
+                    parse_query(sql).map_err(|e| Fail::Engine(e.into()))
+                })
+                .collect::<Result<Vec<_>, Fail>>()
+        })
+        .collect::<Result<_, Fail>>()?;
+    let segments = segment_list(tables, body)?;
+    let mut partials = Vec::with_capacity(segments.len());
+    for seg in segments {
+        let table = &tables[seg];
+        // Region selections restricted to this segment, rebuilt from the
+        // shipped region queries (region queries evaluate to exactly the
+        // kernel-computed extents — pinned by the cut-primitive tests).
+        let selections: Vec<Vec<Bitmap>> = maps
+            .iter()
+            .map(|regions| {
+                regions
+                    .iter()
+                    .map(|query| local_working(query, table))
+                    .collect::<Result<_, _>>()
+            })
+            .collect::<Result<_, AtlasError>>()?;
+        let mut pairs = Vec::new();
+        for i in 0..selections.len() {
+            for j in (i + 1)..selections.len() {
+                let rows: Vec<&Bitmap> = selections[i].iter().collect();
+                let cols: Vec<&Bitmap> = selections[j].iter().collect();
+                let partial = ContingencyTable::from_selections(&rows, &cols);
+                let mut members: Vec<(String, Json)> = vec![
+                    ("a".to_string(), Json::from(i)),
+                    ("b".to_string(), Json::from(j)),
+                ];
+                if let Json::Obj(fields) =
+                    contingency_to_json(partial.num_rows(), partial.num_cols(), partial.counts())
+                {
+                    members.extend(fields);
+                }
+                pairs.push(Json::object(members));
+            }
+        }
+        partials.push(Json::object(vec![
+            ("segment", Json::from(seg)),
+            ("pairs", Json::array(pairs)),
+        ]));
+    }
+    Ok(partials_response(partials))
+}

@@ -1,0 +1,508 @@
+//! The scatter-gather frames of distributed exploration.
+//!
+//! Everything the coordinator and the shard servers exchange beyond plain
+//! counts rides the codecs here. The design constraint is **bit-exactness**:
+//! a distributed explore must produce the same ranked maps — score bits,
+//! region SQL, tuple counts — as the in-process engine, so every
+//! floating-point value that participates in a fold (summary moments,
+//! sketch entries, split bounds) travels as its IEEE-754 **bit pattern** in
+//! fixed-width hex, never as a decimal rendering. Bulk payloads (bitmap
+//! words, numeric value runs, contingency counts) are single concatenated
+//! hex strings: dense, allocation-friendly, and immune to JSON number
+//! precision limits (`u64` counts above 2⁵³ survive).
+//!
+//! Decoding is defensive — these frames cross sockets. Every accessor
+//! returns `Result<_, String>` with a field-naming message; truncated hex
+//! runs, wrong-width chunks, unknown type names, and non-finite values in
+//! fields that must be finite (a sketch ε, a region bound) are rejected, not
+//! propagated.
+
+use crate::wire::Json;
+use atlas_columnar::{Bitmap, DataType, DistinctValues, SummaryParts};
+use atlas_stats::GkSketch;
+
+/// Encode an `f64` as its 16-hex-digit IEEE-754 bit pattern.
+pub fn hex_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Decode a 16-hex-digit bit pattern back into the exact `f64`.
+pub fn parse_hex_f64(text: &str) -> Result<f64, String> {
+    if text.len() != 16 {
+        return Err(format!(
+            "expected 16 hex digits for an f64 bit pattern, got {}",
+            text.len()
+        ));
+    }
+    u64::from_str_radix(text, 16)
+        .map(f64::from_bits)
+        .map_err(|_| "invalid hex in f64 bit pattern".to_string())
+}
+
+/// Encode a slice of `u64`s as one concatenated hex run (16 digits each).
+pub fn hex_u64s(values: &[u64]) -> String {
+    let mut out = String::with_capacity(values.len() * 16);
+    for v in values {
+        out.push_str(&format!("{v:016x}"));
+    }
+    out
+}
+
+/// Decode a concatenated hex run back into `u64`s. The run length must be a
+/// multiple of 16 — a truncated body is an error, never a silent short read.
+pub fn parse_hex_u64s(text: &str) -> Result<Vec<u64>, String> {
+    if !text.len().is_multiple_of(16) {
+        return Err(format!(
+            "hex run of {} digits is not a multiple of 16 (truncated body?)",
+            text.len()
+        ));
+    }
+    if !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err("hex run contains a non-hex character".to_string());
+    }
+    (0..text.len() / 16)
+        .map(|i| {
+            u64::from_str_radix(&text[i * 16..(i + 1) * 16], 16)
+                .map_err(|_| "invalid hex chunk".to_string())
+        })
+        .collect()
+}
+
+/// Encode a slice of `f64`s as one concatenated bit-pattern hex run.
+pub fn hex_f64s(values: &[f64]) -> String {
+    let mut out = String::with_capacity(values.len() * 16);
+    for v in values {
+        out.push_str(&hex_f64(*v));
+    }
+    out
+}
+
+/// Decode a concatenated bit-pattern hex run back into the exact `f64`s.
+pub fn parse_hex_f64s(text: &str) -> Result<Vec<f64>, String> {
+    Ok(parse_hex_u64s(text)?
+        .into_iter()
+        .map(f64::from_bits)
+        .collect())
+}
+
+/// Parse a [`DataType`] from its [`DataType::name`] rendering.
+pub fn dtype_from_name(name: &str) -> Result<DataType, String> {
+    match name {
+        "int" => Ok(DataType::Int),
+        "float" => Ok(DataType::Float),
+        "str" => Ok(DataType::Str),
+        "bool" => Ok(DataType::Bool),
+        other => Err(format!("unknown data type '{other}'")),
+    }
+}
+
+/// The string member `key` of `value`.
+pub fn get_str<'a>(value: &'a Json, key: &str) -> Result<&'a str, String> {
+    value
+        .get(key)
+        .and_then(Json::str)
+        .ok_or_else(|| format!("missing or non-string member \"{key}\""))
+}
+
+/// The numeric member `key` of `value`, as a `usize`.
+pub fn get_index(value: &Json, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(Json::index)
+        .ok_or_else(|| format!("missing or non-integral member \"{key}\""))
+}
+
+/// The array member `key` of `value`.
+pub fn get_items<'a>(value: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    value
+        .get(key)
+        .and_then(Json::items)
+        .ok_or_else(|| format!("missing or non-array member \"{key}\""))
+}
+
+/// Encode a selection bitmap: its length plus its backing words as hex.
+pub fn bitmap_to_json(bitmap: &Bitmap) -> Json {
+    Json::object(vec![
+        ("len", Json::from(bitmap.len())),
+        ("words", Json::from(hex_u64s(bitmap.words()))),
+    ])
+}
+
+/// Decode a selection bitmap. The word run must be exactly the length the
+/// declared bit count needs.
+pub fn bitmap_from_json(value: &Json) -> Result<Bitmap, String> {
+    let len = get_index(value, "len")?;
+    let words = parse_hex_u64s(get_str(value, "words")?)?;
+    if words.len() != len.div_ceil(64) {
+        return Err(format!(
+            "bitmap of {len} bits needs {} words, got {}",
+            len.div_ceil(64),
+            words.len()
+        ));
+    }
+    Ok(Bitmap::from_words(len, words))
+}
+
+/// Encode the mergeable parts of a column summary. Moments, min and max
+/// travel as bit patterns; distinct values by kind (`i64`s and float bit
+/// patterns as hex runs, strings and booleans natively).
+pub fn summary_to_json(parts: &SummaryParts) -> Json {
+    let distinct = match &parts.distinct {
+        DistinctValues::Ints(values) => {
+            let bits: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+            Json::object(vec![
+                ("kind", Json::from("ints")),
+                ("values", Json::from(hex_u64s(&bits))),
+            ])
+        }
+        DistinctValues::Floats(bits) => Json::object(vec![
+            ("kind", Json::from("floats")),
+            ("values", Json::from(hex_u64s(bits))),
+        ]),
+        DistinctValues::Strs(values) => Json::object(vec![
+            ("kind", Json::from("strs")),
+            (
+                "values",
+                Json::array(values.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+        ]),
+        DistinctValues::Bools { t, f } => Json::object(vec![
+            ("kind", Json::from("bools")),
+            ("t", Json::from(*t)),
+            ("f", Json::from(*f)),
+        ]),
+    };
+    Json::object(vec![
+        ("dtype", Json::from(parts.dtype.name())),
+        ("non_null", Json::from(parts.non_null)),
+        ("nulls", Json::from(parts.nulls)),
+        ("mean", Json::from(hex_f64(parts.mean))),
+        ("m2", Json::from(hex_f64(parts.m2))),
+        (
+            "min",
+            parts
+                .min
+                .map(|x| Json::from(hex_f64(x)))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "max",
+            parts
+                .max
+                .map(|x| Json::from(hex_f64(x)))
+                .unwrap_or(Json::Null),
+        ),
+        ("distinct", distinct),
+    ])
+}
+
+fn optional_hex_f64(value: &Json, key: &str) -> Result<Option<f64>, String> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(text)) => parse_hex_f64(text).map(Some),
+        Some(_) => Err(format!("member \"{key}\" must be a hex string or null")),
+    }
+}
+
+/// Decode column-summary parts produced by [`summary_to_json`].
+pub fn summary_from_json(value: &Json) -> Result<SummaryParts, String> {
+    let dtype = dtype_from_name(get_str(value, "dtype")?)?;
+    let distinct_json = value
+        .get("distinct")
+        .ok_or_else(|| "missing member \"distinct\"".to_string())?;
+    let distinct = match get_str(distinct_json, "kind")? {
+        "ints" => DistinctValues::Ints(
+            parse_hex_u64s(get_str(distinct_json, "values")?)?
+                .into_iter()
+                .map(|bits| bits as i64)
+                .collect(),
+        ),
+        "floats" => DistinctValues::Floats(parse_hex_u64s(get_str(distinct_json, "values")?)?),
+        "strs" => DistinctValues::Strs(
+            get_items(distinct_json, "values")?
+                .iter()
+                .map(|v| {
+                    v.str()
+                        .map(String::from)
+                        .ok_or_else(|| "non-string distinct value".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        "bools" => DistinctValues::Bools {
+            t: distinct_json
+                .get("t")
+                .and_then(Json::bool)
+                .ok_or_else(|| "missing boolean member \"t\"".to_string())?,
+            f: distinct_json
+                .get("f")
+                .and_then(Json::bool)
+                .ok_or_else(|| "missing boolean member \"f\"".to_string())?,
+        },
+        other => return Err(format!("unknown distinct kind '{other}'")),
+    };
+    Ok(SummaryParts {
+        dtype,
+        non_null: get_index(value, "non_null")?,
+        nulls: get_index(value, "nulls")?,
+        mean: parse_hex_f64(get_str(value, "mean")?)?,
+        m2: parse_hex_f64(get_str(value, "m2")?)?,
+        min: optional_hex_f64(value, "min")?,
+        max: optional_hex_f64(value, "max")?,
+        distinct,
+    })
+}
+
+/// Encode a quantile sketch: ε as a bit pattern, counters as plain numbers,
+/// entries as one hex run of 48-digit `(value bits, g, delta)` triples.
+pub fn sketch_to_json(sketch: &GkSketch) -> Json {
+    let (epsilon, count, since_compress, entries) = sketch.to_parts();
+    let mut run = String::with_capacity(entries.len() * 48);
+    for (value, g, delta) in &entries {
+        run.push_str(&hex_f64(*value));
+        run.push_str(&format!("{g:016x}{delta:016x}"));
+    }
+    Json::object(vec![
+        ("epsilon", Json::from(hex_f64(epsilon))),
+        ("count", Json::from(count)),
+        ("since_compress", Json::from(since_compress)),
+        ("entries", Json::from(run)),
+    ])
+}
+
+/// Decode a quantile sketch produced by [`sketch_to_json`]. A non-finite or
+/// out-of-range ε is rejected here: it would silently change every later
+/// compression decision.
+pub fn sketch_from_json(value: &Json) -> Result<GkSketch, String> {
+    let epsilon = parse_hex_f64(get_str(value, "epsilon")?)?;
+    if !(epsilon > 0.0 && epsilon < 0.5 && epsilon.is_finite()) {
+        return Err(format!(
+            "sketch epsilon must be a finite value in (0, 0.5), got {epsilon}"
+        ));
+    }
+    let count = get_index(value, "count")? as u64;
+    let since_compress = get_index(value, "since_compress")? as u64;
+    let words = parse_hex_u64s(get_str(value, "entries")?)?;
+    if !words.len().is_multiple_of(3) {
+        return Err("sketch entry run is not a multiple of 48 hex digits".to_string());
+    }
+    let entries = words
+        .chunks_exact(3)
+        .map(|chunk| (f64::from_bits(chunk[0]), chunk[1], chunk[2]))
+        .collect();
+    Ok(GkSketch::from_parts(
+        epsilon,
+        count,
+        since_compress,
+        entries,
+    ))
+}
+
+/// Encode one partial contingency table: dimensions plus the `u64` count
+/// matrix as a hex run (counts above 2⁵³ survive JSON intact this way).
+pub fn contingency_to_json(rows: usize, cols: usize, counts: &[u64]) -> Json {
+    Json::object(vec![
+        ("rows", Json::from(rows)),
+        ("cols", Json::from(cols)),
+        ("counts", Json::from(hex_u64s(counts))),
+    ])
+}
+
+/// Decode a partial contingency table; the count run must be exactly
+/// `rows × cols` entries.
+pub fn contingency_from_json(value: &Json) -> Result<(usize, usize, Vec<u64>), String> {
+    let rows = get_index(value, "rows")?;
+    let cols = get_index(value, "cols")?;
+    let counts = parse_hex_u64s(get_str(value, "counts")?)?;
+    if counts.len() != rows * cols {
+        return Err(format!(
+            "contingency payload of {rows}×{cols} needs {} counts, got {}",
+            rows * cols,
+            counts.len()
+        ));
+    }
+    Ok((rows, cols, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn f64_bit_patterns_round_trip_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.1 + 0.2,
+        ] {
+            let back = parse_hex_f64(&hex_f64(x)).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_hex_runs_are_rejected() {
+        assert!(parse_hex_f64("abc").is_err());
+        assert!(parse_hex_f64("zzzzzzzzzzzzzzzz").is_err());
+        assert!(parse_hex_u64s("0123456789abcdef0").is_err()); // 17 digits
+        assert!(parse_hex_u64s("0123456789abcdeg").is_err()); // non-hex
+        assert!(parse_hex_f64s("00").is_err());
+        assert_eq!(parse_hex_u64s("").unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn bulk_values_round_trip_through_encoded_json() {
+        let values = vec![-1.25, 0.0, f64::from_bits(0x7ff8_0000_dead_beef), 3e300];
+        let frame = Json::object(vec![("values", Json::from(hex_f64s(&values)))]);
+        let parsed = wire::parse(&frame.encode()).unwrap();
+        let back = parse_hex_f64s(get_str(&parsed, "values").unwrap()).unwrap();
+        let bits: Vec<u64> = back.iter().map(|x| x.to_bits()).collect();
+        let expected: Vec<u64> = values.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bits, expected);
+    }
+
+    #[test]
+    fn bitmaps_round_trip_and_validate_word_counts() {
+        let bitmap = Bitmap::from_indices(130, [0usize, 63, 64, 129]);
+        let back = bitmap_from_json(&bitmap_to_json(&bitmap)).unwrap();
+        assert_eq!(back, bitmap);
+        // A word run that does not match the declared length is rejected.
+        let bad = Json::object(vec![
+            ("len", Json::from(130usize)),
+            ("words", Json::from(hex_u64s(&[1u64]))),
+        ]);
+        assert!(bitmap_from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn summaries_round_trip_bit_for_bit_including_nan_distincts() {
+        let parts = SummaryParts {
+            dtype: DataType::Float,
+            non_null: 7,
+            nulls: 2,
+            mean: 0.1 + 0.2,
+            m2: 1e-300,
+            min: Some(-0.0),
+            max: Some(f64::MAX),
+            distinct: DistinctValues::Floats(vec![0, (-0.0f64).to_bits(), f64::NAN.to_bits()]),
+        };
+        let encoded = summary_to_json(&parts).encode();
+        let back = summary_from_json(&wire::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(back, parts);
+
+        for distinct in [
+            DistinctValues::Ints(vec![i64::MIN, -1, 0, i64::MAX]),
+            DistinctValues::Strs(vec!["a\"b".into(), "π".into()]),
+            DistinctValues::Bools { t: true, f: false },
+        ] {
+            let dtype = match &distinct {
+                DistinctValues::Ints(_) => DataType::Int,
+                DistinctValues::Strs(_) => DataType::Str,
+                _ => DataType::Bool,
+            };
+            let parts = SummaryParts {
+                dtype,
+                non_null: 4,
+                nulls: 0,
+                mean: 0.0,
+                m2: 0.0,
+                min: None,
+                max: None,
+                distinct,
+            };
+            let encoded = summary_to_json(&parts).encode();
+            let back = summary_from_json(&wire::parse(&encoded).unwrap()).unwrap();
+            assert_eq!(back, parts);
+        }
+    }
+
+    #[test]
+    fn summary_decoding_rejects_malformed_frames() {
+        let good = summary_to_json(&SummaryParts {
+            dtype: DataType::Int,
+            non_null: 1,
+            nulls: 0,
+            mean: 1.0,
+            m2: 0.0,
+            min: Some(1.0),
+            max: Some(1.0),
+            distinct: DistinctValues::Ints(vec![1]),
+        });
+        // Drop or corrupt one member at a time.
+        for (key, replacement) in [
+            ("dtype", Json::from("decimal")),
+            ("mean", Json::from("123")),
+            ("non_null", Json::from(-1i64)),
+            ("distinct", Json::object(vec![("kind", Json::from("sets"))])),
+        ] {
+            let Json::Obj(mut members) = good.clone() else {
+                unreachable!()
+            };
+            for (k, v) in &mut members {
+                if k == key {
+                    *v = replacement.clone();
+                }
+            }
+            assert!(
+                summary_from_json(&Json::Obj(members)).is_err(),
+                "corrupt {key} must be rejected"
+            );
+        }
+        assert!(summary_from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn sketches_round_trip_and_reject_bad_epsilon() {
+        let mut sketch = GkSketch::new(0.01);
+        sketch.extend(&(0..500).map(f64::from).collect::<Vec<_>>());
+        let encoded = sketch_to_json(&sketch).encode();
+        let back = sketch_from_json(&wire::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(back.to_parts(), sketch.to_parts());
+        assert_eq!(back.query(0.5), sketch.query(0.5));
+
+        for bad_eps in [f64::NAN, f64::INFINITY, 0.0, -0.1, 0.5] {
+            let mut frame = sketch_to_json(&sketch);
+            if let Json::Obj(members) = &mut frame {
+                members[0].1 = Json::from(hex_f64(bad_eps));
+            }
+            assert!(
+                sketch_from_json(&frame).is_err(),
+                "epsilon {bad_eps} must be rejected"
+            );
+        }
+        // A truncated entry run (not a multiple of 3 words) is rejected.
+        let mut frame = sketch_to_json(&sketch);
+        if let Json::Obj(members) = &mut frame {
+            members[3].1 = Json::from(hex_u64s(&[1, 2]));
+        }
+        assert!(sketch_from_json(&frame).is_err());
+    }
+
+    #[test]
+    fn contingency_payloads_round_trip_above_the_f64_integer_range() {
+        // 2^53 + 1 is not representable as an f64 — a JSON number would
+        // silently round it; the hex run must not.
+        let counts = vec![(1u64 << 53) + 1, 0, u64::MAX, 7];
+        let encoded = contingency_to_json(2, 2, &counts).encode();
+        let (rows, cols, back) = contingency_from_json(&wire::parse(&encoded).unwrap()).unwrap();
+        assert_eq!((rows, cols), (2, 2));
+        assert_eq!(back, counts);
+
+        // Count runs with the wrong cardinality are rejected.
+        let short = contingency_to_json(2, 2, &counts[..3]);
+        assert!(contingency_from_json(&short).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_frame_bodies_hit_the_json_depth_limit() {
+        let deep = "{\"a\":".repeat(200) + "1" + &"}".repeat(200);
+        let err = wire::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+    }
+}

@@ -7,6 +7,7 @@
 //! (pinned by property tests in `atlas-query`) is what makes region
 //! predicates safe to ship as strings.
 
+pub mod frames;
 pub mod json;
 
 pub use json::{parse, Json, JsonError};

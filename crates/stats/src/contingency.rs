@@ -83,6 +83,37 @@ impl ContingencyTable {
         }
     }
 
+    /// Build a contingency table from a prebuilt row-major `rows × cols`
+    /// count matrix (the total is derived).
+    ///
+    /// This is the gather half of a distributed contingency computation:
+    /// per-shard partial tables over disjoint row ranges sum cell-wise into
+    /// exactly the counts [`ContingencyTable::from_selections`] computes over
+    /// the whole table (integer addition is exact), so the entropies — and
+    /// every distance derived from them — come out bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != rows * cols`.
+    pub fn from_counts(rows: usize, cols: usize, counts: Vec<u64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            rows * cols,
+            "count matrix must be rows × cols"
+        );
+        let total = counts.iter().sum();
+        ContingencyTable {
+            rows,
+            cols,
+            counts,
+            total,
+        }
+    }
+
+    /// The row-major cell counts (`rows × cols` values).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Number of row categories.
     pub fn num_rows(&self) -> usize {
         self.rows
@@ -298,6 +329,34 @@ mod tests {
         assert_eq!(t.total(), 0);
         assert_eq!(t.num_rows(), 0);
         assert_eq!(t.normalized_vi(), 0.0);
+    }
+
+    #[test]
+    fn from_counts_matches_from_selections_cell_for_cell() {
+        let a = [0u32, 1, 2, 0, 1, 2, 0, 1, 2, 0, 0, 1];
+        let b = [1u32, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 0];
+        let whole = ContingencyTable::from_labels(&a, &b, 3, 2);
+        // Split the rows in two halves, sum the partial count matrices.
+        let first = ContingencyTable::from_labels(&a[..6], &b[..6], 3, 2);
+        let second = ContingencyTable::from_labels(&a[6..], &b[6..], 3, 2);
+        let summed: Vec<u64> = first
+            .counts()
+            .iter()
+            .zip(second.counts())
+            .map(|(x, y)| x + y)
+            .collect();
+        let gathered = ContingencyTable::from_counts(3, 2, summed);
+        assert_eq!(gathered, whole);
+        assert_eq!(
+            gathered.normalized_vi().to_bits(),
+            whole.normalized_vi().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × cols")]
+    fn from_counts_rejects_a_misshapen_matrix() {
+        ContingencyTable::from_counts(2, 2, vec![1, 2, 3]);
     }
 
     #[test]

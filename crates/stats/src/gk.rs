@@ -212,6 +212,48 @@ impl GkSketch {
     pub fn median(&self) -> Option<f64> {
         self.query(0.5)
     }
+
+    /// Decompose the sketch into its serialisable parts:
+    /// `(epsilon, count, since_compress, entries)` with one `(value, g, Δ)`
+    /// triple per stored tuple, in value order.
+    ///
+    /// Together with [`GkSketch::from_parts`] this is an **exact** round
+    /// trip — the rebuilt sketch answers every query, merge, and insert
+    /// identically to the original — which is what lets a distributed
+    /// coordinator fold shard-built sketches as if it had built them
+    /// locally.
+    pub fn to_parts(&self) -> (f64, u64, u64, Vec<(f64, u64, u64)>) {
+        (
+            self.epsilon,
+            self.count,
+            self.since_compress,
+            self.entries
+                .iter()
+                .map(|e| (e.value, e.g, e.delta))
+                .collect(),
+        )
+    }
+
+    /// Rebuild a sketch from the parts produced by [`GkSketch::to_parts`].
+    ///
+    /// The compression interval is re-derived from `epsilon` exactly as the
+    /// constructor derives it, so the rebuilt sketch is indistinguishable
+    /// from the original (same entries, same future compression points).
+    pub fn from_parts(
+        epsilon: f64,
+        count: u64,
+        since_compress: u64,
+        entries: Vec<(f64, u64, u64)>,
+    ) -> Self {
+        let mut sketch = GkSketch::new(epsilon);
+        sketch.entries = entries
+            .into_iter()
+            .map(|(value, g, delta)| GkEntry { value, g, delta })
+            .collect();
+        sketch.count = count;
+        sketch.since_compress = since_compress;
+        sketch
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +440,37 @@ mod tests {
         assert!((med - 500.0).abs() <= 75.0, "median {med}");
         assert!(low.query(0.0).unwrap() <= 50.0);
         assert!(low.query(1.0).unwrap() >= 950.0);
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let mut sk = GkSketch::new(0.02);
+        sk.extend(
+            &(0..5_000)
+                .map(|i| ((i * 37) % 997) as f64)
+                .collect::<Vec<_>>(),
+        );
+        let (eps, count, since, entries) = sk.to_parts();
+        let rebuilt = GkSketch::from_parts(eps, count, since, entries);
+        assert_eq!(rebuilt.epsilon(), sk.epsilon());
+        assert_eq!(rebuilt.count(), sk.count());
+        assert_eq!(rebuilt.size(), sk.size());
+        for &p in &[0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                rebuilt.query(p).map(f64::to_bits),
+                sk.query(p).map(f64::to_bits),
+                "p={p}"
+            );
+        }
+        // Future behaviour matches too: same merges, same compress points.
+        let mut more = GkSketch::new(0.02);
+        more.extend(&(0..500).map(f64::from).collect::<Vec<_>>());
+        let mut a = sk.clone();
+        let mut b = rebuilt.clone();
+        a.merge(&more);
+        b.merge(&more);
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.median().map(f64::to_bits), b.median().map(f64::to_bits));
     }
 
     #[test]

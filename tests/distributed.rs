@@ -1,0 +1,542 @@
+//! The distributed scatter-gather acceptance suite: shard servers holding
+//! subsets of a table's segments, a [`Coordinator`] that pushes candidate
+//! generation and contingency counting down to them, and the property the
+//! whole design hangs on — **the shard layout is invisible in the answer**.
+//!
+//! * Random tables under random segment→shard assignments (empty shards and
+//!   a single mega-shard included) explore bit-for-bit identically to the
+//!   in-process engine.
+//! * The 100k census is bit-identical at N ∈ {1, 2, 4} shards — the
+//!   acceptance bar of the distributed refactor.
+//! * A shard killed mid-explore surfaces a typed [`AtlasError::Distributed`]
+//!   promptly — never a hang, never a partial map.
+//! * A slow shard trips the per-request timeout and is retried exactly once.
+//! * Real `atlas-serve` processes (one per shard) agree with the in-process
+//!   engine too, and their death is detected.
+
+use atlas::core::AtlasError;
+use atlas::datagen::CensusConfig;
+use atlas::prelude::*;
+use atlas::serve::wire::Json;
+use atlas::serve::{
+    Client, Coordinator, DatasetOptions, Registry, ServeConfig, Server, ServerHandle,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Build a survey-shaped table, sealing a segment after every row index
+/// listed in `seals` (plus wherever `segment_rows` forces one).
+fn build_table(
+    numeric: &[f64],
+    categories: &[u8],
+    seals: &[usize],
+    segment_rows: usize,
+) -> Arc<Table> {
+    let schema = Schema::new(vec![
+        Field::new("x", DataType::Float),
+        Field::new("y", DataType::Float),
+        Field::new("c", DataType::Str),
+        Field::new("d", DataType::Str),
+    ])
+    .unwrap();
+    let mut builder = TableBuilder::new("t", schema).with_segment_rows(segment_rows);
+    for (i, &x) in numeric.iter().enumerate() {
+        let c = categories[i % categories.len()] % 4;
+        let y = f64::from(c) * 100.0 + x / 10.0;
+        let d = if x >= 0.0 { "pos" } else { "neg" };
+        builder
+            .push_row(&[
+                Value::Float(x),
+                Value::Float(y),
+                Value::Str(format!("cat{c}")),
+                Value::Str(d.to_string()),
+            ])
+            .unwrap();
+        if seals.contains(&i) {
+            builder.seal_segment().unwrap();
+        }
+    }
+    Arc::new(builder.build().unwrap())
+}
+
+/// A multi-segment census table matching what `atlas-serve --dataset
+/// census:ROWS` generates (seed 42), with a pinned segment layout.
+fn census_table(rows: usize, segment_rows: usize) -> Arc<Table> {
+    Arc::new(
+        CensusGenerator::new(CensusConfig {
+            rows,
+            seed: 42,
+            segment_rows: Some(segment_rows),
+            ..CensusConfig::default()
+        })
+        .generate(),
+    )
+}
+
+/// The engine configuration every test in this suite runs: the distributed
+/// coordinator merges clusters with the product operator (composition's
+/// local re-cuts are not pushed down).
+fn product_config() -> AtlasConfig {
+    AtlasConfig {
+        merge: MergeStrategy::Product,
+        ..AtlasConfig::default()
+    }
+    .with_parallelism(2)
+}
+
+/// Boot `n` in-process shard servers, each serving the same `Arc<Table>`
+/// under `name` on an ephemeral port.
+fn boot_shards(
+    name: &str,
+    table: &Arc<Table>,
+    config: &AtlasConfig,
+    n: usize,
+) -> (Vec<ServerHandle>, Vec<String>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..n {
+        let mut registry = Registry::new();
+        registry
+            .add_table(
+                name,
+                Arc::clone(table),
+                DatasetOptions {
+                    config: config.clone(),
+                    cache_capacity: 0,
+                },
+            )
+            .unwrap();
+        let handle = Server::start(registry, ServeConfig::default().with_threads(2)).unwrap();
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+/// Assert two explorations are bit-for-bit identical: same map order, same
+/// attribute groups, same region queries and extents, same score bits.
+fn assert_identical(a: &atlas::core::MapResult, b: &atlas::core::MapResult) {
+    assert_eq!(a.num_maps(), b.num_maps());
+    assert_eq!(a.working_set_size, b.working_set_size);
+    assert_eq!(a.skipped_attributes, b.skipped_attributes);
+    for (ra, rb) in a.maps.iter().zip(b.maps.iter()) {
+        assert_eq!(ra.map.source_attributes, rb.map.source_attributes);
+        assert_eq!(
+            ra.score.to_bits(),
+            rb.score.to_bits(),
+            "scores must be bit-identical"
+        );
+        assert_eq!(ra.map.num_regions(), rb.map.num_regions());
+        for (qa, qb) in ra.map.regions.iter().zip(rb.map.regions.iter()) {
+            assert_eq!(to_sql(&qa.query), to_sql(&qb.query));
+            assert_eq!(qa.selection, qb.selection);
+        }
+    }
+}
+
+/// Compare in-process and distributed explorations of `query`: both succeed
+/// with identical output, or both fail with the same error message.
+fn assert_agree(reference: &Atlas, coordinator: &Coordinator, query: &ConjunctiveQuery) {
+    let local = reference.explore(query);
+    let distributed = coordinator.explore(query);
+    match (local, distributed) {
+        (Ok(a), Ok(b)) => assert_identical(&a, &b),
+        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+        (a, b) => panic!("local {a:?} and distributed {b:?} disagree on success"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole property: random data, random segment boundaries, and a
+    /// random segment→shard assignment across three shard servers (often
+    /// leaving some shard empty, sometimes a single mega-shard) explore
+    /// bit-for-bit like the in-process engine — covering and drill-down
+    /// working sets both.
+    #[test]
+    fn any_shard_assignment_is_bit_identical(
+        numeric in proptest::collection::vec(-1000.0..1000.0f64, 16..160),
+        categories in proptest::collection::vec(0u8..4, 4..16),
+        seals in proptest::collection::vec(0usize..160, 0..5),
+        segment_rows in 8usize..80,
+        shard_of in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        let table = build_table(&numeric, &categories, &seals, segment_rows);
+        let config = product_config();
+        let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+        let (handles, addrs) = boot_shards("t", &table, &config, 3);
+        let connected =
+            Coordinator::connect(&addrs, "t", config.clone(), Duration::from_secs(10)).unwrap();
+        prop_assert_eq!(connected.num_rows(), table.num_rows());
+
+        let mut assignment = vec![Vec::new(); 3];
+        for segment in 0..connected.num_segments() {
+            assignment[shard_of[segment % shard_of.len()]].push(segment);
+        }
+        let coordinator = connected.with_assignment(assignment).unwrap();
+
+        assert_agree(&reference, &coordinator, &ConjunctiveQuery::all("t"));
+        let drill = ConjunctiveQuery::all("t").and(Predicate::range("x", -500.0, 500.0));
+        assert_agree(&reference, &coordinator, &drill);
+
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// Deterministic corner layouts: all segments on one shard of three (two
+/// idle), and a rejected non-partition assignment.
+#[test]
+fn mega_shard_and_empty_shards_agree() {
+    let table = census_table(6_000, 1_000);
+    let config = product_config();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let (handles, addrs) = boot_shards("census", &table, &config, 3);
+
+    let connected =
+        Coordinator::connect(&addrs, "census", config.clone(), Duration::from_secs(10)).unwrap();
+    assert_eq!(connected.num_segments(), 6);
+    let all: Vec<usize> = (0..6).collect();
+    let coordinator = connected
+        .with_assignment(vec![Vec::new(), all.clone(), Vec::new()])
+        .unwrap();
+    assert_agree(&reference, &coordinator, &ConjunctiveQuery::all("census"));
+
+    // Not a partition: segment 0 assigned twice.
+    let connected =
+        Coordinator::connect(&addrs, "census", config.clone(), Duration::from_secs(10)).unwrap();
+    let error = connected
+        .with_assignment(vec![vec![0, 1, 2], vec![0, 3, 4], vec![5]])
+        .unwrap_err();
+    assert!(matches!(error, AtlasError::Distributed(_)), "{error}");
+
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// The acceptance bar from the issue: the 100k census explored through
+/// N ∈ {1, 2, 4} shard servers is bit-identical — scores, region SQL,
+/// counts — to single-process `Atlas::explore`.
+#[test]
+fn census_100k_is_bit_identical_at_1_2_4_shards() {
+    let table = census_table(100_000, 12_500);
+    let config = product_config();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let queries = [
+        "SELECT * FROM census",
+        "SELECT * FROM census WHERE age BETWEEN 25 AND 60",
+    ];
+    for shards in [1usize, 2, 4] {
+        let (handles, addrs) = boot_shards("census", &table, &config, shards);
+        let coordinator =
+            Coordinator::connect(&addrs, "census", config.clone(), Duration::from_secs(30))
+                .unwrap();
+        assert_eq!(coordinator.num_segments(), 8);
+        for sql in queries {
+            assert_agree(&reference, &coordinator, &parse_query(sql).unwrap());
+        }
+        assert!(coordinator.metrics().fan_out() > 0);
+        assert_eq!(coordinator.metrics().retries(), 0);
+        for handle in handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// The composition operator is refused up front: its cluster merge re-cuts
+/// regions against local storage, which the coordinator cannot push down.
+#[test]
+fn composition_merge_is_rejected() {
+    let table = census_table(2_000, 1_000);
+    let config = AtlasConfig::default().with_parallelism(2);
+    assert_eq!(config.merge, MergeStrategy::Composition);
+    let (handles, addrs) = boot_shards("census", &table, &config, 1);
+    let error = Coordinator::connect(&addrs, "census", config, Duration::from_secs(5)).unwrap_err();
+    assert!(matches!(error, AtlasError::InvalidConfig(_)), "{error}");
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// Kill one of two shards while an explore is in flight: the coordinator
+/// must answer with a typed `Distributed` error well inside its timeout
+/// budget — no hang, no partial map.
+#[test]
+fn killed_shard_surfaces_a_distributed_error() {
+    let table = census_table(8_000, 1_000);
+    let config = product_config();
+    let (mut handles, addrs) = boot_shards("census", &table, &config, 2);
+    let coordinator =
+        Arc::new(Coordinator::connect(&addrs, "census", config, Duration::from_secs(2)).unwrap());
+
+    // Slow every request on shard 1 by 100 ms so the explore is still
+    // mid-scatter when the shard dies.
+    let armed = Client::new(handles[1].addr())
+        .post_json(
+            "/shard/inject",
+            &Json::object(vec![
+                ("delay_ms", Json::from(100u64)),
+                ("times", Json::from(10_000u64)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(armed.status, 200);
+
+    let worker = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.explore(&ConjunctiveQuery::all("census")))
+    };
+    std::thread::sleep(Duration::from_millis(150));
+    let started = Instant::now();
+    handles.remove(1).shutdown();
+    let result = worker.join().unwrap();
+    match result {
+        Err(AtlasError::Distributed(message)) => {
+            assert!(message.contains("shard"), "unhelpful error: {message}")
+        }
+        other => panic!("expected a Distributed error, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the failure must surface promptly"
+    );
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// A shard that answers its first request after the per-request timeout is
+/// retried exactly once, and the retried explore is still bit-identical.
+#[test]
+fn slow_shard_trips_timeout_and_retries_once() {
+    let table = census_table(4_000, 1_000);
+    let config = product_config();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let (handles, addrs) = boot_shards("census", &table, &config, 2);
+    let coordinator =
+        Coordinator::connect(&addrs, "census", config, Duration::from_millis(400)).unwrap();
+
+    // One injected 1200 ms stall: the first data request to shard 0 times
+    // out at 400 ms and the immediate retry sails through.
+    let armed = Client::new(handles[0].addr())
+        .post_json(
+            "/shard/inject",
+            &Json::object(vec![
+                ("delay_ms", Json::from(1_200u64)),
+                ("times", Json::from(1u64)),
+            ]),
+        )
+        .unwrap();
+    assert_eq!(armed.status, 200);
+
+    let query = ConjunctiveQuery::all("census");
+    let local = reference.explore(&query).unwrap();
+    let distributed = coordinator.explore(&query).unwrap();
+    assert_identical(&local, &distributed);
+    assert_eq!(
+        coordinator.metrics().retries(),
+        1,
+        "the stalled request is retried exactly once"
+    );
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// The HTTP face of the coordinator: a front server started with
+/// `shards: [...]` answers `POST /distributed/explore` with the same ranked
+/// maps (score bits, region SQL, counts) as the in-process engine, and
+/// `GET /metrics` exposes the scatter counters.
+#[test]
+fn distributed_explore_endpoint_matches_in_process() {
+    let table = census_table(6_000, 1_500);
+    let config = product_config();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let (shard_handles, addrs) = boot_shards("census", &table, &config, 2);
+
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::clone(&table),
+            DatasetOptions {
+                config: config.clone(),
+                cache_capacity: 0,
+            },
+        )
+        .unwrap();
+    let mut serve_config = ServeConfig::default().with_threads(2);
+    serve_config.shards = addrs.clone();
+    serve_config.shard_timeout = Duration::from_secs(10);
+    let front = Server::start(registry, serve_config).unwrap();
+    let client = Client::new(front.addr());
+
+    let sql = "SELECT * FROM census WHERE age >= 30";
+    let reply = client.post_text("/distributed/explore", sql).unwrap();
+    assert_eq!(reply.status, 200, "{:?}", reply.json());
+    let reply = reply.json().expect("JSON reply");
+    let local = reference.explore(&parse_query(sql).unwrap()).unwrap();
+
+    let maps = reply.get("maps").unwrap().items().unwrap();
+    assert_eq!(maps.len(), local.num_maps());
+    for (wire_map, ranked) in maps.iter().zip(local.maps.iter()) {
+        let score = wire_map.get("score").unwrap().num().unwrap();
+        assert_eq!(score.to_bits(), ranked.score.to_bits());
+        let regions = wire_map.get("regions").unwrap().items().unwrap();
+        assert_eq!(regions.len(), ranked.map.num_regions());
+        for (wire_region, region) in regions.iter().zip(ranked.map.regions.iter()) {
+            assert_eq!(
+                wire_region.get("sql").unwrap().str().unwrap(),
+                to_sql(&region.query)
+            );
+            assert_eq!(
+                wire_region.get("count").unwrap().num().unwrap() as usize,
+                region.count()
+            );
+        }
+    }
+
+    let metrics = client.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let body = metrics.json().expect("metrics are JSON").encode();
+    assert!(body.contains("dist_explore"), "{body}");
+    assert!(body.contains("fan_out"), "{body}");
+
+    // A GET on the endpoint is a method error, not a crash.
+    let wrong = client.get("/distributed/explore").unwrap();
+    assert_eq!(wrong.status, 405);
+
+    front.shutdown();
+    for handle in shard_handles {
+        handle.shutdown();
+    }
+}
+
+/// A child `atlas-serve` process that is killed when the test ends, pass or
+/// panic.
+struct ShardProcess {
+    child: std::process::Child,
+    addr: String,
+    // Kept open so the child's later stderr writes never hit a closed pipe
+    // (the few banner lines fit the pipe buffer comfortably).
+    _stderr: std::io::BufReader<std::process::ChildStderr>,
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Locate (building if necessary) the `atlas-serve` binary next to the test
+/// executable.
+fn shard_binary() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("test executable path");
+    // target/<profile>/deps/distributed-<hash> → target/<profile>
+    let dir = exe
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("target profile directory")
+        .to_path_buf();
+    let binary = dir.join(format!("atlas-serve{}", std::env::consts::EXE_SUFFIX));
+    if !binary.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let mut build = std::process::Command::new(cargo);
+        build.args(["build", "-p", "atlas-serve", "--bin", "atlas-serve"]);
+        if dir.file_name().and_then(|n| n.to_str()) == Some("release") {
+            build.arg("--release");
+        }
+        let status = build.status().expect("cargo build atlas-serve");
+        assert!(status.success(), "building atlas-serve failed");
+    }
+    binary
+}
+
+/// Spawn one `atlas-serve` shard process on an ephemeral port and parse the
+/// bound address off its startup banner.
+fn spawn_shard(binary: &std::path::Path, spec: &str, segment_rows: usize) -> ShardProcess {
+    use std::io::BufRead;
+    let mut child = std::process::Command::new(binary)
+        .args([
+            "--port",
+            "0",
+            "--dataset",
+            spec,
+            "--threads",
+            "2",
+            "--cache",
+            "0",
+        ])
+        .env("ATLAS_SEGMENT_ROWS", segment_rows.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn atlas-serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = std::io::BufReader::new(stderr);
+    let mut addr = None;
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+        if let Some(rest) = line.split("listening on http://").nth(1) {
+            addr = rest.split_whitespace().next().map(String::from);
+            break;
+        }
+        line.clear();
+    }
+    let addr = addr.unwrap_or_else(|| {
+        let _ = child.kill();
+        panic!("atlas-serve printed no listening banner");
+    });
+    ShardProcess {
+        child,
+        addr,
+        _stderr: reader,
+    }
+}
+
+/// The end-to-end deployment shape: three real `atlas-serve` processes each
+/// regenerate `census:20000` (same spec, same seed, same segment layout via
+/// `ATLAS_SEGMENT_ROWS`), the coordinator scatters over real sockets, and
+/// the answer is bit-identical to the in-process engine. Killing one
+/// process turns the next explore into a typed `Distributed` error.
+#[test]
+fn process_shards_match_and_their_death_is_detected() {
+    let binary = shard_binary();
+    let shards: Vec<ShardProcess> = (0..3)
+        .map(|_| spawn_shard(&binary, "census:20000", 4_096))
+        .collect();
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+
+    let table = census_table(20_000, 4_096);
+    let config = product_config();
+    let reference = Atlas::new(Arc::clone(&table), config.clone()).unwrap();
+    let coordinator =
+        Coordinator::connect(&addrs, "census", config, Duration::from_secs(30)).unwrap();
+    assert_eq!(coordinator.num_rows(), 20_000);
+    assert_eq!(coordinator.num_segments(), 5);
+
+    assert_agree(&reference, &coordinator, &ConjunctiveQuery::all("census"));
+    let drill = parse_query("SELECT * FROM census WHERE hours_per_week >= 30").unwrap();
+    assert_agree(&reference, &coordinator, &drill);
+
+    // One shard process dies (the other two stay up); the very next
+    // explore reports it by address.
+    let mut shards = shards;
+    let mut victim = shards.remove(0);
+    victim.child.kill().unwrap();
+    victim.child.wait().unwrap();
+    let error = coordinator
+        .explore(&ConjunctiveQuery::all("census"))
+        .unwrap_err();
+    match error {
+        AtlasError::Distributed(message) => {
+            assert!(message.contains("shard"), "unhelpful error: {message}")
+        }
+        other => panic!("expected a Distributed error, got {other:?}"),
+    }
+}
