@@ -28,11 +28,24 @@ use std::time::{Duration, Instant};
 
 fn main() {
     let raw_args: Vec<String> = std::env::args().skip(1).collect();
-    // `bench-smoke [path]` — the CI perf-trajectory mode — writes a small
-    // JSON report instead of printing the experiment tables.
+    // `bench-smoke [path] [--gate <pct>]` — the CI perf-trajectory mode —
+    // writes a small JSON report instead of printing the experiment tables.
+    // With `--gate`, the run fails (exit 1) if any phase regressed by more
+    // than `<pct>` percent against the most recent committed bench-smoke
+    // report.
     if raw_args.first().map(String::as_str) == Some("bench-smoke") {
-        let path = raw_args.get(1).map_or("BENCH_PR4.json", String::as_str);
-        bench_smoke(path);
+        let mut path = None;
+        let mut gate = None;
+        let mut rest = raw_args[1..].iter();
+        while let Some(arg) = rest.next() {
+            if arg == "--gate" {
+                let pct = rest.next().expect("--gate takes a percentage");
+                gate = Some(pct.parse::<f64>().expect("--gate takes a number"));
+            } else {
+                path = Some(arg.as_str());
+            }
+        }
+        bench_smoke(path.unwrap_or("BENCH_PR4.json"), gate);
         return;
     }
     // `load-smoke [path]` — the serving-throughput mode: boots `atlas-serve`
@@ -605,12 +618,20 @@ fn smoke_scale_point(rows: usize, repeats: usize) -> Json {
     let table = census(rows);
     let query = ConjunctiveQuery::all("census");
 
-    let build_start = Instant::now();
-    let atlas = Atlas::builder(Arc::clone(&table))
-        .config(AtlasConfig::fast())
-        .build()
-        .expect("valid config");
-    let build_ms = build_start.elapsed().as_secs_f64() * 1000.0;
+    // Best-of-N like the explore phases below: a single cold build jitters
+    // far too much for the CI regression gate to compare meaningfully.
+    let mut atlas = None;
+    let mut build_ms = f64::INFINITY;
+    for _ in 0..repeats {
+        let build_start = Instant::now();
+        let engine = Atlas::builder(Arc::clone(&table))
+            .config(AtlasConfig::fast())
+            .build()
+            .expect("valid config");
+        build_ms = build_ms.min(build_start.elapsed().as_secs_f64() * 1000.0);
+        atlas = Some(engine);
+    }
+    let atlas = atlas.expect("at least one build ran");
 
     let sequential = Atlas::builder(Arc::clone(&table))
         .config(AtlasConfig::fast().with_parallelism(1))
@@ -779,15 +800,7 @@ fn print_phase_deltas(previous_path: &str, previous: &Json, current: &Json) {
     println!("\nphase deltas vs {previous_path} (headline 20k-row point):");
     println!("| phase | previous ms | current ms | delta |");
     println!("|-------|-------------|------------|-------|");
-    for phase in [
-        "query_ms",
-        "candidates_ms",
-        "clustering_ms",
-        "merge_ms",
-        "rank_ms",
-        "total_ms",
-        "build_ms",
-    ] {
+    for phase in GATED_PHASES {
         match (find_number(previous, phase), find_number(current, phase)) {
             (Some(before), Some(after)) if before > 0.0 => {
                 let delta = (after - before) / before * 100.0;
@@ -807,8 +820,9 @@ fn print_phase_deltas(previous_path: &str, previous: &Json, current: &Json) {
 /// segmented-storage numbers — streaming CSV ingest throughput and
 /// append-vs-rebuild preparation — reported as JSON. When an earlier
 /// `BENCH_*.json` is present, a phase-by-phase delta table is printed so CI
-/// logs show the trajectory.
-fn bench_smoke(path: &str) {
+/// logs show the trajectory. With `gate`, any phase above the 1 ms noise
+/// floor that regressed by more than the given percentage fails the run.
+fn bench_smoke(path: &str, gate: Option<f64>) {
     let scale_points = [(20_000usize, 5usize), (100_000, 5), (1_000_000, 2)];
     let scales: Vec<Json> = scale_points
         .iter()
@@ -834,40 +848,102 @@ fn bench_smoke(path: &str) {
         ("ingest", ingest),
         ("append", append),
     ]);
-    write_report_with_deltas(path, &report);
+    let previous = write_report_with_deltas(path, &report);
+    if let (Some(limit_pct), Some((previous_path, previous_report))) = (gate, previous) {
+        let regressions = phase_regressions(&previous_report, &report, limit_pct);
+        if !regressions.is_empty() {
+            eprintln!("\nbench gate FAILED vs {previous_path} (limit {limit_pct:+.0}%):");
+            for line in &regressions {
+                eprintln!("  {line}");
+            }
+            std::process::exit(1);
+        }
+        println!("\nbench gate passed vs {previous_path} (limit {limit_pct:+.0}%)");
+    }
 }
 
-/// Write a report, print it, and print the phase-delta table against the
-/// most recent previous `BENCH_*.json` (excluded by basename, so a report
-/// never deltas against its own previous output).
-fn write_report_with_deltas(path: &str, report: &Json) {
-    let own_name = std::path::Path::new(path)
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
-    let previous = std::fs::read_dir(".")
+/// The phases the delta table and the regression gate look at — the headline
+/// (first-found, i.e. 20k-row) figure for each.
+const GATED_PHASES: [&str; 7] = [
+    "query_ms",
+    "candidates_ms",
+    "clustering_ms",
+    "merge_ms",
+    "rank_ms",
+    "total_ms",
+    "build_ms",
+];
+
+/// Noise floor for the regression gate: phases faster than this in the
+/// previous report are too jittery for a percentage comparison to mean
+/// anything on shared CI hardware.
+const GATE_NOISE_FLOOR_MS: f64 = 1.0;
+
+/// Phases that regressed by more than `limit_pct` percent, as printable
+/// lines. Sub-floor phases are skipped.
+fn phase_regressions(previous: &Json, current: &Json, limit_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for phase in GATED_PHASES {
+        if let (Some(before), Some(after)) =
+            (find_number(previous, phase), find_number(current, phase))
+        {
+            if before < GATE_NOISE_FLOOR_MS {
+                continue;
+            }
+            let delta = (after - before) / before * 100.0;
+            if delta > limit_pct {
+                failures.push(format!(
+                    "{phase}: {before:.3} ms -> {after:.3} ms ({delta:+.1}%)"
+                ));
+            }
+        }
+    }
+    failures
+}
+
+/// The most recent committed `BENCH_*.json` whose `"experiment"` field
+/// matches — so a bench-smoke report only ever deltas (and gates) against an
+/// earlier bench-smoke report, never a load- or dist-smoke one. The report's
+/// own basename is excluded so a run never compares against its own output.
+fn previous_report(own_name: &str, experiment: &str) -> Option<(String, Json)> {
+    let mut names: Vec<String> = std::fs::read_dir(".")
         .ok()
         .into_iter()
         .flatten()
         .filter_map(|entry| entry.ok())
         .map(|entry| entry.file_name().to_string_lossy().into_owned())
         .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json") && *name != own_name)
-        // Length-before-lexicographic so BENCH_PR10.json outranks
-        // BENCH_PR9.json once PR numbers reach double digits.
-        .max_by_key(|name| (name.len(), name.clone()));
+        .collect();
+    // Newest first: length-before-lexicographic so BENCH_PR10.json outranks
+    // BENCH_PR9.json once PR numbers reach double digits.
+    names.sort_by_key(|name| std::cmp::Reverse((name.len(), name.clone())));
+    names.into_iter().find_map(|name| {
+        let parsed = std::fs::read_to_string(&name)
+            .ok()
+            .and_then(|text| atlas_serve::wire::parse(&text).ok())?;
+        (parsed.get("experiment").and_then(Json::str) == Some(experiment)).then_some((name, parsed))
+    })
+}
+
+/// Write a report, print it, and print the phase-delta table against the
+/// most recent previous same-experiment `BENCH_*.json`. Returns the previous
+/// report used (if any) so callers can gate against it.
+fn write_report_with_deltas(path: &str, report: &Json) -> Option<(String, Json)> {
+    let own_name = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let experiment = report.get("experiment").and_then(Json::str).unwrap_or("");
+    let previous = previous_report(&own_name, experiment);
 
     let text = report.pretty();
     std::fs::write(path, &text).expect("bench report is writable");
     println!("wrote {path}:");
     print!("{text}");
-    if let Some(previous_path) = previous {
-        if let Some(previous_report) = std::fs::read_to_string(&previous_path)
-            .ok()
-            .and_then(|text| atlas_serve::wire::parse(&text).ok())
-        {
-            print_phase_deltas(&previous_path, &previous_report, report);
-        }
+    if let Some((previous_path, previous_report)) = &previous {
+        print_phase_deltas(previous_path, previous_report, report);
     }
+    previous
 }
 
 /// Boot a load-test server: the 100k census behind `server_threads` workers,

@@ -1,0 +1,116 @@
+//! Diagnostics and their two output formats: rustc-style text
+//! (`file:line: rule: message`) and machine-readable JSON (`--format json`).
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Rule identifier (e.g. `nondeterministic-iteration`).
+    pub rule: &'static str,
+    /// Human-readable explanation, one sentence.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the only JSON this crate emits; it stays
+/// dependency-free on purpose).
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a full report as JSON: every diagnostic, plus the counts the CI
+/// gate keys on (`new` is the number of non-baselined findings).
+pub fn to_json(diags: &[Diagnostic], baselined: usize) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": ");
+        escape(&d.file, &mut out);
+        out.push_str(&format!(", \"line\": {}, \"rule\": ", d.line));
+        escape(d.rule, &mut out);
+        out.push_str(", \"message\": ");
+        escape(&d.message, &mut out);
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"total\": {},\n  \"baselined\": {},\n  \"new\": {}\n}}\n",
+        diags.len(),
+        baselined,
+        diags.len().saturating_sub(baselined)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_is_rustc_style() {
+        let d = Diagnostic {
+            file: "crates/serve/src/server.rs".into(),
+            line: 42,
+            rule: "panic-path",
+            message: "`unwrap()` on a request path".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/serve/src/server.rs:42: panic-path: `unwrap()` on a request path"
+        );
+    }
+
+    #[test]
+    fn json_escapes_hostile_content() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "panic-path",
+            message: "tab\there\nnewline".into(),
+        };
+        let json = to_json(&[d], 0);
+        assert!(json.contains(r#""file": "a\"b.rs""#));
+        assert!(json.contains(r#"tab\there\nnewline"#));
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"new\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let json = to_json(&[], 0);
+        assert!(json.contains("\"diagnostics\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+}

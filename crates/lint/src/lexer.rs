@@ -1,0 +1,489 @@
+//! A hand-rolled Rust tokenizer, just deep enough for lint rules.
+//!
+//! The whole point of tokenizing (instead of regexing over source text) is
+//! that `unwrap()` inside a string literal, `HashMap` inside a doc comment,
+//! and `unsafe` inside a `/* ... */` block must **not** look like code. The
+//! lexer therefore handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), kept as [`TokKind::LineComment`] / [`TokKind::BlockComment`]
+//!   trivia — rules need them for `SAFETY:` audits and waiver detection;
+//! * string literals with escapes (`"a\"b"`), byte strings (`b"..."`), and
+//!   raw strings with arbitrary hash fences (`r"..."`, `r#"..."#`,
+//!   `br##"..."##`);
+//! * char literals versus lifetimes (`'a'` is a literal, `'a` in `&'a str`
+//!   is not);
+//! * identifiers, number literals (including float detection for the wire
+//!   float-hygiene rule) and single-character punctuation.
+//!
+//! It does **not** build an AST: rules pattern-match over the token stream,
+//! which keeps them auditable and keeps this crate dependency-free.
+
+/// What a token is. Text is kept where rules need to inspect it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `[`, `!`, ...). Multi-character
+    /// operators arrive as consecutive tokens (`::` is two `:`).
+    Punct(char),
+    /// A string or byte-string literal (raw or escaped); the *unparsed*
+    /// contents between the quotes, escapes left as written.
+    Str(String),
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A number literal. `float` is true when it is spelled with a decimal
+    /// point or exponent (`1.5`, `2e9`), i.e. an `f32`/`f64` literal.
+    Num {
+        /// Spelled as a float (decimal point or exponent)?
+        float: bool,
+    },
+    /// A `//`-style comment, full text including the slashes.
+    LineComment(String),
+    /// A `/* */`-style comment, full text including the delimiters.
+    BlockComment(String),
+}
+
+/// One token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind and payload.
+    pub kind: TokKind,
+    /// 1-indexed line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.kind, TokKind::Punct(p) if p == c)
+    }
+
+    /// True for comment trivia (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment(_) | TokKind::BlockComment(_)
+        )
+    }
+}
+
+/// Tokenize `source`. Invalid input never panics: unknown bytes become
+/// punctuation and unterminated literals run to end-of-file, which is the
+/// forgiving behaviour a linter wants.
+pub fn tokenize(source: &str) -> Vec<Tok> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'0'..=b'9' => self.number(line),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(line),
+                _ => {
+                    self.toks.push(Tok {
+                        kind: TokKind::Punct(b as char),
+                        line,
+                    });
+                    self.pos += 1;
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn take_text(&mut self, start: usize) -> String {
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn bump_line(&mut self, b: u8) {
+        if b == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = self.take_text(start);
+        self.toks.push(Tok {
+            kind: TokKind::LineComment(text),
+            line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.pos += 2; // consume "/*"
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump_line(b);
+                self.pos += 1;
+            }
+        }
+        let text = self.take_text(start);
+        self.toks.push(Tok {
+            kind: TokKind::BlockComment(text),
+            line,
+        });
+    }
+
+    /// A plain (non-raw) string body, opening quote at `self.pos`.
+    fn string(&mut self, line: u32) {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    // Skip the escape and whatever follows it (covers \" \\
+                    // and the first byte of \u{...}; the rest are ordinary
+                    // bytes to this loop). Clamped so a trailing backslash
+                    // at EOF cannot walk past the buffer.
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
+                b'"' => break,
+                _ => {
+                    self.bump_line(b);
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = self.take_text(start);
+        self.pos += 1; // closing quote (no-op at EOF)
+        self.pos = self.pos.min(self.bytes.len());
+        self.toks.push(Tok {
+            kind: TokKind::Str(text),
+            line,
+        });
+    }
+
+    /// A raw string starting at `self.pos` (at the `r`): `r"..."` or
+    /// `r#*"..."#*`. Returns false if it is not actually a raw string.
+    fn raw_string(&mut self, line: u32) -> bool {
+        let mut probe = self.pos + 1; // past 'r'
+        let mut hashes = 0usize;
+        while self.bytes.get(probe) == Some(&b'#') {
+            hashes += 1;
+            probe += 1;
+        }
+        if self.bytes.get(probe) != Some(&b'"') {
+            return false;
+        }
+        self.pos = probe + 1;
+        let start = self.pos;
+        let end_fence: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(&end_fence) {
+                let text = self.take_text(start);
+                self.pos += end_fence.len();
+                self.toks.push(Tok {
+                    kind: TokKind::Str(text),
+                    line,
+                });
+                return true;
+            }
+            self.bump_line(self.bytes[self.pos]);
+            self.pos += 1;
+        }
+        // Unterminated: keep what we have.
+        let text = self.take_text(start);
+        self.toks.push(Tok {
+            kind: TokKind::Str(text),
+            line,
+        });
+        true
+    }
+
+    /// `'` either opens a char literal (`'x'`, `'\n'`) or marks a lifetime
+    /// (`'a`, `'static`, `'_`). Lifetimes produce no token — rules never
+    /// need them.
+    fn char_or_lifetime(&mut self, line: u32) {
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: skip to the closing quote.
+            self.pos += 2; // ' and backslash
+            self.pos += 1; // escaped byte
+            while let Some(b) = self.peek(0) {
+                self.pos += 1;
+                if b == b'\'' {
+                    break;
+                }
+            }
+            self.toks.push(Tok {
+                kind: TokKind::Char,
+                line,
+            });
+            return;
+        }
+        // Find the extent of the identifier-ish run after the quote.
+        let mut end = self.pos + 1;
+        while matches!(
+            self.bytes.get(end),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            end += 1;
+        }
+        if self.bytes.get(end) == Some(&b'\'') && end > self.pos + 1 {
+            // 'x' — a char literal (multi-byte UTF-8 chars fall through to
+            // the non-ASCII arm below).
+            self.pos = end + 1;
+            self.toks.push(Tok {
+                kind: TokKind::Char,
+                line,
+            });
+        } else if end == self.pos + 1 && self.peek(1).is_some_and(|b| b >= 0x80) {
+            // A non-ASCII char literal like '✓'.
+            self.pos += 2;
+            while let Some(b) = self.peek(0) {
+                self.pos += 1;
+                if b == b'\'' {
+                    break;
+                }
+            }
+            self.toks.push(Tok {
+                kind: TokKind::Char,
+                line,
+            });
+        } else {
+            // A lifetime: consume the quote and the identifier, emit nothing.
+            self.pos = end;
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut float = false;
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X' | b'b' | b'o')) {
+            // Radix literal: hex/binary/octal digits, never a float.
+            self.pos += 2;
+            while matches!(
+                self.peek(0),
+                Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_')
+            ) {
+                self.pos += 1;
+            }
+        } else {
+            // Decimal integer part.
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                self.pos += 1;
+            }
+            // Fractional part: a dot followed by a digit (not `..` ranges,
+            // not method calls like `1.max(2)`).
+            if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+                float = true;
+                self.pos += 1;
+                while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                    self.pos += 1;
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some(b'e' | b'E'))
+                && (matches!(self.peek(1), Some(b'0'..=b'9'))
+                    || (matches!(self.peek(1), Some(b'+' | b'-'))
+                        && matches!(self.peek(2), Some(b'0'..=b'9'))))
+            {
+                float = true;
+                self.pos += 2;
+                while matches!(self.peek(0), Some(b'0'..=b'9' | b'+' | b'-' | b'_')) {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Type suffix (1.5f64, 3usize).
+        let suffix_start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let suffix = String::from_utf8_lossy(&self.bytes[suffix_start..self.pos]).into_owned();
+        if suffix.starts_with('f') {
+            float = true;
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Num { float },
+            line,
+        });
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.pos += 1;
+        }
+        let text = self.take_text(start);
+        // `r"..."` / `b"..."` / `br#"..."#` — string prefixes lex as an
+        // identifier first; re-dispatch when a quote or fence follows.
+        if matches!(text.as_str(), "r" | "b" | "br" | "rb") {
+            match self.peek(0) {
+                Some(b'"') | Some(b'#') if text != "b" => {
+                    // Rewind to the `r` and try the raw-string fence; on a
+                    // raw identifier like `r#fn` this fails and we fall back
+                    // to the plain identifier.
+                    self.pos = if text.starts_with('b') {
+                        start + 1
+                    } else {
+                        start
+                    };
+                    if self.raw_string(line) {
+                        return;
+                    }
+                    self.pos = start + text.len();
+                }
+                Some(b'"') if text == "b" => {
+                    self.pos = start + 1;
+                    self.string(line);
+                    return;
+                }
+                Some(b'\'') if text == "b" => {
+                    self.pos = start + 1;
+                    self.char_or_lifetime(line);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.toks.push(Tok {
+            kind: TokKind::Ident(text),
+            line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_tokenized_as_idents() {
+        let src = r###"
+            // calling unwrap() here would be bad
+            /* nested /* HashMap */ comment */
+            let x = "value.unwrap()";
+            let y = r#"HashMap::new() "quoted" inside raw"#;
+            let z = b"unsafe bytes";
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"quoted".to_string()));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes_and_vice_versa() {
+        let toks = tokenize("let c: char = 'a'; fn f<'a>(x: &'a str) -> &'static str { x }");
+        let chars = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Char))
+            .count();
+        assert_eq!(chars, 1, "exactly one char literal");
+        let ids = idents("let c = '\\n'; &'a str");
+        assert!(!ids.contains(&"n".to_string()));
+        // The lifetime's identifier is swallowed, not misread as code.
+        assert!(!idents("&'static str").contains(&"static".to_string()));
+    }
+
+    #[test]
+    fn comments_are_kept_with_text_and_line_numbers() {
+        let toks = tokenize("fn a() {}\n// SAFETY: fine\nunsafe {}\n");
+        let comment = toks.iter().find(|t| t.is_comment()).expect("comment kept");
+        assert_eq!(comment.line, 2);
+        match &comment.kind {
+            TokKind::LineComment(text) => assert!(text.contains("SAFETY: fine")),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let unsafe_tok = toks
+            .iter()
+            .find(|t| t.ident() == Some("unsafe"))
+            .expect("unsafe kept");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn float_literals_are_marked() {
+        let toks = tokenize("let a = 1; let b = 1.5; let c = 2e9; let d = 3f64; let e = 0..4;");
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(floats, vec![false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        tokenize("let x = \"never closed");
+        tokenize("let y = r#\"never closed");
+        tokenize("/* never closed");
+        tokenize("let c = 'x");
+        tokenize("let trailing = \"escape at eof\\");
+    }
+}

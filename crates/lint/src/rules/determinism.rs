@@ -1,0 +1,154 @@
+//! Rule 1 — **nondeterministic-iteration**.
+//!
+//! Atlas's headline guarantee is bit-identical ranked maps across thread
+//! counts, segment layouts, the wire and shard assignments. Iterating a
+//! `std::collections::HashMap`/`HashSet` yields entries in randomized order,
+//! so any iteration feeding an ordered output is a latent determinism bug.
+//! This rule forbids iteration over hash-typed bindings in the pipeline
+//! crates (`core`, `stats`, `columnar`, `serve`); sites whose folds are
+//! provably order-insensitive (sums into another set, mins under a total
+//! order) carry a `// lint: nondeterministic-ok (reason)` waiver.
+
+use super::{code_tokens, emit, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{Mark, SourceFile};
+
+/// Methods whose call on a hash collection observes iteration order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// See the module docs.
+pub struct NondeterministicIteration;
+
+impl Rule for NondeterministicIteration {
+    fn id(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "nondeterministic-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        [
+            "crates/core/src",
+            "crates/stats/src",
+            "crates/columnar/src",
+            "crates/serve/src",
+        ]
+        .iter()
+        .any(|p| path.starts_with(p))
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code = code_tokens(file);
+        let mut out = Vec::new();
+        for i in 0..code.len() {
+            let (orig, tok) = code[i];
+            if file.in_test_code(orig) {
+                continue;
+            }
+            // `receiver.method(` where method observes iteration order and
+            // receiver is a hash-typed binding.
+            if let Some(method) = tok.ident() {
+                if ITER_METHODS.contains(&method)
+                    && i >= 2
+                    && code[i - 1].1.is_punct('.')
+                    && code.get(i + 1).is_some_and(|(_, t)| t.is_punct('('))
+                {
+                    if let Some(name) = code[i - 2].1.ident() {
+                        if file.is_marked(name, orig, Mark::Hash) {
+                            emit(
+                                self,
+                                file,
+                                tok.line,
+                                format!(
+                                    "iteration over hash collection `{name}` via `.{method}()` \
+                                     has randomized order; use BTreeMap/sorted iteration or \
+                                     waive with a proof of order-insensitivity"
+                                ),
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+            }
+            // `for pat in <pure path over a hash binding> {`
+            if tok.ident() == Some("for") {
+                if let Some((expr_start, expr_end)) = for_loop_expr(&code, i) {
+                    let expr = &code[expr_start..expr_end];
+                    if is_pure_path(expr) {
+                        for &(eorig, etok) in expr {
+                            if let Some(name) = etok.ident() {
+                                if file.is_marked(name, eorig, Mark::Hash) {
+                                    emit(
+                                        self,
+                                        file,
+                                        tok.line,
+                                        format!(
+                                            "`for` loop over hash collection `{name}` has \
+                                             randomized order; use BTreeMap/sorted iteration or \
+                                             waive with a proof of order-insensitivity"
+                                        ),
+                                        &mut out,
+                                    );
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// For a `for` keyword at `code[i]`, return the token range of the iterated
+/// expression (between `in` and the body `{`), or `None` when this `for` is
+/// part of `impl Trait for Type` / a generic bound.
+fn for_loop_expr(code: &[(usize, &crate::lexer::Tok)], i: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    let mut in_at = None;
+    while j < code.len() {
+        let t = code[j].1;
+        match &t.kind {
+            TokKind::Punct('(' | '[') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('{') if depth == 0 => {
+                // Hit the body (or an impl block) before `in`: not a loop.
+                return in_at.map(|start| (start, j));
+            }
+            TokKind::Ident(name) if depth == 0 && name == "in" && in_at.is_none() => {
+                in_at = Some(j + 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Is this expression a bare (borrowed) path like `map`, `&map`,
+/// `&mut self.sessions`? Anything with calls or arithmetic is left to the
+/// method-call check, which avoids flagging `0..map.len()`.
+fn is_pure_path(expr: &[(usize, &crate::lexer::Tok)]) -> bool {
+    !expr.is_empty()
+        && expr.iter().all(|(_, t)| match &t.kind {
+            TokKind::Ident(name) => name != "as",
+            TokKind::Punct('&' | '.' | '*') => true,
+            _ => false,
+        })
+}

@@ -1,0 +1,157 @@
+//! Rule 5 — **testless-integration-file** and **undocumented-pub**.
+//!
+//! Two hygiene checks: an integration-test file that compiles but contains
+//! no `#[test]` (nor a `proptest!` block) asserts nothing and rots
+//! silently; and the `atlas` facade is the documented surface of the whole
+//! workspace, so every top-level `pub` item in `src/lib.rs` needs a doc
+//! comment (`#![warn(missing_docs)]` does not cover `pub use` re-exports —
+//! this rule does).
+
+use super::{code_tokens, emit, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// Flags `tests/*.rs` files with no test in them; see the module docs.
+pub struct TestlessIntegrationFile;
+
+impl Rule for TestlessIntegrationFile {
+    fn id(&self) -> &'static str {
+        "testless-integration-file"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "test-file-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        // Direct children of a `tests/` directory are integration-test
+        // binaries; deeper files (fixtures, helpers) are not compiled as
+        // tests and are exempt.
+        let mut parts = path.rsplit('/');
+        let file = parts.next().unwrap_or("");
+        file.ends_with(".rs") && parts.next() == Some("tests")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code = code_tokens(file);
+        let has_test_attr = file
+            .toks
+            .windows(3)
+            .any(|w| w[0].is_punct('#') && w[1].is_punct('[') && w[2].ident() == Some("test"));
+        let has_proptest = code
+            .windows(2)
+            .any(|w| w[0].1.ident() == Some("proptest") && w[1].1.is_punct('!'));
+        let mut out = Vec::new();
+        if !has_test_attr && !has_proptest {
+            emit(
+                self,
+                file,
+                1,
+                "integration-test file contains no `#[test]` (and no `proptest!` block); \
+                 it compiles but asserts nothing"
+                    .to_string(),
+                &mut out,
+            );
+        }
+        out
+    }
+}
+
+/// Flags undocumented top-level `pub` items in the facade; see module docs.
+pub struct UndocumentedPub;
+
+impl Rule for UndocumentedPub {
+    fn id(&self) -> &'static str {
+        "undocumented-pub"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "doc-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path == "src/lib.rs"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        for (idx, tok) in file.toks.iter().enumerate() {
+            match &tok.kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => depth -= 1,
+                TokKind::Ident(name)
+                    if name == "pub" && depth == 0 && !has_doc_above(file, idx) =>
+                {
+                    let item = item_name(file, idx);
+                    emit(
+                        self,
+                        file,
+                        tok.line,
+                        format!(
+                            "public facade item {item} has no doc comment; the facade \
+                                 is the workspace's documented surface"
+                        ),
+                        &mut out,
+                    );
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Walk back from a `pub` token over attributes; true if a `///` doc comment
+/// (or `#[doc = ...]`) directly precedes the item.
+fn has_doc_above(file: &SourceFile, idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        match &file.toks[j].kind {
+            TokKind::LineComment(text) => return text.starts_with("///"),
+            TokKind::BlockComment(text) => return text.starts_with("/**"),
+            // Skip one `#[...]` attribute group: find its `#`.
+            TokKind::Punct(']') => {
+                let mut depth = 0i32;
+                while j > 0 {
+                    match &file.toks[j].kind {
+                        TokKind::Punct(']') => depth += 1,
+                        TokKind::Punct('[') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokKind::Ident(name) if name == "doc" => return true,
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                if j > 0 && file.toks[j - 1].is_punct('#') {
+                    j -= 1;
+                    continue;
+                }
+                return false;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// A short name for the item after `pub`, for the diagnostic message.
+fn item_name(file: &SourceFile, idx: usize) -> String {
+    let rest: Vec<&str> = file.toks[idx + 1..]
+        .iter()
+        .filter(|t| !t.is_comment())
+        .take(3)
+        .filter_map(|t| t.ident())
+        .collect();
+    if rest.is_empty() {
+        "`pub` item".to_string()
+    } else {
+        format!("`pub {}`", rest.join(" "))
+    }
+}

@@ -1,0 +1,95 @@
+//! The rule registry.
+//!
+//! Every Atlas-specific invariant is one [`Rule`] implementation. The
+//! registry is the single list in [`all_rules`]; the CLI, the fixture tests
+//! and the workspace gate all iterate it, so a rule added there is enforced
+//! everywhere at once.
+//!
+//! # Adding a rule
+//!
+//! 1. Create `src/rules/<name>.rs` implementing [`Rule`]:
+//!    * [`Rule::id`] — kebab-case identifier, stable (it is what baselines
+//!      and JSON output key on);
+//!    * [`Rule::waiver_key`] — the `// lint: <key> (reason)` token that
+//!      suppresses one finding, or `""` for unwaivable rules;
+//!    * [`Rule::applies_to`] — path predicate (workspace-relative,
+//!      `/`-separated) selecting the enforced surface;
+//!    * [`Rule::check`] — pattern-match over [`SourceFile::toks`], emit
+//!      through [`emit`] so waivers are honoured uniformly.
+//! 2. Register it in [`all_rules`].
+//! 3. Add fixture files under `tests/fixtures/` with at least one
+//!    **true positive** and one **must-not-match** case (a string or comment
+//!    containing the flagged pattern), and assertions in `tests/rules.rs`.
+//! 4. If the workspace has legacy violations, either burn them down in the
+//!    same change or commit them with `--write-baseline` — the ratchet
+//!    fails only *new* findings.
+//!
+//! Rules are token-level heuristics, not a type system. When a rule cannot
+//! prove a site is fine, the site carries a waiver whose mandatory reason
+//! documents the proof — the waiver comment is the artifact a reviewer
+//! audits, exactly like a `// SAFETY:` comment.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod determinism;
+mod doc_hygiene;
+mod panic_free;
+mod unsafe_audit;
+mod wire_floats;
+
+/// One lint rule: a path scope plus a token-level check.
+pub trait Rule {
+    /// Stable kebab-case identifier used in diagnostics and baselines.
+    fn id(&self) -> &'static str;
+    /// Waiver token (`// lint: <key> (reason)`), empty if unwaivable.
+    fn waiver_key(&self) -> &'static str;
+    /// Does this rule apply to the file at `path` (workspace-relative)?
+    fn applies_to(&self, path: &str) -> bool;
+    /// Scan the file, returning findings (waivers already applied).
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// Every registered rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(determinism::NondeterministicIteration),
+        Box::new(wire_floats::WireFloatFormat),
+        Box::new(panic_free::PanicPath),
+        Box::new(panic_free::SliceIndex),
+        Box::new(unsafe_audit::MissingSafetyComment),
+        Box::new(doc_hygiene::TestlessIntegrationFile),
+        Box::new(doc_hygiene::UndocumentedPub),
+    ]
+}
+
+/// Push a finding unless the site carries this rule's waiver. All rules emit
+/// through here so waiver semantics cannot drift between rules.
+pub fn emit(
+    rule: &dyn Rule,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let key = rule.waiver_key();
+    if !key.is_empty() && file.waived(line, key) {
+        return;
+    }
+    out.push(Diagnostic {
+        file: file.path.clone(),
+        line,
+        rule: rule.id(),
+        message,
+    });
+}
+
+/// The non-comment tokens of a file with their original indices — the view
+/// every token-pattern rule iterates.
+pub fn code_tokens(file: &SourceFile) -> Vec<(usize, &crate::lexer::Tok)> {
+    file.toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect()
+}

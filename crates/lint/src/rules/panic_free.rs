@@ -1,0 +1,176 @@
+//! Rule 3 — **panic-path** and **slice-index**.
+//!
+//! A panic on an `atlas-serve` request path kills a worker thread mid-
+//! request instead of answering a typed error; under load that degrades the
+//! whole pool. Non-test code in `crates/serve` must return typed
+//! [`AtlasError`]s instead of calling `unwrap()`/`expect()`/`panic!`-family
+//! macros, and slice indexing must either be converted to checked `get`
+//! (for wire-derived indices) or carry a `// lint: slice-index-ok (proof)`
+//! waiver stating why the bound holds.
+
+use super::{code_tokens, emit, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+fn in_serve(path: &str) -> bool {
+    path.starts_with("crates/serve/src")
+}
+
+/// Panicking method calls and macros on request paths; see the module docs.
+pub struct PanicPath;
+
+impl Rule for PanicPath {
+    fn id(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "panic-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        in_serve(path)
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code = code_tokens(file);
+        let mut out = Vec::new();
+        for i in 0..code.len() {
+            let (orig, tok) = code[i];
+            if file.in_test_code(orig) {
+                continue;
+            }
+            let Some(name) = tok.ident() else { continue };
+            // `.unwrap()` / `.expect(` — exact method names only, so
+            // `unwrap_or_else` and `expect_err` stay legal.
+            if matches!(name, "unwrap" | "expect")
+                && i >= 1
+                && code[i - 1].1.is_punct('.')
+                && code.get(i + 1).is_some_and(|(_, t)| t.is_punct('('))
+            {
+                emit(
+                    self,
+                    file,
+                    tok.line,
+                    format!("`.{name}()` on a request path; return a typed `AtlasError` instead"),
+                    &mut out,
+                );
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+            if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+                && code.get(i + 1).is_some_and(|(_, t)| t.is_punct('!'))
+            {
+                emit(
+                    self,
+                    file,
+                    tok.line,
+                    format!("`{name}!` on a request path; return a typed `AtlasError` instead"),
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Unchecked slice/array indexing on request paths; see the module docs.
+pub struct SliceIndex;
+
+impl Rule for SliceIndex {
+    fn id(&self) -> &'static str {
+        "slice-index"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "slice-index-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        in_serve(path)
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code = code_tokens(file);
+        let mut out = Vec::new();
+        for i in 1..code.len() {
+            let (orig, tok) = code[i];
+            if !tok.is_punct('[') || file.in_test_code(orig) {
+                continue;
+            }
+            // Index position: the `[` directly follows a value expression.
+            // Anything else (`#[attr]`, `vec![`, array literals after `=`,
+            // `(`, `,`, slice types after `&`/`:`/`<`) is not indexing.
+            let prev = code[i - 1].1;
+            let indexes_value = match &prev.kind {
+                TokKind::Ident(name) => !matches!(
+                    name.as_str(),
+                    "let"
+                        | "in"
+                        | "return"
+                        | "if"
+                        | "else"
+                        | "match"
+                        | "mut"
+                        | "ref"
+                        | "move"
+                        | "as"
+                        | "dyn"
+                        | "where"
+                        | "box"
+                        | "const"
+                        | "static"
+                ),
+                TokKind::Punct(')' | ']') => true,
+                _ => false,
+            };
+            if !indexes_value {
+                continue;
+            }
+            // Find the matching `]`; a bare `[..]` full-range never panics.
+            let mut depth = 0i32;
+            let mut j = i;
+            let mut inner = 0usize;
+            let mut all_dots = true;
+            while j < code.len() {
+                match &code[j].1.kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    kind => {
+                        if j > i {
+                            inner += 1;
+                            if !matches!(kind, TokKind::Punct('.')) {
+                                all_dots = false;
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if inner > 0 && all_dots {
+                continue; // `x[..]`
+            }
+            let receiver = code[i - 1]
+                .1
+                .ident()
+                .map(|n| format!("`{n}[...]`"))
+                .unwrap_or_else(|| "`[...]` indexing".to_string());
+            emit(
+                self,
+                file,
+                tok.line,
+                format!(
+                    "{receiver} can panic out-of-bounds on a request path; use checked \
+                     `get` for wire-derived indices or waive with the bound's proof"
+                ),
+                &mut out,
+            );
+        }
+        out
+    }
+}

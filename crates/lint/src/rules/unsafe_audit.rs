@@ -1,0 +1,53 @@
+//! Rule 4 — **missing-safety-comment**.
+//!
+//! Every `unsafe` site in the workspace — vendored crates included — must be
+//! preceded by a `// SAFETY:` comment stating the invariants that make it
+//! sound (the `minirayon` lifetime-erasure contract is the canonical
+//! example). This rule is deliberately unwaivable: an `unsafe` block whose
+//! soundness cannot be written down should not exist.
+
+use super::{code_tokens, emit, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// How many lines above the `unsafe` token a `SAFETY:` comment may sit
+/// (attributes or a signature line may intervene).
+const SAFETY_LOOKBACK_LINES: u32 = 5;
+
+/// See the module docs.
+pub struct MissingSafetyComment;
+
+impl Rule for MissingSafetyComment {
+    fn id(&self) -> &'static str {
+        "missing-safety-comment"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "" // unwaivable
+    }
+
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (_, tok) in code_tokens(file) {
+            if tok.ident() != Some("unsafe") {
+                continue;
+            }
+            if !file.comment_nearby_contains(tok.line, SAFETY_LOOKBACK_LINES, "SAFETY:") {
+                emit(
+                    self,
+                    file,
+                    tok.line,
+                    "`unsafe` without a preceding `// SAFETY:` comment stating its \
+                     soundness invariants"
+                        .to_string(),
+                    &mut out,
+                );
+            }
+        }
+        out
+    }
+}

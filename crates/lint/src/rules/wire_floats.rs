@@ -1,0 +1,178 @@
+//! Rule 2 — **wire-float-format**.
+//!
+//! Scores cross the wire bit-for-bit only because every float is printed by
+//! the shortest-round-trip / hex-bit codecs in `crates/serve/src/wire/`.
+//! A stray `format!("{score:.3}")` or `x.to_string()` silently truncates
+//! and the distributed bit-identity guarantee dies. Inside the wire modules
+//! this rule flags float formatting anywhere outside the codec functions
+//! themselves (which carry `// lint: wire-float-ok (...)` waivers — they
+//! *are* the codecs).
+
+use super::{code_tokens, emit, Rule};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::{Mark, SourceFile};
+
+/// Formatting macros whose arguments (or inline `{name}` captures) are
+/// checked for float-typed bindings.
+const FORMAT_MACROS: &[&str] = &[
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
+];
+
+/// See the module docs.
+pub struct WireFloatFormat;
+
+impl Rule for WireFloatFormat {
+    fn id(&self) -> &'static str {
+        "wire-float-format"
+    }
+
+    fn waiver_key(&self) -> &'static str {
+        "wire-float-ok"
+    }
+
+    fn applies_to(&self, path: &str) -> bool {
+        path.contains("crates/serve/src/wire/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let code = code_tokens(file);
+        let mut out = Vec::new();
+        for i in 0..code.len() {
+            let (orig, tok) = code[i];
+            if file.in_test_code(orig) {
+                continue;
+            }
+            // `format!( ... )` and friends.
+            if let Some(mac) = tok.ident() {
+                if FORMAT_MACROS.contains(&mac)
+                    && code.get(i + 1).is_some_and(|(_, t)| t.is_punct('!'))
+                    && code.get(i + 2).is_some_and(|(_, t)| t.is_punct('('))
+                {
+                    if let Some(offender) = float_in_macro_args(file, &code, i + 2) {
+                        emit(
+                            self,
+                            file,
+                            tok.line,
+                            format!(
+                                "`{mac}!` formats float `{offender}` lossily; route it \
+                                 through the shortest-round-trip or hex-bit codec"
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            // `x.to_string()` on a float binding or float literal.
+            if tok.ident() == Some("to_string")
+                && i >= 2
+                && code[i - 1].1.is_punct('.')
+                && code.get(i + 1).is_some_and(|(_, t)| t.is_punct('('))
+            {
+                let (rorig, recv) = code[i - 2];
+                let float_recv = match &recv.kind {
+                    TokKind::Ident(name) => file
+                        .is_marked(name, rorig, Mark::Float)
+                        .then_some(name.as_str()),
+                    TokKind::Num { float: true } => Some("literal"),
+                    _ => None,
+                };
+                if let Some(name) = float_recv {
+                    emit(
+                        self,
+                        file,
+                        tok.line,
+                        format!(
+                            "`.to_string()` on float `{name}` is lossy; route it through \
+                             the shortest-round-trip or hex-bit codec"
+                        ),
+                        &mut out,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Scan one macro's argument list (starting at the opening paren in `code`)
+/// for a float-typed identifier, a float literal, or an inline `{name}`
+/// capture of a float binding. Returns the offender's name.
+fn float_in_macro_args<'t>(
+    file: &SourceFile,
+    code: &[(usize, &'t crate::lexer::Tok)],
+    open: usize,
+) -> Option<&'t str> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < code.len() {
+        let (orig, t) = code[j];
+        match &t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            TokKind::Ident(name) if file.is_marked(name, orig, Mark::Float) => {
+                return Some(name);
+            }
+            TokKind::Num { float: true } => return Some("literal"),
+            TokKind::Str(text) => {
+                // Rust 2021 inline captures: `format!("{x}")` mentions `x`
+                // only inside the literal.
+                for name in inline_captures(text) {
+                    if file.is_marked(name, orig, Mark::Float) {
+                        // Resolve to the binding's own name for the message.
+                        if let Some((_, bt)) = code.iter().find(|(_, bt)| bt.ident() == Some(name))
+                        {
+                            return bt.ident();
+                        }
+                        return Some("captured");
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// The `{name}` / `{name:spec}` capture identifiers of a format string.
+fn inline_captures(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            if bytes.get(i + 1) == Some(&b'{') {
+                i += 2; // escaped brace
+                continue;
+            }
+            let start = i + 1;
+            let mut end = start;
+            while end < bytes.len()
+                && ((bytes[end] as char).is_ascii_alphanumeric() || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            if end > start && matches!(bytes.get(end), Some(b'}') | Some(b':')) {
+                if let Ok(name) = std::str::from_utf8(&bytes[start..end]) {
+                    if name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    {
+                        out.push(name);
+                    }
+                }
+            }
+            i = end.max(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}

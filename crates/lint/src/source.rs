@@ -1,0 +1,588 @@
+//! Per-file analysis shared by every rule: the token stream plus
+//!
+//! * **test regions** — spans of `#[cfg(test)]` items and `#[test]` functions,
+//!   so request-path rules skip test code;
+//! * **function spans** — which tokens belong to which named `fn`, giving
+//!   rules a scope for bindings ("the `folded` in *this* function, not the
+//!   one three functions down");
+//! * a flow-insensitive, per-function **symbol table** of bindings whose type
+//!   or initializer marks them as hash collections (`HashMap`/`HashSet`,
+//!   through local `type` aliases and the return types of same-file
+//!   functions) or floats (`f64`/`f32`);
+//! * **waivers** — `// lint: <key>-ok (reason)` comments on the flagged line
+//!   or the line above. The reason is mandatory: an empty `()` does not
+//!   suppress anything.
+//!
+//! Everything here is a heuristic over tokens, not a type checker; the rules
+//! it feeds are documented as such and back-stopped by the waiver/baseline
+//! machinery.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How a binding was marked by the symbol-table scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// Typed or initialized as a `HashMap`/`HashSet` (possibly via alias or
+    /// the return type of a same-file function).
+    Hash,
+    /// Typed `f64`/`f32` or initialized from a float literal.
+    Float,
+}
+
+/// One binding: name, marking, and the function it belongs to (`None` for
+/// struct fields and module-level items, which are visible file-wide).
+#[derive(Debug, Clone)]
+struct Binding {
+    name: String,
+    mark: Mark,
+    func: Option<String>,
+}
+
+/// A tokenized source file plus the derived views rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// The token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// Token-index ranges lying inside `#[cfg(test)]` items or `#[test]` fns.
+    test_spans: Vec<(usize, usize)>,
+    /// Named function bodies as (start, end, name) token-index ranges.
+    fn_spans: Vec<(usize, usize, String)>,
+    /// All marked bindings, in declaration order.
+    bindings: Vec<Binding>,
+    /// `lint: <key> (reason)` waivers by line.
+    waivers: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines on which any comment token lives, with the comment text.
+    comment_lines: BTreeMap<u32, String>,
+}
+
+impl SourceFile {
+    /// Tokenize and analyze one file.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let toks = tokenize(text);
+        let test_spans = find_test_spans(&toks);
+        let fn_spans = find_fn_spans(&toks);
+        let mut file = SourceFile {
+            path: path.replace('\\', "/"),
+            toks,
+            test_spans,
+            fn_spans,
+            bindings: Vec::new(),
+            waivers: BTreeMap::new(),
+            comment_lines: BTreeMap::new(),
+        };
+        file.collect_comments_and_waivers();
+        file.collect_bindings();
+        file
+    }
+
+    /// True when token `idx` lies inside a test region (or the whole file is
+    /// an integration-test file under a `tests/` directory).
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        if self.path.split('/').any(|seg| seg == "tests") {
+            return true;
+        }
+        self.test_spans.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// Name of the innermost named function containing token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&str> {
+        self.fn_spans
+            .iter()
+            .filter(|&&(s, e, _)| idx >= s && idx < e)
+            .min_by_key(|&&(s, e, _)| e - s)
+            .map(|(_, _, name)| name.as_str())
+    }
+
+    /// Is `name`, used at token `idx`, a binding marked `mark`? Bindings in
+    /// the same function win; fall back to file-wide (field) bindings.
+    pub fn is_marked(&self, name: &str, idx: usize, mark: Mark) -> bool {
+        let here = self.enclosing_fn(idx);
+        self.bindings.iter().any(|b| {
+            b.name == name && b.mark == mark && (b.func.is_none() || b.func.as_deref() == here)
+        })
+    }
+
+    /// Is the diagnostic with waiver key `key` waived on `line` (same line or
+    /// the line directly above)?
+    pub fn waived(&self, line: u32, key: &str) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.waivers.get(l).is_some_and(|keys| keys.contains(key)))
+    }
+
+    /// Does any comment on `line` or the `above` lines preceding it contain
+    /// `needle`? A multi-line comment block whose tail reaches into that
+    /// window also counts in full, so a long `// SAFETY:` contract is not
+    /// penalized for pushing its keyword line beyond the fixed window.
+    /// Used by the `SAFETY:` audit.
+    pub fn comment_nearby_contains(&self, line: u32, above: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(above);
+        if self
+            .comment_lines
+            .range(lo..=line)
+            .any(|(_, text)| text.contains(needle))
+        {
+            return true;
+        }
+        let first_in_window = self.comment_lines.range(lo..=line).next().map(|(l, _)| *l);
+        if let Some(mut cur) = first_in_window {
+            while cur > 1 {
+                match self.comment_lines.get(&(cur - 1)) {
+                    Some(text) if text.contains(needle) => return true,
+                    Some(_) => cur -= 1,
+                    None => break,
+                }
+            }
+        }
+        false
+    }
+
+    /// All waivers in the file as (line, key) pairs — the CLI lists them so
+    /// a reviewer can audit every suppression in one place.
+    pub fn waiver_sites(&self) -> Vec<(u32, String)> {
+        self.waivers
+            .iter()
+            .flat_map(|(line, keys)| keys.iter().map(|k| (*line, k.clone())))
+            .collect()
+    }
+
+    fn collect_comments_and_waivers(&mut self) {
+        for tok in &self.toks {
+            let text = match &tok.kind {
+                TokKind::LineComment(t) | TokKind::BlockComment(t) => t.clone(),
+                _ => continue,
+            };
+            self.comment_lines
+                .entry(tok.line)
+                .and_modify(|acc| {
+                    acc.push(' ');
+                    acc.push_str(&text);
+                })
+                .or_insert_with(|| text.clone());
+            // Waiver grammar: `lint: <key> (<non-empty reason>)`.
+            let mut rest = text.as_str();
+            while let Some(at) = rest.find("lint:") {
+                rest = &rest[at + "lint:".len()..];
+                let rest_trim = rest.trim_start();
+                let key_end = rest_trim
+                    .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+                    .unwrap_or(rest_trim.len());
+                let key = &rest_trim[..key_end];
+                let after = rest_trim[key_end..].trim_start();
+                let has_reason = after
+                    .strip_prefix('(')
+                    .and_then(|r| r.find(')').map(|end| !r[..end].trim().is_empty()))
+                    .unwrap_or(false);
+                if !key.is_empty() && has_reason {
+                    self.waivers
+                        .entry(tok.line)
+                        .or_default()
+                        .insert(key.to_string());
+                }
+            }
+        }
+    }
+
+    fn collect_bindings(&mut self) {
+        // Pass 1: local `type` aliases and same-file functions whose return
+        // type is hash-marked. Both feed pass 2.
+        let mut hash_aliases: BTreeSet<String> = BTreeSet::new();
+        let mut hash_fns: BTreeSet<String> = BTreeSet::new();
+        let code: Vec<(usize, &Tok)> = self
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .collect();
+        let ident_at = |i: usize| -> Option<&str> { code.get(i).and_then(|(_, t)| t.ident()) };
+        let is_hash_ident = |name: &str, aliases: &BTreeSet<String>| {
+            name == "HashMap" || name == "HashSet" || aliases.contains(name)
+        };
+
+        for i in 0..code.len() {
+            if ident_at(i) == Some("type") {
+                if let Some(alias) = ident_at(i + 1) {
+                    // `type X<...> = rhs ;` — scan rhs to the semicolon.
+                    let mut j = i + 2;
+                    while j < code.len() && !code[j].1.is_punct(';') {
+                        if let Some(name) = ident_at(j) {
+                            if is_hash_ident(name, &hash_aliases) {
+                                hash_aliases.insert(alias.to_string());
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            if ident_at(i) == Some("fn") {
+                if let Some(fname) = ident_at(i + 1) {
+                    // Scan the signature for `-> ... {` and mark the fn if
+                    // the return type mentions a hash type or alias.
+                    let mut j = i + 2;
+                    let mut arrow = false;
+                    while j < code.len() {
+                        let t = code[j].1;
+                        if t.is_punct('{') || t.is_punct(';') {
+                            break;
+                        }
+                        if t.is_punct('>') && j > 0 && code[j - 1].1.is_punct('-') {
+                            arrow = true;
+                        } else if arrow {
+                            if let Some(name) = t.ident() {
+                                if is_hash_ident(name, &hash_aliases) {
+                                    hash_fns.insert(fname.to_string());
+                                    break;
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: bindings. Two shapes:
+        //   `name : <type tokens>`   (lets, params, struct fields, literals)
+        //   `let [mut] name = <expr tokens> ;`
+        let mut bindings = Vec::new();
+        for i in 0..code.len() {
+            // Shape 1: ident ':' followed by a type region.
+            if code[i].1.is_punct(':')
+                && i > 0
+                && i + 1 < code.len()
+                && !code[i - 1].1.is_punct(':') // skip `::` paths
+                && !code.get(i + 1).is_some_and(|(_, t)| t.is_punct(':'))
+            {
+                if let Some(name) = ident_at(i - 1) {
+                    let (tok_idx, _) = code[i - 1];
+                    let mut mark = None;
+                    let mut angle = 0i32;
+                    let mut j = i + 1;
+                    while j < code.len() {
+                        let t = code[j].1;
+                        match &t.kind {
+                            TokKind::Punct('<') => angle += 1,
+                            TokKind::Punct('>') => {
+                                if j > 0 && code[j - 1].1.is_punct('-') {
+                                    // `->` is not a closing angle.
+                                } else {
+                                    angle -= 1;
+                                    if angle < 0 {
+                                        break;
+                                    }
+                                }
+                            }
+                            TokKind::Punct(',' | ';' | ')' | '{' | '}' | '=') if angle <= 0 => {
+                                break
+                            }
+                            TokKind::Ident(name) => {
+                                if is_hash_ident(name, &hash_aliases) {
+                                    mark = Some(Mark::Hash);
+                                    break;
+                                }
+                                if name == "f64" || name == "f32" {
+                                    mark = Some(Mark::Float);
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if let Some(mark) = mark {
+                        bindings.push(Binding {
+                            name: name.to_string(),
+                            mark,
+                            func: self.enclosing_fn(tok_idx).map(str::to_string),
+                        });
+                    }
+                }
+            }
+            // Shape 2: `let [mut] name = expr ;`
+            if ident_at(i) == Some("let") {
+                let mut k = i + 1;
+                if ident_at(k) == Some("mut") {
+                    k += 1;
+                }
+                let Some(name) = ident_at(k) else { continue };
+                if !code.get(k + 1).is_some_and(|(_, t)| t.is_punct('=')) {
+                    continue; // annotated lets are handled by shape 1
+                }
+                let (tok_idx, _) = code[k];
+                let mut mark = None;
+                let mut j = k + 2;
+                while j < code.len() && !code[j].1.is_punct(';') {
+                    match &code[j].1.kind {
+                        TokKind::Ident(name) => {
+                            if is_hash_ident(name, &hash_aliases) {
+                                mark = Some(Mark::Hash);
+                                break;
+                            }
+                            if hash_fns.contains(name.as_str())
+                                && code.get(j + 1).is_some_and(|(_, t)| t.is_punct('('))
+                            {
+                                mark = Some(Mark::Hash);
+                                break;
+                            }
+                        }
+                        TokKind::Num { float: true } => {
+                            mark = Some(Mark::Float);
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(mark) = mark {
+                    bindings.push(Binding {
+                        name: name.to_string(),
+                        mark,
+                        func: self.enclosing_fn(tok_idx).map(str::to_string),
+                    });
+                }
+            }
+        }
+        self.bindings = bindings;
+    }
+}
+
+/// Find spans (token-index ranges) of items carrying `#[cfg(test)]` or
+/// `#[test]` attributes: the braces-enclosed body that follows the attribute.
+fn find_test_spans(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && !attr_is_inner(toks, i) {
+            let (attr_toks, after) = read_attr(toks, i);
+            if attr_is_test(&attr_toks) {
+                if let Some((start, end)) = item_body_span(toks, after) {
+                    spans.push((start, end));
+                    i = end;
+                    continue;
+                }
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// `#![...]` inner attributes apply to the enclosing module, not the next
+/// item; the test-span scan must not treat them as item attributes.
+fn attr_is_inner(toks: &[Tok], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+}
+
+/// Read one `#[...]` attribute starting at `#`; returns its identifier
+/// tokens and the index just past the closing `]`.
+fn read_attr(toks: &[Tok], i: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return (idents, i + 1);
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (idents, j + 1);
+                }
+            }
+            TokKind::Ident(name) => idents.push(name.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    (idents, toks.len())
+}
+
+/// `#[test]`, `#[cfg(test)]` and friends (`#[cfg(all(test, ...))]`, ...).
+fn attr_is_test(idents: &[String]) -> bool {
+    match idents.first().map(String::as_str) {
+        Some("test") => true,
+        Some("cfg") => idents.iter().any(|s| s == "test"),
+        _ => false,
+    }
+}
+
+/// From an attribute's end, find the span of the attributed item's `{...}`
+/// body: skip further attributes and signature tokens (balancing parens and
+/// brackets) to the first top-level `{`, then match braces.
+fn item_body_span(toks: &[Tok], mut i: usize) -> Option<(usize, usize)> {
+    let mut paren = 0i32;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Punct('#') if paren == 0 && !attr_is_inner(toks, i) => {
+                let (_, after) = read_attr(toks, i);
+                i = after;
+                continue;
+            }
+            TokKind::Punct('(' | '[') => paren += 1,
+            TokKind::Punct(')' | ']') => paren -= 1,
+            TokKind::Punct(';') if paren == 0 => return None, // bodyless item
+            TokKind::Punct('{') if paren == 0 => {
+                let start = i;
+                let mut depth = 0i32;
+                while i < toks.len() {
+                    match &toks[i].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((start, i + 1));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some((start, toks.len()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Find every named `fn` body as a (start, end, name) token-index span.
+fn find_fn_spans(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].ident() == Some("fn") {
+            if let Some(TokKind::Ident(name)) = toks.get(i + 1).map(|t| &t.kind) {
+                if let Some((start, end)) = item_body_span(toks, i + 2) {
+                    spans.push((start, end, name.clone()));
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let src = r#"
+fn request_path() { work(); }
+
+#[test]
+fn a_unit_test() { assert!(true); }
+
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+"#;
+        let f = SourceFile::parse("crates/serve/src/x.rs", src);
+        let at = |name: &str| f.toks.iter().position(|t| t.ident() == Some(name)).unwrap();
+        assert!(!f.in_test_code(at("request_path")));
+        assert!(f.in_test_code(at("assert")));
+        assert!(f.in_test_code(at("helper")));
+    }
+
+    #[test]
+    fn integration_test_files_are_all_test_code() {
+        let f = SourceFile::parse("tests/end_to_end.rs", "fn x() { y.unwrap(); }");
+        assert!(f.in_test_code(0));
+    }
+
+    #[test]
+    fn bindings_are_scoped_to_their_function() {
+        let src = r#"
+use std::collections::HashMap;
+fn a() { let folded: HashMap<u32, u32> = HashMap::new(); }
+fn b() { let folded: Vec<u32> = Vec::new(); for x in &folded {} }
+"#;
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let in_a = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("folded"))
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>();
+        assert!(f.is_marked("folded", in_a[0], Mark::Hash));
+        assert!(
+            !f.is_marked("folded", *in_a.last().unwrap(), Mark::Hash),
+            "the Vec-typed `folded` in fn b must not inherit fn a's mark"
+        );
+    }
+
+    #[test]
+    fn aliases_and_returning_fns_propagate_the_hash_mark() {
+        let src = r#"
+type PairCounts = std::collections::HashMap<(usize, usize), u64>;
+fn make() -> PairCounts { PairCounts::new() }
+fn consume() { let counts = make(); let other: PairCounts = make(); }
+"#;
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let idx = f
+            .toks
+            .iter()
+            .position(|t| t.ident() == Some("counts"))
+            .unwrap();
+        assert!(f.is_marked("counts", idx, Mark::Hash));
+        assert!(f.is_marked("other", idx, Mark::Hash));
+    }
+
+    #[test]
+    fn waivers_need_a_reason_and_cover_the_next_line() {
+        let src = "
+// lint: panic-ok (startup path, cannot recur at runtime)
+x.unwrap();
+// lint: panic-ok ()
+y.unwrap();
+z.unwrap(); // lint: slice-index-ok (bounded by loop)
+";
+        let f = SourceFile::parse("crates/serve/src/x.rs", src);
+        assert!(f.waived(3, "panic-ok"));
+        assert!(!f.waived(5, "panic-ok"), "empty reason must not waive");
+        assert!(f.waived(6, "slice-index-ok"));
+        assert!(!f.waived(6, "panic-ok"));
+    }
+
+    #[test]
+    fn long_contiguous_safety_blocks_reach_past_the_fixed_window() {
+        let mut src = String::from("// SAFETY: the invariant lives way up here.\n");
+        for i in 0..10 {
+            src.push_str(&format!("// obligation {i} of the contract.\n"));
+        }
+        src.push_str("fn f() { unsafe { danger() } }\n");
+        let f = SourceFile::parse("crates/core/src/x.rs", &src);
+        assert!(
+            f.comment_nearby_contains(12, 5, "SAFETY:"),
+            "the block's tail is adjacent, so the whole block counts"
+        );
+        // A gap of code between the block and the unsafe line breaks the run.
+        let gapped = "// SAFETY: stale contract.\nfn other() {}\n\n\n\n\n\n\nfn f() { unsafe { danger() } }\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", gapped);
+        assert!(!f.comment_nearby_contains(9, 5, "SAFETY:"));
+    }
+
+    #[test]
+    fn float_bindings_are_marked() {
+        let src = "fn f(x: f64) { let y = 1.5; let n = 3; }";
+        let f = SourceFile::parse("crates/serve/src/wire/x.rs", src);
+        let idx = f.toks.iter().position(|t| t.ident() == Some("y")).unwrap();
+        assert!(f.is_marked("x", idx, Mark::Float));
+        assert!(f.is_marked("y", idx, Mark::Float));
+        assert!(!f.is_marked("n", idx, Mark::Float));
+    }
+}

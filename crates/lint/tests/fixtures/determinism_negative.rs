@@ -1,0 +1,49 @@
+// Fixture: sites that must NOT be flagged by `nondeterministic-iteration`.
+use std::collections::HashMap;
+
+fn strings_and_comments_do_not_match() {
+    // A comment mentioning map.iter() over a HashMap is not code.
+    let doc = "call map.iter() on your HashMap";
+    let _ = doc;
+}
+
+fn vec_iteration_is_fine(rows: Vec<u64>) -> u64 {
+    let mut total = 0;
+    for row in &rows {
+        total += row;
+    }
+    total + rows.iter().sum::<u64>()
+}
+
+fn ranges_over_hash_len_are_fine(map: HashMap<u32, u32>) -> Vec<usize> {
+    // `0..map.len()` mentions the binding but iterates a range, not the map.
+    (0..map.len()).collect()
+}
+
+fn same_name_different_function_is_scoped() {
+    // `scores` is a Vec here even though another fixture fn has a HashMap
+    // binding of the same name in another file; per-function scoping keeps
+    // this clean.
+    let scores: Vec<f64> = Vec::new();
+    for s in &scores {
+        let _ = s;
+    }
+}
+
+fn waived_with_reason(counts: HashMap<String, u64>) -> u64 {
+    // lint: nondeterministic-ok (summing is order-insensitive)
+    counts.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for x in &m {
+            let _ = x;
+        }
+    }
+}

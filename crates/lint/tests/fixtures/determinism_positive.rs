@@ -1,0 +1,28 @@
+// Fixture: true positives for `nondeterministic-iteration`.
+// This file is NOT compiled — it is parsed by the lint fixture tests.
+use std::collections::{HashMap, HashSet};
+
+type Index = HashMap<String, usize>;
+
+fn build() -> Index {
+    Index::new()
+}
+
+fn method_call_on_annotated_binding(scores: HashMap<String, f64>) -> Vec<String> {
+    scores.keys().cloned().collect() // line 12: flagged
+}
+
+fn for_loop_over_initialized_binding() {
+    let mut seen = HashSet::new();
+    seen.insert(1);
+    for value in &seen { // line 18: flagged
+        let _ = value;
+    }
+}
+
+fn alias_and_returning_fn_propagate() {
+    let index = build();
+    for (name, pos) in index.iter() { // line 25: flagged
+        let _ = (name, pos);
+    }
+}

@@ -1,0 +1,56 @@
+// Fixture: sites that must NOT be flagged by `panic-path` / `slice-index`.
+
+fn unwrap_or_else_is_legal(value: Option<u32>) -> u32 {
+    value.unwrap_or_else(|| 0)
+}
+
+fn unwrap_or_default_is_legal(value: Option<u32>) -> u32 {
+    value.unwrap_or_default()
+}
+
+fn expect_err_is_legal(value: Result<(), String>) -> String {
+    match value {
+        Err(e) => e,
+        Ok(()) => String::new(),
+    }
+}
+
+fn strings_and_comments_do_not_match() -> &'static str {
+    // Saying .unwrap() or panic! in a comment is fine.
+    "error: refusing to .unwrap() or panic!(...) here"
+}
+
+fn attributes_are_not_indexing() {
+    #[allow(dead_code)]
+    fn inner() {}
+}
+
+fn array_literals_and_macros_are_not_indexing() -> Vec<[u32; 2]> {
+    vec![[1, 2], [3, 4]]
+}
+
+fn full_range_never_panics(rows: &[u64]) -> &[u64] {
+    &rows[..]
+}
+
+fn checked_get_is_the_fix(rows: &[u64], idx: usize) -> Option<u64> {
+    rows.get(idx).copied()
+}
+
+fn waived_with_proof(rows: &[u64]) -> u64 {
+    let mut total = 0;
+    for i in 0..rows.len() {
+        // lint: slice-index-ok (i is loop-bounded by rows.len())
+        total += rows[i];
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let rows = [1u64, 2];
+        assert_eq!(rows[0], Some(1u64).unwrap());
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: true positives for `panic-path` and `slice-index`.
+
+fn unwrap_on_request_path(value: Option<u32>) -> u32 {
+    value.unwrap() // line 4: panic-path
+}
+
+fn expect_on_request_path(value: Option<u32>) -> u32 {
+    value.expect("present") // line 8: panic-path
+}
+
+fn explicit_panics(kind: u32) {
+    match kind {
+        0 => panic!("boom"),        // line 13: panic-path
+        1 => unreachable!("never"), // line 14: panic-path
+        _ => todo!(),               // line 15: panic-path
+    }
+}
+
+fn unchecked_index(rows: &[u64], idx: usize) -> u64 {
+    rows[idx] // line 20: slice-index
+}
+
+fn chained_index(matrix: &[Vec<u64>], i: usize) -> u64 {
+    matrix[i][0] // line 24: slice-index, twice
+}

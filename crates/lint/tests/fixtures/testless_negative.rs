@@ -1,0 +1,7 @@
+// Fixture: integration files that must NOT be flagged by
+// `testless-integration-file`.
+
+#[test]
+fn has_a_real_test() {
+    assert_eq!(1 + 1, 2);
+}

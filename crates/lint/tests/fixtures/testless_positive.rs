@@ -1,0 +1,10 @@
+// Fixture: a `tests/*.rs` integration file with no test in it — flagged by
+// `testless-integration-file` when parsed under a tests/ path.
+
+fn helper_that_asserts_nothing() -> u32 {
+    41 + 1
+}
+
+fn main_like_body() {
+    let _ = helper_that_asserts_nothing();
+}

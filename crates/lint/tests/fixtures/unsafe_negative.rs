@@ -1,0 +1,14 @@
+// Fixture: sites that must NOT be flagged by `missing-safety-comment`.
+
+fn documented(x: &u32) -> &'static u32 {
+    // SAFETY: the pointee is a leaked allocation, so 'static genuinely holds.
+    unsafe { std::mem::transmute(x) }
+}
+
+// SAFETY: the contract may sit a few lines above the unsafe token, e.g.
+// above the signature of an unsafe fn.
+unsafe fn documented_above_signature() {}
+
+fn strings_do_not_count() -> &'static str {
+    "unsafe { } in a string is not an unsafe block"
+}

@@ -1,0 +1,10 @@
+// Fixture: true positives for `missing-safety-comment`.
+
+fn erase_lifetime(x: &u32) -> &'static u32 {
+    unsafe { std::mem::transmute(x) } // line 4: flagged, no SAFETY comment
+}
+
+// A stale comment that is not a SAFETY contract does not count.
+fn another(x: &u32) -> &'static u32 {
+    unsafe { std::mem::transmute(x) } // line 9: flagged
+}

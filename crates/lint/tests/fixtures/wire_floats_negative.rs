@@ -1,0 +1,21 @@
+// Fixture: sites that must NOT be flagged by `wire-float-format`.
+
+fn integers_are_fine(count: usize) -> String {
+    format!("{count} rows")
+}
+
+fn strings_are_fine(name: &str) -> String {
+    let label = format!("dataset {name}");
+    label.to_string()
+}
+
+fn the_codec_is_waived(x: f64) -> String {
+    // lint: wire-float-ok (this is the hex-bit codec; it formats the bit pattern)
+    format!("{:016x}", x.to_bits())
+}
+
+fn comments_do_not_match(_x: f64) {
+    // format!("{_x}") in a comment is not code.
+    let doc = "format!(\"{x}\") in a string is not code either";
+    let _ = doc;
+}

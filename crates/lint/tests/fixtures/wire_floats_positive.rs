@@ -1,0 +1,19 @@
+// Fixture: true positives for `wire-float-format` (scoped to wire paths).
+
+fn positional_argument(score: f64) -> String {
+    format!("{}", score) // line 4: flagged
+}
+
+fn inline_capture(score: f64) -> String {
+    format!("score={score:.3}") // line 8: flagged (captured through the literal)
+}
+
+fn float_literal_to_string() -> String {
+    let x = 1.5;
+    x.to_string() // line 13: flagged
+}
+
+fn write_macro(out: &mut String, epsilon: f64) {
+    use std::fmt::Write;
+    let _ = write!(out, "{epsilon}"); // line 18: flagged
+}

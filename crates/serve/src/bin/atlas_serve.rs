@@ -114,8 +114,10 @@ fn main() {
         if let Err(error) = registry.add_spec(spec, options) {
             fail(&format!("loading '{spec}' failed: {error}"));
         }
-        let dataset = registry.datasets().last().expect("just added");
-        eprintln!("loaded dataset '{}' from '{spec}'", dataset.name());
+        match registry.datasets().last() {
+            Some(dataset) => eprintln!("loaded dataset '{}' from '{spec}'", dataset.name()),
+            None => fail(&format!("loading '{spec}' registered no dataset")),
+        }
     }
 
     let handle = match Server::start(registry, serve_config.clone()) {

@@ -108,6 +108,7 @@ impl CoordinatorMetrics {
     }
 
     fn record(&self, shard: usize, elapsed: Duration) {
+        // lint: slice-index-ok (callers index 0..shards.len(); per_shard is built one slot per shard)
         let lat = &self.per_shard[shard];
         let micros = elapsed.as_micros() as u64;
         lat.requests.fetch_add(1, Ordering::Relaxed);
@@ -357,13 +358,15 @@ impl Coordinator {
                     return Err(dist_err(format!(
                         "shard {} disagrees about dataset '{}' (generation, rows, \
                          segmentation or schema)",
-                        self.shards[idx].addr, self.dataset
-                    )))
+                        // lint: slice-index-ok (idx enumerates self.shards)
+                        self.shards[idx].addr,
+                        self.dataset
+                    )));
                 }
             }
         }
-        let (generation, num_rows, segment_rows, fields) =
-            agreed.expect("at least one shard answered");
+        let (generation, num_rows, segment_rows, fields) = agreed
+            .ok_or_else(|| dist_err("no shard answered the metadata probe; none are connected"))?;
         self.generation = generation;
         self.num_rows = num_rows;
         self.segment_offsets = segment_rows
@@ -383,6 +386,7 @@ impl Coordinator {
     /// (refused connection, reset, timeout) is retried exactly once; a second
     /// transport error or any non-`200` answer fails with a typed error.
     fn call(&self, shard: usize, path: &str, body: &Json) -> Result<Json, AtlasError> {
+        // lint: slice-index-ok (callers index 0..shards.len())
         let slot = &self.shards[shard];
         self.metrics.fan_out.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
@@ -417,6 +421,7 @@ impl Coordinator {
         body_of: impl Fn(&[usize]) -> Json + Sync,
     ) -> Result<Vec<Json>, AtlasError> {
         let live: Vec<usize> = (0..self.shards.len())
+            // lint: slice-index-ok (i ranges over 0..shards.len())
             .filter(|&i| !self.shards[i].segments.is_empty())
             .collect();
         let replies: Vec<Result<Json, AtlasError>> = std::thread::scope(|scope| {
@@ -424,6 +429,7 @@ impl Coordinator {
                 .iter()
                 .map(|&idx| {
                     let body_of = &body_of;
+                    // lint: slice-index-ok (idx comes from live, a subset of 0..shards.len())
                     scope.spawn(move || self.call(idx, path, &body_of(&self.shards[idx].segments)))
                 })
                 .collect();
@@ -478,13 +484,16 @@ impl Coordinator {
     fn fold_bitmaps(&self, partials: &[(usize, Bitmap)]) -> Result<Bitmap, AtlasError> {
         let mut folded = Bitmap::new_empty(self.num_rows);
         for (segment, bitmap) in partials {
+            // lint: slice-index-ok (scatter validated segment < segment_rows.len(); offsets has the same len)
             if bitmap.len() != self.segment_rows[*segment] {
                 return Err(dist_err(format!(
                     "segment {segment} bitmap has {} rows, expected {}",
                     bitmap.len(),
+                    // lint: slice-index-ok (same scatter-validated segment)
                     self.segment_rows[*segment]
                 )));
             }
+            // lint: slice-index-ok (same scatter-validated segment)
             folded.or_shifted(bitmap, self.segment_offsets[*segment]);
         }
         Ok(folded)
@@ -716,10 +725,13 @@ impl Coordinator {
                     let (rows, cols, counts) = pair_counts.remove(&(i, j)).ok_or_else(|| {
                         dist_err(format!("no contingency counts for pair ({i}, {j})"))
                     })?;
+                    // lint: slice-index-ok (i and j are loop-bounded by maps.len())
                     if rows != maps[i].num_regions() || cols != maps[j].num_regions() {
                         return Err(dist_err(format!(
                             "contingency of pair ({i}, {j}) is {rows}x{cols}, maps have {}x{} regions",
+                            // lint: slice-index-ok (same loop-bounded i and j)
                             maps[i].num_regions(),
+                            // lint: slice-index-ok (same loop-bounded i and j)
                             maps[j].num_regions()
                         )));
                     }
@@ -735,6 +747,7 @@ impl Coordinator {
         let phase = Instant::now();
         let products = self.pool.par_map(&clusters, |cluster| {
             let members: Vec<atlas_core::DataMap> =
+                // lint: slice-index-ok (clusters partition 0..maps.len() — the matrix was built with maps.len() points)
                 cluster.iter().map(|&idx| maps[idx].clone()).collect();
             product_maps(&members, self.config.drop_empty_regions)
         });
@@ -781,7 +794,18 @@ impl Coordinator {
             .iter()
             .position(|(name, _)| name == attribute)
             .ok_or_else(|| dist_err(format!("unknown attribute '{attribute}'")))?;
-        Ok(summaries[idx].to_stats())
+        // Checked: the summaries arrive over the wire, so their count is not
+        // guaranteed to match the schema the metadata probe agreed on.
+        summaries
+            .get(idx)
+            .map(ColumnSummary::to_stats)
+            .ok_or_else(|| {
+                dist_err(format!(
+                    "shards sent {} column summaries, schema has {}",
+                    summaries.len(),
+                    self.fields.len()
+                ))
+            })
     }
 
     fn field_type(&self, attribute: &str) -> Result<DataType, AtlasError> {
@@ -820,11 +844,13 @@ impl Coordinator {
             }
             for (acc, region) in folded.iter_mut().zip(regions) {
                 let bitmap = bitmap_from_json(region).map_err(dist_err)?;
+                // lint: slice-index-ok (scatter returned exactly one partial per segment, so enumerate() is in bounds)
                 if bitmap.len() != self.segment_rows[segment] {
                     return Err(dist_err(format!(
                         "segment {segment} region bitmap has the wrong length"
                     )));
                 }
+                // lint: slice-index-ok (same enumerate-bounded segment; offsets has segment_rows's len)
                 acc.or_shifted(&bitmap, self.segment_offsets[segment]);
             }
         }
@@ -949,9 +975,11 @@ impl RemoteSource<'_> {
                             .items()
                             .filter(|items| items.len() == 2)
                             .ok_or_else(|| dist_err("category count is not a pair"))?;
+                        // lint: slice-index-ok (the filter above admits only len == 2)
                         let value = items[0]
                             .str()
                             .ok_or_else(|| dist_err("category value is not a string"))?;
+                        // lint: slice-index-ok (the filter above admits only len == 2)
                         let count = items[1]
                             .index()
                             .ok_or_else(|| dist_err("category count is not integral"))?;

@@ -131,6 +131,7 @@ fn read_full<R: BufRead>(
 ) -> Result<(), HttpError> {
     let mut filled = 0usize;
     while filled < buf.len() {
+        // lint: slice-index-ok (filled < buf.len() is the loop condition; [n..] at n <= len is valid)
         match reader.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Err(if filled == 0 && at_message_start {
@@ -173,6 +174,7 @@ fn read_line<R: BufRead>(
             deadline,
             at_message_start && line.is_empty(),
         )?;
+        // lint: slice-index-ok (byte is a [u8; 1]; index 0 always exists)
         if byte[0] == b'\n' {
             if line.last() == Some(&b'\r') {
                 line.pop();
@@ -180,7 +182,7 @@ fn read_line<R: BufRead>(
             return String::from_utf8(line)
                 .map_err(|_| HttpError::Malformed("non-UTF-8 header line".to_string()));
         }
-        line.push(byte[0]);
+        line.push(byte[0]); // lint: slice-index-ok (byte is a [u8; 1]; index 0 always exists)
         if line.len() > MAX_LINE_BYTES {
             return Err(HttpError::Malformed("header line too long".to_string()));
         }

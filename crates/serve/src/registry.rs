@@ -130,6 +130,7 @@ impl Dataset {
     /// generation must apply to catch up).
     pub fn pending_segments(&self, from: usize) -> Vec<Arc<Segment>> {
         let state = self.lock();
+        // lint: slice-index-ok (the start is clamped to appended.len(); [n..] at n <= len is valid)
         state.appended[from.min(state.appended.len())..]
             .iter()
             .map(Arc::clone)

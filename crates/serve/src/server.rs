@@ -204,15 +204,13 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("atlas-serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("worker thread spawns")
             })
-            .collect();
+            .collect::<std::io::Result<Vec<_>>>()?;
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("atlas-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))
-                .expect("accept thread spawns")
+                .spawn(move || accept_loop(&listener, &shared))?
         };
         Ok(ServerHandle {
             addr,
@@ -557,7 +555,7 @@ fn metrics(shared: &Shared) -> Response {
     };
     if !coordinators.is_empty() {
         let mut entries: Vec<(String, Json)> = coordinators
-            .iter()
+            .iter() // lint: nondeterministic-ok (entries are sorted by dataset name two lines down)
             .map(|(dataset, (_, coordinator))| (dataset.clone(), coordinator.metrics().snapshot()))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -641,17 +639,15 @@ fn distributed_explore(shared: &Shared, request: &Request) -> Response {
             Some(dataset) => dataset,
             None => return Response::error(404, format!("no dataset named '{name}'")),
         },
-        None => {
-            let datasets = shared.registry.datasets();
-            if datasets.len() == 1 {
-                &datasets[0]
-            } else {
+        None => match shared.registry.datasets() {
+            [only] => only,
+            _ => {
                 return Response::error(
                     400,
                     "several datasets are served; pass {\"dataset\": name}",
                 );
             }
-        }
+        },
     };
     let (engine, generation) = dataset.snapshot();
     let coordinator = {
@@ -712,17 +708,15 @@ fn create_session(shared: &Shared, request: &Request) -> Response {
             Some(dataset) => dataset,
             None => return Response::error(404, format!("no dataset named '{name}'")),
         },
-        None => {
-            let datasets = shared.registry.datasets();
-            if datasets.len() == 1 {
-                &datasets[0]
-            } else {
+        None => match shared.registry.datasets() {
+            [only] => only,
+            _ => {
                 return Response::error(
                     400,
                     "several datasets are served; pass {\"dataset\": name}",
                 );
             }
-        }
+        },
     };
     let (engine, generation) = dataset.snapshot();
     let session = Session::with_engine((*engine).clone());

@@ -113,13 +113,10 @@ impl SessionManager {
         while sessions.len() >= self.max_sessions {
             // Evict the least recently used session. Entries whose lock is
             // held are in use right now and are skipped.
-            let victim = sessions
-                .iter()
-                .filter_map(|(token, slot)| {
-                    slot.try_lock().ok().map(|s| (token.clone(), s.last_used))
-                })
-                .min_by_key(|(_, last_used)| *last_used)
-                .map(|(token, _)| token);
+            // lint: nondeterministic-ok (feeds lru_victim's total order, so the pick is iteration-order independent)
+            let victim = lru_victim(sessions.iter().filter_map(|(token, slot)| {
+                slot.try_lock().ok().map(|s| (token.clone(), s.last_used))
+            }));
             match victim {
                 Some(token) => {
                     sessions.remove(&token);
@@ -162,7 +159,7 @@ impl SessionManager {
     pub fn evict_expired(&self) -> usize {
         let mut sessions = self.lock();
         let expired: Vec<String> = sessions
-            .iter()
+            .iter() // lint: nondeterministic-ok (every expired session is removed; the set is order independent)
             .filter_map(|(token, slot)| {
                 let session = slot.try_lock().ok()?;
                 (session.last_used.elapsed() > self.ttl).then(|| token.clone())
@@ -184,6 +181,20 @@ impl SessionManager {
             evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Pick the LRU eviction victim under a **total** order: ties on `last_used`
+/// (coarse clocks make same-instant sessions routine) break by token.
+///
+/// The candidates come out of a `HashMap`, whose iteration order is
+/// randomized per process; `min_by_key` keeps the *first* minimum it sees,
+/// so without the token tie-break the evicted session would depend on hash
+/// order — a live determinism bug, since eviction changes which tokens later
+/// requests can still resolve.
+fn lru_victim(candidates: impl Iterator<Item = (String, Instant)>) -> Option<String> {
+    candidates
+        .min_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)))
+        .map(|(token, _)| token)
 }
 
 #[cfg(test)]
@@ -246,6 +257,22 @@ mod tests {
         assert!(manager.get(&b).is_none(), "LRU session was evicted");
         assert!(manager.get(&c).is_some());
         assert_eq!(manager.counters().live, 2);
+    }
+
+    #[test]
+    fn lru_victim_tie_break_does_not_depend_on_iteration_order() {
+        // Regression: ties on `last_used` used to be broken by HashMap
+        // iteration order, so the evicted session varied per process.
+        let now = Instant::now();
+        let forward = [("s2".to_string(), now), ("s1".to_string(), now)];
+        let reverse = [("s1".to_string(), now), ("s2".to_string(), now)];
+        assert_eq!(lru_victim(forward.into_iter()), Some("s1".to_string()));
+        assert_eq!(lru_victim(reverse.into_iter()), Some("s1".to_string()));
+        // A strictly older session still wins over the token order.
+        let older = now - Duration::from_millis(10);
+        let mixed = [("s1".to_string(), now), ("s9".to_string(), older)];
+        assert_eq!(lru_victim(mixed.into_iter()), Some("s9".to_string()));
+        assert_eq!(lru_victim(std::iter::empty()), None);
     }
 
     #[test]

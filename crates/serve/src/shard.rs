@@ -199,17 +199,13 @@ fn resolve_dataset<'a>(registry: &'a Registry, body: &Json) -> Result<&'a Datase
         Some(name) => registry
             .get(name)
             .ok_or_else(|| Response::error(404, format!("no dataset named '{name}'"))),
-        None => {
-            let datasets = registry.datasets();
-            if datasets.len() == 1 {
-                Ok(&datasets[0])
-            } else {
-                Err(Response::error(
-                    400,
-                    "several datasets are served; pass {\"dataset\": name}",
-                ))
-            }
-        }
+        None => match registry.datasets() {
+            [only] => Ok(only),
+            _ => Err(Response::error(
+                400,
+                "several datasets are served; pass {\"dataset\": name}",
+            )),
+        },
     }
 }
 
@@ -318,6 +314,7 @@ fn working(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let (query, segments) = query_and_segments(tables, body)?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let local = local_working(&query, &tables[seg])?;
         partials.push(Json::object(vec![
             ("segment", Json::from(seg)),
@@ -332,6 +329,7 @@ fn summaries(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let (query, segments) = query_and_segments(tables, body)?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         let local = local_working(&query, table)?;
         let columns = table
@@ -365,6 +363,7 @@ fn sketches(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let segments = segment_list(tables, body)?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         // Profile sketches cover the **whole** segment (they are only ever
         // consulted for working sets that cover the table).
@@ -396,6 +395,7 @@ fn values(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let attribute = get_str(body, "attribute")?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         let local = local_working(&query, table)?;
         let view = table.column(attribute).map_err(AtlasError::from)?;
@@ -415,6 +415,7 @@ fn categories(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let attribute = get_str(body, "attribute")?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         let local = local_working(&query, table)?;
         let view = table.column(attribute).map_err(AtlasError::from)?;
@@ -451,6 +452,7 @@ fn select(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
             if flat.len() % 2 != 0 {
                 return Err(Fail::Frame("odd number of range bounds".to_string()));
             }
+            // lint: slice-index-ok (chunks_exact(2) yields exactly two elements per chunk)
             Partition::Ranges(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
         }
         "groups" => {
@@ -475,6 +477,7 @@ fn select(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     };
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         let local = local_working(&query, table)?;
         let view = table.column(attribute).map_err(AtlasError::from)?;
@@ -512,6 +515,7 @@ fn contingency(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
     let segments = segment_list(tables, body)?;
     let mut partials = Vec::with_capacity(segments.len());
     for seg in segments {
+        // lint: slice-index-ok (segment_list rejected indices >= tables.len())
         let table = &tables[seg];
         // Region selections restricted to this segment, rebuilt from the
         // shipped region queries (region queries evaluate to exactly the
@@ -528,7 +532,9 @@ fn contingency(tables: &[Arc<Table>], body: &Json) -> Result<Response, Fail> {
         let mut pairs = Vec::new();
         for i in 0..selections.len() {
             for j in (i + 1)..selections.len() {
+                // lint: slice-index-ok (i and j are loop-bounded by selections.len())
                 let rows: Vec<&Bitmap> = selections[i].iter().collect();
+                // lint: slice-index-ok (i and j are loop-bounded by selections.len())
                 let cols: Vec<&Bitmap> = selections[j].iter().collect();
                 let partial = ContingencyTable::from_selections(&rows, &cols);
                 let mut members: Vec<(String, Json)> = vec![

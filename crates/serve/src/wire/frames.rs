@@ -23,6 +23,7 @@ use atlas_stats::GkSketch;
 
 /// Encode an `f64` as its 16-hex-digit IEEE-754 bit pattern.
 pub fn hex_f64(x: f64) -> String {
+    // lint: wire-float-ok (this IS the hex-bit codec; it formats the u64 bit pattern, not the float)
     format!("{:016x}", x.to_bits())
 }
 
@@ -62,6 +63,7 @@ pub fn parse_hex_u64s(text: &str) -> Result<Vec<u64>, String> {
     }
     (0..text.len() / 16)
         .map(|i| {
+            // lint: slice-index-ok (len is a multiple of 16 and all-ASCII, checked above)
             u64::from_str_radix(&text[i * 16..(i + 1) * 16], 16)
                 .map_err(|_| "invalid hex chunk".to_string())
         })
@@ -287,6 +289,7 @@ pub fn sketch_from_json(value: &Json) -> Result<GkSketch, String> {
     }
     let entries = words
         .chunks_exact(3)
+        // lint: slice-index-ok (chunks_exact(3) yields exactly three elements per chunk)
         .map(|chunk| (f64::from_bits(chunk[0]), chunk[1], chunk[2]))
         .collect();
     Ok(GkSketch::from_parts(

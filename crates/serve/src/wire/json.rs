@@ -133,9 +133,11 @@ impl Json {
             Json::Num(x) => write_number(out, *x),
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                // lint: slice-index-ok (write_seq calls back with i < the len it was given)
                 items[i].write(out, indent, level + 1);
             }),
             Json::Obj(pairs) => write_seq(out, indent, level, '{', '}', pairs.len(), |out, i| {
+                // lint: slice-index-ok (write_seq calls back with i < the len it was given)
                 let (key, value) = &pairs[i];
                 write_string(out, key);
                 out.push(':');
@@ -188,6 +190,7 @@ fn write_seq(
 /// print as `null` because JSON has no representation for them.
 fn write_number(out: &mut String, x: f64) {
     if x.is_finite() {
+        // lint: wire-float-ok (this IS the shortest-round-trip codec; Rust's Display is grisu/ryū-exact)
         out.push_str(&format!("{x}"));
     } else {
         out.push_str("null");
@@ -468,9 +471,11 @@ impl Parser<'_> {
                     // are valid UTF-8; find the char boundary).
                     let start = self.pos;
                     let mut end = start + 1;
+                    // lint: slice-index-ok (end < bytes.len() is checked in the same condition)
                     while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
                         end += 1;
                     }
+                    // lint: slice-index-ok (start < len because a byte was peeked; end <= len by the loop bound)
                     let slice = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.error("invalid UTF-8"))?;
                     out.push_str(slice);
@@ -485,6 +490,7 @@ impl Parser<'_> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.error("truncated \\u escape"));
         }
+        // lint: slice-index-ok (pos + 4 <= bytes.len() was just checked)
         let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.error("invalid \\u escape"))?;
         let unit = u16::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
@@ -527,6 +533,7 @@ impl Parser<'_> {
                 return Err(self.error("expected a digit in the exponent"));
             }
         }
+        // lint: slice-index-ok (pos only advances past peeked bytes, so start <= pos <= len)
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.error("invalid number"))?;
         let x: f64 = text.parse().map_err(|_| self.error("invalid number"))?;

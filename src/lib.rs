@@ -133,12 +133,20 @@
 
 #![warn(missing_docs)]
 
+/// Columnar storage: tables, segments, bitmaps, per-column statistics.
 pub use atlas_columnar as columnar;
+/// The exploration engine: cut → cluster → merge → rank, plus caching and
+/// the anytime driver.
 pub use atlas_core as core;
+/// Deterministic synthetic dataset generators used by tests and benchmarks.
 pub use atlas_datagen as datagen;
+/// Interactive exploration sessions: history, drill-down, map rendering.
 pub use atlas_explorer as explorer;
+/// The conjunctive SQL dialect: parser, printer and predicate model.
 pub use atlas_query as query;
+/// The HTTP/JSON exploration server and the distributed scatter-gather path.
 pub use atlas_serve as serve;
+/// Statistical kernels: quantiles, histograms, sketches, dependence metrics.
 pub use atlas_stats as stats;
 
 /// The most commonly used types, re-exported flat for convenience.

@@ -364,10 +364,31 @@ impl<'scope, 'env> Scope<'scope, 'env> {
             }
         };
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapper);
-        // SAFETY: `wait_all` (always run by `ThreadPool::scope` before it
-        // returns, panic or not) blocks until this task has executed, so the
-        // `'scope` borrows inside the closure are live for the task's whole
-        // lifetime. See the module-level safety contract.
+        // SAFETY: this transmute erases only the closure's `'scope` lifetime
+        // bound (the vtable and layout of the two `Box<dyn FnOnce() + Send>`
+        // types are identical; lifetimes have no runtime representation), so
+        // soundness reduces to proving the erased bound is never violated —
+        // i.e. the task cannot run, be dropped late, or be observed after any
+        // `'scope` borrow it captures has expired. That holds because:
+        //
+        // 1. The borrows captured by `wrapper` (`f`'s captures plus `state`
+        //    and `shared`) all outlive `'scope`: `f: 'scope` by this fn's
+        //    bound, `state` borrows from `self: &'scope Scope`, and `shared`
+        //    borrows from the pool, which outlives the scope by construction.
+        // 2. `'scope` itself does not end before `ThreadPool::scope` returns,
+        //    and `ThreadPool::scope` always calls `wait_all` before returning
+        //    — including on the panic path, where the scope closure runs
+        //    under `catch_unwind` and its payload is re-thrown only after
+        //    `wait_all` — so every
+        //    spawned task has finished executing (and its closure has been
+        //    dropped by the worker that ran it) while the borrows are live.
+        // 3. `pending` is incremented above *before* the task is pushed and
+        //    decremented by the wrapper only *after* `f` and the panic
+        //    bookkeeping complete, so `wait_all`'s `pending == 0` check
+        //    cannot pass while any erased closure is still alive on a worker.
+        // 4. The queue never outlives the pool (workers drain it until
+        //    shutdown, and `ThreadPool::drop` joins them), so no erased task
+        //    can survive into a context where `'scope` data is gone.
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
         };
