@@ -19,7 +19,8 @@ use atlas_explorer::{MapQuality, ReadabilityReport};
 use atlas_query::ConjunctiveQuery;
 use atlas_serve::wire::Json;
 use atlas_serve::{
-    Client, Coordinator, DatasetOptions, Registry, ServeConfig, Server, ServerHandle,
+    Client, Coordinator, CoordinatorOptions, DatasetOptions, Registry, RetryPolicy, ServeConfig,
+    Server, ServerHandle,
 };
 use atlas_stats::adjusted_rand_index;
 use atlas_stats::quantile::quantile;
@@ -60,7 +61,7 @@ fn main() {
     // N ∈ {1, 2, 4} shards, every answer checked bit-identical against the
     // in-process engine.
     if raw_args.first().map(String::as_str) == Some("dist-smoke") {
-        let path = raw_args.get(1).map_or("BENCH_PR6.json", String::as_str);
+        let path = raw_args.get(1).map_or("BENCH_PR8.json", String::as_str);
         dist_smoke(path);
         return;
     }
@@ -981,6 +982,38 @@ fn load_query(i: usize) -> String {
     )
 }
 
+/// Failed requests of one load run, by kind: read/connect timeouts,
+/// admission-control refusals (503), and everything else. `retry_after_honored`
+/// counts the 503s whose `Retry-After` hint the generator actually waited on.
+#[derive(Default)]
+struct ErrorTally {
+    timeouts: usize,
+    overloaded_503: usize,
+    other: usize,
+    retry_after_honored: usize,
+}
+
+impl ErrorTally {
+    fn total(&self) -> usize {
+        self.timeouts + self.overloaded_503 + self.other
+    }
+
+    fn merge(&mut self, other: &ErrorTally) {
+        self.timeouts += other.timeouts;
+        self.overloaded_503 += other.overloaded_503;
+        self.other += other.other;
+        self.retry_after_honored += other.retry_after_honored;
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("timeouts", Json::from(self.timeouts)),
+            ("overloaded_503", Json::from(self.overloaded_503)),
+            ("other", Json::from(self.other)),
+        ])
+    }
+}
+
 /// One closed-loop measurement: `clients` threads, each with its own session,
 /// issuing explores back-to-back for `duration`. Returns the point as JSON
 /// plus the achieved requests/second.
@@ -1006,7 +1039,7 @@ fn load_point(
     let barrier = std::sync::Barrier::new(clients);
     let mut all_latencies: Vec<f64> = Vec::new();
     let mut max_elapsed = 0.0f64;
-    let mut errors = 0usize;
+    let mut tally = ErrorTally::default();
     std::thread::scope(|scope| {
         let handles: Vec<_> = sessions
             .iter()
@@ -1019,7 +1052,7 @@ fn load_point(
                     barrier.wait();
                     let started = Instant::now();
                     let mut latencies = Vec::new();
-                    let mut errors = 0usize;
+                    let mut tally = ErrorTally::default();
                     let mut i = c; // desynchronise the query mix across clients
                     while started.elapsed() < duration {
                         let sent = Instant::now();
@@ -1027,19 +1060,45 @@ fn load_point(
                             Ok(reply) if reply.status == 200 => {
                                 latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
                             }
-                            _ => errors += 1,
+                            Ok(reply) if reply.status == 503 => {
+                                tally.overloaded_503 += 1;
+                                let hint = reply
+                                    .headers
+                                    .iter()
+                                    .find(|(name, _)| name == "retry-after")
+                                    .and_then(|(_, value)| value.parse::<u64>().ok());
+                                if let Some(seconds) = hint {
+                                    // Honour the hint, capped so a short smoke
+                                    // run cannot stall on a long back-off.
+                                    let wait = Duration::from_secs(seconds)
+                                        .min(duration.saturating_sub(started.elapsed()))
+                                        .min(Duration::from_millis(250));
+                                    std::thread::sleep(wait);
+                                    tally.retry_after_honored += 1;
+                                }
+                            }
+                            Ok(_) => tally.other += 1,
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                                ) =>
+                            {
+                                tally.timeouts += 1;
+                            }
+                            Err(_) => tally.other += 1,
                         }
                         i += 1;
                     }
-                    (latencies, started.elapsed().as_secs_f64(), errors)
+                    (latencies, started.elapsed().as_secs_f64(), tally)
                 })
             })
             .collect();
         for handle in handles {
-            let (latencies, elapsed, thread_errors) = handle.join().expect("client thread");
+            let (latencies, elapsed, thread_tally) = handle.join().expect("client thread");
             all_latencies.extend(latencies);
             max_elapsed = max_elapsed.max(elapsed);
-            errors += thread_errors;
+            tally.merge(&thread_tally);
         }
     });
     let requests = all_latencies.len();
@@ -1049,7 +1108,9 @@ fn load_point(
         ("server_threads", Json::from(server_threads)),
         ("clients", Json::from(clients)),
         ("requests", Json::from(requests)),
-        ("errors", Json::from(errors)),
+        ("errors", Json::from(tally.total())),
+        ("error_taxonomy", tally.to_json()),
+        ("retry_after_honored", Json::from(tally.retry_after_honored)),
         ("elapsed_ms", ms(max_elapsed * 1000.0)),
         ("rps", Json::Num((rps * 10.0).round() / 10.0)),
         ("p50_ms", p(0.50)),
@@ -1216,6 +1277,33 @@ fn dist_smoke(path: &str) {
         handles.push(handle);
     }
 
+    // The resilience counters recorded next to every point's latency: how
+    // many shard calls were retried, hedged (and whether the hedge won),
+    // refused by an open circuit, or cut short by a deadline.
+    let taxonomy = |coordinator: &Coordinator| {
+        let metrics = coordinator.metrics();
+        Json::object(vec![
+            ("retries", Json::from(metrics.retries())),
+            ("hedges_launched", Json::from(metrics.hedges_launched())),
+            ("hedges_won", Json::from(metrics.hedges_won())),
+            (
+                "skipped_open_circuit",
+                Json::from(metrics.skipped_open_circuit()),
+            ),
+            ("deadline_exceeded", Json::from(metrics.deadline_exceeded())),
+            (
+                "circuits_opened",
+                Json::from(
+                    coordinator
+                        .circuit_states()
+                        .iter()
+                        .map(|(_, _, opened)| *opened as usize)
+                        .sum::<usize>(),
+                ),
+            ),
+        ])
+    };
+
     let mut points = Vec::new();
     for shards in [1usize, 2, 4] {
         let coordinator = Coordinator::connect(
@@ -1238,16 +1326,63 @@ fn dist_smoke(path: &str) {
             ("shards", Json::from(shards)),
             ("explore_ms", ms(explore_ms)),
             ("fan_out", Json::from(coordinator.metrics().fan_out())),
-            ("retries", Json::from(coordinator.metrics().retries())),
+            ("error_taxonomy", taxonomy(&coordinator)),
         ]));
     }
+
+    // One faulted point: two transient 500s armed on the first shard; the
+    // retry policy rides them out and the answer must stay bit-identical.
+    let options = CoordinatorOptions {
+        shard_timeout: Duration::from_secs(120),
+        retry: RetryPolicy::default().with_max_attempts(3),
+        ..CoordinatorOptions::default()
+    };
+    let coordinator = Coordinator::connect_with(&addrs, "census", config.clone(), options)
+        .expect("coordinator connects");
+    let inject = Client::new(handles[0].addr());
+    let plan = Json::object(vec![(
+        "plan",
+        Json::array(vec![
+            Json::object(vec![
+                ("fault", Json::from("error")),
+                ("status", Json::from(500usize)),
+            ]),
+            Json::object(vec![
+                ("fault", Json::from("error")),
+                ("status", Json::from(500usize)),
+            ]),
+        ]),
+    )]);
+    let armed = inject.post_json("/shard/inject", &plan).expect("plan arms");
+    assert_eq!(armed.status, 200, "fault plan must arm");
+    let started = Instant::now();
+    let result = coordinator.explore(&query).expect("faulted explore");
+    let explore_ms = started.elapsed().as_secs_f64() * 1000.0;
+    assert_bit_identical(&local, &result);
+    let retries = coordinator.metrics().retries();
+    assert!(
+        retries >= 2,
+        "both injected 500s must be retried, saw {retries}"
+    );
+    println!("dist-smoke: 4 shard(s), 2 injected 500s: {explore_ms:.0} ms ({retries} retries)");
+    points.push(Json::object(vec![
+        ("shards", Json::from(4usize)),
+        (
+            "injected_faults",
+            Json::from("2 transient 500s on one shard"),
+        ),
+        ("explore_ms", ms(explore_ms)),
+        ("fan_out", Json::from(coordinator.metrics().fan_out())),
+        ("error_taxonomy", taxonomy(&coordinator)),
+    ]));
+
     for handle in handles {
         handle.shutdown();
     }
 
     let report = Json::object(vec![
         ("experiment", Json::from("dist_smoke")),
-        ("pr", Json::from(6usize)),
+        ("pr", Json::from(8usize)),
         ("dataset", Json::from("census")),
         ("rows", Json::from(ROWS)),
         (

@@ -23,6 +23,19 @@ pub enum AtlasError {
     /// shard died, timed out past its retry, or returned an inconsistent
     /// dataset layout).
     Distributed(String),
+    /// The request's deadline expired before the work finished. Carries how
+    /// much of the budget was spent and which phase of the pipeline was
+    /// running, so front-ends can answer with work-done-so-far metadata
+    /// (`atlas-serve` maps this onto HTTP `504 Gateway Timeout`).
+    Deadline {
+        /// The total budget the request arrived with, in milliseconds.
+        budget_ms: u64,
+        /// How long the request had been running when the deadline fired.
+        elapsed_ms: u64,
+        /// The pipeline phase that was running (or about to run) when the
+        /// deadline fired.
+        phase: String,
+    },
 }
 
 impl AtlasError {
@@ -37,7 +50,9 @@ impl AtlasError {
             | AtlasError::EmptyWorkingSet
             | AtlasError::NoCuttableAttributes
             | AtlasError::InvalidConfig(_) => true,
-            AtlasError::Columnar(_) | AtlasError::Distributed(_) => false,
+            AtlasError::Columnar(_) | AtlasError::Distributed(_) | AtlasError::Deadline { .. } => {
+                false
+            }
         }
     }
 }
@@ -55,6 +70,15 @@ impl fmt::Display for AtlasError {
             }
             AtlasError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AtlasError::Distributed(msg) => write!(f, "distributed exploration error: {msg}"),
+            AtlasError::Deadline {
+                budget_ms,
+                elapsed_ms,
+                phase,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed_ms} ms of a {budget_ms} ms budget \
+                 (during {phase})"
+            ),
         }
     }
 }
@@ -90,6 +114,15 @@ mod tests {
         assert!(AtlasError::Distributed("shard 2 unreachable".into())
             .to_string()
             .contains("shard 2 unreachable"));
+        let deadline = AtlasError::Deadline {
+            budget_ms: 100,
+            elapsed_ms: 123,
+            phase: "candidates".into(),
+        };
+        let text = deadline.to_string();
+        assert!(text.contains("100 ms budget"), "{text}");
+        assert!(text.contains("123 ms"), "{text}");
+        assert!(text.contains("candidates"), "{text}");
     }
 
     #[test]
@@ -103,5 +136,11 @@ mod tests {
         );
         assert!(!AtlasError::Columnar("disk on fire".into()).is_user_error());
         assert!(!AtlasError::Distributed("shard died".into()).is_user_error());
+        assert!(!AtlasError::Deadline {
+            budget_ms: 1,
+            elapsed_ms: 2,
+            phase: "working".into()
+        }
+        .is_user_error());
     }
 }

@@ -21,11 +21,25 @@
 //!   coordinators require `product`)
 //! * `--shards HOST:PORT,…` — coordinate `POST /distributed/explore` over
 //!   these shard servers (they must serve the same dataset specs)
-//! * `--shard-timeout-ms N` — per-shard request timeout (default 10000);
-//!   a failed request is retried once before the explore fails
+//! * `--shard-timeout-ms N` — per-shard request timeout (default 10000)
+//! * `--shard-connect-timeout-ms N` — TCP connect budget towards a shard,
+//!   split from the request timeout so an unreachable host fails fast
+//!   (default 2000)
+//! * `--retry-attempts N` — total attempts per shard call (default 2)
+//! * `--retry-backoff-ms N` — backoff before the first retry, growing
+//!   exponentially with seeded jitter (default 0: retry immediately)
+//! * `--hedge-after-ms N` — duplicate a shard read still unanswered after
+//!   N ms; first success wins (default: no hedging)
+//! * `--circuit-threshold N` — consecutive shard failures that open its
+//!   circuit breaker; 0 disables the breaker (default 5)
+//! * `--circuit-cooldown-ms N` — how long an open circuit refuses calls
+//!   before letting one probe through (default 5000)
+//! * `--degraded-max-failed K` — let a distributed explore that opts in
+//!   with `{"mode": "degraded"}` answer from the surviving shards when at
+//!   most K shards are down (default: degraded mode disabled)
 
 use atlas_core::{AtlasConfig, MergeStrategy};
-use atlas_serve::{DatasetOptions, Registry, ServeConfig, Server};
+use atlas_serve::{DatasetOptions, HedgePolicy, Registry, ServeConfig, Server};
 use std::process::exit;
 
 fn fail(message: &str) -> ! {
@@ -88,12 +102,58 @@ fn main() {
                     .unwrap_or_else(|_| fail("--shard-timeout-ms needs a number"));
                 serve_config.shard_timeout = std::time::Duration::from_millis(ms);
             }
+            "--shard-connect-timeout-ms" => {
+                let ms: u64 = value_of(&mut args, "--shard-connect-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--shard-connect-timeout-ms needs a number"));
+                serve_config.shard_connect_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--retry-attempts" => {
+                let n: u32 = value_of(&mut args, "--retry-attempts")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-attempts needs a number"));
+                serve_config.retry = serve_config.retry.with_max_attempts(n);
+            }
+            "--retry-backoff-ms" => {
+                let ms: u64 = value_of(&mut args, "--retry-backoff-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retry-backoff-ms needs a number"));
+                serve_config.retry = serve_config
+                    .retry
+                    .with_base_backoff(std::time::Duration::from_millis(ms));
+            }
+            "--hedge-after-ms" => {
+                let ms: u64 = value_of(&mut args, "--hedge-after-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--hedge-after-ms needs a number"));
+                serve_config.hedge = HedgePolicy::After(std::time::Duration::from_millis(ms));
+            }
+            "--circuit-threshold" => {
+                serve_config.circuit.failure_threshold = value_of(&mut args, "--circuit-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--circuit-threshold needs a number"));
+            }
+            "--circuit-cooldown-ms" => {
+                let ms: u64 = value_of(&mut args, "--circuit-cooldown-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--circuit-cooldown-ms needs a number"));
+                serve_config.circuit.cool_down = std::time::Duration::from_millis(ms);
+            }
+            "--degraded-max-failed" => {
+                let k: usize = value_of(&mut args, "--degraded-max-failed")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--degraded-max-failed needs a number"));
+                serve_config.degraded_max_failed = Some(k);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: atlas-serve [--port N] [--bind ADDR] [--dataset SPEC]... \
                      [--threads N] [--cache N] [--fast|--quality] \
                      [--merge product|composition] [--shards HOST:PORT,...] \
-                     [--shard-timeout-ms N]"
+                     [--shard-timeout-ms N] [--shard-connect-timeout-ms N] \
+                     [--retry-attempts N] [--retry-backoff-ms N] \
+                     [--hedge-after-ms N] [--circuit-threshold N] \
+                     [--circuit-cooldown-ms N] [--degraded-max-failed K]"
                 );
                 return;
             }

@@ -18,7 +18,13 @@ const MAX_RESPONSE_BYTES: usize = 64 * 1024 * 1024;
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: SocketAddr,
+    /// Read/write budget of one request once connected.
     timeout: Duration,
+    /// TCP connect budget, tracked separately so a slow connect cannot eat
+    /// the whole request budget. `None` falls back to `timeout`.
+    connect_timeout: Option<Duration>,
+    /// Extra headers sent with every request (deadline propagation).
+    headers: Vec<(String, String)>,
 }
 
 impl Client {
@@ -27,13 +33,44 @@ impl Client {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            connect_timeout: None,
+            headers: Vec::new(),
         }
     }
 
-    /// This client with the given per-request socket timeout.
+    /// This client with the given per-request read/write socket timeout.
+    /// The connect timeout stays whatever [`Client::with_connect_timeout`]
+    /// set (defaulting to this same value when it never was).
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
         self
+    }
+
+    /// This client with a TCP connect timeout independent of the
+    /// read/write timeout, so an unreachable host fails fast without
+    /// shrinking the budget of the request proper.
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// This client with an extra header sent on every request (replacing
+    /// any earlier value for the same name).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Client {
+        let name = name.into();
+        self.headers.retain(|(n, _)| *n != name);
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The read/write timeout of one request.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// The TCP connect timeout ([`Client::timeout`] unless split).
+    pub fn connect_timeout(&self) -> Duration {
+        self.connect_timeout.unwrap_or(self.timeout)
     }
 
     /// Issue one request. `body` is sent verbatim with the given content
@@ -44,12 +81,15 @@ impl Client {
         path: &str,
         body: Option<(&str, &[u8])>,
     ) -> io::Result<ClientResponse> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout())?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         stream.set_nodelay(true)?;
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: atlas\r\nConnection: close\r\n");
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some((content_type, bytes)) = body {
             head.push_str(&format!(
                 "Content-Type: {content_type}\r\nContent-Length: {}\r\n",

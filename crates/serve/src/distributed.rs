@@ -32,13 +32,31 @@
 //!
 //! ## Fault model
 //!
-//! Each shard request has a configurable timeout and is retried exactly once
-//! on a transport error (connection refused/reset, timeout). A second failure
-//! — or any non-`200` answer — fails the explore with a typed
-//! [`AtlasError::Distributed`] naming the shard and the endpoint; the
-//! coordinator never hangs and never returns a partial map.
+//! Shard calls run under a [`RetryPolicy`] — bounded attempts with
+//! exponential backoff whose jitter comes from a **seeded** generator, so a
+//! fault plan replays to the same schedule — an optional [`HedgePolicy`]
+//! that duplicates straggling reads (idempotent shard kernels make the
+//! duplicate safe; first success wins), and a per-shard [`CircuitBreaker`]
+//! that stops hammering a shard that keeps failing. A request-scoped
+//! [`Deadline`] caps every wait: per-shard budgets are derived from the
+//! remaining time, the remainder is forwarded in the `X-Atlas-Deadline-Ms`
+//! header, and a blown deadline surfaces as [`AtlasError::Deadline`] with
+//! the phase that was running.
+//!
+//! In [`ExploreMode::Strict`] (the default and the historical contract) any
+//! shard failing past its retries fails the whole explore with a typed
+//! [`AtlasError::Distributed`] naming the shard and endpoint — never a hang,
+//! never a silent partial answer. [`ExploreMode::Degraded`] instead drops up
+//! to `max_failed_shards` failed shards, folds the surviving segments, and
+//! tags the answer with exact [`Coverage`] metadata; the surviving-segment
+//! answer is bit-identical to a local explore over just those segments.
 
 use crate::client::Client;
+use crate::http::{ClientResponse, DEADLINE_HEADER};
+use crate::resilience::{
+    CircuitBreaker, CircuitConfig, CircuitState, Coverage, Deadline, ExploreMode, HedgePolicy,
+    RetryPolicy,
+};
 use crate::wire::frames::{
     bitmap_from_json, contingency_from_json, dtype_from_name, get_index, get_items, get_str,
     hex_f64, hex_f64s, parse_hex_f64s, sketch_from_json, summary_from_json,
@@ -54,22 +72,89 @@ use atlas_core::{
     NumericCutStrategy, PhaseTimings, ThreadPool,
 };
 use atlas_query::{to_sql, ConjunctiveQuery};
+use atlas_stats::quantile::quantile;
 use atlas_stats::{ContingencyTable, GkSketch};
-use std::collections::HashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How many recent shard-call latencies feed the percentile hedge delay.
+const LATENCY_RING: usize = 512;
+
+/// Fault-policy knobs of a [`Coordinator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoordinatorOptions {
+    /// Per-attempt read/write budget of one shard call (further capped by
+    /// the request deadline when one is set).
+    pub shard_timeout: Duration,
+    /// TCP connect budget, split from `shard_timeout` so an unreachable
+    /// host fails fast.
+    pub connect_timeout: Duration,
+    /// Retry schedule of one shard call.
+    pub retry: RetryPolicy,
+    /// When to duplicate a straggling read.
+    pub hedge: HedgePolicy,
+    /// Per-shard circuit-breaker tuning.
+    pub circuit: CircuitConfig,
+    /// Seed of the jitter generator — fixed by default so retry schedules
+    /// replay deterministically.
+    pub jitter_seed: u64,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> CoordinatorOptions {
+        CoordinatorOptions {
+            shard_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            hedge: HedgePolicy::Off,
+            circuit: CircuitConfig::default(),
+            jitter_seed: 0x41_54_4c_41_53, // "ATLAS"
+        }
+    }
+}
+
+/// A distributed answer: the ranked maps plus exactly what they cover.
+#[derive(Debug, Clone)]
+pub struct DistributedResult {
+    /// The ranked maps. Complete coverage means bit-identical to the local
+    /// engine over the whole table; degraded coverage means bit-identical
+    /// to the local engine over the surviving segments.
+    pub result: MapResult,
+    /// Exactly which segments and rows the answer covers.
+    pub coverage: Coverage,
+}
 
 /// Scatter counters of one [`Coordinator`].
 ///
-/// `fan_out` counts shard requests issued (one per shard with assigned
-/// segments per scatter round), `retries` counts second attempts after a
-/// transport error; both are monotone over the coordinator's lifetime.
+/// `fan_out` counts shard calls issued (one per shard with assigned
+/// segments per scatter round), `retries` counts repeat attempts after a
+/// retryable failure; all counters are monotone over the coordinator's
+/// lifetime.
 #[derive(Debug)]
 pub struct CoordinatorMetrics {
     fan_out: AtomicU64,
     retries: AtomicU64,
+    hedges_launched: AtomicU64,
+    hedges_won: AtomicU64,
+    skipped_open_circuit: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded_explores: AtomicU64,
     per_shard: Vec<ShardLatency>,
+    /// Recent shard-call latencies (ms), a bounded ring feeding
+    /// [`HedgePolicy::Percentile`].
+    recent: Mutex<RecentLatencies>,
+}
+
+#[derive(Debug)]
+struct RecentLatencies {
+    samples: Vec<f64>,
+    next: usize,
 }
 
 #[derive(Debug)]
@@ -85,6 +170,11 @@ impl CoordinatorMetrics {
         CoordinatorMetrics {
             fan_out: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            hedges_launched: AtomicU64::new(0),
+            hedges_won: AtomicU64::new(0),
+            skipped_open_circuit: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            degraded_explores: AtomicU64::new(0),
             per_shard: addrs
                 .iter()
                 .map(|addr| ShardLatency {
@@ -94,17 +184,46 @@ impl CoordinatorMetrics {
                     max_micros: AtomicU64::new(0),
                 })
                 .collect(),
+            recent: Mutex::new(RecentLatencies {
+                samples: Vec::new(),
+                next: 0,
+            }),
         }
     }
 
-    /// Total shard requests issued across all scatter rounds.
+    /// Total shard calls issued across all scatter rounds.
     pub fn fan_out(&self) -> u64 {
         self.fan_out.load(Ordering::Relaxed)
     }
 
-    /// Total second attempts after a transport error.
+    /// Total repeat attempts after a retryable failure.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Total hedged (duplicated) reads launched at straggling shards.
+    pub fn hedges_launched(&self) -> u64 {
+        self.hedges_launched.load(Ordering::Relaxed)
+    }
+
+    /// Hedged reads that answered before the primary attempt.
+    pub fn hedges_won(&self) -> u64 {
+        self.hedges_won.load(Ordering::Relaxed)
+    }
+
+    /// Shard calls refused locally because the shard's circuit was open.
+    pub fn skipped_open_circuit(&self) -> u64 {
+        self.skipped_open_circuit.load(Ordering::Relaxed)
+    }
+
+    /// Explores that failed with [`AtlasError::Deadline`].
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Explores answered degraded (at least one shard dropped).
+    pub fn degraded_explores(&self) -> u64 {
+        self.degraded_explores.load(Ordering::Relaxed)
     }
 
     fn record(&self, shard: usize, elapsed: Duration) {
@@ -114,13 +233,43 @@ impl CoordinatorMetrics {
         lat.requests.fetch_add(1, Ordering::Relaxed);
         lat.total_micros.fetch_add(micros, Ordering::Relaxed);
         lat.max_micros.fetch_max(micros, Ordering::Relaxed);
+        let ms = micros as f64 / 1000.0;
+        let mut recent = match self.recent.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if recent.samples.len() < LATENCY_RING {
+            recent.samples.push(ms);
+        } else {
+            let slot = recent.next;
+            // lint: slice-index-ok (next always wraps below LATENCY_RING == samples.len())
+            recent.samples[slot] = ms;
+        }
+        recent.next = (recent.next + 1) % LATENCY_RING;
     }
 
-    /// A JSON snapshot: fan-out, retries, and per-shard request latency.
+    /// The recent shard-call latencies, in milliseconds (bounded window).
+    fn recent_latencies(&self) -> Vec<f64> {
+        match self.recent.lock() {
+            Ok(guard) => guard.samples.clone(),
+            Err(poisoned) => poisoned.into_inner().samples.clone(),
+        }
+    }
+
+    /// A JSON snapshot: fan-out, retries, hedges, circuit skips, and
+    /// per-shard request latency.
     pub fn snapshot(&self) -> Json {
         Json::object(vec![
             ("fan_out", Json::from(self.fan_out())),
             ("retries", Json::from(self.retries())),
+            ("hedges_launched", Json::from(self.hedges_launched())),
+            ("hedges_won", Json::from(self.hedges_won())),
+            (
+                "skipped_open_circuit",
+                Json::from(self.skipped_open_circuit()),
+            ),
+            ("deadline_exceeded", Json::from(self.deadline_exceeded())),
+            ("degraded_explores", Json::from(self.degraded_explores())),
             (
                 "shards",
                 Json::array(
@@ -160,6 +309,7 @@ struct ShardSlot {
     /// Global segment indices this shard answers for, ascending. May be
     /// empty, in which case the shard is skipped by every scatter.
     segments: Vec<usize>,
+    breaker: CircuitBreaker,
 }
 
 /// A shard's `/shard/meta` view: (generation, total rows, per-segment row
@@ -170,20 +320,77 @@ type MetaView = (usize, usize, Vec<usize>, Vec<(String, DataType)>);
 /// counts summed across segments).
 type PairCounts = HashMap<(usize, usize), (usize, usize, Vec<u64>)>;
 
+/// How one shard call failed, before rendering into an [`AtlasError`].
+enum CallFail {
+    /// The shard failed past its retries; the message already names the
+    /// shard and endpoint.
+    Shard { message: String },
+    /// The call was refused locally — the shard's circuit is open.
+    CircuitOpen,
+    /// The request deadline expired before (or between) attempts.
+    Deadline,
+}
+
+/// One attempt's verdict: retry or give up.
+enum AttemptFail {
+    /// Transient-looking failure (transport error, 5xx, garbled body).
+    Retryable(String),
+    /// Definitive failure (4xx — retrying cannot change the answer).
+    NoRetry(String),
+}
+
+/// Why one explore pass failed — shard-attributable failures carry the
+/// shard index so degraded mode can drop it and re-run.
+enum ExploreFail {
+    /// One shard failed past its retries.
+    Shard { shard: usize, error: AtlasError },
+    /// A failure no shard-drop can fix (deadline, merge validation, local
+    /// pipeline error).
+    Fatal(AtlasError),
+}
+
+/// Per-explore scatter context: the dropped shards, the live segment list
+/// (ascending global indices), and the first shard-attributable failure
+/// (stashed here because [`CutSource`] signatures only carry `AtlasError`).
+struct ExploreCtx<'a> {
+    dead: &'a BTreeSet<usize>,
+    live: Vec<usize>,
+    live_rows: usize,
+    /// Row offset of each live segment in the compacted (live-rows-only)
+    /// coordinate space, parallel to `live`. With nothing dead these are the
+    /// table's global offsets; in degraded mode they renumber the surviving
+    /// rows contiguously — exactly the row space of a local table built
+    /// from the surviving segments, which is what the degraded answer is
+    /// bit-compared against.
+    offsets: Vec<usize>,
+    deadline: Option<&'a Deadline>,
+    failed: Mutex<Option<ExploreFail>>,
+}
+
+impl ExploreCtx<'_> {
+    /// The compacted row offset of a live segment (`None` when the segment
+    /// is not live).
+    fn offset_of(&self, segment: usize) -> Option<usize> {
+        let i = self.live.binary_search(&segment).ok()?;
+        self.offsets.get(i).copied()
+    }
+}
+
 /// The merging coordinator of a distributed exploration (see the module
-/// docs for the protocol and the determinism guarantee).
+/// docs for the protocol, the determinism guarantee, and the fault model).
 #[derive(Debug)]
 pub struct Coordinator {
     dataset: String,
     config: AtlasConfig,
+    options: CoordinatorOptions,
     shards: Vec<ShardSlot>,
     generation: usize,
     num_rows: usize,
     segment_rows: Vec<usize>,
-    segment_offsets: Vec<usize>,
     fields: Vec<(String, DataType)>,
     pool: ThreadPool,
     metrics: CoordinatorMetrics,
+    jitter: Mutex<StdRng>,
 }
 
 fn dist_err(message: impl Into<String>) -> AtlasError {
@@ -197,10 +404,46 @@ fn resolve_addr(addr: &str) -> Result<SocketAddr, AtlasError> {
         .ok_or_else(|| dist_err(format!("shard address '{addr}' resolves to nothing")))
 }
 
+/// Judge one attempt's outcome: `200` with JSON wins; transport errors,
+/// garbled bodies and 5xx (except 501/504) are retryable; 4xx and the
+/// deadline statuses are definitive.
+fn judge(addr: &str, path: &str, outcome: io::Result<ClientResponse>) -> Result<Json, AttemptFail> {
+    let response = match outcome {
+        Ok(response) => response,
+        Err(e) => {
+            return Err(AttemptFail::Retryable(format!(
+                "shard {addr} failed on {path}: {e}"
+            )));
+        }
+    };
+    let json = response.json();
+    if response.status == 200 {
+        return json.ok_or_else(|| {
+            AttemptFail::Retryable(format!("shard {addr} sent non-JSON on {path}"))
+        });
+    }
+    let detail = json
+        .as_ref()
+        .and_then(|j| j.get("error").and_then(Json::str).map(String::from))
+        .unwrap_or_else(|| "no error body".to_string());
+    let message = format!(
+        "shard {addr} answered {} on {path}: {detail}",
+        response.status
+    );
+    // 504 means the shard's own deadline fired — retrying cannot beat an
+    // already-blown global budget. 501 means the endpoint does not exist.
+    if response.status >= 500 && response.status != 501 && response.status != 504 {
+        Err(AttemptFail::Retryable(message))
+    } else {
+        Err(AttemptFail::NoRetry(message))
+    }
+}
+
 impl Coordinator {
     /// Connect to the shard servers, fetch and cross-check their view of
     /// `dataset`, and assign segments contiguously (balanced within one
-    /// segment) across the shards.
+    /// segment) across the shards. `timeout` becomes the per-attempt shard
+    /// budget; everything else uses [`CoordinatorOptions::default`].
     ///
     /// Fails with [`AtlasError::InvalidConfig`] when the configuration does
     /// not validate or requests [`MergeStrategy::Composition`] (whose local
@@ -213,6 +456,21 @@ impl Coordinator {
         dataset: &str,
         config: AtlasConfig,
         timeout: Duration,
+    ) -> Result<Coordinator, AtlasError> {
+        let options = CoordinatorOptions {
+            shard_timeout: timeout,
+            connect_timeout: timeout.min(Duration::from_secs(2)),
+            ..CoordinatorOptions::default()
+        };
+        Coordinator::connect_with(addrs, dataset, config, options)
+    }
+
+    /// [`Coordinator::connect`] with explicit fault-policy knobs.
+    pub fn connect_with(
+        addrs: &[String],
+        dataset: &str,
+        config: AtlasConfig,
+        options: CoordinatorOptions,
     ) -> Result<Coordinator, AtlasError> {
         config.validate()?;
         if config.merge == MergeStrategy::Composition {
@@ -230,8 +488,11 @@ impl Coordinator {
             .map(|addr| {
                 Ok(ShardSlot {
                     addr: addr.clone(),
-                    client: Client::new(resolve_addr(addr)?).with_timeout(timeout),
+                    client: Client::new(resolve_addr(addr)?)
+                        .with_timeout(options.shard_timeout)
+                        .with_connect_timeout(options.connect_timeout),
                     segments: Vec::new(),
+                    breaker: CircuitBreaker::new(options.circuit),
                 })
             })
             .collect::<Result<_, AtlasError>>()?;
@@ -239,14 +500,15 @@ impl Coordinator {
         let mut coordinator = Coordinator {
             dataset: dataset.to_string(),
             config,
+            options,
             shards,
             generation: 0,
             num_rows: 0,
             segment_rows: Vec::new(),
-            segment_offsets: Vec::new(),
             fields: Vec::new(),
             pool: ThreadPool::new(1),
             metrics,
+            jitter: Mutex::new(StdRng::seed_from_u64(options.jitter_seed)),
         };
         coordinator.pool = ThreadPool::new(coordinator.config.parallelism);
         coordinator.fetch_meta()?;
@@ -326,13 +588,61 @@ impl Coordinator {
         &self.metrics
     }
 
+    /// The fault-policy knobs this coordinator runs under.
+    pub fn options(&self) -> &CoordinatorOptions {
+        &self.options
+    }
+
+    /// Every shard's `(addr, circuit state, times opened)`.
+    pub fn circuit_states(&self) -> Vec<(String, CircuitState, u64)> {
+        self.shards
+            .iter()
+            .map(|slot| {
+                (
+                    slot.addr.clone(),
+                    slot.breaker.state(),
+                    slot.breaker.opened_total(),
+                )
+            })
+            .collect()
+    }
+
+    /// The counter snapshot extended with per-shard circuit state — what
+    /// `/metrics` serves for each connected coordinator.
+    pub fn metrics_snapshot(&self) -> Json {
+        let mut snapshot = self.metrics.snapshot();
+        let circuits: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|slot| {
+                Json::object(vec![
+                    ("addr", Json::from(slot.addr.as_str())),
+                    ("state", Json::from(slot.breaker.state().label())),
+                    ("opened_total", Json::from(slot.breaker.opened_total())),
+                ])
+            })
+            .collect();
+        let opened: u64 = self
+            .shards
+            .iter()
+            .map(|slot| slot.breaker.opened_total())
+            .sum();
+        if let Json::Obj(members) = &mut snapshot {
+            members.push(("circuit_open_total".to_string(), Json::from(opened)));
+            members.push(("circuits".to_string(), Json::array(circuits)));
+        }
+        snapshot
+    }
+
     /// Fetch `/shard/meta` from every shard and adopt their (unanimous) view
     /// of the dataset.
     fn fetch_meta(&mut self) -> Result<(), AtlasError> {
         let body = Json::object(vec![("dataset", Json::from(self.dataset.as_str()))]);
         let mut agreed: Option<MetaView> = None;
         for idx in 0..self.shards.len() {
-            let reply = self.call(idx, "/shard/meta", &body)?;
+            let reply = self
+                .call_with(idx, "/shard/meta", &body, None)
+                .map_err(|fail| self.render_call_fail(idx, "/shard/meta", fail))?;
             let generation = get_index(&reply, "generation").map_err(dist_err)?;
             let num_rows = get_index(&reply, "num_rows").map_err(dist_err)?;
             let segments = get_items(&reply, "segments")
@@ -369,101 +679,363 @@ impl Coordinator {
             .ok_or_else(|| dist_err("no shard answered the metadata probe; none are connected"))?;
         self.generation = generation;
         self.num_rows = num_rows;
-        self.segment_offsets = segment_rows
-            .iter()
-            .scan(0usize, |acc, rows| {
-                let offset = *acc;
-                *acc += rows;
-                Some(offset)
-            })
-            .collect();
         self.segment_rows = segment_rows;
         self.fields = fields;
         Ok(())
     }
 
-    /// One shard request with the retry-once fault policy: a transport error
-    /// (refused connection, reset, timeout) is retried exactly once; a second
-    /// transport error or any non-`200` answer fails with a typed error.
-    fn call(&self, shard: usize, path: &str, body: &Json) -> Result<Json, AtlasError> {
-        // lint: slice-index-ok (callers index 0..shards.len())
-        let slot = &self.shards[shard];
-        self.metrics.fan_out.fetch_add(1, Ordering::Relaxed);
-        let started = Instant::now();
-        let attempt = slot.client.post_json(path, body).or_else(|_| {
-            self.metrics.retries.fetch_add(1, Ordering::Relaxed);
-            slot.client.post_json(path, body)
-        });
-        self.metrics.record(shard, started.elapsed());
-        let response =
-            attempt.map_err(|e| dist_err(format!("shard {} failed on {path}: {e}", slot.addr)))?;
-        let json = response.json();
-        if response.status != 200 {
-            let detail = json
-                .as_ref()
-                .and_then(|j| j.get("error").and_then(Json::str).map(String::from))
-                .unwrap_or_else(|| "no error body".to_string());
-            return Err(dist_err(format!(
-                "shard {} answered {} on {path}: {detail}",
-                slot.addr, response.status
-            )));
-        }
-        json.ok_or_else(|| dist_err(format!("shard {} sent non-JSON on {path}", slot.addr)))
+    /// One uniform draw in `[0, 1)` from the seeded jitter generator.
+    fn jitter_draw(&self) -> f64 {
+        let mut rng = match self.jitter.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        rng.gen::<f64>()
     }
 
-    /// Scatter one endpoint to every shard with assigned segments (in
+    /// The hedge delay of one attempt with budget `budget`, `None` when
+    /// hedging is off or could not fire before the attempt deadline anyway.
+    fn hedge_delay(&self, budget: Duration) -> Option<Duration> {
+        let delay = match self.options.hedge {
+            HedgePolicy::Off => return None,
+            HedgePolicy::After(delay) => delay,
+            HedgePolicy::Percentile { q, floor } => {
+                let samples = self.metrics.recent_latencies();
+                match quantile(&samples, q.clamp(0.0, 1.0)) {
+                    Some(ms) if ms.is_finite() && ms >= 0.0 => {
+                        Duration::from_secs_f64(ms / 1000.0).max(floor)
+                    }
+                    _ => floor,
+                }
+            }
+        };
+        (delay < budget).then_some(delay)
+    }
+
+    /// Render a [`CallFail`] into the typed error a caller surfaces.
+    fn render_call_fail(&self, shard: usize, path: &str, fail: CallFail) -> AtlasError {
+        // lint: slice-index-ok (callers index 0..shards.len())
+        let addr = &self.shards[shard].addr;
+        match fail {
+            CallFail::Shard { message } => dist_err(message),
+            CallFail::CircuitOpen => {
+                dist_err(format!("shard {addr} refused on {path}: circuit open"))
+            }
+            CallFail::Deadline => dist_err(format!(
+                "deadline expired while calling shard {addr} on {path}"
+            )),
+        }
+    }
+
+    /// One shard call under the full fault policy: circuit-breaker
+    /// admission, bounded retries with seeded-jitter backoff, optional
+    /// hedging, and the request deadline capping every attempt and sleep.
+    fn call_with(
+        &self,
+        shard: usize,
+        path: &str,
+        body: &Json,
+        deadline: Option<&Deadline>,
+    ) -> Result<Json, CallFail> {
+        // lint: slice-index-ok (callers index 0..shards.len())
+        let slot = &self.shards[shard];
+        if !slot.breaker.admit() {
+            self.metrics
+                .skipped_open_circuit
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(CallFail::CircuitOpen);
+        }
+        self.metrics.fan_out.fetch_add(1, Ordering::Relaxed);
+        let payload = Arc::new(body.encode());
+        let started = Instant::now();
+        let mut failures = 0u32;
+        let result = loop {
+            let budget = match deadline {
+                None => self.options.shard_timeout,
+                Some(d) => match d.remaining() {
+                    None => break Err(CallFail::Deadline),
+                    Some(left) => left.min(self.options.shard_timeout),
+                },
+            };
+            match self.attempt(slot, path, &payload, budget, deadline) {
+                Ok(json) => break Ok(json),
+                Err(AttemptFail::NoRetry(message)) => break Err(CallFail::Shard { message }),
+                Err(AttemptFail::Retryable(message)) => {
+                    failures += 1;
+                    if failures >= self.options.retry.max_attempts.max(1) {
+                        break Err(CallFail::Shard { message });
+                    }
+                    self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.options.retry.backoff(failures, self.jitter_draw());
+                    if !backoff.is_zero() {
+                        match deadline {
+                            None => std::thread::sleep(backoff),
+                            Some(d) => match d.remaining() {
+                                None => break Err(CallFail::Deadline),
+                                Some(left) => std::thread::sleep(backoff.min(left)),
+                            },
+                        }
+                    }
+                }
+            }
+        };
+        self.metrics.record(shard, started.elapsed());
+        match &result {
+            Ok(_) => slot.breaker.record_success(),
+            Err(CallFail::Shard { .. }) => slot.breaker.record_failure(),
+            Err(CallFail::CircuitOpen | CallFail::Deadline) => {}
+        }
+        result
+    }
+
+    /// One attempt of one shard call. Without hedging the request runs
+    /// inline; with hedging a second identical request launches once the
+    /// hedge delay passes unanswered, and the first success wins.
+    fn attempt(
+        &self,
+        slot: &ShardSlot,
+        path: &str,
+        payload: &Arc<String>,
+        budget: Duration,
+        deadline: Option<&Deadline>,
+    ) -> Result<Json, AttemptFail> {
+        let mut client = slot.client.clone().with_timeout(budget);
+        if let Some(d) = deadline {
+            let left = d.remaining().unwrap_or(Duration::ZERO).as_millis();
+            client = client.with_header(DEADLINE_HEADER, left.to_string());
+        }
+        let Some(hedge_after) = self.hedge_delay(budget) else {
+            let outcome =
+                client.request("POST", path, Some(("application/json", payload.as_bytes())));
+            return judge(&slot.addr, path, outcome);
+        };
+
+        let started = Instant::now();
+        let attempt_deadline = started + budget;
+        let (tx, rx) = mpsc::channel::<(bool, io::Result<ClientResponse>)>();
+        let launch = |is_hedge: bool| {
+            let client = client.clone();
+            let path = path.to_string();
+            let payload = Arc::clone(payload);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let outcome = client.request(
+                    "POST",
+                    &path,
+                    Some(("application/json", payload.as_bytes())),
+                );
+                let _ = tx.send((is_hedge, outcome));
+            });
+        };
+        launch(false);
+        let mut outstanding = 1u32;
+        let mut hedged = false;
+        let mut last_failure: Option<String> = None;
+        while outstanding > 0 {
+            let now = Instant::now();
+            let wake = if hedged {
+                attempt_deadline
+            } else {
+                (started + hedge_after).min(attempt_deadline)
+            };
+            if now >= wake {
+                if !hedged && now >= started + hedge_after {
+                    hedged = true;
+                    self.metrics.hedges_launched.fetch_add(1, Ordering::Relaxed);
+                    launch(true);
+                    outstanding += 1;
+                    continue;
+                }
+                break; // attempt deadline passed with requests still out
+            }
+            match rx.recv_timeout(wake.duration_since(now)) {
+                Ok((is_hedge, outcome)) => {
+                    outstanding -= 1;
+                    match judge(&slot.addr, path, outcome) {
+                        Ok(json) => {
+                            if is_hedge {
+                                self.metrics.hedges_won.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return Ok(json);
+                        }
+                        Err(AttemptFail::NoRetry(message)) => {
+                            return Err(AttemptFail::NoRetry(message));
+                        }
+                        Err(AttemptFail::Retryable(message)) => last_failure = Some(message),
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Err(AttemptFail::Retryable(last_failure.unwrap_or_else(|| {
+            format!(
+                "shard {} timed out on {path} after {} ms",
+                slot.addr,
+                budget.as_millis()
+            )
+        })))
+    }
+
+    /// Stash the first shard-attributable failure of this explore pass and
+    /// return its rendered error (the [`CutSource`] signatures only carry
+    /// `AtlasError`, so attribution travels through the context).
+    fn stash(&self, ctx: &ExploreCtx, fail: ExploreFail) -> AtlasError {
+        let error = match &fail {
+            ExploreFail::Shard { error, .. } | ExploreFail::Fatal(error) => error.clone(),
+        };
+        let mut stashed = match ctx.failed.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if stashed.is_none() {
+            *stashed = Some(fail);
+        }
+        error
+    }
+
+    /// Fail fast when the request deadline has passed between phases.
+    fn check_deadline(&self, ctx: &ExploreCtx, phase: &str) -> Result<(), AtlasError> {
+        match ctx.deadline {
+            Some(d) if d.expired() => Err(self.stash(ctx, ExploreFail::Fatal(d.error(phase)))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Scatter one endpoint to every live shard with assigned segments (in
     /// parallel, one thread per shard) and gather the `partials` arrays
     /// sorted by ascending global segment index. The result holds exactly
-    /// one entry per segment of the table.
+    /// one entry per live segment, in `ctx.live` order.
     fn scatter(
         &self,
+        ctx: &ExploreCtx,
         path: &str,
         body_of: impl Fn(&[usize]) -> Json + Sync,
     ) -> Result<Vec<Json>, AtlasError> {
+        if let Some(d) = ctx.deadline {
+            if d.expired() {
+                return Err(self.stash(ctx, ExploreFail::Fatal(d.error(path))));
+            }
+        }
         let live: Vec<usize> = (0..self.shards.len())
+            .filter(|i| !ctx.dead.contains(i))
             // lint: slice-index-ok (i ranges over 0..shards.len())
             .filter(|&i| !self.shards[i].segments.is_empty())
             .collect();
-        let replies: Vec<Result<Json, AtlasError>> = std::thread::scope(|scope| {
+        let replies: Vec<(usize, Result<Json, CallFail>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = live
                 .iter()
                 .map(|&idx| {
                     let body_of = &body_of;
-                    // lint: slice-index-ok (idx comes from live, a subset of 0..shards.len())
-                    scope.spawn(move || self.call(idx, path, &body_of(&self.shards[idx].segments)))
+                    let handle = scope.spawn(move || {
+                        // lint: slice-index-ok (idx comes from live, a subset of 0..shards.len())
+                        let body = body_of(&self.shards[idx].segments);
+                        self.call_with(idx, path, &body, ctx.deadline)
+                    });
+                    (idx, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|_| Err(dist_err("scatter thread panicked")))
+                .map(|(idx, handle)| {
+                    let reply = handle.join().unwrap_or_else(|_| {
+                        Err(CallFail::Shard {
+                            message: format!("scatter thread for shard {idx} panicked"),
+                        })
+                    });
+                    (idx, reply)
                 })
                 .collect()
         });
-        let mut partials: Vec<(usize, Json)> = Vec::with_capacity(self.segment_rows.len());
-        for reply in replies {
-            let reply = reply?;
-            for partial in get_items(&reply, "partials").map_err(dist_err)? {
-                let segment = get_index(partial, "segment").map_err(dist_err)?;
-                if segment >= self.segment_rows.len() {
-                    return Err(dist_err(format!(
-                        "shard answered for unknown segment {segment}"
-                    )));
+        let mut gathered: Vec<(usize, Json)> = Vec::with_capacity(ctx.live.len());
+        let mut first_fail: Option<(usize, String)> = None;
+        let mut deadline_hit = false;
+        for (shard, reply) in replies {
+            match reply.and_then(|json| self.shard_partials(shard, path, json)) {
+                Ok(mut list) => gathered.append(&mut list),
+                Err(CallFail::Deadline) => deadline_hit = true,
+                Err(CallFail::CircuitOpen) => {
+                    if first_fail.as_ref().is_none_or(|(s, _)| shard < *s) {
+                        first_fail = Some((
+                            shard,
+                            format!(
+                                "shard {} refused on {path}: circuit open",
+                                // lint: slice-index-ok (shard came from live, a subset of 0..shards.len())
+                                self.shards[shard].addr
+                            ),
+                        ));
+                    }
                 }
-                partials.push((segment, partial.clone()));
+                Err(CallFail::Shard { message }) => {
+                    if first_fail.as_ref().is_none_or(|(s, _)| shard < *s) {
+                        first_fail = Some((shard, message));
+                    }
+                }
             }
         }
-        partials.sort_by_key(|(segment, _)| *segment);
-        let segments: Vec<usize> = partials.iter().map(|(segment, _)| *segment).collect();
-        let expected: Vec<usize> = (0..self.segment_rows.len()).collect();
-        if segments != expected {
-            return Err(dist_err(format!(
-                "scatter on {path} gathered segments {segments:?}, expected every one of 0..{}",
-                self.segment_rows.len()
+        if deadline_hit {
+            let error = match ctx.deadline {
+                Some(d) => d.error(path),
+                None => dist_err(format!("deadline expired during {path}")),
+            };
+            return Err(self.stash(ctx, ExploreFail::Fatal(error)));
+        }
+        if let Some((shard, message)) = first_fail {
+            let fail = ExploreFail::Shard {
+                shard,
+                error: dist_err(message),
+            };
+            return Err(self.stash(ctx, fail));
+        }
+        gathered.sort_by_key(|(segment, _)| *segment);
+        let segments: Vec<usize> = gathered.iter().map(|(segment, _)| *segment).collect();
+        if segments != ctx.live {
+            let fail = ExploreFail::Fatal(dist_err(format!(
+                "scatter on {path} gathered segments {segments:?}, expected {:?}",
+                ctx.live
+            )));
+            return Err(self.stash(ctx, fail));
+        }
+        Ok(gathered.into_iter().map(|(_, partial)| partial).collect())
+    }
+
+    /// Validate one shard's reply: its `partials` must cover exactly the
+    /// segments assigned to it. A mismatch is a shard-attributable failure
+    /// (and counts against its circuit breaker).
+    fn shard_partials(
+        &self,
+        shard: usize,
+        path: &str,
+        reply: Json,
+    ) -> Result<Vec<(usize, Json)>, CallFail> {
+        // lint: slice-index-ok (shard came from live, a subset of 0..shards.len())
+        let slot = &self.shards[shard];
+        let semantic = |message: String| {
+            slot.breaker.record_failure();
+            CallFail::Shard {
+                message: format!("shard {} misbehaved on {path}: {message}", slot.addr),
+            }
+        };
+        let items = match get_items(&reply, "partials") {
+            Ok(items) => items,
+            Err(e) => return Err(semantic(e)),
+        };
+        let mut list = Vec::with_capacity(items.len());
+        for partial in items {
+            match get_index(partial, "segment") {
+                Ok(segment) => list.push((segment, partial.clone())),
+                Err(e) => return Err(semantic(e)),
+            }
+        }
+        let mut seen: Vec<usize> = list.iter().map(|(segment, _)| *segment).collect();
+        seen.sort_unstable();
+        if seen != slot.segments {
+            return Err(semantic(format!(
+                "answered for segments {seen:?}, assigned {:?}",
+                slot.segments
             )));
         }
-        Ok(partials.into_iter().map(|(_, partial)| partial).collect())
+        Ok(list)
     }
 
     /// The request body shared by the per-working-set endpoints.
@@ -480,11 +1052,17 @@ impl Coordinator {
         Json::object(members)
     }
 
-    /// Gather a per-segment bitmap member into one table-wide bitmap.
-    fn fold_bitmaps(&self, partials: &[(usize, Bitmap)]) -> Result<Bitmap, AtlasError> {
-        let mut folded = Bitmap::new_empty(self.num_rows);
+    /// Gather a per-segment bitmap member into one bitmap over the live
+    /// rows (the whole table in strict mode, the surviving rows renumbered
+    /// contiguously in degraded mode).
+    fn fold_bitmaps(
+        &self,
+        ctx: &ExploreCtx,
+        partials: &[(usize, Bitmap)],
+    ) -> Result<Bitmap, AtlasError> {
+        let mut folded = Bitmap::new_empty(ctx.live_rows);
         for (segment, bitmap) in partials {
-            // lint: slice-index-ok (scatter validated segment < segment_rows.len(); offsets has the same len)
+            // lint: slice-index-ok (scatter validated segment against the assignment)
             if bitmap.len() != self.segment_rows[*segment] {
                 return Err(dist_err(format!(
                     "segment {segment} bitmap has {} rows, expected {}",
@@ -493,21 +1071,24 @@ impl Coordinator {
                     self.segment_rows[*segment]
                 )));
             }
-            // lint: slice-index-ok (same scatter-validated segment)
-            folded.or_shifted(bitmap, self.segment_offsets[*segment]);
+            let Some(offset) = ctx.offset_of(*segment) else {
+                return Err(dist_err(format!("segment {segment} is not live")));
+            };
+            folded.or_shifted(bitmap, offset);
         }
         Ok(folded)
     }
 
-    /// Scatter the working-set evaluation and fold the global bitmap.
-    fn fetch_working(&self, sql: &str) -> Result<Bitmap, AtlasError> {
-        let partials = self.scatter("/shard/working", |segments| {
+    /// Scatter the working-set evaluation and fold the global bitmap (empty
+    /// at the segments of dropped shards in degraded mode).
+    fn fetch_working(&self, ctx: &ExploreCtx, sql: &str) -> Result<Bitmap, AtlasError> {
+        let partials = self.scatter(ctx, "/shard/working", |segments| {
             self.data_body(sql, segments, Vec::new())
         })?;
         let bitmaps = partials
             .iter()
-            .enumerate()
-            .map(|(segment, partial)| {
+            .zip(&ctx.live)
+            .map(|(partial, &segment)| {
                 let bitmap = partial
                     .get("bitmap")
                     .ok_or_else(|| "partial without a bitmap".to_string())
@@ -516,7 +1097,7 @@ impl Coordinator {
                 Ok((segment, bitmap))
             })
             .collect::<Result<Vec<_>, AtlasError>>()?;
-        self.fold_bitmaps(&bitmaps)
+        self.fold_bitmaps(ctx, &bitmaps)
     }
 
     /// Scatter the per-column summaries of the working set and fold them in
@@ -524,8 +1105,12 @@ impl Coordinator {
     /// [`atlas_columnar::ColumnView::summary`] and of the engine's table
     /// profile, so the collapsed [`ColumnStats`] match the local path bit
     /// for bit.
-    fn fetch_summaries(&self, sql: &str) -> Result<Vec<ColumnSummary>, AtlasError> {
-        let partials = self.scatter("/shard/summaries", |segments| {
+    fn fetch_summaries(
+        &self,
+        ctx: &ExploreCtx,
+        sql: &str,
+    ) -> Result<Vec<ColumnSummary>, AtlasError> {
+        let partials = self.scatter(ctx, "/shard/summaries", |segments| {
             self.data_body(sql, segments, Vec::new())
         })?;
         let mut folded: Vec<ColumnSummary> = self
@@ -557,13 +1142,14 @@ impl Coordinator {
     /// merge them in ascending segment order — the table-profile fold.
     fn fetch_sketches(
         &self,
+        ctx: &ExploreCtx,
         attributes: &[&str],
         epsilon: f64,
     ) -> Result<HashMap<String, GkSketch>, AtlasError> {
         if attributes.is_empty() {
             return Ok(HashMap::new());
         }
-        let partials = self.scatter("/shard/sketches", |segments| {
+        let partials = self.scatter(ctx, "/shard/sketches", |segments| {
             Json::object(vec![
                 ("dataset", Json::from(self.dataset.as_str())),
                 ("epsilon", Json::from(hex_f64(epsilon))),
@@ -598,7 +1184,11 @@ impl Coordinator {
 
     /// Scatter the contingency-table counts of every candidate-map pair and
     /// sum them cell-wise (exact integer adds across segments).
-    fn fetch_pair_counts(&self, maps: &[atlas_core::DataMap]) -> Result<PairCounts, AtlasError> {
+    fn fetch_pair_counts(
+        &self,
+        ctx: &ExploreCtx,
+        maps: &[atlas_core::DataMap],
+    ) -> Result<PairCounts, AtlasError> {
         let map_sqls: Vec<Json> = maps
             .iter()
             .map(|map| {
@@ -610,7 +1200,7 @@ impl Coordinator {
                 )
             })
             .collect();
-        let partials = self.scatter("/shard/contingency", |segments| {
+        let partials = self.scatter(ctx, "/shard/contingency", |segments| {
             Json::object(vec![
                 ("dataset", Json::from(self.dataset.as_str())),
                 ("maps", Json::array(map_sqls.clone())),
@@ -620,7 +1210,7 @@ impl Coordinator {
                 ),
             ])
         })?;
-        let mut folded: HashMap<(usize, usize), (usize, usize, Vec<u64>)> = HashMap::new();
+        let mut folded: PairCounts = HashMap::new();
         for partial in &partials {
             for pair in get_items(partial, "pairs").map_err(dist_err)? {
                 let a = get_index(pair, "a").map_err(dist_err)?;
@@ -646,7 +1236,55 @@ impl Coordinator {
         Ok(folded)
     }
 
-    /// Run one distributed exploration step.
+    /// The live segment list (ascending global indices) once `dead` shards
+    /// are dropped.
+    fn live_segments(&self, dead: &BTreeSet<usize>) -> Vec<usize> {
+        let mut live: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .flat_map(|(_, slot)| slot.segments.iter().copied())
+            .collect();
+        live.sort_unstable();
+        live
+    }
+
+    /// Exact coverage of an answer that dropped the `dead` shards.
+    fn coverage(&self, dead: &BTreeSet<usize>) -> Coverage {
+        let mut missing: Vec<usize> = dead
+            .iter()
+            // lint: slice-index-ok (dead holds indices of self.shards)
+            .flat_map(|&i| self.shards[i].segments.iter().copied())
+            .collect();
+        missing.sort_unstable();
+        let missing_rows: usize = missing
+            .iter()
+            // lint: slice-index-ok (assignments are validated partitions of 0..segment_rows.len())
+            .map(|&s| self.segment_rows[s])
+            .sum();
+        let rows_answered = self.num_rows.saturating_sub(missing_rows);
+        let segments_answered = self.segment_rows.len().saturating_sub(missing.len());
+        Coverage {
+            segments_total: self.segment_rows.len(),
+            segments_answered,
+            missing_segments: missing,
+            rows_total: self.num_rows,
+            rows_answered,
+            failed_shards: dead
+                .iter()
+                // lint: slice-index-ok (dead holds indices of self.shards)
+                .map(|&i| self.shards[i].addr.clone())
+                .collect(),
+            columns: self
+                .fields
+                .iter()
+                .map(|(name, _)| (name.clone(), rows_answered))
+                .collect(),
+        }
+    }
+
+    /// Run one distributed exploration step under the strict contract.
     ///
     /// Bit-identical to [`atlas_core::Atlas::explore`] with the same table
     /// and configuration (see the module docs); errors exactly like it on an
@@ -654,6 +1292,127 @@ impl Coordinator {
     /// can be cut ([`AtlasError::NoCuttableAttributes`]), and with
     /// [`AtlasError::Distributed`] when a shard misbehaves.
     pub fn explore(&self, query: &ConjunctiveQuery) -> Result<MapResult, AtlasError> {
+        self.explore_resilient(query, ExploreMode::Strict, None)
+            .map(|distributed| distributed.result)
+    }
+
+    /// Run one distributed exploration step under an explicit failure mode
+    /// and optional request deadline.
+    ///
+    /// [`ExploreMode::Strict`] keeps the bit-identity-or-typed-error
+    /// contract of [`Coordinator::explore`]. [`ExploreMode::Degraded`]
+    /// drops up to `max_failed_shards` shards that fail past their retries
+    /// (restarting the pass without them), folds the surviving segments,
+    /// and reports exact [`Coverage`]; shards whose circuit is already open
+    /// are dropped up front without waiting for them to fail again.
+    pub fn explore_resilient(
+        &self,
+        query: &ConjunctiveQuery,
+        mode: ExploreMode,
+        deadline: Option<Deadline>,
+    ) -> Result<DistributedResult, AtlasError> {
+        let max_failed = match mode {
+            ExploreMode::Strict => 0,
+            ExploreMode::Degraded { max_failed_shards } => {
+                max_failed_shards.min(self.shards.len().saturating_sub(1))
+            }
+        };
+        let mut dead: BTreeSet<usize> = BTreeSet::new();
+        if max_failed > 0 {
+            for (i, slot) in self.shards.iter().enumerate() {
+                if dead.len() >= max_failed {
+                    break;
+                }
+                if !slot.segments.is_empty() && slot.breaker.is_refusing() {
+                    dead.insert(i);
+                }
+            }
+        }
+        let outcome = loop {
+            match self.explore_once(query, &dead, deadline.as_ref()) {
+                Ok(result) => break Ok(result),
+                Err(ExploreFail::Shard { shard, error }) => {
+                    if dead.len() < max_failed && !dead.contains(&shard) {
+                        dead.insert(shard);
+                        continue;
+                    }
+                    break Err(error);
+                }
+                Err(ExploreFail::Fatal(error)) => break Err(error),
+            }
+        };
+        match outcome {
+            Ok(result) => {
+                if !dead.is_empty() {
+                    self.metrics
+                        .degraded_explores
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(DistributedResult {
+                    coverage: self.coverage(&dead),
+                    result,
+                })
+            }
+            Err(error) => {
+                if matches!(error, AtlasError::Deadline { .. }) {
+                    self.metrics
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(error)
+            }
+        }
+    }
+
+    /// One explore pass over the live shards, classifying any failure as
+    /// shard-attributable (degraded mode may drop the shard and re-run) or
+    /// fatal.
+    fn explore_once(
+        &self,
+        query: &ConjunctiveQuery,
+        dead: &BTreeSet<usize>,
+        deadline: Option<&Deadline>,
+    ) -> Result<MapResult, ExploreFail> {
+        let live = self.live_segments(dead);
+        if live.is_empty() {
+            return Err(ExploreFail::Fatal(dist_err(
+                "no live shard holds any segment (every shard failed or is refusing)",
+            )));
+        }
+        let mut offsets = Vec::with_capacity(live.len());
+        let mut live_rows = 0usize;
+        for &segment in &live {
+            offsets.push(live_rows);
+            // lint: slice-index-ok (live segments come from validated assignments)
+            live_rows += self.segment_rows[segment];
+        }
+        let ctx = ExploreCtx {
+            dead,
+            live,
+            live_rows,
+            offsets,
+            deadline,
+            failed: Mutex::new(None),
+        };
+        match self.explore_pipeline(query, &ctx) {
+            Ok(result) => Ok(result),
+            Err(error) => {
+                let stashed = match ctx.failed.into_inner() {
+                    Ok(inner) => inner,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                Err(stashed.unwrap_or(ExploreFail::Fatal(error)))
+            }
+        }
+    }
+
+    /// The distributed pipeline over the context's live segments —
+    /// byte-for-byte the engine's phases on the folded inputs.
+    fn explore_pipeline(
+        &self,
+        query: &ConjunctiveQuery,
+        ctx: &ExploreCtx,
+    ) -> Result<MapResult, AtlasError> {
         let total_start = Instant::now();
         let mut query = query.clone();
         if query.table.is_empty() {
@@ -662,18 +1421,20 @@ impl Coordinator {
         let sql = to_sql(&query);
 
         let phase = Instant::now();
-        let working = self.fetch_working(&sql)?;
+        let working = self.fetch_working(ctx, &sql)?;
         let query_ms = phase.elapsed().as_secs_f64() * 1e3;
         let working_count = working.count();
         if working_count == 0 {
             return Err(AtlasError::EmptyWorkingSet);
         }
+        self.check_deadline(ctx, "candidates")?;
 
         // Candidate generation: folded stats + the shared CUT body over the
-        // scattering source.
+        // scattering source. "Covering" compares against the *live* rows —
+        // the degraded table is the surviving segments.
         let phase = Instant::now();
-        let covering = working_count == self.num_rows;
-        let summaries = self.fetch_summaries(&sql)?;
+        let covering = working_count == ctx.live_rows;
+        let summaries = self.fetch_summaries(ctx, &sql)?;
         let names: Vec<String> = match &self.config.attributes {
             Some(list) => list.clone(),
             None => self.fields.iter().map(|(name, _)| name.clone()).collect(),
@@ -691,13 +1452,14 @@ impl Coordinator {
                     })
                     .map(String::as_str)
                     .collect();
-                self.fetch_sketches(&numeric, epsilon)?
+                self.fetch_sketches(ctx, &numeric, epsilon)?
             }
             _ => HashMap::new(),
         };
         let source = RemoteSource {
             coordinator: self,
             sql: &sql,
+            ctx,
         };
         let mut maps = Vec::new();
         let mut skipped = Vec::new();
@@ -713,13 +1475,14 @@ impl Coordinator {
         if maps.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
         }
+        self.check_deadline(ctx, "distances")?;
 
         // Distances from segment-summed contingency tables, then the
         // engine's own clustering.
         let phase = Instant::now();
         let mut matrix = DistanceMatrix::zeros(maps.len());
         if maps.len() > 1 {
-            let mut pair_counts = self.fetch_pair_counts(&maps)?;
+            let mut pair_counts = self.fetch_pair_counts(ctx, &maps)?;
             for i in 0..maps.len() {
                 for j in (i + 1)..maps.len() {
                     let (rows, cols, counts) = pair_counts.remove(&(i, j)).ok_or_else(|| {
@@ -742,8 +1505,11 @@ impl Coordinator {
         }
         let clusters = cluster_maps_with_pool(&matrix, &self.config.clustering, &self.pool)?;
         let clustering_ms = phase.elapsed().as_secs_f64() * 1e3;
+        self.check_deadline(ctx, "merge")?;
 
         // Product merge + region cap, the engine's own code on local data.
+        // The cap's relative threshold reads the live row count, so a
+        // degraded answer matches a local explore over the same segments.
         let phase = Instant::now();
         let products = self.pool.par_map(&clusters, |cluster| {
             let members: Vec<atlas_core::DataMap> =
@@ -756,10 +1522,11 @@ impl Coordinator {
             merged.push(enforce_region_cap(
                 product,
                 self.config.max_regions_per_map,
-                self.num_rows,
+                ctx.live_rows,
             ));
         }
         let merge_ms = phase.elapsed().as_secs_f64() * 1e3;
+        self.check_deadline(ctx, "rank")?;
 
         let phase = Instant::now();
         let mut ranked = rank_maps(merged);
@@ -821,20 +1588,21 @@ impl Coordinator {
     /// table-wide ones.
     fn fetch_regions(
         &self,
+        ctx: &ExploreCtx,
         sql: &str,
         attribute: &str,
         rest: Vec<(&str, Json)>,
         expected: usize,
     ) -> Result<Vec<Bitmap>, AtlasError> {
-        let partials = self.scatter("/shard/select", |segments| {
+        let partials = self.scatter(ctx, "/shard/select", |segments| {
             let mut extra = vec![("attribute", Json::from(attribute))];
             extra.extend(rest.iter().map(|(k, v)| (*k, v.clone())));
             self.data_body(sql, segments, extra)
         })?;
         let mut folded: Vec<Bitmap> = (0..expected)
-            .map(|_| Bitmap::new_empty(self.num_rows))
+            .map(|_| Bitmap::new_empty(ctx.live_rows))
             .collect();
-        for (segment, partial) in partials.iter().enumerate() {
+        for (partial, &segment) in partials.iter().zip(&ctx.live) {
             let regions = get_items(partial, "regions").map_err(dist_err)?;
             if regions.len() != expected {
                 return Err(dist_err(format!(
@@ -842,16 +1610,18 @@ impl Coordinator {
                     regions.len()
                 )));
             }
+            let Some(offset) = ctx.offset_of(segment) else {
+                return Err(dist_err(format!("segment {segment} is not live")));
+            };
             for (acc, region) in folded.iter_mut().zip(regions) {
                 let bitmap = bitmap_from_json(region).map_err(dist_err)?;
-                // lint: slice-index-ok (scatter returned exactly one partial per segment, so enumerate() is in bounds)
+                // lint: slice-index-ok (ctx.live holds validated segment indices)
                 if bitmap.len() != self.segment_rows[segment] {
                     return Err(dist_err(format!(
                         "segment {segment} region bitmap has the wrong length"
                     )));
                 }
-                // lint: slice-index-ok (same enumerate-bounded segment; offsets has segment_rows's len)
-                acc.or_shifted(&bitmap, self.segment_offsets[segment]);
+                acc.or_shifted(&bitmap, offset);
             }
         }
         Ok(folded)
@@ -866,6 +1636,8 @@ struct RemoteSource<'a> {
     coordinator: &'a Coordinator,
     /// The working-set SQL every kernel re-evaluates shard-side.
     sql: &'a str,
+    /// The live-set and failure context of the running explore pass.
+    ctx: &'a ExploreCtx<'a>,
 }
 
 impl CutSource for RemoteSource<'_> {
@@ -874,13 +1646,15 @@ impl CutSource for RemoteSource<'_> {
     }
 
     fn numeric_values(&self, attribute: &str) -> Result<Vec<f64>, AtlasError> {
-        let partials = self.coordinator.scatter("/shard/values", |segments| {
-            self.coordinator.data_body(
-                self.sql,
-                segments,
-                vec![("attribute", Json::from(attribute))],
-            )
-        })?;
+        let partials = self
+            .coordinator
+            .scatter(self.ctx, "/shard/values", |segments| {
+                self.coordinator.data_body(
+                    self.sql,
+                    segments,
+                    vec![("attribute", Json::from(attribute))],
+                )
+            })?;
         let mut values = Vec::new();
         for partial in &partials {
             values.extend(
@@ -897,6 +1671,7 @@ impl CutSource for RemoteSource<'_> {
     ) -> Result<Vec<Bitmap>, AtlasError> {
         let flat: Vec<f64> = bounds.iter().flat_map(|&(lo, hi)| [lo, hi]).collect();
         self.coordinator.fetch_regions(
+            self.ctx,
             self.sql,
             attribute,
             vec![
@@ -941,6 +1716,7 @@ impl CutSource for RemoteSource<'_> {
                 .collect(),
         );
         self.coordinator.fetch_regions(
+            self.ctx,
             self.sql,
             attribute,
             vec![("kind", Json::from("groups")), ("groups", groups_json)],
@@ -957,13 +1733,15 @@ impl RemoteSource<'_> {
         &self,
         attribute: &str,
     ) -> Result<Vec<(Vec<(String, usize)>, Vec<String>)>, AtlasError> {
-        let partials = self.coordinator.scatter("/shard/categories", |segments| {
-            self.coordinator.data_body(
-                self.sql,
-                segments,
-                vec![("attribute", Json::from(attribute))],
-            )
-        })?;
+        let partials = self
+            .coordinator
+            .scatter(self.ctx, "/shard/categories", |segments| {
+                self.coordinator.data_body(
+                    self.sql,
+                    segments,
+                    vec![("attribute", Json::from(attribute))],
+                )
+            })?;
         partials
             .iter()
             .map(|partial| {

@@ -11,6 +11,12 @@ use crate::wire::Json;
 use std::io::{self, BufRead, Write};
 use std::time::Instant;
 
+/// The request header carrying the caller's total time budget in
+/// milliseconds. The server anchors it at admission time; the coordinator
+/// forwards the remaining budget to the shards under the same name.
+/// Header-name comparison is case-insensitive, as HTTP requires.
+pub const DEADLINE_HEADER: &str = "x-atlas-deadline-ms";
+
 /// Upper bound on one request/status/header line, in bytes.
 const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of headers per message.
@@ -284,6 +290,9 @@ pub struct Response {
     pub status: u16,
     /// The `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the fixed set [`write_response`] emits
+    /// (`Retry-After` on overload answers, for instance).
+    pub headers: Vec<(String, String)>,
     /// The body.
     pub body: Vec<u8>,
 }
@@ -294,6 +303,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: value.encode().into_bytes(),
         }
     }
@@ -303,6 +313,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -313,6 +324,12 @@ impl Response {
             status,
             &Json::object(vec![("error", Json::from(message.into()))]),
         )
+    }
+
+    /// This response with an extra header appended.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 }
 
@@ -330,6 +347,7 @@ pub fn status_text(status: u16) -> &'static str {
         422 => "Unprocessable Content",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -340,14 +358,21 @@ pub fn write_response<W: Write>(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(&response.body)?;
     writer.flush()
@@ -465,6 +490,138 @@ mod tests {
             parse_bytes(raw),
             Err(HttpError::BodyTooLarge { limit: 1024 })
         ));
+    }
+
+    /// Delivers its message one byte per `read` call, answering `WouldBlock`
+    /// between bytes the way a socket read timeout does. After the message
+    /// is exhausted it either reports EOF or stalls with `WouldBlock`
+    /// forever, depending on `stall_at_end`.
+    struct Slowloris {
+        bytes: Vec<u8>,
+        position: usize,
+        parched: bool,
+        stall_at_end: bool,
+    }
+
+    impl Slowloris {
+        fn new(bytes: &[u8], stall_at_end: bool) -> BufReader<Slowloris> {
+            BufReader::new(Slowloris {
+                bytes: bytes.to_vec(),
+                position: 0,
+                parched: false,
+                stall_at_end,
+            })
+        }
+    }
+
+    impl io::Read for Slowloris {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.parched {
+                self.parched = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "drip"));
+            }
+            self.parched = true;
+            match self.bytes.get(self.position) {
+                Some(&byte) if !buf.is_empty() => {
+                    buf[0] = byte;
+                    self.position += 1;
+                    Ok(1)
+                }
+                _ if self.stall_at_end => Err(io::Error::new(io::ErrorKind::WouldBlock, "stall")),
+                _ => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn a_slow_but_steady_peer_is_ridden_out_within_the_deadline() {
+        let raw = b"POST /explore HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let deadline = Some(Instant::now() + std::time::Duration::from_secs(30));
+        let mut reader = Slowloris::new(raw, false);
+        let request = read_request(&mut reader, 1024, deadline).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body_text(), Some("hello"));
+    }
+
+    #[test]
+    fn a_peer_that_stalls_mid_message_is_a_typed_error_not_a_hang() {
+        // Stall after the request line: the headers never arrive, the socket
+        // keeps timing out, and the parser must give up at the deadline.
+        let raw = b"POST /explore HTTP/1.1\r\nContent-";
+        let budget = std::time::Duration::from_millis(100);
+        let started = Instant::now();
+        let mut reader = Slowloris::new(raw, true);
+        let result = read_request(&mut reader, 1024, Some(started + budget));
+        assert!(
+            matches!(&result, Err(HttpError::Malformed(m)) if m.contains("timed out")),
+            "expected a timeout, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < budget + std::time::Duration::from_secs(2),
+            "the parser overstayed its deadline: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn a_stalled_body_is_a_typed_error_not_a_hang() {
+        // The headers arrive whole but the promised body never does.
+        let raw = b"POST /explore HTTP/1.1\r\nContent-Length: 64\r\n\r\nonly a few bytes";
+        let budget = std::time::Duration::from_millis(100);
+        let started = Instant::now();
+        let mut reader = Slowloris::new(raw, true);
+        let result = read_request(&mut reader, 1024, Some(started + budget));
+        assert!(
+            matches!(&result, Err(HttpError::Malformed(m)) if m.contains("timed out")),
+            "expected a timeout, got {result:?}"
+        );
+        assert!(
+            started.elapsed() < budget + std::time::Duration::from_secs(2),
+            "the parser overstayed its deadline: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn a_response_truncated_at_every_boundary_byte_is_an_error_never_a_hang() {
+        let response = Response::json(200, &Json::object(vec![("answer", Json::from(42.0_f64))]))
+            .with_header("Retry-After", "3");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &response, true).unwrap();
+
+        // The full message parses.
+        let mut reader = BufReader::new(wire.as_slice());
+        let parsed = read_response(&mut reader, 1024, None).unwrap();
+        assert_eq!(parsed.status, 200);
+
+        // Every proper prefix is a typed error: `Closed` when the peer
+        // vanished before a single byte, `Malformed` anywhere mid-message.
+        for cut in 0..wire.len() {
+            // lint: slice-index-ok (cut < wire.len() by the loop bound)
+            let truncated = &wire[..cut];
+            let mut reader = BufReader::new(truncated);
+            let result = read_response(&mut reader, 1024, None);
+            match (cut, result) {
+                (0, Err(HttpError::Closed)) => {}
+                (_, Err(HttpError::Closed | HttpError::Malformed(_))) => {}
+                (_, other) => panic!("truncation at byte {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn a_request_truncated_at_every_boundary_byte_is_an_error_never_a_hang() {
+        let raw: &[u8] = b"POST /sessions/x/explore HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(parse_bytes(raw).is_ok());
+        for cut in 0..raw.len() {
+            // lint: slice-index-ok (cut < raw.len() by the loop bound)
+            let result = parse_bytes(&raw[..cut]);
+            match (cut, result) {
+                (0, Err(HttpError::Closed)) => {}
+                (_, Err(HttpError::Closed | HttpError::Malformed(_))) => {}
+                (_, other) => panic!("truncation at byte {cut} gave {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //! * [`metrics`] — request counters and a latency histogram
 //!   (`atlas_stats::histogram`) behind `GET /metrics`;
 //! * [`server`] — accept loop, worker pool (`ATLAS_SERVE_THREADS`),
-//!   admission control with `503` on overload, graceful shutdown;
+//!   admission control with `503` + `Retry-After` on overload, deadline
+//!   propagation (`X-Atlas-Deadline-Ms` → `504` with work-done metadata),
+//!   graceful shutdown;
+//! * [`resilience`] — deadlines, [`RetryPolicy`] with deterministic seeded
+//!   jitter, hedged reads, per-shard circuit breakers, and the [`Coverage`]
+//!   metadata of degraded distributed answers;
 //! * [`client`] — the small blocking client the tests, example and load
 //!   generator use.
 //!
@@ -45,15 +50,19 @@ pub mod distributed;
 pub mod http;
 pub mod metrics;
 pub mod registry;
+pub mod resilience;
 pub mod server;
 pub mod sessions;
 mod shard;
 pub mod wire;
 
 pub use client::Client;
-pub use distributed::{Coordinator, CoordinatorMetrics};
+pub use distributed::{Coordinator, CoordinatorMetrics, CoordinatorOptions, DistributedResult};
 pub use metrics::ServerMetrics;
 pub use registry::{DatasetOptions, Registry};
+pub use resilience::{
+    CircuitConfig, CircuitState, Coverage, Deadline, ExploreMode, HedgePolicy, RetryPolicy,
+};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use sessions::SessionManager;
 pub use wire::Json;

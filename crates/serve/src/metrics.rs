@@ -233,6 +233,17 @@ impl ServerMetrics {
         self.rejected_overload.load(Ordering::Relaxed)
     }
 
+    /// The median of the recent-latency window, in milliseconds — `None`
+    /// until a first request has been served. Drives the `Retry-After`
+    /// estimate on overload refusals.
+    pub fn p50_latency_ms(&self) -> Option<f64> {
+        let ring = match self.latencies.lock() {
+            Ok(ring) => ring,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        quantile(&ring.samples, 0.5)
+    }
+
     /// The `/metrics` report. `extra` members (cache stats, session
     /// counters) are appended by the server so this module stays ignorant of
     /// the registry.

@@ -28,17 +28,18 @@
 //! `4xx` when [`atlas_core::AtlasError::is_user_error`] holds and `5xx`
 //! otherwise.
 
-use crate::distributed::Coordinator;
+use crate::distributed::{Coordinator, CoordinatorOptions};
 use crate::http::{self, HttpError, Request, Response};
 use crate::metrics::{Endpoint, ServerMetrics};
 use crate::registry::{Dataset, Registry};
+use crate::resilience::{CircuitConfig, Deadline, ExploreMode, HedgePolicy, RetryPolicy};
 use crate::sessions::{SessionManager, WireSession};
 use crate::wire::{self, Json};
 use atlas_core::{AtlasError, MapResult};
 use atlas_explorer::Session;
 use atlas_query::{parse_query, to_compact, to_sql};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -81,9 +82,24 @@ pub struct ServeConfig {
     /// Shard servers (`host:port`) this server coordinates over for
     /// `POST /distributed/explore`. Empty means the endpoint answers `400`.
     pub shards: Vec<String>,
-    /// Per-shard request timeout for distributed exploration; a timed-out or
-    /// failed request is retried exactly once before the explore fails.
+    /// Per-shard request timeout for distributed exploration (the read/write
+    /// budget of one attempt; retries are governed by [`ServeConfig::retry`]).
     pub shard_timeout: Duration,
+    /// TCP connect budget towards a shard, split from [`ServeConfig::shard_timeout`]
+    /// so an unreachable host fails fast instead of consuming the full
+    /// request budget.
+    pub shard_connect_timeout: Duration,
+    /// Retry schedule of one shard call.
+    pub retry: RetryPolicy,
+    /// When the coordinator duplicates a straggling shard read.
+    pub hedge: HedgePolicy,
+    /// Per-shard circuit-breaker tuning.
+    pub circuit: CircuitConfig,
+    /// Degraded partial answers: `Some(k)` lets a request that opts in with
+    /// `{"mode": "degraded"}` fold the surviving segments when at most `k`
+    /// shards are down (the answer carries exact coverage); `None` answers
+    /// such requests with `400`.
+    pub degraded_max_failed: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +115,11 @@ impl Default for ServeConfig {
             max_history_depth: 256,
             shards: Vec::new(),
             shard_timeout: Duration::from_secs(10),
+            shard_connect_timeout: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            hedge: HedgePolicy::Off,
+            circuit: CircuitConfig::default(),
+            degraded_max_failed: None,
         }
     }
 }
@@ -123,10 +144,26 @@ impl ServeConfig {
         self.threads = threads.max(1);
         self
     }
+
+    /// The fault-policy knobs this configuration hands the distributed
+    /// coordinator.
+    pub fn coordinator_options(&self) -> CoordinatorOptions {
+        CoordinatorOptions {
+            shard_timeout: self.shard_timeout,
+            connect_timeout: self.shard_connect_timeout,
+            retry: self.retry,
+            hedge: self.hedge,
+            circuit: self.circuit,
+            ..CoordinatorOptions::default()
+        }
+    }
 }
 
+/// Accepted connections waiting for a worker, each stamped with its
+/// admission time so request deadlines can be anchored where queueing
+/// started rather than where parsing did.
 struct ConnectionQueue {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
 }
 
@@ -305,24 +342,45 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(queue);
             // Admission control: refuse now, cheaply, on the accept thread.
             shared.metrics.record_overload();
-            refuse_overloaded(stream);
+            refuse_overloaded(stream, retry_after_secs(shared));
             continue;
         }
-        queue.push_back(stream);
+        queue.push_back((stream, Instant::now()));
         drop(queue);
         shared.connections.ready.notify_one();
     }
 }
 
-/// Answer `503` on a connection whose request will never be read. Dropping
-/// the socket with unread request bytes pending would make the kernel send a
-/// reset that destroys the response before the client reads it, so after
-/// writing we half-close and briefly drain what the client already sent.
-fn refuse_overloaded(stream: TcpStream) {
+/// Seconds a refused client should wait before retrying: the time to drain
+/// a full connection queue at the recent median request latency across the
+/// worker pool, clamped to 1..=30. Before any request has been served the
+/// estimate falls back to one second.
+fn retry_after_secs(shared: &Shared) -> u64 {
+    let Some(p50_ms) = shared.metrics.p50_latency_ms() else {
+        return 1;
+    };
+    let backlog = shared.config.queue_depth as f64;
+    let workers = shared.config.threads.max(1) as f64;
+    let secs = (backlog * p50_ms / workers / 1000.0).ceil();
+    if secs.is_finite() && secs >= 1.0 {
+        (secs as u64).min(30)
+    } else {
+        1
+    }
+}
+
+/// Answer `503` on a connection whose request will never be read. The
+/// response carries a `Retry-After` estimate derived from the queue depth
+/// and the recent latency window. Dropping the socket with unread request
+/// bytes pending would make the kernel send a reset that destroys the
+/// response before the client reads it, so after writing we half-close and
+/// briefly drain what the client already sent.
+fn refuse_overloaded(stream: TcpStream, retry_after: u64) {
     let mut writer = BufWriter::new(&stream);
     if http::write_response(
         &mut writer,
-        &Response::error(503, "server overloaded; retry later"),
+        &Response::error(503, "server overloaded; retry later")
+            .with_header("Retry-After", retry_after.to_string()),
         false,
     )
     .is_err()
@@ -346,14 +404,14 @@ fn refuse_overloaded(stream: TcpStream) {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let stream = {
+        let (stream, admitted) = {
             let mut queue = match shared.connections.queue.lock() {
                 Ok(q) => q,
                 Err(poisoned) => poisoned.into_inner(),
             };
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break stream;
+                if let Some(entry) = queue.pop_front() {
+                    break entry;
                 }
                 if shared.shutting_down() {
                     return;
@@ -369,12 +427,12 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        handle_connection(shared, stream);
+        handle_connection(shared, stream, admitted);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_SLICE));
     let Ok(read_half) = stream.try_clone() else {
@@ -383,12 +441,22 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut idle_deadline = Instant::now() + shared.config.keep_alive;
+    // The deadline anchor of the first request is the connection's admission
+    // time, so the budget covers time spent waiting for a worker; later
+    // keep-alive requests re-anchor when their first byte arrives (idle time
+    // between requests is the client's, not the server's).
+    let mut anchor = admitted;
+    let mut first_request = true;
     loop {
         // Wait for the next request without consuming anything, so idle
         // timeouts and shutdown are observed between requests, not inside
         // them.
         match http::wait_for_data(&mut reader) {
-            Ok(()) => {}
+            Ok(()) => {
+                if !first_request {
+                    anchor = Instant::now();
+                }
+            }
             Err(HttpError::Idle) => {
                 // Hang up on an idle keep-alive connection when shutdown or
                 // the idle deadline says so — or when other connections are
@@ -425,8 +493,45 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             }
         };
         let started = Instant::now();
+        first_request = false;
         let keep_alive = request.wants_keep_alive() && !shared.shutting_down();
-        let (endpoint, response) = route(shared, &request);
+        // A non-numeric deadline header is ignored rather than rejected: the
+        // header is advisory, and a client that mangles it still deserves an
+        // answer.
+        let deadline = request
+            .header(http::DEADLINE_HEADER)
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(|ms| Deadline::anchored(Duration::from_millis(ms), anchor));
+        if let Some(d) = deadline.as_ref().filter(|d| d.expired()) {
+            // The budget burned out before any work started (most likely in
+            // the admission queue): answer 504 with the work-done metadata
+            // instead of starting work that cannot finish in time.
+            let response = error_response(&d.error("admission queue"));
+            shared.metrics.record(
+                Endpoint::Other,
+                response.status,
+                started.elapsed().as_secs_f64() * 1000.0,
+            );
+            if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+                return;
+            }
+            idle_deadline = Instant::now() + shared.config.keep_alive;
+            continue;
+        }
+        let (endpoint, reply) = route(shared, &request, deadline);
+        let response = match reply {
+            crate::shard::Reply::Normal(response) => response,
+            // Injected raw outcomes (truncated/garbled answers) are written
+            // verbatim and close the connection; a hangup writes nothing.
+            // Neither reaches the metrics — they exist for the chaos suite.
+            crate::shard::Reply::Raw(bytes) => {
+                let _ = writer.write_all(&bytes);
+                let _ = writer.flush();
+                return;
+            }
+            crate::shard::Reply::Hangup => return,
+        };
         shared.metrics.record(
             endpoint,
             response.status,
@@ -446,29 +551,68 @@ pub(crate) fn error_response(error: &AtlasError) -> Response {
         AtlasError::Query(_) | AtlasError::InvalidConfig(_) => 400,
         AtlasError::EmptyWorkingSet | AtlasError::NoCuttableAttributes => 422,
         AtlasError::Columnar(_) | AtlasError::Distributed(_) => 500,
+        AtlasError::Deadline { .. } => 504,
     };
     debug_assert_eq!(status < 500, error.is_user_error());
+    if let AtlasError::Deadline {
+        budget_ms,
+        elapsed_ms,
+        phase,
+    } = error
+    {
+        // 504 answers carry work-done-so-far metadata instead of silently
+        // overrunning: how much budget was spent and where it went.
+        return Response::json(
+            504,
+            &Json::object(vec![
+                ("error", Json::from(error.to_string())),
+                (
+                    "work_done",
+                    Json::object(vec![
+                        ("budget_ms", Json::from(*budget_ms)),
+                        ("elapsed_ms", Json::from(*elapsed_ms)),
+                        ("phase", Json::from(phase.as_str())),
+                    ]),
+                ),
+            ]),
+        );
+    }
     Response::error(status, error.to_string())
 }
 
-fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
+fn route(
+    shared: &Shared,
+    request: &Request,
+    deadline: Option<Deadline>,
+) -> (Endpoint, crate::shard::Reply) {
     let segments = request.path_segments();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(shared)),
-        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(shared)),
-        ("GET", ["datasets"]) => (Endpoint::Datasets, datasets(shared)),
-        ("POST", ["datasets", name, "rows"]) => {
-            (Endpoint::AppendRows, append_rows(shared, name, request))
-        }
-        ("POST", ["sessions"]) => (Endpoint::CreateSession, create_session(shared, request)),
+        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(shared).into()),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(shared).into()),
+        ("GET", ["datasets"]) => (Endpoint::Datasets, datasets(shared).into()),
+        ("POST", ["datasets", name, "rows"]) => (
+            Endpoint::AppendRows,
+            append_rows(shared, name, request).into(),
+        ),
+        ("POST", ["sessions"]) => (
+            Endpoint::CreateSession,
+            create_session(shared, request).into(),
+        ),
         ("POST", ["sessions", token, "explore"]) => {
-            (Endpoint::Explore, explore(shared, token, request))
+            (Endpoint::Explore, explore(shared, token, request).into())
         }
-        ("POST", ["sessions", token, "drill"]) => (Endpoint::Drill, drill(shared, token, request)),
-        ("POST", ["sessions", token, "back"]) => (Endpoint::Back, back(shared, token)),
-        ("GET", ["sessions", token, "history"]) => (Endpoint::History, history(shared, token)),
-        ("DELETE", ["sessions", token]) => (Endpoint::DeleteSession, delete_session(shared, token)),
+        ("POST", ["sessions", token, "drill"]) => {
+            (Endpoint::Drill, drill(shared, token, request).into())
+        }
+        ("POST", ["sessions", token, "back"]) => (Endpoint::Back, back(shared, token).into()),
+        ("GET", ["sessions", token, "history"]) => {
+            (Endpoint::History, history(shared, token).into())
+        }
+        ("DELETE", ["sessions", token]) => (
+            Endpoint::DeleteSession,
+            delete_session(shared, token).into(),
+        ),
         ("POST", ["shard", action]) => match crate::shard::endpoint_of(action) {
             Some(endpoint) => (
                 endpoint,
@@ -476,44 +620,75 @@ fn route(shared: &Shared, request: &Request) -> (Endpoint, Response) {
             ),
             None => (
                 Endpoint::Other,
-                Response::error(404, format!("no shard endpoint '{action}'")),
+                Response::error(404, format!("no shard endpoint '{action}'")).into(),
             ),
         },
-        ("POST", ["distributed", "explore"]) => {
-            (Endpoint::DistExplore, distributed_explore(shared, request))
-        }
+        ("POST", ["distributed", "explore"]) => (
+            Endpoint::DistExplore,
+            distributed_explore(shared, request, deadline).into(),
+        ),
         (_, ["healthz" | "metrics" | "datasets"])
         | (_, ["sessions", ..])
         | (_, ["shard", ..] | ["distributed", ..]) => (
             Endpoint::Other,
-            Response::error(405, format!("method {method} not allowed here")),
+            Response::error(405, format!("method {method} not allowed here")).into(),
         ),
         _ => (
             Endpoint::Other,
-            Response::error(404, format!("no route for {method} {}", request.path)),
+            Response::error(404, format!("no route for {method} {}", request.path)).into(),
         ),
     }
 }
 
 fn healthz(shared: &Shared) -> Response {
-    Response::json(
-        200,
-        &Json::object(vec![
-            ("status", Json::from("ok")),
-            (
-                "datasets",
-                Json::array(
-                    shared
-                        .registry
-                        .datasets()
-                        .iter()
-                        .map(|d| Json::from(d.name()))
-                        .collect(),
-                ),
+    let mut members = vec![
+        ("status".to_string(), Json::from("ok")),
+        (
+            "datasets".to_string(),
+            Json::array(
+                shared
+                    .registry
+                    .datasets()
+                    .iter()
+                    .map(|d| Json::from(d.name()))
+                    .collect(),
             ),
-            ("threads", Json::from(shared.config.threads)),
-        ]),
-    )
+        ),
+        ("threads".to_string(), Json::from(shared.config.threads)),
+    ];
+    let coordinators = match shared.coordinators.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if !coordinators.is_empty() {
+        // Shard health at a glance: the circuit state of every shard this
+        // server coordinates, per dataset.
+        let mut entries: Vec<(String, Json)> = coordinators
+            .iter() // lint: nondeterministic-ok (entries are sorted by dataset name below)
+            .map(|(dataset, (_, coordinator))| {
+                (
+                    dataset.clone(),
+                    Json::array(
+                        coordinator
+                            .circuit_states()
+                            .into_iter()
+                            .map(|(addr, state, opened_total)| {
+                                Json::object(vec![
+                                    ("shard", Json::from(addr)),
+                                    ("state", Json::from(state.label())),
+                                    ("opened_total", Json::from(opened_total)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        members.push(("circuits".to_string(), Json::object(entries)));
+    }
+    drop(coordinators);
+    Response::json(200, &Json::Obj(members))
 }
 
 fn metrics(shared: &Shared) -> Response {
@@ -556,7 +731,7 @@ fn metrics(shared: &Shared) -> Response {
     if !coordinators.is_empty() {
         let mut entries: Vec<(String, Json)> = coordinators
             .iter() // lint: nondeterministic-ok (entries are sorted by dataset name two lines down)
-            .map(|(dataset, (_, coordinator))| (dataset.clone(), coordinator.metrics().snapshot()))
+            .map(|(dataset, (_, coordinator))| (dataset.clone(), coordinator.metrics_snapshot()))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         extra.push(("distributed".to_string(), Json::object(entries)));
@@ -608,10 +783,14 @@ fn append_rows(shared: &Shared, name: &str, request: &Request) -> Response {
 
 /// `POST /distributed/explore`: run one scatter-gather exploration over the
 /// configured shard servers. The body is conjunctive SQL, or a JSON envelope
-/// `{"sql": …, "dataset": …}`; the local dataset entry supplies the engine
-/// configuration (the shards hold the rows). Coordinators are cached per
-/// dataset and re-connected when the dataset generation moves.
-fn distributed_explore(shared: &Shared, request: &Request) -> Response {
+/// `{"sql": …, "dataset": …, "mode": "strict"|"degraded"}`; the local
+/// dataset entry supplies the engine configuration (the shards hold the
+/// rows). Degraded mode must be enabled server-side
+/// ([`ServeConfig::degraded_max_failed`]); the answer then carries a
+/// `coverage` member stating exactly which segments and rows it folds.
+/// Coordinators are cached per dataset and re-connected when the dataset
+/// generation moves. A request deadline is forwarded to the shards.
+fn distributed_explore(shared: &Shared, request: &Request, deadline: Option<Deadline>) -> Response {
     if shared.config.shards.is_empty() {
         return Response::error(
             400,
@@ -621,19 +800,39 @@ fn distributed_explore(shared: &Shared, request: &Request) -> Response {
     let Some(body) = request.body_text() else {
         return Response::error(400, "body must be UTF-8 text");
     };
-    let (sql, requested) = match wire::parse(body) {
+    let (sql, requested, mode_name) = match wire::parse(body) {
         Ok(json) => match json.get("sql").and_then(|s| s.str()) {
             Some(sql) => (
                 sql.to_string(),
                 json.get("dataset").and_then(|d| d.str()).map(String::from),
+                json.get("mode").and_then(|m| m.str()).map(String::from),
             ),
             None => return Response::error(400, "JSON body must carry a \"sql\" member"),
         },
-        Err(_) => (body.to_string(), None),
+        Err(_) => (body.to_string(), None, None),
     };
     if sql.trim().is_empty() {
         return Response::error(400, "empty query; send conjunctive SQL");
     }
+    let mode = match mode_name.as_deref() {
+        None | Some("strict") => ExploreMode::Strict,
+        Some("degraded") => match shared.config.degraded_max_failed {
+            Some(max_failed_shards) => ExploreMode::Degraded { max_failed_shards },
+            None => {
+                return Response::error(
+                    400,
+                    "degraded mode is disabled on this server; \
+                     start it with --degraded-max-failed K",
+                );
+            }
+        },
+        Some(other) => {
+            return Response::error(
+                400,
+                format!("unknown mode '{other}' (use \"strict\" or \"degraded\")"),
+            );
+        }
+    };
     let dataset = match &requested {
         Some(name) => match shared.registry.get(name) {
             Some(dataset) => dataset,
@@ -660,11 +859,11 @@ fn distributed_explore(shared: &Shared, request: &Request) -> Response {
                 Arc::clone(coordinator)
             }
             _ => {
-                let connected = Coordinator::connect(
+                let connected = Coordinator::connect_with(
                     &shared.config.shards,
                     dataset.name(),
                     engine.config().clone(),
-                    shared.config.shard_timeout,
+                    shared.config.coordinator_options(),
                 );
                 match connected {
                     Ok(coordinator) => {
@@ -687,8 +886,14 @@ fn distributed_explore(shared: &Shared, request: &Request) -> Response {
     if query.table.is_empty() {
         query.table = dataset.name().to_string();
     }
-    match coordinator.explore(&query) {
-        Ok(result) => Response::json(200, &map_result_json(dataset.name(), &result, false, 1)),
+    match coordinator.explore_resilient(&query, mode, deadline) {
+        Ok(answer) => {
+            let mut body = map_result_json(dataset.name(), &answer.result, false, 1);
+            if let Json::Obj(members) = &mut body {
+                members.push(("coverage".to_string(), answer.coverage.to_json()));
+            }
+            Response::json(200, &body)
+        }
         Err(error) => error_response(&error),
     }
 }

@@ -15,11 +15,18 @@
 //! them against cached single-segment views of its registry datasets. The
 //! cache is keyed by dataset generation, so appends invalidate it naturally.
 //!
-//! `POST /shard/inject` is a fault-injection hook for tests: it delays the
-//! next N shard answers by a fixed amount, which is how the suite exercises
-//! the coordinator's timeout-and-retry path without real packet loss.
+//! `POST /shard/inject` is a fault-injection hook for tests. The legacy form
+//! `{"delay_ms": N, "times": M}` delays the next M shard answers; the plan
+//! form `{"plan": [{"fault": …}, …]}` arms a deterministic fault plan where
+//! each subsequent shard request (the inject endpoint excepted) consumes the
+//! next entry: `delay`, `refuse` (hang up unanswered), `error` (a synthetic
+//! non-200), `truncate` (a prefix of the real answer), `garbage` (bytes that
+//! are not HTTP), `kill` (hang up on everything until the next inject), or
+//! `none` (answer normally). This is how the chaos suite drives every
+//! coordinator failure path without real packet loss — deterministically,
+//! from a seeded plan.
 
-use crate::http::{Request, Response};
+use crate::http::{self, Request, Response};
 use crate::metrics::Endpoint;
 use crate::registry::{Dataset, Registry};
 use crate::wire::frames::{
@@ -31,12 +38,49 @@ use atlas_columnar::{Bitmap, DataType, Table};
 use atlas_core::AtlasError;
 use atlas_query::{parse_query, ConjunctiveQuery};
 use atlas_stats::{ContingencyTable, GkSketch};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// How a shard endpoint answers: a normal HTTP response, raw bytes written
+/// verbatim (truncated or garbled answers), or a silent hangup. Anything but
+/// `Normal` closes the connection afterwards.
+pub(crate) enum Reply {
+    /// An ordinary HTTP response.
+    Normal(Response),
+    /// Write exactly these bytes, then close.
+    Raw(Vec<u8>),
+    /// Close the connection without writing a byte.
+    Hangup,
+}
+
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply::Normal(response)
+    }
+}
+
+/// One entry of an armed fault plan, consumed by one shard request.
+enum Fault {
+    /// Answer normally (an explicit pass-through slot in a plan).
+    None,
+    /// Sleep this long, then answer normally.
+    Delay(u64),
+    /// Hang up without answering.
+    Refuse,
+    /// Answer a synthetic error with this status.
+    Error(u16),
+    /// Compute the real answer but send only `keep_per_mille`/1000 of its
+    /// bytes, then close mid-body.
+    Truncate(u16),
+    /// Send bytes that are not HTTP.
+    Garbage,
+    /// Hang up now and on every later request until the next inject.
+    Kill,
+}
+
 /// Per-server shard state: the single-segment table cache plus the
-/// fault-injection knob.
+/// fault-injection knobs.
 #[derive(Default)]
 pub(crate) struct ShardState {
     /// dataset name → (generation, one single-segment table per global
@@ -51,28 +95,79 @@ type SegmentTables = (usize, Arc<Vec<Arc<Table>>>);
 
 #[derive(Default)]
 struct InjectState {
+    /// Legacy knob: delay the next `times` answers by `delay_ms`.
     delay_ms: u64,
     times: u64,
+    /// Armed fault plan; each request pops the front entry.
+    plan: VecDeque<Fault>,
+    /// Kill switch — a consumed [`Fault::Kill`] sets it; only the next
+    /// inject clears it.
+    dead: bool,
+}
+
+/// What the fault machinery decided before any real work: pass through
+/// (possibly after a delay), or preempt with a raw outcome.
+enum Preamble {
+    Proceed,
+    Preempt(Reply),
+    /// Send a truncated prefix of the real answer (computed later).
+    TruncateAnswer(u16),
 }
 
 impl ShardState {
-    /// Apply the fault-injection delay, if armed: each armed "time" delays
-    /// exactly one data answer.
-    fn maybe_delay(&self) {
-        let delay_ms = {
+    /// Consume one fault-plan entry (or the legacy delay) for a shard
+    /// request. Called once per request before any real work.
+    fn consume_fault(&self) -> Preamble {
+        let decision = {
             let mut inject = match self.inject.lock() {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            if inject.times > 0 {
-                inject.times -= 1;
-                inject.delay_ms
-            } else {
-                0
+            if inject.dead {
+                return Preamble::Preempt(Reply::Hangup);
+            }
+            match inject.plan.pop_front() {
+                Some(fault) => fault,
+                None => {
+                    // Legacy path: each armed "time" delays one answer.
+                    if inject.times > 0 {
+                        inject.times -= 1;
+                        Fault::Delay(inject.delay_ms)
+                    } else {
+                        Fault::None
+                    }
+                }
             }
         };
-        if delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(delay_ms));
+        match decision {
+            Fault::None => Preamble::Proceed,
+            Fault::Delay(ms) => {
+                if ms > 0 {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Preamble::Proceed
+            }
+            Fault::Refuse => Preamble::Preempt(Reply::Hangup),
+            Fault::Error(status) => Preamble::Preempt(Reply::Normal(Response::error(
+                status,
+                "injected fault: synthetic shard error",
+            ))),
+            Fault::Truncate(keep_per_mille) => Preamble::TruncateAnswer(keep_per_mille),
+            Fault::Garbage => {
+                // Not an HTTP status line; the coordinator's parser must
+                // reject it with a typed error, never hang.
+                Preamble::Preempt(Reply::Raw(
+                    b"\x00\x7fatlas-chaos garbage bytes\r\n\r\n".to_vec(),
+                ))
+            }
+            Fault::Kill => {
+                let mut inject = match self.inject.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                inject.dead = true;
+                Preamble::Preempt(Reply::Hangup)
+            }
         }
     }
 
@@ -129,25 +224,50 @@ pub(crate) fn endpoint_of(action: &str) -> Option<Endpoint> {
     })
 }
 
-/// Serve one shard endpoint.
+/// Serve one shard endpoint, applying any armed fault first (the inject
+/// endpoint itself is never faulted, so a test can always re-arm or revive
+/// a killed shard).
 pub(crate) fn handle(
     registry: &Registry,
     state: &ShardState,
     endpoint: Endpoint,
     request: &Request,
-) -> Response {
+) -> Reply {
     let body = match request.body_text() {
         Some(text) if !text.trim().is_empty() => match wire::parse(text) {
             Ok(json) => json,
-            Err(error) => return Response::error(400, error.to_string()),
+            Err(error) => return Response::error(400, error.to_string()).into(),
         },
         _ => Json::object(Vec::<(String, Json)>::new()),
     };
     if endpoint == Endpoint::ShardInject {
-        return inject(state, &body);
+        return inject(state, &body).into();
     }
-    state.maybe_delay();
-    let dataset = match resolve_dataset(registry, &body) {
+    let truncate = match state.consume_fault() {
+        Preamble::Preempt(reply) => return reply,
+        Preamble::TruncateAnswer(keep_per_mille) => Some(keep_per_mille),
+        Preamble::Proceed => None,
+    };
+    let response = answer(registry, state, endpoint, &body);
+    match truncate {
+        None => Reply::Normal(response),
+        Some(keep_per_mille) => {
+            let mut bytes = Vec::new();
+            // Writing to a Vec cannot fail.
+            let _ = http::write_response(&mut bytes, &response, false);
+            let keep = bytes
+                .len()
+                .saturating_mul(usize::from(keep_per_mille.min(1000)))
+                / 1000;
+            bytes.truncate(keep);
+            Reply::Raw(bytes)
+        }
+    }
+}
+
+/// Compute the real answer of one shard data endpoint.
+fn answer(registry: &Registry, state: &ShardState, endpoint: Endpoint, body: &Json) -> Response {
+    let dataset = match resolve_dataset(registry, body) {
         Ok(dataset) => dataset,
         Err(response) => return response,
     };
@@ -159,13 +279,13 @@ pub(crate) fn handle(
         Err(error) => return crate::server::error_response(&error),
     };
     let run = match endpoint {
-        Endpoint::ShardWorking => working(&tables, &body),
-        Endpoint::ShardSummaries => summaries(&tables, &body),
-        Endpoint::ShardSketches => sketches(&tables, &body),
-        Endpoint::ShardValues => values(&tables, &body),
-        Endpoint::ShardCategories => categories(&tables, &body),
-        Endpoint::ShardSelect => select(&tables, &body),
-        Endpoint::ShardContingency => contingency(&tables, &body),
+        Endpoint::ShardWorking => working(&tables, body),
+        Endpoint::ShardSummaries => summaries(&tables, body),
+        Endpoint::ShardSketches => sketches(&tables, body),
+        Endpoint::ShardValues => values(&tables, body),
+        Endpoint::ShardCategories => categories(&tables, body),
+        Endpoint::ShardSelect => select(&tables, body),
+        Endpoint::ShardContingency => contingency(&tables, body),
         _ => return Response::error(404, "unknown shard endpoint"),
     };
     match run {
@@ -209,13 +329,42 @@ fn resolve_dataset<'a>(registry: &'a Registry, body: &Json) -> Result<&'a Datase
     }
 }
 
+/// Arm the fault machinery. Any inject call — either form — revives a
+/// killed shard and replaces whatever was armed before.
 fn inject(state: &ShardState, body: &Json) -> Response {
+    if let Some(items) = body.get("plan").and_then(Json::items) {
+        let mut plan = VecDeque::with_capacity(items.len());
+        for entry in items {
+            match parse_fault(entry) {
+                Ok(fault) => plan.push_back(fault),
+                Err(message) => return Response::error(400, message),
+            }
+        }
+        let armed = plan.len();
+        let mut inject = match state.inject.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inject.dead = false;
+        inject.delay_ms = 0;
+        inject.times = 0;
+        inject.plan = plan;
+        return Response::json(
+            200,
+            &Json::object(vec![
+                ("armed", Json::from(armed)),
+                ("dead", Json::from(false)),
+            ]),
+        );
+    }
     let delay_ms = body.get("delay_ms").and_then(Json::index).unwrap_or(0) as u64;
     let times = body.get("times").and_then(Json::index).unwrap_or(0) as u64;
     let mut inject = match state.inject.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     };
+    inject.dead = false;
+    inject.plan.clear();
     inject.delay_ms = delay_ms;
     inject.times = times;
     Response::json(
@@ -225,6 +374,43 @@ fn inject(state: &ShardState, body: &Json) -> Response {
             ("times", Json::from(times)),
         ]),
     )
+}
+
+/// Parse one fault-plan entry.
+fn parse_fault(entry: &Json) -> Result<Fault, String> {
+    let kind = entry
+        .get("fault")
+        .and_then(Json::str)
+        .ok_or_else(|| "plan entry without a \"fault\" member".to_string())?;
+    Ok(match kind {
+        "none" => Fault::None,
+        "delay" => Fault::Delay(entry.get("ms").and_then(Json::index).unwrap_or(0) as u64),
+        "refuse" => Fault::Refuse,
+        "error" => {
+            let status = entry.get("status").and_then(Json::index).unwrap_or(500);
+            if !(400..=599).contains(&status) {
+                return Err(format!(
+                    "error fault status {status} out of range (400..=599)"
+                ));
+            }
+            Fault::Error(status as u16)
+        }
+        "truncate" => {
+            let keep = entry
+                .get("keep_per_mille")
+                .and_then(Json::index)
+                .unwrap_or(500);
+            if keep > 1000 {
+                return Err(format!(
+                    "truncate keep_per_mille {keep} out of range (0..=1000)"
+                ));
+            }
+            Fault::Truncate(keep as u16)
+        }
+        "garbage" => Fault::Garbage,
+        "kill" => Fault::Kill,
+        other => return Err(format!("unknown fault kind '{other}'")),
+    })
 }
 
 fn meta(dataset: &Dataset) -> Response {

@@ -332,7 +332,100 @@ fn overload_is_refused_with_503() {
     let client = Client::new(handle.addr());
     let reply = client.get("/healthz").unwrap();
     assert_eq!(reply.status, 503);
+    let retry_after = reply
+        .headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .map(|(_, value)| value.as_str())
+        .expect("503 refusals must carry a Retry-After header");
+    let seconds: u64 = retry_after.parse().expect("Retry-After must be seconds");
+    assert!(
+        (1..=30).contains(&seconds),
+        "Retry-After {seconds} out of range"
+    );
     assert!(handle.metrics().rejected() >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn a_deadline_spent_in_the_admission_queue_is_a_504_with_work_done() {
+    let (handle, _client) = boot(200, 0, 1);
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    // The deadline anchors at admission: sitting idle after connecting burns
+    // the whole budget before the request even arrives.
+    std::thread::sleep(Duration::from_millis(300));
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nX-Atlas-Deadline-Ms: 100\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 504"), "got: {text}");
+    assert!(
+        text.contains("work_done"),
+        "504 must report work done: {text}"
+    );
+    assert!(
+        text.contains("admission queue"),
+        "504 must name the phase: {text}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn degraded_mode_must_be_enabled_server_side() {
+    // A coordinator with shards configured but degraded mode off: the mode
+    // gate answers before any shard is dialled, so the address can be fake.
+    let mut registry = Registry::new();
+    registry
+        .add_table(
+            "census",
+            Arc::new(CensusGenerator::with_rows(200, 1).generate()),
+            DatasetOptions::default(),
+        )
+        .unwrap();
+    let config = ServeConfig {
+        shards: vec!["127.0.0.1:1".to_string()],
+        ..ServeConfig::default()
+    }
+    .with_threads(1);
+    let handle = Server::start(registry, config).unwrap();
+    let client = Client::new(handle.addr());
+
+    let body = Json::object(vec![
+        ("sql", Json::from("SELECT * FROM census WHERE age > 30")),
+        ("mode", Json::from("degraded")),
+    ]);
+    let reply = client.post_json("/distributed/explore", &body).unwrap();
+    assert_eq!(reply.status, 400);
+    let error = reply
+        .json()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .str()
+        .unwrap()
+        .to_string();
+    assert!(error.contains("degraded mode is disabled"), "got: {error}");
+
+    let body = Json::object(vec![
+        ("sql", Json::from("SELECT * FROM census WHERE age > 30")),
+        ("mode", Json::from("optimistic")),
+    ]);
+    let reply = client.post_json("/distributed/explore", &body).unwrap();
+    assert_eq!(reply.status, 400);
+    let error = reply
+        .json()
+        .unwrap()
+        .get("error")
+        .unwrap()
+        .str()
+        .unwrap()
+        .to_string();
+    assert!(error.contains("unknown mode"), "got: {error}");
     handle.shutdown();
 }
 
