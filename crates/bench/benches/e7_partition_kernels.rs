@@ -1,0 +1,104 @@
+//! E7 — the word-parallel partition kernels against the scalar reference
+//! (PR 9): `select_ranges` over numeric columns, `select_in_groups` over a
+//! dictionary column, and the contingency-table word fold, at 100k and 1M
+//! rows. The `scalar` entries time the one-row-at-a-time reference that
+//! `ATLAS_FORCE_SCALAR=1` selects, so the reported ratio is exactly the
+//! speedup the kernels buy in production.
+
+use atlas_bench::census;
+use atlas_columnar::{with_kernel_path, Bitmap, ColumnView, KernelPath};
+use atlas_stats::ContingencyTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const PATHS: [(&str, KernelPath); 2] = [
+    ("word", KernelPath::WordParallel),
+    ("scalar", KernelPath::Scalar),
+];
+
+/// Four equal-width bins over the column's observed range, widened at the top
+/// so the maximum lands in the last bin (half-open range semantics).
+fn equal_width_bounds(column: &ColumnView<'_>, sel: &Bitmap) -> Vec<(f64, f64)> {
+    let (lo, hi) = column.numeric_min_max(sel).expect("numeric column");
+    let width = (hi - lo).max(1.0) / 4.0;
+    (0..4)
+        .map(|k| {
+            let upper = if k == 3 {
+                hi + 1.0
+            } else {
+                lo + (k + 1) as f64 * width
+            };
+            (lo + k as f64 * width, upper)
+        })
+        .collect()
+}
+
+/// Split a dictionary column's categories into two groups by frequency rank.
+fn two_groups(column: &ColumnView<'_>, sel: &Bitmap) -> Vec<Vec<String>> {
+    let mut groups = vec![Vec::new(), Vec::new()];
+    for (i, (name, _)) in column.categories_by_frequency(sel).into_iter().enumerate() {
+        groups[i % 2].push(name);
+    }
+    groups
+}
+
+fn bench_partition_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_partition_kernels");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for rows in [100_000usize, 1_000_000] {
+        let table = census(rows);
+        let sel = table.full_selection();
+        let age = table.column("age").expect("census has age");
+        let height = table.column("height_cm").expect("census has height_cm");
+        let education = table.column("education").expect("census has education");
+
+        let int_bounds = equal_width_bounds(&age, &sel);
+        let float_bounds = equal_width_bounds(&height, &sel);
+        let groups = two_groups(&education, &sel);
+
+        // The contingency inputs are fixed region bitmaps; only the fold
+        // itself is under test.
+        let age_regions = age.select_ranges(&sel, &int_bounds);
+        let height_regions = height.select_ranges(&sel, &float_bounds);
+        let ra: Vec<&Bitmap> = age_regions.iter().collect();
+        let rb: Vec<&Bitmap> = height_regions.iter().collect();
+
+        for (path_name, path) in PATHS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_ranges_int_{path_name}"), rows),
+                &rows,
+                |b, _| b.iter(|| with_kernel_path(path, || age.select_ranges(&sel, &int_bounds))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_ranges_float_{path_name}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| with_kernel_path(path, || height.select_ranges(&sel, &float_bounds)))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_in_groups_{path_name}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| with_kernel_path(path, || education.select_in_groups(&sel, &groups)))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("contingency_{path_name}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        with_kernel_path(path, || ContingencyTable::from_selections(&ra, &rb))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_kernels);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! A subset can be selected by id: `… --bin experiments e1 e4 e7`.
 
 use atlas_bench::{census, mixture, wide_numeric};
+use atlas_columnar::{with_kernel_path, Bitmap, KernelPath};
 use atlas_core::baselines::{
     FullProductBaseline, GridCliqueBaseline, RandomMapBaseline, SingleAttributeBaseline,
 };
@@ -24,6 +25,7 @@ use atlas_serve::{
 };
 use atlas_stats::adjusted_rand_index;
 use atlas_stats::quantile::quantile;
+use atlas_stats::ContingencyTable;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -46,7 +48,7 @@ fn main() {
                 path = Some(arg.as_str());
             }
         }
-        bench_smoke(path.unwrap_or("BENCH_PR4.json"), gate);
+        bench_smoke(path.unwrap_or("BENCH_PR9.json"), gate);
         return;
     }
     // `load-smoke [path]` — the serving-throughput mode: boots `atlas-serve`
@@ -684,6 +686,119 @@ fn smoke_scale_point(rows: usize, repeats: usize) -> Json {
     ])
 }
 
+/// The best wall-clock of `repeats` runs of `f`, in milliseconds, together
+/// with the last value `f` produced (every run computes the same answer).
+fn best_of_ms<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let value = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+        out = Some(value);
+    }
+    (best, out.expect("at least one run"))
+}
+
+/// Per-kernel timings for the word-parallel partition kernels (PR 9) against
+/// the one-row-at-a-time scalar reference that `ATLAS_FORCE_SCALAR=1`
+/// selects: `select_ranges` over the integer `age` column, `select_in_groups`
+/// over the dictionary `education` column, and the contingency word fold over
+/// their region bitmaps. Each figure is the best of `repeats` runs, and the
+/// two paths' outputs are asserted bit-identical before anything is reported.
+fn smoke_kernels(rows: usize, repeats: usize) -> Json {
+    let table = census(rows);
+    let sel = table.full_selection();
+    let age = table.column("age").expect("census has age");
+    let education = table.column("education").expect("census has education");
+
+    // Four equal-width age bins, widened at the top so the maximum lands in
+    // the last bin, and the education categories split into two groups.
+    let (lo, hi) = age.numeric_min_max(&sel).expect("age is numeric");
+    let width = (hi - lo).max(1.0) / 4.0;
+    let bounds: Vec<(f64, f64)> = (0..4)
+        .map(|k| {
+            let upper = if k == 3 {
+                hi + 1.0
+            } else {
+                lo + (k + 1) as f64 * width
+            };
+            (lo + k as f64 * width, upper)
+        })
+        .collect();
+    let mut groups: Vec<Vec<String>> = vec![Vec::new(), Vec::new()];
+    for (i, (name, _)) in education
+        .categories_by_frequency(&sel)
+        .into_iter()
+        .enumerate()
+    {
+        groups[i % 2].push(name);
+    }
+
+    let (ranges_ms, ranges) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::WordParallel, || {
+            age.select_ranges(&sel, &bounds)
+        })
+    });
+    let (ranges_scalar_ms, ranges_ref) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::Scalar, || age.select_ranges(&sel, &bounds))
+    });
+    assert_eq!(ranges, ranges_ref, "select_ranges must be bit-identical");
+
+    let (groups_ms, grouped) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::WordParallel, || {
+            education.select_in_groups(&sel, &groups)
+        })
+    });
+    let (groups_scalar_ms, grouped_ref) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::Scalar, || {
+            education.select_in_groups(&sel, &groups)
+        })
+    });
+    assert_eq!(
+        grouped, grouped_ref,
+        "select_in_groups must be bit-identical"
+    );
+
+    let ra: Vec<&Bitmap> = ranges.iter().collect();
+    let rb: Vec<&Bitmap> = grouped.iter().collect();
+    let (contingency_ms, fold) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::WordParallel, || {
+            ContingencyTable::from_selections(&ra, &rb)
+        })
+    });
+    let (contingency_scalar_ms, fold_ref) = best_of_ms(repeats, || {
+        with_kernel_path(KernelPath::Scalar, || {
+            ContingencyTable::from_selections(&ra, &rb)
+        })
+    });
+    assert_eq!(fold, fold_ref, "contingency fold must be bit-identical");
+
+    let speedup =
+        |word: f64, scalar: f64| Json::Num((scalar / word.max(1e-9) * 10.0).round() / 10.0);
+    Json::object(vec![
+        ("rows", Json::from(rows)),
+        ("select_ranges_ms", ms(ranges_ms)),
+        ("select_ranges_scalar_ms", ms(ranges_scalar_ms)),
+        (
+            "select_ranges_speedup",
+            speedup(ranges_ms, ranges_scalar_ms),
+        ),
+        ("select_in_groups_ms", ms(groups_ms)),
+        ("select_in_groups_scalar_ms", ms(groups_scalar_ms)),
+        (
+            "select_in_groups_speedup",
+            speedup(groups_ms, groups_scalar_ms),
+        ),
+        ("contingency_ms", ms(contingency_ms)),
+        ("contingency_scalar_ms", ms(contingency_scalar_ms)),
+        (
+            "contingency_speedup",
+            speedup(contingency_ms, contingency_scalar_ms),
+        ),
+    ])
+}
+
 /// Segmented-storage smoke: streaming CSV ingest throughput. A census CSV is
 /// rendered once in memory, then parsed through the streaming reader (rows
 /// flow straight into the segment-sealing builder, so peak parser memory is
@@ -819,7 +934,9 @@ fn print_phase_deltas(previous_path: &str, previous: &Json, current: &Json) {
 /// three scales (20k, 100k and 1M rows), each explored both sequentially
 /// (`parallelism = 1`) and with the default parallelism, plus the
 /// segmented-storage numbers — streaming CSV ingest throughput and
-/// append-vs-rebuild preparation — reported as JSON. When an earlier
+/// append-vs-rebuild preparation — plus per-kernel partition timings
+/// (word-parallel vs the `ATLAS_FORCE_SCALAR` reference, 1M-row point
+/// first so the gate reads it) — reported as JSON. When an earlier
 /// `BENCH_*.json` is present, a phase-by-phase delta table is printed so CI
 /// logs show the trajectory. With `gate`, any phase above the 1 ms noise
 /// floor that regressed by more than the given percentage fails the run.
@@ -831,10 +948,13 @@ fn bench_smoke(path: &str, gate: Option<f64>) {
         .collect();
     let ingest = smoke_ingest(200_000);
     let append = smoke_append(1_000_000);
+    // 1M-row point first: `find_number` takes the first occurrence, so the
+    // delta table and the gate track the large-scale kernel figures.
+    let kernels = Json::array(vec![smoke_kernels(1_000_000, 5), smoke_kernels(100_000, 7)]);
 
     let report = Json::object(vec![
         ("experiment", Json::from("bench_smoke")),
-        ("pr", Json::from(4usize)),
+        ("pr", Json::from(9usize)),
         ("dataset", Json::from("census")),
         ("config", Json::from("fast")),
         (
@@ -846,6 +966,7 @@ fn bench_smoke(path: &str, gate: Option<f64>) {
             Json::from(atlas_columnar::default_segment_rows()),
         ),
         ("scale", Json::array(scales)),
+        ("kernels", kernels),
         ("ingest", ingest),
         ("append", append),
     ]);
@@ -864,8 +985,10 @@ fn bench_smoke(path: &str, gate: Option<f64>) {
 }
 
 /// The phases the delta table and the regression gate look at — the headline
-/// (first-found, i.e. 20k-row) figure for each.
-const GATED_PHASES: [&str; 7] = [
+/// (first-found) figure for each: the 20k-row point for the explore phases,
+/// the 1M-row point for the per-kernel partition timings (their report
+/// section lists 1M first).
+const GATED_PHASES: [&str; 10] = [
     "query_ms",
     "candidates_ms",
     "clustering_ms",
@@ -873,6 +996,9 @@ const GATED_PHASES: [&str; 7] = [
     "rank_ms",
     "total_ms",
     "build_ms",
+    "select_ranges_ms",
+    "select_in_groups_ms",
+    "contingency_ms",
 ];
 
 /// Noise floor for the regression gate: phases faster than this in the

@@ -443,6 +443,60 @@ impl Bitmap {
         }
     }
 
+    /// Append one bit, growing the bitmap by a row.
+    ///
+    /// Amortised O(1): a new word is allocated only every 64 pushes. This is
+    /// the builder primitive validity masks use while a column is ingested.
+    pub fn push(&mut self, bit: bool) {
+        let rem = self.len % WORD_BITS;
+        if rem == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[self.len / WORD_BITS] |= 1u64 << rem;
+        }
+        self.len += 1;
+    }
+
+    /// The 64-bit window of this bitmap starting at bit `start`: bit `b` of
+    /// the result is `self.get(start + b)`. Bits past the end read as zero,
+    /// so any `start` is legal.
+    ///
+    /// This is the gather primitive of the word-parallel kernels: a segment
+    /// whose global offset is not word-aligned reads its validity mask in
+    /// 64-row windows aligned to the *selection* words, one shift-and-or per
+    /// window instead of 64 `get` calls.
+    #[inline]
+    pub fn word_at(&self, start: usize) -> u64 {
+        let q = start / WORD_BITS;
+        let r = start % WORD_BITS;
+        let lo = self.words.get(q).copied().unwrap_or(0);
+        if r == 0 {
+            lo
+        } else {
+            let hi = self.words.get(q + 1).copied().unwrap_or(0);
+            (lo >> r) | (hi << (WORD_BITS - r))
+        }
+    }
+
+    /// OR a whole 64-bit word of new bits into word `word_idx` (covering rows
+    /// `word_idx * 64 ..`). Bits past `len` are masked off, so the tail
+    /// invariant holds for any input. Words entirely past the end are
+    /// ignored.
+    ///
+    /// This is the word-level writer of the partition kernels: one store per
+    /// 64 rows instead of 64 `set` calls.
+    #[inline]
+    pub fn or_word(&mut self, word_idx: usize, bits: u64) {
+        if let Some(word) = self.words.get_mut(word_idx) {
+            *word |= bits;
+            let rem = self.len % WORD_BITS;
+            if rem != 0 && word_idx == self.len / WORD_BITS {
+                *word &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
     /// Collect the indices of set bits into a vector.
     pub fn to_indices(&self) -> Vec<usize> {
         let mut out = Vec::with_capacity(self.count());
@@ -737,6 +791,48 @@ mod tests {
     fn or_shifted_rejects_out_of_range_offsets() {
         let mut target = Bitmap::new_empty(10);
         target.or_shifted(&Bitmap::new_full(8), 5);
+    }
+
+    #[test]
+    fn push_matches_from_bools() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let bools: Vec<bool> = (0..len).map(|i| i % 3 != 1).collect();
+            let mut pushed = Bitmap::new_empty(0);
+            for &b in &bools {
+                pushed.push(b);
+            }
+            assert_eq!(pushed, Bitmap::from_bools(&bools), "len={len}");
+            assert_eq!(pushed.words().len(), len.div_ceil(WORD_BITS));
+        }
+    }
+
+    #[test]
+    fn word_at_reads_any_offset() {
+        let bm = Bitmap::from_indices(150, (0..150).filter(|i| i % 5 == 0 || i % 7 == 2));
+        for start in [0usize, 1, 37, 63, 64, 65, 127, 128, 140, 149, 150, 200] {
+            let got = bm.word_at(start);
+            for b in 0..WORD_BITS {
+                let want = bm.get(start + b);
+                assert_eq!((got >> b) & 1 == 1, want, "start={start} bit={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn or_word_masks_the_tail_and_ignores_out_of_range_words() {
+        let mut bm = Bitmap::new_empty(70);
+        bm.or_word(0, 1 | (1 << 63));
+        bm.or_word(1, u64::MAX); // only bits 64..70 survive
+        bm.or_word(9, u64::MAX); // entirely past the end: ignored
+        assert_eq!(bm.count(), 2 + 6);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(69));
+        assert!(!bm.get(70));
+        // Equivalent to per-bit sets.
+        let mut scalar = Bitmap::new_empty(70);
+        for idx in [0usize, 63, 64, 65, 66, 67, 68, 69] {
+            scalar.set(idx);
+        }
+        assert_eq!(bm, scalar);
     }
 
     #[test]

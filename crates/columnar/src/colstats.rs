@@ -206,13 +206,12 @@ impl ColumnSummary {
                 };
                 let mut welford = Welford::new();
                 sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
-                    Some(Some(x)) => {
+                    Some(x) => {
                         out.non_null += 1;
-                        distinct.insert(*x);
-                        welford.push(*x as f64);
+                        distinct.insert(x);
+                        welford.push(x as f64);
                     }
-                    Some(None) => out.nulls += 1,
-                    None => {}
+                    None => out.nulls += 1,
                 });
                 out.mean = welford.mean;
                 out.m2 = welford.m2;
@@ -225,13 +224,12 @@ impl ColumnSummary {
                 };
                 let mut welford = Welford::new();
                 sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
-                    Some(Some(x)) => {
+                    Some(x) => {
                         out.non_null += 1;
                         distinct.insert(x.to_bits());
-                        welford.push(*x);
+                        welford.push(x);
                     }
-                    Some(None) => out.nulls += 1,
-                    None => {}
+                    None => out.nulls += 1,
                 });
                 out.mean = welford.mean;
                 out.m2 = welford.m2;
@@ -272,16 +270,15 @@ impl ColumnSummary {
                     unreachable!("bool columns use bool distinct sets");
                 };
                 sel.for_each_one_in(offset, end, |idx| match values.get(idx - offset) {
-                    Some(Some(true)) => {
+                    Some(true) => {
                         out.non_null += 1;
                         *t = true;
                     }
-                    Some(Some(false)) => {
+                    Some(false) => {
                         out.non_null += 1;
                         *f = true;
                     }
-                    Some(None) => out.nulls += 1,
-                    None => {}
+                    None => out.nulls += 1,
                 });
             }
         }
@@ -515,7 +512,7 @@ mod tests {
 
     #[test]
     fn int_stats() {
-        let col = Column::Int(vec![Some(1), Some(2), Some(3), Some(4), None]);
+        let col = Column::Int(vec![Some(1), Some(2), Some(3), Some(4), None].into());
         let stats = ColumnStats::compute(&col, &Bitmap::new_full(5));
         assert_eq!(stats.non_null_count, 4);
         assert_eq!(stats.null_count, 1);
@@ -529,7 +526,7 @@ mod tests {
 
     #[test]
     fn float_stats_respect_selection() {
-        let col = Column::Float(vec![Some(10.0), Some(20.0), Some(30.0), Some(40.0)]);
+        let col = Column::Float(vec![Some(10.0), Some(20.0), Some(30.0), Some(40.0)].into());
         let sel = Bitmap::from_indices(4, [0, 3]);
         let stats = ColumnStats::compute(&col, &sel);
         assert_eq!(stats.non_null_count, 2);
@@ -561,7 +558,7 @@ mod tests {
 
     #[test]
     fn bool_stats() {
-        let col = Column::Bool(vec![Some(true), Some(false), Some(true), None]);
+        let col = Column::Bool(vec![Some(true), Some(false), Some(true), None].into());
         let stats = ColumnStats::compute(&col, &Bitmap::new_full(4));
         assert_eq!(stats.non_null_count, 3);
         assert_eq!(stats.null_count, 1);
@@ -577,11 +574,11 @@ mod tests {
         let values: Vec<Option<i64>> = (0..200)
             .map(|i| if i % 9 == 0 { None } else { Some(i % 13) })
             .collect();
-        let whole = Column::Int(values.clone());
+        let whole = Column::Int(values.clone().into());
         let reference = ColumnStats::compute(&whole, &Bitmap::new_full(200));
         for split in [1usize, 63, 64, 65, 100, 199] {
-            let left = Column::Int(values[..split].to_vec());
-            let right = Column::Int(values[split..].to_vec());
+            let left = Column::Int(values[..split].to_vec().into());
+            let right = Column::Int(values[split..].to_vec().into());
             let sel = Bitmap::new_full(200);
             let mut folded = ColumnSummary::compute(&left, &sel, 0);
             folded.merge_from(&ColumnSummary::compute(&right, &sel, split));
@@ -624,9 +621,9 @@ mod tests {
     #[test]
     fn summary_parts_round_trip_is_exact() {
         let cols = [
-            Column::Int(vec![Some(3), Some(-7), None, Some(3), Some(11)]),
-            Column::Float(vec![Some(0.0), Some(-0.0), Some(2.5), None, Some(2.5)]),
-            Column::Bool(vec![Some(true), None, Some(true)]),
+            Column::Int(vec![Some(3), Some(-7), None, Some(3), Some(11)].into()),
+            Column::Float(vec![Some(0.0), Some(-0.0), Some(2.5), None, Some(2.5)].into()),
+            Column::Bool(vec![Some(true), None, Some(true)].into()),
         ];
         for col in &cols {
             let original = ColumnSummary::compute(col, &Bitmap::new_full(5.min(col.len())), 0);
@@ -664,13 +661,16 @@ mod tests {
     #[test]
     fn column_stats_merge_is_exact_except_distinct() {
         let a = ColumnStats::compute(
-            &Column::Int(vec![Some(1), Some(2), None]),
+            &Column::Int(vec![Some(1), Some(2), None].into()),
             &Bitmap::new_full(3),
         );
-        let b = ColumnStats::compute(&Column::Int(vec![Some(2), Some(10)]), &Bitmap::new_full(2));
+        let b = ColumnStats::compute(
+            &Column::Int(vec![Some(2), Some(10)].into()),
+            &Bitmap::new_full(2),
+        );
         let merged = a.merge(&b);
         let reference = ColumnStats::compute(
-            &Column::Int(vec![Some(1), Some(2), None, Some(2), Some(10)]),
+            &Column::Int(vec![Some(1), Some(2), None, Some(2), Some(10)].into()),
             &Bitmap::new_full(5),
         );
         assert_eq!(merged.non_null_count, reference.non_null_count);
@@ -683,7 +683,8 @@ mod tests {
         assert_eq!(merged.distinct_count, 4);
         assert_eq!(reference.distinct_count, 3);
         // Merging with an all-NULL side keeps the non-NULL side's moments.
-        let nulls = ColumnStats::compute(&Column::Int(vec![None, None]), &Bitmap::new_full(2));
+        let nulls =
+            ColumnStats::compute(&Column::Int(vec![None, None].into()), &Bitmap::new_full(2));
         let kept = a.merge(&nulls);
         assert_eq!(kept.mean, a.mean);
         assert_eq!(kept.null_count, 3);
@@ -691,7 +692,7 @@ mod tests {
 
     #[test]
     fn empty_selection_yields_zeroes() {
-        let col = Column::Int(vec![Some(1), Some(2)]);
+        let col = Column::Int(vec![Some(1), Some(2)].into());
         let stats = ColumnStats::compute(&col, &Bitmap::new_empty(2));
         assert_eq!(stats.non_null_count, 0);
         assert_eq!(stats.distinct_count, 0);

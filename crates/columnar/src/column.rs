@@ -2,11 +2,113 @@
 
 use crate::bitmap::Bitmap;
 use crate::error::{ColumnarError, Result};
+use crate::kernels;
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
 
 /// Sentinel code used for NULL entries in dictionary-encoded columns.
 pub const NULL_CODE: u32 = u32::MAX;
+
+/// A primitive column: a dense value vector plus a packed validity bitmap.
+///
+/// NULL rows hold `T::default()` in the value vector and a zero bit in the
+/// validity mask. Splitting values from nullness is what lets the partition
+/// kernels run word-parallel: 64 validity bits load in one shift-and-or
+/// ([`Bitmap::word_at`]) and the value lanes are a plain `&[T]` slice that
+/// classification loops read without per-row `Option` unwrapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitiveColumn<T> {
+    values: Vec<T>,
+    validity: Bitmap,
+}
+
+impl<T: Copy + Default> PrimitiveColumn<T> {
+    /// Create an empty column.
+    pub fn new() -> Self {
+        PrimitiveColumn {
+            values: Vec::new(),
+            validity: Bitmap::new_empty(0),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Append a value (`None` = NULL).
+    pub fn push(&mut self, value: Option<T>) {
+        self.values.push(value.unwrap_or_default());
+        self.validity.push(value.is_some());
+    }
+
+    /// The value at `row`, `None` for NULL.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn get(&self, row: usize) -> Option<T> {
+        let x = self.values[row];
+        self.validity.get(row).then_some(x)
+    }
+
+    /// The dense value lanes (NULL rows hold `T::default()`; consult
+    /// [`PrimitiveColumn::validity`] before trusting a lane).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The validity mask: bit `i` set ⇔ row `i` is non-NULL.
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+
+    /// Number of NULL entries.
+    pub fn null_count(&self) -> usize {
+        self.values.len() - self.validity.count()
+    }
+
+    /// Iterate the rows as `Option<T>`.
+    pub fn iter(&self) -> impl Iterator<Item = Option<T>> + '_ {
+        (0..self.len()).map(|row| self.get(row))
+    }
+
+    /// Copy the rows `start..end` into a new column.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        let values = self.values[start..end].to_vec();
+        let len = end - start;
+        let words = (0..len.div_ceil(64))
+            .map(|k| self.validity.word_at(start + k * 64))
+            .collect();
+        PrimitiveColumn {
+            values,
+            validity: Bitmap::from_words(len, words),
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for PrimitiveColumn<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> From<Vec<Option<T>>> for PrimitiveColumn<T> {
+    fn from(values: Vec<Option<T>>) -> Self {
+        let mut out = PrimitiveColumn::new();
+        for v in values {
+            out.push(v);
+        }
+        out
+    }
+}
 
 /// A dictionary-encoded categorical column.
 ///
@@ -107,28 +209,29 @@ impl Default for DictColumn {
 
 /// A typed column of values with NULL support.
 ///
-/// Numeric and boolean columns store `Option<T>` directly; string columns are
-/// dictionary encoded (see [`DictColumn`]).
+/// Numeric and boolean columns store dense value lanes plus a validity
+/// bitmap ([`PrimitiveColumn`]); string columns are dictionary encoded
+/// (see [`DictColumn`]).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// 64-bit integer column.
-    Int(Vec<Option<i64>>),
+    Int(PrimitiveColumn<i64>),
     /// 64-bit float column.
-    Float(Vec<Option<f64>>),
+    Float(PrimitiveColumn<f64>),
     /// Dictionary-encoded string column.
     Str(DictColumn),
     /// Boolean column.
-    Bool(Vec<Option<bool>>),
+    Bool(PrimitiveColumn<bool>),
 }
 
 impl Column {
     /// Create an empty column of the given type.
     pub fn new_empty(dtype: DataType) -> Self {
         match dtype {
-            DataType::Int => Column::Int(Vec::new()),
-            DataType::Float => Column::Float(Vec::new()),
+            DataType::Int => Column::Int(PrimitiveColumn::new()),
+            DataType::Float => Column::Float(PrimitiveColumn::new()),
             DataType::Str => Column::Str(DictColumn::new()),
-            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Bool => Column::Bool(PrimitiveColumn::new()),
         }
     }
 
@@ -191,13 +294,13 @@ impl Column {
     /// Panics if `row` is out of bounds.
     pub fn value(&self, row: usize) -> Value {
         match self {
-            Column::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
-            Column::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            Column::Int(v) => v.get(row).map(Value::Int).unwrap_or(Value::Null),
+            Column::Float(v) => v.get(row).map(Value::Float).unwrap_or(Value::Null),
             Column::Str(d) => d
                 .get(row)
                 .map(|s| Value::Str(s.to_string()))
                 .unwrap_or(Value::Null),
-            Column::Bool(v) => v[row].map(Value::Bool).unwrap_or(Value::Null),
+            Column::Bool(v) => v.get(row).map(Value::Bool).unwrap_or(Value::Null),
         }
     }
 
@@ -215,28 +318,28 @@ impl Column {
     /// True if the value at `row` is NULL.
     pub fn is_null(&self, row: usize) -> bool {
         match self {
-            Column::Int(v) => v[row].is_none(),
-            Column::Float(v) => v[row].is_none(),
+            Column::Int(v) => v.get(row).is_none(),
+            Column::Float(v) => v.get(row).is_none(),
             Column::Str(d) => d.get(row).is_none(),
-            Column::Bool(v) => v[row].is_none(),
+            Column::Bool(v) => v.get(row).is_none(),
         }
     }
 
     /// Number of NULL entries.
     pub fn null_count(&self) -> usize {
         match self {
-            Column::Int(v) => v.iter().filter(|x| x.is_none()).count(),
-            Column::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Int(v) => v.null_count(),
+            Column::Float(v) => v.null_count(),
             Column::Str(d) => d.codes().iter().filter(|&&c| c == NULL_CODE).count(),
-            Column::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+            Column::Bool(v) => v.null_count(),
         }
     }
 
     /// Numeric view of the value at `row` (`None` for NULL or non-numeric).
     pub fn numeric(&self, row: usize) -> Option<f64> {
         match self {
-            Column::Int(v) => v[row].map(|x| x as f64),
-            Column::Float(v) => v[row],
+            Column::Int(v) => v.get(row).map(|x| x as f64),
+            Column::Float(v) => v.get(row),
             _ => None,
         }
     }
@@ -255,19 +358,7 @@ impl Column {
     /// the `CUT` primitive relies on.
     pub fn numeric_values_where(&self, sel: &Bitmap) -> Vec<f64> {
         let mut out = Vec::with_capacity(sel.count().min(self.len()));
-        match self {
-            Column::Int(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    out.push(*x as f64);
-                }
-            }),
-            Column::Float(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    out.push(*x);
-                }
-            }),
-            _ => {}
-        }
+        kernels::numeric_values_part(self, 0, sel, &mut out);
         out
     }
 
@@ -275,23 +366,15 @@ impl Column {
     /// restricted to `sel`. NULLs never match. Non-numeric columns return an
     /// empty selection.
     ///
-    /// Fused kernel: the selection is walked word-by-word (all-zero words are
-    /// skipped) and result words are assembled directly.
+    /// Runs the word-parallel range kernel (see [`crate::kernels`]): the
+    /// selection is walked word-by-word, validity comes from the null-mask
+    /// words, and dense 64-row blocks classify with lane-wise compares.
     pub fn select_range(&self, sel: &Bitmap, lo: f64, hi: f64) -> Bitmap {
-        match self {
-            Column::Int(v) => sel.filter_ones(|idx| match v.get(idx) {
-                Some(Some(x)) => {
-                    let x = *x as f64;
-                    x >= lo && x <= hi
-                }
-                _ => false,
-            }),
-            Column::Float(v) => sel.filter_ones(|idx| match v.get(idx) {
-                Some(Some(x)) => *x >= lo && *x <= hi,
-                _ => false,
-            }),
-            _ => Bitmap::new_empty(sel.len()),
-        }
+        let mut out = Bitmap::new_empty(sel.len());
+        let bounds = [(lo, hi)];
+        let spec = kernels::resolve_ranges(self.data_type(), &bounds);
+        kernels::select_ranges_part(self, 0, sel, &bounds, &spec, std::slice::from_mut(&mut out));
+        out
     }
 
     /// Select the rows whose categorical value is in `values`, restricted to
@@ -309,11 +392,12 @@ impl Column {
     /// codes for string columns (membership is then one indexed load per row,
     /// never a string comparison), to native `i64`s for integer columns, and
     /// to rendered-string sets for float columns. The scan itself is the fused
-    /// word-by-word filter of [`Bitmap::filter_ones`].
+    /// word-by-word filter of [`Bitmap::filter_ones_in_into`].
     pub fn select_in_iter<'v, I>(&self, sel: &Bitmap, values: I) -> Bitmap
     where
         I: IntoIterator<Item = &'v str>,
     {
+        let mut out = Bitmap::new_empty(sel.len());
         match self {
             Column::Str(d) => {
                 // Resolve the value set to sorted dictionary codes once: the
@@ -322,13 +406,13 @@ impl Column {
                 // over the (typically tiny) code set — never a string compare.
                 let mut codes: Vec<u32> = values.into_iter().filter_map(|v| d.code_of(v)).collect();
                 if codes.is_empty() {
-                    return Bitmap::new_empty(sel.len());
+                    return out;
                 }
                 codes.sort_unstable();
-                sel.filter_ones(|idx| {
+                sel.filter_ones_in_into(0, d.len(), &mut out, |idx| {
                     let code = d.code(idx);
                     code != NULL_CODE && codes.binary_search(&code).is_ok()
-                })
+                });
             }
             Column::Bool(v) => {
                 let mut want_true = false;
@@ -337,11 +421,11 @@ impl Column {
                     want_true |= s.eq_ignore_ascii_case("true");
                     want_false |= s.eq_ignore_ascii_case("false");
                 }
-                sel.filter_ones(|idx| match v.get(idx) {
-                    Some(Some(true)) => want_true,
-                    Some(Some(false)) => want_false,
-                    _ => false,
-                })
+                sel.filter_ones_in_into(0, v.len(), &mut out, |idx| match v.get(idx) {
+                    Some(true) => want_true,
+                    Some(false) => want_false,
+                    None => false,
+                });
             }
             Column::Int(v) => {
                 // Parse the value set once; the round-trip check keeps the
@@ -352,24 +436,25 @@ impl Column {
                     .filter_map(|s| s.parse::<i64>().ok().filter(|x| x.to_string() == s))
                     .collect();
                 if wanted.is_empty() {
-                    return Bitmap::new_empty(sel.len());
+                    return out;
                 }
-                sel.filter_ones(|idx| match v.get(idx) {
-                    Some(Some(x)) => wanted.contains(x),
-                    _ => false,
-                })
+                sel.filter_ones_in_into(0, v.len(), &mut out, |idx| match v.get(idx) {
+                    Some(x) => wanted.contains(&x),
+                    None => false,
+                });
             }
             Column::Float(v) => {
                 let wanted: std::collections::HashSet<&str> = values.into_iter().collect();
                 if wanted.is_empty() {
-                    return Bitmap::new_empty(sel.len());
+                    return out;
                 }
-                sel.filter_ones(|idx| match v.get(idx) {
-                    Some(Some(x)) => wanted.contains(x.to_string().as_str()),
-                    _ => false,
-                })
+                sel.filter_ones_in_into(0, v.len(), &mut out, |idx| match v.get(idx) {
+                    Some(x) => wanted.contains(x.to_string().as_str()),
+                    None => false,
+                });
             }
         }
+        out
     }
 
     /// Partition the selected rows into one selection per numeric range, in a
@@ -380,32 +465,17 @@ impl Column {
     /// disjoint (each row is assigned to the first interval containing its
     /// value — for disjoint intervals, the only one). NULLs fall into no
     /// region; non-numeric columns return all-empty selections.
+    ///
+    /// This is a word-parallel kernel — 64 rows per step, see
+    /// [`crate::kernels`]; `ATLAS_FORCE_SCALAR=1` selects the one-row-at-a-
+    /// time reference implementation.
     pub fn select_ranges(&self, sel: &Bitmap, bounds: &[(f64, f64)]) -> Vec<Bitmap> {
         let mut out: Vec<Bitmap> = bounds
             .iter()
             .map(|_| Bitmap::new_empty(sel.len()))
             .collect();
-        let mut assign = |idx: usize, x: f64| {
-            for (region, &(lo, hi)) in out.iter_mut().zip(bounds) {
-                if x >= lo && x <= hi {
-                    region.set(idx);
-                    break;
-                }
-            }
-        };
-        match self {
-            Column::Int(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    assign(idx, *x as f64);
-                }
-            }),
-            Column::Float(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    assign(idx, *x);
-                }
-            }),
-            _ => {}
-        }
+        let spec = kernels::resolve_ranges(self.data_type(), bounds);
+        kernels::select_ranges_part(self, 0, sel, bounds, &spec, &mut out);
         out
     }
 
@@ -414,79 +484,30 @@ impl Column {
     /// scan per group).
     ///
     /// Groups must be pairwise disjoint value sets. String columns resolve
-    /// every group to dictionary codes once and then do one indexed lookup
-    /// per row; boolean columns honour `"true"` / `"false"`. Numeric columns
-    /// fall back to one [`Column::select_in`] pass per group (set predicates
-    /// on numeric columns are a degraded edge case, not a hot path).
+    /// every group to dictionary codes once and then classify through the
+    /// code→group table (sorted dictionaries whose groups are contiguous
+    /// code ranges classify by lane-wise range compares instead); boolean
+    /// columns honour `"true"` / `"false"`; numeric columns resolve a
+    /// combined value→group map and classify in the same single pass.
     pub fn select_in_groups(&self, sel: &Bitmap, groups: &[Vec<String>]) -> Vec<Bitmap> {
-        match self {
-            Column::Str(d) => {
-                // code → group index (usize::MAX = no group), resolved once.
-                const NO_GROUP: usize = usize::MAX;
-                let mut group_of = vec![NO_GROUP; d.cardinality()];
-                for (g, group) in groups.iter().enumerate() {
-                    for value in group {
-                        if let Some(code) = d.code_of(value) {
-                            group_of[code as usize] = g;
-                        }
-                    }
-                }
-                let mut out: Vec<Bitmap> = groups
-                    .iter()
-                    .map(|_| Bitmap::new_empty(sel.len()))
-                    .collect();
-                sel.for_each_one(|idx| {
-                    let code = d.code(idx);
-                    if code != NULL_CODE {
-                        let g = group_of[code as usize];
-                        if g != NO_GROUP {
-                            out[g].set(idx);
-                        }
-                    }
-                });
-                out
-            }
-            Column::Bool(v) => {
-                let group_of_bool = |value: bool| {
-                    groups.iter().position(|group| {
-                        group
-                            .iter()
-                            .any(|s| s.eq_ignore_ascii_case(if value { "true" } else { "false" }))
-                    })
-                };
-                let true_group = group_of_bool(true);
-                let false_group = group_of_bool(false);
-                let mut out: Vec<Bitmap> = groups
-                    .iter()
-                    .map(|_| Bitmap::new_empty(sel.len()))
-                    .collect();
-                sel.for_each_one(|idx| {
-                    let target = match v.get(idx) {
-                        Some(Some(true)) => true_group,
-                        Some(Some(false)) => false_group,
-                        _ => None,
-                    };
-                    if let Some(g) = target {
-                        out[g].set(idx);
-                    }
-                });
-                out
-            }
-            _ => groups
-                .iter()
-                .map(|group| self.select_in(sel, group))
-                .collect(),
-        }
+        let mut out: Vec<Bitmap> = groups
+            .iter()
+            .map(|_| Bitmap::new_empty(sel.len()))
+            .collect();
+        let spec = kernels::resolve_groups(self.data_type(), groups);
+        kernels::select_in_groups_part(self, 0, sel, groups, &spec, &mut out);
+        out
     }
 
     /// The rows holding a non-NULL value, as a bitmap over the column's rows
-    /// (the inverted null mask), assembled a word at a time.
+    /// (the inverted null mask). Primitive columns return their validity mask
+    /// directly; dictionary columns assemble it a word at a time.
     pub fn non_null_mask(&self) -> Bitmap {
         match self {
-            Column::Int(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
-            Column::Float(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
+            Column::Int(v) => v.validity().clone(),
+            Column::Float(v) => v.validity().clone(),
             Column::Str(d) => Bitmap::from_fn(d.len(), |idx| d.code(idx) != NULL_CODE),
-            Column::Bool(v) => Bitmap::from_fn(v.len(), |idx| v[idx].is_some()),
+            Column::Bool(v) => v.validity().clone(),
         }
     }
 
@@ -497,15 +518,11 @@ impl Column {
     pub fn categories_by_frequency(&self, sel: &Bitmap) -> Vec<(String, usize)> {
         match self {
             Column::Str(d) => {
-                let mut counts: Vec<usize> = vec![0; d.cardinality()];
-                sel.for_each_one(|idx| {
-                    let c = d.code(idx);
-                    if c != NULL_CODE {
-                        counts[c as usize] += 1;
-                    }
-                });
+                let mut counts: Vec<usize> = vec![0; d.cardinality() + 1];
+                kernels::count_codes_part(d, 0, sel, &mut counts);
                 let mut pairs: Vec<(String, usize)> = counts
                     .into_iter()
+                    .take(d.cardinality())
                     .enumerate()
                     .filter(|&(_, n)| n > 0)
                     .map(|(code, n)| (d.dictionary()[code].clone(), n))
@@ -516,10 +533,14 @@ impl Column {
             Column::Bool(v) => {
                 let mut t = 0usize;
                 let mut f = 0usize;
-                sel.for_each_one(|idx| match v.get(idx) {
-                    Some(Some(true)) => t += 1,
-                    Some(Some(false)) => f += 1,
-                    _ => {}
+                sel.for_each_one_in(0, v.len(), |idx| {
+                    if v.validity().get(idx) {
+                        if v.values()[idx] {
+                            t += 1;
+                        } else {
+                            f += 1;
+                        }
+                    }
                 });
                 let mut pairs = Vec::new();
                 if t > 0 {
@@ -535,24 +556,60 @@ impl Column {
         }
     }
 
+    /// The raw per-category counts of this segment column over the rows of
+    /// `sel` (a **global** selection; `offset` is the segment's starting
+    /// row): one `(value, count)` pair per distinct value in first-appearance
+    /// (dictionary) order, *including zero counts*. This is the per-segment
+    /// precursor of [`crate::ColumnView::category_counts`]; per-segment
+    /// vectors fold in row order with [`crate::merge_category_counts`] into
+    /// exactly the whole-column vector. Numeric columns return an empty
+    /// vector.
+    pub fn category_counts(&self, sel: &Bitmap, offset: usize) -> Vec<(String, usize)> {
+        match self {
+            Column::Str(d) => {
+                // The extra trailing slot absorbs NULL lanes (see
+                // `count_codes_part`); only the real codes are reported.
+                let mut counts: Vec<usize> = vec![0; d.cardinality() + 1];
+                kernels::count_codes_part(d, offset, sel, &mut counts);
+                d.dictionary()
+                    .iter()
+                    .zip(counts)
+                    .map(|(value, n)| (value.clone(), n))
+                    .collect()
+            }
+            Column::Bool(v) => {
+                let mut t = 0usize;
+                let mut f = 0usize;
+                sel.for_each_one_in(offset, offset + v.len(), |idx| match v.get(idx - offset) {
+                    Some(true) => t += 1,
+                    Some(false) => f += 1,
+                    None => {}
+                });
+                vec![("true".to_string(), t), ("false".to_string(), f)]
+            }
+            _ => Vec::new(),
+        }
+    }
+
     /// Minimum and maximum of the non-NULL numeric values selected by `sel`.
     pub fn numeric_min_max(&self, sel: &Bitmap) -> Option<(f64, f64)> {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut seen = false;
         match self {
-            Column::Int(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    let x = *x as f64;
+            Column::Int(v) => sel.for_each_one_in(0, v.len(), |idx| {
+                if v.validity().get(idx) {
+                    let x = v.values()[idx] as f64;
                     min = min.min(x);
                     max = max.max(x);
                     seen = true;
                 }
             }),
-            Column::Float(v) => sel.for_each_one(|idx| {
-                if let Some(Some(x)) = v.get(idx) {
-                    min = min.min(*x);
-                    max = max.max(*x);
+            Column::Float(v) => sel.for_each_one_in(0, v.len(), |idx| {
+                if v.validity().get(idx) {
+                    let x = v.values()[idx];
+                    min = min.min(x);
+                    max = max.max(x);
                     seen = true;
                 }
             }),
@@ -571,7 +628,41 @@ mod tests {
     use super::*;
 
     fn int_col(values: &[Option<i64>]) -> Column {
-        Column::Int(values.to_vec())
+        Column::Int(values.to_vec().into())
+    }
+
+    #[test]
+    fn primitive_column_round_trips_options() {
+        let p: PrimitiveColumn<i64> = vec![Some(1), None, Some(3)].into();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(0), Some(1));
+        assert_eq!(p.get(1), None);
+        assert_eq!(p.get(2), Some(3));
+        assert_eq!(p.null_count(), 1);
+        assert_eq!(p.values(), &[1, 0, 3]);
+        assert!(p.validity().get(0) && !p.validity().get(1));
+        assert_eq!(p.iter().collect::<Vec<_>>(), vec![Some(1), None, Some(3)]);
+    }
+
+    #[test]
+    fn primitive_column_slice_keeps_validity_alignment() {
+        let values: Vec<Option<i64>> = (0..200)
+            .map(|i| if i % 7 == 0 { None } else { Some(i) })
+            .collect();
+        let p: PrimitiveColumn<i64> = values.clone().into();
+        for (start, end) in [
+            (0usize, 200usize),
+            (3, 130),
+            (64, 128),
+            (65, 67),
+            (199, 199),
+        ] {
+            let s = p.slice(start, end);
+            assert_eq!(s.len(), end - start);
+            for (i, want) in values[start..end].iter().enumerate() {
+                assert_eq!(s.get(i), *want, "slice {start}..{end} row {i}");
+            }
+        }
     }
 
     #[test]
@@ -657,7 +748,7 @@ mod tests {
         let none = col.select_in(&all, &["unknown".to_string()]);
         assert!(none.is_all_clear());
 
-        let b = Column::Bool(vec![Some(true), Some(false), None, Some(true)]);
+        let b = Column::Bool(vec![Some(true), Some(false), None, Some(true)].into());
         let allb = Bitmap::new_full(4);
         let hit = b.select_in(&allb, &["true".to_string()]);
         assert_eq!(hit.to_indices(), vec![0, 3]);
@@ -689,7 +780,7 @@ mod tests {
     #[test]
     fn select_range_ignores_nan_values() {
         // NaN never satisfies an inclusive range, whatever the bounds.
-        let col = Column::Float(vec![Some(1.0), Some(f64::NAN), Some(2.0), None, Some(3.0)]);
+        let col = Column::Float(vec![Some(1.0), Some(f64::NAN), Some(2.0), None, Some(3.0)].into());
         let all = Bitmap::new_full(5);
         let hit = col.select_range(&all, f64::NEG_INFINITY, f64::INFINITY);
         assert_eq!(hit.to_indices(), vec![0, 2, 4]);
@@ -717,9 +808,38 @@ mod tests {
 
     #[test]
     fn select_range_on_restricted_selection() {
-        let col = Column::Float(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)]);
+        let col = Column::Float(vec![Some(1.0), Some(2.0), Some(3.0), Some(4.0)].into());
         let sel = Bitmap::from_indices(4, [1, 2]);
         let hit = col.select_range(&sel, 0.0, 10.0);
         assert_eq!(hit.to_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn numeric_select_in_groups_is_single_pass_and_matches_per_group_select_in() {
+        // The satellite fix: numeric group partitioning used to run one
+        // select_in scan per group; the single-pass kernel must keep the
+        // same results for disjoint groups.
+        let col = int_col(&[Some(1), Some(2), Some(3), None, Some(4), Some(2)]);
+        let all = Bitmap::new_full(6);
+        let groups = vec![
+            vec!["1".to_string(), "4".to_string()],
+            vec!["2".to_string()],
+            vec!["007".to_string()], // never matches: round-trip rendering
+        ];
+        let got = col.select_in_groups(&all, &groups);
+        for (g, group) in groups.iter().enumerate() {
+            assert_eq!(got[g], col.select_in(&all, group), "group {g}");
+        }
+        assert_eq!(got[0].to_indices(), vec![0, 4]);
+        assert_eq!(got[1].to_indices(), vec![1, 5]);
+        assert!(got[2].is_all_clear());
+
+        // Floats match on rendered values, same contract.
+        let f = Column::Float(vec![Some(1.5), Some(2.5), None, Some(1.5)].into());
+        let allf = Bitmap::new_full(4);
+        let fg = vec![vec!["1.5".to_string()], vec!["2.5".to_string()]];
+        let got = f.select_in_groups(&allf, &fg);
+        assert_eq!(got[0].to_indices(), vec![0, 3]);
+        assert_eq!(got[1].to_indices(), vec![1]);
     }
 }

@@ -34,6 +34,10 @@
 //! * [`ColumnStats`] — per-column summary statistics (min/max, nulls, exact
 //!   distinct counts, mean/variance for numeric columns), with
 //!   [`colstats::ColumnSummary`] as the exactly-mergeable form.
+//!
+//! The partition/selection hot path runs word-parallel kernels (64 rows per
+//! step — see [`kernels`]); `ATLAS_FORCE_SCALAR=1` routes it through the
+//! bit-identical one-row-at-a-time reference implementation instead.
 
 #![warn(missing_docs)]
 
@@ -45,6 +49,7 @@ pub mod column;
 pub mod csv;
 pub mod error;
 pub mod join;
+pub mod kernels;
 pub mod schema;
 pub mod segment;
 pub mod table;
@@ -55,9 +60,10 @@ pub use bitmap::Bitmap;
 pub use builder::TableBuilder;
 pub use catalog::Catalog;
 pub use colstats::{ColumnStats, ColumnSummary, DistinctValues, SummaryParts};
-pub use column::Column;
+pub use column::{Column, PrimitiveColumn};
 pub use error::{ColumnarError, Result};
 pub use join::hash_join;
+pub use kernels::{active_kernel_path, force_scalar, with_kernel_path, KernelPath};
 pub use schema::{Field, Schema};
 pub use segment::{default_segment_rows, Segment};
 pub use table::Table;

@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn stats_are_computed_lazily_and_cached() {
-        let ages = Column::Int(vec![Some(20), None, Some(40)]);
+        let ages = Column::Int(vec![Some(20), None, Some(40)].into());
         let mut d = DictColumn::new();
         for n in ["ann", "bob", "ann"] {
             d.push(Some(n));
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn mismatches_name_the_offending_column() {
         // Length mismatch between the two columns.
-        let ages = Column::Int(vec![Some(20), Some(30)]);
+        let ages = Column::Int(vec![Some(20), Some(30)].into());
         let mut d = DictColumn::new();
         d.push(Some("ann"));
         let err = Segment::new(&schema(), vec![ages, Column::Str(d)]).unwrap_err();
@@ -219,7 +219,7 @@ mod tests {
             other => panic!("unexpected error: {other}"),
         }
         // Type mismatch on a named column.
-        let wrong = Column::Float(vec![Some(1.0)]);
+        let wrong = Column::Float(vec![Some(1.0)].into());
         let mut d = DictColumn::new();
         d.push(Some("ann"));
         let err = Segment::new(&schema(), vec![wrong, Column::Str(d)]).unwrap_err();

@@ -284,9 +284,9 @@ fn validate_segment(schema: &Schema, segment: &Segment) -> Result<()> {
 /// column (string columns are re-interned into a segment-local dictionary).
 fn slice_column(column: &Column, start: usize, end: usize) -> Column {
     match column {
-        Column::Int(v) => Column::Int(v[start..end].to_vec()),
-        Column::Float(v) => Column::Float(v[start..end].to_vec()),
-        Column::Bool(v) => Column::Bool(v[start..end].to_vec()),
+        Column::Int(v) => Column::Int(v.slice(start, end)),
+        Column::Float(v) => Column::Float(v.slice(start, end)),
+        Column::Bool(v) => Column::Bool(v.slice(start, end)),
         Column::Str(d) => {
             let mut out = DictColumn::new();
             for row in start..end {
@@ -315,7 +315,7 @@ mod tests {
             Field::new("name", DataType::Str),
         ])
         .unwrap();
-        let ages = Column::Int(vec![Some(20), Some(35), None, Some(50)]);
+        let ages = Column::Int(vec![Some(20), Some(35), None, Some(50)].into());
         let mut d = DictColumn::new();
         for n in ["ann", "bob", "cid", "dee"] {
             d.push(Some(n));
@@ -349,7 +349,7 @@ mod tests {
         // wrong number of columns
         assert!(Table::new("t", schema.clone(), vec![]).is_err());
         // wrong type, named
-        let wrong = Column::Float(vec![Some(1.0)]);
+        let wrong = Column::Float(vec![Some(1.0)].into());
         match Table::new("t", schema.clone(), vec![wrong]) {
             Err(ColumnarError::ColumnTypeMismatch { column, .. }) => assert_eq!(column, "age"),
             other => panic!("unexpected: {other:?}"),
@@ -360,8 +360,8 @@ mod tests {
             Field::new("b", DataType::Int),
         ])
         .unwrap();
-        let c1 = Column::Int(vec![Some(1), Some(2)]);
-        let c2 = Column::Int(vec![Some(1)]);
+        let c1 = Column::Int(vec![Some(1), Some(2)].into());
+        let c2 = Column::Int(vec![Some(1)].into());
         match Table::new("t", schema2, vec![c1, c2]) {
             Err(ColumnarError::ColumnLengthMismatch {
                 column,
@@ -400,7 +400,7 @@ mod tests {
         // A 3-segment table with a value shared across segments.
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
         let seg = |values: Vec<Option<i64>>| {
-            Arc::new(Segment::new(&schema, vec![Column::Int(values)]).unwrap())
+            Arc::new(Segment::new(&schema, vec![Column::Int(values.into())]).unwrap())
         };
         let t = Table::from_segments(
             "t",
@@ -431,7 +431,7 @@ mod tests {
     fn append_segment_shares_existing_segments() {
         let t = sample_table();
         let schema = t.schema().clone();
-        let ages = Column::Int(vec![Some(70)]);
+        let ages = Column::Int(vec![Some(70)].into());
         let mut d = DictColumn::new();
         d.push(Some("eve"));
         let segment = Segment::new(&schema, vec![ages, Column::Str(d)]).unwrap();
@@ -449,7 +449,7 @@ mod tests {
         // A segment of the wrong shape is rejected.
         let bad = Segment::new(
             &Schema::new(vec![Field::new("x", DataType::Int)]).unwrap(),
-            vec![Column::Int(vec![Some(1)])],
+            vec![Column::Int(vec![Some(1)].into())],
         )
         .unwrap();
         assert!(t.append_segment(bad).is_err());
@@ -459,7 +459,7 @@ mod tests {
     fn from_segments_drops_empty_segments_and_offsets_accumulate() {
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
         let seg = |values: Vec<Option<i64>>| {
-            Arc::new(Segment::new(&schema, vec![Column::Int(values)]).unwrap())
+            Arc::new(Segment::new(&schema, vec![Column::Int(values.into())]).unwrap())
         };
         let t = Table::from_segments(
             "t",

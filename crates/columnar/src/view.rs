@@ -22,6 +22,7 @@ use crate::bitmap::Bitmap;
 use crate::colstats::{ColumnStats, ColumnSummary};
 use crate::column::{Column, NULL_CODE};
 use crate::error::{ColumnarError, Result};
+use crate::kernels;
 use crate::table::Table;
 use crate::value::{DataType, Value};
 use std::collections::{HashMap, HashSet};
@@ -187,20 +188,7 @@ impl<'a> ColumnView<'a> {
         }
         let mut out = Vec::with_capacity(sel.count().min(self.len()));
         for (offset, column) in self.parts() {
-            let end = offset + column.len();
-            match column {
-                Column::Int(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        out.push(*x as f64);
-                    }
-                }),
-                Column::Float(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        out.push(*x);
-                    }
-                }),
-                _ => {}
-            }
+            kernels::numeric_values_part(column, offset, sel, &mut out);
         }
         out
     }
@@ -209,31 +197,23 @@ impl<'a> ColumnView<'a> {
     /// restricted to `sel`. NULLs never match. Non-numeric columns return an
     /// empty selection.
     ///
-    /// Fused kernel: each segment walks its slice of the selection word by
-    /// word (all-zero words are skipped) and result words are assembled
-    /// directly into the shared output bitmap.
+    /// Word-parallel kernel (see [`crate::kernels`]): each segment walks its
+    /// slice of the selection word by word, validity comes from the null-mask
+    /// words, and dense 64-row blocks classify with lane-wise compares
+    /// assembled directly into the shared output bitmap.
     pub fn select_range(&self, sel: &Bitmap, lo: f64, hi: f64) -> Bitmap {
         let mut out = Bitmap::new_empty(sel.len());
+        let bounds = [(lo, hi)];
+        let spec = kernels::resolve_ranges(self.dtype, &bounds);
         for (offset, column) in self.parts() {
-            let end = offset + column.len();
-            match column {
-                Column::Int(v) => sel.filter_ones_in_into(offset, end, &mut out, |idx| {
-                    match v.get(idx - offset) {
-                        Some(Some(x)) => {
-                            let x = *x as f64;
-                            x >= lo && x <= hi
-                        }
-                        _ => false,
-                    }
-                }),
-                Column::Float(v) => sel.filter_ones_in_into(offset, end, &mut out, |idx| {
-                    match v.get(idx - offset) {
-                        Some(Some(x)) => *x >= lo && *x <= hi,
-                        _ => false,
-                    }
-                }),
-                _ => {}
-            }
+            kernels::select_ranges_part(
+                column,
+                offset,
+                sel,
+                &bounds,
+                &spec,
+                std::slice::from_mut(&mut out),
+            );
         }
         out
     }
@@ -288,9 +268,9 @@ impl<'a> ColumnView<'a> {
                     let end = offset + v.len();
                     sel.filter_ones_in_into(offset, end, &mut out, |idx| {
                         match v.get(idx - offset) {
-                            Some(Some(true)) => want_true,
-                            Some(Some(false)) => want_false,
-                            _ => false,
+                            Some(true) => want_true,
+                            Some(false) => want_false,
+                            None => false,
                         }
                     });
                 }
@@ -311,8 +291,8 @@ impl<'a> ColumnView<'a> {
                     let end = offset + v.len();
                     sel.filter_ones_in_into(offset, end, &mut out, |idx| {
                         match v.get(idx - offset) {
-                            Some(Some(x)) => wanted.contains(x),
-                            _ => false,
+                            Some(x) => wanted.contains(&x),
+                            None => false,
                         }
                     });
                 }
@@ -327,8 +307,8 @@ impl<'a> ColumnView<'a> {
                     let end = offset + v.len();
                     sel.filter_ones_in_into(offset, end, &mut out, |idx| {
                         match v.get(idx - offset) {
-                            Some(Some(x)) => wanted.contains(x.to_string().as_str()),
-                            _ => false,
+                            Some(x) => wanted.contains(x.to_string().as_str()),
+                            None => false,
                         }
                     });
                 }
@@ -345,34 +325,19 @@ impl<'a> ColumnView<'a> {
     /// disjoint (each row is assigned to the first interval containing its
     /// value — for disjoint intervals, the only one). NULLs fall into no
     /// region; non-numeric columns return all-empty selections.
+    ///
+    /// The bounds are resolved once (for integer columns: to the exact `i64`
+    /// intervals matching the `f64` semantics) and each segment runs the
+    /// word-parallel partition kernel of [`crate::kernels`];
+    /// `ATLAS_FORCE_SCALAR=1` selects the one-row-at-a-time reference.
     pub fn select_ranges(&self, sel: &Bitmap, bounds: &[(f64, f64)]) -> Vec<Bitmap> {
         let mut out: Vec<Bitmap> = bounds
             .iter()
             .map(|_| Bitmap::new_empty(sel.len()))
             .collect();
+        let spec = kernels::resolve_ranges(self.dtype, bounds);
         for (offset, column) in self.parts() {
-            let end = offset + column.len();
-            let mut assign = |idx: usize, x: f64| {
-                for (region, &(lo, hi)) in out.iter_mut().zip(bounds) {
-                    if x >= lo && x <= hi {
-                        region.set(idx);
-                        break;
-                    }
-                }
-            };
-            match column {
-                Column::Int(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        assign(idx, *x as f64);
-                    }
-                }),
-                Column::Float(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        assign(idx, *x);
-                    }
-                }),
-                _ => {}
-            }
+            kernels::select_ranges_part(column, offset, sel, bounds, &spec, &mut out);
         }
         out
     }
@@ -382,78 +347,21 @@ impl<'a> ColumnView<'a> {
     /// [`ColumnView::select_in`] scan per group).
     ///
     /// Groups must be pairwise disjoint value sets. String columns resolve
-    /// every group against each segment's dictionary once and then do one
-    /// indexed lookup per row; boolean columns honour `"true"` / `"false"`.
-    /// Numeric columns fall back to one [`ColumnView::select_in`] pass per
-    /// group (set predicates on numeric columns are a degraded edge case, not
-    /// a hot path).
+    /// every group against each segment's dictionary once (a code→group
+    /// table, or lane-wise range compares when the dictionary is sorted and
+    /// the groups are contiguous code ranges); boolean columns honour
+    /// `"true"` / `"false"`; numeric columns resolve a combined value→group
+    /// map once and classify in the same single pass (no per-group rescans).
     pub fn select_in_groups(&self, sel: &Bitmap, groups: &[Vec<String>]) -> Vec<Bitmap> {
-        const NO_GROUP: usize = usize::MAX;
-        match self.dtype {
-            DataType::Str => {
-                let mut out: Vec<Bitmap> = groups
-                    .iter()
-                    .map(|_| Bitmap::new_empty(sel.len()))
-                    .collect();
-                for (offset, column) in self.parts() {
-                    let d = column.as_dict().expect("schema says string column");
-                    // code → group index, resolved once per segment.
-                    let mut group_of = vec![NO_GROUP; d.cardinality()];
-                    for (g, group) in groups.iter().enumerate() {
-                        for value in group {
-                            if let Some(code) = d.code_of(value) {
-                                group_of[code as usize] = g;
-                            }
-                        }
-                    }
-                    let end = offset + d.len();
-                    sel.for_each_one_in(offset, end, |idx| {
-                        let code = d.code(idx - offset);
-                        if code != NULL_CODE {
-                            let g = group_of[code as usize];
-                            if g != NO_GROUP {
-                                out[g].set(idx);
-                            }
-                        }
-                    });
-                }
-                out
-            }
-            DataType::Bool => {
-                let group_of_bool = |value: bool| {
-                    groups.iter().position(|group| {
-                        group
-                            .iter()
-                            .any(|s| s.eq_ignore_ascii_case(if value { "true" } else { "false" }))
-                    })
-                };
-                let true_group = group_of_bool(true);
-                let false_group = group_of_bool(false);
-                let mut out: Vec<Bitmap> = groups
-                    .iter()
-                    .map(|_| Bitmap::new_empty(sel.len()))
-                    .collect();
-                for (offset, column) in self.parts() {
-                    let Column::Bool(v) = column else { continue };
-                    let end = offset + v.len();
-                    sel.for_each_one_in(offset, end, |idx| {
-                        let target = match v.get(idx - offset) {
-                            Some(Some(true)) => true_group,
-                            Some(Some(false)) => false_group,
-                            _ => None,
-                        };
-                        if let Some(g) = target {
-                            out[g].set(idx);
-                        }
-                    });
-                }
-                out
-            }
-            _ => groups
-                .iter()
-                .map(|group| self.select_in(sel, group))
-                .collect(),
+        let mut out: Vec<Bitmap> = groups
+            .iter()
+            .map(|_| Bitmap::new_empty(sel.len()))
+            .collect();
+        let spec = kernels::resolve_groups(self.dtype, groups);
+        for (offset, column) in self.parts() {
+            kernels::select_in_groups_part(column, offset, sel, groups, &spec, &mut out);
         }
+        out
     }
 
     /// The rows holding a non-NULL value, as a bitmap over the table's rows
@@ -464,13 +372,13 @@ impl<'a> ColumnView<'a> {
             let end = offset + column.len();
             match column {
                 Column::Int(v) => {
-                    out.fill_range_from_fn(offset, end, |idx| v[idx - offset].is_some())
+                    out.fill_range_from_fn(offset, end, |idx| v.validity().get(idx - offset))
                 }
                 Column::Float(v) => {
-                    out.fill_range_from_fn(offset, end, |idx| v[idx - offset].is_some())
+                    out.fill_range_from_fn(offset, end, |idx| v.validity().get(idx - offset))
                 }
                 Column::Bool(v) => {
-                    out.fill_range_from_fn(offset, end, |idx| v[idx - offset].is_some())
+                    out.fill_range_from_fn(offset, end, |idx| v.validity().get(idx - offset))
                 }
                 Column::Str(d) => {
                     out.fill_range_from_fn(offset, end, |idx| d.code(idx - offset) != NULL_CODE)
@@ -511,14 +419,10 @@ impl<'a> ColumnView<'a> {
                 let mut index: HashMap<String, usize> = HashMap::new();
                 for (offset, column) in self.parts() {
                     let d = column.as_dict().expect("schema says string column");
-                    let mut counts = vec![0usize; d.cardinality()];
-                    let end = offset + d.len();
-                    sel.for_each_one_in(offset, end, |idx| {
-                        let code = d.code(idx - offset);
-                        if code != NULL_CODE {
-                            counts[code as usize] += 1;
-                        }
-                    });
+                    // The extra trailing slot absorbs NULL lanes (see
+                    // `count_codes_part`); only the real codes are merged.
+                    let mut counts = vec![0usize; d.cardinality() + 1];
+                    kernels::count_codes_part(d, offset, sel, &mut counts);
                     for (code, value) in d.dictionary().iter().enumerate() {
                         match index.get(value.as_str()) {
                             Some(&pos) => order[pos].1 += counts[code],
@@ -538,9 +442,9 @@ impl<'a> ColumnView<'a> {
                     let Column::Bool(v) = column else { continue };
                     let end = offset + v.len();
                     sel.for_each_one_in(offset, end, |idx| match v.get(idx - offset) {
-                        Some(Some(true)) => t += 1,
-                        Some(Some(false)) => f += 1,
-                        _ => {}
+                        Some(true) => t += 1,
+                        Some(false) => f += 1,
+                        None => {}
                     });
                 }
                 vec![("true".to_string(), t), ("false".to_string(), f)]
@@ -561,17 +465,17 @@ impl<'a> ColumnView<'a> {
             let end = offset + column.len();
             match column {
                 Column::Int(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        let x = *x as f64;
+                    if let Some(x) = v.get(idx - offset) {
+                        let x = x as f64;
                         min = min.min(x);
                         max = max.max(x);
                         seen = true;
                     }
                 }),
                 Column::Float(v) => sel.for_each_one_in(offset, end, |idx| {
-                    if let Some(Some(x)) = v.get(idx - offset) {
-                        min = min.min(*x);
-                        max = max.max(*x);
+                    if let Some(x) = v.get(idx - offset) {
+                        min = min.min(x);
+                        max = max.max(x);
                         seen = true;
                     }
                 }),

@@ -19,6 +19,7 @@
 use crate::error::{AtlasError, Result};
 use crate::map::DataMap;
 use crate::pipeline::PipelineContext;
+use crate::profile::TableProfile;
 use crate::region::Region;
 use atlas_columnar::{Bitmap, ColumnStats, DataType, Table};
 use atlas_query::{ConjunctiveQuery, Predicate};
@@ -150,12 +151,26 @@ pub trait CutSource {
 pub struct TableCutSource<'a> {
     table: &'a Table,
     working: &'a Bitmap,
+    profile: Option<&'a TableProfile>,
 }
 
 impl<'a> TableCutSource<'a> {
     /// A source over the `working` rows of `table`.
     pub fn new(table: &'a Table, working: &'a Bitmap) -> Self {
-        TableCutSource { table, working }
+        TableCutSource {
+            table,
+            working,
+            profile: None,
+        }
+    }
+
+    /// Serve whole-table category frequencies from a prepared engine's
+    /// [`TableProfile`] instead of re-scanning the column (see
+    /// [`TableProfile::categories_for`] — rankings are bit-identical either
+    /// way, subsets still scan on the fly).
+    pub fn with_profile(mut self, profile: &'a TableProfile) -> Self {
+        self.profile = Some(profile);
+        self
     }
 }
 
@@ -179,10 +194,13 @@ impl CutSource for TableCutSource<'_> {
     }
 
     fn categories_by_frequency(&self, attribute: &str) -> Result<Vec<(String, usize)>> {
-        Ok(self
-            .table
-            .column(attribute)?
-            .categories_by_frequency(self.working))
+        match self.profile {
+            Some(profile) => profile.categories_for(self.table, attribute, self.working),
+            None => Ok(self
+                .table
+                .column(attribute)?
+                .categories_by_frequency(self.working)),
+        }
     }
 
     fn dictionary(&self, attribute: &str) -> Result<Vec<String>> {
@@ -231,7 +249,7 @@ pub(crate) fn cut_attribute_in_context(
 ) -> Result<Option<DataMap>> {
     let stats = ctx.profile.stats_for(ctx.table, attribute, working)?;
     let sketch = ctx.profile.sketch_for(attribute, working);
-    let source = TableCutSource::new(ctx.table, working);
+    let source = TableCutSource::new(ctx.table, working).with_profile(ctx.profile);
     cut_from_source(
         &source,
         parent_query,

@@ -1134,7 +1134,7 @@ mod tests {
                 .unwrap();
         let bad = Segment::new(
             &bad_schema,
-            vec![atlas_columnar::Column::Int(vec![Some(1)])],
+            vec![atlas_columnar::Column::Int(vec![Some(1)].into())],
         )
         .unwrap();
         assert!(atlas.append(bad).is_err());

@@ -30,7 +30,10 @@
 //! benchmarks ([`TableProfile::counters`]).
 
 use crate::error::Result;
-use atlas_columnar::{Bitmap, Column, ColumnStats, ColumnSummary, DataType, Segment, Table};
+use atlas_columnar::{
+    merge_category_counts, rank_categories_by_frequency, Bitmap, Column, ColumnStats,
+    ColumnSummary, DataType, Segment, Table,
+};
 use atlas_stats::GkSketch;
 use minirayon::ThreadPool;
 use std::borrow::Cow;
@@ -52,6 +55,14 @@ pub struct ColumnProfile {
     /// stages reach through [`crate::pipeline::PipelineContext::profile`]
     /// (e.g. to intersect a working set with the non-NULL rows directly).
     pub non_null: Bitmap,
+    /// Full-table per-category counts of a categorical column, one
+    /// `(value, count)` pair per distinct value in global first-appearance
+    /// order *including zero counts* (the mergeable
+    /// [`atlas_columnar::ColumnView::category_counts`] form; empty for
+    /// numeric columns). Cached so whole-table categorical cuts rank
+    /// frequencies without re-scanning the column on every exploration —
+    /// served through [`TableProfile::categories_for`].
+    pub category_counts: Vec<(String, usize)>,
     /// The mergeable form of `stats` (the fold of the per-segment summaries),
     /// kept so [`TableProfile::merge_segment`] can extend the profile without
     /// rescanning existing segments. This retains the column's exact
@@ -89,6 +100,7 @@ struct SegmentColumnProfile {
     summary: ColumnSummary,
     non_null: Bitmap,
     sketch: Option<GkSketch>,
+    category_counts: Vec<(String, usize)>,
 }
 
 /// Profile one column of one segment.
@@ -112,6 +124,7 @@ fn profile_segment_column(
         summary,
         non_null: column.non_null_mask(),
         sketch,
+        category_counts: column.category_counts(full, offset),
     }
 }
 
@@ -134,6 +147,11 @@ fn merge_column_segment(
     let part = ColumnSummary::compute(column, &local_full, 0);
     let mut summary = profile.summary.clone();
     summary.merge_from(&part);
+    let mut category_counts = profile.category_counts.clone();
+    merge_category_counts(
+        &mut category_counts,
+        &column.category_counts(&local_full, 0),
+    );
     let sketch = profile.sketch.as_ref().map(|existing| {
         let mut merged = existing.clone();
         if let Some(epsilon) = sketch_epsilon {
@@ -148,6 +166,7 @@ fn merge_column_segment(
         stats: summary.to_stats(),
         sketch,
         non_null: profile.non_null.concat(&column.non_null_mask()),
+        category_counts,
         summary,
     }
 }
@@ -200,10 +219,12 @@ impl TableProfile {
                 // segment offset (one linear pass, whole-word ORs on
                 // word-aligned boundaries).
                 let mut non_null = Bitmap::new_empty(table.num_rows());
+                let mut category_counts: Vec<(String, usize)> = Vec::new();
                 for seg in 0..table.num_segments() {
                     let partial = &partials[seg * num_columns + col];
                     summary.merge_from(&partial.summary);
                     non_null.or_shifted(&partial.non_null, table.segment_offset(seg));
+                    merge_category_counts(&mut category_counts, &partial.category_counts);
                     if let (Some(acc), Some(part)) = (&mut sketch, &partial.sketch) {
                         acc.merge(part);
                     }
@@ -213,6 +234,7 @@ impl TableProfile {
                     stats: summary.to_stats(),
                     sketch,
                     non_null,
+                    category_counts,
                     summary,
                 }
             })
@@ -322,6 +344,34 @@ impl TableProfile {
         self.column(attribute)?.sketch.as_ref()
     }
 
+    /// The distinct categorical values of `attribute` over `working` by
+    /// decreasing frequency (ties in global first-appearance order) — the
+    /// [`atlas_columnar::ColumnView::categories_by_frequency`] contract.
+    /// Whole-table working sets are served by ranking the profile's cached
+    /// raw counts (a hit: `O(distinct)` work instead of a column scan);
+    /// subsets and unknown columns re-scan on the fly (a miss). Both paths
+    /// run the same merge-and-rank code over the same per-segment counts, so
+    /// the ranking is bit-for-bit identical either way.
+    pub fn categories_for(
+        &self,
+        table: &Table,
+        attribute: &str,
+        working: &Bitmap,
+    ) -> Result<Vec<(String, usize)>> {
+        if self.covers(working) {
+            if let Some(profile) = self.column(attribute) {
+                if matches!(profile.stats.dtype, DataType::Str | DataType::Bool) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(rank_categories_by_frequency(
+                        profile.category_counts.clone(),
+                    ));
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(table.column(attribute)?.categories_by_frequency(working))
+    }
+
     /// A snapshot of the hit/miss counters.
     pub fn counters(&self) -> ProfileStats {
         ProfileStats {
@@ -403,6 +453,7 @@ mod tests {
                 assert_eq!(a.stats.min, b.stats.min);
                 assert_eq!(a.stats.max, b.stats.max);
                 assert_eq!(a.non_null, b.non_null);
+                assert_eq!(a.category_counts, b.category_counts);
                 // Mean/variance merge numerically (Chan's formula), not
                 // bitwise — but stay within floating-point slack.
                 match (a.stats.mean, b.stats.mean) {
@@ -428,6 +479,7 @@ mod tests {
             assert_eq!(a.name, b.name);
             assert_eq!(a.stats, b.stats, "appended profile must equal rebuild");
             assert_eq!(a.non_null, b.non_null);
+            assert_eq!(a.category_counts, b.category_counts);
             assert_eq!(a.sketch.is_some(), b.sketch.is_some());
             if let (Some(sa), Some(sb)) = (&a.sketch, &b.sketch) {
                 assert_eq!(sa.count(), sb.count());
@@ -491,11 +543,45 @@ mod tests {
             assert_eq!(a.name, b.name, "schema order is preserved");
             assert_eq!(a.stats, b.stats);
             assert_eq!(a.non_null, b.non_null);
+            assert_eq!(a.category_counts, b.category_counts);
             assert_eq!(a.sketch.is_some(), b.sketch.is_some());
             if let (Some(sa), Some(sb)) = (&a.sketch, &b.sketch) {
                 assert_eq!(sa.median(), sb.median());
             }
         }
+    }
+
+    #[test]
+    fn cached_category_rankings_match_on_demand_ones() {
+        let t = table_with_segment_rows(32);
+        let profile = TableProfile::build(&t, None);
+        let full = t.full_selection();
+        // Raw cached counts include zeros in first-appearance order and match
+        // the view's mergeable precursor exactly.
+        assert_eq!(
+            profile.column("c").unwrap().category_counts,
+            t.column("c").unwrap().category_counts(&full)
+        );
+        assert!(profile.column("x").unwrap().category_counts.is_empty());
+        // The ranked form is bit-identical to the on-demand scan, served as a
+        // hit for whole-table working sets.
+        let cached = profile.categories_for(&t, "c", &full).unwrap();
+        assert_eq!(
+            cached,
+            t.column("c").unwrap().categories_by_frequency(&full)
+        );
+        assert_eq!(profile.counters(), ProfileStats { hits: 1, misses: 0 });
+        // Numeric columns and subset working sets fall back to the scan.
+        assert!(profile.categories_for(&t, "x", &full).unwrap().is_empty());
+        let subset = Bitmap::from_indices(100, 0..50);
+        let sub = profile.categories_for(&t, "c", &subset).unwrap();
+        assert_eq!(sub, t.column("c").unwrap().categories_by_frequency(&subset));
+        assert_eq!(profile.counters(), ProfileStats { hits: 1, misses: 2 });
+        // Empty profiles always scan.
+        let empty = TableProfile::empty(t.num_rows());
+        let scanned = empty.categories_for(&t, "c", &full).unwrap();
+        assert_eq!(scanned, cached);
+        assert_eq!(empty.counters(), ProfileStats { hits: 0, misses: 1 });
     }
 
     #[test]

@@ -61,6 +61,14 @@ impl ContingencyTable {
     /// map produced by `CUT` and the merge operators); overlapping bitmaps
     /// would double-count rows.
     ///
+    /// The default fold is word-level: each cell is one streaming
+    /// [`Bitmap::intersection_count`] pass (AND + popcount over the word
+    /// arrays, 64 rows per step — the layout a compiler turns into wide
+    /// vector popcounts). `ATLAS_FORCE_SCALAR=1` routes through the per-row
+    /// reference instead, which tests every `(row, region-pair)` combination
+    /// one bit at a time; both sum the same indicator values, so the table
+    /// is identical.
+    ///
     /// # Panics
     /// Panics if the bitmaps do not all range over the same number of rows.
     pub fn from_selections(rows: &[&Bitmap], cols: &[&Bitmap]) -> Self {
@@ -68,11 +76,33 @@ impl ContingencyTable {
         let c = cols.len();
         let mut counts = vec![0u64; r * c];
         let mut total = 0u64;
-        for (i, row) in rows.iter().enumerate() {
-            for (j, col) in cols.iter().enumerate() {
-                let n = row.intersection_count(col) as u64;
-                counts[i * c + j] = n;
-                total += n;
+        if atlas_columnar::force_scalar() {
+            if r > 0 && c > 0 {
+                let len = rows[0].len();
+                for bm in rows.iter().chain(cols.iter()) {
+                    assert_eq!(bm.len(), len, "bitmap length mismatch");
+                }
+                for k in 0..len {
+                    for (i, row) in rows.iter().enumerate() {
+                        if !row.get(k) {
+                            continue;
+                        }
+                        for (j, col) in cols.iter().enumerate() {
+                            if col.get(k) {
+                                counts[i * c + j] += 1;
+                                total += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            for (i, row) in rows.iter().enumerate() {
+                for (j, col) in cols.iter().enumerate() {
+                    let n = row.intersection_count(col) as u64;
+                    counts[i * c + j] = n;
+                    total += n;
+                }
             }
         }
         ContingencyTable {
@@ -357,6 +387,34 @@ mod tests {
     #[should_panic(expected = "rows × cols")]
     fn from_counts_rejects_a_misshapen_matrix() {
         ContingencyTable::from_counts(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_selections_word_fold_matches_the_scalar_reference() {
+        use atlas_columnar::{with_kernel_path, KernelPath};
+        // Irregular length (trailing partial word) and sparse/empty regions.
+        let n = 200;
+        let ra: Vec<Bitmap> = (0..3)
+            .map(|g| Bitmap::from_indices(n, (0..n).filter(move |i| i % 3 == g)))
+            .collect();
+        let rb: Vec<Bitmap> = vec![
+            Bitmap::from_indices(n, (0..n).filter(|i| i % 5 < 2)),
+            Bitmap::from_indices(n, (0..n).filter(|i| i % 5 >= 2 && i % 7 != 0)),
+            Bitmap::new_empty(n),
+        ];
+        let ra: Vec<&Bitmap> = ra.iter().collect();
+        let rb: Vec<&Bitmap> = rb.iter().collect();
+        let word = with_kernel_path(KernelPath::WordParallel, || {
+            ContingencyTable::from_selections(&ra, &rb)
+        });
+        let scalar = with_kernel_path(KernelPath::Scalar, || {
+            ContingencyTable::from_selections(&ra, &rb)
+        });
+        assert_eq!(word, scalar);
+        assert_eq!(
+            word.normalized_vi().to_bits(),
+            scalar.normalized_vi().to_bits()
+        );
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! implements the subset of the proptest API that the workspace's property
 //! tests use:
 //!
-//! * the [`Strategy`] trait, implemented for numeric ranges and for string
-//!   patterns like `"[a-z]{1,6}"`;
-//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`Strategy`] trait — implemented for numeric ranges, string
+//!   patterns like `"[a-z]{1,6}"`, tuples of strategies, and [`any`] — with
+//!   [`Strategy::prop_map`];
+//! * [`collection::vec`], [`collection::btree_set`], [`option::weighted`]
+//!   and the [`prop_oneof!`] choice combinator;
 //! * the [`proptest!`] macro with `#![proptest_config(..)]`,
 //!   [`prop_assert!`] and [`prop_assert_eq!`];
 //! * [`prelude::ProptestConfig`] with `with_cases`.
@@ -35,6 +37,19 @@ pub trait Strategy {
 
     /// Produce one value using the given generator.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `map`, mirroring
+    /// `proptest::strategy::Strategy::prop_map`.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -84,6 +99,165 @@ impl<T: Clone> Strategy for Just<T> {
 
     fn generate(&self, _rng: &mut StdRng) -> T {
         self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// The strategy returned by [`any`]: arbitrary values of `T` from its
+/// standard distribution (uniform over all values for integers and `bool`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Strategy for Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+/// Generate arbitrary values of `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T>
+where
+    rand::distributions::Standard: rand::distributions::Distribution<T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+// Tuples of strategies generate tuples of values, componentwise in order.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// The strategy built by [`prop_oneof!`]: pick one of several boxed
+/// strategies, with probability proportional to its weight.
+pub struct Union<T> {
+    options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build a union from `(weight, strategy)` options.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or every weight is zero.
+    pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, strategy) in &self.options {
+            let weight = *weight as u64;
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total");
+    }
+}
+
+/// Box a strategy for storage in a [`Union`] (used by [`prop_oneof!`] so the
+/// macro needs no explicit casts).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Choose among strategies, mirroring `proptest::prop_oneof!`. Accepts the
+/// plain form (`prop_oneof![a, b, c]`, equal weights) and the weighted form
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::boxed($strategy))),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($strategy))),+])
+    };
+}
+
+pub mod option {
+    //! Strategies for `Option<T>`, mirroring `proptest::option`.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// The strategy returned by [`weighted`] (and [`of`]).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        some_probability: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Draw the coin first so the inner stream is consumed only for
+            // `Some`, matching how the real crate's trees are laid out.
+            if rng.gen_bool(self.some_probability) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(value)` with probability `some_probability`, else `None`.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy {
+            some_probability,
+            inner,
+        }
+    }
+
+    /// `Some`/`None` with the real crate's default 3:1 bias towards `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.75, inner)
     }
 }
 

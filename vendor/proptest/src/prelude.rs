@@ -1,5 +1,6 @@
 //! The commonly used names, mirroring `proptest::prelude`.
 
 pub use crate::{
-    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+    Strategy,
 };

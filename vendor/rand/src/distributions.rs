@@ -45,6 +45,18 @@ impl Distribution<u32> for Standard {
     }
 }
 
+impl Distribution<i64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
 /// Types that can be sampled uniformly from a range.
 ///
 /// Implemented for the primitive integers and floats Atlas uses. Integer
