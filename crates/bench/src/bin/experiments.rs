@@ -67,6 +67,15 @@ fn main() {
         dist_smoke(path);
         return;
     }
+    // `trace-smoke [path]` — enable tracing, run a two-shard distributed
+    // explore, validate the reassembled span tree (every pipeline phase, at
+    // least one kernel-path event, proper nesting, nothing unclosed), and
+    // write the spans as Chrome trace-event JSON loadable in Perfetto.
+    if raw_args.first().map(String::as_str) == Some("trace-smoke") {
+        let path = raw_args.get(1).map_or("TRACE_SMOKE.json", String::as_str);
+        trace_smoke(path);
+        return;
+    }
     let args: Vec<String> = raw_args.iter().map(|a| a.to_lowercase()).collect();
     let wants = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
@@ -275,11 +284,11 @@ fn e4_product_vs_composition() {
                 ..AtlasConfig::default()
             };
             let atlas = Atlas::new(Arc::clone(&table), config).expect("valid config");
-            let start = Instant::now();
             let result = atlas
                 .explore(&ConjunctiveQuery::all("mixture"))
                 .expect("exploration succeeds");
-            let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+            // The engine's own span-derived timing; no second stopwatch.
+            let elapsed = result.timings.total_ms;
             let (_, quality) =
                 MapQuality::best_of(&result.maps, &labels).expect("at least one map");
             let best = result.best().expect("at least one map");
@@ -432,12 +441,12 @@ fn e8_baselines() {
         );
     };
 
-    let start = Instant::now();
     let atlas_result = Atlas::new(Arc::clone(&table), AtlasConfig::default())
         .expect("valid config")
         .explore(&query)
         .expect("exploration succeeds");
-    let atlas_ms = start.elapsed().as_secs_f64() * 1000.0;
+    // The engine's own span-derived timing; no second stopwatch.
+    let atlas_ms = atlas_result.timings.total_ms;
     let atlas_maps: Vec<DataMap> = atlas_result.maps.iter().map(|m| m.map.clone()).collect();
     report_row("atlas", &atlas_maps, atlas_ms);
 
@@ -532,9 +541,9 @@ fn e9_splits_ablation() {
             ..AtlasConfig::default()
         };
         let atlas = Atlas::new(Arc::clone(&table), config).expect("valid config");
-        let start = Instant::now();
         let result = atlas.explore(&query).expect("exploration succeeds");
-        let end_to_end_ms = start.elapsed().as_secs_f64() * 1000.0;
+        // The engine's own span-derived timing; no second stopwatch.
+        let end_to_end_ms = result.timings.total_ms;
         let max_regions = result
             .maps
             .iter()
@@ -1523,4 +1532,128 @@ fn dist_smoke(path: &str) {
         ("points", Json::array(points)),
     ]);
     write_report_with_deltas(path, &report);
+}
+
+/// The trace-smoke harness: a two-shard distributed explore with tracing on,
+/// the reassembled span tree validated, and the spans exported as Chrome
+/// trace-event JSON (open in Perfetto or `chrome://tracing`).
+fn trace_smoke(path: &str) {
+    // Four default segments, so both shards hold work.
+    const ROWS: usize = 200_000;
+    atlas_obs::set_enabled(true);
+    let config = AtlasConfig::fast().with_parallelism(2);
+    let table = census(ROWS);
+    let query = ConjunctiveQuery::all("census");
+
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let mut registry = Registry::new();
+        registry
+            .add_table(
+                "census",
+                Arc::clone(&table),
+                DatasetOptions {
+                    config: config.clone(),
+                    cache_capacity: 0,
+                },
+            )
+            .expect("census registers");
+        let handle = Server::start(registry, ServeConfig::default().with_threads(2))
+            .expect("server binds an ephemeral port");
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    let coordinator = Coordinator::connect(&addrs, "census", config, Duration::from_secs(60))
+        .expect("coordinator connects");
+
+    // Everything before this root (server boot, the metadata probes) is
+    // noise; clear the ring so the explore surely fits.
+    atlas_obs::tracer().clear();
+    let root = atlas_obs::span_root("trace-smoke");
+    let trace_id = root
+        .context()
+        .map(|ctx| ctx.trace_id)
+        .expect("tracing is enabled");
+    let result = coordinator.explore(&query).expect("distributed explore");
+    drop(root);
+    assert!(!result.maps.is_empty(), "the explore must produce maps");
+    for handle in handles {
+        handle.shutdown();
+    }
+
+    let spans = atlas_obs::tracer().trace(trace_id);
+    assert!(!spans.is_empty(), "the trace must hold spans");
+
+    // Every pipeline phase must appear exactly where the issue pins it.
+    for phase in [
+        "phase.query",
+        "phase.candidates",
+        "phase.clustering",
+        "phase.merge",
+        "phase.rank",
+    ] {
+        assert!(
+            spans.iter().any(|s| s.name == phase),
+            "span {phase} missing from the reassembled trace"
+        );
+    }
+    let kernel_events = spans.iter().filter(|s| s.name == "kernel.dispatch").count();
+    assert!(
+        kernel_events > 0,
+        "no kernel-path event made it into the trace"
+    );
+    for shard in ["0", "1"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.name == "shard.call" && s.attr("shard") == Some(shard)),
+            "no shard.call span for shard {shard}"
+        );
+    }
+
+    // Structural validation: one root, every parent present and enclosing
+    // its children (no unclosed spans can exist — spans record on close).
+    let by_id: std::collections::HashMap<u64, &atlas_obs::SpanRecord> =
+        spans.iter().map(|s| (s.span_id, s)).collect();
+    let mut roots = 0usize;
+    for span in &spans {
+        match by_id.get(&span.parent_id) {
+            None => roots += 1,
+            Some(parent) => {
+                assert!(
+                    parent.start_us <= span.start_us && span.end_us() <= parent.end_us(),
+                    "span {} [{}..{}] escapes its parent {} [{}..{}]",
+                    span.name,
+                    span.start_us,
+                    span.end_us(),
+                    parent.name,
+                    parent.start_us,
+                    parent.end_us()
+                );
+            }
+        }
+    }
+    assert_eq!(roots, 1, "the trace must reassemble into a single tree");
+
+    // The Chrome export must be well-formed JSON with one complete ("ph":
+    // "X") event per span.
+    let chrome = atlas_obs::chrome_trace_json(&spans);
+    let parsed = atlas_serve::wire::parse(&chrome).expect("chrome trace JSON parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::items)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), spans.len(), "one trace event per span");
+    for event in events {
+        assert_eq!(event.get("ph").and_then(Json::str), Some("X"));
+        assert!(event.get("name").and_then(Json::str).is_some());
+        assert!(event.get("ts").is_some() && event.get("dur").is_some());
+    }
+    std::fs::write(path, &chrome).expect("trace file writes");
+    println!(
+        "trace-smoke: {} spans ({} kernel events) in one tree; chrome trace written to {path}",
+        spans.len(),
+        kernel_events
+    );
 }

@@ -104,6 +104,53 @@ pub fn with_kernel_path<R>(path: KernelPath, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Which compilation [`range_mask_64`] dispatches to on this CPU — cached
+/// once for trace attributes (the per-64-row dispatch itself relies on the
+/// detection macro's own cache and is far too hot to instrument).
+fn simd_label() -> &'static str {
+    static SIMD: OnceLock<&'static str> = OnceLock::new();
+    SIMD.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+        "scalar-fold"
+    })
+}
+
+/// Record one partition-kernel dispatch: bump the always-on per-path counter
+/// (surfaced in `/metrics`) and, when tracing is enabled, attach a
+/// `kernel.dispatch` event to the current span. Called once per
+/// (segment, column) partition call — not per row or per word.
+fn observe_dispatch(op: &'static str, path: KernelPath) {
+    static COUNTERS: OnceLock<[&'static atlas_obs::Counter; 4]> = OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        [
+            atlas_obs::counter("kernel.select_ranges.word_parallel"),
+            atlas_obs::counter("kernel.select_ranges.scalar"),
+            atlas_obs::counter("kernel.select_in_groups.word_parallel"),
+            atlas_obs::counter("kernel.select_in_groups.scalar"),
+        ]
+    });
+    let idx = match (op, path) {
+        ("select_ranges", KernelPath::WordParallel) => 0,
+        ("select_ranges", KernelPath::Scalar) => 1,
+        (_, KernelPath::WordParallel) => 2,
+        (_, KernelPath::Scalar) => 3,
+    };
+    counters[idx].add(1);
+    if atlas_obs::enabled() {
+        let path_label = match path {
+            KernelPath::WordParallel => "word-parallel",
+            KernelPath::Scalar => "scalar",
+        };
+        atlas_obs::event(
+            "kernel.dispatch",
+            &[("op", op), ("path", path_label), ("simd", simd_label())],
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Word-walk plumbing
 // ---------------------------------------------------------------------------
@@ -259,7 +306,9 @@ pub(crate) fn select_ranges_part(
     out: &mut [Bitmap],
 ) {
     debug_assert_eq!(bounds.len(), out.len());
-    let scalar = force_scalar();
+    let path = active_kernel_path();
+    let scalar = path == KernelPath::Scalar;
+    observe_dispatch("select_ranges", path);
     match (column, spec) {
         (Column::Int(p), _) if scalar => ranges_scalar(
             p.values(),
@@ -529,7 +578,9 @@ pub(crate) fn select_in_groups_part(
     out: &mut [Bitmap],
 ) {
     debug_assert_eq!(groups.len(), out.len());
-    let scalar = force_scalar();
+    let path = active_kernel_path();
+    let scalar = path == KernelPath::Scalar;
+    observe_dispatch("select_in_groups", path);
     match (column, spec) {
         (Column::Str(d), GroupsSpec::Str) => {
             let table = dict_group_table(d, groups);

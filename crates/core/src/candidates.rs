@@ -70,7 +70,11 @@ pub fn generate_candidates_in_context(
             .map(|s| s.to_string())
             .collect(),
     };
+    // Pool workers inherit the dispatching thread's span context so kernel
+    // events raised inside `cut` attach to the surrounding phase span.
+    let parent = atlas_obs::current();
     let cuts = ctx.pool.par_map(&names, |name| {
+        let _trace = atlas_obs::with_context(parent);
         ctx.cut_strategy.cut(ctx, working, parent_query, name)
     });
     let mut maps = Vec::with_capacity(names.len());

@@ -306,13 +306,22 @@ impl Atlas {
         }
     }
 
+    /// Open the root span one exploration reports into. Joins a surrounding
+    /// trace (a served request, a coordinator shard call) when one is open on
+    /// this thread, else roots a fresh one.
+    fn explore_span(&self) -> atlas_obs::SpanGuard {
+        let mut span = atlas_obs::span("explore");
+        span.attr("dataset", self.table.name());
+        span
+    }
+
     /// Answer a user query with a ranked list of data maps.
     pub fn explore(&self, user_query: &ConjunctiveQuery) -> Result<MapResult> {
-        let total_start = Instant::now();
-        let query_start = Instant::now();
+        let total_span = self.explore_span();
+        let query_span = atlas_obs::span("phase.query");
         let working = atlas_query::evaluate(user_query, &self.table)?;
-        let query_ms = elapsed_ms(query_start);
-        self.explore_working_set(user_query, working, query_ms, total_start)
+        let query_ms = query_span.finish_ms();
+        self.explore_working_set(user_query, working, query_ms, total_span)
     }
 
     /// Same as [`Atlas::explore`] but over an externally supplied working set
@@ -322,16 +331,19 @@ impl Atlas {
         user_query: &ConjunctiveQuery,
         working: Bitmap,
     ) -> Result<MapResult> {
-        let total_start = Instant::now();
-        self.explore_working_set(user_query, working, 0.0, total_start)
+        let total_span = self.explore_span();
+        self.explore_working_set(user_query, working, 0.0, total_span)
     }
 
+    /// Runs steps 1–4 under `total_span`. Phase timings are derived from the
+    /// phase spans themselves (one source of truth, recorded to the trace
+    /// ring when tracing is enabled; the spans still measure when it isn't).
     fn explore_working_set(
         &self,
         user_query: &ConjunctiveQuery,
         working: Bitmap,
         query_ms: f64,
-        total_start: Instant,
+        total_span: atlas_obs::SpanGuard,
     ) -> Result<MapResult> {
         let working_set_size = working.count();
         if working_set_size == 0 {
@@ -341,28 +353,30 @@ impl Atlas {
         let ctx = self.context();
 
         // Step 1: candidate maps.
-        let phase_start = Instant::now();
+        let phase_span = atlas_obs::span("phase.candidates");
         let candidates = generate_candidates_in_context(
             &ctx,
             &working,
             user_query,
             self.config.attributes.as_deref(),
         )?;
-        let candidates_ms = elapsed_ms(phase_start);
+        let candidates_ms = phase_span.finish_ms();
         if candidates.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
         }
 
         // Step 2: cluster dependent candidates.
-        let phase_start = Instant::now();
+        let phase_span = atlas_obs::span("phase.clustering");
         let matrix = self.distance.matrix(&ctx, &candidates.maps);
         let clusters = cluster_maps_with_pool(&matrix, &self.config.clustering, &self.pool)?;
-        let clustering_ms = elapsed_ms(phase_start);
+        let clustering_ms = phase_span.finish_ms();
 
         // Step 3: merge each cluster into a representative map, one pool task
         // per cluster, results assembled in cluster order.
-        let phase_start = Instant::now();
+        let phase_span = atlas_obs::span("phase.merge");
+        let parent = atlas_obs::current();
         let merge_results = self.pool.par_map(&clusters, |cluster| {
+            let _trace = atlas_obs::with_context(parent);
             let members: Vec<DataMap> = cluster
                 .iter()
                 .map(|&idx| candidates.maps[idx].clone())
@@ -375,13 +389,13 @@ impl Atlas {
                 merged.push(self.enforce_constraints(map));
             }
         }
-        let merge_ms = elapsed_ms(phase_start);
+        let merge_ms = phase_span.finish_ms();
 
         // Step 4: rank and truncate.
-        let phase_start = Instant::now();
+        let phase_span = atlas_obs::span("phase.rank");
         let mut ranked = self.ranker.rank(merged);
         ranked.truncate(self.config.max_maps);
-        let rank_ms = elapsed_ms(phase_start);
+        let rank_ms = phase_span.finish_ms();
 
         Ok(MapResult {
             maps: ranked,
@@ -394,7 +408,7 @@ impl Atlas {
                 clustering_ms,
                 merge_ms,
                 rank_ms,
-                total_ms: elapsed_ms(total_start),
+                total_ms: total_span.finish_ms(),
             },
         })
     }
@@ -636,10 +650,6 @@ fn sample_rows(rows: &[usize], k: usize, table_rows: usize, rng: &mut StdRng) ->
         pool.swap(i, j);
     }
     Bitmap::from_indices(table_rows, pool[..k].iter().copied())
-}
-
-fn elapsed_ms(start: Instant) -> f64 {
-    start.elapsed().as_secs_f64() * 1000.0
 }
 
 #[cfg(test)]

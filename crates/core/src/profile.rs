@@ -38,6 +38,7 @@ use atlas_stats::GkSketch;
 use minirayon::ThreadPool;
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Pre-computed statistics of one column over the full table.
 #[derive(Debug, Clone)]
@@ -200,7 +201,15 @@ impl TableProfile {
         let tasks: Vec<(usize, usize)> = (0..table.num_segments())
             .flat_map(|seg| (0..num_columns).map(move |col| (seg, col)))
             .collect();
+        let mut build_span = atlas_obs::span("profile.build");
+        build_span.attr("dataset", table.name());
+        build_span.attr("tasks", tasks.len());
+        let parent = build_span.context();
         let partials = pool.par_map(&tasks, |&(seg, col)| {
+            let mut task_span = atlas_obs::span_in(parent, "profile.column");
+            task_span.attr("segment", seg);
+            // lint: slice-index-ok (col < num_columns == fields.len() by task construction)
+            task_span.attr("column", &fields[col].name);
             profile_segment_column(
                 table.segments()[seg].column(col),
                 table.segment_offset(seg),
@@ -327,10 +336,12 @@ impl TableProfile {
         if self.covers(working) {
             if let Some(profile) = self.column(attribute) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                observe_cache("hit", attribute);
                 return Ok(Cow::Borrowed(&profile.stats));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        observe_cache("miss", attribute);
         Ok(Cow::Owned(table.column_stats(attribute, working)?))
     }
 
@@ -362,6 +373,7 @@ impl TableProfile {
             if let Some(profile) = self.column(attribute) {
                 if matches!(profile.stats.dtype, DataType::Str | DataType::Bool) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    observe_cache("hit", attribute);
                     return Ok(rank_categories_by_frequency(
                         profile.category_counts.clone(),
                     ));
@@ -369,6 +381,7 @@ impl TableProfile {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        observe_cache("miss", attribute);
         Ok(table.column(attribute)?.categories_by_frequency(working))
     }
 
@@ -378,6 +391,25 @@ impl TableProfile {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Record one profile-cache lookup: bump the process-wide counter behind the
+/// `/metrics` exposition (the per-profile atomics above stay the per-dataset
+/// source of truth) and attach a trace event when tracing is enabled.
+fn observe_cache(outcome: &'static str, attribute: &str) {
+    static HITS: OnceLock<&'static atlas_obs::Counter> = OnceLock::new();
+    static MISSES: OnceLock<&'static atlas_obs::Counter> = OnceLock::new();
+    let counter = match outcome {
+        "hit" => HITS.get_or_init(|| atlas_obs::counter("profile.cache.hit")),
+        _ => MISSES.get_or_init(|| atlas_obs::counter("profile.cache.miss")),
+    };
+    counter.add(1);
+    if atlas_obs::enabled() {
+        atlas_obs::event(
+            "profile.cache",
+            &[("outcome", outcome), ("attribute", attribute)],
+        );
     }
 }
 

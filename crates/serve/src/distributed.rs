@@ -52,7 +52,7 @@
 //! answer is bit-identical to a local explore over just those segments.
 
 use crate::client::Client;
-use crate::http::{ClientResponse, DEADLINE_HEADER};
+use crate::http::{ClientResponse, DEADLINE_HEADER, TRACE_HEADER};
 use crate::resilience::{
     CircuitBreaker, CircuitConfig, CircuitState, Coverage, Deadline, ExploreMode, HedgePolicy,
     RetryPolicy,
@@ -439,6 +439,51 @@ fn judge(addr: &str, path: &str, outcome: io::Result<ClientResponse>) -> Result<
     }
 }
 
+/// Fold a shard reply's `"spans"` member (recorded under the shard's own
+/// local trace) into this process's trace: allocate fresh local span ids,
+/// re-parent the shard's trace roots under the enclosing `shard.call` span,
+/// and rebase the shard's monotonic timestamps into the call interval (the
+/// two processes share no clock epoch, so shard times are anchored to end at
+/// reply arrival and clamped to never precede the call). The member is
+/// stripped either way, so frame parsing sees exactly the documented reply.
+fn adopt_shard_spans(reply: &mut Json, parent: atlas_obs::SpanContext, call_started: Instant) {
+    let Json::Obj(members) = reply else { return };
+    let Some(position) = members.iter().position(|(key, _)| key == "spans") else {
+        return;
+    };
+    let (_, spans_json) = members.remove(position);
+    if !atlas_obs::enabled() {
+        return;
+    }
+    let records = crate::trace::spans_from_json(&spans_json);
+    if records.is_empty() {
+        return;
+    }
+    let tracer = atlas_obs::tracer();
+    let fresh: HashMap<u64, u64> = records
+        .iter()
+        .map(|record| (record.span_id, tracer.alloc_id()))
+        .collect();
+    let lo = records.iter().map(|r| r.start_us).min().unwrap_or(0);
+    let hi = records.iter().map(|r| r.end_us()).max().unwrap_or(lo);
+    let now = tracer.now_us();
+    let call_start_us = now.saturating_sub(call_started.elapsed().as_micros() as u64);
+    let anchor = now.saturating_sub(hi.saturating_sub(lo)).max(call_start_us);
+    for mut record in records {
+        record.trace_id = parent.trace_id;
+        record.parent_id = match fresh.get(&record.parent_id) {
+            Some(&mapped) => mapped,
+            None => parent.span_id,
+        };
+        record.span_id = fresh
+            .get(&record.span_id)
+            .copied()
+            .unwrap_or(record.span_id);
+        record.start_us = anchor.saturating_add(record.start_us.saturating_sub(lo));
+        tracer.record(record);
+    }
+}
+
 impl Coordinator {
     /// Connect to the shard servers, fetch and cross-check their view of
     /// `dataset`, and assign segments contiguously (balanced within one
@@ -743,6 +788,16 @@ impl Coordinator {
             self.metrics
                 .skipped_open_circuit
                 .fetch_add(1, Ordering::Relaxed);
+            if atlas_obs::enabled() {
+                atlas_obs::event(
+                    "shard.skip",
+                    &[
+                        ("shard", &shard.to_string()),
+                        ("path", path),
+                        ("reason", "circuit-open"),
+                    ],
+                );
+            }
             return Err(CallFail::CircuitOpen);
         }
         self.metrics.fan_out.fetch_add(1, Ordering::Relaxed);
@@ -757,10 +812,23 @@ impl Coordinator {
                     Some(left) => left.min(self.options.shard_timeout),
                 },
             };
+            let call_started = Instant::now();
+            let mut call_span = atlas_obs::span("shard.call");
+            call_span.attr("shard", shard);
+            call_span.attr("path", path);
+            call_span.attr("attempt", failures + 1);
+            call_span.attr("mode", if failures == 0 { "primary" } else { "retry" });
             match self.attempt(slot, path, &payload, budget, deadline) {
-                Ok(json) => break Ok(json),
+                Ok(mut json) => {
+                    if let Some(ctx) = call_span.context() {
+                        adopt_shard_spans(&mut json, ctx, call_started);
+                    }
+                    break Ok(json);
+                }
                 Err(AttemptFail::NoRetry(message)) => break Err(CallFail::Shard { message }),
                 Err(AttemptFail::Retryable(message)) => {
+                    // Close the attempt span before any backoff sleep.
+                    drop(call_span);
                     failures += 1;
                     if failures >= self.options.retry.max_attempts.max(1) {
                         break Err(CallFail::Shard { message });
@@ -804,6 +872,11 @@ impl Coordinator {
             let left = d.remaining().unwrap_or(Duration::ZERO).as_millis();
             client = client.with_header(DEADLINE_HEADER, left.to_string());
         }
+        // Propagate the coordinator trace id; the shard answers its child
+        // spans in the reply's "spans" member for reassembly.
+        if let Some(ctx) = atlas_obs::current() {
+            client = client.with_header(TRACE_HEADER, ctx.trace_id.to_string());
+        }
         let Some(hedge_after) = self.hedge_delay(budget) else {
             let outcome =
                 client.request("POST", path, Some(("application/json", payload.as_bytes())));
@@ -813,17 +886,28 @@ impl Coordinator {
         let started = Instant::now();
         let attempt_deadline = started + budget;
         let (tx, rx) = mpsc::channel::<(bool, io::Result<ClientResponse>)>();
+        let parent = atlas_obs::current();
         let launch = |is_hedge: bool| {
             let client = client.clone();
             let path = path.to_string();
             let payload = Arc::clone(payload);
             let tx = tx.clone();
             std::thread::spawn(move || {
+                // The primary's timing is the enclosing shard.call span; a
+                // hedge gets its own child span so the duplicate shows up
+                // labeled in the reassembled tree.
+                let hedge_span = is_hedge.then(|| {
+                    let mut span = atlas_obs::span_in(parent, "shard.call");
+                    span.attr("path", path.as_str());
+                    span.attr("mode", "hedge");
+                    span
+                });
                 let outcome = client.request(
                     "POST",
                     &path,
                     Some(("application/json", payload.as_bytes())),
                 );
+                drop(hedge_span);
                 let _ = tx.send((is_hedge, outcome));
             });
         };
@@ -922,12 +1006,16 @@ impl Coordinator {
             // lint: slice-index-ok (i ranges over 0..shards.len())
             .filter(|&i| !self.shards[i].segments.is_empty())
             .collect();
+        // Scatter threads inherit the dispatching phase span, so shard.call
+        // spans parent under the phase that issued them.
+        let parent = atlas_obs::current();
         let replies: Vec<(usize, Result<Json, CallFail>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = live
                 .iter()
                 .map(|&idx| {
                     let body_of = &body_of;
                     let handle = scope.spawn(move || {
+                        let _trace = atlas_obs::with_context(parent);
                         // lint: slice-index-ok (idx comes from live, a subset of 0..shards.len())
                         let body = body_of(&self.shards[idx].segments);
                         self.call_with(idx, path, &body, ctx.deadline)
@@ -1413,16 +1501,18 @@ impl Coordinator {
         query: &ConjunctiveQuery,
         ctx: &ExploreCtx,
     ) -> Result<MapResult, AtlasError> {
-        let total_start = Instant::now();
+        let mut total_span = atlas_obs::span("explore");
+        total_span.attr("dataset", self.dataset.as_str());
+        total_span.attr("distributed", true);
         let mut query = query.clone();
         if query.table.is_empty() {
             query.table = self.dataset.clone();
         }
         let sql = to_sql(&query);
 
-        let phase = Instant::now();
+        let query_span = atlas_obs::span("phase.query");
         let working = self.fetch_working(ctx, &sql)?;
-        let query_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let query_ms = query_span.finish_ms();
         let working_count = working.count();
         if working_count == 0 {
             return Err(AtlasError::EmptyWorkingSet);
@@ -1432,7 +1522,7 @@ impl Coordinator {
         // Candidate generation: folded stats + the shared CUT body over the
         // scattering source. "Covering" compares against the *live* rows —
         // the degraded table is the surviving segments.
-        let phase = Instant::now();
+        let candidates_span = atlas_obs::span("phase.candidates");
         let covering = working_count == ctx.live_rows;
         let summaries = self.fetch_summaries(ctx, &sql)?;
         let names: Vec<String> = match &self.config.attributes {
@@ -1471,7 +1561,7 @@ impl Coordinator {
                 None => skipped.push(name.clone()),
             }
         }
-        let candidates_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let candidates_ms = candidates_span.finish_ms();
         if maps.is_empty() {
             return Err(AtlasError::NoCuttableAttributes);
         }
@@ -1479,7 +1569,7 @@ impl Coordinator {
 
         // Distances from segment-summed contingency tables, then the
         // engine's own clustering.
-        let phase = Instant::now();
+        let clustering_span = atlas_obs::span("phase.clustering");
         let mut matrix = DistanceMatrix::zeros(maps.len());
         if maps.len() > 1 {
             let mut pair_counts = self.fetch_pair_counts(ctx, &maps)?;
@@ -1504,13 +1594,13 @@ impl Coordinator {
             }
         }
         let clusters = cluster_maps_with_pool(&matrix, &self.config.clustering, &self.pool)?;
-        let clustering_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let clustering_ms = clustering_span.finish_ms();
         self.check_deadline(ctx, "merge")?;
 
         // Product merge + region cap, the engine's own code on local data.
         // The cap's relative threshold reads the live row count, so a
         // degraded answer matches a local explore over the same segments.
-        let phase = Instant::now();
+        let merge_span = atlas_obs::span("phase.merge");
         let products = self.pool.par_map(&clusters, |cluster| {
             let members: Vec<atlas_core::DataMap> =
                 // lint: slice-index-ok (clusters partition 0..maps.len() — the matrix was built with maps.len() points)
@@ -1525,13 +1615,13 @@ impl Coordinator {
                 ctx.live_rows,
             ));
         }
-        let merge_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let merge_ms = merge_span.finish_ms();
         self.check_deadline(ctx, "rank")?;
 
-        let phase = Instant::now();
+        let rank_span = atlas_obs::span("phase.rank");
         let mut ranked = rank_maps(merged);
         ranked.truncate(self.config.max_maps);
-        let rank_ms = phase.elapsed().as_secs_f64() * 1e3;
+        let rank_ms = rank_span.finish_ms();
 
         Ok(MapResult {
             maps: ranked,
@@ -1544,7 +1634,7 @@ impl Coordinator {
                 clustering_ms,
                 merge_ms,
                 rank_ms,
-                total_ms: total_start.elapsed().as_secs_f64() * 1e3,
+                total_ms: total_span.finish_ms(),
             },
         })
     }

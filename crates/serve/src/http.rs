@@ -17,6 +17,11 @@ use std::time::Instant;
 /// Header-name comparison is case-insensitive, as HTTP requires.
 pub const DEADLINE_HEADER: &str = "x-atlas-deadline-ms";
 
+/// Distributed-trace propagation header: the coordinator's trace id, sent on
+/// every shard call so a shard can label its own spans with the originating
+/// trace and return them for reassembly into one tree.
+pub const TRACE_HEADER: &str = "x-atlas-trace-id";
+
 /// Upper bound on one request/status/header line, in bytes.
 const MAX_LINE_BYTES: usize = 8 * 1024;
 /// Upper bound on the number of headers per message.
@@ -61,6 +66,17 @@ impl Request {
     /// The body as UTF-8 text, if it is valid UTF-8.
     pub fn body_text(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
+    }
+
+    /// The value of a query-string parameter:
+    /// `/explore?trace=1` → `query_param("trace") == Some("1")`.
+    /// A bare flag (`?trace`) yields `Some("")`.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.path.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name).then_some(value)
+        })
     }
 }
 
@@ -451,6 +467,18 @@ mod tests {
         assert_eq!(req.header("HOST"), Some("localhost"));
         assert_eq!(req.body_text(), Some("hello"));
         assert!(req.wants_keep_alive());
+        assert_eq!(req.query_param("q"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn query_params_parse_flags_and_pairs() {
+        let raw = b"GET /x?trace=1&flag&empty= HTTP/1.1\r\n\r\n";
+        let req = parse_bytes(raw).unwrap();
+        assert_eq!(req.query_param("trace"), Some("1"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("empty"), Some(""));
+        assert_eq!(req.query_param("nope"), None);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   eviction, so `submit_sql` / `drill_down` / `back` work over the wire
 //!   exactly as in-process;
 //! * [`metrics`] — request counters and a latency histogram
-//!   (`atlas_stats::histogram`) behind `GET /metrics`;
+//!   (`atlas_stats::histogram`) behind `GET /metrics`, in JSON or the
+//!   Prometheus text format by `Accept` negotiation;
+//! * [`trace`] — span ↔ JSON conversion for `GET /debug/traces`, the
+//!   `?trace=1` inline tree, and shard span propagation (`atlas_obs`);
 //! * [`server`] — accept loop, worker pool (`ATLAS_SERVE_THREADS`),
 //!   admission control with `503` + `Retry-After` on overload, deadline
 //!   propagation (`X-Atlas-Deadline-Ms` → `504` with work-done metadata),
@@ -54,6 +57,7 @@ pub mod resilience;
 pub mod server;
 pub mod sessions;
 mod shard;
+pub mod trace;
 pub mod wire;
 
 pub use client::Client;

@@ -62,12 +62,16 @@ pub enum Endpoint {
     ShardInject,
     /// `POST /distributed/explore`
     DistExplore,
+    /// `GET /debug/traces`
+    DebugTraces,
+    /// `GET /debug/traces/:id`
+    DebugTrace,
     /// Anything else (404s, bad paths).
     Other,
 }
 
 /// All endpoints, in reporting order.
-pub const ENDPOINTS: [Endpoint; 21] = [
+pub const ENDPOINTS: [Endpoint; 23] = [
     Endpoint::CreateSession,
     Endpoint::Explore,
     Endpoint::Drill,
@@ -88,6 +92,8 @@ pub const ENDPOINTS: [Endpoint; 21] = [
     Endpoint::ShardContingency,
     Endpoint::ShardInject,
     Endpoint::DistExplore,
+    Endpoint::DebugTraces,
+    Endpoint::DebugTrace,
     Endpoint::Other,
 ];
 
@@ -115,6 +121,8 @@ impl Endpoint {
             Endpoint::ShardContingency => "shard_contingency",
             Endpoint::ShardInject => "shard_inject",
             Endpoint::DistExplore => "dist_explore",
+            Endpoint::DebugTraces => "debug_traces",
+            Endpoint::DebugTrace => "debug_trace",
             Endpoint::Other => "other",
         }
     }
@@ -144,7 +152,9 @@ impl Endpoint {
             Endpoint::ShardContingency => 17,
             Endpoint::ShardInject => 18,
             Endpoint::DistExplore => 19,
-            Endpoint::Other => 20,
+            Endpoint::DebugTraces => 20,
+            Endpoint::DebugTrace => 21,
+            Endpoint::Other => 22,
         }
     }
 }
@@ -213,6 +223,11 @@ impl ServerMetrics {
             Ok(mut ring) => ring.push(latency_ms),
             Err(poisoned) => poisoned.into_inner().push(latency_ms),
         }
+    }
+
+    /// Seconds since the server started (drives `/healthz` and `/metrics`).
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Record one connection refused by admission control.
@@ -339,6 +354,149 @@ fn round3(x: f64) -> f64 {
     (x * 1000.0).round() / 1000.0
 }
 
+/// One sample appended to the Prometheus exposition by the server (cache
+/// stats, kernel-path counters, tracer occupancy): `name{labels} value`.
+#[derive(Debug, Clone)]
+pub struct PromSample {
+    /// Metric family name (`atlas_...`).
+    pub name: &'static str,
+    /// `counter` or `gauge` — emitted once per family as a `# TYPE` line.
+    pub kind: &'static str,
+    /// `key="value"` label pairs, already in exposition order.
+    pub labels: Vec<(&'static str, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// A counter sample.
+    pub fn counter(name: &'static str, labels: Vec<(&'static str, String)>, value: u64) -> Self {
+        PromSample {
+            name,
+            kind: "counter",
+            labels,
+            value: value as f64,
+        }
+    }
+
+    /// A gauge sample.
+    pub fn gauge(name: &'static str, labels: Vec<(&'static str, String)>, value: f64) -> Self {
+        PromSample {
+            name,
+            kind: "gauge",
+            labels,
+            value,
+        }
+    }
+}
+
+/// Escape a label value per the Prometheus text format (`\\`, `\"`, `\n`).
+fn escape_label(value: &str, out: &mut String) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_sample(out: &mut String, seen: &mut Vec<&'static str>, sample: &PromSample) {
+    if !seen.contains(&sample.name) {
+        seen.push(sample.name);
+        out.push_str("# TYPE ");
+        out.push_str(sample.name);
+        out.push(' ');
+        out.push_str(sample.kind);
+        out.push('\n');
+    }
+    out.push_str(sample.name);
+    if !sample.labels.is_empty() {
+        out.push('{');
+        for (i, (key, value)) in sample.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push_str("=\"");
+            escape_label(value, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    // `{}` on f64 is the shortest round-trip rendering, the same contract the
+    // wire codecs guarantee; integral values print with no fraction.
+    let value = sample.value;
+    out.push_str(&format!("{value}\n"));
+}
+
+impl ServerMetrics {
+    /// The `/metrics` report in the Prometheus text exposition format
+    /// (version 0.0.4): the same counters as [`ServerMetrics::snapshot`] as
+    /// `atlas_*` families — requests labelled by endpoint, response classes,
+    /// latency quantiles over the recent window — followed by the server's
+    /// `extra` samples (dataset caches, kernel paths, tracer ring).
+    pub fn prometheus(&self, extra: Vec<PromSample>) -> String {
+        let mut samples: Vec<PromSample> = vec![PromSample::gauge(
+            "atlas_uptime_seconds",
+            Vec::new(),
+            round3(self.started.elapsed().as_secs_f64()),
+        )];
+        for endpoint in ENDPOINTS.iter() {
+            samples.push(PromSample::counter(
+                "atlas_requests_total",
+                vec![("endpoint", endpoint.label().to_string())],
+                // lint: slice-index-ok (Endpoint::index is a total match onto 0..ENDPOINTS.len())
+                self.by_endpoint[endpoint.index()].load(Ordering::Relaxed),
+            ));
+        }
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            samples.push(PromSample::counter(
+                "atlas_responses_total",
+                vec![("class", class.to_string())],
+                counter.load(Ordering::Relaxed),
+            ));
+        }
+        samples.push(PromSample::counter(
+            "atlas_rejected_overload_total",
+            Vec::new(),
+            self.rejected(),
+        ));
+        let window: Vec<f64> = match self.latencies.lock() {
+            Ok(ring) => ring.samples.clone(),
+            Err(poisoned) => poisoned.into_inner().samples.clone(),
+        };
+        samples.push(PromSample::gauge(
+            "atlas_request_latency_window",
+            Vec::new(),
+            window.len() as f64,
+        ));
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            if let Some(value) = quantile(&window, q) {
+                samples.push(PromSample::gauge(
+                    "atlas_request_latency_ms",
+                    vec![("quantile", label.to_string())],
+                    round3(value),
+                ));
+            }
+        }
+        samples.extend(extra);
+
+        let mut out = String::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for sample in &samples {
+            push_sample(&mut out, &mut seen, sample);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +553,42 @@ mod tests {
         let snapshot = metrics.snapshot(Vec::new());
         assert_eq!(snapshot.get("latency"), Some(&Json::Null));
         assert_eq!(snapshot.get("requests_total").unwrap().num(), Some(0.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_each_family_once() {
+        let metrics = ServerMetrics::new();
+        metrics.record(Endpoint::Explore, 200, 1.5);
+        metrics.record(Endpoint::Explore, 200, 2.5);
+        let text = metrics.prometheus(vec![PromSample::counter(
+            "atlas_profile_cache_total",
+            vec![
+                ("dataset", "census".to_string()),
+                ("outcome", "hit".to_string()),
+            ],
+            42,
+        )]);
+        assert_eq!(
+            text.matches("# TYPE atlas_requests_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("atlas_requests_total{endpoint=\"explore\"} 2\n"));
+        assert!(text.contains("atlas_responses_total{class=\"2xx\"} 2\n"));
+        assert!(text.contains("atlas_profile_cache_total{dataset=\"census\",outcome=\"hit\"} 42\n"));
+        assert!(text.contains("atlas_request_latency_ms{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE atlas_uptime_seconds gauge"));
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let metrics = ServerMetrics::new();
+        let text = metrics.prometheus(vec![PromSample::gauge(
+            "atlas_test_gauge",
+            vec![("dataset", "we\"ird\\name\n".to_string())],
+            1.0,
+        )]);
+        assert!(text.contains("dataset=\"we\\\"ird\\\\name\\n\""), "{text}");
     }
 
     #[test]

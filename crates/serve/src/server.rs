@@ -432,7 +432,37 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Synthesize a child span of `parent` covering the already-elapsed interval
+/// `[earlier, later]` — the admission-queue wait and the response write,
+/// which cannot be measured by an open guard because they start before the
+/// request span exists or end after the handler returns. No-op when the
+/// parent is not recording.
+fn record_past_interval(
+    parent: &atlas_obs::SpanGuard,
+    name: &str,
+    earlier: Instant,
+    later: Instant,
+) {
+    let Some(ctx) = parent.context() else {
+        return;
+    };
+    let tracer = atlas_obs::tracer();
+    let start_us = tracer
+        .now_us()
+        .saturating_sub(earlier.elapsed().as_micros() as u64);
+    tracer.record(atlas_obs::SpanRecord {
+        trace_id: ctx.trace_id,
+        span_id: tracer.alloc_id(),
+        parent_id: ctx.span_id,
+        name: name.to_string(),
+        start_us,
+        duration_us: later.saturating_duration_since(earlier).as_micros() as u64,
+        attrs: Vec::new(),
+    });
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
+    let picked_up = Instant::now();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_SLICE));
     let Ok(read_half) = stream.try_clone() else {
@@ -472,6 +502,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
             }
             Err(_) => return,
         }
+        let parse_started = Instant::now();
         let request = match http::read_request(
             &mut reader,
             shared.config.max_body_bytes,
@@ -493,6 +524,17 @@ fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
             }
         };
         let started = Instant::now();
+        // The request's trace root: every span the handlers open below
+        // (session locks, the engine's pipeline phases, kernel events on the
+        // worker's context) nests under it, and the queue wait, parse time
+        // and response write are synthesized as child intervals.
+        let mut request_span = atlas_obs::span_root("request");
+        request_span.attr("method", &request.method);
+        request_span.attr("path", &request.path);
+        if first_request {
+            record_past_interval(&request_span, "queue.wait", admitted, picked_up);
+        }
+        record_past_interval(&request_span, "request.parse", parse_started, started);
         first_request = false;
         let keep_alive = request.wants_keep_alive() && !shared.shutting_down();
         // A non-numeric deadline header is ignored rather than rejected: the
@@ -520,6 +562,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
             continue;
         }
         let (endpoint, reply) = route(shared, &request, deadline);
+        request_span.attr("endpoint", endpoint.label());
         let response = match reply {
             crate::shard::Reply::Normal(response) => response,
             // Injected raw outcomes (truncated/garbled answers) are written
@@ -532,12 +575,22 @@ fn handle_connection(shared: &Shared, stream: TcpStream, admitted: Instant) {
             }
             crate::shard::Reply::Hangup => return,
         };
+        request_span.attr("status", response.status);
         shared.metrics.record(
             endpoint,
             response.status,
             started.elapsed().as_secs_f64() * 1000.0,
         );
-        if http::write_response(&mut writer, &response, keep_alive).is_err() || !keep_alive {
+        let write_started = Instant::now();
+        let write_result = http::write_response(&mut writer, &response, keep_alive);
+        record_past_interval(
+            &request_span,
+            "response.write",
+            write_started,
+            Instant::now(),
+        );
+        drop(request_span);
+        if write_result.is_err() || !keep_alive {
             return;
         }
         idle_deadline = Instant::now() + shared.config.keep_alive;
@@ -589,7 +642,9 @@ fn route(
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(shared).into()),
-        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(shared).into()),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(shared, request).into()),
+        ("GET", ["debug", "traces"]) => (Endpoint::DebugTraces, debug_traces().into()),
+        ("GET", ["debug", "traces", id]) => (Endpoint::DebugTrace, debug_trace(id).into()),
         ("GET", ["datasets"]) => (Endpoint::Datasets, datasets(shared).into()),
         ("POST", ["datasets", name, "rows"]) => (
             Endpoint::AppendRows,
@@ -629,6 +684,7 @@ fn route(
         ),
         (_, ["healthz" | "metrics" | "datasets"])
         | (_, ["sessions", ..])
+        | (_, ["debug", "traces", ..])
         | (_, ["shard", ..] | ["distributed", ..]) => (
             Endpoint::Other,
             Response::error(405, format!("method {method} not allowed here")).into(),
@@ -641,8 +697,35 @@ fn route(
 }
 
 fn healthz(shared: &Shared) -> Response {
+    let (ring_spans, ring_capacity) = atlas_obs::tracer().occupancy();
     let mut members = vec![
         ("status".to_string(), Json::from("ok")),
+        (
+            "uptime_seconds".to_string(),
+            Json::Num(shared.metrics.uptime_seconds()),
+        ),
+        (
+            "build".to_string(),
+            Json::object(vec![
+                ("version", Json::from(env!("CARGO_PKG_VERSION"))),
+                (
+                    "profile",
+                    Json::from(if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    }),
+                ),
+            ]),
+        ),
+        (
+            "trace".to_string(),
+            Json::object(vec![
+                ("enabled", Json::from(atlas_obs::enabled())),
+                ("ring_spans", Json::from(ring_spans)),
+                ("ring_capacity", Json::from(ring_capacity)),
+            ]),
+        ),
         (
             "datasets".to_string(),
             Json::array(
@@ -691,7 +774,124 @@ fn healthz(shared: &Shared) -> Response {
     Response::json(200, &Json::Obj(members))
 }
 
-fn metrics(shared: &Shared) -> Response {
+/// The obs-layer additions shared by both `/metrics` formats, as JSON
+/// members: per-dataset profile-cache hits/misses, the process-wide
+/// `atlas_obs` counters (kernel dispatch paths, cache tallies), and the
+/// tracer ring occupancy.
+fn obs_extra_json(shared: &Shared) -> Vec<(String, Json)> {
+    let (ring_spans, ring_capacity) = atlas_obs::tracer().occupancy();
+    vec![
+        (
+            "profile_cache".to_string(),
+            Json::object(
+                shared
+                    .registry
+                    .datasets()
+                    .iter()
+                    .map(|d| {
+                        let stats = d.snapshot().0.profile_stats();
+                        (
+                            d.name().to_string(),
+                            Json::object(vec![
+                                ("hits", Json::from(stats.hits)),
+                                ("misses", Json::from(stats.misses)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters".to_string(),
+            Json::object(
+                atlas_obs::counters()
+                    .into_iter()
+                    .map(|(name, value)| (name.to_string(), Json::from(value)))
+                    .collect(),
+            ),
+        ),
+        (
+            "trace".to_string(),
+            Json::object(vec![
+                ("enabled", Json::from(atlas_obs::enabled())),
+                ("ring_spans", Json::from(ring_spans)),
+                ("ring_capacity", Json::from(ring_capacity)),
+            ]),
+        ),
+    ]
+}
+
+/// The same obs-layer additions as Prometheus samples. Counter names follow
+/// the workspace convention `family.label.label`, which maps onto labelled
+/// families here: `kernel.<op>.<path>` → `atlas_kernel_dispatch_total`,
+/// `profile.cache.<outcome>` → `atlas_profile_cache_total`; anything else
+/// falls back to a generic `atlas_counter_total{name=…}`.
+fn obs_extra_prometheus(shared: &Shared) -> Vec<crate::metrics::PromSample> {
+    use crate::metrics::PromSample;
+    let mut samples = Vec::new();
+    for dataset in shared.registry.datasets() {
+        let stats = dataset.snapshot().0.profile_stats();
+        for (outcome, value) in [("hit", stats.hits), ("miss", stats.misses)] {
+            samples.push(PromSample::counter(
+                "atlas_profile_cache_dataset_total",
+                vec![
+                    ("dataset", dataset.name().to_string()),
+                    ("outcome", outcome.to_string()),
+                ],
+                value as u64,
+            ));
+        }
+    }
+    for (name, value) in atlas_obs::counters() {
+        let parts: Vec<&str> = name.split('.').collect();
+        let sample = match parts.as_slice() {
+            ["kernel", op, path] => PromSample::counter(
+                "atlas_kernel_dispatch_total",
+                vec![("op", op.to_string()), ("path", path.to_string())],
+                value,
+            ),
+            ["profile", "cache", outcome] => PromSample::counter(
+                "atlas_profile_cache_total",
+                vec![("outcome", outcome.to_string())],
+                value,
+            ),
+            _ => PromSample::counter(
+                "atlas_counter_total",
+                vec![("name", name.to_string())],
+                value,
+            ),
+        };
+        samples.push(sample);
+    }
+    let (ring_spans, ring_capacity) = atlas_obs::tracer().occupancy();
+    samples.push(PromSample::gauge(
+        "atlas_trace_enabled",
+        Vec::new(),
+        if atlas_obs::enabled() { 1.0 } else { 0.0 },
+    ));
+    samples.push(PromSample::gauge(
+        "atlas_trace_ring_spans",
+        Vec::new(),
+        ring_spans as f64,
+    ));
+    samples.push(PromSample::gauge(
+        "atlas_trace_ring_capacity",
+        Vec::new(),
+        ring_capacity as f64,
+    ));
+    samples
+}
+
+fn metrics(shared: &Shared, request: &Request) -> Response {
+    // Content negotiation: Prometheus scrapers ask for text; everything that
+    // spoke the JSON report before keeps getting it (no `Accept`, `*/*`, or
+    // an explicit `application/json`).
+    let wants_text = request
+        .header("accept")
+        .is_some_and(|accept| accept.contains("text/plain") || accept.contains("openmetrics"));
+    if wants_text {
+        return Response::text(200, shared.metrics.prometheus(obs_extra_prometheus(shared)));
+    }
     let sessions = shared.sessions.counters();
     let mut extra = vec![
         (
@@ -737,7 +937,62 @@ fn metrics(shared: &Shared) -> Response {
         extra.push(("distributed".to_string(), Json::object(entries)));
     }
     drop(coordinators);
+    extra.extend(obs_extra_json(shared));
     Response::json(200, &shared.metrics.snapshot(extra))
+}
+
+/// Cap on the roots listed by `GET /debug/traces` (newest first).
+const DEBUG_TRACE_LIST_CAP: usize = 64;
+
+/// `GET /debug/traces`: the trace roots currently in the ring, newest first —
+/// id, root span name, timing, and span count, enough to pick an id for
+/// `GET /debug/traces/:id`.
+fn debug_traces() -> Response {
+    let records = atlas_obs::tracer().snapshot();
+    let mut roots: Vec<Json> = atlas_obs::assemble_forest(records)
+        .iter()
+        .map(|tree| {
+            Json::object(vec![
+                ("trace_id", Json::from(tree.record.trace_id)),
+                ("root", Json::from(tree.record.name.as_str())),
+                ("start_us", Json::from(tree.record.start_us)),
+                ("duration_us", Json::from(tree.record.duration_us)),
+                ("spans", Json::from(tree.size())),
+            ])
+        })
+        .collect();
+    roots.reverse(); // snapshot order is oldest-first by construction
+    roots.truncate(DEBUG_TRACE_LIST_CAP);
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("enabled", Json::from(atlas_obs::enabled())),
+            ("count", Json::from(roots.len())),
+            ("traces", Json::array(roots)),
+        ]),
+    )
+}
+
+/// `GET /debug/traces/:id`: every span of one trace, assembled into trees.
+fn debug_trace(id: &str) -> Response {
+    let Ok(trace_id) = id.parse::<u64>() else {
+        return Response::error(400, format!("trace id '{id}' is not an integer"));
+    };
+    let records = atlas_obs::tracer().trace(trace_id);
+    if records.is_empty() {
+        return Response::error(
+            404,
+            format!("no spans for trace {trace_id} (expired from the ring or never recorded)"),
+        );
+    }
+    Response::json(
+        200,
+        &Json::object(vec![
+            ("trace_id", Json::from(trace_id)),
+            ("spans", Json::from(records.len())),
+            ("tree", crate::trace::forest_to_json(records)),
+        ]),
+    )
 }
 
 fn datasets(shared: &Shared) -> Response {
@@ -892,6 +1147,9 @@ fn distributed_explore(shared: &Shared, request: &Request, deadline: Option<Dead
             if let Json::Obj(members) = &mut body {
                 members.push(("coverage".to_string(), answer.coverage.to_json()));
             }
+            if wants_trace(request) {
+                attach_trace(&mut body);
+            }
             Response::json(200, &body)
         }
         Err(error) => error_response(&error),
@@ -970,10 +1228,14 @@ fn with_session(
             format!("no session '{token}' (expired or never created)"),
         );
     };
+    // The lock span covers contention on the session (another request of the
+    // same token in flight), one of the request-lifecycle stations.
+    let lock_span = atlas_obs::span("session.lock");
     let mut wire_session = match slot.lock() {
         Ok(guard) => guard,
         Err(poisoned) => poisoned.into_inner(),
     };
+    drop(lock_span);
     let Some(dataset) = shared.registry.get(&wire_session.dataset) else {
         return Response::error(500, "session references an unknown dataset");
     };
@@ -981,6 +1243,35 @@ fn with_session(
         return error_response(&error);
     }
     action(&mut wire_session, dataset)
+}
+
+/// Whether the request opted into an inline span tree (`?trace=1`).
+fn wants_trace(request: &Request) -> bool {
+    matches!(request.query_param("trace"), Some(v) if !v.is_empty() && v != "0")
+}
+
+/// Inline the current request's span tree (so far) into a response body,
+/// plus the trace id for a later `GET /debug/traces/:id`. The request root
+/// span is still open at this point, so the inline tree roots at the spans
+/// already closed under it — the engine's `explore` span and its phases.
+/// Purely additive: every pre-existing member (`maps` above all) is
+/// untouched, which is what keeps `?trace=1` off the bit-identity surface.
+fn attach_trace(body: &mut Json) {
+    let Json::Obj(members) = body else {
+        return;
+    };
+    match atlas_obs::current() {
+        Some(ctx) => {
+            let records = atlas_obs::tracer().trace(ctx.trace_id);
+            members.push(("trace_id".to_string(), Json::from(ctx.trace_id)));
+            members.push(("trace".to_string(), crate::trace::forest_to_json(records)));
+        }
+        None => {
+            // Tracing disabled: the flag still answers, with an empty tree.
+            members.push(("trace_id".to_string(), Json::Null));
+            members.push(("trace".to_string(), Json::array(Vec::new())));
+        }
+    }
 }
 
 fn explore(shared: &Shared, token: &str, request: &Request) -> Response {
@@ -999,6 +1290,7 @@ fn explore(shared: &Shared, token: &str, request: &Request) -> Response {
     if sql.trim().is_empty() {
         return Response::error(400, "empty query; send conjunctive SQL");
     }
+    let trace_requested = wants_trace(request);
     with_session(shared, token, |wire_session, dataset| {
         let mut query = match parse_query(&sql) {
             Ok(query) => query,
@@ -1011,13 +1303,16 @@ fn explore(shared: &Shared, token: &str, request: &Request) -> Response {
         match result {
             Err(error) => error_response(&error),
             Ok(result) => {
-                let response = map_result_json(dataset.name(), &result, cache_hit, {
+                let mut response = map_result_json(dataset.name(), &result, cache_hit, {
                     wire_session.session.depth() + 1
                 });
                 wire_session.session.record(query, result);
                 wire_session
                     .session
                     .trim_history(shared.config.max_history_depth);
+                if trace_requested {
+                    attach_trace(&mut response);
+                }
                 Response::json(200, &response)
             }
         }

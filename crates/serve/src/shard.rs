@@ -248,7 +248,16 @@ pub(crate) fn handle(
         Preamble::TruncateAnswer(keep_per_mille) => Some(keep_per_mille),
         Preamble::Proceed => None,
     };
-    let response = answer(registry, state, endpoint, &body);
+    let shard_span = shard_span(endpoint, request);
+    let mut response = answer(registry, state, endpoint, &body);
+    if let Some(span) = shard_span {
+        let trace_id = span.context().map(|ctx| ctx.trace_id);
+        // Close the root before snapshotting so it is in the ring.
+        drop(span);
+        if let Some(trace_id) = trace_id {
+            embed_shard_spans(&mut response, trace_id);
+        }
+    }
     match truncate {
         None => Reply::Normal(response),
         Some(keep_per_mille) => {
@@ -262,6 +271,46 @@ pub(crate) fn handle(
             bytes.truncate(keep);
             Reply::Raw(bytes)
         }
+    }
+}
+
+/// When the coordinator sent an `x-atlas-trace-id` header and tracing is on,
+/// open a **fresh local** root span for this shard request. The local trace
+/// id is never the coordinator's: in-process shard servers share one process
+/// tracer, and reusing the remote id would interleave several shards' spans
+/// into one trace. The remote id rides along as an attribute instead, and
+/// the coordinator re-parents the returned spans under its own call span.
+fn shard_span(endpoint: Endpoint, request: &Request) -> Option<atlas_obs::SpanGuard> {
+    let remote = request.header(http::TRACE_HEADER)?;
+    if !atlas_obs::enabled() {
+        return None;
+    }
+    let mut span = atlas_obs::span_root("shard.request");
+    span.attr("endpoint", endpoint.label());
+    span.attr("remote_trace", remote);
+    Some(span)
+}
+
+/// Append this shard request's recorded spans to a successful answer as a
+/// top-level `"spans"` member, for the coordinator to reassemble. Non-200
+/// answers (and non-JSON bodies) travel unchanged.
+fn embed_shard_spans(response: &mut Response, trace_id: u64) {
+    if response.status != 200 {
+        return;
+    }
+    let spans = atlas_obs::tracer().trace(trace_id);
+    if spans.is_empty() {
+        return;
+    }
+    let Ok(text) = std::str::from_utf8(&response.body) else {
+        return;
+    };
+    let Ok(mut body) = wire::parse(text) else {
+        return;
+    };
+    if let Json::Obj(members) = &mut body {
+        members.push(("spans".to_string(), crate::trace::spans_to_json(&spans)));
+        response.body = body.encode().into_bytes();
     }
 }
 

@@ -1,0 +1,136 @@
+//! Span ↔ JSON conversion for the trace endpoints and shard propagation.
+//!
+//! Spans cross process boundaries in two places: a shard returns its local
+//! spans in the `spans` field of a reply (flat records, remapped and
+//! re-parented by the coordinator — [`crate::distributed`]), and the server
+//! exposes assembled trees on `GET /debug/traces/:id` and inline under
+//! `?trace=1`. All numbers are integers (ids and microseconds), so none of
+//! this touches the float codecs or the bit-identity surface.
+
+use crate::wire::Json;
+use atlas_obs::{SpanNode, SpanRecord};
+
+/// One flat span record as JSON (the shard → coordinator shape).
+pub fn span_to_json(record: &SpanRecord) -> Json {
+    Json::object(vec![
+        ("trace_id", Json::from(record.trace_id)),
+        ("span_id", Json::from(record.span_id)),
+        ("parent_id", Json::from(record.parent_id)),
+        ("name", Json::from(record.name.as_str())),
+        ("start_us", Json::from(record.start_us)),
+        ("duration_us", Json::from(record.duration_us)),
+        (
+            "attrs",
+            Json::object(
+                record
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parse one flat span record back out of [`span_to_json`]'s shape. Returns
+/// `None` on any missing or mistyped field (a malformed shard reply must not
+/// take the coordinator down — the trace is best-effort metadata).
+pub fn span_from_json(value: &Json) -> Option<SpanRecord> {
+    let id = |key: &str| value.get(key).and_then(Json::num).map(|n| n as u64);
+    let attrs = match value.get("attrs") {
+        Some(Json::Obj(members)) => members
+            .iter()
+            .filter_map(|(k, v)| v.str().map(|s| (k.clone(), s.to_string())))
+            .collect(),
+        _ => Vec::new(),
+    };
+    Some(SpanRecord {
+        trace_id: id("trace_id")?,
+        span_id: id("span_id")?,
+        parent_id: id("parent_id")?,
+        name: value.get("name")?.str()?.to_string(),
+        start_us: id("start_us")?,
+        duration_us: id("duration_us")?,
+        attrs,
+    })
+}
+
+/// A list of flat span records (a shard reply's `spans` field).
+pub fn spans_to_json(records: &[SpanRecord]) -> Json {
+    Json::array(records.iter().map(span_to_json).collect())
+}
+
+/// Parse a shard reply's `spans` field; malformed entries are dropped.
+pub fn spans_from_json(value: &Json) -> Vec<SpanRecord> {
+    value
+        .items()
+        .map(|items| items.iter().filter_map(span_from_json).collect())
+        .unwrap_or_default()
+}
+
+/// One assembled span tree as nested JSON: the flat record's fields plus a
+/// `children` array in deterministic `(start_us, span_id)` order.
+pub fn tree_to_json(node: &SpanNode) -> Json {
+    let mut members = match span_to_json(&node.record) {
+        Json::Obj(members) => members,
+        // span_to_json always builds an object; an empty one is a safe
+        // fallback that keeps this off the panic path.
+        _ => Vec::new(),
+    };
+    members.push((
+        "children".to_string(),
+        Json::array(node.children.iter().map(tree_to_json).collect()),
+    ));
+    Json::Obj(members)
+}
+
+/// Assemble flat records into trees and render them as a JSON array.
+pub fn forest_to_json(records: Vec<SpanRecord>) -> Json {
+    Json::array(
+        atlas_obs::assemble_forest(records)
+            .iter()
+            .map(tree_to_json)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(span_id: u64, parent_id: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 7,
+            span_id,
+            parent_id,
+            name: format!("span-{span_id}"),
+            start_us: span_id * 10,
+            duration_us: 5,
+            attrs: vec![("shard".to_string(), "1".to_string())],
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_through_json() {
+        let records = vec![record(1, 0), record(2, 1)];
+        let encoded = spans_to_json(&records).encode();
+        let parsed = spans_from_json(&crate::wire::parse(&encoded).unwrap());
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn malformed_entries_are_dropped_not_fatal() {
+        let json = crate::wire::parse(r#"[{"trace_id": 1}, 4, "nope"]"#).unwrap();
+        assert!(spans_from_json(&json).is_empty());
+    }
+
+    #[test]
+    fn trees_nest_children_in_start_order() {
+        let forest = forest_to_json(vec![record(1, 0), record(3, 1), record(2, 1)]);
+        let root = &forest.items().unwrap()[0];
+        let children = root.get("children").unwrap().items().unwrap();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].get("name").unwrap().str(), Some("span-2"));
+        assert_eq!(children[1].get("name").unwrap().str(), Some("span-3"));
+    }
+}

@@ -13,6 +13,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`obs`] | `atlas-obs` | span tracing, counters, Chrome trace export (zero-dependency) |
 //! | [`columnar`] | `atlas-columnar` | in-memory column store (tables, bitmaps, CSV, statistics) |
 //! | [`stats`] | `atlas-stats` | entropy / MI / VI, quantile sketches, 1-D clustering, agreement scores |
 //! | [`query`] | `atlas-query` | the conjunctive query language (AST, parser, printer, evaluation) |
@@ -142,6 +143,8 @@ pub use atlas_core as core;
 pub use atlas_datagen as datagen;
 /// Interactive exploration sessions: history, drill-down, map rendering.
 pub use atlas_explorer as explorer;
+/// Observability: span tracing, counters, and the Chrome trace export.
+pub use atlas_obs as obs;
 /// The conjunctive SQL dialect: parser, printer and predicate model.
 pub use atlas_query as query;
 /// The HTTP/JSON exploration server and the distributed scatter-gather path.
